@@ -1,0 +1,56 @@
+//! Shared helpers for hand-written baseline kernels.
+
+use harpo_isa::asm::Asm;
+use harpo_isa::form::Mnemonic;
+use harpo_isa::reg::Gpr;
+use harpo_isa::reg::Width::*;
+
+/// Serialises seeded 64-bit values into a little-endian byte patch.
+pub fn u64_patch(seed: u64, n: usize) -> Vec<u8> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(n * 8);
+    for _ in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Serialises seeded bytes.
+pub fn byte_patch(seed: u64, n: usize) -> Vec<u8> {
+    u64_patch(seed, n.div_ceil(8)).into_iter().take(n).collect()
+}
+
+/// Serialises seeded normal `f32` values in roughly `[1, 2^scale)`.
+pub fn f32_patch(seed: u64, n: usize, scale: u32) -> Vec<u8> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(n * 4);
+    for _ in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let mant = (s as u32) & 0x007F_FFFF;
+        let exp = 127 + (s >> 32) as u32 % scale.max(1);
+        let v = (exp << 23) | mant;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Emits a FNV-style fold of `count` 64-bit words at `[base + off]` into
+/// `acc`, then stores the result at `[base + out_off]` — the standard
+/// "propagate everything to the output" epilogue of checking tests.
+pub fn fold_words(a: &mut Asm, base: Gpr, off: i16, count: u16, acc: Gpr, tmp: Gpr, out_off: i16) {
+    a.mov_ri(B64, acc, 0x1505);
+    for k in 0..count {
+        a.load(B64, tmp, base, off + (k as i16) * 8);
+        a.op_rr(Mnemonic::Xor, B64, acc, tmp);
+        // acc = acc * 33 via shl+add keeps the fold multiplier-free.
+        a.mov_rr(B64, tmp, acc);
+        a.op_shift_i(Mnemonic::Shl, B64, tmp, 5);
+        a.add_rr(B64, acc, tmp);
+    }
+    a.store(B64, base, out_off, acc);
+}

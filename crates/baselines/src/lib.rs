@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # harpo-baselines — the comparison frameworks
+//!
+//! The three baselines of the paper's evaluation (§III), rebuilt against
+//! the HX86 substrate:
+//!
+//! * [`silifuzz`] — byte-level fuzzing of a decoder proxy with software
+//!   coverage feedback (hardware-agnostic, like Google's SiliFuzz);
+//! * [`opendcdiag`] — eight hand-written checking tests (compression,
+//!   crypto, MxM, SVD-style linear algebra, ...) in the spirit of
+//!   Intel's OpenDCDiag;
+//! * [`mibench`] — twelve general-purpose embedded kernels standing in
+//!   for the MiBench suite, exactly four of which touch SSE FP.
+
+pub mod kern;
+pub mod mibench;
+pub mod opendcdiag;
+pub mod silifuzz;
+
+pub use silifuzz::{FuzzStats, SiliFuzz, SiliFuzzConfig, Snapshot};

@@ -1,0 +1,596 @@
+//! The MiBench-like baseline: twelve general-purpose embedded kernels
+//! (paper §III-C; MiBench, Guthaus et al. 2001).
+//!
+//! These model *ordinary workloads* rather than checking tests: loops,
+//! pointer chasing, table lookups, modest arithmetic. Exactly four of
+//! the twelve use SSE floating point (`basicmath_fp`, `susan_fp`,
+//! `fft_fp`, `gsm_fp`), matching the paper's observation that only four
+//! MiBench programs show non-zero SSE-unit fault detection.
+
+use crate::kern::{byte_patch, f32_patch, fold_words, u64_patch};
+use harpo_isa::asm::Asm;
+use harpo_isa::form::{Cond, Mnemonic};
+use harpo_isa::program::Program;
+use harpo_isa::reg::Gpr::*;
+use harpo_isa::reg::Width::*;
+use harpo_isa::reg::Xmm;
+
+/// All twelve MiBench-like kernels.
+pub fn all() -> Vec<Program> {
+    vec![
+        basicmath_fp(),
+        bitcount(),
+        qsort_like(),
+        susan_fp(),
+        jpeg_dct(),
+        dijkstra(),
+        patricia_like(),
+        stringsearch(),
+        blowfish_like(),
+        sha_like(),
+        fft_fp(),
+        gsm_fp(),
+    ]
+}
+
+fn base(a: &mut Asm) {
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+}
+
+/// Newton–Raphson square roots of 64 floats (basicmath's math loops).
+pub fn basicmath_fp() -> Program {
+    let mut a = Asm::new("mib-basicmath");
+    a.mem.patches.push((0, f32_patch(0xBA51C, 256, 6)));
+    base(&mut a);
+    a.zero(R8);
+    // 0.5 constant in xmm7.
+    a.mov_ri(B64, Rax, 0x3F00_0000);
+    a.op_xx(Mnemonic::Xorps, true, Xmm::Xmm7, Xmm::Xmm7);
+    let xr = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::MovqXr, harpo_isa::form::OpMode::Xr, B64, false)
+        .unwrap();
+    a.push(harpo_isa::inst::Inst::new(xr, 7, Rax.index() as u8, 0));
+    a.label("val");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 2);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_xm(Mnemonic::Movss, false, Xmm::Xmm0, Rbp, 0); // a
+    a.op_xx(Mnemonic::Movss, false, Xmm::Xmm1, Xmm::Xmm0); // x = a
+    a.mov_ri(B64, R9, 8);
+    a.label("newton");
+    // x = 0.5 * (x + a / x)
+    a.op_xx(Mnemonic::Movss, false, Xmm::Xmm2, Xmm::Xmm0);
+    a.op_xx(Mnemonic::Divss, false, Xmm::Xmm2, Xmm::Xmm1);
+    a.op_xx(Mnemonic::Addss, false, Xmm::Xmm2, Xmm::Xmm1);
+    a.op_xx(Mnemonic::Mulss, false, Xmm::Xmm2, Xmm::Xmm7);
+    a.op_xx(Mnemonic::Movss, false, Xmm::Xmm1, Xmm::Xmm2);
+    a.sub_ri(B64, R9, 1);
+    a.jnz("newton");
+    let mx = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::Movss, harpo_isa::form::OpMode::Mx, B32, false)
+        .unwrap();
+    a.push(harpo_isa::inst::Inst::new(mx, 1, Rbp.index() as u8, 1024));
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 256);
+    a.jnz("val");
+    fold_words(&mut a, Rsi, 1024, 128, R11, R12, 2100);
+    a.halt();
+    a.finish().expect("basicmath assembles")
+}
+
+/// Three bit-counting strategies over 256 words.
+pub fn bitcount() -> Program {
+    let mut a = Asm::new("mib-bitcount");
+    a.mem.patches.push((0, u64_patch(0xB17C, 1024)));
+    base(&mut a);
+    a.zero(Rax); // total
+    a.zero(R8);
+    a.label("word");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rbx, Rbp, 0);
+    // Method 1: POPCNT.
+    a.op_rr(Mnemonic::Popcnt, B64, Rcx, Rbx);
+    a.add_rr(B64, Rax, Rcx);
+    // Method 2: Kernighan loop.
+    a.mov_rr(B64, Rdx, Rbx);
+    a.zero(R9);
+    a.label("kern");
+    a.op_rr(Mnemonic::Test, B64, Rdx, Rdx);
+    a.jz("kdone");
+    a.mov_rr(B64, R10, Rdx);
+    a.sub_ri(B64, R10, 1);
+    a.op_rr(Mnemonic::And, B64, Rdx, R10);
+    a.add_ri(B64, R9, 1);
+    a.jmp("kern");
+    a.label("kdone");
+    a.add_rr(B64, Rax, R9);
+    // Method 3: nibble shifts.
+    a.mov_rr(B64, Rdx, Rbx);
+    a.op_shift_i(Mnemonic::Shr, B64, Rdx, 32);
+    a.op_rr(Mnemonic::Xor, B64, Rdx, Rbx);
+    a.op_rr(Mnemonic::Popcnt, B32, Rcx, Rdx);
+    a.add_rr(B64, Rax, Rcx);
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 1024);
+    a.jnz("word");
+    a.store(B64, Rsi, 8192, Rax);
+    a.halt();
+    a.finish().expect("bitcount assembles")
+}
+
+/// Insertion sort of 96 words (qsort's small-partition behaviour).
+pub fn qsort_like() -> Program {
+    let mut a = Asm::new("mib-qsort");
+    a.mem.patches.push((0, u64_patch(0x45067, 256)));
+    base(&mut a);
+    a.mov_ri(B64, R8, 1);
+    a.label("outer");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rax, Rbp, 0);
+    a.mov_rr(B64, R9, R8);
+    a.label("inner");
+    a.cmp_ri(B64, R9, 0);
+    a.jz("place");
+    a.mov_rr(B64, Rbp, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rbx, Rbp, -8);
+    a.cmp_rr(B64, Rbx, Rax);
+    a.jcc(Cond::C, "place");
+    a.jz("place");
+    a.store(B64, Rbp, 0, Rbx);
+    a.sub_ri(B64, R9, 1);
+    a.jmp("inner");
+    a.label("place");
+    a.mov_rr(B64, Rbp, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.store(B64, Rbp, 0, Rax);
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 256);
+    a.jnz("outer");
+    fold_words(&mut a, Rsi, 0, 256, R11, R12, 2100);
+    a.halt();
+    a.finish().expect("qsort assembles")
+}
+
+/// SUSAN-style 1D smoothing filter over 512 floats.
+pub fn susan_fp() -> Program {
+    let mut a = Asm::new("mib-susan");
+    a.mem.patches.push((0, f32_patch(0x5A5A, 2048, 4)));
+    base(&mut a);
+    // 1/3 ≈ 0.3333 constant.
+    a.mov_ri(B64, Rax, 0x3EAA_AAAB);
+    let xr = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::MovqXr, harpo_isa::form::OpMode::Xr, B64, false)
+        .unwrap();
+    a.push(harpo_isa::inst::Inst::new(xr, 7, Rax.index() as u8, 0));
+    a.mov_ri(B64, R8, 1);
+    a.label("pix");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 2);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_xm(Mnemonic::Movss, false, Xmm::Xmm0, Rbp, -4);
+    let xm_add = |a: &mut Asm, disp: i16| {
+        a.op_xm(Mnemonic::Addss, false, Xmm::Xmm0, Rbp, disp);
+    };
+    xm_add(&mut a, 0);
+    xm_add(&mut a, 4);
+    a.op_xx(Mnemonic::Mulss, false, Xmm::Xmm0, Xmm::Xmm7);
+    let mx = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::Movss, harpo_isa::form::OpMode::Mx, B32, false)
+        .unwrap();
+    a.push(harpo_isa::inst::Inst::new(mx, 0, Rbp.index() as u8, 8192));
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 2047);
+    a.jnz("pix");
+    fold_words(&mut a, Rsi, 8192, 256, R11, R12, 16500);
+    a.halt();
+    a.finish().expect("susan assembles")
+}
+
+/// Integer 8-point DCT butterflies over 32 rows (jpeg's hot loop).
+pub fn jpeg_dct() -> Program {
+    let mut a = Asm::new("mib-jpeg");
+    a.mem.patches.push((0, u64_patch(0x06CF, 512)));
+    base(&mut a);
+    a.zero(R8); // row
+    a.label("row");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 6);
+    a.add_rr(B64, Rbp, Rsi);
+    // Butterfly pairs (k, 7-k) with integer rotation-ish mixing.
+    for k in 0..4i16 {
+        a.load(B64, Rax, Rbp, k * 8);
+        a.load(B64, Rbx, Rbp, (7 - k) * 8);
+        a.mov_rr(B64, Rcx, Rax);
+        a.add_rr(B64, Rcx, Rbx); // s = a + b
+        a.sub_rr(B64, Rax, Rbx); // d = a - b
+        a.imul_rr(B64, Rax, Rcx); // mix
+        a.op_shift_i(Mnemonic::Sar, B64, Rax, 3);
+        a.store(B64, Rbp, k * 8, Rcx);
+        a.store(B64, Rbp, (7 - k) * 8, Rax);
+    }
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 64);
+    a.jnz("row");
+    fold_words(&mut a, Rsi, 0, 512, R11, R12, 4200);
+    a.halt();
+    a.finish().expect("jpeg assembles")
+}
+
+/// Dijkstra relaxation over a 16-node dense graph.
+pub fn dijkstra() -> Program {
+    let mut a = Asm::new("mib-dijkstra");
+    // Adjacency matrix of small positive weights.
+    let w: Vec<u8> = u64_patch(0xD1357, 1024)
+        .chunks(8)
+        .flat_map(|c| {
+            let v = u64::from_le_bytes(c.try_into().unwrap()) % 64 + 1;
+            v.to_le_bytes()
+        })
+        .collect();
+    a.mem.patches.push((0, w));
+    base(&mut a);
+    // dist[] at 2048: dist[0] = 0, others large.
+    a.mov_ri(B64, Rax, 1 << 20);
+    a.zero(R8);
+    a.label("init");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.store(B64, Rbp, 8192, Rax);
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 32);
+    a.jnz("init");
+    a.zero(Rax);
+    a.store(B64, Rsi, 8192, Rax);
+    // Bellman-Ford style relaxation rounds (Dijkstra's effect on a dense
+    // graph without a priority queue).
+    a.zero(R13); // round
+    a.label("round");
+    a.zero(R8); // u
+    a.label("u");
+    a.zero(R9); // v
+    a.label("v");
+    // cand = dist[u] + w[u][v]
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rax, Rbp, 8192);
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 8); // u*32*8
+    a.mov_rr(B64, Rbx, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbx, 3);
+    a.add_rr(B64, Rbp, Rbx);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rbx, Rbp, 0);
+    a.add_rr(B64, Rax, Rbx);
+    // if cand < dist[v]: dist[v] = cand  (branchless via CMOV).
+    a.mov_rr(B64, Rbp, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rcx, Rbp, 8192);
+    a.cmp_rr(B64, Rax, Rcx);
+    a.op_rr(Mnemonic::Cmovnc, B64, Rax, Rcx); // keep min
+    a.store(B64, Rbp, 8192, Rax);
+    a.add_ri(B64, R9, 1);
+    a.cmp_ri(B64, R9, 32);
+    a.jnz("v");
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 32);
+    a.jnz("u");
+    a.add_ri(B64, R13, 1);
+    a.cmp_ri(B64, R13, 31);
+    a.jnz("round");
+    fold_words(&mut a, Rsi, 8192, 32, R11, R12, 8600);
+    a.halt();
+    a.finish().expect("dijkstra assembles")
+}
+
+/// Patricia-trie-style key insertion using bit tests over an array trie.
+pub fn patricia_like() -> Program {
+    let mut a = Asm::new("mib-patricia");
+    a.mem.patches.push((0, u64_patch(0x9A78, 256))); // keys
+    base(&mut a);
+    // Trie nodes at 4096 (clear of the 2 KiB key array): 16 B/node.
+    a.zero(R8); // key index
+    a.mov_ri(B64, R13, 1); // next free node
+    a.label("key");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rax, Rbp, 0); // key
+    a.zero(R9); // node = root
+    a.mov_ri(B64, R10, 12); // depth budget
+    a.label("walk");
+    // bit = key & 1; key >>= 1.
+    a.mov_rr(B64, Rbx, Rax);
+    a.op_ri(Mnemonic::And, B64, Rbx, 1);
+    a.op_shift_i(Mnemonic::Shr, B64, Rax, 1);
+    // child slot address = 1024 + node*16 + bit*8.
+    a.mov_rr(B64, Rbp, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 4);
+    a.mov_rr(B64, Rcx, Rbx);
+    a.op_shift_i(Mnemonic::Shl, B64, Rcx, 3);
+    a.add_rr(B64, Rbp, Rcx);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rdx, Rbp, 4096);
+    a.op_rr(Mnemonic::Test, B64, Rdx, Rdx);
+    a.jnz("descend");
+    // Allocate a node (bounded to 120 nodes).
+    a.cmp_ri(B64, R13, 1000);
+    a.jz("next_key");
+    a.store(B64, Rbp, 4096, R13);
+    a.mov_rr(B64, Rdx, R13);
+    a.add_ri(B64, R13, 1);
+    a.label("descend");
+    a.mov_rr(B64, R9, Rdx);
+    a.sub_ri(B64, R10, 1);
+    a.jnz("walk");
+    a.label("next_key");
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 256);
+    a.jnz("key");
+    fold_words(&mut a, Rsi, 4096, 1024, R11, R12, 22000);
+    a.halt();
+    a.finish().expect("patricia assembles")
+}
+
+/// Naive substring search of 8 patterns over 1 KiB of text.
+pub fn stringsearch() -> Program {
+    let mut a = Asm::new("mib-stringsearch");
+    let text: Vec<u8> = byte_patch(0x7E87, 4096).iter().map(|b| b % 26 + 97).collect();
+    let pats: Vec<u8> = byte_patch(0x9A7, 32).iter().map(|b| b % 26 + 97).collect();
+    a.mem.patches.push((0, text));
+    a.mem.patches.push((4096, pats));
+    base(&mut a);
+    a.zero(R13); // match count
+    a.zero(R8); // pattern index (8 patterns × 4 bytes)
+    a.label("pat");
+    a.zero(R9); // text position
+    a.label("pos");
+    a.zero(R10); // offset in pattern
+    a.label("cmp");
+    // text[pos + off] vs pattern[pat*4 + off]
+    a.mov_rr(B64, Rbp, R9);
+    a.add_rr(B64, Rbp, R10);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_rm(Mnemonic::Movzx, B8, Rax, Rbp, 0);
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 2);
+    a.add_rr(B64, Rbp, R10);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_rm(Mnemonic::Movzx, B8, Rbx, Rbp, 4096);
+    a.cmp_rr(B64, Rax, Rbx);
+    a.jnz("miss");
+    a.add_ri(B64, R10, 1);
+    a.cmp_ri(B64, R10, 4);
+    a.jnz("cmp");
+    a.add_ri(B64, R13, 1); // full match
+    a.label("miss");
+    a.add_ri(B64, R9, 1);
+    a.cmp_ri(B64, R9, 4090);
+    a.jnz("pos");
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 6);
+    a.jnz("pat");
+    a.store(B64, Rsi, 8192, R13);
+    a.halt();
+    a.finish().expect("stringsearch assembles")
+}
+
+/// Blowfish-style Feistel rounds with S-box lookups over 32 blocks.
+pub fn blowfish_like() -> Program {
+    let mut a = Asm::new("mib-blowfish");
+    a.mem.patches.push((0, u64_patch(0xB10F, 256))); // blocks
+    a.mem.patches.push((8192, u64_patch(0x5B0C5, 256))); // S-boxes
+    base(&mut a);
+    a.zero(R8);
+    a.label("block");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B32, Rax, Rbp, 0); // L
+    a.load(B32, Rbx, Rbp, 4); // R
+    a.mov_ri(B64, R9, 16);
+    a.label("round");
+    // F(R) = sbox[R & 0xFF] ^ sbox[(R >> 8) & 0xFF rotated]
+    a.mov_rr(B64, Rcx, Rbx);
+    a.op_ri(Mnemonic::And, B64, Rcx, 0xFF);
+    a.op_shift_i(Mnemonic::Shl, B64, Rcx, 3);
+    a.add_rr(B64, Rcx, Rsi);
+    a.load(B64, Rdx, Rcx, 8192);
+    a.mov_rr(B64, Rcx, Rbx);
+    a.op_shift_i(Mnemonic::Shr, B32, Rcx, 8);
+    a.op_ri(Mnemonic::And, B64, Rcx, 0xFF);
+    a.op_shift_i(Mnemonic::Shl, B64, Rcx, 3);
+    a.add_rr(B64, Rcx, Rsi);
+    a.load(B64, R10, Rcx, 8192);
+    a.op_rr(Mnemonic::Xor, B64, Rdx, R10);
+    a.op_rr(Mnemonic::Xor, B32, Rax, Rdx);
+    // Swap L and R.
+    a.op_rr(Mnemonic::Xchg, B32, Rax, Rbx);
+    a.sub_ri(B64, R9, 1);
+    a.jnz("round");
+    a.store(B32, Rbp, 4096, Rax);
+    a.store(B32, Rbp, 4100, Rbx);
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 256);
+    a.jnz("block");
+    fold_words(&mut a, Rsi, 4096, 256, R11, R12, 6800);
+    a.halt();
+    a.finish().expect("blowfish assembles")
+}
+
+/// SHA-style rotate/xor/add mixing over 64 rounds × 8 blocks.
+pub fn sha_like() -> Program {
+    let mut a = Asm::new("mib-sha");
+    a.mem.patches.push((0, u64_patch(0x58A2, 1024)));
+    base(&mut a);
+    a.mov_ri64(Rax, 0x6A09_E667_F3BC_C908); // h0
+    a.mov_ri64(Rbx, 0xBB67_AE85_84CA_A73B); // h1
+    a.zero(R8);
+    a.label("word");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rcx, Rbp, 0);
+    // Mix: h0 = ror(h0, 13) ^ w + h1; h1 = rol(h1, 7) + (h0 & w).
+    a.op_shift_i(Mnemonic::Ror, B64, Rax, 13);
+    a.op_rr(Mnemonic::Xor, B64, Rax, Rcx);
+    a.add_rr(B64, Rax, Rbx);
+    a.op_shift_i(Mnemonic::Rol, B64, Rbx, 7);
+    a.mov_rr(B64, Rdx, Rax);
+    a.op_rr(Mnemonic::And, B64, Rdx, Rcx);
+    a.add_rr(B64, Rbx, Rdx);
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 1024);
+    a.jnz("word");
+    a.store(B64, Rsi, 8192, Rax);
+    a.store(B64, Rsi, 8200, Rbx);
+    a.halt();
+    a.finish().expect("sha assembles")
+}
+
+/// Radix-2 FFT-style butterfly passes over 64 complex floats.
+pub fn fft_fp() -> Program {
+    let mut a = Asm::new("mib-fft");
+    a.mem.patches.push((0, f32_patch(0xFF7, 2048, 3))); // interleaved re/im
+    base(&mut a);
+    // Three butterfly passes with stride 8, 16, 32 floats; twiddle ~0.7.
+    a.mov_ri(B64, Rax, 0x3F35_04F3); // cos(π/4)
+    let xr = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::MovqXr, harpo_isa::form::OpMode::Xr, B64, false)
+        .unwrap();
+    a.push(harpo_isa::inst::Inst::new(xr, 7, Rax.index() as u8, 0));
+    for (pass, stride) in [(0i32, 512i32), (1, 1024), (2, 2048)] {
+        let label_top = format!("bf{pass}");
+        a.zero(R8);
+        a.label(label_top.clone());
+        a.mov_rr(B64, Rbp, R8);
+        a.add_rr(B64, Rbp, Rsi);
+        // u = x[i]; v = x[i+stride] * w
+        a.op_xm(Mnemonic::Movss, false, Xmm::Xmm0, Rbp, 0);
+        a.op_xm(Mnemonic::Movss, false, Xmm::Xmm1, Rbp, stride as i16);
+        a.op_xx(Mnemonic::Mulss, false, Xmm::Xmm1, Xmm::Xmm7);
+        // x[i] = u + v; x[i+stride] = u - v.
+        a.op_xx(Mnemonic::Movss, false, Xmm::Xmm2, Xmm::Xmm0);
+        a.op_xx(Mnemonic::Addss, false, Xmm::Xmm2, Xmm::Xmm1);
+        a.op_xx(Mnemonic::Subss, false, Xmm::Xmm0, Xmm::Xmm1);
+        let mx = harpo_isa::form::Catalog::get()
+            .lookup(Mnemonic::Movss, harpo_isa::form::OpMode::Mx, B32, false)
+            .unwrap();
+        a.push(harpo_isa::inst::Inst::new(mx, 2, Rbp.index() as u8, 0));
+        a.push(harpo_isa::inst::Inst::new(mx, 0, Rbp.index() as u8, stride));
+        a.add_ri(B64, R8, 4);
+        a.cmp_ri(B64, R8, 8192 - stride);
+        a.jcc(Cond::C, label_top);
+    }
+    fold_words(&mut a, Rsi, 0, 1024, R11, R12, 8600);
+    a.halt();
+    a.finish().expect("fft assembles")
+}
+
+/// GSM-style one-pole IIR filter over 512 samples.
+pub fn gsm_fp() -> Program {
+    let mut a = Asm::new("mib-gsm");
+    a.mem.patches.push((0, f32_patch(0x65A, 2048, 2)));
+    base(&mut a);
+    // y = 0.Constants: a = 0.25, b = 0.75.
+    a.mov_ri(B64, Rax, 0x3E80_0000);
+    let xr = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::MovqXr, harpo_isa::form::OpMode::Xr, B64, false)
+        .unwrap();
+    a.push(harpo_isa::inst::Inst::new(xr, 6, Rax.index() as u8, 0)); // 0.25
+    a.mov_ri(B64, Rax, 0x3F40_0000);
+    a.push(harpo_isa::inst::Inst::new(xr, 7, Rax.index() as u8, 0)); // 0.75
+    a.op_xx(Mnemonic::Xorps, true, Xmm::Xmm0, Xmm::Xmm0); // y
+    a.zero(R8);
+    a.label("sample");
+    a.mov_rr(B64, Rbp, R8);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_xm(Mnemonic::Movss, false, Xmm::Xmm1, Rbp, 0);
+    a.op_xx(Mnemonic::Mulss, false, Xmm::Xmm1, Xmm::Xmm6); // a*x
+    a.op_xx(Mnemonic::Mulss, false, Xmm::Xmm0, Xmm::Xmm7); // b*y
+    a.op_xx(Mnemonic::Addss, false, Xmm::Xmm0, Xmm::Xmm1);
+    let mx = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::Movss, harpo_isa::form::OpMode::Mx, B32, false)
+        .unwrap();
+    a.push(harpo_isa::inst::Inst::new(mx, 0, Rbp.index() as u8, 8192));
+    a.add_ri(B64, R8, 4);
+    a.cmp_ri(B64, R8, 8192);
+    a.jnz("sample");
+    fold_words(&mut a, Rsi, 8192, 256, R11, R12, 16500);
+    a.halt();
+    a.finish().expect("gsm assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::exec::Machine;
+    use harpo_isa::fu::NativeFu;
+    use harpo_isa::form::FuKind;
+    use harpo_uarch::OooCore;
+
+    #[test]
+    fn twelve_kernels_run_cleanly() {
+        let suite = all();
+        assert_eq!(suite.len(), 12);
+        for p in &suite {
+            let o1 = Machine::new(p, NativeFu)
+                .run(20_000_000)
+                .unwrap_or_else(|t| panic!("{} trapped: {t}", p.name));
+            let o2 = Machine::new(p, NativeFu).run(20_000_000).unwrap();
+            assert_eq!(o1.signature, o2.signature, "{} nondeterministic", p.name);
+            assert!(o1.dyn_count > 1_000, "{} too trivial", p.name);
+        }
+    }
+
+    #[test]
+    fn exactly_four_kernels_use_sse_fp() {
+        let mut fp_users = Vec::new();
+        for p in all() {
+            let r = OooCore::default().simulate(&p, 20_000_000).unwrap();
+            let fp =
+                r.trace.fu_op_count(FuKind::FpAdd) + r.trace.fu_op_count(FuKind::FpMul);
+            if fp > 0 {
+                fp_users.push(p.name.clone());
+            }
+        }
+        assert_eq!(
+            fp_users.len(),
+            4,
+            "paper: 4 of 12 MiBench use FP; got {:?}",
+            fp_users
+        );
+    }
+
+    #[test]
+    fn dijkstra_distances_bounded() {
+        let p = dijkstra();
+        let mut m = Machine::new(&p, NativeFu);
+        m.run(20_000_000).unwrap();
+        for v in 0..32 {
+            let d = m
+                .mem()
+                .read(harpo_isa::mem::DATA_BASE + 8192 + v * 8, 8)
+                .unwrap();
+            assert!(d < 1 << 20, "node {v} unreachable");
+        }
+    }
+
+    #[test]
+    fn stringsearch_finds_some_matches_deterministically() {
+        let p = stringsearch();
+        let mut m = Machine::new(&p, NativeFu);
+        m.run(20_000_000).unwrap();
+        let count = m.mem().read(harpo_isa::mem::DATA_BASE + 8192, 8).unwrap();
+        assert!(count < 6 * 4090, "sane match count: {count}");
+    }
+}

@@ -1,0 +1,484 @@
+//! The OpenDCDiag-like baseline: manually specified checking tests
+//! (paper §III-A2).
+//!
+//! Like the open-source OpenDCDiag suite, these are hand-written
+//! algorithms chosen for sensitivity to data corruption — compression,
+//! cryptography, matrix multiplication, SVD-style linear algebra — whose
+//! outputs fold every intermediate result into a stored checksum. Each
+//! test is evaluated as a single execution of the full kernel.
+
+use crate::kern::{byte_patch, f32_patch, fold_words, u64_patch};
+use harpo_isa::asm::Asm;
+use harpo_isa::form::{Cond, Mnemonic};
+use harpo_isa::program::Program;
+use harpo_isa::reg::Gpr::*;
+use harpo_isa::reg::Width::*;
+use harpo_isa::reg::Xmm;
+
+/// All OpenDCDiag-like tests.
+pub fn all() -> Vec<Program> {
+    vec![
+        mxm_int(),
+        mxm_fp(),
+        svd_like(),
+        compress_rle(),
+        crypto_xtea(),
+        checksum_crc(),
+        sort_insertion(),
+        fp_dot_stress(),
+        mem_check(),
+    ]
+}
+
+const N: i16 = 16; // matrix dimension for the MxM tests
+
+/// 8×8 64-bit integer matrix multiply with checksum (the "MxM" test).
+pub fn mxm_int() -> Program {
+    let mut a = Asm::new("odcd-mxm-int");
+    a.mem.patches.push((0, u64_patch(0xA11CE, 512))); // A then B
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.zero(R8); // i
+    a.label("i");
+    a.zero(R9); // j
+    a.label("j");
+    a.zero(Rax); // acc
+    a.zero(R10); // k
+    a.label("k");
+    // rbp = &A[i*8 + k] = rsi + i*64 + k*8
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 7);
+    a.mov_rr(B64, Rbx, R10);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbx, 3);
+    a.add_rr(B64, Rbp, Rbx);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rcx, Rbp, 0); // A[i][k]
+    // rbp = &B[k*8 + j] = rsi + 512 + k*64 + j*8
+    a.mov_rr(B64, Rbp, R10);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 7);
+    a.mov_rr(B64, Rbx, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbx, 3);
+    a.add_rr(B64, Rbp, Rbx);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rdx, Rbp, 2048);
+    a.imul_rr(B64, Rcx, Rdx);
+    a.add_rr(B64, Rax, Rcx);
+    a.add_ri(B64, R10, 1);
+    a.cmp_ri(B64, R10, N as i32);
+    a.jnz("k");
+    // C[i*8+j] at 1024.
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 7);
+    a.mov_rr(B64, Rbx, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbx, 3);
+    a.add_rr(B64, Rbp, Rbx);
+    a.add_rr(B64, Rbp, Rsi);
+    a.store(B64, Rbp, 4096, Rax);
+    a.add_ri(B64, R9, 1);
+    a.cmp_ri(B64, R9, N as i32);
+    a.jnz("j");
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, N as i32);
+    a.jnz("i");
+    fold_words(&mut a, Rsi, 4096, 256, R11, R12, 6400);
+    a.halt();
+    a.finish().expect("mxm_int assembles")
+}
+
+/// 8×8 single-precision matrix multiply.
+pub fn mxm_fp() -> Program {
+    let mut a = Asm::new("odcd-mxm-fp");
+    a.mem.patches.push((0, f32_patch(0xF10A7, 512, 4))); // A then B (4B elems)
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.zero(R8);
+    a.label("i");
+    a.zero(R9);
+    a.label("j");
+    a.op_xx(Mnemonic::Xorps, true, Xmm::Xmm0, Xmm::Xmm0); // acc = 0
+    a.zero(R10);
+    a.label("k");
+    // &A[i*8+k] (4-byte elems): rsi + i*32 + k*4
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 6);
+    a.mov_rr(B64, Rbx, R10);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbx, 2);
+    a.add_rr(B64, Rbp, Rbx);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_xm(Mnemonic::Movss, false, Xmm::Xmm1, Rbp, 0);
+    // &B[k*8+j]: rsi + 256 + k*32 + j*4
+    a.mov_rr(B64, Rbp, R10);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 6);
+    a.mov_rr(B64, Rbx, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbx, 2);
+    a.add_rr(B64, Rbp, Rbx);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_xm(Mnemonic::Mulss, false, Xmm::Xmm1, Rbp, 1024);
+    a.op_xx(Mnemonic::Addss, false, Xmm::Xmm0, Xmm::Xmm1);
+    a.add_ri(B64, R10, 1);
+    a.cmp_ri(B64, R10, N as i32);
+    a.jnz("k");
+    // C[i*8+j] at 512.
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 6);
+    a.mov_rr(B64, Rbx, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbx, 2);
+    a.add_rr(B64, Rbp, Rbx);
+    a.add_rr(B64, Rbp, Rsi);
+    let f = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::Movss, harpo_isa::form::OpMode::Mx, B32, false)
+        .expect("movss store");
+    a.push(harpo_isa::inst::Inst::new(f, 0, Rbp.index() as u8, 2048));
+    a.add_ri(B64, R9, 1);
+    a.cmp_ri(B64, R9, N as i32);
+    a.jnz("j");
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, N as i32);
+    a.jnz("i");
+    fold_words(&mut a, Rsi, 2048, 128, R11, R12, 3100);
+    a.halt();
+    a.finish().expect("mxm_fp assembles")
+}
+
+/// SVD-style column normalisation (one-sided Jacobi building block):
+/// per column, norm = √(Σ a²), then a /= norm — exercises FP multiply,
+/// add, square root and division.
+pub fn svd_like() -> Program {
+    let mut a = Asm::new("odcd-svd");
+    let cols = 32i16;
+    let rows = 64i16;
+    a.mem.patches.push((0, f32_patch(0x57D, (cols * rows) as usize, 3)));
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.zero(R8); // column
+    a.label("col");
+    a.op_xx(Mnemonic::Xorps, true, Xmm::Xmm0, Xmm::Xmm0); // Σ a²
+    // rbp = column base = rsi + col*rows*4
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 8); // ×64 (= rows*4)
+    a.add_rr(B64, Rbp, Rsi);
+    a.zero(R10);
+    a.label("sum");
+    a.op_xm(Mnemonic::Movss, false, Xmm::Xmm1, Rbp, 0);
+    a.op_xx(Mnemonic::Mulss, false, Xmm::Xmm1, Xmm::Xmm1);
+    a.op_xx(Mnemonic::Addss, false, Xmm::Xmm0, Xmm::Xmm1);
+    a.add_ri(B64, Rbp, 4);
+    a.add_ri(B64, R10, 1);
+    a.cmp_ri(B64, R10, rows as i32);
+    a.jnz("sum");
+    a.op_xx(Mnemonic::Sqrtss, false, Xmm::Xmm2, Xmm::Xmm0); // norm
+    // Normalise the column in a second pass.
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 8);
+    a.add_rr(B64, Rbp, Rsi);
+    a.zero(R10);
+    a.label("norm");
+    a.op_xm(Mnemonic::Movss, false, Xmm::Xmm1, Rbp, 0);
+    a.op_xx(Mnemonic::Divss, false, Xmm::Xmm1, Xmm::Xmm2);
+    let f = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::Movss, harpo_isa::form::OpMode::Mx, B32, false)
+        .expect("movss store");
+    a.push(harpo_isa::inst::Inst::new(f, 1, Rbp.index() as u8, 0));
+    a.add_ri(B64, Rbp, 4);
+    a.add_ri(B64, R10, 1);
+    a.cmp_ri(B64, R10, rows as i32);
+    a.jnz("norm");
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, cols as i32);
+    a.jnz("col");
+    fold_words(&mut a, Rsi, 0, 1024, R11, R12, 8200);
+    a.halt();
+    a.finish().expect("svd assembles")
+}
+
+/// Run-length compression of a 2 KiB buffer (the compression test).
+pub fn compress_rle() -> Program {
+    let mut a = Asm::new("odcd-compress");
+    // Compressible input: low-entropy bytes.
+    let raw = byte_patch(0xC0DE, 10240);
+    let input: Vec<u8> = raw.iter().map(|b| b & 0x3).collect();
+    a.mem.patches.push((0, input));
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.mov_rr(B64, Rdi, Rsi);
+    a.add_ri(B64, Rdi, 10240); // output cursor
+    a.zero(R8); // input index
+    a.label("outer");
+    // current byte → rax, run length → rcx.
+    a.mov_rr(B64, Rbp, Rsi);
+    a.add_rr(B64, Rbp, R8);
+    a.op_rm(Mnemonic::Movzx, B8, Rax, Rbp, 0);
+    a.mov_ri(B64, Rcx, 1);
+    a.label("run");
+    a.mov_rr(B64, Rbx, R8);
+    a.add_rr(B64, Rbx, Rcx);
+    a.cmp_ri(B64, Rbx, 10240);
+    a.jz("emit");
+    a.mov_rr(B64, Rbp, Rsi);
+    a.add_rr(B64, Rbp, Rbx);
+    a.op_rm(Mnemonic::Movzx, B8, Rdx, Rbp, 0);
+    a.cmp_rr(B64, Rdx, Rax);
+    a.jnz("emit");
+    a.add_ri(B64, Rcx, 1);
+    a.cmp_ri(B64, Rcx, 255);
+    a.jnz("run");
+    a.label("emit");
+    a.store(B8, Rdi, 0, Rcx);
+    a.store(B8, Rdi, 1, Rax);
+    a.add_ri(B64, Rdi, 2);
+    a.add_rr(B64, R8, Rcx);
+    a.cmp_ri(B64, R8, 10240);
+    a.jnz("outer");
+    fold_words(&mut a, Rsi, 10240, 1024, R11, R12, 31000);
+    a.halt();
+    a.finish().expect("rle assembles")
+}
+
+/// XTEA-like Feistel cipher over 32 blocks (the crypto test).
+pub fn crypto_xtea() -> Program {
+    let mut a = Asm::new("odcd-crypto");
+    a.mem.patches.push((0, u64_patch(0x7EA, 256)));
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.zero(R8); // block index
+    a.label("block");
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B32, Rax, Rbp, 0); // v0
+    a.load(B32, Rbx, Rbp, 4); // v1
+    a.zero(Rdx); // sum
+    a.mov_ri(B64, R9, 16); // rounds
+    a.label("round");
+    // v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + 0x9E3779B9)
+    a.mov_rr(B64, Rcx, Rbx);
+    a.op_shift_i(Mnemonic::Shl, B32, Rcx, 4);
+    a.mov_rr(B64, R10, Rbx);
+    a.op_shift_i(Mnemonic::Shr, B32, R10, 5);
+    a.op_rr(Mnemonic::Xor, B32, Rcx, R10);
+    a.add_rr(B32, Rcx, Rbx);
+    a.mov_rr(B64, R10, Rdx);
+    a.add_ri(B32, R10, 0x1E37_79B9);
+    a.op_rr(Mnemonic::Xor, B32, Rcx, R10);
+    a.add_rr(B32, Rax, Rcx);
+    a.add_ri(B32, Rdx, 0x1E37_79B9);
+    // v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ sum
+    a.mov_rr(B64, Rcx, Rax);
+    a.op_shift_i(Mnemonic::Shl, B32, Rcx, 4);
+    a.mov_rr(B64, R10, Rax);
+    a.op_shift_i(Mnemonic::Shr, B32, R10, 5);
+    a.op_rr(Mnemonic::Xor, B32, Rcx, R10);
+    a.add_rr(B32, Rcx, Rax);
+    a.op_rr(Mnemonic::Xor, B32, Rcx, Rdx);
+    a.add_rr(B32, Rbx, Rcx);
+    a.sub_ri(B64, R9, 1);
+    a.jnz("round");
+    a.store(B32, Rbp, 2048, Rax);
+    a.store(B32, Rbp, 2052, Rbx);
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 256);
+    a.jnz("block");
+    fold_words(&mut a, Rsi, 2048, 256, R11, R12, 4200);
+    a.halt();
+    a.finish().expect("xtea assembles")
+}
+
+/// Bitwise CRC-32 over 1 KiB (the checksum test).
+pub fn checksum_crc() -> Program {
+    let mut a = Asm::new("odcd-crc");
+    a.mem.patches.push((0, byte_patch(0xCC32, 4096)));
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.mov_ri64(R10, 0xEDB8_8320); // polynomial (hoisted)
+    a.mov_ri(B64, Rax, -1); // crc
+    a.zero(R8);
+    a.label("byte");
+    a.mov_rr(B64, Rbp, Rsi);
+    a.add_rr(B64, Rbp, R8);
+    a.op_rm(Mnemonic::Movzx, B8, Rbx, Rbp, 0);
+    a.op_rr(Mnemonic::Xor, B32, Rax, Rbx);
+    a.mov_ri(B64, R9, 8);
+    a.label("bit");
+    // mask = -(crc & 1); crc = (crc >> 1) ^ (0xEDB88320 & mask)
+    a.mov_rr(B64, Rcx, Rax);
+    a.op_ri(Mnemonic::And, B32, Rcx, 1);
+    a.op_r(Mnemonic::Neg, B32, Rcx);
+    a.mov_rr(B64, Rdx, R10);
+    a.op_rr(Mnemonic::And, B32, Rdx, Rcx);
+    a.op_shift_i(Mnemonic::Shr, B32, Rax, 1);
+    a.op_rr(Mnemonic::Xor, B32, Rax, Rdx);
+    a.sub_ri(B64, R9, 1);
+    a.jnz("bit");
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 4096);
+    a.jnz("byte");
+    a.store(B64, Rsi, 4096, Rax);
+    a.halt();
+    a.finish().expect("crc assembles")
+}
+
+/// Insertion sort of 64 words — pointer-heavy data movement.
+pub fn sort_insertion() -> Program {
+    let mut a = Asm::new("odcd-sort");
+    a.mem.patches.push((0, u64_patch(0x5047, 192)));
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.mov_ri(B64, R8, 1); // i
+    a.label("outer");
+    // key = a[i]; j = i.
+    a.mov_rr(B64, Rbp, R8);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rax, Rbp, 0);
+    a.mov_rr(B64, R9, R8);
+    a.label("inner");
+    a.cmp_ri(B64, R9, 0);
+    a.jz("place");
+    // rbx = a[j-1]
+    a.mov_rr(B64, Rbp, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rbx, Rbp, -8);
+    // unsigned compare: if a[j-1] <= key, stop.
+    a.cmp_rr(B64, Rbx, Rax);
+    a.jcc(Cond::C, "place"); // rbx < rax → borrow → place
+    a.cmp_rr(B64, Rbx, Rax);
+    a.jz("place");
+    a.store(B64, Rbp, 0, Rbx); // a[j] = a[j-1]
+    a.sub_ri(B64, R9, 1);
+    a.jmp("inner");
+    a.label("place");
+    a.mov_rr(B64, Rbp, R9);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.store(B64, Rbp, 0, Rax);
+    a.add_ri(B64, R8, 1);
+    a.cmp_ri(B64, R8, 192);
+    a.jnz("outer");
+    fold_words(&mut a, Rsi, 0, 192, R11, R12, 1600);
+    a.halt();
+    a.finish().expect("sort assembles")
+}
+
+/// Packed dot-product stress: MOVAPS + MULPS + ADDPS over two 1 KiB
+/// arrays (four FP lanes per instruction).
+pub fn fp_dot_stress() -> Program {
+    let mut a = Asm::new("odcd-fpdot");
+    a.mem.patches.push((0, f32_patch(0xD07, 4096, 4))); // x then y
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.op_xx(Mnemonic::Xorps, true, Xmm::Xmm0, Xmm::Xmm0);
+    a.zero(R13); // repeat counter
+    a.label("repeat");
+    a.zero(R8);
+    a.label("loop");
+    a.mov_rr(B64, Rbp, R8);
+    a.add_rr(B64, Rbp, Rsi);
+    a.op_xm(Mnemonic::Movaps, true, Xmm::Xmm1, Rbp, 0);
+    a.op_xm(Mnemonic::Mulps, true, Xmm::Xmm1, Rbp, 8192);
+    a.op_xx(Mnemonic::Addps, true, Xmm::Xmm0, Xmm::Xmm1);
+    a.add_ri(B64, R8, 16);
+    a.cmp_ri(B64, R8, 8192);
+    a.jnz("loop");
+    a.add_ri(B64, R13, 1);
+    a.cmp_ri(B64, R13, 4);
+    a.jnz("repeat");
+    // Store the 4-lane accumulator to the output area.
+    let f = harpo_isa::form::Catalog::get()
+        .lookup(Mnemonic::Movaps, harpo_isa::form::OpMode::Mx, B32, true)
+        .expect("movaps store");
+    a.push(harpo_isa::inst::Inst::new(f, 0, Rsi.index() as u8, 16384));
+    fold_words(&mut a, Rsi, 16384, 2, R11, R12, 16448);
+    a.halt();
+    a.finish().expect("fpdot assembles")
+}
+
+/// Cache-covering memory check: fill 28 KiB with a pattern, then
+/// repeatedly read-verify every word across several passes, folding all
+/// data into the output. This is the cache-test character of OpenDCDiag's
+/// memory suite — nearly the whole L1D stays resident and continuously
+/// re-read, so almost every data-array bit is ACE for most of the run.
+pub fn mem_check() -> Program {
+    let mut a = Asm::new("odcd-memcheck");
+    a.mem.patches.push((0, u64_patch(0x3E3C, 3584))); // 28 KiB
+    a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
+    a.zero(R13); // pass counter
+    a.mov_ri(B64, Rax, 0x1505); // running fold
+    a.label("pass");
+    a.zero(R8);
+    a.label("word");
+    a.mov_rr(B64, Rbp, R8);
+    a.add_rr(B64, Rbp, Rsi);
+    a.load(B64, Rbx, Rbp, 0);
+    a.op_rr(Mnemonic::Xor, B64, Rax, Rbx);
+    a.op_shift_i(Mnemonic::Rol, B64, Rax, 5);
+    a.add_ri(B64, R8, 8);
+    a.cmp_ri(B64, R8, 28672);
+    a.jnz("word");
+    // Write the evolving fold back into the buffer so later passes
+    // depend on earlier ones (faults cannot hide between passes).
+    a.mov_rr(B64, Rbp, R13);
+    a.op_shift_i(Mnemonic::Shl, B64, Rbp, 3);
+    a.add_rr(B64, Rbp, Rsi);
+    a.store(B64, Rbp, 0, Rax);
+    a.add_ri(B64, R13, 1);
+    a.cmp_ri(B64, R13, 6);
+    a.jnz("pass");
+    a.store(B64, Rsi, 28672, Rax);
+    a.halt();
+    a.finish().expect("memcheck assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::exec::Machine;
+    use harpo_isa::fu::NativeFu;
+
+    #[test]
+    fn all_kernels_run_cleanly_and_deterministically() {
+        for p in all() {
+            let o1 = Machine::new(&p, NativeFu)
+                .run(5_000_000)
+                .unwrap_or_else(|t| panic!("{} trapped: {t}", p.name));
+            let o2 = Machine::new(&p, NativeFu).run(5_000_000).unwrap();
+            assert_eq!(o1.signature, o2.signature, "{} nondeterministic", p.name);
+            assert!(o1.dyn_count > 500, "{} too trivial: {}", p.name, o1.dyn_count);
+        }
+    }
+
+    #[test]
+    fn suite_has_nine_distinct_tests() {
+        let names: std::collections::HashSet<_> =
+            all().into_iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn sort_actually_sorts() {
+        let p = sort_insertion();
+        let mut m = Machine::new(&p, NativeFu);
+        m.run(5_000_000).unwrap();
+        let mem = m.mem();
+        let mut prev = 0u64;
+        for i in 0..64 {
+            let v = mem.read(harpo_isa::mem::DATA_BASE + i * 8, 8).unwrap();
+            assert!(v >= prev, "element {i} out of order");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fp_tests_exercise_fp_units() {
+        use harpo_isa::form::FuKind;
+        use harpo_uarch::OooCore;
+        for p in [mxm_fp(), svd_like(), fp_dot_stress()] {
+            let r = OooCore::default().simulate(&p, 5_000_000).unwrap();
+            assert!(
+                r.trace.fu_op_count(FuKind::FpMul) > 50,
+                "{} has too few FP mults",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn int_mxm_exercises_multiplier() {
+        use harpo_isa::form::FuKind;
+        use harpo_uarch::OooCore;
+        let r = OooCore::default().simulate(&mxm_int(), 5_000_000).unwrap();
+        assert!(r.trace.fu_op_count(FuKind::IntMul) >= 512);
+    }
+}

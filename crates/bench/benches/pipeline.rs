@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of every Harpocrates pipeline stage —
+//! generation, mutation, compilation (encode), microarchitectural
+//! evaluation, coverage analysis and gate-level fault screening — so
+//! performance regressions in the engine itself are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::screen_faults;
+use harpo_gates::{GateFault, GradedUnit, UnitEvaluators};
+use harpo_museqgen::{GenConstraints, Generator, Mutator};
+use harpo_uarch::OooCore;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let gen = Generator::new(GenConstraints {
+        n_insts: 1_000,
+        ..GenConstraints::default()
+    });
+    let mutator = Mutator::new(gen.clone());
+    let prog = gen.generate(7);
+    let core = OooCore::default();
+
+    c.bench_function("generate_1k_inst_program", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(gen.generate(seed))
+        })
+    });
+
+    c.bench_function("mutate_1k_inst_program", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(mutator.mutate(&prog, seed))
+        })
+    });
+
+    c.bench_function("encode_1k_inst_program", |b| {
+        b.iter(|| black_box(prog.encode()))
+    });
+
+    c.bench_function("ooo_simulate_1k_inst", |b| {
+        b.iter(|| black_box(core.simulate(&prog, 1_000_000).unwrap()))
+    });
+
+    let sim = core.simulate(&prog, 1_000_000).unwrap();
+    c.bench_function("irf_ace_analysis", |b| {
+        b.iter(|| black_box(TargetStructure::Irf.coverage(&sim.trace, core.config())))
+    });
+    c.bench_function("l1d_ace_analysis", |b| {
+        b.iter(|| black_box(TargetStructure::L1d.coverage(&sim.trace, core.config())))
+    });
+    c.bench_function("ibr_intadd_analysis", |b| {
+        b.iter(|| black_box(TargetStructure::IntAdder.coverage(&sim.trace, core.config())))
+    });
+
+    let faults: Vec<GateFault> = (0..64u32)
+        .map(|g| GateFault {
+            unit: GradedUnit::IntAdder,
+            gate: g * 5 % GradedUnit::IntAdder.gate_count() as u32,
+            stuck_one: g % 2 == 0,
+        })
+        .collect();
+    c.bench_function("screen_64_adder_faults", |b| {
+        let mut ev = UnitEvaluators::new();
+        b.iter(|| black_box(screen_faults(&sim.trace, GradedUnit::IntAdder, &faults, &mut ev)))
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(pipeline);

@@ -1,0 +1,70 @@
+//! Extension study — the fault-type interplay of paper §II-D (Fig. 2)
+//! and the protection modelling of §II-E:
+//!
+//! 1. the same gate fault injected as **permanent** vs **intermittent**
+//!    bursts of decreasing length: detection decays with burst length,
+//!    illustrating why a program that detects transients detects the
+//!    rest (permanent ⊂ intermittent ⊂ transient in Fig. 2's diagram);
+//! 2. the L1D campaign re-run with **SECDED ECC** modelled: every
+//!    single-bit transient is Corrected, detection drops to zero — the
+//!    §II-E "Masked (Corrected)" case.
+
+use harpo_baselines::opendcdiag;
+use harpo_bench::{pct, write_csv, Cli};
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{
+    measure_detection, replay_gate_intermittent, sample_gate_faults, CampaignConfig,
+    CampaignResult, L1dProtection,
+};
+use harpo_gates::GradedUnit;
+use harpo_uarch::OooCore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cli = Cli::parse();
+    let core = OooCore::default();
+
+    // --- Part 1: permanent vs intermittent gate faults. ---
+    println!("=== Fault-type interplay (integer adder, MxM test) ===");
+    let prog = opendcdiag::mxm_int();
+    let sim = core.simulate(&prog, 50_000_000).expect("golden");
+    let golden = sim.output.signature;
+    let total_dyn = sim.trace.stats.insts;
+    let mut rng = StdRng::seed_from_u64(cli.campaign().seed);
+    let faults = sample_gate_faults(&mut rng, GradedUnit::IntAdder, cli.faults.min(48));
+
+    let mut csv = Vec::new();
+    println!("{:>22} {:>11}", "burst (dyn insts)", "detection");
+    for burst_frac in [1.0f64, 0.5, 0.25, 0.1, 0.02] {
+        let burst = ((total_dyn as f64 * burst_frac) as u64).max(1);
+        let from = (total_dyn - burst) / 2;
+        let mut tally = CampaignResult::default();
+        for f in &faults {
+            let out = replay_gate_intermittent(&prog, *f, from, from + burst, &golden, 50_000_000);
+            tally.record(out, false);
+        }
+        let label = if burst_frac == 1.0 {
+            "permanent".to_string()
+        } else {
+            format!("{burst} of {total_dyn}")
+        };
+        println!("{label:>22} {:>11}", pct(tally.detection()));
+        csv.push(format!("intermittent,{burst_frac},{:.6}", tally.detection()));
+    }
+
+    // --- Part 2: SECDED ECC on the L1D. ---
+    println!("\n=== L1D protection (memcheck test) ===");
+    let mem = opendcdiag::mem_check();
+    for (label, prot) in [("unprotected", L1dProtection::None), ("SECDED", L1dProtection::Secded)] {
+        let ccfg = CampaignConfig {
+            n_faults: cli.faults,
+            l1d_protection: prot,
+            ..cli.campaign()
+        };
+        let r = measure_detection(&mem, TargetStructure::L1d, &core, &ccfg).expect("campaign");
+        println!("{label:<12} {r}");
+        csv.push(format!("l1d,{label},{:.6}", r.detection()));
+    }
+    write_csv(&cli.out_dir, "fault_model_study.csv", "study,param,detection", &csv);
+}

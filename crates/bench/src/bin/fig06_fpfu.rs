@@ -1,0 +1,33 @@
+//! Fig. 6 — IBR coverage and permanent-gate-fault detection of the
+//! baselines for the **SSE FP adder** and **SSE FP multiplier**.
+//!
+//! Expected shape (paper §III-C): most workloads barely exercise the FP
+//! units — only 4 MiBench kernels and about half of OpenDCDiag show
+//! non-zero detection; OpenDCDiag's FP-heavy tests (MxM, SVD) lead.
+
+use harpo_bench::{baseline_suites, grade_suite, print_structure_table, write_csv, Cli, GRADE_CSV_HEADER};
+use harpo_coverage::TargetStructure;
+use harpo_uarch::OooCore;
+
+fn main() {
+    let cli = Cli::parse();
+    let core = OooCore::default();
+    let ccfg = cli.campaign();
+    let suites = baseline_suites(cli.scale);
+
+    let mut csv = Vec::new();
+    for structure in [TargetStructure::FpAdder, TargetStructure::FpMultiplier] {
+        let mut rows = Vec::new();
+        for (fw, progs) in &suites {
+            rows.extend(grade_suite(fw, progs, structure, &core, &ccfg));
+        }
+        csv.extend(print_structure_table(structure, &rows));
+
+        let mib_nonzero = rows
+            .iter()
+            .filter(|g| g.framework == "MiBench" && g.detection > 0.0)
+            .count();
+        println!("  MiBench programs with non-zero detection: {mib_nonzero}/12 (paper: 4)");
+    }
+    write_csv(&cli.out_dir, "fig06_fpfu.csv", GRADE_CSV_HEADER, &csv);
+}

@@ -1,0 +1,253 @@
+#![warn(missing_docs)]
+
+//! # harpo-bench — the experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and
+//! figure of the paper's evaluation (see DESIGN.md §4 for the index).
+//! Each binary accepts `--scale paper|reduced` (default `reduced`),
+//! `--faults N` and `--threads N`, prints the figure's rows to stdout
+//! and writes a CSV next to the workspace under `results/`.
+
+use harpo_baselines::{mibench, opendcdiag, SiliFuzz, SiliFuzzConfig};
+use harpo_coverage::TargetStructure;
+use harpo_core::{presets, Evaluator, Harpocrates, RunReport, Scale};
+use harpo_faultsim::{measure_detection_with_golden, CampaignConfig};
+use harpo_isa::program::Program;
+use harpo_museqgen::Generator;
+use harpo_uarch::OooCore;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Faults per SFI campaign.
+    pub faults: usize,
+    /// Worker threads (0 = all).
+    pub threads: usize,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut cli = Cli {
+            scale: Scale::Reduced,
+            faults: 96,
+            threads: 0,
+            out_dir: PathBuf::from("results"),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    cli.scale = Scale::parse(&args[i])
+                        .unwrap_or_else(|| panic!("bad --scale {}", args[i]));
+                }
+                "--faults" => {
+                    i += 1;
+                    cli.faults = args[i].parse().expect("--faults takes a number");
+                }
+                "--threads" => {
+                    i += 1;
+                    cli.threads = args[i].parse().expect("--threads takes a number");
+                }
+                "--out" => {
+                    i += 1;
+                    cli.out_dir = PathBuf::from(&args[i]);
+                }
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// The SFI campaign configuration implied by the CLI.
+    pub fn campaign(&self) -> CampaignConfig {
+        CampaignConfig {
+            n_faults: self.faults,
+            threads: self.threads,
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// A graded test program: one dot/cross pair of Figs. 4–6.
+#[derive(Debug, Clone)]
+pub struct GradedProgram {
+    /// Which framework produced it.
+    pub framework: &'static str,
+    /// Program name.
+    pub name: String,
+    /// Hardware coverage (ACE or IBR) for the target structure.
+    pub coverage: f64,
+    /// SFI fault detection capability.
+    pub detection: f64,
+    /// Golden run length in cycles.
+    pub cycles: u64,
+}
+
+/// Simulates once and grades both coverage and detection for one
+/// structure. Trapping programs score zero on both axes.
+pub fn grade(
+    prog: &Program,
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+) -> (f64, f64, u64) {
+    match core.simulate(prog, ccfg.cap) {
+        Err(_) => (0.0, 0.0, 0),
+        Ok(sim) => {
+            let coverage = structure.coverage(&sim.trace, core.config());
+            let det = measure_detection_with_golden(
+                prog,
+                structure,
+                core,
+                ccfg,
+                &sim.output.signature,
+                &sim.trace,
+            );
+            (coverage, det.detection(), sim.trace.stats.cycles)
+        }
+    }
+}
+
+/// Grades every program of a suite against one structure.
+pub fn grade_suite(
+    framework: &'static str,
+    progs: &[Program],
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+) -> Vec<GradedProgram> {
+    progs
+        .iter()
+        .map(|p| {
+            let (coverage, detection, cycles) = grade(p, structure, core, ccfg);
+            GradedProgram {
+                framework,
+                name: p.name.clone(),
+                coverage,
+                detection,
+                cycles,
+            }
+        })
+        .collect()
+}
+
+/// Number of SiliFuzz aggregate tests per scale.
+fn silifuzz_tests(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 6,
+        Scale::Reduced => 4,
+    }
+}
+
+/// Builds the SiliFuzz baseline test set: several fuzzing sessions, each
+/// aggregated into one multi-snapshot test (§III-A1).
+pub fn silifuzz_suite(scale: Scale) -> Vec<Program> {
+    let (iters, agg) = match scale {
+        Scale::Paper => (60_000, 10_000),
+        Scale::Reduced => (6_000, 1_000),
+    };
+    (0..silifuzz_tests(scale))
+        .map(|i| {
+            let mut s = SiliFuzz::new(SiliFuzzConfig {
+                seed: 0x5111 + i as u64,
+                iterations: iters,
+                ..SiliFuzzConfig::default()
+            });
+            s.run();
+            let mut p = s.aggregate(agg);
+            p.name = format!("silifuzz-{i}");
+            p
+        })
+        .collect()
+}
+
+/// The three baseline suites as (framework, programs) pairs.
+pub fn baseline_suites(scale: Scale) -> Vec<(&'static str, Vec<Program>)> {
+    vec![
+        ("MiBench", mibench::all()),
+        ("OpenDCDiag", opendcdiag::all()),
+        ("SiliFuzz", silifuzz_suite(scale)),
+    ]
+}
+
+/// Runs the Harpocrates loop for a structure at a scale.
+pub fn run_harpocrates(structure: TargetStructure, scale: Scale, threads: usize) -> RunReport {
+    let (constraints, mut loop_cfg) = presets::preset(structure, scale);
+    loop_cfg.threads = threads;
+    let h = Harpocrates::new(
+        Generator::new(constraints),
+        Evaluator::new(OooCore::default(), structure),
+        loop_cfg,
+    );
+    h.run()
+}
+
+/// Writes a CSV file, creating the directory as needed.
+pub fn write_csv(dir: &Path, file: &str, header: &str, rows: &[String]) {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(file);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    println!("↳ wrote {}", path.display());
+}
+
+/// Pretty percent.
+pub fn pct(x: f64) -> String {
+    format!("{:6.2}%", x * 100.0)
+}
+
+/// Prints a coverage/detection table for one structure and returns CSV
+/// rows.
+pub fn print_structure_table(structure: TargetStructure, rows: &[GradedProgram]) -> Vec<String> {
+    println!("\n=== {} ===", structure.label());
+    println!(
+        "{:<12} {:<22} {:>9} {:>10} {:>12}",
+        "framework", "program", "coverage", "detection", "cycles"
+    );
+    let mut csv = Vec::new();
+    for g in rows {
+        println!(
+            "{:<12} {:<22} {:>9} {:>10} {:>12}",
+            g.framework,
+            g.name,
+            pct(g.coverage),
+            pct(g.detection),
+            g.cycles
+        );
+        csv.push(format!(
+            "{},{},{},{:.6},{:.6},{}",
+            structure.label(),
+            g.framework,
+            g.name,
+            g.coverage,
+            g.detection,
+            g.cycles
+        ));
+    }
+    for fw in ["MiBench", "OpenDCDiag", "SiliFuzz", "Harpocrates"] {
+        let of_fw: Vec<&GradedProgram> = rows.iter().filter(|g| g.framework == fw).collect();
+        if of_fw.is_empty() {
+            continue;
+        }
+        let max = of_fw.iter().map(|g| g.detection).fold(0.0, f64::max);
+        let avg = of_fw.iter().map(|g| g.detection).sum::<f64>() / of_fw.len() as f64;
+        println!("  {fw}: max detection {} avg {}", pct(max), pct(avg));
+    }
+    csv
+}
+
+/// The standard CSV header for Figs. 4–6 and 11.
+pub const GRADE_CSV_HEADER: &str = "structure,framework,program,coverage,detection,cycles";

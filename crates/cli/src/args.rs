@@ -1,0 +1,118 @@
+//! Minimal flag parsing shared by the subcommands (no external deps).
+
+use harpo_coverage::TargetStructure;
+use std::collections::HashMap;
+
+/// Parsed flags plus positional arguments.
+pub struct Args {
+    flags: HashMap<String, String>,
+    /// Positional (non-flag) arguments in order.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; everything else is positional.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                i += 1;
+                let val = argv
+                    .get(i)
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.insert(key.to_string(), val.clone());
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Args { flags, positional })
+    }
+
+    /// A string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+
+    /// The target-structure flag.
+    pub fn structure(&self) -> Result<TargetStructure, String> {
+        let name = self
+            .get("structure")
+            .ok_or("missing --structure (irf|l1d|int-adder|int-mul|fp-adder|fp-mul)")?;
+        parse_structure(name)
+    }
+}
+
+/// Parses a structure name.
+pub fn parse_structure(name: &str) -> Result<TargetStructure, String> {
+    Ok(match name {
+        "irf" => TargetStructure::Irf,
+        "l1d" => TargetStructure::L1d,
+        "int-adder" => TargetStructure::IntAdder,
+        "int-mul" | "int-multiplier" => TargetStructure::IntMultiplier,
+        "fp-adder" => TargetStructure::FpAdder,
+        "fp-mul" | "fp-multiplier" => TargetStructure::FpMultiplier,
+        other => return Err(format!("unknown structure `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_split() {
+        let a = Args::parse(&argv(&["--structure", "irf", "file.hxpf", "--faults", "64"])).unwrap();
+        assert_eq!(a.get("structure"), Some("irf"));
+        assert_eq!(a.num::<usize>("faults", 0).unwrap(), 64);
+        assert_eq!(a.positional, vec!["file.hxpf".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv(&["--faults"])).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        assert_eq!(a.num::<u64>("seed", 7).unwrap(), 7);
+        assert!(a.structure().is_err());
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let a = Args::parse(&argv(&["--faults", "many"])).unwrap();
+        assert!(a.num::<usize>("faults", 1).is_err());
+    }
+
+    #[test]
+    fn all_structures_parse() {
+        for (name, want) in [
+            ("irf", TargetStructure::Irf),
+            ("l1d", TargetStructure::L1d),
+            ("int-adder", TargetStructure::IntAdder),
+            ("int-mul", TargetStructure::IntMultiplier),
+            ("fp-adder", TargetStructure::FpAdder),
+            ("fp-mul", TargetStructure::FpMultiplier),
+        ] {
+            assert_eq!(parse_structure(name).unwrap(), want);
+        }
+        assert!(parse_structure("rob").is_err());
+    }
+}

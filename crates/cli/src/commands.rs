@@ -1,0 +1,204 @@
+//! The `harpo` subcommands.
+
+use crate::args::Args;
+use harpo_core::{presets, Evaluator, Harpocrates, Scale};
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{measure_detection, CampaignConfig};
+use harpo_isa::form::Catalog;
+use harpo_isa::program::Program;
+use harpo_isa::{from_container, to_container};
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_uarch::OooCore;
+
+/// Prints the top-level usage text.
+pub fn usage() {
+    eprintln!(
+        "harpo — hardware-in-the-loop CPU test program generation
+
+USAGE:
+  harpo refine   --structure <s> [--scale reduced|paper] [--out test.hxpf] [--threads N]
+  harpo generate --insts <n> [--seed <n>] [--out test.hxpf]
+  harpo grade    --structure <s> [--faults N] <test.hxpf>
+  harpo simulate <test.hxpf>
+  harpo disasm   [--limit N] <test.hxpf>
+  harpo info
+
+STRUCTURES: irf, l1d, int-adder, int-mul, fp-adder, fp-mul"
+    );
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    from_container(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save(prog: &Program, path: &str) -> Result<(), String> {
+    std::fs::write(path, to_container(prog)).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// `harpo refine` — run the Harpocrates loop for a structure.
+pub fn refine(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let structure = args.structure()?;
+    let scale = match args.get("scale") {
+        None => Scale::Reduced,
+        Some(s) => Scale::parse(s).ok_or_else(|| format!("bad --scale {s}"))?,
+    };
+    let threads: usize = args.num("threads", 0)?;
+    let (constraints, mut loop_cfg) = presets::preset(structure, scale);
+    loop_cfg.threads = threads;
+    println!(
+        "refining for {structure}: population {}, top-{}, {} iterations, {}-instruction programs",
+        loop_cfg.population, loop_cfg.top_k, loop_cfg.iterations, constraints.n_insts
+    );
+    let h = Harpocrates::new(
+        Generator::new(constraints),
+        Evaluator::new(OooCore::default(), structure),
+        loop_cfg,
+    );
+    let report = h.run();
+    for s in &report.samples {
+        println!(
+            "  iter {:>5}  best coverage {:>8.4}%",
+            s.iteration,
+            s.top_coverages[0] * 100.0
+        );
+    }
+    println!(
+        "champion coverage {:.4}% ({:.0} inst/s loop throughput)",
+        report.champion_coverage * 100.0,
+        report.timing.instructions_per_second()
+    );
+    if let Some(path) = args.get("out") {
+        save(&report.champion, path)?;
+    }
+    Ok(())
+}
+
+/// `harpo generate` — one constrained-random program, no refinement.
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let n_insts: usize = args.num("insts", 5_000)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let gen = Generator::new(GenConstraints {
+        n_insts,
+        ..GenConstraints::default()
+    });
+    let prog = gen.generate(seed);
+    println!(
+        "generated `{}`: {} instructions, {} bytes of machine code",
+        prog.name,
+        prog.len(),
+        prog.encode().len()
+    );
+    if let Some(path) = args.get("out") {
+        save(&prog, path)?;
+    }
+    Ok(())
+}
+
+/// `harpo grade` — SFI campaign for a stored program.
+pub fn grade(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let structure = args.structure()?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("grade needs a <test.hxpf> argument")?;
+    let prog = load(path)?;
+    let ccfg = CampaignConfig {
+        n_faults: args.num("faults", 128)?,
+        threads: args.num("threads", 0)?,
+        ..CampaignConfig::default()
+    };
+    let core = OooCore::default();
+    let sim = core
+        .simulate(&prog, ccfg.cap)
+        .map_err(|t| format!("golden run trapped: {t}"))?;
+    let coverage = structure.coverage(&sim.trace, core.config());
+    let result = measure_detection(&prog, structure, &core, &ccfg)
+        .map_err(|t| format!("golden run trapped: {t}"))?;
+    println!("program `{}` vs {structure}:", prog.name);
+    println!("  hardware coverage  {:.4}%", coverage * 100.0);
+    println!("  fault injection    {result}");
+    Ok(())
+}
+
+/// `harpo simulate` — run a stored program on the OoO model.
+pub fn simulate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("simulate needs a <test.hxpf> argument")?;
+    let prog = load(path)?;
+    let core = OooCore::default();
+    let sim = core
+        .simulate(&prog, 100_000_000)
+        .map_err(|t| format!("trapped: {t}"))?;
+    let s = sim.trace.stats;
+    println!("program `{}`:", prog.name);
+    println!("  {} instructions in {} cycles (IPC {:.2})", s.insts, s.cycles, s.ipc());
+    println!(
+        "  L1D: {} hits, {} misses, {} writebacks",
+        s.l1d_hits, s.l1d_misses, s.l1d_writebacks
+    );
+    println!("  branches: {} ({} mispredicted)", s.branches, s.mispredicts);
+    println!("  output digest: {:#018x}", sim.output.signature.digest());
+    println!("  coverage profile:");
+    for st in TargetStructure::ALL {
+        println!(
+            "    {:<20} {:>8.4}%",
+            st.label(),
+            st.coverage(&sim.trace, core.config()) * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `harpo disasm` — print a stored program's instructions.
+pub fn disasm(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("disasm needs a <test.hxpf> argument")?;
+    let prog = load(path)?;
+    let limit: usize = args.num("limit", usize::MAX)?;
+    println!("; program `{}`, {} instructions", prog.name, prog.len());
+    for (i, inst) in prog.insts.iter().take(limit).enumerate() {
+        println!("{i:6}: {inst}");
+    }
+    if prog.len() > limit {
+        println!("  ... {} more", prog.len() - limit);
+    }
+    Ok(())
+}
+
+/// `harpo info` — ISA and model summary.
+pub fn info(_argv: &[String]) -> Result<(), String> {
+    let cat = Catalog::get();
+    println!("HX86 ISA: {} instruction forms across {} opcode pages", cat.len(), cat.page_count());
+    let det = cat.deterministic_forms().count();
+    println!("  deterministic forms: {det}");
+    let core = OooCore::default();
+    let cfg = core.config();
+    println!(
+        "core model: {}-wide OoO, ROB {}, IQ {}, {} physical registers",
+        cfg.width, cfg.rob_size, cfg.iq_size, cfg.phys_regs
+    );
+    println!(
+        "L1D: {} KiB, {}-way, {}-byte lines ({} bits graded)",
+        cfg.l1d_bytes / 1024,
+        cfg.l1d_assoc,
+        cfg.l1d_line,
+        cfg.l1d_bits()
+    );
+    println!("graded functional units (gate populations):");
+    for u in harpo_gates::GradedUnit::ALL {
+        println!("  {:<20} {:>6} gates", u.label(), u.gate_count());
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+
+//! # harpo-cli — library surface of the `harpo` command-line driver
+//!
+//! The binary's argument parsing and subcommands are exposed as a
+//! library so they can be unit-tested.
+
+pub mod args;
+pub mod commands;

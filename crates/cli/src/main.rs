@@ -1,0 +1,43 @@
+//! `harpo` — the Harpocrates command-line driver.
+//!
+//! ```text
+//! harpo refine   --structure int-mul [--scale reduced|paper] [--out t.hxpf]
+//! harpo generate --insts 5000 --seed 7 [--out t.hxpf]
+//! harpo grade    --structure int-mul --faults 128 t.hxpf
+//! harpo simulate t.hxpf
+//! harpo disasm   t.hxpf [--limit 40]
+//! harpo info
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        commands::usage();
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let result = match cmd.as_str() {
+        "refine" => commands::refine(&argv),
+        "generate" => commands::generate(&argv),
+        "grade" => commands::grade(&argv),
+        "simulate" => commands::simulate(&argv),
+        "disasm" => commands::disasm(&argv),
+        "info" => commands::info(&argv),
+        "help" | "--help" | "-h" => {
+            commands::usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            commands::usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,347 @@
+//! The Harpocrates program-generation loop (paper §IV, §V-C, Fig. 7).
+//!
+//! A (μ+λ) evolutionary loop over test programs:
+//!
+//! * **Step 0** — the Generator bootstraps an initial random population;
+//! * **Step 1** — the Evaluator grades every program on the
+//!   microarchitectural model (fitness = hardware coverage of the target
+//!   structure);
+//! * **Step 2** — selection keeps the top-K programs (parents compete
+//!   with offspring, so peak coverage is retained across iterations, as
+//!   in the paper's Fig. 10 curves);
+//! * **Step 3** — the Mutator produces K×M offspring by replace-all
+//!   instruction replacement.
+//!
+//! Every stage is timed, reproducing the paper's Table I loop-step
+//! breakdown (mutation / generation / compilation / evaluation).
+
+use crate::evaluator::Evaluator;
+use harpo_isa::program::Program;
+use harpo_museqgen::{Generator, Mutator};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Loop parameters (paper §VI-B per-structure values live in
+/// [`crate::presets`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopConfig {
+    /// Offspring population per iteration (the paper's 96 / 32).
+    pub population: usize,
+    /// Survivors per iteration (the paper's 16 / 8).
+    pub top_k: usize,
+    /// Iterations to run.
+    pub iterations: usize,
+    /// Record a sample every this many iterations.
+    pub sample_every: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Threads for population evaluation (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig {
+            population: 32,
+            top_k: 8,
+            iterations: 50,
+            sample_every: 5,
+            seed: 0xA1C0,
+            threads: 0,
+        }
+    }
+}
+
+impl LoopConfig {
+    /// Offspring each survivor contributes per iteration.
+    pub fn offspring_per_parent(&self) -> usize {
+        self.population.div_ceil(self.top_k)
+    }
+}
+
+/// Wall-clock breakdown of the loop stages (Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopTiming {
+    /// Time mutating sequences.
+    pub mutation: Duration,
+    /// Time materialising programs (wrapper/initial-state work).
+    pub generation: Duration,
+    /// Time lowering programs to machine code bytes.
+    pub compilation: Duration,
+    /// Time in microarchitectural evaluation.
+    pub evaluation: Duration,
+    /// Whole-loop wall time.
+    pub total: Duration,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Programs evaluated in total.
+    pub programs_evaluated: u64,
+    /// Instructions generated+evaluated in total.
+    pub instructions_processed: u64,
+}
+
+impl LoopTiming {
+    /// Runnable-and-evaluated instructions per second — the §VI-A
+    /// generation-rate metric.
+    pub fn instructions_per_second(&self) -> f64 {
+        let secs = self.total.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.instructions_processed as f64 / secs
+        }
+    }
+}
+
+/// One recorded sample of the optimisation.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Iteration index (0 = initial population).
+    pub iteration: usize,
+    /// Coverages of the current top-K, best first.
+    pub top_coverages: Vec<f64>,
+    /// The champion program at this point.
+    pub champion: Program,
+}
+
+/// Result of a full Harpocrates run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Periodic samples (always includes iteration 0 and the last).
+    pub samples: Vec<Sample>,
+    /// The best program found.
+    pub champion: Program,
+    /// Its coverage.
+    pub champion_coverage: f64,
+    /// Stage timing.
+    pub timing: LoopTiming,
+}
+
+/// The Harpocrates system: Generator + Mutator + Evaluator.
+#[derive(Debug)]
+pub struct Harpocrates {
+    generator: Generator,
+    mutator: Mutator,
+    evaluator: Evaluator,
+    cfg: LoopConfig,
+}
+
+impl Harpocrates {
+    /// Assembles the loop from its three components.
+    pub fn new(generator: Generator, evaluator: Evaluator, cfg: LoopConfig) -> Harpocrates {
+        assert!(cfg.top_k >= 1 && cfg.population >= cfg.top_k);
+        let mutator = Mutator::new(generator.clone());
+        Harpocrates {
+            generator,
+            mutator,
+            evaluator,
+            cfg,
+        }
+    }
+
+    /// The loop configuration.
+    pub fn config(&self) -> &LoopConfig {
+        &self.cfg
+    }
+
+    /// The evaluator (exposed so benches can grade champions with SFI).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Runs the complete refinement loop.
+    pub fn run(&self) -> RunReport {
+        let t_total = Instant::now();
+        let mut timing = LoopTiming::default();
+        let n_insts = self.generator.constraints().n_insts as u64;
+
+        // Step 0: initial population.
+        let t = Instant::now();
+        let mut population: Vec<Program> = (0..self.cfg.population)
+            .map(|i| self.generator.generate(self.cfg.seed.wrapping_add(i as u64)))
+            .collect();
+        timing.generation += t.elapsed();
+
+        // "Compilation": lower to machine code (the artefact a real
+        // deployment would ship; the simulator consumes the IR directly).
+        let t = Instant::now();
+        let mut code_bytes = 0u64;
+        for p in &population {
+            code_bytes += p.encode().len() as u64;
+        }
+        timing.compilation += t.elapsed();
+        debug_assert!(code_bytes > 0);
+
+        let mut survivors: Vec<(f64, Program)> = Vec::new();
+        let mut samples = Vec::new();
+
+        for iter in 0..=self.cfg.iterations {
+            // Step 1: evaluate the new offspring.
+            let t = Instant::now();
+            let scores = self
+                .evaluator
+                .evaluate_population(&population, self.cfg.threads);
+            timing.evaluation += t.elapsed();
+            timing.programs_evaluated += population.len() as u64;
+            timing.instructions_processed += population.len() as u64 * n_insts;
+
+            // Step 2: (μ+λ) selection — survivors compete with offspring.
+            let mut pool: Vec<(f64, Program)> = scores
+                .into_iter()
+                .zip(std::mem::take(&mut population))
+                .collect();
+            pool.extend(std::mem::take(&mut survivors));
+            pool.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("coverage is finite"));
+            pool.truncate(self.cfg.top_k);
+            survivors = pool;
+
+            if iter % self.cfg.sample_every == 0 || iter == self.cfg.iterations {
+                samples.push(Sample {
+                    iteration: iter,
+                    top_coverages: survivors.iter().map(|(c, _)| *c).collect(),
+                    champion: survivors[0].1.clone(),
+                });
+            }
+            if iter == self.cfg.iterations {
+                break;
+            }
+
+            // Step 3: mutation produces the next offspring generation.
+            let t = Instant::now();
+            let m = self.cfg.offspring_per_parent();
+            population = Vec::with_capacity(self.cfg.population);
+            'fill: for (pi, (_, parent)) in survivors.iter().enumerate() {
+                for oi in 0..m {
+                    if population.len() >= self.cfg.population {
+                        break 'fill;
+                    }
+                    let seed = self
+                        .cfg
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((iter as u64) << 20)
+                        .wrapping_add((pi as u64) << 8)
+                        .wrapping_add(oi as u64);
+                    population.push(self.mutator.mutate(parent, seed));
+                }
+            }
+            timing.mutation += t.elapsed();
+
+            // "Generation"/"compilation" per iteration: re-materialise
+            // the offspring artefacts.
+            let t = Instant::now();
+            for p in &population {
+                std::hint::black_box(p.encode());
+            }
+            timing.compilation += t.elapsed();
+        }
+
+        timing.total = t_total.elapsed();
+        timing.iterations = self.cfg.iterations;
+        let (champion_coverage, champion) = survivors.swap_remove(0);
+        RunReport {
+            samples,
+            champion,
+            champion_coverage,
+            timing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_coverage::TargetStructure;
+    use harpo_museqgen::GenConstraints;
+    use harpo_uarch::OooCore;
+
+    fn tiny_loop(structure: TargetStructure, iters: usize) -> RunReport {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 200,
+            ..GenConstraints::default()
+        });
+        let ev = Evaluator::new(OooCore::default(), structure);
+        let h = Harpocrates::new(
+            gen,
+            ev,
+            LoopConfig {
+                population: 8,
+                top_k: 2,
+                iterations: iters,
+                sample_every: 2,
+                seed: 1,
+                threads: 2,
+            },
+        );
+        h.run()
+    }
+
+    #[test]
+    fn coverage_improves_over_iterations() {
+        let r = tiny_loop(TargetStructure::IntMultiplier, 12);
+        let first = r.samples.first().unwrap().top_coverages[0];
+        let last = r.champion_coverage;
+        assert!(
+            last > first,
+            "refinement must help: start {first:.4}, end {last:.4}"
+        );
+    }
+
+    #[test]
+    fn best_coverage_is_monotone() {
+        let r = tiny_loop(TargetStructure::IntAdder, 10);
+        let mut prev = 0.0;
+        for s in &r.samples {
+            assert!(
+                s.top_coverages[0] >= prev - 1e-12,
+                "peak regressed at iteration {}",
+                s.iteration
+            );
+            prev = s.top_coverages[0];
+        }
+    }
+
+    #[test]
+    fn report_is_complete() {
+        let r = tiny_loop(TargetStructure::Irf, 6);
+        assert!(!r.samples.is_empty());
+        assert_eq!(r.samples.last().unwrap().iteration, 6);
+        assert!(r.timing.programs_evaluated >= 8 * 6);
+        assert!(r.timing.total > Duration::ZERO);
+        assert!(r.champion_coverage > 0.0);
+        assert_eq!(r.champion.len(), 201);
+    }
+
+    #[test]
+    fn offspring_per_parent_rounds_up() {
+        let cfg = LoopConfig {
+            population: 10,
+            top_k: 3,
+            ..LoopConfig::default()
+        };
+        assert_eq!(cfg.offspring_per_parent(), 4, "ceil(10/3)");
+    }
+
+    #[test]
+    fn timing_throughput_is_positive() {
+        let r = tiny_loop(TargetStructure::IntAdder, 3);
+        assert!(r.timing.instructions_per_second() > 0.0);
+        assert!(r.timing.evaluation > Duration::ZERO);
+    }
+
+    #[test]
+    fn sampling_interval_respected() {
+        let r = tiny_loop(TargetStructure::IntAdder, 10);
+        // sample_every = 2 in tiny_loop → iterations 0,2,4,6,8,10.
+        let iters: Vec<usize> = r.samples.iter().map(|s| s.iteration).collect();
+        assert_eq!(iters, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = tiny_loop(TargetStructure::IntMultiplier, 5);
+        let b = tiny_loop(TargetStructure::IntMultiplier, 5);
+        assert_eq!(a.champion_coverage, b.champion_coverage);
+        assert_eq!(a.champion.insts, b.champion.insts);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # harpo-core — the Harpocrates loop
+//!
+//! The paper's primary contribution (§IV): an automated,
+//! hardware-model-in-the-loop methodology that iteratively refines
+//! constrained-random functional test programs toward maximum hardware
+//! coverage of a chosen CPU structure — which the evaluation shows
+//! translates into maximum fault detection capability.
+//!
+//! The three components of Fig. 7 map to:
+//! * **Generator** — [`harpo_museqgen::Generator`]
+//! * **Mutator** — [`harpo_museqgen::Mutator`]
+//! * **Evaluator** — [`evaluator::Evaluator`] (OoO model + coverage)
+//!
+//! wired together by [`engine::Harpocrates`]. Per-structure parameters
+//! from §VI-B live in [`presets`].
+//!
+//! ```no_run
+//! use harpo_core::{presets, Evaluator, Harpocrates, Scale};
+//! use harpo_coverage::TargetStructure;
+//! use harpo_museqgen::Generator;
+//! use harpo_uarch::OooCore;
+//!
+//! let structure = TargetStructure::IntMultiplier;
+//! let (constraints, loop_cfg) = presets::preset(structure, Scale::Reduced);
+//! let harpo = Harpocrates::new(
+//!     Generator::new(constraints),
+//!     Evaluator::new(OooCore::default(), structure),
+//!     loop_cfg,
+//! );
+//! let report = harpo.run();
+//! println!(
+//!     "champion coverage {:.2}% after {} iterations",
+//!     report.champion_coverage * 100.0,
+//!     report.timing.iterations
+//! );
+//! ```
+
+pub mod engine;
+pub mod evaluator;
+pub mod presets;
+
+pub use engine::{Harpocrates, LoopConfig, LoopTiming, RunReport, Sample};
+pub use evaluator::{Evaluation, Evaluator};
+pub use presets::{preset, Scale};

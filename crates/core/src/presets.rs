@@ -1,0 +1,195 @@
+//! Per-structure Harpocrates configurations (paper §VI-B).
+//!
+//! The paper's exact parameters are available at [`Scale::Paper`];
+//! [`Scale::Reduced`] shrinks program sizes, populations and iteration
+//! counts so the complete evaluation reproduces on a laptop in minutes
+//! while preserving every qualitative trend (convergence shape, ordering
+//! of frameworks, coverage→detection correlation).
+
+use crate::engine::LoopConfig;
+use harpo_coverage::TargetStructure;
+use harpo_isa::form::Mnemonic;
+use harpo_museqgen::{GenConstraints, MemPlan};
+use serde::{Deserialize, Serialize};
+
+/// The integer-register-file distribution (§V-D's "user-defined
+/// distributions", the paper's "careful parameterization of our
+/// generator"): read-modify-write arithmetic, rotates and moves — all
+/// corruption-*preserving* operations. Bit-killing logic (AND, shifts),
+/// multiplication (whose zero/even attractors absorb flips) and the
+/// saturating FP pipe (flush-to-zero, canonical NaN) are excluded so a
+/// corrupted accumulator carries its damage all the way to the output.
+fn irf_distribution() -> Vec<Mnemonic> {
+    use Mnemonic::*;
+    vec![
+        Add, Adc, Sub, Sbb, Xor, Mov, Rol, Ror, Bswap, Neg, Inc, Dec, Xchg, Paddq, Psubq,
+        Pxor,
+    ]
+}
+
+/// The XMM-register-file distribution: vector moves and the
+/// corruption-preserving integer-SIMD lanes.
+fn xrf_distribution() -> Vec<Mnemonic> {
+    use Mnemonic::*;
+    vec![
+        Movaps, Movss, MovqXr, MovqRx, Paddq, Psubq, Paddd, Psubd, Pxor, Mov, Add, Sub,
+        Xchg,
+    ]
+}
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// The paper's §VI-B parameters (hours of compute).
+    Paper,
+    /// Laptop-scale parameters with the same structure.
+    Reduced,
+}
+
+impl Scale {
+    /// Parses `"paper"`/`"reduced"` CLI arguments.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" => Some(Scale::Paper),
+            "reduced" => Some(Scale::Reduced),
+            _ => None,
+        }
+    }
+}
+
+/// The generator constraints and loop configuration for one target
+/// structure at one scale.
+pub fn preset(structure: TargetStructure, scale: Scale) -> (GenConstraints, LoopConfig) {
+    let paper = scale == Scale::Paper;
+    match structure {
+        // §VI-B1: 10K instructions, population 96, top 16, ×6 mutations,
+        // ACE(IRF) objective, ~5,000 iterations to converge.
+        TargetStructure::Irf => (
+            GenConstraints {
+                n_insts: if paper { 10_000 } else { 6_000 },
+                mem: MemPlan::cache_sized(),
+                store_bias: 0.15,
+                mnemonic_whitelist: irf_distribution(),
+                ..GenConstraints::default()
+            },
+            LoopConfig {
+                population: if paper { 96 } else { 24 },
+                top_k: if paper { 16 } else { 6 },
+                iterations: if paper { 10_000 } else { 200 },
+                sample_every: if paper { 1_000 } else { 20 },
+                seed: 0x19F,
+                threads: 0,
+            },
+        ),
+        // §VI-B2: 30K instructions, sequential 8-byte stride through a
+        // cache-sized 32 KiB region, ~2,000 iterations.
+        TargetStructure::L1d => (
+            GenConstraints {
+                n_insts: if paper { 30_000 } else { 16_000 },
+                mem: MemPlan::l1d_sweep(),
+                store_bias: 0.1,
+                ..GenConstraints::default()
+            },
+            LoopConfig {
+                population: if paper { 96 } else { 24 },
+                top_k: if paper { 16 } else { 6 },
+                iterations: if paper { 2_000 } else { 120 },
+                sample_every: if paper { 100 } else { 12 },
+                seed: 0x11D,
+                threads: 0,
+            },
+        ),
+        // Extension structure: the XMM register file uses the IRF recipe.
+        TargetStructure::Xrf => (
+            GenConstraints {
+                n_insts: if paper { 10_000 } else { 4_000 },
+                mem: MemPlan::cache_sized(),
+                store_bias: 0.15,
+                mnemonic_whitelist: xrf_distribution(),
+                ..GenConstraints::default()
+            },
+            LoopConfig {
+                population: if paper { 96 } else { 24 },
+                top_k: if paper { 16 } else { 6 },
+                iterations: if paper { 10_000 } else { 200 },
+                sample_every: if paper { 1_000 } else { 20 },
+                seed: 0x0F1,
+                threads: 0,
+            },
+        ),
+        // §VI-B3..6: 5K instructions, population 32, top 8, ×4 mutations,
+        // IBR objective, ~1,000 iterations (FP units ~5,000).
+        fu => {
+            let fp = matches!(
+                fu,
+                TargetStructure::FpAdder | TargetStructure::FpMultiplier
+            );
+            (
+                GenConstraints {
+                    n_insts: if paper { 5_000 } else { 2_000 },
+                    mem: MemPlan::cache_sized(),
+                    ..GenConstraints::default()
+                },
+                LoopConfig {
+                    population: if paper { 32 } else { 16 },
+                    top_k: if paper { 8 } else { 4 },
+                    iterations: if paper {
+                        if fp {
+                            5_000
+                        } else {
+                            1_200
+                        }
+                    } else {
+                        100
+                    },
+                    sample_every: if paper { 100 } else { 10 },
+                    seed: 0xF0 + fu as u64,
+                    threads: 0,
+                },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_exist_for_all_structures() {
+        for s in TargetStructure::ALL {
+            for scale in [Scale::Paper, Scale::Reduced] {
+                let (g, l) = preset(s, scale);
+                assert!(g.n_insts > 0);
+                assert!(l.population >= l.top_k);
+                assert!(l.iterations > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_section_vi_b() {
+        let (g, l) = preset(TargetStructure::Irf, Scale::Paper);
+        assert_eq!(g.n_insts, 10_000);
+        assert_eq!(l.population, 96);
+        assert_eq!(l.top_k, 16);
+        assert_eq!(l.offspring_per_parent(), 6);
+        let (g, l) = preset(TargetStructure::L1d, Scale::Paper);
+        assert_eq!(g.n_insts, 30_000);
+        assert_eq!(g.mem.stride, 8);
+        assert_eq!(g.mem.region, 32 * 1024);
+        let _ = l;
+        let (g, l) = preset(TargetStructure::IntAdder, Scale::Paper);
+        assert_eq!(g.n_insts, 5_000);
+        assert_eq!(l.population, 32);
+        assert_eq!(l.top_k, 8);
+        assert_eq!(l.offspring_per_parent(), 4);
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("reduced"), Some(Scale::Reduced));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,367 @@
+//! ACE lifetime analysis (paper §II-D, Fig. 3).
+//!
+//! A storage bit is **ACE** (Architecturally Correct Execution) during an
+//! interval if a transient flip anywhere in that interval would corrupt
+//! the value a later consumer reads: write→read and read→read intervals
+//! are ACE, read→overwrite and read→eviction (clean) intervals are
+//! un-ACE. Coverage is the fraction of ACE bit-cycles over the total
+//! `bits × cycles` budget of the structure; it is a fast upper bound on
+//! transient-fault detection capability and the fitness function the
+//! Harpocrates loop optimises for bit-array structures (IRF and L1D).
+
+use crate::liveness::dynamic_liveness;
+use harpo_uarch::cache::LineEventKind;
+use harpo_uarch::{CoreConfig, ExecutionTrace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of an ACE analysis over one structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AceReport {
+    /// ACE bit-cycles accumulated.
+    pub ace_bit_cycles: u64,
+    /// Total bit-cycles of the structure (`bits × cycles`).
+    pub total_bit_cycles: u64,
+}
+
+impl AceReport {
+    /// Coverage in [0, 1].
+    pub fn coverage(&self) -> f64 {
+        if self.total_bit_cycles == 0 {
+            0.0
+        } else {
+            self.ace_bit_cycles as f64 / self.total_bit_cycles as f64
+        }
+    }
+}
+
+/// ACE lifetime analysis of the physical integer register file.
+///
+/// Each value instance contributes `(last_read − write) × 64` ACE
+/// bit-cycles; instances never read contribute nothing (their residency
+/// is un-ACE dead time). Instances holding the final architectural
+/// mapping are consumed by the output checker and stay ACE to the end.
+pub fn irf_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
+    let live = dynamic_liveness(trace);
+    let end = trace.stats.cycles;
+    let mut ace = 0u64;
+    // Exact per-bit ACE: bit b of an instance is ACE up to the last
+    // *live* read whose observation mask contains b; final-mapping
+    // instances are read in full by the output checker.
+    for inst in &trace.reg_instances {
+        if inst.live_at_end {
+            ace += end.saturating_sub(inst.write_cycle) * 64;
+            continue;
+        }
+        let mut last = [0u64; 64];
+        let mut any = false;
+        for r in &inst.reads {
+            if !live.get(r.dyn_idx as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut m = r.obs[0];
+            if m != 0 {
+                any = true;
+            }
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                last[b] = last[b].max(r.cycle);
+            }
+        }
+        if any {
+            for lb in last {
+                ace += lb.saturating_sub(inst.write_cycle);
+            }
+        }
+    }
+    AceReport {
+        ace_bit_cycles: ace,
+        total_bit_cycles: cfg.irf_bits() * trace.stats.cycles,
+    }
+}
+
+/// ACE lifetime analysis of the physical XMM register file — the same
+/// lifetime algebra as [`irf_ace`] over 128-bit instances. This is the
+/// "seventh structure" extension showing the methodology applies to any
+/// structure the trace observes (paper §IV-B).
+pub fn xrf_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
+    let live = dynamic_liveness(trace);
+    let end = trace.stats.cycles;
+    let mut ace = 0u64;
+    for inst in &trace.xmm_instances {
+        if inst.live_at_end {
+            ace += end.saturating_sub(inst.write_cycle) * 128;
+            continue;
+        }
+        let mut last = [0u64; 128];
+        let mut any = false;
+        for r in &inst.reads {
+            if !live.get(r.dyn_idx as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            for lane in 0..2 {
+                let mut m = r.obs[lane];
+                if m != 0 {
+                    any = true;
+                }
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    last[lane * 64 + b] = last[lane * 64 + b].max(r.cycle);
+                }
+            }
+        }
+        if any {
+            for lb in last {
+                ace += lb.saturating_sub(inst.write_cycle);
+            }
+        }
+    }
+    AceReport {
+        ace_bit_cycles: ace,
+        total_bit_cycles: cfg.xrf_bits() * trace.stats.cycles,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FrameItem {
+    Fill { cycle: u64 },
+    Evict { cycle: u64, dirty: bool },
+    Access { cycle: u64, offset: u8, size: u8, is_store: bool },
+}
+
+impl FrameItem {
+    fn cycle(&self) -> u64 {
+        match *self {
+            FrameItem::Fill { cycle }
+            | FrameItem::Evict { cycle, .. }
+            | FrameItem::Access { cycle, .. } => cycle,
+        }
+    }
+
+    /// Ordering priority at equal cycle: evict old line, fill new line,
+    /// then access it.
+    fn prio(&self) -> u8 {
+        match self {
+            FrameItem::Evict { .. } => 0,
+            FrameItem::Fill { .. } => 1,
+            FrameItem::Access { .. } => 2,
+        }
+    }
+}
+
+/// ACE lifetime analysis of the L1 data cache data array.
+///
+/// Per-byte rule set (first-order, as in the paper):
+/// * fill → read and read → read intervals are ACE;
+/// * intervals ending in a store are un-ACE (the old value dies);
+/// * bytes dirty at a dirty eviction are ACE up to the eviction (the
+///   value escapes to memory — conservative, ACE is an upper bound);
+/// * clean residency after the last read is un-ACE.
+pub fn l1d_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
+    let line = cfg.l1d_line as usize;
+    // Group events per frame, preserving insertion order for stability.
+    let mut frames: HashMap<(u32, u32), Vec<FrameItem>> = HashMap::new();
+    for e in &trace.line_events {
+        let item = match e.kind {
+            LineEventKind::Fill => FrameItem::Fill { cycle: e.cycle },
+            LineEventKind::EvictClean => FrameItem::Evict {
+                cycle: e.cycle,
+                dirty: false,
+            },
+            LineEventKind::EvictDirty => FrameItem::Evict {
+                cycle: e.cycle,
+                dirty: true,
+            },
+        };
+        frames.entry((e.set, e.way)).or_default().push(item);
+    }
+    for a in &trace.cache_accesses {
+        frames.entry((a.set, a.way)).or_default().push(FrameItem::Access {
+            cycle: a.cycle,
+            offset: (a.addr as usize % line) as u8,
+            size: a.size,
+            is_store: a.is_store,
+        });
+    }
+
+    let mut ace = 0u64;
+    let mut last_point = vec![0u64; line];
+    let mut dirty = vec![false; line];
+    for (_, mut items) in frames {
+        items.sort_by_key(|i| (i.cycle(), i.prio()));
+        let mut resident = false;
+        for item in items {
+            match item {
+                FrameItem::Fill { cycle } => {
+                    resident = true;
+                    last_point.fill(cycle);
+                    dirty.fill(false);
+                }
+                FrameItem::Evict { cycle, dirty: d } => {
+                    if resident && d {
+                        for b in 0..line {
+                            if dirty[b] {
+                                ace += cycle.saturating_sub(last_point[b]);
+                            }
+                        }
+                    }
+                    resident = false;
+                }
+                FrameItem::Access {
+                    cycle,
+                    offset,
+                    size,
+                    is_store,
+                } => {
+                    if !resident {
+                        continue;
+                    }
+                    let lo = offset as usize;
+                    let hi = (lo + size as usize).min(line);
+                    for b in lo..hi {
+                        if is_store {
+                            dirty[b] = true;
+                        } else {
+                            ace += cycle.saturating_sub(last_point[b]);
+                        }
+                        last_point[b] = cycle;
+                    }
+                }
+            }
+        }
+        // Lines still resident at program end are read back by the output
+        // checker (through the cache): every byte — clean or dirty — is
+        // ACE from its last access to the end.
+        if resident {
+            let end = trace.stats.cycles;
+            for b in 0..line {
+                ace += end.saturating_sub(last_point[b]);
+            }
+        }
+    }
+    AceReport {
+        ace_bit_cycles: ace * 8,
+        total_bit_cycles: cfg.l1d_bits() * trace.stats.cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::mem::DATA_BASE;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+    use harpo_uarch::OooCore;
+
+    fn run(a: Asm) -> (ExecutionTrace, CoreConfig) {
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let r = core.simulate(&p, 10_000_000).unwrap();
+        (r.trace, core.config().clone())
+    }
+
+    #[test]
+    fn live_values_beat_dead_values() {
+        // Eight registers written once then read repeatedly: their
+        // instances stay ACE for the whole run...
+        const REGS: [harpo_isa::reg::Gpr; 8] = [Rbx, Rcx, Rdx, Rbp, R8, R9, R10, R11];
+        let mut a = Asm::new("live");
+        for (i, r) in REGS.iter().enumerate() {
+            a.mov_ri(B64, *r, i as i32 + 1);
+        }
+        for _ in 0..40 {
+            for r in REGS {
+                a.add_rr(B64, Rax, r);
+            }
+        }
+        a.halt();
+        let (t_live, cfg) = run(a);
+        let live = irf_ace(&t_live, &cfg).coverage();
+
+        // ...while the same registers churned with never-read values earn
+        // little beyond the shared end-state (checker-visible) credit.
+        let mut a = Asm::new("dead");
+        for i in 0..320 {
+            a.mov_ri(B64, REGS[i % 8], i as i32);
+        }
+        a.halt();
+        let (t_dead, cfg) = run(a);
+        let dead = irf_ace(&t_dead, &cfg).coverage();
+        assert!(
+            live > dead + 0.03,
+            "live {live:.4} must clearly beat dead {dead:.4}"
+        );
+    }
+
+    #[test]
+    fn irf_coverage_bounded() {
+        let mut a = Asm::new("x");
+        a.mov_ri(B64, Rax, 1);
+        for _ in 0..50 {
+            a.add_rr(B64, Rbx, Rax);
+        }
+        a.halt();
+        let (t, cfg) = run(a);
+        let r = irf_ace(&t, &cfg);
+        let c = r.coverage();
+        assert!((0.0..=1.0).contains(&c), "coverage {c}");
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn cache_reuse_increases_ace() {
+        // Repeatedly reading the same cache-resident data → long ACE
+        // read-to-read chains.
+        let mut a = Asm::new("reuse");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rcx, 400);
+        a.label("l");
+        a.load(B64, Rax, Rsi, 0);
+        a.load(B64, Rbx, Rsi, 8);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l");
+        a.halt();
+        let (t_reuse, cfg) = run(a);
+        let reuse = l1d_ace(&t_reuse, &cfg).coverage();
+
+        // Write-only streaming: bytes are dirty but never read; they get
+        // the conservative dirty-residency credit only.
+        let mut a = Asm::new("wstream");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rcx, 400);
+        a.label("l");
+        a.store(B8, Rsi, 0, Rax);
+        a.store(B8, Rsi, 0, Rbx); // overwrite: prior byte interval un-ACE
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l");
+        a.halt();
+        let (t_w, cfg) = run(a);
+        let wonly = l1d_ace(&t_w, &cfg).coverage();
+        assert!(reuse > 0.0);
+        assert!(reuse > wonly, "reuse {reuse:.6} vs write-only {wonly:.6}");
+    }
+
+    #[test]
+    fn l1d_coverage_bounded() {
+        let mut a = Asm::new("b");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        for i in 0..64 {
+            a.load(B64, Rax, Rsi, i * 8);
+        }
+        a.halt();
+        let (t, cfg) = run(a);
+        let c = l1d_ace(&t, &cfg).coverage();
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = ExecutionTrace::default();
+        let cfg = CoreConfig::default();
+        assert_eq!(irf_ace(&t, &cfg).coverage(), 0.0);
+        assert_eq!(l1d_ace(&t, &cfg).coverage(), 0.0);
+    }
+}

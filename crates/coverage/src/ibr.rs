@@ -1,0 +1,155 @@
+//! The Input Bit Ratio (IBR) metric (paper §II-D, footnote 5).
+//!
+//! For functional units, ACE lifetime analysis does not apply; IBR is the
+//! fast toggle-count-like proxy instead: the number of *effective* input
+//! bits presented to a unit over the program, divided by the theoretical
+//! maximum (`input width × total cycles`). Effective bits of an operand
+//! are its significant bits (`64 − leading-zeros`); a unit used rarely or
+//! fed narrow operands scores low. IBR correlates with (but does not
+//! bound) permanent-fault detection capability.
+
+use harpo_isa::form::FuKind;
+use harpo_uarch::ExecutionTrace;
+use serde::{Deserialize, Serialize};
+
+/// Result of an IBR computation for one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IbrReport {
+    /// Effective input bits accumulated over the run.
+    pub effective_bits: u64,
+    /// `input width × cycles` budget.
+    pub max_bits: u64,
+    /// Number of unit passes observed.
+    pub passes: u64,
+}
+
+impl IbrReport {
+    /// IBR in [0, 1].
+    pub fn ratio(&self) -> f64 {
+        if self.max_bits == 0 {
+            0.0
+        } else {
+            (self.effective_bits as f64 / self.max_bits as f64).min(1.0)
+        }
+    }
+}
+
+/// Per-pass input width of each graded unit.
+///
+/// # Panics
+/// Panics for non-graded kinds (loads, branches, ...), which have no IBR.
+pub fn input_width(kind: FuKind) -> u32 {
+    match kind {
+        // 64 + 64 + carry-in.
+        FuKind::IntAdd => 129,
+        // Two 32-bit operands.
+        FuKind::IntMul => 64,
+        // Two single-precision operands.
+        FuKind::FpAdd | FuKind::FpMul => 64,
+        other => panic!("no IBR for non-graded unit {:?}", other),
+    }
+}
+
+#[inline]
+fn sig_bits(v: u64) -> u64 {
+    64 - v.leading_zeros() as u64
+}
+
+/// Computes the IBR of `kind` over a trace.
+pub fn ibr(trace: &ExecutionTrace, kind: FuKind) -> IbrReport {
+    let mut eff = 0u64;
+    let mut passes = 0u64;
+    for op in trace.fu_ops_of(kind) {
+        passes += 1;
+        eff += sig_bits(op.a) + sig_bits(op.b) + (kind == FuKind::IntAdd && op.cin) as u64;
+    }
+    IbrReport {
+        effective_bits: eff,
+        max_bits: input_width(kind) as u64 * trace.stats.cycles,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+    use harpo_uarch::OooCore;
+
+    fn run(a: Asm) -> ExecutionTrace {
+        let p = a.finish().unwrap();
+        OooCore::default().simulate(&p, 10_000_000).unwrap().trace
+    }
+
+    #[test]
+    fn mul_heavy_beats_mul_free() {
+        let mut a = Asm::new("mulheavy");
+        a.mov_ri64(Rax, 0xFFFF_FFFF_FFFF_FFFF);
+        a.mov_ri64(Rbx, 0x1234_5678_9ABC_DEF0);
+        for _ in 0..50 {
+            a.imul_rr(B64, Rcx, Rax);
+            a.imul_rr(B64, Rdx, Rbx);
+        }
+        a.halt();
+        let heavy = ibr(&run(a), harpo_isa::form::FuKind::IntMul);
+
+        let mut a = Asm::new("mulfree");
+        for _ in 0..100 {
+            a.add_ri(B64, Rax, 1);
+        }
+        a.halt();
+        let free = ibr(&run(a), harpo_isa::form::FuKind::IntMul);
+        assert!(heavy.ratio() > 0.0);
+        assert_eq!(free.passes, 0);
+        assert_eq!(free.ratio(), 0.0);
+        assert!(heavy.ratio() > free.ratio());
+    }
+
+    #[test]
+    fn wide_operands_beat_narrow() {
+        let mut a = Asm::new("wide");
+        a.mov_ri64(Rax, u64::MAX);
+        for _ in 0..100 {
+            a.add_rr(B64, Rbx, Rax);
+        }
+        a.halt();
+        let wide = ibr(&run(a), harpo_isa::form::FuKind::IntAdd);
+
+        let mut a = Asm::new("narrow");
+        a.mov_ri(B64, Rax, 1);
+        for _ in 0..100 {
+            a.add_rr(B8, Rbx, Rax);
+        }
+        a.halt();
+        let narrow = ibr(&run(a), harpo_isa::form::FuKind::IntAdd);
+        assert!(
+            wide.ratio() > narrow.ratio() * 2.0,
+            "wide {:.4} vs narrow {:.4}",
+            wide.ratio(),
+            narrow.ratio()
+        );
+    }
+
+    #[test]
+    fn ratio_is_bounded() {
+        let mut a = Asm::new("b");
+        a.mov_ri64(Rax, u64::MAX);
+        a.mov_ri64(Rbx, u64::MAX);
+        for _ in 0..64 {
+            a.add_rr(B64, Rcx, Rax);
+            a.add_rr(B64, Rdx, Rbx);
+        }
+        a.halt();
+        let r = ibr(&run(a), harpo_isa::form::FuKind::IntAdd);
+        assert!((0.0..=1.0).contains(&r.ratio()));
+        assert!(r.passes >= 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "no IBR")]
+    fn non_graded_unit_panics() {
+        input_width(harpo_isa::form::FuKind::Load);
+    }
+}

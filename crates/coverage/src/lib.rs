@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # harpo-coverage — hardware coverage metrics
+//!
+//! The fast, structure-specific *hardware coverage* metrics that drive
+//! the Harpocrates refinement loop (paper §II-C/§II-D): ACE lifetime
+//! analysis for bit-array structures (physical integer register file and
+//! L1 data cache) and the Input Bit Ratio for functional units. Both are
+//! computed from a single `harpo_uarch::ExecutionTrace`, making them
+//! cheap enough to evaluate on every genetic iteration while correlating
+//! with the fault detection capability measured (much more slowly) by
+//! statistical fault injection.
+
+pub mod ace;
+pub mod ibr;
+pub mod liveness;
+pub mod objective;
+
+pub use ace::{irf_ace, l1d_ace, xrf_ace, AceReport};
+pub use liveness::dynamic_liveness;
+pub use ibr::{ibr, input_width, IbrReport};
+pub use objective::TargetStructure;

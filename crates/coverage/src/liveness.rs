@@ -1,0 +1,205 @@
+//! Transitive dynamic-liveness analysis.
+//!
+//! True ACE analysis (Mukherjee et al. 2003) excludes *transitively
+//! dynamically dead* values: a register read only makes the producing bit
+//! ACE if the consuming instruction's own results eventually reach the
+//! architecturally observable output. This module computes, per dynamic
+//! instruction, whether it is **live** — a single backward dataflow pass
+//! over the trace's def/use records:
+//!
+//! * at program end the whole observable state is live: every register,
+//!   the flags, and the entire memory image (the output signature hashes
+//!   all of them);
+//! * an instruction is live iff it defines something live-out (a live
+//!   register/flag, or a store to live bytes), or it is a *real* branch
+//!   (control decisions are conservatively live; the fall-through-equal
+//!   branches of generated linear tests are provably dead);
+//! * a live instruction's uses (registers, flags, loaded bytes) become
+//!   live; every definition kills liveness above it.
+
+use harpo_uarch::ExecutionTrace;
+use std::collections::HashSet;
+
+/// Per-dynamic-instruction liveness: `true` when the instruction's
+/// results can reach the program's observable output.
+pub fn dynamic_liveness(trace: &ExecutionTrace) -> Vec<bool> {
+    let n = trace.dyn_records.len();
+    let mut live = vec![false; n];
+
+    let mut live_gpr: u16 = 0xFFFF;
+    let mut live_xmm: u16 = 0xFFFF;
+    let mut live_flags = true;
+    // Memory: all bytes live at the end; `dead_mem` holds the exceptions
+    // (bytes overwritten before any live read, discovered walking back).
+    let mut dead_mem: HashSet<u64> = HashSet::new();
+
+    for (i, r) in trace.dyn_records.iter().enumerate().rev() {
+        let store_live = r.is_store
+            && (r.mem_addr..r.mem_addr + r.mem_size as u64).any(|b| !dead_mem.contains(&b));
+        let defines_live = (r.writes_gpr & live_gpr) != 0
+            || (r.writes_xmm & live_xmm) != 0
+            || (r.writes_flags && live_flags)
+            || store_live;
+        let is_live = defines_live || r.branch == 2;
+
+        // Kill definitions (whether the instruction is live or dead — a
+        // dead write still destroys the prior value).
+        live_gpr &= !r.writes_gpr;
+        live_xmm &= !r.writes_xmm;
+        if r.writes_flags {
+            live_flags = false;
+        }
+        if r.is_store {
+            for b in r.mem_addr..r.mem_addr + r.mem_size as u64 {
+                dead_mem.insert(b);
+            }
+        }
+
+        if is_live {
+            live[i] = true;
+            live_gpr |= r.reads_gpr;
+            live_xmm |= r.reads_xmm;
+            if r.reads_flags {
+                live_flags = true;
+            }
+            if r.mem_size > 0 && !r.is_store {
+                for b in r.mem_addr..r.mem_addr + r.mem_size as u64 {
+                    dead_mem.remove(&b);
+                }
+            }
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::form::Mnemonic;
+    use harpo_isa::mem::DATA_BASE;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+    use harpo_uarch::OooCore;
+
+    fn trace_of(a: Asm) -> ExecutionTrace {
+        let p = a.finish().unwrap();
+        OooCore::default().simulate(&p, 1_000_000).unwrap().trace
+    }
+
+    #[test]
+    fn final_values_are_live_dead_values_are_not() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 1); // dyn 0: overwritten unread → dead
+        a.mov_ri(B64, Rax, 2); // dyn 1: overwritten unread → dead
+        a.mov_ri(B64, Rax, 3); // dyn 2: final rax → live
+        a.halt();
+        let t = trace_of(a);
+        let live = dynamic_liveness(&t);
+        assert!(!live[0], "first write is transitively dead");
+        assert!(!live[1]);
+        assert!(live[2], "final value is observable");
+    }
+
+    #[test]
+    fn chains_propagate_liveness_backward() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rbx, 7); // live: feeds the chain
+        a.mov_rr(B64, Rcx, Rbx); // live
+        a.add_rr(B64, Rdx, Rcx); // live: rdx is final
+        a.mov_ri(B64, R8, 9); // dyn 3: r8 overwritten
+        a.mov_ri(B64, R8, 10); // live: final r8
+        a.halt();
+        let t = trace_of(a);
+        let live = dynamic_liveness(&t);
+        assert!(live[0] && live[1] && live[2]);
+        assert!(!live[3]);
+        assert!(live[4]);
+    }
+
+    #[test]
+    fn stores_are_live_unless_overwritten() {
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rax, 1);
+        a.store(B64, Rsi, 0, Rax); // dyn 1: overwritten below → dead
+        a.mov_ri(B64, Rax, 2);
+        a.store(B64, Rsi, 0, Rax); // dyn 3: survives to final memory → live
+        a.mov_ri(B64, Rax, 3);
+        a.store(B64, Rsi, 64, Rax); // dyn 5: different byte → live
+        a.halt();
+        let t = trace_of(a);
+        let live = dynamic_liveness(&t);
+        assert!(!live[1], "fully overwritten store is dead");
+        assert!(live[3]);
+        assert!(live[5]);
+        // dyn 0 fed only the dead store; dyn 2 feeds the live one.
+        assert!(!live[0]);
+        assert!(live[2]);
+    }
+
+    #[test]
+    fn flag_only_consumers_with_trivial_branches_are_dead() {
+        // CMP feeding only a fall-through-equal branch: both dead — but
+        // the *last* flag write is live (flags are in the signature).
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 1);
+        a.cmp_ri(B64, Rax, 5); // flags overwritten below → dead
+        a.cmp_ri(B64, Rax, 6); // final flags → live
+        a.halt();
+        let t = trace_of(a);
+        let live = dynamic_liveness(&t);
+        assert!(!live[1], "overwritten flags are dead");
+        assert!(live[2], "final flags are hashed");
+    }
+
+    #[test]
+    fn real_branches_keep_their_inputs_live() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rcx, 3);
+        a.label("l");
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l"); // a real loop branch: live, keeps flags live
+        a.halt();
+        let t = trace_of(a);
+        let live = dynamic_liveness(&t);
+        // Every dynamic sub and jnz is live (they steer control).
+        for (i, r) in t.dyn_records.iter().enumerate() {
+            if r.branch == 2 {
+                assert!(live[i], "real branch {i} live");
+            }
+        }
+    }
+
+    #[test]
+    fn loads_keep_stored_bytes_live() {
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rax, 42);
+        a.store(B64, Rsi, 0, Rax); // read back below → live
+        a.load(B64, Rbx, Rsi, 0); // rbx final → live load
+        // Overwrite the byte so the *memory* is no longer the store's
+        // value; the store stays live through the load.
+        a.mov_ri(B64, Rcx, 0);
+        a.store(B64, Rsi, 0, Rcx);
+        a.halt();
+        let t = trace_of(a);
+        let live = dynamic_liveness(&t);
+        assert!(live[1], "store read back before overwrite is live");
+    }
+
+    #[test]
+    fn dead_cmp_chain_is_fully_dead() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, R9, 5); // feeds only a dead cmp → dead
+        a.op_ri(Mnemonic::Cmp, B64, R9, 1); // flags overwritten → dead
+        a.mov_ri(B64, R9, 0); // kills r9; final value live
+        a.add_ri(B64, Rax, 1); // final flags + rax → live
+        a.halt();
+        let t = trace_of(a);
+        let live = dynamic_liveness(&t);
+        assert!(!live[0]);
+        assert!(!live[1]);
+        assert!(live[2] && live[3]);
+    }
+}

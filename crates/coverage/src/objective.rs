@@ -1,0 +1,136 @@
+//! Target structures and the coverage objective (fitness) function.
+//!
+//! The paper's methodology (§II-C) pairs each target hardware structure
+//! with a *hardware coverage* metric that is cheap enough to compute
+//! every genetic iteration and correlates with the eventual fault
+//! detection capability: ACE lifetime analysis for bit arrays, IBR for
+//! functional units. [`TargetStructure`] enumerates the six structures of
+//! the evaluation and [`TargetStructure::coverage`] is the objective the
+//! Harpocrates engine maximises.
+
+use crate::ace::{irf_ace, l1d_ace, xrf_ace};
+use crate::ibr::ibr;
+use harpo_isa::form::FuKind;
+use harpo_uarch::{CoreConfig, ExecutionTrace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six CPU hardware structures evaluated in the paper (§III-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetStructure {
+    /// Physical integer register file (transient faults, ACE coverage).
+    Irf,
+    /// L1 data cache data array (transient faults, ACE coverage).
+    L1d,
+    /// Integer adder (permanent gate faults, IBR coverage).
+    IntAdder,
+    /// Integer multiplier (permanent gate faults, IBR coverage).
+    IntMultiplier,
+    /// SSE FP adder (permanent gate faults, IBR coverage).
+    FpAdder,
+    /// SSE FP multiplier (permanent gate faults, IBR coverage).
+    FpMultiplier,
+    /// The physical XMM register file (transient faults, ACE coverage) —
+    /// an extension beyond the paper's six structures, demonstrating the
+    /// any-structure claim of §IV-B. Not part of [`TargetStructure::ALL`].
+    Xrf,
+}
+
+impl TargetStructure {
+    /// All six structures, in the paper's presentation order.
+    pub const ALL: [TargetStructure; 6] = [
+        TargetStructure::Irf,
+        TargetStructure::L1d,
+        TargetStructure::IntAdder,
+        TargetStructure::IntMultiplier,
+        TargetStructure::FpAdder,
+        TargetStructure::FpMultiplier,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetStructure::Xrf => "XMM Register File",
+            TargetStructure::Irf => "IRF",
+            TargetStructure::L1d => "L1D",
+            TargetStructure::IntAdder => "Integer Adder",
+            TargetStructure::IntMultiplier => "Integer Multiplier",
+            TargetStructure::FpAdder => "SSE FP Adder",
+            TargetStructure::FpMultiplier => "SSE FP Multiplier",
+        }
+    }
+
+    /// Whether this is a bit-array structure (ACE/transient) rather than
+    /// a functional unit (IBR/permanent).
+    pub fn is_bit_array(self) -> bool {
+        matches!(
+            self,
+            TargetStructure::Irf | TargetStructure::L1d | TargetStructure::Xrf
+        )
+    }
+
+    /// The graded functional-unit kind, for FU structures.
+    pub fn fu_kind(self) -> Option<FuKind> {
+        match self {
+            TargetStructure::IntAdder => Some(FuKind::IntAdd),
+            TargetStructure::IntMultiplier => Some(FuKind::IntMul),
+            TargetStructure::FpAdder => Some(FuKind::FpAdd),
+            TargetStructure::FpMultiplier => Some(FuKind::FpMul),
+            _ => None,
+        }
+    }
+
+    /// The hardware coverage of a trace with respect to this structure —
+    /// the Harpocrates fitness function.
+    pub fn coverage(self, trace: &ExecutionTrace, cfg: &CoreConfig) -> f64 {
+        match self {
+            TargetStructure::Irf => irf_ace(trace, cfg).coverage(),
+            TargetStructure::L1d => l1d_ace(trace, cfg).coverage(),
+            TargetStructure::Xrf => xrf_ace(trace, cfg).coverage(),
+            other => ibr(trace, other.fu_kind().expect("fu structure")).ratio(),
+        }
+    }
+}
+
+impl fmt::Display for TargetStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_structures_with_unique_labels() {
+        let labels: std::collections::HashSet<_> =
+            TargetStructure::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(TargetStructure::Irf.is_bit_array());
+        assert!(TargetStructure::L1d.is_bit_array());
+        for s in [
+            TargetStructure::IntAdder,
+            TargetStructure::IntMultiplier,
+            TargetStructure::FpAdder,
+            TargetStructure::FpMultiplier,
+        ] {
+            assert!(!s.is_bit_array());
+            assert!(s.fu_kind().is_some());
+        }
+        assert!(TargetStructure::Irf.fu_kind().is_none());
+    }
+
+    #[test]
+    fn coverage_on_empty_trace_is_zero() {
+        let t = ExecutionTrace::default();
+        let cfg = CoreConfig::default();
+        for s in TargetStructure::ALL {
+            assert_eq!(s.coverage(&t, &cfg), 0.0);
+        }
+    }
+}

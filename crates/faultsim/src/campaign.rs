@@ -1,0 +1,385 @@
+//! Statistical fault-injection campaigns (paper §II-E).
+//!
+//! A campaign measures the **fault detection capability** of one test
+//! program for one target structure: inject N uniformly sampled faults,
+//! grade each run against the golden output, report n/N. Faults are
+//! independent, so the campaign fans out across threads; each fault uses
+//! the fast-path planners of [`crate::plan`] / the activation screen of
+//! [`crate::gate`] before paying for a functional replay.
+
+use crate::fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults};
+use crate::gate::{replay_gate_permanent, screen_faults};
+use crate::outcome::{CampaignResult, FaultOutcome};
+use crate::plan::{plan_irf, plan_l1d, plan_xrf};
+use crate::replay::replay_with_plan;
+use harpo_coverage::TargetStructure;
+use harpo_gates::{GateFault, GradedUnit, UnitEvaluators};
+use harpo_isa::exec::Trap;
+use harpo_isa::program::Program;
+use harpo_isa::state::Signature;
+use harpo_uarch::{ExecutionTrace, OooCore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Protection scheme modelled on the L1D data array (paper §II-E: "CPU
+/// protection schemes like parity and ECC are considered in fault
+/// injection modeling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L1dProtection {
+    /// Unprotected data array: flips propagate (the paper's evaluated
+    /// configuration).
+    None,
+    /// SECDED ECC: single-bit transients are corrected on access.
+    Secded,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Faults to inject (N of the n/N statistic).
+    pub n_faults: usize,
+    /// RNG seed for fault sampling.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Dynamic instruction cap per replay.
+    pub cap: u64,
+    /// L1D protection scheme.
+    pub l1d_protection: L1dProtection,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            n_faults: 128,
+            seed: 0xFA017,
+            threads: 0,
+            cap: 50_000_000,
+            l1d_protection: L1dProtection::None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// The graded unit of a functional-unit structure.
+///
+/// # Panics
+/// Panics for bit-array structures.
+pub fn graded_unit_of(s: TargetStructure) -> GradedUnit {
+    match s {
+        TargetStructure::IntAdder => GradedUnit::IntAdder,
+        TargetStructure::IntMultiplier => GradedUnit::IntMultiplier,
+        TargetStructure::FpAdder => GradedUnit::FpAdder,
+        TargetStructure::FpMultiplier => GradedUnit::FpMultiplier,
+        other => panic!("{other} is not a functional unit"),
+    }
+}
+
+/// Runs a full SFI campaign for `prog` against `structure`.
+///
+/// ```no_run
+/// use harpo_coverage::TargetStructure;
+/// use harpo_faultsim::{measure_detection, CampaignConfig};
+/// use harpo_museqgen::{GenConstraints, Generator};
+/// use harpo_uarch::OooCore;
+///
+/// # fn main() -> Result<(), harpo_isa::exec::Trap> {
+/// let prog = Generator::new(GenConstraints::default()).generate(1);
+/// let result = measure_detection(
+///     &prog,
+///     TargetStructure::IntAdder,
+///     &OooCore::default(),
+///     &CampaignConfig::default(),
+/// )?;
+/// println!("detection capability: {:.1}%", result.detection() * 100.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Propagates a [`Trap`] if the *golden* run itself fails (a malformed
+/// test program).
+pub fn measure_detection(
+    prog: &Program,
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+) -> Result<CampaignResult, Trap> {
+    let sim = core.simulate(prog, ccfg.cap)?;
+    Ok(measure_detection_with_golden(
+        prog,
+        structure,
+        core,
+        ccfg,
+        &sim.output.signature,
+        &sim.trace,
+    ))
+}
+
+/// Campaign variant reusing an existing golden run (the Harpocrates loop
+/// already has the trace from the coverage evaluation).
+pub fn measure_detection_with_golden(
+    prog: &Program,
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+    golden: &Signature,
+    trace: &ExecutionTrace,
+) -> CampaignResult {
+    let cfg = core.config();
+    let cycles = trace.stats.cycles;
+    // Watchdog budget: a corrupted loop bound can make the faulty run
+    // diverge; anything beyond a few times the golden length is graded
+    // Crash (a hung CPU is a detected CPU), exactly as a fleet test
+    // harness would time out. This also bounds replay cost.
+    let replay_cap = ccfg.cap.min(trace.stats.insts * 4 + 10_000);
+    let mut rng = StdRng::seed_from_u64(ccfg.seed);
+    match structure {
+        TargetStructure::Irf => {
+            let faults = sample_irf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
+            parallel_tally(ccfg, faults.len(), |i, res| {
+                let plan = plan_irf(trace, &faults[i]);
+                if plan.is_empty() {
+                    res.record(FaultOutcome::Masked, true);
+                } else {
+                    res.record(replay_with_plan(prog, &plan, golden, replay_cap), false);
+                }
+            })
+        }
+        TargetStructure::Xrf => {
+            let faults = sample_xrf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
+            parallel_tally(ccfg, faults.len(), |i, res| {
+                let plan = plan_xrf(trace, &faults[i]);
+                if plan.is_empty() {
+                    res.record(FaultOutcome::Masked, true);
+                } else {
+                    res.record(replay_with_plan(prog, &plan, golden, replay_cap), false);
+                }
+            })
+        }
+        TargetStructure::L1d => {
+            let faults = sample_l1d_faults(&mut rng, cfg, cycles, ccfg.n_faults);
+            parallel_tally(ccfg, faults.len(), |i, res| {
+                let plan = plan_l1d(trace, cfg, &faults[i]);
+                if plan.is_empty() {
+                    res.record(FaultOutcome::Masked, true);
+                } else if ccfg.l1d_protection == L1dProtection::Secded {
+                    // SECDED corrects the single flipped bit at the first
+                    // access — the consumer never sees corrupted data.
+                    res.record(FaultOutcome::Corrected, true);
+                } else {
+                    res.record(replay_with_plan(prog, &plan, golden, replay_cap), false);
+                }
+            })
+        }
+        fu => {
+            let unit = graded_unit_of(fu);
+            let faults = sample_gate_faults(&mut rng, unit, ccfg.n_faults);
+            // Stage 1: activation screening in 64-fault packed batches.
+            let activated = screen_all(trace, unit, &faults, ccfg);
+            // Stage 2: propagation replay for activated faults only.
+            parallel_tally(ccfg, faults.len(), |i, res| {
+                if !activated[i] {
+                    res.record(FaultOutcome::Masked, true);
+                } else {
+                    res.record(
+                        replay_gate_permanent(prog, faults[i], golden, replay_cap),
+                        false,
+                    );
+                }
+            })
+        }
+    }
+}
+
+fn screen_all(
+    trace: &ExecutionTrace,
+    unit: GradedUnit,
+    faults: &[GateFault],
+    ccfg: &CampaignConfig,
+) -> Vec<bool> {
+    let chunks: Vec<&[GateFault]> = faults.chunks(64).collect();
+    let mut out = vec![false; faults.len()];
+    let threads = ccfg.effective_threads().min(chunks.len().max(1));
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (t, chunk_group) in chunks.chunks(chunks.len().div_ceil(threads)).enumerate() {
+            let chunk_group: Vec<&[GateFault]> = chunk_group.to_vec();
+            handles.push((
+                t,
+                s.spawn(move || {
+                    let mut ev = UnitEvaluators::new();
+                    chunk_group
+                        .iter()
+                        .map(|c| screen_faults(trace, unit, c, &mut ev))
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        let per_group = chunks.len().div_ceil(threads);
+        for (t, h) in handles {
+            let results = h.join().expect("screen worker");
+            for (j, r) in results.into_iter().enumerate() {
+                let chunk_idx = t * per_group + j;
+                let base = chunk_idx * 64;
+                out[base..base + r.len()].copy_from_slice(&r);
+            }
+        }
+    });
+    out
+}
+
+/// Fans `n` independent fault gradings across threads and merges tallies.
+fn parallel_tally(
+    ccfg: &CampaignConfig,
+    n: usize,
+    grade: impl Fn(usize, &mut CampaignResult) + Sync,
+) -> CampaignResult {
+    let threads = ccfg.effective_threads().min(n.max(1));
+    let mut total = CampaignResult::default();
+    std::thread::scope(|s| {
+        let grade = &grade;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut local = CampaignResult::default();
+                    let mut i = t;
+                    while i < n {
+                        grade(i, &mut local);
+                        i += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            total.merge(&h.join().expect("campaign worker"));
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::mem::DATA_BASE;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+
+    fn small_cfg(n: usize) -> CampaignConfig {
+        CampaignConfig {
+            n_faults: n,
+            seed: 7,
+            threads: 2,
+            cap: 1_000_000,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn irf_campaign_on_value_heavy_program_detects() {
+        // Long-lived, output-reaching values: many IRF faults detected.
+        let mut a = Asm::new("irfheavy");
+        for (i, r) in [Rax, Rbx, Rcx, Rdx].iter().enumerate() {
+            a.mov_ri(B64, *r, 0x1111 * (i as i32 + 1));
+        }
+        for _ in 0..60 {
+            a.add_rr(B64, Rax, Rbx);
+            a.add_rr(B64, Rbx, Rcx);
+            a.add_rr(B64, Rcx, Rdx);
+            a.add_rr(B64, Rdx, Rax);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let r = measure_detection(&p, TargetStructure::Irf, &core, &small_cfg(128)).unwrap();
+        assert_eq!(r.injected, 128);
+        assert!(r.detection() > 0.0, "{r}");
+        assert!(r.masked_fast_path > 0, "fast path should fire");
+    }
+
+    #[test]
+    fn l1d_campaign_runs() {
+        let mut a = Asm::new("l1d");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rcx, 64);
+        a.label("w");
+        a.store(B64, Rsi, 0, Rcx);
+        a.load(B64, Rax, Rsi, 0);
+        a.add_rr(B64, Rbx, Rax);
+        a.add_ri(B64, Rsi, 8);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("w");
+        a.store(B64, Rsi, 0, Rbx);
+        a.halt();
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let r = measure_detection(&p, TargetStructure::L1d, &core, &small_cfg(96)).unwrap();
+        assert_eq!(r.injected, 96);
+        // Most random (set, way, bit, cycle) faults land on untouched
+        // frames → masked; some land in live data.
+        assert!(r.masked > 0);
+    }
+
+    #[test]
+    fn adder_campaign_detects_most_stuck_faults() {
+        let mut a = Asm::new("adds");
+        a.mov_ri64(Rax, 0x5555_5555_5555_5555);
+        a.mov_ri64(Rbx, 0x0123_4567_89AB_CDEF);
+        for _ in 0..40 {
+            a.add_rr(B64, Rcx, Rax);
+            a.sub_rr(B64, Rcx, Rbx);
+            a.add_rr(B64, Rdx, Rcx);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let r =
+            measure_detection(&p, TargetStructure::IntAdder, &core, &small_cfg(96)).unwrap();
+        assert!(
+            r.detection() > 0.4,
+            "an add/sub chain should catch many adder faults: {r}"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let mut a = Asm::new("det");
+        a.mov_ri(B64, Rax, 3);
+        for _ in 0..30 {
+            a.add_rr(B64, Rbx, Rax);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let r1 = measure_detection(&p, TargetStructure::Irf, &core, &small_cfg(64)).unwrap();
+        let r2 = measure_detection(&p, TargetStructure::Irf, &core, &small_cfg(64)).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn mul_free_program_masks_all_mul_faults() {
+        let mut a = Asm::new("nomul");
+        for _ in 0..50 {
+            a.add_ri(B64, Rax, 3);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let r = measure_detection(&p, TargetStructure::IntMultiplier, &core, &small_cfg(64))
+            .unwrap();
+        assert_eq!(r.detection(), 0.0);
+        assert_eq!(r.masked_fast_path, 64, "all resolved by screening");
+    }
+}

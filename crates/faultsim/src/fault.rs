@@ -1,0 +1,163 @@
+//! Fault descriptors and statistical sampling (paper §III-C).
+//!
+//! Bit-array structures use a transient model — a uniformly random
+//! `(bit, cycle)` single flip. Functional units use a permanent model —
+//! a uniformly sampled gate with a stuck-at-0/1 polarity. Intermittent
+//! faults assert a gate fault only within a dynamic-instruction burst.
+
+use harpo_gates::{GateFault, GradedUnit};
+use harpo_uarch::CoreConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A transient single-bit flip in the physical integer register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IrfFault {
+    /// Physical register hit.
+    pub preg: u16,
+    /// Bit position (0–63).
+    pub bit: u8,
+    /// Cycle of the flip.
+    pub cycle: u64,
+}
+
+/// A transient single-bit flip in the physical XMM register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct XrfFault {
+    /// Physical XMM register hit.
+    pub preg: u16,
+    /// Bit position (0–127).
+    pub bit: u8,
+    /// Cycle of the flip.
+    pub cycle: u64,
+}
+
+/// A transient single-bit flip in the L1D data array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct L1dFault {
+    /// Set index.
+    pub set: u32,
+    /// Way index.
+    pub way: u32,
+    /// Bit within the line's data (0 .. line_bytes×8).
+    pub bit: u16,
+    /// Cycle of the flip.
+    pub cycle: u64,
+}
+
+/// Any injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Transient IRF bit flip.
+    Irf(IrfFault),
+    /// Transient L1D bit flip.
+    L1d(L1dFault),
+    /// Permanent stuck-at gate fault in a functional unit.
+    GatePermanent(GateFault),
+    /// Intermittent stuck-at gate fault asserted only for dynamic
+    /// instructions in `[from_dyn, to_dyn)`.
+    GateIntermittent {
+        /// The underlying stuck-at fault.
+        fault: GateFault,
+        /// First dynamic instruction of the burst.
+        from_dyn: u64,
+        /// One past the last dynamic instruction of the burst.
+        to_dyn: u64,
+    },
+}
+
+/// Samples `n` uniform IRF transients for a run of `cycles` cycles.
+pub fn sample_irf_faults(
+    rng: &mut impl Rng,
+    cfg: &CoreConfig,
+    cycles: u64,
+    n: usize,
+) -> Vec<IrfFault> {
+    (0..n)
+        .map(|_| IrfFault {
+            preg: rng.random_range(0..cfg.phys_regs as u16),
+            bit: rng.random_range(0..64),
+            cycle: rng.random_range(0..cycles.max(1)),
+        })
+        .collect()
+}
+
+/// Samples `n` uniform XMM-register-file transients.
+pub fn sample_xrf_faults(
+    rng: &mut impl Rng,
+    cfg: &CoreConfig,
+    cycles: u64,
+    n: usize,
+) -> Vec<XrfFault> {
+    (0..n)
+        .map(|_| XrfFault {
+            preg: rng.random_range(0..cfg.phys_xmm as u16),
+            bit: rng.random_range(0..128),
+            cycle: rng.random_range(0..cycles.max(1)),
+        })
+        .collect()
+}
+
+/// Samples `n` uniform L1D transients.
+pub fn sample_l1d_faults(
+    rng: &mut impl Rng,
+    cfg: &CoreConfig,
+    cycles: u64,
+    n: usize,
+) -> Vec<L1dFault> {
+    (0..n)
+        .map(|_| L1dFault {
+            set: rng.random_range(0..cfg.l1d_sets()),
+            way: rng.random_range(0..cfg.l1d_assoc),
+            bit: rng.random_range(0..(cfg.l1d_line * 8) as u16),
+            cycle: rng.random_range(0..cycles.max(1)),
+        })
+        .collect()
+}
+
+/// Samples `n` uniform stuck-at gate faults in a unit (gate and polarity
+/// both uniform, as in the paper's SFI setup).
+pub fn sample_gate_faults(rng: &mut impl Rng, unit: GradedUnit, n: usize) -> Vec<GateFault> {
+    let gates = unit.gate_count() as u32;
+    (0..n)
+        .map(|_| GateFault {
+            unit,
+            gate: rng.random_range(0..gates),
+            stuck_one: rng.random_bool(0.5),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = CoreConfig::default();
+        for f in sample_irf_faults(&mut rng, &cfg, 1000, 200) {
+            assert!((f.preg as u32) < cfg.phys_regs);
+            assert!(f.bit < 64);
+            assert!(f.cycle < 1000);
+        }
+        for f in sample_l1d_faults(&mut rng, &cfg, 1000, 200) {
+            assert!(f.set < cfg.l1d_sets());
+            assert!(f.way < cfg.l1d_assoc);
+            assert!((f.bit as u32) < cfg.l1d_line * 8);
+        }
+        for f in sample_gate_faults(&mut rng, GradedUnit::IntAdder, 200) {
+            assert!((f.gate as usize) < GradedUnit::IntAdder.gate_count());
+        }
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let cfg = CoreConfig::default();
+        let a = sample_irf_faults(&mut StdRng::seed_from_u64(9), &cfg, 500, 50);
+        let b = sample_irf_faults(&mut StdRng::seed_from_u64(9), &cfg, 500, 50);
+        assert_eq!(a, b);
+    }
+}

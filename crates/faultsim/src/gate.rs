@@ -1,0 +1,262 @@
+//! Gate-level fault injection in functional units.
+//!
+//! Permanent stuck-at faults follow a two-stage flow:
+//!
+//! 1. **activation screening** — the packed 64-lane evaluator replays the
+//!    golden run's operand stream through the unit's netlist, grading 64
+//!    candidate faults per pass; faults whose output never differs from
+//!    the golden result over the whole run are **Masked** without any
+//!    functional replay;
+//! 2. **propagation replay** — activated faults get a full functional
+//!    replay with [`harpo_gates::FaultyFu`] substituting the faulty
+//!    netlist on every pass through the defective unit, so second-order
+//!    effects (corrupted values re-entering the unit with *different*
+//!    operands) are modelled exactly.
+//!
+//! Intermittent faults assert the stuck-at only within a dynamic-
+//! instruction burst, toggling the provider between steps.
+
+use crate::outcome::FaultOutcome;
+use harpo_gates::{screen_activation, FaultyFu, GateFault, GradedUnit, UnitEvaluators};
+use harpo_isa::exec::Machine;
+use harpo_isa::form::FuKind;
+use harpo_isa::program::Program;
+use harpo_isa::state::Signature;
+use harpo_uarch::ExecutionTrace;
+
+/// The `FuKind` whose passes feed a graded unit.
+pub fn fu_kind_of(unit: GradedUnit) -> FuKind {
+    match unit {
+        GradedUnit::IntAdder => FuKind::IntAdd,
+        GradedUnit::IntMultiplier => FuKind::IntMul,
+        GradedUnit::FpAdder => FuKind::FpAdd,
+        GradedUnit::FpMultiplier => FuKind::FpMul,
+    }
+}
+
+/// Screens a batch of candidate faults (≤ 64) against the golden operand
+/// stream; `activated[i]` is set if fault `i` ever changes the unit's
+/// output during the run.
+pub fn screen_faults(
+    trace: &ExecutionTrace,
+    unit: GradedUnit,
+    faults: &[GateFault],
+    ev: &mut UnitEvaluators,
+) -> Vec<bool> {
+    assert!(faults.len() <= 64);
+    let pairs: Vec<(u32, bool)> = faults.iter().map(|f| (f.gate, f.stuck_one)).collect();
+    let mut activated = vec![false; faults.len()];
+    let mut scratch = vec![false; faults.len()];
+    let kind = fu_kind_of(unit);
+    for op in trace.fu_ops_of(kind) {
+        screen_activation(unit, ev, op.a, op.b, op.cin, &pairs, &mut scratch);
+        let mut all = true;
+        for i in 0..faults.len() {
+            activated[i] |= scratch[i];
+            all &= activated[i];
+        }
+        if all {
+            break; // every candidate already activated
+        }
+    }
+    activated
+}
+
+/// Full propagation replay of one permanent gate fault.
+pub fn replay_gate_permanent(
+    prog: &Program,
+    fault: GateFault,
+    golden: &Signature,
+    cap: u64,
+) -> FaultOutcome {
+    let mut m = Machine::new(prog, FaultyFu::new(fault));
+    match m.run(cap) {
+        Err(_) => FaultOutcome::Crash,
+        Ok(out) => {
+            if out.signature == *golden {
+                FaultOutcome::Masked
+            } else {
+                FaultOutcome::Sdc
+            }
+        }
+    }
+}
+
+/// Propagation replay of an intermittent gate fault asserted only for
+/// dynamic instructions in `[from_dyn, to_dyn)`.
+pub fn replay_gate_intermittent(
+    prog: &Program,
+    fault: GateFault,
+    from_dyn: u64,
+    to_dyn: u64,
+    golden: &Signature,
+    cap: u64,
+) -> FaultOutcome {
+    let mut m = Machine::new(prog, FaultyFu::new(fault));
+    loop {
+        let dyn_idx = m.dyn_count();
+        if dyn_idx >= cap {
+            return FaultOutcome::Crash;
+        }
+        m.fu_mut().active = dyn_idx >= from_dyn && dyn_idx < to_dyn;
+        match m.step() {
+            Err(_) => return FaultOutcome::Crash,
+            Ok(None) => break,
+            Ok(Some(_)) => {}
+        }
+    }
+    if m.output().signature == *golden {
+        FaultOutcome::Masked
+    } else {
+        FaultOutcome::Sdc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::fu::NativeFu;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+    use harpo_uarch::OooCore;
+
+    fn adder_heavy() -> Program {
+        let mut a = Asm::new("adds");
+        a.mov_ri64(Rax, 0x0123_4567_89AB_CDEF);
+        a.mov_ri64(Rbx, 0xFEDC_BA98_7654_3210);
+        for _ in 0..32 {
+            a.add_rr(B64, Rcx, Rax);
+            a.add_rr(B64, Rdx, Rbx);
+            a.add_rr(B64, Rcx, Rdx);
+        }
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn golden_of(p: &Program) -> (Signature, ExecutionTrace) {
+        let r = OooCore::default().simulate(p, 1_000_000).unwrap();
+        (r.output.signature, r.trace)
+    }
+
+    #[test]
+    fn screening_agrees_with_replay_for_adder() {
+        let p = adder_heavy();
+        let (golden, trace) = golden_of(&p);
+        let faults: Vec<GateFault> = (0..64u32)
+            .map(|i| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: (i * 5) % GradedUnit::IntAdder.gate_count() as u32,
+                stuck_one: i % 2 == 0,
+            })
+            .collect();
+        let mut ev = UnitEvaluators::new();
+        let act = screen_faults(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        let mut some_active = false;
+        for (i, f) in faults.iter().enumerate() {
+            let out = replay_gate_permanent(&p, *f, &golden, 1_000_000);
+            if !act[i] {
+                // Never-activated faults must be masked.
+                assert_eq!(out, FaultOutcome::Masked, "fault {:?} inactive but {:?}", f, out);
+            } else {
+                some_active = true;
+            }
+        }
+        assert!(some_active, "wide operands must activate some faults");
+    }
+
+    #[test]
+    fn narrow_operands_leave_high_gates_inactive() {
+        // With small operands the upper carry chain never toggles, so
+        // stuck-at-0 faults there never activate and the screen proves
+        // them Masked without a replay.
+        let mut a = Asm::new("narrow");
+        a.mov_ri(B64, Rax, 0xFF);
+        for _ in 0..20 {
+            a.add_ri(B8, Rbx, 3);
+            a.add_rr(B8, Rbx, Rax);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let (_, trace) = golden_of(&p);
+        // Gates of the top bits: the ripple adder allocates 5 gates per
+        // bit from LSB, so bit-60 logic sits near gate 300.
+        let faults: Vec<GateFault> = (300..320u32)
+            .map(|g| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: g,
+                stuck_one: false,
+            })
+            .collect();
+        let mut ev = UnitEvaluators::new();
+        let act = screen_faults(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        assert!(act.iter().all(|&x| !x), "high stuck-at-0 gates inactive");
+    }
+
+    #[test]
+    fn adder_fault_detected_by_add_chain() {
+        let p = adder_heavy();
+        let (golden, trace) = golden_of(&p);
+        // Find a fault that activates, then check it is detected (the
+        // chain propagates every sum into the output registers).
+        let faults: Vec<GateFault> = (0..64u32)
+            .map(|g| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: g,
+                stuck_one: true,
+            })
+            .collect();
+        let mut ev = UnitEvaluators::new();
+        let act = screen_faults(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        let idx = act.iter().position(|&x| x).expect("some fault activates");
+        let out = replay_gate_permanent(&p, faults[idx], &golden, 1_000_000);
+        assert_eq!(out, FaultOutcome::Sdc);
+    }
+
+    #[test]
+    fn mul_fault_invisible_to_add_only_program() {
+        let p = adder_heavy();
+        let (golden, _) = golden_of(&p);
+        let f = GateFault {
+            unit: GradedUnit::IntMultiplier,
+            gate: 1000,
+            stuck_one: true,
+        };
+        assert_eq!(
+            replay_gate_permanent(&p, f, &golden, 1_000_000),
+            FaultOutcome::Masked
+        );
+    }
+
+    #[test]
+    fn intermittent_outside_burst_is_masked() {
+        let p = adder_heavy();
+        let (golden, trace) = golden_of(&p);
+        // Pick an activating fault.
+        let faults: Vec<GateFault> = (0..64u32)
+            .map(|g| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: g,
+                stuck_one: true,
+            })
+            .collect();
+        let mut ev = UnitEvaluators::new();
+        let act = screen_faults(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        let f = faults[act.iter().position(|&x| x).unwrap()];
+        // Burst entirely after the program end: no effect.
+        let out = replay_gate_intermittent(&p, f, 1_000_000, 2_000_000, &golden, 10_000_000);
+        assert_eq!(out, FaultOutcome::Masked);
+        // Burst covering the whole run behaves like a permanent fault.
+        let out = replay_gate_intermittent(&p, f, 0, u64::MAX, &golden, 10_000_000);
+        assert_eq!(out, replay_gate_permanent(&p, f, &golden, 1_000_000));
+    }
+
+    #[test]
+    fn golden_machine_matches_ooo_output() {
+        // Machine (functional) and OooCore (timed) must agree on outputs.
+        let p = adder_heavy();
+        let (golden, _) = golden_of(&p);
+        let m = Machine::new(&p, NativeFu).run(1_000_000).unwrap();
+        assert_eq!(m.signature, golden);
+    }
+}

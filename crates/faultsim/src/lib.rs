@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # harpo-faultsim — statistical fault injection
+//!
+//! The GeFIN substitute (DESIGN.md substitution table): grades the fault
+//! detection capability of HX86 test programs by statistical fault
+//! injection (paper §II-E). Transient single-bit flips target the
+//! physical integer register file and the L1D data array; permanent and
+//! intermittent stuck-at faults target gate-level netlists of the four
+//! graded functional units. Outcomes are classified **Masked / SDC /
+//! Crash**; detection capability is n/N.
+//!
+//! Engineering notes:
+//! * transient faults are *planned* from the golden execution trace —
+//!   faults whose bit is never consumed resolve Masked with no replay;
+//! * gate faults are screened with the 64-lane packed netlist evaluator
+//!   before any replay is paid for;
+//! * campaigns fan out across threads (`std::thread::scope`), mirroring
+//!   the paper's use of all 96 host threads.
+
+pub mod campaign;
+pub mod fault;
+pub mod gate;
+pub mod outcome;
+pub mod plan;
+pub mod replay;
+
+pub use campaign::{graded_unit_of, measure_detection, measure_detection_with_golden, CampaignConfig, L1dProtection};
+pub use fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults, FaultSpec, IrfFault, L1dFault, XrfFault};
+pub use gate::{replay_gate_intermittent, replay_gate_permanent, screen_faults};
+pub use outcome::{CampaignResult, FaultOutcome};
+pub use plan::{plan_irf, plan_irf_intermittent, plan_l1d, plan_xrf, CorruptKind, CorruptionPlan, LoadFlip, RegFlip, XmmFlip};
+pub use replay::{replay_with_plan, PlanHooks};

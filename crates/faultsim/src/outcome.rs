@@ -1,0 +1,147 @@
+//! Fault-injection outcome taxonomy and campaign tallies (paper §II-E).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The observable outcome of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// The fault never propagated to software-visible state (including
+    /// faults proven dead from the golden trace without a replay).
+    Masked,
+    /// The program completed with a different output signature — a
+    /// silent data corruption, which the test program *detects* by
+    /// comparing signatures.
+    Sdc,
+    /// The faulty run trapped (wild address, divide error, ...).
+    Crash,
+    /// A hardware protection scheme (parity/ECC) corrected the fault
+    /// before it became architecturally visible (paper §II-E: a single
+    /// bit flip in a SECDED cache is "Masked (Corrected)").
+    Corrected,
+}
+
+impl FaultOutcome {
+    /// Whether a checking test program detects this outcome (SDC via
+    /// signature mismatch, crash via the trap itself).
+    pub fn detected(self) -> bool {
+        !matches!(self, FaultOutcome::Masked | FaultOutcome::Corrected)
+    }
+}
+
+impl fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultOutcome::Masked => "Masked",
+            FaultOutcome::Sdc => "SDC",
+            FaultOutcome::Crash => "Crash",
+            FaultOutcome::Corrected => "Corrected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate result of a statistical fault-injection campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Faults injected (N).
+    pub injected: u64,
+    /// Faults whose run produced a corrupted output.
+    pub sdc: u64,
+    /// Faults whose run crashed.
+    pub crash: u64,
+    /// Faults masked (n_masked = N − sdc − crash − corrected).
+    pub masked: u64,
+    /// Faults corrected by a protection scheme (subset of undetected).
+    pub corrected: u64,
+    /// Faults resolved Masked from the golden trace alone (no replay) —
+    /// a throughput statistic, subset of `masked`.
+    pub masked_fast_path: u64,
+}
+
+impl CampaignResult {
+    /// Records one outcome.
+    pub fn record(&mut self, o: FaultOutcome, fast_path: bool) {
+        self.injected += 1;
+        match o {
+            FaultOutcome::Sdc => self.sdc += 1,
+            FaultOutcome::Crash => self.crash += 1,
+            FaultOutcome::Masked => {
+                self.masked += 1;
+                if fast_path {
+                    self.masked_fast_path += 1;
+                }
+            }
+            FaultOutcome::Corrected => self.corrected += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &CampaignResult) {
+        self.injected += other.injected;
+        self.sdc += other.sdc;
+        self.crash += other.crash;
+        self.masked += other.masked;
+        self.corrected += other.corrected;
+        self.masked_fast_path += other.masked_fast_path;
+    }
+
+    /// Fault detection capability n/N (paper §II-C).
+    pub fn detection(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            (self.sdc + self.crash) as f64 / self.injected as f64
+        }
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} detection={:.1}% (SDC {} / Crash {} / Masked {} / Corrected {})",
+            self.injected,
+            self.detection() * 100.0,
+            self.sdc,
+            self.crash,
+            self.masked,
+            self.corrected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_math() {
+        let mut r = CampaignResult::default();
+        r.record(FaultOutcome::Sdc, false);
+        r.record(FaultOutcome::Crash, false);
+        r.record(FaultOutcome::Masked, true);
+        r.record(FaultOutcome::Masked, false);
+        assert_eq!(r.injected, 4);
+        assert!((r.detection() - 0.5).abs() < 1e-12);
+        assert_eq!(r.masked_fast_path, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CampaignResult::default();
+        a.record(FaultOutcome::Sdc, false);
+        let mut b = CampaignResult::default();
+        b.record(FaultOutcome::Masked, true);
+        a.merge(&b);
+        assert_eq!(a.injected, 2);
+        assert_eq!(a.masked, 1);
+    }
+
+    #[test]
+    fn outcome_detected_flags() {
+        assert!(FaultOutcome::Sdc.detected());
+        assert!(FaultOutcome::Crash.detected());
+        assert!(!FaultOutcome::Masked.detected());
+    }
+}

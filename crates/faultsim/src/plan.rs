@@ -1,0 +1,526 @@
+//! Trace-directed corruption planning.
+//!
+//! Converts a random physical fault — `(physical register, bit, cycle)`
+//! or `(set, way, bit, cycle)` — into the concrete software-visible
+//! corruptions it would cause, using the golden run's residency and
+//! access schedule (DESIGN.md §6). Faults that provably never reach a
+//! consumer are resolved **Masked** here without any replay, which is
+//! the dominant fast path of statistical campaigns.
+
+use crate::fault::{IrfFault, L1dFault, XrfFault};
+use harpo_isa::reg::{Gpr, Xmm};
+use harpo_uarch::cache::LineEventKind;
+use harpo_uarch::{CoreConfig, ExecutionTrace};
+use serde::{Deserialize, Serialize};
+
+/// How a planned corruption manifests on the read value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptKind {
+    /// Transient single-event upset: the stored bit is inverted.
+    Flip,
+    /// Intermittent stuck-at: reads during the burst observe the bit
+    /// forced to a constant (the cell recovers after the burst).
+    Stuck(bool),
+}
+
+/// One planned flip of a register operand read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegFlip {
+    /// Dynamic instruction whose read is corrupted.
+    pub dyn_idx: u64,
+    /// The architectural register being read.
+    pub arch: Gpr,
+    /// Bit to flip.
+    pub bit: u8,
+    /// Transient flip or intermittent stuck-at.
+    pub kind: CorruptKind,
+}
+
+/// One planned flip of an XMM operand read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XmmFlip {
+    /// Dynamic instruction whose read is corrupted.
+    pub dyn_idx: u64,
+    /// The architectural XMM register being read.
+    pub arch: Xmm,
+    /// Bit to flip (0–127 across the two lanes).
+    pub bit: u8,
+}
+
+/// One planned flip of a loaded value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadFlip {
+    /// Dynamic instruction whose load is corrupted.
+    pub dyn_idx: u64,
+    /// Byte address holding the corrupted bit.
+    pub addr: u64,
+    /// Bit within that byte (0–7).
+    pub bit: u8,
+}
+
+/// The corruption plan for one transient fault: the set of reads that
+/// observe the flipped bit. An empty plan means the fault is masked.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorruptionPlan {
+    /// Register-read flips, in dynamic order.
+    pub reg_flips: Vec<RegFlip>,
+    /// XMM-read flips, in dynamic order.
+    pub xmm_flips: Vec<XmmFlip>,
+    /// Load flips, in dynamic order.
+    pub load_flips: Vec<LoadFlip>,
+    /// A bit still corrupted in the cache or memory when the program
+    /// ends. The output signature is computed over the data the checker
+    /// reads back *through the cache*, so residual corruption is an SDC
+    /// even if no instruction loaded the byte — this is how checking
+    /// tests catch faults in written-then-unread data.
+    pub end_corruption: Option<(u64, u8)>,
+    /// A bit corrupted in a register that holds the *final* architectural
+    /// value: the checker hashes the end-state registers, so the flip is
+    /// architecturally visible even with no explicit consumer.
+    pub end_reg_corruption: Option<(Gpr, u8)>,
+    /// The XMM analogue of `end_reg_corruption`.
+    pub end_xmm_corruption: Option<(Xmm, u8)>,
+}
+
+impl CorruptionPlan {
+    /// True when no consumer ever observes the fault.
+    pub fn is_empty(&self) -> bool {
+        self.reg_flips.is_empty()
+            && self.xmm_flips.is_empty()
+            && self.load_flips.is_empty()
+            && self.end_corruption.is_none()
+            && self.end_reg_corruption.is_none()
+            && self.end_xmm_corruption.is_none()
+    }
+}
+
+/// Plans an IRF transient: find the value instance resident in the
+/// faulted physical register at the fault cycle; every later read of
+/// that instance observes the flip.
+pub fn plan_irf(trace: &ExecutionTrace, f: &IrfFault) -> CorruptionPlan {
+    let mut plan = CorruptionPlan::default();
+    for inst in &trace.reg_instances {
+        if inst.preg != f.preg || f.cycle < inst.write_cycle || f.cycle >= inst.free_cycle {
+            continue;
+        }
+        for r in &inst.reads {
+            if r.cycle >= f.cycle {
+                plan.reg_flips.push(RegFlip {
+                    dyn_idx: r.dyn_idx,
+                    arch: inst.arch,
+                    bit: f.bit,
+                    kind: CorruptKind::Flip,
+                });
+            }
+        }
+        if inst.live_at_end {
+            plan.end_reg_corruption = Some((inst.arch, f.bit));
+        }
+        break;
+    }
+    plan
+}
+
+/// Plans an XMM-register-file transient, mirroring [`plan_irf`] over the
+/// 128-bit instances.
+pub fn plan_xrf(trace: &ExecutionTrace, f: &XrfFault) -> CorruptionPlan {
+    let mut plan = CorruptionPlan::default();
+    for inst in &trace.xmm_instances {
+        if inst.preg != f.preg || f.cycle < inst.write_cycle || f.cycle >= inst.free_cycle {
+            continue;
+        }
+        for r in &inst.reads {
+            if r.cycle >= f.cycle {
+                plan.xmm_flips.push(XmmFlip {
+                    dyn_idx: r.dyn_idx,
+                    arch: inst.arch,
+                    bit: f.bit,
+                });
+            }
+        }
+        if inst.live_at_end {
+            plan.end_xmm_corruption = Some((inst.arch, f.bit));
+        }
+        break;
+    }
+    plan
+}
+
+/// Plans an intermittent IRF stuck-at asserted during the cycle burst
+/// `[from, to)`: every read of the faulted physical register's resident
+/// value inside the burst observes the bit forced to `stuck_one`
+/// (read-disturb model — the cell recovers once the burst ends; see
+/// DESIGN.md).
+pub fn plan_irf_intermittent(
+    trace: &ExecutionTrace,
+    preg: u16,
+    bit: u8,
+    stuck_one: bool,
+    from: u64,
+    to: u64,
+) -> CorruptionPlan {
+    let mut plan = CorruptionPlan::default();
+    for inst in &trace.reg_instances {
+        if inst.preg != preg || inst.write_cycle >= to || inst.free_cycle <= from {
+            continue;
+        }
+        for r in &inst.reads {
+            if r.cycle >= from && r.cycle < to {
+                plan.reg_flips.push(RegFlip {
+                    dyn_idx: r.dyn_idx,
+                    arch: inst.arch,
+                    bit,
+                    kind: CorruptKind::Stuck(stuck_one),
+                });
+            }
+        }
+    }
+    plan.reg_flips.sort_by_key(|f| f.dyn_idx);
+    plan
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ByteEvent {
+    /// The line containing the byte is filled into a frame.
+    Fill,
+    /// The line is evicted (dirty → written back).
+    Evict { dirty: bool },
+    /// An access covering the byte.
+    Access { dyn_idx: u64, is_store: bool },
+}
+
+/// Plans an L1D transient: locate the line resident in `(set, way)` at
+/// the fault cycle, then track the corrupted byte through loads, stores,
+/// evictions (dirty write-back propagates the corruption to memory) and
+/// refills until it is healed or the program ends.
+pub fn plan_l1d(trace: &ExecutionTrace, _cfg: &CoreConfig, f: &L1dFault) -> CorruptionPlan {
+    let mut plan = CorruptionPlan::default();
+
+    // 1. Which line occupied the faulted frame at the fault cycle?
+    let mut resident: Option<u64> = None;
+    for e in &trace.line_events {
+        if e.set != f.set || e.way != f.way || e.cycle > f.cycle {
+            continue;
+        }
+        match e.kind {
+            LineEventKind::Fill => resident = Some(e.line_addr),
+            _ => resident = None,
+        }
+    }
+    let Some(line_addr) = resident else {
+        return plan; // frame invalid at fault time → masked
+    };
+    let byte_addr = line_addr + (f.bit as u64 / 8);
+    let bit_in_byte = (f.bit % 8) as u8;
+
+    // 2. Chronological event stream for that byte: fills/evicts of its
+    //    line (any frame) + accesses covering the byte.
+    let mut events: Vec<(u64, u8, ByteEvent)> = Vec::new();
+    for e in &trace.line_events {
+        if e.line_addr != line_addr {
+            continue;
+        }
+        match e.kind {
+            LineEventKind::Fill => events.push((e.cycle, 1, ByteEvent::Fill)),
+            LineEventKind::EvictClean => {
+                events.push((e.cycle, 0, ByteEvent::Evict { dirty: false }))
+            }
+            LineEventKind::EvictDirty => {
+                events.push((e.cycle, 0, ByteEvent::Evict { dirty: true }))
+            }
+        }
+    }
+    for a in &trace.cache_accesses {
+        if a.addr <= byte_addr && byte_addr < a.addr + a.size as u64 {
+            events.push((
+                a.cycle,
+                2,
+                ByteEvent::Access {
+                    dyn_idx: a.dyn_idx,
+                    is_store: a.is_store,
+                },
+            ));
+        }
+    }
+    events.sort_by_key(|&(c, p, e)| {
+        (
+            c,
+            p,
+            match e {
+                ByteEvent::Access { dyn_idx, .. } => dyn_idx,
+                _ => 0,
+            },
+        )
+    });
+
+    // 3. Walk forward from the fault, tracking where the corruption lives.
+    let mut cache_corrupt = true;
+    let mut mem_corrupt = false;
+    for &(cycle, _, ev) in events.iter().filter(|&&(c, _, _)| c >= f.cycle) {
+        let _ = cycle;
+        match ev {
+            ByteEvent::Access { dyn_idx, is_store } => {
+                if is_store {
+                    if cache_corrupt {
+                        // New data overwrites the flipped byte; the dirty
+                        // line will eventually write back correct data.
+                        cache_corrupt = false;
+                        mem_corrupt = false;
+                    }
+                    // Store while only memory is corrupt: the line in
+                    // cache (freshly filled, corrupt) — handled by the
+                    // cache_corrupt flag via Fill below.
+                } else if cache_corrupt {
+                    plan.load_flips.push(LoadFlip {
+                        dyn_idx,
+                        addr: byte_addr,
+                        bit: bit_in_byte,
+                    });
+                }
+            }
+            ByteEvent::Evict { dirty } => {
+                if cache_corrupt {
+                    mem_corrupt = dirty || mem_corrupt;
+                    cache_corrupt = false;
+                }
+            }
+            ByteEvent::Fill => {
+                if mem_corrupt {
+                    cache_corrupt = true;
+                }
+            }
+        }
+        if !cache_corrupt && !mem_corrupt {
+            break;
+        }
+    }
+    if cache_corrupt || mem_corrupt {
+        plan.end_corruption = Some((byte_addr, bit_in_byte));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::mem::DATA_BASE;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+    use harpo_uarch::OooCore;
+
+    fn sim(a: Asm) -> (harpo_isa::program::Program, harpo_uarch::SimResult) {
+        let p = a.finish().unwrap();
+        let r = OooCore::default().simulate(&p, 1_000_000).unwrap();
+        (p, r)
+    }
+
+    #[test]
+    fn irf_fault_on_read_value_planned() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 5);
+        a.add_rr(B64, Rbx, Rax); // reads the rax instance
+        a.halt();
+        let (_, r) = sim(a);
+        let inst = r.trace.reg_instances.iter().find(|i| i.writer == 0).unwrap();
+        let fault = IrfFault {
+            preg: inst.preg,
+            bit: 3,
+            cycle: inst.write_cycle,
+        };
+        let plan = plan_irf(&r.trace, &fault);
+        assert_eq!(plan.reg_flips.len(), 1);
+        assert_eq!(plan.reg_flips[0].arch, Rax);
+        assert_eq!(plan.reg_flips[0].dyn_idx, 1);
+    }
+
+    #[test]
+    fn irf_fault_after_last_read_masked() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 5);
+        a.add_rr(B64, Rbx, Rax); // last read of the first rax instance
+        a.mov_ri(B64, Rax, 0); // overwrite: the instance dies unread
+        a.halt();
+        let (_, r) = sim(a);
+        let inst = r.trace.reg_instances.iter().find(|i| i.writer == 0).unwrap();
+        assert!(!inst.live_at_end, "instance was overwritten");
+        let last_read = inst.reads.last().unwrap().cycle;
+        let fault = IrfFault {
+            preg: inst.preg,
+            bit: 0,
+            cycle: last_read + 1,
+        };
+        // The flip lands after the last read and the value never reaches
+        // the final state → provably masked without a replay.
+        if fault.cycle < inst.free_cycle {
+            assert!(plan_irf(&r.trace, &fault).is_empty());
+        }
+    }
+
+    #[test]
+    fn irf_fault_on_final_mapping_plans_end_corruption() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 5); // never overwritten → hashed by the checker
+        a.halt();
+        let (_, r) = sim(a);
+        let inst = r.trace.reg_instances.iter().find(|i| i.writer == 0).unwrap();
+        assert!(inst.live_at_end);
+        let fault = IrfFault {
+            preg: inst.preg,
+            bit: 7,
+            cycle: inst.write_cycle, // short program: stay inside the window
+        };
+        let plan = plan_irf(&r.trace, &fault);
+        assert_eq!(plan.end_reg_corruption, Some((Rax, 7)));
+    }
+
+    #[test]
+    fn irf_fault_on_unoccupied_preg_masked() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 5);
+        a.halt();
+        let (_, r) = sim(a);
+        // A high physical register never allocated in this short run.
+        let used: std::collections::HashSet<u16> =
+            r.trace.reg_instances.iter().map(|i| i.preg).collect();
+        let free = (0..128u16).find(|p| !used.contains(p)).unwrap();
+        let fault = IrfFault {
+            preg: free,
+            bit: 0,
+            cycle: 1,
+        };
+        assert!(plan_irf(&r.trace, &fault).is_empty());
+    }
+
+    #[test]
+    fn l1d_fault_before_load_planned() {
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.store(B64, Rsi, 0, Rax); // fill + dirty
+        a.load(B64, Rbx, Rsi, 0); // read back
+        a.halt();
+        let (_, r) = sim(a);
+        let store = r.trace.cache_accesses.iter().find(|x| x.is_store).unwrap();
+        let load = r.trace.cache_accesses.iter().find(|x| !x.is_store).unwrap();
+        assert!(load.cycle > store.cycle, "store commits before load issues in this toy case");
+        let fault = L1dFault {
+            set: store.set,
+            way: store.way,
+            bit: ((store.addr % 64) * 8) as u16, // bit 0 of the stored byte
+            cycle: store.cycle + 1,              // flip after the store lands
+        };
+        let plan = plan_l1d(&r.trace, &CoreConfig::default(), &fault);
+        assert_eq!(plan.load_flips.len(), 1);
+        assert_eq!(plan.load_flips[0].addr, store.addr);
+        assert_eq!(plan.load_flips[0].dyn_idx, load.dyn_idx);
+    }
+
+    #[test]
+    fn l1d_fault_overwritten_by_store_masked() {
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.load(B64, Rbx, Rsi, 0); // fill (clean)
+        a.store(B64, Rsi, 0, Rax); // overwrite the faulted byte
+        a.load(B64, Rcx, Rsi, 0); // later load sees the *stored* value
+        a.halt();
+        let (_, r) = sim(a);
+        let first_load = r.trace.cache_accesses.iter().find(|x| !x.is_store).unwrap();
+        let store = r.trace.cache_accesses.iter().find(|x| x.is_store).unwrap();
+        // Fault strictly between the first load and the store.
+        let fault = L1dFault {
+            set: first_load.set,
+            way: first_load.way,
+            bit: 0,
+            cycle: first_load.cycle + 1,
+        };
+        assert!(store.cycle > first_load.cycle + 1);
+        let plan = plan_l1d(&r.trace, &CoreConfig::default(), &fault);
+        assert!(plan.is_empty(), "store healed the fault: {:?}", plan);
+    }
+
+    #[test]
+    fn l1d_fault_in_invalid_frame_masked() {
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.load(B64, Rbx, Rsi, 0);
+        a.halt();
+        let (_, r) = sim(a);
+        let acc = &r.trace.cache_accesses[0];
+        // A different set was never filled.
+        let fault = L1dFault {
+            set: (acc.set + 1) % CoreConfig::default().l1d_sets(),
+            way: 0,
+            bit: 0,
+            cycle: acc.cycle,
+        };
+        assert!(plan_l1d(&r.trace, &CoreConfig::default(), &fault).is_empty());
+    }
+
+    #[test]
+    fn l1d_dirty_eviction_propagates_to_refill() {
+        // Direct-mapped cache: store the victim line, evict it with one
+        // conflicting store (dirty write-back carries the corruption to
+        // memory), then reload it after a long dependency chain (so the
+        // reload's issue provably follows the eviction).
+        let cfg = CoreConfig {
+            l1d_assoc: 1,
+            ..CoreConfig::default()
+        };
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mem.data_size = 64 * 1024;
+        a.mov_ri(B64, Rax, 0x77);
+        a.store(B64, Rsi, 0, Rax); // victim line, dirtied
+        // Conflicting line: DATA_BASE + sets×line stride hits set 0 too.
+        // A short dependency chain delays the evicting store past the
+        // victim store's commit, keeping event order deterministic.
+        let stride = (cfg.l1d_sets() * cfg.l1d_line) as i32;
+        a.mov_ri(B64, Rbx, 1);
+        for _ in 0..4 {
+            a.imul_rr(B64, Rbx, Rbx);
+        }
+        a.op_rr(harpo_isa::form::Mnemonic::Xor, B64, Rbx, Rbx); // 0, dependent
+        a.mov_rr(B64, Rdi, Rsi);
+        a.add_ri(B64, Rdi, stride);
+        a.add_rr(B64, Rdi, Rbx);
+        a.store(B64, Rdi, 0, Rax); // evicts the victim (dirty)
+        // Delay the reload with a serial multiply chain feeding its base.
+        a.mov_ri(B64, Rbp, 1);
+        for _ in 0..30 {
+            a.imul_rr(B64, Rbp, Rbp);
+        }
+        a.op_rr(harpo_isa::form::Mnemonic::Xor, B64, Rbp, Rbp); // 0, still dependent
+        a.add_rr(B64, Rbp, Rsi);
+        a.load(B64, Rcx, Rbp, 0); // reload victim from (corrupted) memory
+        a.halt();
+        let p = a.finish().unwrap();
+        let r = OooCore::new(cfg.clone()).simulate(&p, 1_000_000).unwrap();
+        let store = r.trace.cache_accesses.iter().find(|x| x.is_store).unwrap();
+        // Eviction must come after the fault for the scenario to hold.
+        let evict = r
+            .trace
+            .line_events
+            .iter()
+            .find(|e| e.kind == LineEventKind::EvictDirty && e.line_addr == store.addr & !63)
+            .expect("victim evicted dirty");
+        assert!(evict.cycle > store.cycle + 1);
+        let fault = L1dFault {
+            set: store.set,
+            way: store.way,
+            bit: ((store.addr % 64) * 8) as u16,
+            cycle: store.cycle + 1,
+        };
+        let plan = plan_l1d(&r.trace, &cfg, &fault);
+        assert!(
+            !plan.is_empty(),
+            "corruption must survive dirty eviction + refill"
+        );
+        // The flip lands on the final reload.
+        let last_load = r
+            .trace
+            .cache_accesses
+            .iter().rfind(|x| !x.is_store && x.addr == store.addr)
+            .unwrap();
+        assert!(plan.load_flips.iter().any(|f| f.dyn_idx == last_load.dyn_idx));
+    }
+}

@@ -1,0 +1,267 @@
+//! Faulty functional replay.
+//!
+//! Replays a program with a [`CorruptionPlan`] applied through the
+//! execution hooks: planned register reads and loads observe the flipped
+//! bit, corruption then propagates *naturally* through the program's own
+//! dataflow (including into addresses — which is how wild-pointer
+//! **Crash** outcomes arise). The final output signature against the
+//! golden run decides **SDC** vs **Masked** (software masking: the
+//! corrupted value may still be logically dead).
+
+use crate::outcome::FaultOutcome;
+use crate::plan::CorruptionPlan;
+use harpo_isa::exec::{ExecHooks, Machine};
+use harpo_isa::fu::NativeFu;
+use harpo_isa::program::Program;
+use harpo_isa::reg::Gpr;
+use harpo_isa::state::Signature;
+
+/// Hooks that apply a corruption plan during replay.
+#[derive(Debug)]
+pub struct PlanHooks<'a> {
+    plan: &'a CorruptionPlan,
+}
+
+impl<'a> PlanHooks<'a> {
+    /// Wraps a plan for replay.
+    pub fn new(plan: &'a CorruptionPlan) -> PlanHooks<'a> {
+        PlanHooks { plan }
+    }
+}
+
+impl ExecHooks for PlanHooks<'_> {
+    fn on_xmm_read(
+        &mut self,
+        dyn_idx: u64,
+        reg: harpo_isa::reg::Xmm,
+        val: [u64; 2],
+    ) -> [u64; 2] {
+        let mut v = val;
+        let start = self
+            .plan
+            .xmm_flips
+            .partition_point(|f| f.dyn_idx < dyn_idx);
+        for f in &self.plan.xmm_flips[start..] {
+            if f.dyn_idx != dyn_idx {
+                break;
+            }
+            if f.arch == reg {
+                v[(f.bit / 64) as usize] ^= 1u64 << (f.bit % 64);
+            }
+        }
+        v
+    }
+
+    fn on_gpr_read(&mut self, dyn_idx: u64, reg: Gpr, val: u64) -> u64 {
+        let mut v = val;
+        // Plans are short (often a handful of entries); a linear probe of
+        // the dyn-ordered list via binary search keeps this cheap.
+        let start = self
+            .plan
+            .reg_flips
+            .partition_point(|f| f.dyn_idx < dyn_idx);
+        for f in &self.plan.reg_flips[start..] {
+            if f.dyn_idx != dyn_idx {
+                break;
+            }
+            if f.arch == reg {
+                match f.kind {
+                    crate::plan::CorruptKind::Flip => v ^= 1u64 << f.bit,
+                    crate::plan::CorruptKind::Stuck(true) => v |= 1u64 << f.bit,
+                    crate::plan::CorruptKind::Stuck(false) => v &= !(1u64 << f.bit),
+                }
+            }
+        }
+        v
+    }
+
+    fn on_load(&mut self, dyn_idx: u64, addr: u64, size: u8, val: u64) -> u64 {
+        let mut v = val;
+        let start = self
+            .plan
+            .load_flips
+            .partition_point(|f| f.dyn_idx < dyn_idx);
+        for f in &self.plan.load_flips[start..] {
+            if f.dyn_idx != dyn_idx {
+                break;
+            }
+            if f.addr >= addr && f.addr < addr + size as u64 {
+                let bitpos = (f.addr - addr) * 8 + f.bit as u64;
+                v ^= 1u64 << bitpos;
+            }
+        }
+        v
+    }
+}
+
+/// Replays `prog` under `plan` and grades the outcome against the golden
+/// signature.
+pub fn replay_with_plan(
+    prog: &Program,
+    plan: &CorruptionPlan,
+    golden: &Signature,
+    cap: u64,
+) -> FaultOutcome {
+    let mut m = Machine::with_hooks(prog, NativeFu, PlanHooks::new(plan));
+    match m.run(cap) {
+        Err(_) => FaultOutcome::Crash,
+        Ok(out) => {
+            let mut state = out.state;
+            let mut dirty = false;
+            if let Some((addr, bit)) = plan.end_corruption {
+                // Residual cache/memory corruption: the checker reading
+                // back through the cache observes it.
+                dirty |= m.mem_mut().flip_bit(addr, bit).is_ok();
+            }
+            if let Some((reg, bit)) = plan.end_reg_corruption {
+                // Residual register-file corruption: the checker hashes
+                // the final architectural registers.
+                state.set_gpr(reg, state.gpr(reg) ^ (1u64 << bit));
+                dirty = true;
+            }
+            if let Some((reg, bit)) = plan.end_xmm_corruption {
+                let mut v = state.xmm(reg);
+                v[(bit / 64) as usize] ^= 1u64 << (bit % 64);
+                state.set_xmm(reg, v);
+                dirty = true;
+            }
+            let signature = if dirty {
+                harpo_isa::state::Signature::capture(&state, m.mem())
+            } else {
+                out.signature
+            };
+            if signature == *golden {
+                FaultOutcome::Masked
+            } else {
+                FaultOutcome::Sdc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{LoadFlip, RegFlip};
+    use harpo_isa::asm::Asm;
+    use harpo_isa::mem::DATA_BASE;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+
+    fn golden(p: &Program) -> Signature {
+        Machine::new(p, NativeFu).run(1_000_000).unwrap().signature
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 123);
+        a.imul_rr(B64, Rax, Rax);
+        a.halt();
+        let p = a.finish().unwrap();
+        let g = golden(&p);
+        let out = replay_with_plan(&p, &CorruptionPlan::default(), &g, 1_000_000);
+        assert_eq!(out, FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn reg_flip_becomes_sdc() {
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 100);
+        a.add_rr(B64, Rbx, Rax); // dyn 1 reads rax
+        a.halt();
+        let p = a.finish().unwrap();
+        let g = golden(&p);
+        let plan = CorruptionPlan {
+            reg_flips: vec![RegFlip {
+                dyn_idx: 1,
+                arch: Rax,
+                bit: 2,
+                kind: crate::plan::CorruptKind::Flip,
+            }],
+            xmm_flips: vec![],
+            load_flips: vec![],
+            end_corruption: None,
+            end_reg_corruption: None,
+            end_xmm_corruption: None,
+        };
+        assert_eq!(replay_with_plan(&p, &plan, &g, 1000), FaultOutcome::Sdc);
+    }
+
+    #[test]
+    fn software_masked_flip() {
+        // The corrupted bit is ANDed away before reaching any output.
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 0b1111);
+        a.mov_rr(B64, Rbx, Rax); // dyn 1 reads rax (flip bit 6 here)
+        a.op_ri(harpo_isa::form::Mnemonic::And, B64, Rbx, 0b1111); // kills bit 6
+        a.mov_ri(B64, Rax, 0); // overwrite rax so the flip leaves no trace
+        a.halt();
+        let p = a.finish().unwrap();
+        let g = golden(&p);
+        let plan = CorruptionPlan {
+            reg_flips: vec![RegFlip {
+                dyn_idx: 1,
+                arch: Rax,
+                bit: 6,
+                kind: crate::plan::CorruptKind::Flip,
+            }],
+            xmm_flips: vec![],
+            load_flips: vec![],
+            end_corruption: None,
+            end_reg_corruption: None,
+            end_xmm_corruption: None,
+        };
+        assert_eq!(replay_with_plan(&p, &plan, &g, 1000), FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn corrupted_address_crashes() {
+        // Flip a high bit of the base register read by a load.
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.load(B64, Rax, Rsi, 0); // dyn 0 reads rsi as base
+        a.halt();
+        let p = a.finish().unwrap();
+        let g = golden(&p);
+        let plan = CorruptionPlan {
+            reg_flips: vec![RegFlip {
+                dyn_idx: 0,
+                arch: Rsi,
+                bit: 40,
+                kind: crate::plan::CorruptKind::Flip,
+            }],
+            xmm_flips: vec![],
+            load_flips: vec![],
+            end_corruption: None,
+            end_reg_corruption: None,
+            end_xmm_corruption: None,
+        };
+        assert_eq!(replay_with_plan(&p, &plan, &g, 1000), FaultOutcome::Crash);
+    }
+
+    #[test]
+    fn load_flip_becomes_sdc() {
+        let mut a = Asm::new("t");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rax, 0x55);
+        a.store(B64, Rsi, 0, Rax); // dyn 1
+        a.load(B64, Rbx, Rsi, 0); // dyn 2
+        a.halt();
+        let p = a.finish().unwrap();
+        let g = golden(&p);
+        let plan = CorruptionPlan {
+            reg_flips: vec![],
+            load_flips: vec![LoadFlip {
+                dyn_idx: 2,
+                addr: DATA_BASE + 2,
+                bit: 1,
+            }],
+            xmm_flips: vec![],
+            end_corruption: None,
+            end_reg_corruption: None,
+            end_xmm_corruption: None,
+        };
+        assert_eq!(replay_with_plan(&p, &plan, &g, 1000), FaultOutcome::Sdc);
+    }
+}

@@ -1,0 +1,343 @@
+//! Reusable bus-level circuit building blocks.
+//!
+//! All buses are LSB-first wire lists. These combinators are shared by the
+//! four functional-unit circuits; each lowers to primitive gates through
+//! the [`NetlistBuilder`].
+
+use crate::netlist::{NetlistBuilder, WireId};
+
+/// A constant bus of `n` bits holding `value`.
+pub fn const_bus(value: u64, n: usize) -> Vec<WireId> {
+    (0..n)
+        .map(|i| {
+            if value >> i & 1 == 1 {
+                WireId::ONE
+            } else {
+                WireId::ZERO
+            }
+        })
+        .collect()
+}
+
+/// Ripple-carry addition of two equal-width buses with carry-in.
+/// Returns `(sum, carry_out)`. 5 gates per bit.
+pub fn ripple_add(
+    b: &mut NetlistBuilder,
+    a: &[WireId],
+    bb: &[WireId],
+    cin: WireId,
+) -> (Vec<WireId>, WireId) {
+    assert_eq!(a.len(), bb.len(), "bus width mismatch");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let x = b.xor(a[i], bb[i]);
+        sum.push(b.xor(x, carry));
+        let g = b.and(a[i], bb[i]);
+        let p = b.and(x, carry);
+        carry = b.or(g, p);
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b` via `a + !b + 1`.
+/// Returns `(difference, no_borrow)`: `no_borrow == 1` iff `a >= b`.
+pub fn ripple_sub(
+    b: &mut NetlistBuilder,
+    a: &[WireId],
+    bb: &[WireId],
+) -> (Vec<WireId>, WireId) {
+    let inv: Vec<WireId> = bb.iter().map(|&w| b.not(w)).collect();
+    ripple_add(b, a, &inv, WireId::ONE)
+}
+
+/// Per-bit 2:1 mux: `sel ? a : b`.
+pub fn mux_bus(b: &mut NetlistBuilder, sel: WireId, a: &[WireId], bb: &[WireId]) -> Vec<WireId> {
+    assert_eq!(a.len(), bb.len());
+    a.iter()
+        .zip(bb)
+        .map(|(&x, &y)| b.mux(sel, x, y))
+        .collect()
+}
+
+/// OR-reduction of a bus.
+pub fn or_tree(b: &mut NetlistBuilder, bus: &[WireId]) -> WireId {
+    match bus.len() {
+        0 => WireId::ZERO,
+        1 => bus[0],
+        _ => {
+            let mut layer = bus.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        b.or(pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    });
+                }
+                layer = next;
+            }
+            layer[0]
+        }
+    }
+}
+
+/// AND-reduction of a bus.
+pub fn and_tree(b: &mut NetlistBuilder, bus: &[WireId]) -> WireId {
+    match bus.len() {
+        0 => WireId::ONE,
+        1 => bus[0],
+        _ => {
+            let mut layer = bus.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        b.and(pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    });
+                }
+                layer = next;
+            }
+            layer[0]
+        }
+    }
+}
+
+/// `bus == 0`.
+pub fn is_zero(b: &mut NetlistBuilder, bus: &[WireId]) -> WireId {
+    let any = or_tree(b, bus);
+    b.not(any)
+}
+
+/// `bus == value` for a constant.
+pub fn eq_const(b: &mut NetlistBuilder, bus: &[WireId], value: u64) -> WireId {
+    let terms: Vec<WireId> = bus
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            if value >> i & 1 == 1 {
+                w
+            } else {
+                b.not(w)
+            }
+        })
+        .collect();
+    and_tree(b, &terms)
+}
+
+/// Logical right barrel shift of `bus` by the binary amount `sh`
+/// (LSB-first shift-amount bits), filling with zeros. Width stays fixed;
+/// shift amounts ≥ `bus.len()` produce all-zeros as long as `sh` can
+/// express them.
+pub fn barrel_right(b: &mut NetlistBuilder, bus: &[WireId], sh: &[WireId]) -> Vec<WireId> {
+    let n = bus.len();
+    let mut cur = bus.to_vec();
+    for (k, &s) in sh.iter().enumerate() {
+        let step = 1usize << k;
+        let shifted: Vec<WireId> = (0..n)
+            .map(|i| {
+                if i + step < n {
+                    cur[i + step]
+                } else {
+                    WireId::ZERO
+                }
+            })
+            .collect();
+        cur = mux_bus(b, s, &shifted, &cur);
+    }
+    cur
+}
+
+/// Logical left barrel shift (zero fill).
+pub fn barrel_left(b: &mut NetlistBuilder, bus: &[WireId], sh: &[WireId]) -> Vec<WireId> {
+    let n = bus.len();
+    let mut cur = bus.to_vec();
+    for (k, &s) in sh.iter().enumerate() {
+        let step = 1usize << k;
+        let shifted: Vec<WireId> = (0..n)
+            .map(|i| if i >= step { cur[i - step] } else { WireId::ZERO })
+            .collect();
+        cur = mux_bus(b, s, &shifted, &cur);
+    }
+    cur
+}
+
+/// Normalising left-shifter: shifts `bus` left until its MSB is 1 and
+/// returns `(normalised bus, shift count bits LSB-first)`. If the bus is
+/// all zeros the count saturates at `2^levels - 1`; callers special-case
+/// zero beforehand. `levels = ceil(log2(bus.len()))`.
+pub fn normalize_left(b: &mut NetlistBuilder, bus: &[WireId]) -> (Vec<WireId>, Vec<WireId>) {
+    let n = bus.len();
+    let levels = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let mut cur = bus.to_vec();
+    let mut count = vec![WireId::ZERO; levels];
+    for k in (0..levels).rev() {
+        let step = 1usize << k;
+        if step >= n {
+            // A shift this large only applies to all-zero values; keep the
+            // count bit as the all-zero indicator of the whole bus.
+            let z = is_zero(b, &cur);
+            count[k] = z;
+            continue;
+        }
+        // Are the top `step` bits all zero?
+        let top = &cur[n - step..];
+        let allz = is_zero(b, top);
+        count[k] = allz;
+        let shifted: Vec<WireId> = (0..n)
+            .map(|i| if i >= step { cur[i - step] } else { WireId::ZERO })
+            .collect();
+        cur = mux_bus(b, allz, &shifted, &cur);
+    }
+    (cur, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{bit_of, Evaluator, FaultSet};
+    use crate::netlist::Netlist;
+
+    /// Builds a throwaway circuit around `f` over one n-bit input bus.
+    fn harness1(n: usize, f: impl FnOnce(&mut NetlistBuilder, &[WireId]) -> Vec<WireId>) -> Netlist {
+        let mut b = NetlistBuilder::new("h");
+        let bus = b.input_bus(n);
+        let out = f(&mut b, &bus);
+        b.finish(out)
+    }
+
+    fn run1(net: &Netlist, v: u64) -> u64 {
+        let mut ev = Evaluator::new(net);
+        ev.run(net, |i| bit_of(v, i), &FaultSet::none());
+        ev.bus(net.outputs(), 0)
+    }
+
+    #[test]
+    fn ripple_add_matches_native() {
+        let mut b = NetlistBuilder::new("add16");
+        let a = b.input_bus(16);
+        let bb = b.input_bus(16);
+        let (sum, cout) = ripple_add(&mut b, &a, &bb, WireId::ZERO);
+        let mut outs = sum;
+        outs.push(cout);
+        let net = b.finish(outs);
+        let mut ev = Evaluator::new(&net);
+        for (x, y) in [(0u64, 0u64), (1, 1), (0xFFFF, 1), (0x1234, 0xEDCB), (0x8000, 0x8000)] {
+            ev.run(
+                &net,
+                |i| {
+                    if i < 16 {
+                        bit_of(x, i)
+                    } else {
+                        bit_of(y, i - 16)
+                    }
+                },
+                &FaultSet::none(),
+            );
+            assert_eq!(ev.bus(net.outputs(), 0), x + y, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn ripple_sub_and_compare() {
+        let mut b = NetlistBuilder::new("sub8");
+        let a = b.input_bus(8);
+        let bb = b.input_bus(8);
+        let (diff, ge) = ripple_sub(&mut b, &a, &bb);
+        let mut outs = diff;
+        outs.push(ge);
+        let net = b.finish(outs);
+        let mut ev = Evaluator::new(&net);
+        for (x, y) in [(5u64, 3u64), (3, 5), (0, 0), (255, 1), (1, 255)] {
+            ev.run(
+                &net,
+                |i| {
+                    if i < 8 {
+                        bit_of(x, i)
+                    } else {
+                        bit_of(y, i - 8)
+                    }
+                },
+                &FaultSet::none(),
+            );
+            let out = ev.bus(net.outputs(), 0);
+            assert_eq!(out & 0xFF, x.wrapping_sub(y) & 0xFF);
+            assert_eq!(out >> 8 == 1, x >= y, "{x} >= {y}");
+        }
+    }
+
+    #[test]
+    fn barrel_shifts() {
+        for sh_amt in 0u64..16 {
+            let net = harness1(16, |b, bus| {
+                let sh = const_bus(sh_amt, 4);
+                barrel_right(b, bus, &sh)
+            });
+            assert_eq!(run1(&net, 0xF0F0), 0xF0F0 >> sh_amt, "right by {sh_amt}");
+            let net = harness1(16, |b, bus| {
+                let sh = const_bus(sh_amt, 4);
+                barrel_left(b, bus, &sh)
+            });
+            assert_eq!(run1(&net, 0xF0F0), (0xF0F0 << sh_amt) & 0xFFFF, "left by {sh_amt}");
+        }
+    }
+
+    #[test]
+    fn zero_and_const_detectors() {
+        let net = harness1(8, |b, bus| {
+            let z = is_zero(b, bus);
+            let e = eq_const(b, bus, 0xA5);
+            vec![z, e]
+        });
+        assert_eq!(run1(&net, 0), 0b01);
+        assert_eq!(run1(&net, 0xA5), 0b10);
+        assert_eq!(run1(&net, 7), 0b00);
+    }
+
+    #[test]
+    fn normalizer_all_zero_saturates() {
+        let net = harness1(24, |b, bus| {
+            let (norm, cnt) = normalize_left(b, bus);
+            let mut outs = norm;
+            outs.extend(cnt);
+            outs
+        });
+        let out = run1(&net, 0);
+        assert_eq!(out & 0xFF_FFFF, 0, "zero stays zero");
+        assert_eq!(out >> 24, 31, "count saturates at 2^levels - 1");
+    }
+
+    #[test]
+    fn const_bus_roundtrips() {
+        for v in [0u64, 1, 0xA5, 0xFFFF] {
+            let net = harness1(1, |b, _| {
+                let bus = const_bus(v, 16);
+                // Pass constants through a mux so they become outputs.
+                bus.iter().map(|&w| b.mux(WireId::ONE, w, WireId::ZERO)).collect()
+            });
+            assert_eq!(run1(&net, 0), v & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn normalizer_finds_leading_one() {
+        let net = harness1(24, |b, bus| {
+            let (norm, cnt) = normalize_left(b, bus);
+            let mut outs = norm;
+            outs.extend(cnt);
+            outs
+        });
+        for v in [1u64, 2, 0x800000, 0x123456, 0x000080] {
+            let out = run1(&net, v);
+            let norm = out & 0xFF_FFFF;
+            let cnt = out >> 24;
+            let expect_cnt = v.leading_zeros() as u64 - 40; // 24-bit value in u64
+            assert_eq!(cnt, expect_cnt, "count for {v:#x}");
+            assert_eq!(norm, (v << expect_cnt) & 0xFF_FFFF, "norm for {v:#x}");
+            assert!(norm & 0x80_0000 != 0, "MSB set after normalise");
+        }
+    }
+}

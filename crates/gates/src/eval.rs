@@ -1,0 +1,276 @@
+//! 64-lane bit-parallel netlist evaluation with stuck-at fault injection.
+//!
+//! Every wire value is a `u64` whose bit *l* is the wire's logic value in
+//! *lane l*. All 64 lanes share the same primary inputs (broadcast), but
+//! each lane can carry a **different stuck-at fault** — so one topological
+//! pass through the netlist grades 64 fault scenarios simultaneously.
+//! This is the packed screening engine the fault injector uses to find
+//! which gate faults *activate* (produce an output differing from the
+//! fault-free lane) for a given operand pair.
+
+use crate::netlist::{GateOp, Netlist, WireId};
+
+/// A set of stuck-at faults, one per lane at most.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSet {
+    /// `(gate index, lane, stuck-at-one)` triples.
+    entries: Vec<(u32, u8, bool)>,
+}
+
+impl FaultSet {
+    /// The empty (fault-free) set.
+    pub fn none() -> FaultSet {
+        FaultSet::default()
+    }
+
+    /// A single fault applied to **all** lanes (used for single-fault
+    /// replay, where only lane 0 is read back).
+    pub fn single(gate: u32, stuck_one: bool) -> FaultSet {
+        let mut s = FaultSet::default();
+        for lane in 0..64 {
+            s.entries.push((gate, lane, stuck_one));
+        }
+        s
+    }
+
+    /// Adds a fault on one lane.
+    pub fn add(&mut self, gate: u32, lane: u8, stuck_one: bool) {
+        assert!(lane < 64, "lane out of range");
+        self.entries.push((gate, lane, stuck_one));
+    }
+
+    /// Builds a set grading up to 64 faults, fault `i` in lane `i`.
+    pub fn lanes(faults: &[(u32, bool)]) -> FaultSet {
+        assert!(faults.len() <= 64, "at most 64 faults per packed pass");
+        let mut s = FaultSet::default();
+        for (i, &(g, s1)) in faults.iter().enumerate() {
+            s.add(g, i as u8, s1);
+        }
+        s
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Reusable evaluation scratch state for one netlist.
+///
+/// Keep one `Evaluator` per thread per circuit: the buffers are sized once
+/// and reused across calls, keeping the hot path allocation-free.
+#[derive(Debug)]
+pub struct Evaluator {
+    values: Vec<u64>,
+    /// Per-gate force masks, rebuilt sparsely per call.
+    force0: Vec<u64>,
+    force1: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator sized for `net`.
+    pub fn new(net: &Netlist) -> Evaluator {
+        Evaluator {
+            values: vec![0; net.wire_count()],
+            force0: vec![0; net.gate_count()],
+            force1: vec![0; net.gate_count()],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Evaluates `net` with the given per-input broadcast bits and fault
+    /// set. Input `i` of the netlist takes bit `i`'s value from the
+    /// caller-provided closure.
+    ///
+    /// # Panics
+    /// Panics if the evaluator was created for a different netlist shape.
+    pub fn run(&mut self, net: &Netlist, input_bit: impl Fn(usize) -> bool, faults: &FaultSet) {
+        assert_eq!(self.values.len(), net.wire_count(), "evaluator/netlist mismatch");
+        // Clear previous fault masks sparsely.
+        for &g in &self.touched {
+            self.force0[g as usize] = 0;
+            self.force1[g as usize] = 0;
+        }
+        self.touched.clear();
+        for &(g, lane, stuck_one) in &faults.entries {
+            let gi = g as usize;
+            assert!(gi < net.gate_count(), "fault on nonexistent gate");
+            if self.force0[gi] == 0 && self.force1[gi] == 0 {
+                self.touched.push(g);
+            }
+            if stuck_one {
+                self.force1[gi] |= 1 << lane;
+            } else {
+                self.force0[gi] |= 1 << lane;
+            }
+        }
+
+        self.values[0] = 0;
+        self.values[1] = u64::MAX;
+        let n_in = net.input_count();
+        for i in 0..n_in {
+            self.values[2 + i] = if input_bit(i) { u64::MAX } else { 0 };
+        }
+        for (g, gate) in net.gates().iter().enumerate() {
+            let a = self.values[gate.a.index()];
+            let b = self.values[gate.b.index()];
+            let mut v = match gate.op {
+                GateOp::And => a & b,
+                GateOp::Or => a | b,
+                GateOp::Xor => a ^ b,
+                GateOp::Nand => !(a & b),
+                GateOp::Nor => !(a | b),
+                GateOp::Xnor => !(a ^ b),
+                GateOp::Not => !a,
+                GateOp::Mux => {
+                    let s = self.values[gate.sel.index()];
+                    (a & s) | (b & !s)
+                }
+            };
+            v = (v | self.force1[g]) & !self.force0[g];
+            self.values[2 + n_in + g] = v;
+        }
+    }
+
+    /// Logic value of `wire` in `lane` after [`Evaluator::run`].
+    #[inline]
+    pub fn wire(&self, wire: WireId, lane: u8) -> bool {
+        self.values[wire.index()] >> lane & 1 == 1
+    }
+
+    /// Collects a bus (LSB-first wire list) into an integer for `lane`.
+    pub fn bus(&self, wires: &[WireId], lane: u8) -> u64 {
+        assert!(wires.len() <= 64);
+        let mut v = 0u64;
+        for (i, w) in wires.iter().enumerate() {
+            v |= (self.values[w.index()] >> lane & 1) << i;
+        }
+        v
+    }
+
+    /// Collects a bus across **all** lanes at once (transpose), writing
+    /// one value per lane into `out`.
+    pub fn bus_all_lanes(&self, wires: &[WireId], out: &mut [u64; 64]) {
+        out.fill(0);
+        for (i, w) in wires.iter().enumerate() {
+            let col = self.values[w.index()];
+            // Scatter column bit l into out[l] bit i.
+            let mut rest = col;
+            while rest != 0 {
+                let l = rest.trailing_zeros() as usize;
+                out[l] |= 1 << i;
+                rest &= rest - 1;
+            }
+        }
+    }
+}
+
+/// Convenience helpers to feed integer operands into input buses.
+pub fn bit_of(v: u64, i: usize) -> bool {
+    v >> i & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    /// A 2-bit adder built by hand: out = a + b (3 bits).
+    fn tiny_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny-add");
+        let a0 = b.input();
+        let a1 = b.input();
+        let b0 = b.input();
+        let b1 = b.input();
+        let s0 = b.xor(a0, b0);
+        let c0 = b.and(a0, b0);
+        let x1 = b.xor(a1, b1);
+        let s1 = b.xor(x1, c0);
+        let c1a = b.and(a1, b1);
+        let c1b = b.and(x1, c0);
+        let c1 = b.or(c1a, c1b);
+        b.finish(vec![s0, s1, c1])
+    }
+
+    #[test]
+    fn adder_truth_table() {
+        let net = tiny_adder();
+        let mut ev = Evaluator::new(&net);
+        for a in 0u64..4 {
+            for bb in 0u64..4 {
+                ev.run(
+                    &net,
+                    |i| match i {
+                        0 => bit_of(a, 0),
+                        1 => bit_of(a, 1),
+                        2 => bit_of(bb, 0),
+                        _ => bit_of(bb, 1),
+                    },
+                    &FaultSet::none(),
+                );
+                assert_eq!(ev.bus(net.outputs(), 0), a + bb, "{a}+{bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_lane_faults_are_independent() {
+        let net = tiny_adder();
+        let mut ev = Evaluator::new(&net);
+        // Fault gate 0 (s0 xor) stuck-at-1 in lane 3 only; a=b=0 so the
+        // fault forces sum bit 0 to 1 in lane 3.
+        let mut fs = FaultSet::none();
+        fs.add(0, 3, true);
+        ev.run(&net, |_| false, &fs);
+        assert_eq!(ev.bus(net.outputs(), 0), 0, "lane 0 fault-free");
+        assert_eq!(ev.bus(net.outputs(), 3), 1, "lane 3 faulted");
+        for lane in [1u8, 2, 4, 63] {
+            assert_eq!(ev.bus(net.outputs(), lane), 0);
+        }
+    }
+
+    #[test]
+    fn stuck_at_zero_masks_ones() {
+        let net = tiny_adder();
+        let mut ev = Evaluator::new(&net);
+        // a=1, b=0 → s0 = 1; stuck-at-0 on gate 0 flattens it in lane 5.
+        let mut fs = FaultSet::none();
+        fs.add(0, 5, false);
+        ev.run(&net, |i| i == 0, &fs);
+        assert_eq!(ev.bus(net.outputs(), 0), 1);
+        assert_eq!(ev.bus(net.outputs(), 5), 0);
+    }
+
+    #[test]
+    fn fault_masks_reset_between_runs() {
+        let net = tiny_adder();
+        let mut ev = Evaluator::new(&net);
+        let mut fs = FaultSet::none();
+        fs.add(0, 0, true);
+        ev.run(&net, |_| false, &fs);
+        assert_eq!(ev.bus(net.outputs(), 0), 1);
+        ev.run(&net, |_| false, &FaultSet::none());
+        assert_eq!(ev.bus(net.outputs(), 0), 0, "stale fault leaked");
+    }
+
+    #[test]
+    fn bus_all_lanes_transposes() {
+        let net = tiny_adder();
+        let mut ev = Evaluator::new(&net);
+        let fs = FaultSet::lanes(&[(0, true), (1, true)]);
+        ev.run(&net, |_| false, &fs);
+        let mut out = [0u64; 64];
+        ev.bus_all_lanes(net.outputs(), &mut out);
+        for lane in 0..64u8 {
+            assert_eq!(out[lane as usize], ev.bus(net.outputs(), lane), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn fault_set_lanes_builder() {
+        let fs = FaultSet::lanes(&[(3, true), (7, false)]);
+        assert!(!fs.is_empty());
+        assert!(FaultSet::none().is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared sub-circuits for the floating-point units: field extraction,
+//! special-value detection and result packing. Both FP circuits implement
+//! the HX86 FP specification of `harpo_isa::softfp` *bit-for-bit* (the
+//! cross-equivalence is enforced by tests in each unit module).
+
+use crate::components::{eq_const, is_zero, mux_bus, or_tree};
+use crate::netlist::{NetlistBuilder, WireId};
+
+/// Decoded fields and classification of one FP operand.
+#[derive(Debug, Clone)]
+pub struct FpFields {
+    /// Sign bit.
+    pub sign: WireId,
+    /// Exponent bus (8 bits).
+    pub exp: Vec<WireId>,
+    /// Mantissa bus (23 bits).
+    pub man: Vec<WireId>,
+    /// 24-bit significand with hidden bit (only meaningful for normals).
+    pub sig: Vec<WireId>,
+    /// `exp == 0` — zero under flush-to-zero (denormals included).
+    pub is_zero: WireId,
+    /// `exp == 255 && man != 0`.
+    pub is_nan: WireId,
+    /// `exp == 255 && man == 0`.
+    pub is_inf: WireId,
+}
+
+/// Splits a 32-bit operand bus into classified FP fields.
+pub fn decode_fp(b: &mut NetlistBuilder, bus: &[WireId]) -> FpFields {
+    assert_eq!(bus.len(), 32);
+    let sign = bus[31];
+    let exp: Vec<WireId> = bus[23..31].to_vec();
+    let man: Vec<WireId> = bus[..23].to_vec();
+    let mut sig = man.clone();
+    sig.push(WireId::ONE);
+    let zero = is_zero(b, &exp);
+    let ones = eq_const(b, &exp, 0xFF);
+    let man_any = or_tree(b, &man);
+    let man_none = b.not(man_any);
+    let is_nan = b.and(ones, man_any);
+    let is_inf = b.and(ones, man_none);
+    FpFields {
+        sign,
+        exp,
+        man,
+        sig,
+        is_zero: zero,
+        is_nan,
+        is_inf,
+    }
+}
+
+/// Packs `(sign, exp8, man23)` into a 32-bit bus.
+pub fn pack_fp(sign: WireId, exp: &[WireId], man: &[WireId]) -> Vec<WireId> {
+    assert_eq!(exp.len(), 8);
+    assert_eq!(man.len(), 23);
+    let mut out = man.to_vec();
+    out.extend_from_slice(exp);
+    out.push(sign);
+    out
+}
+
+/// The canonical quiet-NaN bus.
+pub fn qnan_bus() -> Vec<WireId> {
+    crate::components::const_bus(harpo_isa::softfp::QNAN as u64, 32)
+}
+
+/// An infinity bus with the given sign wire.
+pub fn inf_bus(sign: WireId) -> Vec<WireId> {
+    let mut out = crate::components::const_bus(0x7F80_0000, 32);
+    out[31] = sign;
+    out
+}
+
+/// A signed-zero bus.
+pub fn zero_bus(sign: WireId) -> Vec<WireId> {
+    let mut out = crate::components::const_bus(0, 32);
+    out[31] = sign;
+    out
+}
+
+/// `cond ? then : else` over 32-bit result buses — the priority-mux
+/// building block for special-case handling.
+pub fn select(
+    b: &mut NetlistBuilder,
+    cond: WireId,
+    then_bus: &[WireId],
+    else_bus: &[WireId],
+) -> Vec<WireId> {
+    mux_bus(b, cond, then_bus, else_bus)
+}

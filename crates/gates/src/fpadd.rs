@@ -1,0 +1,284 @@
+//! The graded single-precision FP adder circuit.
+//!
+//! Implements `harpo_isa::softfp::fadd` structurally: magnitude compare →
+//! operand swap → alignment barrel shifter → 24-bit add/subtract →
+//! normalisation (leading-zero count + left shift) → truncation → special
+//! case priority muxes. The equivalence with the software model is
+//! bit-exact and enforced by randomized and property tests.
+
+use crate::components::{
+    barrel_right, eq_const, is_zero, mux_bus, normalize_left, or_tree, ripple_add, ripple_sub,
+};
+use crate::eval::{bit_of, Evaluator, FaultSet};
+use crate::fp_common::{decode_fp, inf_bus, pack_fp, qnan_bus, select, zero_bus};
+use crate::netlist::{Netlist, NetlistBuilder, WireId};
+use std::sync::OnceLock;
+
+/// The single-precision FP adder.
+#[derive(Debug)]
+pub struct FpAddCircuit {
+    net: Netlist,
+    out: Vec<WireId>,
+}
+
+impl FpAddCircuit {
+    /// Builds the circuit (prefer the shared [`fp_adder`] instance).
+    pub fn build() -> FpAddCircuit {
+        let mut b = NetlistBuilder::new("fp-adder-f32");
+        let a_bus = b.input_bus(32);
+        let b_bus = b.input_bus(32);
+        let fa = decode_fp(&mut b, &a_bus);
+        let fb = decode_fp(&mut b, &b_bus);
+
+        // Magnitude order on (exp:man) — 31-bit compare via subtraction.
+        let mut mag_a = fa.man.clone();
+        mag_a.extend_from_slice(&fa.exp);
+        let mut mag_b = fb.man.clone();
+        mag_b.extend_from_slice(&fb.exp);
+        let (_, a_ge_b) = ripple_sub(&mut b, &mag_a, &mag_b);
+
+        let s_big = b.mux(a_ge_b, fa.sign, fb.sign);
+        let e_big = mux_bus(&mut b, a_ge_b, &fa.exp, &fb.exp);
+        let e_small = mux_bus(&mut b, a_ge_b, &fb.exp, &fa.exp);
+        let m_big = mux_bus(&mut b, a_ge_b, &fa.sig, &fb.sig);
+        let m_small_raw = mux_bus(&mut b, a_ge_b, &fb.sig, &fa.sig);
+
+        // Alignment distance d = e_big - e_small (8 bits, non-negative).
+        let (d, _) = ripple_sub(&mut b, &e_big, &e_small);
+        // Shifts of 32+ leave nothing (24-bit significand): zero the
+        // shifted operand when any high distance bit is set.
+        let d_hi = or_tree(&mut b, &d[5..8]);
+        let shifted = barrel_right(&mut b, &m_small_raw, &d[..5]);
+        let zeros24 = crate::components::const_bus(0, 24);
+        let m_small = mux_bus(&mut b, d_hi, &zeros24, &shifted);
+
+        let same_sign = b.xnor(fa.sign, fb.sign);
+
+        // --- Same-sign path: 24-bit add, possible carry renormalise. ---
+        let (ssum, scarry) = ripple_add(&mut b, &m_big, &m_small, WireId::ZERO);
+        // Mantissa out: with carry take bits [1..=23], else [0..=22].
+        let m_sum: Vec<WireId> = (0..23)
+            .map(|i| b.mux(scarry, ssum[i + 1], ssum[i]))
+            .collect();
+        // e_sum = e_big + carry (9 bits).
+        let mut e_big9 = e_big.clone();
+        e_big9.push(WireId::ZERO);
+        let zeros9 = crate::components::const_bus(0, 9);
+        let (e_sum9, _) = ripple_add(&mut b, &e_big9, &zeros9, scarry);
+        let sum_inf = eq_const(&mut b, &e_sum9, 255);
+
+        // --- Opposite-sign path: 24-bit subtract, normalise. ---
+        let (diff, _) = ripple_sub(&mut b, &m_big, &m_small);
+        let diff_zero = is_zero(&mut b, &diff);
+        let (norm, lz) = normalize_left(&mut b, &diff);
+        let m_diff: Vec<WireId> = norm[..23].to_vec();
+        // e_diff = e_big - lz (9-bit).
+        let mut lz9 = lz.clone();
+        while lz9.len() < 9 {
+            lz9.push(WireId::ZERO);
+        }
+        let (e_diff9, no_borrow) = ripple_sub(&mut b, &e_big9, &lz9);
+        let e_diff_zero = is_zero(&mut b, &e_diff9);
+        let borrow = b.not(no_borrow);
+        let under = b.or(borrow, e_diff_zero);
+
+        // --- Merge paths. ---
+        let main_e = mux_bus(&mut b, same_sign, &e_sum9[..8], &e_diff9[..8]);
+        let main_m = mux_bus(&mut b, same_sign, &m_sum, &m_diff);
+        let mut r = pack_fp(s_big, &main_e, &main_m);
+
+        // Same-sign exponent overflow → infinity.
+        let inf_big = inf_bus(s_big);
+        let ovf = b.and(same_sign, sum_inf);
+        r = select(&mut b, ovf, &inf_big, &r);
+        // Opposite-sign underflow → signed zero.
+        let not_same = b.not(same_sign);
+        let z_big = zero_bus(s_big);
+        let und = b.and(not_same, under);
+        r = select(&mut b, und, &z_big, &r);
+        // Exact cancellation → +0.
+        let plus0 = zero_bus(WireId::ZERO);
+        let cancel = b.and(not_same, diff_zero);
+        r = select(&mut b, cancel, &plus0, &r);
+
+        // --- Special operands (highest priority last). ---
+        let nb_zero = b.not(fb.is_zero);
+        let a0_only = b.and(fa.is_zero, nb_zero);
+        r = select(&mut b, a0_only, &b_bus, &r);
+        let na_zero = b.not(fa.is_zero);
+        let b0_only = b.and(fb.is_zero, na_zero);
+        r = select(&mut b, b0_only, &a_bus, &r);
+        let both0 = b.and(fa.is_zero, fb.is_zero);
+        let minus_both = b.and(fa.sign, fb.sign);
+        let z00 = zero_bus(minus_both);
+        r = select(&mut b, both0, &z00, &r);
+
+        let nb_inf = b.not(fb.is_inf);
+        let ainf_only = b.and(fa.is_inf, nb_inf);
+        r = select(&mut b, ainf_only, &a_bus, &r);
+        let na_inf = b.not(fa.is_inf);
+        let binf_only = b.and(fb.is_inf, na_inf);
+        r = select(&mut b, binf_only, &b_bus, &r);
+        let both_inf = b.and(fa.is_inf, fb.is_inf);
+        let bi_same = b.and(both_inf, same_sign);
+        r = select(&mut b, bi_same, &a_bus, &r);
+        let bi_diff = b.and(both_inf, not_same);
+        let qn = qnan_bus();
+        r = select(&mut b, bi_diff, &qn, &r);
+
+        let nan_any = b.or(fa.is_nan, fb.is_nan);
+        r = select(&mut b, nan_any, &qn, &r);
+
+        let net = b.finish(r.clone());
+        FpAddCircuit { net, out: r }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
+    }
+
+    /// Evaluates lane 0.
+    pub fn eval(&self, ev: &mut Evaluator, a: u32, b: u32, faults: &FaultSet) -> u32 {
+        ev.run(
+            &self.net,
+            |i| {
+                if i < 32 {
+                    bit_of(a as u64, i)
+                } else {
+                    bit_of(b as u64, i - 32)
+                }
+            },
+            faults,
+        );
+        ev.bus(&self.out, 0) as u32
+    }
+
+    /// Packed evaluation across fault lanes.
+    pub fn eval_lanes(
+        &self,
+        ev: &mut Evaluator,
+        a: u32,
+        b: u32,
+        faults: &FaultSet,
+        out: &mut [u64; 64],
+    ) {
+        ev.run(
+            &self.net,
+            |i| {
+                if i < 32 {
+                    bit_of(a as u64, i)
+                } else {
+                    bit_of(b as u64, i - 32)
+                }
+            },
+            faults,
+        );
+        ev.bus_all_lanes(&self.out, out);
+    }
+}
+
+/// The process-wide FP adder circuit (built once).
+pub fn fp_adder() -> &'static FpAddCircuit {
+    static C: OnceLock<FpAddCircuit> = OnceLock::new();
+    C.get_or_init(FpAddCircuit::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::softfp;
+
+    fn check(a: u32, b: u32) {
+        let c = fp_adder();
+        let mut ev = Evaluator::new(c.netlist());
+        let got = c.eval(&mut ev, a, b, &FaultSet::none());
+        let want = softfp::fadd(a, b);
+        assert_eq!(
+            got,
+            want,
+            "fadd({:#010x} [{}], {:#010x} [{}]) = {:#010x}, want {:#010x}",
+            a,
+            f32::from_bits(a),
+            b,
+            f32::from_bits(b),
+            got,
+            want
+        );
+    }
+
+    #[test]
+    fn simple_sums() {
+        for (a, b) in [
+            (1.0f32, 2.0f32),
+            (0.5, 0.25),
+            (-1.5, 0.75),
+            (100.0, -100.0),
+            (1e20, 1.0),
+            (3.25, 3.25),
+            (-0.0, 0.0),
+            (-0.0, -0.0),
+        ] {
+            check(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let inf = f32::INFINITY.to_bits();
+        let ninf = f32::NEG_INFINITY.to_bits();
+        let nan = softfp::QNAN;
+        for (a, b) in [
+            (inf, 1.0f32.to_bits()),
+            (ninf, inf),
+            (inf, inf),
+            (nan, 2.0f32.to_bits()),
+            (1.0f32.to_bits(), nan),
+            (0, 5.0f32.to_bits()),
+            (5.0f32.to_bits(), 0),
+            (1, 2), // two denormals: flush to zero
+        ] {
+            check(a, b);
+        }
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let big = f32::MAX.to_bits();
+        check(big, big); // → inf
+        let tiny = f32::MIN_POSITIVE.to_bits();
+        let tiny2 = (f32::MIN_POSITIVE * 1.5).to_bits();
+        check(tiny2, tiny | 0x8000_0000); // cancellation near underflow
+    }
+
+    #[test]
+    fn seeded_random_equivalence() {
+        let c = fp_adder();
+        let mut ev = Evaluator::new(c.netlist());
+        let mut s = 0xABCD_EF01u64;
+        for i in 0..2_000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = s as u32;
+            let b = (s >> 32) as u32;
+            let got = c.eval(&mut ev, a, b, &FaultSet::none());
+            let want = softfp::fadd(a, b);
+            assert_eq!(got, want, "iter {i}: fadd({a:#010x}, {b:#010x})");
+        }
+    }
+
+    #[test]
+    fn faults_can_activate() {
+        let c = fp_adder();
+        let mut ev = Evaluator::new(c.netlist());
+        let a = 1.5f32.to_bits();
+        let b = 2.25f32.to_bits();
+        let golden = c.eval(&mut ev, a, b, &FaultSet::none());
+        let mut activated = 0;
+        for g in (0..c.netlist().gate_count() as u32).step_by(7) {
+            if c.eval(&mut ev, a, b, &FaultSet::single(g, true)) != golden {
+                activated += 1;
+            }
+        }
+        assert!(activated > 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The graded single-precision FP multiplier circuit.
+//!
+//! A 24×24 significand array multiplier plus exponent arithmetic,
+//! single-step normalisation and truncation, with special-case priority
+//! muxes. Bit-exact against `harpo_isa::softfp::fmul`.
+
+use crate::components::{const_bus, is_zero, ripple_add, ripple_sub};
+use crate::eval::{bit_of, Evaluator, FaultSet};
+use crate::fp_common::{decode_fp, inf_bus, pack_fp, qnan_bus, select, zero_bus};
+use crate::netlist::{Netlist, NetlistBuilder, WireId};
+use std::sync::OnceLock;
+
+/// The single-precision FP multiplier.
+#[derive(Debug)]
+pub struct FpMulCircuit {
+    net: Netlist,
+    out: Vec<WireId>,
+}
+
+impl FpMulCircuit {
+    /// Builds the circuit (prefer the shared [`fp_multiplier`] instance).
+    pub fn build() -> FpMulCircuit {
+        let mut b = NetlistBuilder::new("fp-mul-f32");
+        let a_bus = b.input_bus(32);
+        let b_bus = b.input_bus(32);
+        let fa = decode_fp(&mut b, &a_bus);
+        let fb = decode_fp(&mut b, &b_bus);
+        let s = b.xor(fa.sign, fb.sign);
+
+        // 24×24 significand array → 48-bit product.
+        let mut rows: Vec<Vec<WireId>> = Vec::with_capacity(24);
+        for i in 0..24 {
+            let row: Vec<WireId> = (0..24).map(|j| b.and(fa.sig[j], fb.sig[i])).collect();
+            rows.push(row);
+        }
+        let mut acc: Vec<WireId> = (0..48)
+            .map(|k| if k < 24 { rows[0][k] } else { WireId::ZERO })
+            .collect();
+        for (i, row) in rows.iter().enumerate().skip(1) {
+            let addend: Vec<WireId> = (0..48)
+                .map(|k| {
+                    if k >= i && k < i + 24 {
+                        row[k - i]
+                    } else {
+                        WireId::ZERO
+                    }
+                })
+                .collect();
+            let (sum, _) = ripple_add(&mut b, &acc, &addend, WireId::ZERO);
+            acc = sum;
+        }
+        let p47 = acc[47];
+        // Mantissa: bits [24..=46] when the product has 48 significant
+        // bits, else [23..=45] (truncation rounding).
+        let m: Vec<WireId> = (0..23).map(|i| b.mux(p47, acc[i + 24], acc[i + 23])).collect();
+
+        // Exponent: e = ea + eb - 127 + p47, computed in 10 bits
+        // (two's complement; -127 ≡ 897 mod 1024).
+        let mut ea10 = fa.exp.clone();
+        ea10.extend_from_slice(&[WireId::ZERO, WireId::ZERO]);
+        let mut eb10 = fb.exp.clone();
+        eb10.extend_from_slice(&[WireId::ZERO, WireId::ZERO]);
+        let (esum, _) = ripple_add(&mut b, &ea10, &eb10, WireId::ZERO);
+        let bias = const_bus(897, 10);
+        let (e10, _) = ripple_add(&mut b, &esum, &bias, p47);
+        let neg = e10[9];
+        let e_zero = is_zero(&mut b, &e10);
+        let under = b.or(neg, e_zero);
+        let (_, ge255) = ripple_sub(&mut b, &e10, &const_bus(255, 10));
+        let not_neg = b.not(neg);
+        let over = b.and(ge255, not_neg);
+
+        let mut r = pack_fp(s, &e10[..8], &m);
+        let z = zero_bus(s);
+        r = select(&mut b, under, &z, &r);
+        let inf_s = inf_bus(s);
+        r = select(&mut b, over, &inf_s, &r);
+
+        // Specials, highest priority last.
+        let any_zero = b.or(fa.is_zero, fb.is_zero);
+        r = select(&mut b, any_zero, &z, &r);
+        let any_inf = b.or(fa.is_inf, fb.is_inf);
+        r = select(&mut b, any_inf, &inf_s, &r);
+        let inf_times_zero = b.and(any_inf, any_zero);
+        let qn = qnan_bus();
+        r = select(&mut b, inf_times_zero, &qn, &r);
+        let nan_any = b.or(fa.is_nan, fb.is_nan);
+        r = select(&mut b, nan_any, &qn, &r);
+
+        let net = b.finish(r.clone());
+        FpMulCircuit { net, out: r }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
+    }
+
+    /// Evaluates lane 0.
+    pub fn eval(&self, ev: &mut Evaluator, a: u32, b: u32, faults: &FaultSet) -> u32 {
+        ev.run(
+            &self.net,
+            |i| {
+                if i < 32 {
+                    bit_of(a as u64, i)
+                } else {
+                    bit_of(b as u64, i - 32)
+                }
+            },
+            faults,
+        );
+        ev.bus(&self.out, 0) as u32
+    }
+
+    /// Packed evaluation across fault lanes.
+    pub fn eval_lanes(
+        &self,
+        ev: &mut Evaluator,
+        a: u32,
+        b: u32,
+        faults: &FaultSet,
+        out: &mut [u64; 64],
+    ) {
+        ev.run(
+            &self.net,
+            |i| {
+                if i < 32 {
+                    bit_of(a as u64, i)
+                } else {
+                    bit_of(b as u64, i - 32)
+                }
+            },
+            faults,
+        );
+        ev.bus_all_lanes(&self.out, out);
+    }
+}
+
+/// The process-wide FP multiplier circuit (built once).
+pub fn fp_multiplier() -> &'static FpMulCircuit {
+    static C: OnceLock<FpMulCircuit> = OnceLock::new();
+    C.get_or_init(FpMulCircuit::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::softfp;
+
+    fn check(a: u32, b: u32) {
+        let c = fp_multiplier();
+        let mut ev = Evaluator::new(c.netlist());
+        let got = c.eval(&mut ev, a, b, &FaultSet::none());
+        let want = softfp::fmul(a, b);
+        assert_eq!(
+            got,
+            want,
+            "fmul({:#010x} [{}], {:#010x} [{}]) = {:#010x}, want {:#010x}",
+            a,
+            f32::from_bits(a),
+            b,
+            f32::from_bits(b),
+            got,
+            want
+        );
+    }
+
+    #[test]
+    fn simple_products() {
+        for (a, b) in [
+            (2.0f32, 3.0f32),
+            (1.5, 1.5),
+            (-4.0, 0.25),
+            (0.1, 10.0),
+            (1e19, 1e19),
+            (1e-20, 1e-20),
+            (-0.0, 7.0),
+        ] {
+            check(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let inf = f32::INFINITY.to_bits();
+        let nan = softfp::QNAN;
+        for (a, b) in [
+            (inf, 2.0f32.to_bits()),
+            (inf, 0u32),
+            (0, inf),
+            (nan, 1.0f32.to_bits()),
+            (0, 0),
+            (3, 7), // denormals flush
+        ] {
+            check(a, b);
+        }
+    }
+
+    #[test]
+    fn seeded_random_equivalence() {
+        let c = fp_multiplier();
+        let mut ev = Evaluator::new(c.netlist());
+        let mut s = 0x1357_9BDFu64;
+        for i in 0..2_000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = s as u32;
+            let b = (s >> 32) as u32;
+            let got = c.eval(&mut ev, a, b, &FaultSet::none());
+            let want = softfp::fmul(a, b);
+            assert_eq!(got, want, "iter {i}: fmul({a:#010x}, {b:#010x})");
+        }
+    }
+
+    #[test]
+    fn gate_population_is_realistic() {
+        assert!(fp_multiplier().netlist().gate_count() > 3_000);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # harpo-gates — gate-level functional-unit models
+//!
+//! Gate-level netlists for the four *graded* functional units of the
+//! Harpocrates evaluation (integer adder, integer multiplier, SSE FP adder
+//! and multiplier), with stuck-at fault injection at gate outputs. This is
+//! the substrate that replaces the paper's EDA-tool gate-level models and
+//! GeFIN's gate-level extension (§II-C, §III-C).
+//!
+//! Highlights:
+//!
+//! * circuits are built from two-input gates in topological order
+//!   ([`netlist`]);
+//! * the [`eval::Evaluator`] is 64-lane bit-parallel: one pass through a
+//!   netlist grades **64 distinct stuck-at faults**, the trick that makes
+//!   statistical gate-fault campaigns tractable;
+//! * the fault-free netlists are **bit-exact** against the native
+//!   semantics in `harpo_isa` (`NativeFu` / `softfp`), so golden runs can
+//!   use fast host arithmetic while faulty replays drop into the circuits
+//!   only on the defective unit ([`provider::FaultyFu`]).
+//!
+//! ```
+//! use harpo_gates::adder::int_adder;
+//! use harpo_gates::eval::{Evaluator, FaultSet};
+//!
+//! let adder = int_adder();
+//! let mut ev = Evaluator::new(adder.netlist());
+//! let (sum, carry) = adder.eval(&mut ev, u64::MAX, 1, false, &FaultSet::none());
+//! assert_eq!((sum, carry), (0, true));
+//! ```
+
+pub mod adder;
+pub mod components;
+pub mod eval;
+pub mod fp_common;
+pub mod fpadd;
+pub mod fpmul;
+pub mod multiplier;
+pub mod netlist;
+pub mod provider;
+
+pub use adder::{int_adder, AdderCircuit};
+pub use eval::{Evaluator, FaultSet};
+pub use fpadd::{fp_adder, FpAddCircuit};
+pub use fpmul::{fp_multiplier, FpMulCircuit};
+pub use multiplier::{int_multiplier, MulCircuit};
+pub use netlist::{Gate, GateOp, Netlist, NetlistBuilder, WireId};
+pub use provider::{screen_activation, FaultyFu, GateFault, GradedUnit, NetlistFu, UnitEvaluators};

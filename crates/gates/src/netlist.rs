@@ -1,0 +1,274 @@
+//! Gate-level netlist representation.
+//!
+//! A [`Netlist`] is a combinational circuit over two-input gates (plus
+//! three-input muxes), stored in topological order: a gate may only read
+//! wires with smaller ids, which the [`NetlistBuilder`] enforces by
+//! construction. Wire 0 and wire 1 are the constants `0` and `1`; input
+//! wires follow; each gate drives one new wire.
+//!
+//! Fault injection targets *gate outputs*: a stuck-at-0/1 fault forces the
+//! driven wire to a constant, modelling the paper's gate-level permanent
+//! fault model for functional units (§III-C).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a wire in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WireId(pub u32);
+
+impl WireId {
+    /// The constant-0 wire.
+    pub const ZERO: WireId = WireId(0);
+    /// The constant-1 wire.
+    pub const ONE: WireId = WireId(1);
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WireId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Boolean function computed by a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // standard boolean gate names
+pub enum GateOp {
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+    /// `out = a` when `sel` is 1, else `b` (the third input is the select).
+    Mux,
+    /// `out = !a` (second input ignored).
+    Not,
+}
+
+/// One gate. `sel` is only meaningful for [`GateOp::Mux`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The boolean function.
+    pub op: GateOp,
+    /// First input.
+    pub a: WireId,
+    /// Second input (ignored by `Not`).
+    pub b: WireId,
+    /// Select input for `Mux`.
+    pub sel: WireId,
+}
+
+/// A combinational circuit in topological order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    n_inputs: u32,
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+}
+
+impl Netlist {
+    /// Circuit name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.n_inputs as usize
+    }
+
+    /// Number of gates — the fault population size for SFI gate sampling.
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates in topological order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Primary output wires.
+    #[inline]
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// Wire id of primary input `i`.
+    #[inline]
+    pub fn input_wire(&self, i: usize) -> WireId {
+        debug_assert!(i < self.n_inputs as usize);
+        WireId(2 + i as u32)
+    }
+
+    /// Wire id driven by gate `g`.
+    #[inline]
+    pub fn gate_wire(&self, g: usize) -> WireId {
+        WireId(2 + self.n_inputs + g as u32)
+    }
+
+    /// Total number of wires (constants + inputs + gates).
+    #[inline]
+    pub fn wire_count(&self) -> usize {
+        2 + self.n_inputs as usize + self.gates.len()
+    }
+}
+
+/// Incremental netlist construction with topological-order enforcement.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    n_inputs: u32,
+    gates: Vec<Gate>,
+    inputs_frozen: bool,
+}
+
+impl NetlistBuilder {
+    /// Starts a new circuit.
+    pub fn new(name: impl Into<String>) -> NetlistBuilder {
+        NetlistBuilder {
+            name: name.into(),
+            n_inputs: 0,
+            gates: Vec::new(),
+            inputs_frozen: false,
+        }
+    }
+
+    /// Declares one primary input.
+    ///
+    /// # Panics
+    /// Panics if called after the first gate was added (inputs must come
+    /// first so wire ids stay topological).
+    pub fn input(&mut self) -> WireId {
+        assert!(!self.inputs_frozen, "declare all inputs before gates");
+        let w = WireId(2 + self.n_inputs);
+        self.n_inputs += 1;
+        w
+    }
+
+    /// Declares a bus of `n` primary inputs, LSB first.
+    pub fn input_bus(&mut self, n: usize) -> Vec<WireId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    fn next_wire(&self) -> u32 {
+        2 + self.n_inputs + self.gates.len() as u32
+    }
+
+    fn push(&mut self, op: GateOp, a: WireId, b: WireId, sel: WireId) -> WireId {
+        self.inputs_frozen = true;
+        let next = self.next_wire();
+        assert!(
+            a.0 < next && b.0 < next && sel.0 < next,
+            "gate inputs must be already-defined wires"
+        );
+        self.gates.push(Gate { op, a, b, sel });
+        WireId(next)
+    }
+
+    /// `a & b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GateOp::And, a, b, WireId::ZERO)
+    }
+
+    /// `a | b`.
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GateOp::Or, a, b, WireId::ZERO)
+    }
+
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GateOp::Xor, a, b, WireId::ZERO)
+    }
+
+    /// `!(a & b)`.
+    pub fn nand(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GateOp::Nand, a, b, WireId::ZERO)
+    }
+
+    /// `!(a | b)`.
+    pub fn nor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GateOp::Nor, a, b, WireId::ZERO)
+    }
+
+    /// `!(a ^ b)`.
+    pub fn xnor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GateOp::Xnor, a, b, WireId::ZERO)
+    }
+
+    /// `!a`.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.push(GateOp::Not, a, WireId::ZERO, WireId::ZERO)
+    }
+
+    /// `sel ? a : b`.
+    pub fn mux(&mut self, sel: WireId, a: WireId, b: WireId) -> WireId {
+        self.push(GateOp::Mux, a, b, sel)
+    }
+
+    /// Finalises the circuit with the given primary outputs.
+    ///
+    /// # Panics
+    /// Panics if an output references an undefined wire.
+    pub fn finish(self, outputs: Vec<WireId>) -> Netlist {
+        let max = self.next_wire();
+        assert!(
+            outputs.iter().all(|o| o.0 < max),
+            "output references undefined wire"
+        );
+        Netlist {
+            name: self.name,
+            n_inputs: self.n_inputs,
+            gates: self.gates,
+            outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_wires() {
+        let mut b = NetlistBuilder::new("t");
+        let i0 = b.input();
+        let i1 = b.input();
+        assert_eq!(i0, WireId(2));
+        assert_eq!(i1, WireId(3));
+        let g0 = b.and(i0, i1);
+        assert_eq!(g0, WireId(4));
+        let n = b.finish(vec![g0]);
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.input_wire(1), WireId(3));
+        assert_eq!(n.gate_wire(0), WireId(4));
+        assert_eq!(n.wire_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "before gates")]
+    fn inputs_after_gates_panic() {
+        let mut b = NetlistBuilder::new("t");
+        let i = b.input();
+        b.not(i);
+        b.input();
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined wire")]
+    fn bad_output_panics() {
+        let mut b = NetlistBuilder::new("t");
+        let i = b.input();
+        b.not(i);
+        b.finish(vec![WireId(99)]);
+    }
+}

@@ -1,0 +1,331 @@
+//! [`FuProvider`] implementations backed by the gate-level circuits.
+//!
+//! * [`NetlistFu`] routes **every** graded operation through the netlists
+//!   (used by equivalence tests and as the authoritative semantics);
+//! * [`FaultyFu`] computes natively except on the single faulted unit,
+//!   where the stuck-at netlist is evaluated — the fast path used by
+//!   fault-injection replay, since most dynamic instructions do not touch
+//!   the faulted structure.
+
+use crate::adder::{int_adder, AdderCircuit};
+use crate::eval::{Evaluator, FaultSet};
+use crate::fpadd::{fp_adder, FpAddCircuit};
+use crate::fpmul::{fp_multiplier, FpMulCircuit};
+use crate::multiplier::{int_multiplier, MulCircuit};
+use harpo_isa::fu::{FuProvider, NativeFu};
+use serde::{Deserialize, Serialize};
+
+/// The four graded functional units of the paper's evaluation (§III-B2,
+/// structures c–f; the bit-array structures a–b are handled by the array
+/// fault injector, not by netlists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GradedUnit {
+    /// The 64-bit integer adder.
+    IntAdder,
+    /// The 32×32 integer multiplier array.
+    IntMultiplier,
+    /// The single-precision SSE FP adder.
+    FpAdder,
+    /// The single-precision SSE FP multiplier.
+    FpMultiplier,
+}
+
+impl GradedUnit {
+    /// All four units.
+    pub const ALL: [GradedUnit; 4] = [
+        GradedUnit::IntAdder,
+        GradedUnit::IntMultiplier,
+        GradedUnit::FpAdder,
+        GradedUnit::FpMultiplier,
+    ];
+
+    /// Number of gates in this unit's netlist (the fault population).
+    pub fn gate_count(self) -> usize {
+        match self {
+            GradedUnit::IntAdder => int_adder().netlist().gate_count(),
+            GradedUnit::IntMultiplier => int_multiplier().netlist().gate_count(),
+            GradedUnit::FpAdder => fp_adder().netlist().gate_count(),
+            GradedUnit::FpMultiplier => fp_multiplier().netlist().gate_count(),
+        }
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            GradedUnit::IntAdder => "Integer Adder",
+            GradedUnit::IntMultiplier => "Integer Multiplier",
+            GradedUnit::FpAdder => "SSE FP Adder",
+            GradedUnit::FpMultiplier => "SSE FP Multiplier",
+        }
+    }
+}
+
+/// A stuck-at fault on one gate of one graded unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GateFault {
+    /// Which unit is defective.
+    pub unit: GradedUnit,
+    /// Gate index within the unit's netlist.
+    pub gate: u32,
+    /// `true` = stuck-at-1, `false` = stuck-at-0.
+    pub stuck_one: bool,
+}
+
+/// Scratch evaluators for all four circuits (one per thread).
+#[derive(Debug)]
+pub struct UnitEvaluators {
+    adder: Evaluator,
+    mul: Evaluator,
+    fpadd: Evaluator,
+    fpmul: Evaluator,
+}
+
+impl UnitEvaluators {
+    /// Allocates evaluators sized for the shared circuits.
+    pub fn new() -> UnitEvaluators {
+        UnitEvaluators {
+            adder: Evaluator::new(int_adder().netlist()),
+            mul: Evaluator::new(int_multiplier().netlist()),
+            fpadd: Evaluator::new(fp_adder().netlist()),
+            fpmul: Evaluator::new(fp_multiplier().netlist()),
+        }
+    }
+}
+
+impl Default for UnitEvaluators {
+    fn default() -> Self {
+        UnitEvaluators::new()
+    }
+}
+
+/// Routes all graded operations through fault-free netlists. Slow;
+/// exists to prove `NativeFu` ≡ netlists (see tests) and as a debugging
+/// aid.
+#[derive(Debug, Default)]
+pub struct NetlistFu {
+    ev: UnitEvaluators,
+}
+
+impl NetlistFu {
+    /// Creates the provider.
+    pub fn new() -> NetlistFu {
+        NetlistFu::default()
+    }
+}
+
+impl FuProvider for NetlistFu {
+    fn int_add(&mut self, a: u64, b: u64, cin: bool) -> (u64, bool) {
+        int_adder().eval(&mut self.ev.adder, a, b, cin, &FaultSet::none())
+    }
+
+    fn int_mul32(&mut self, a: u32, b: u32) -> u64 {
+        int_multiplier().eval(&mut self.ev.mul, a, b, &FaultSet::none())
+    }
+
+    fn fp_add(&mut self, a: u32, b: u32) -> u32 {
+        fp_adder().eval(&mut self.ev.fpadd, a, b, &FaultSet::none())
+    }
+
+    fn fp_mul(&mut self, a: u32, b: u32) -> u32 {
+        fp_multiplier().eval(&mut self.ev.fpmul, a, b, &FaultSet::none())
+    }
+}
+
+/// Native arithmetic everywhere except the single faulted unit, which is
+/// evaluated on its netlist with the stuck-at fault applied. `active`
+/// can be toggled to model intermittent faults (outside the burst the
+/// unit behaves fault-free).
+#[derive(Debug)]
+pub struct FaultyFu {
+    fault: GateFault,
+    faults: FaultSet,
+    /// Whether the fault is currently asserted (intermittent bursts
+    /// toggle this; permanent faults leave it `true`).
+    pub active: bool,
+    native: NativeFu,
+    ev: Evaluator,
+}
+
+impl FaultyFu {
+    /// Creates a provider with the given permanent fault asserted.
+    pub fn new(fault: GateFault) -> FaultyFu {
+        let net = match fault.unit {
+            GradedUnit::IntAdder => int_adder().netlist(),
+            GradedUnit::IntMultiplier => int_multiplier().netlist(),
+            GradedUnit::FpAdder => fp_adder().netlist(),
+            GradedUnit::FpMultiplier => fp_multiplier().netlist(),
+        };
+        assert!(
+            (fault.gate as usize) < net.gate_count(),
+            "gate {} outside {} ({} gates)",
+            fault.gate,
+            net.name(),
+            net.gate_count()
+        );
+        FaultyFu {
+            fault,
+            faults: FaultSet::single(fault.gate, fault.stuck_one),
+            active: true,
+            native: NativeFu,
+            ev: Evaluator::new(net),
+        }
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> GateFault {
+        self.fault
+    }
+}
+
+impl FuProvider for FaultyFu {
+    fn int_add(&mut self, a: u64, b: u64, cin: bool) -> (u64, bool) {
+        if self.active && self.fault.unit == GradedUnit::IntAdder {
+            int_adder().eval(&mut self.ev, a, b, cin, &self.faults)
+        } else {
+            self.native.int_add(a, b, cin)
+        }
+    }
+
+    fn int_mul32(&mut self, a: u32, b: u32) -> u64 {
+        if self.active && self.fault.unit == GradedUnit::IntMultiplier {
+            int_multiplier().eval(&mut self.ev, a, b, &self.faults)
+        } else {
+            self.native.int_mul32(a, b)
+        }
+    }
+
+    fn fp_add(&mut self, a: u32, b: u32) -> u32 {
+        if self.active && self.fault.unit == GradedUnit::FpAdder {
+            fp_adder().eval(&mut self.ev, a, b, &self.faults)
+        } else {
+            self.native.fp_add(a, b)
+        }
+    }
+
+    fn fp_mul(&mut self, a: u32, b: u32) -> u32 {
+        if self.active && self.fault.unit == GradedUnit::FpMultiplier {
+            fp_multiplier().eval(&mut self.ev, a, b, &self.faults)
+        } else {
+            self.native.fp_mul(a, b)
+        }
+    }
+}
+
+/// Packed activation screen: evaluates one operand pair against up to 64
+/// candidate faults of `unit` in a single netlist pass, returning for each
+/// fault whether its output differs from the fault-free result.
+///
+/// This is the 64× speed-up that makes statistical gate-fault campaigns
+/// tractable (DESIGN.md §6).
+pub fn screen_activation(
+    unit: GradedUnit,
+    ev: &mut UnitEvaluators,
+    a: u64,
+    b: u64,
+    cin: bool,
+    faults: &[(u32, bool)],
+    activated: &mut [bool],
+) {
+    assert!(faults.len() <= 64 && activated.len() >= faults.len());
+    let fs = FaultSet::lanes(faults);
+    let mut lanes = [0u64; 64];
+    match unit {
+        GradedUnit::IntAdder => {
+            let c: &AdderCircuit = int_adder();
+            let golden = c.eval(&mut ev.adder, a, b, cin, &FaultSet::none());
+            let mut out = [(0u64, false); 64];
+            c.eval_lanes(&mut ev.adder, a, b, cin, &fs, &mut out);
+            for i in 0..faults.len() {
+                activated[i] = out[i] != golden;
+            }
+        }
+        GradedUnit::IntMultiplier => {
+            let c: &MulCircuit = int_multiplier();
+            let golden = c.eval(&mut ev.mul, a as u32, b as u32, &FaultSet::none());
+            c.eval_lanes(&mut ev.mul, a as u32, b as u32, &fs, &mut lanes);
+            for i in 0..faults.len() {
+                activated[i] = lanes[i] != golden;
+            }
+        }
+        GradedUnit::FpAdder => {
+            let c: &FpAddCircuit = fp_adder();
+            let golden = c.eval(&mut ev.fpadd, a as u32, b as u32, &FaultSet::none());
+            c.eval_lanes(&mut ev.fpadd, a as u32, b as u32, &fs, &mut lanes);
+            for i in 0..faults.len() {
+                activated[i] = lanes[i] as u32 != golden;
+            }
+        }
+        GradedUnit::FpMultiplier => {
+            let c: &FpMulCircuit = fp_multiplier();
+            let golden = c.eval(&mut ev.fpmul, a as u32, b as u32, &FaultSet::none());
+            c.eval_lanes(&mut ev.fpmul, a as u32, b as u32, &fs, &mut lanes);
+            for i in 0..faults.len() {
+                activated[i] = lanes[i] as u32 != golden;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_fu_equals_native_fu() {
+        let mut net = NetlistFu::new();
+        let mut nat = NativeFu;
+        let mut s = 7u64;
+        for _ in 0..100 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = s;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = s;
+            assert_eq!(net.int_add(a, b, s & 1 == 1), nat.int_add(a, b, s & 1 == 1));
+            assert_eq!(net.int_mul32(a as u32, b as u32), nat.int_mul32(a as u32, b as u32));
+            assert_eq!(net.fp_add(a as u32, b as u32), nat.fp_add(a as u32, b as u32));
+            assert_eq!(net.fp_mul(a as u32, b as u32), nat.fp_mul(a as u32, b as u32));
+        }
+    }
+
+    #[test]
+    fn faulty_fu_only_affects_its_unit() {
+        let mut fu = FaultyFu::new(GateFault {
+            unit: GradedUnit::IntMultiplier,
+            gate: 100,
+            stuck_one: true,
+        });
+        let mut nat = NativeFu;
+        // Non-faulted units behave natively.
+        assert_eq!(fu.int_add(5, 7, false), nat.int_add(5, 7, false));
+        assert_eq!(fu.fp_add(0x3F80_0000, 0x4000_0000), nat.fp_add(0x3F80_0000, 0x4000_0000));
+        // Deactivated fault behaves natively too.
+        fu.active = false;
+        assert_eq!(fu.int_mul32(1234, 5678), nat.int_mul32(1234, 5678));
+    }
+
+    #[test]
+    fn screen_matches_single_fault_eval() {
+        let mut ev = UnitEvaluators::new();
+        let n = int_adder().netlist().gate_count() as u32;
+        let faults: Vec<(u32, bool)> = (0..48u32).map(|i| (i * 11 % n, i % 3 == 0)).collect();
+        let mut act = vec![false; faults.len()];
+        screen_activation(GradedUnit::IntAdder, &mut ev, 0xFF00, 0x00FF, false, &faults, &mut act);
+        for (i, &(g, s1)) in faults.iter().enumerate() {
+            let mut fu = FaultyFu::new(GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: g,
+                stuck_one: s1,
+            });
+            let got = fu.int_add(0xFF00, 0x00FF, false);
+            let golden = NativeFu.int_add(0xFF00, 0x00FF, false);
+            assert_eq!(act[i], got != golden, "fault ({g},{s1})");
+        }
+    }
+
+    #[test]
+    fn all_units_report_gate_counts() {
+        for u in GradedUnit::ALL {
+            assert!(u.gate_count() > 100, "{} too small", u.label());
+        }
+    }
+}

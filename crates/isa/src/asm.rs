@@ -1,0 +1,417 @@
+//! A small assembler for writing HX86 programs by hand.
+//!
+//! Baseline kernels (the MiBench- and OpenDCDiag-like suites) and tests
+//! are written against this API. Labels are resolved at [`Asm::finish`];
+//! forward references are allowed.
+//!
+//! ```
+//! use harpo_isa::asm::Asm;
+//! use harpo_isa::reg::{Gpr::*, Width::*};
+//!
+//! # fn main() -> Result<(), harpo_isa::asm::AsmError> {
+//! let mut a = Asm::new("memset");
+//! a.mov_ri(B64, Rcx, 64);          // count
+//! a.label("fill");
+//! a.store(B8, Rsi, 0, Rax);        // [rsi+0] = al
+//! a.add_ri(B64, Rsi, 1);
+//! a.sub_ri(B64, Rcx, 1);
+//! a.jnz("fill");
+//! a.halt();
+//! let prog = a.finish()?;
+//! assert!(prog.len() > 5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::form::{Catalog, Cond, FormId, Mnemonic, OpMode};
+use crate::inst::Inst;
+use crate::mem::MemImage;
+use crate::program::{Program, RegInit};
+use crate::reg::{Gpr, Width, Xmm};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is further than a 16-bit instruction offset.
+    BranchOutOfRange {
+        /// The referenced label.
+        label: String,
+        /// The required offset.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{}`", l),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{}`", l),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{}` out of range ({} instructions)", label, offset)
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Entry {
+    Inst(Inst),
+    /// Unresolved branch: (form, label).
+    Branch(FormId, String),
+}
+
+/// The assembler. Create with [`Asm::new`], emit instructions, call
+/// [`Asm::finish`].
+pub struct Asm {
+    name: String,
+    entries: Vec<Entry>,
+    labels: HashMap<String, u32>,
+    errors: Vec<AsmError>,
+    /// Initial register state (editable before `finish`).
+    pub reg_init: RegInit,
+    /// Initial memory image (editable before `finish`).
+    pub mem: MemImage,
+}
+
+impl Asm {
+    /// Starts assembling a program with default memory (32 KiB + 4 KiB
+    /// stack) and zeroed registers.
+    pub fn new(name: impl Into<String>) -> Asm {
+        Asm {
+            name: name.into(),
+            entries: Vec::new(),
+            labels: HashMap::new(),
+            errors: Vec::new(),
+            reg_init: RegInit::zeroed(),
+            mem: MemImage::default(),
+        }
+    }
+
+    fn lookup(m: Mnemonic, mode: OpMode, w: Width, packed: bool) -> FormId {
+        Catalog::get()
+            .lookup(m, mode, w, packed)
+            .unwrap_or_else(|| panic!("no form {:?} {:?} {:?} packed={}", m, mode, w, packed))
+    }
+
+    /// Current instruction index (where the next instruction will land).
+    pub fn here(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.here()).is_some() {
+            self.errors.push(AsmError::DuplicateLabel(name));
+        }
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.entries.push(Entry::Inst(inst));
+    }
+
+    // ---- generic emitters ----
+
+    /// `op reg, reg` at width.
+    pub fn op_rr(&mut self, m: Mnemonic, w: Width, dst: Gpr, src: Gpr) {
+        let f = Self::lookup(m, OpMode::Rr, w, false);
+        self.push(Inst::new(f, dst.index() as u8, src.index() as u8, 0));
+    }
+
+    /// `op reg, imm32` at width.
+    pub fn op_ri(&mut self, m: Mnemonic, w: Width, dst: Gpr, imm: i32) {
+        let f = Self::lookup(m, OpMode::Ri, w, false);
+        self.push(Inst::new(f, dst.index() as u8, 0, imm));
+    }
+
+    /// `op reg, [base + disp]` at width.
+    pub fn op_rm(&mut self, m: Mnemonic, w: Width, dst: Gpr, base: Gpr, disp: i16) {
+        let f = Self::lookup(m, OpMode::Rm, w, false);
+        self.push(Inst::new(f, dst.index() as u8, base.index() as u8, disp as i32));
+    }
+
+    /// Single-register op at width (`inc`, `neg`, `push`, ...).
+    pub fn op_r(&mut self, m: Mnemonic, w: Width, r: Gpr) {
+        let f = Self::lookup(m, OpMode::R, w, false);
+        self.push(Inst::new(f, r.index() as u8, 0, 0));
+    }
+
+    /// Shift/rotate by immediate.
+    pub fn op_shift_i(&mut self, m: Mnemonic, w: Width, dst: Gpr, count: u8) {
+        let f = Self::lookup(m, OpMode::RiB, w, false);
+        self.push(Inst::new(f, dst.index() as u8, 0, count as i32));
+    }
+
+    /// Shift/rotate by CL.
+    pub fn op_shift_cl(&mut self, m: Mnemonic, w: Width, dst: Gpr) {
+        let f = Self::lookup(m, OpMode::Rc, w, false);
+        self.push(Inst::new(f, dst.index() as u8, 0, 0));
+    }
+
+    /// SSE `op xmm, xmm`.
+    pub fn op_xx(&mut self, m: Mnemonic, packed: bool, dst: Xmm, src: Xmm) {
+        let f = Self::lookup(m, OpMode::Xx, Width::B32, packed);
+        self.push(Inst::new(f, dst.index() as u8, src.index() as u8, 0));
+    }
+
+    /// SSE `op xmm, [base + disp]`.
+    pub fn op_xm(&mut self, m: Mnemonic, packed: bool, dst: Xmm, base: Gpr, disp: i16) {
+        let f = Self::lookup(m, OpMode::Xm, Width::B32, packed);
+        self.push(Inst::new(f, dst.index() as u8, base.index() as u8, disp as i32));
+    }
+
+    // ---- common conveniences ----
+
+    /// `mov reg, imm32` (sign-extended to width).
+    pub fn mov_ri(&mut self, w: Width, dst: Gpr, imm: i32) {
+        self.op_ri(Mnemonic::Mov, w, dst, imm);
+    }
+
+    /// `mov reg, reg`.
+    pub fn mov_rr(&mut self, w: Width, dst: Gpr, src: Gpr) {
+        self.op_rr(Mnemonic::Mov, w, dst, src);
+    }
+
+    /// Loads a full 64-bit immediate using `mov` + `shl` + `or` over
+    /// 16-bit chunks (each chunk is a non-negative imm32, so no
+    /// sign-extension surprises).
+    pub fn mov_ri64(&mut self, dst: Gpr, imm: u64) {
+        if imm <= i32::MAX as u64 {
+            self.mov_ri(Width::B64, dst, imm as i32);
+            return;
+        }
+        self.mov_ri(Width::B64, dst, ((imm >> 48) & 0xFFFF) as i32);
+        for shift in [32u32, 16, 0] {
+            self.op_shift_i(Mnemonic::Shl, Width::B64, dst, 16);
+            let chunk = ((imm >> shift) & 0xFFFF) as i32;
+            if chunk != 0 {
+                self.op_ri(Mnemonic::Or, Width::B64, dst, chunk);
+            }
+        }
+    }
+
+    /// `add reg, reg`.
+    pub fn add_rr(&mut self, w: Width, dst: Gpr, src: Gpr) {
+        self.op_rr(Mnemonic::Add, w, dst, src);
+    }
+
+    /// `add reg, imm`.
+    pub fn add_ri(&mut self, w: Width, dst: Gpr, imm: i32) {
+        self.op_ri(Mnemonic::Add, w, dst, imm);
+    }
+
+    /// `sub reg, reg`.
+    pub fn sub_rr(&mut self, w: Width, dst: Gpr, src: Gpr) {
+        self.op_rr(Mnemonic::Sub, w, dst, src);
+    }
+
+    /// `sub reg, imm`.
+    pub fn sub_ri(&mut self, w: Width, dst: Gpr, imm: i32) {
+        self.op_ri(Mnemonic::Sub, w, dst, imm);
+    }
+
+    /// `cmp reg, reg`.
+    pub fn cmp_rr(&mut self, w: Width, a: Gpr, b: Gpr) {
+        self.op_rr(Mnemonic::Cmp, w, a, b);
+    }
+
+    /// `cmp reg, imm`.
+    pub fn cmp_ri(&mut self, w: Width, a: Gpr, imm: i32) {
+        self.op_ri(Mnemonic::Cmp, w, a, imm);
+    }
+
+    /// `imul dst, src` (two-operand signed multiply).
+    pub fn imul_rr(&mut self, w: Width, dst: Gpr, src: Gpr) {
+        self.op_rr(Mnemonic::Imul2, w, dst, src);
+    }
+
+    /// `load dst, [base + disp]` (a `MOV` load).
+    pub fn load(&mut self, w: Width, dst: Gpr, base: Gpr, disp: i16) {
+        self.op_rm(Mnemonic::Mov, w, dst, base, disp);
+    }
+
+    /// `store [base + disp], src` (a `MOV` store).
+    pub fn store(&mut self, w: Width, base: Gpr, disp: i16, src: Gpr) {
+        let f = Self::lookup(Mnemonic::Mov, OpMode::Mr, w, false);
+        self.push(Inst::new(f, src.index() as u8, base.index() as u8, disp as i32));
+    }
+
+    /// `xor reg, reg` (the idiomatic zeroing).
+    pub fn zero(&mut self, r: Gpr) {
+        self.op_rr(Mnemonic::Xor, Width::B64, r, r);
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, label: impl Into<String>) {
+        let f = Self::lookup(Mnemonic::Jmp, OpMode::Rel, Width::B64, false);
+        self.entries.push(Entry::Branch(f, label.into()));
+    }
+
+    /// Conditional jump to a label.
+    pub fn jcc(&mut self, cond: Cond, label: impl Into<String>) {
+        let m = match cond {
+            Cond::Z => Mnemonic::Jz,
+            Cond::Nz => Mnemonic::Jnz,
+            Cond::S => Mnemonic::Js,
+            Cond::Ns => Mnemonic::Jns,
+            Cond::C => Mnemonic::Jc,
+            Cond::Nc => Mnemonic::Jnc,
+            Cond::O => Mnemonic::Jo,
+            Cond::No => Mnemonic::Jno,
+        };
+        let f = Self::lookup(m, OpMode::Rel, Width::B64, false);
+        self.entries.push(Entry::Branch(f, label.into()));
+    }
+
+    /// `jnz label`.
+    pub fn jnz(&mut self, label: impl Into<String>) {
+        self.jcc(Cond::Nz, label);
+    }
+
+    /// `jz label`.
+    pub fn jz(&mut self, label: impl Into<String>) {
+        self.jcc(Cond::Z, label);
+    }
+
+    /// Terminates the program.
+    pub fn halt(&mut self) {
+        self.push(Inst::halt());
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    /// Any [`AsmError`] accumulated while emitting (duplicate labels) or
+    /// during resolution (undefined labels, out-of-range branches).
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let mut insts = Vec::with_capacity(self.entries.len());
+        for (idx, e) in self.entries.iter().enumerate() {
+            match e {
+                Entry::Inst(i) => insts.push(*i),
+                Entry::Branch(form, label) => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    let rel = target as i64 - (idx as i64 + 1);
+                    if rel < i16::MIN as i64 || rel > i16::MAX as i64 {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset: rel,
+                        });
+                    }
+                    insts.push(Inst::new(*form, 0, 0, rel as i32));
+                }
+            }
+        }
+        Ok(Program {
+            name: std::mem::take(&mut self.name),
+            insts,
+            reg_init: self.reg_init,
+            mem: self.mem,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Machine;
+    use crate::fu::NativeFu;
+    use crate::mem::DATA_BASE;
+    use crate::reg::Gpr::*;
+    use crate::reg::Width::*;
+
+    #[test]
+    fn loop_program_runs() {
+        let mut a = Asm::new("count");
+        a.mov_ri(B64, Rax, 0);
+        a.mov_ri(B64, Rcx, 5);
+        a.label("top");
+        a.add_ri(B64, Rax, 3);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, NativeFu);
+        let out = m.run(1000).unwrap();
+        assert_eq!(out.state.gpr(Rax), 15);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut a = Asm::new("fwd");
+        a.mov_ri(B64, Rax, 1);
+        a.jmp("end");
+        a.mov_ri(B64, Rax, 99); // skipped
+        a.label("end");
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, NativeFu);
+        assert_eq!(m.run(100).unwrap().state.gpr(Rax), 1);
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Asm::new("bad");
+        a.jmp("nowhere");
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new("dup");
+        a.label("x");
+        a.label("x");
+        a.halt();
+        assert!(matches!(a.finish().unwrap_err(), AsmError::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn mov_ri64_builds_any_constant() {
+        for v in [
+            0u64,
+            1,
+            0x7FFF_FFFF,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            0x1_0000_0000,
+            0xDEAD_BEEF_CAFE_F00D,
+            u64::MAX,
+        ] {
+            let mut a = Asm::new("c");
+            a.mov_ri64(Rdi, v);
+            a.halt();
+            let p = a.finish().unwrap();
+            let mut m = Machine::new(&p, NativeFu);
+            assert_eq!(m.run(100).unwrap().state.gpr(Rdi), v, "constant {v:#x}");
+        }
+    }
+
+    #[test]
+    fn memory_helpers() {
+        let mut a = Asm::new("mem");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rax, 0x4242);
+        a.store(B64, Rsi, 128, Rax);
+        a.load(B64, Rbx, Rsi, 128);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p, NativeFu);
+        assert_eq!(m.run(100).unwrap().state.gpr(Rbx), 0x4242);
+    }
+}

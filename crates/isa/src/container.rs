@@ -1,0 +1,261 @@
+//! The HXPF program container — a self-contained on-disk format for
+//! HX86 test programs.
+//!
+//! Machine code alone (`Program::encode`) is not a deployable test: the
+//! paper's wrapper concept (§V-D) makes the *initial state* part of the
+//! artefact, because detection compares against a golden signature that
+//! depends on it. HXPF serialises the complete [`Program`] — name,
+//! register init, memory image and code — with explicit little-endian
+//! layout and a checksum, so fleets can ship and re-verify tests.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "HXPF"            4 bytes
+//! version                  u16
+//! name length | name       u16 + bytes (UTF-8)
+//! gprs                     16 × u64
+//! xmms                     16 × 2 × u64
+//! data_size, stack_size    u32, u32
+//! fill_seed                u64
+//! patch count              u32
+//!   per patch: offset u32, len u32, bytes
+//! code length | code       u32 + bytes (HX86 machine code)
+//! fnv64 of everything above
+//! ```
+
+use crate::encode::{decode_stream, encode_program, DecodeError};
+use crate::mem::{fnv1a, MemImage};
+use crate::program::{Program, RegInit};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"HXPF";
+const VERSION: u16 = 1;
+
+/// Errors loading an HXPF container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The file ended prematurely.
+    Truncated,
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch,
+    /// The embedded machine code failed to decode.
+    BadCode(DecodeError),
+    /// The program name is not valid UTF-8.
+    BadName,
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "not an HXPF container"),
+            ContainerError::BadVersion(v) => write!(f, "unsupported HXPF version {v}"),
+            ContainerError::Truncated => write!(f, "truncated HXPF container"),
+            ContainerError::ChecksumMismatch => write!(f, "HXPF checksum mismatch"),
+            ContainerError::BadCode(e) => write!(f, "invalid machine code: {e}"),
+            ContainerError::BadName => write!(f, "program name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// Serialises a program into an HXPF container.
+pub fn to_container(prog: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(prog.len() * 4 + 512);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    let name = prog.name.as_bytes();
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    for g in prog.reg_init.gprs {
+        out.extend_from_slice(&g.to_le_bytes());
+    }
+    for x in prog.reg_init.xmms {
+        out.extend_from_slice(&x[0].to_le_bytes());
+        out.extend_from_slice(&x[1].to_le_bytes());
+    }
+    out.extend_from_slice(&prog.mem.data_size.to_le_bytes());
+    out.extend_from_slice(&prog.mem.stack_size.to_le_bytes());
+    out.extend_from_slice(&prog.mem.fill_seed.to_le_bytes());
+    out.extend_from_slice(&(prog.mem.patches.len() as u32).to_le_bytes());
+    for (off, bytes) in &prog.mem.patches {
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let code = encode_program(&prog.insts);
+    out.extend_from_slice(&(code.len() as u32).to_le_bytes());
+    out.extend_from_slice(&code);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ContainerError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ContainerError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, ContainerError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ContainerError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ContainerError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Loads a program from an HXPF container.
+///
+/// # Errors
+/// Any [`ContainerError`] describing the malformation.
+pub fn from_container(bytes: &[u8]) -> Result<Program, ContainerError> {
+    if bytes.len() < 12 {
+        return Err(ContainerError::Truncated);
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let expect = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    if fnv1a(body) != expect {
+        return Err(ContainerError::ChecksumMismatch);
+    }
+
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(ContainerError::BadVersion(version));
+    }
+    let name_len = r.u16()? as usize;
+    let name = std::str::from_utf8(r.take(name_len)?)
+        .map_err(|_| ContainerError::BadName)?
+        .to_string();
+
+    let mut reg_init = RegInit::zeroed();
+    for g in reg_init.gprs.iter_mut() {
+        *g = r.u64()?;
+    }
+    for x in reg_init.xmms.iter_mut() {
+        x[0] = r.u64()?;
+        x[1] = r.u64()?;
+    }
+    let data_size = r.u32()?;
+    let stack_size = r.u32()?;
+    let fill_seed = r.u64()?;
+    let n_patches = r.u32()? as usize;
+    let mut patches = Vec::with_capacity(n_patches.min(1024));
+    for _ in 0..n_patches {
+        let off = r.u32()?;
+        let len = r.u32()? as usize;
+        patches.push((off, r.take(len)?.to_vec()));
+    }
+    let code_len = r.u32()? as usize;
+    let code = r.take(code_len)?;
+    let insts = decode_stream(code).map_err(ContainerError::BadCode)?;
+    Ok(Program {
+        name,
+        insts,
+        reg_init,
+        mem: MemImage {
+            data_size,
+            stack_size,
+            fill_seed,
+            patches,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Gpr::*;
+    use crate::reg::Width::*;
+
+    fn sample() -> Program {
+        let mut a = Asm::new("container-sample");
+        a.reg_init.gprs[3] = 0xDEAD_BEEF;
+        a.reg_init.xmms[5] = [1, 2];
+        a.mem.fill_seed = 77;
+        a.mem.patches.push((16, vec![9, 8, 7]));
+        a.mov_ri(B64, Rax, 42);
+        a.add_rr(B64, Rax, Rbx);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample();
+        let bytes = to_container(&p);
+        let back = from_container(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let p = sample();
+        let mut bytes = to_container(&p);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(
+            from_container(&bytes).unwrap_err(),
+            ContainerError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let p = sample();
+        let bytes = to_container(&p);
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_container(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let p = sample();
+        let mut bytes = to_container(&p);
+        bytes[0] = b'X';
+        // Checksum was computed over the original; fix it up so magic is
+        // the failure actually reported.
+        let n = bytes.len() - 8;
+        let sum = crate::mem::fnv1a(&bytes[..n]);
+        bytes[n..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(from_container(&bytes).unwrap_err(), ContainerError::BadMagic);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ContainerError::BadMagic,
+            ContainerError::BadVersion(9),
+            ContainerError::Truncated,
+            ContainerError::ChecksumMismatch,
+            ContainerError::BadName,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Variable-length binary encoding of HX86 instructions.
+//!
+//! The encoding is x86-like in spirit: a one-byte primary opcode map with
+//! escape bytes to secondary pages, a `modrm`-style register byte, then
+//! mode-dependent immediate/displacement payloads (1–4 bytes). Roughly an
+//! eighth of opcode-byte space is intentionally unassigned so that raw byte
+//! fuzzing (the SiliFuzz baseline) encounters illegal instructions at a
+//! realistic rate.
+//!
+//! Layout:
+//!
+//! ```text
+//! [escape?] [opcode] [modrm] [payload...]
+//!   0xE1+p    < 224    a<<4|b   per-mode
+//! ```
+
+use crate::form::{Catalog, FormId, OpMode};
+use crate::inst::Inst;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// First escape byte; page `p > 0` is announced by the byte `0xE0 + p`.
+const ESCAPE_BASE: u8 = 0xE0;
+
+/// Errors produced when decoding HX86 machine code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// The opcode byte (possibly after an escape) maps to no form.
+    IllegalOpcode {
+        /// Byte offset of the offending opcode.
+        at: usize,
+    },
+    /// The byte stream ended in the middle of an instruction.
+    Truncated {
+        /// Byte offset where more bytes were required.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::IllegalOpcode { at } => write!(f, "illegal opcode at byte {}", at),
+            DecodeError::Truncated { at } => write!(f, "truncated instruction at byte {}", at),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Payload byte count (after the modrm byte) for an operand mode.
+fn payload_len(mode: OpMode) -> usize {
+    match mode {
+        OpMode::Ri | OpMode::I => 4,
+        OpMode::RiB => 1,
+        OpMode::Rm
+        | OpMode::Mr
+        | OpMode::Xm
+        | OpMode::Mx
+        | OpMode::RmRip
+        | OpMode::MrRip
+        | OpMode::Rel => 2,
+        OpMode::Rr
+        | OpMode::R
+        | OpMode::Rc
+        | OpMode::None
+        | OpMode::Xx
+        | OpMode::Xr
+        | OpMode::Rx => 0,
+    }
+}
+
+/// Encodes one instruction, appending its bytes to `out`. Returns the
+/// number of bytes written.
+pub fn encode_inst(inst: &Inst, out: &mut Vec<u8>) -> usize {
+    let cat = Catalog::get();
+    let (page, opcode) = cat.position(inst.form);
+    let start = out.len();
+    if page > 0 {
+        out.push(ESCAPE_BASE + page);
+    }
+    out.push(opcode);
+    out.push((inst.a << 4) | (inst.b & 0xF));
+    let mode = cat.form(inst.form).mode;
+    match payload_len(mode) {
+        0 => {}
+        1 => out.push(inst.imm as u8),
+        2 => out.extend_from_slice(&(inst.imm as i16).to_le_bytes()),
+        4 => out.extend_from_slice(&inst.imm.to_le_bytes()),
+        _ => unreachable!(),
+    }
+    out.len() - start
+}
+
+/// Decodes a single instruction from the front of `bytes`.
+///
+/// Returns the instruction and the number of bytes consumed.
+///
+/// # Errors
+/// [`DecodeError::IllegalOpcode`] if the opcode is unassigned,
+/// [`DecodeError::Truncated`] if `bytes` ends mid-instruction.
+pub fn decode_inst(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    decode_at(bytes, 0)
+}
+
+fn decode_at(bytes: &[u8], base: usize) -> Result<(Inst, usize), DecodeError> {
+    let cat = Catalog::get();
+    let mut pos = 0usize;
+    let next = |pos: &mut usize| -> Result<u8, DecodeError> {
+        let b = *bytes
+            .get(*pos)
+            .ok_or(DecodeError::Truncated { at: base + *pos })?;
+        *pos += 1;
+        Ok(b)
+    };
+
+    let mut b0 = next(&mut pos)?;
+    let mut page = 0u8;
+    if b0 > ESCAPE_BASE && (b0 - ESCAPE_BASE) < cat.page_count() as u8 {
+        page = b0 - ESCAPE_BASE;
+        b0 = next(&mut pos)?;
+    }
+    let form: FormId = cat
+        .on_page(page, b0)
+        .ok_or(DecodeError::IllegalOpcode { at: base + pos - 1 })?;
+    let modrm = next(&mut pos)?;
+    let (a, b) = (modrm >> 4, modrm & 0xF);
+
+    let mode = cat.form(form).mode;
+    let imm = match payload_len(mode) {
+        0 => 0,
+        1 => next(&mut pos)? as i32,
+        2 => {
+            let lo = next(&mut pos)?;
+            let hi = next(&mut pos)?;
+            i16::from_le_bytes([lo, hi]) as i32
+        }
+        4 => {
+            let mut w = [0u8; 4];
+            for byte in &mut w {
+                *byte = next(&mut pos)?;
+            }
+            i32::from_le_bytes(w)
+        }
+        _ => unreachable!(),
+    };
+    Ok((Inst::new(form, a, b, imm), pos))
+}
+
+/// Decodes an entire byte stream into instructions.
+///
+/// # Errors
+/// Fails with the position of the first undecodable byte; this is the
+/// filter the SiliFuzz-like baseline uses to discard non-runnable
+/// snapshots.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let (inst, used) = decode_at(&bytes[pos..], pos)?;
+        out.push(inst);
+        pos += used;
+    }
+    Ok(out)
+}
+
+/// Encodes a whole instruction sequence ("compilation" in the paper's
+/// Table I terminology).
+pub fn encode_program(insts: &[Inst]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(insts.len() * 4);
+    for i in insts {
+        encode_inst(i, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::form::{Catalog, Mnemonic, OpMode};
+    use crate::reg::Width;
+
+    #[test]
+    fn roundtrip_every_form() {
+        let cat = Catalog::get();
+        for form in cat.forms() {
+            let inst = Inst::new(form.id, 5, 11, -7);
+            let mut bytes = Vec::new();
+            let n = encode_inst(&inst, &mut bytes);
+            assert_eq!(n, bytes.len());
+            let (back, used) = decode_inst(&bytes).unwrap_or_else(|e| {
+                panic!("decode failed for {}: {}", form.name(), e);
+            });
+            assert_eq!(used, n);
+            assert_eq!(back.form, inst.form);
+            assert_eq!(back.a, inst.a);
+            assert_eq!(back.b, inst.b);
+            // Immediates narrower than 32 bits lose high bits by design.
+            match payload_len(form.mode) {
+                0 => {}
+                1 => assert_eq!(back.imm as u8, inst.imm as u8),
+                2 => assert_eq!(back.imm as i16, inst.imm as i16),
+                4 => assert_eq!(back.imm, inst.imm),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let cat = Catalog::get();
+        let add = cat.lookup(Mnemonic::Add, OpMode::Rr, Width::B64, false).unwrap();
+        let mov = cat.lookup(Mnemonic::Mov, OpMode::Ri, Width::B32, false).unwrap();
+        let prog = vec![
+            Inst::new(add, 0, 1, 0),
+            Inst::new(mov, 2, 0, 0x1234_5678),
+            Inst::halt(),
+        ];
+        let bytes = encode_program(&prog);
+        let back = decode_stream(&bytes).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn illegal_opcode_detected() {
+        // 0xDF is within page 0's fill range only if assigned; 224..=0xE0
+        // region is never assigned.
+        let err = decode_inst(&[0xE0, 0x00]).unwrap_err();
+        assert!(matches!(err, DecodeError::IllegalOpcode { .. }));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let cat = Catalog::get();
+        let mov = cat.lookup(Mnemonic::Mov, OpMode::Ri, Width::B64, false).unwrap();
+        let mut bytes = Vec::new();
+        encode_inst(&Inst::new(mov, 1, 0, 42), &mut bytes);
+        for cut in 1..bytes.len() {
+            let err = decode_inst(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, DecodeError::Truncated { .. }), "cut={}", cut);
+        }
+    }
+
+    #[test]
+    fn random_bytes_are_often_illegal() {
+        // Sanity check for the fuzz baseline: a meaningful fraction of the
+        // opcode space must be unassigned.
+        let mut illegal = 0;
+        let mut total = 0;
+        for b0 in 0..=255u8 {
+            total += 1;
+            if decode_inst(&[b0, 0, 0, 0, 0, 0]).is_err() {
+                illegal += 1;
+            }
+        }
+        assert!(illegal > 16, "only {}/{} illegal first bytes", illegal, total);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::IllegalOpcode { at: 3 };
+        assert_eq!(e.to_string(), "illegal opcode at byte 3");
+        let t = DecodeError::Truncated { at: 9 };
+        assert_eq!(t.to_string(), "truncated instruction at byte 9");
+    }
+}

@@ -1,0 +1,488 @@
+//! The functional execution engine.
+//!
+//! [`Machine`] runs a [`Program`] instruction by instruction, producing a
+//! [`StepInfo`] record per dynamic instruction. The record carries
+//! everything the microarchitectural timing model (crate `harpo-uarch`)
+//! and the coverage metrics need: architectural register reads/writes,
+//! the memory access, functional-unit operand passes and branch outcomes.
+//!
+//! Two extension points make the same engine serve as both the golden
+//! reference and the fault-injection replay vehicle:
+//!
+//! * the [`crate::fu::FuProvider`] type parameter supplies functional-unit
+//!   results (native arithmetic, or a gate-level netlist with stuck-at
+//!   faults);
+//! * the [`ExecHooks`] type parameter observes and may *corrupt* register
+//!   reads and memory loads (transient bit flips planned from the golden
+//!   trace).
+
+use crate::form::FormId;
+use crate::fu::{FuPass, FuProvider};
+use crate::mem::{MemFault, Memory};
+use crate::program::Program;
+use crate::reg::Gpr;
+use crate::state::{ArchState, Signature};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Abnormal termination of a run. In the fault-injection outcome taxonomy
+/// every trap is a **Crash** (a detected fault); the golden run of a
+/// well-formed program never traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trap {
+    /// Out-of-bounds memory access.
+    Mem(MemFault),
+    /// Division by zero or quotient overflow (`#DE`).
+    DivideError,
+    /// Branch to an instruction index outside the program.
+    WildBranch {
+        /// The invalid target, as a possibly-negative index.
+        target: i64,
+    },
+    /// `MOVAPS` with a non-16-byte-aligned address.
+    UnalignedSse {
+        /// The misaligned address.
+        addr: u64,
+    },
+    /// The dynamic instruction cap was reached (runaway loop).
+    InstructionCap,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Mem(m) => write!(f, "{}", m),
+            Trap::DivideError => write!(f, "divide error"),
+            Trap::WildBranch { target } => write!(f, "wild branch to instruction {}", target),
+            Trap::UnalignedSse { addr } => write!(f, "unaligned SSE access at {:#x}", addr),
+            Trap::InstructionCap => write!(f, "dynamic instruction cap exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<MemFault> for Trap {
+    fn from(m: MemFault) -> Trap {
+        Trap::Mem(m)
+    }
+}
+
+/// A single data-memory access made by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4, 8 or 16).
+    pub size: u8,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// Branch resolution of a control-flow instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchOut {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The next instruction index actually executed.
+    pub target: u32,
+    /// True when taken and fall-through targets coincide (`rel == 0`, the
+    /// §V-D generated-test idiom): the branch direction can never affect
+    /// execution, so liveness analysis treats it as dead.
+    pub trivial: bool,
+}
+
+/// Maximum functional-unit passes a single instruction can make (packed
+/// SSE = 4 lanes; 64-bit wide multiply = 4 array passes).
+pub const MAX_PASSES: usize = 6;
+
+/// Fixed-capacity list of functional-unit passes (avoids per-step heap
+/// allocation on the simulation hot path).
+#[derive(Debug, Clone, Copy)]
+pub struct PassList {
+    items: [FuPass; MAX_PASSES],
+    len: u8,
+}
+
+impl PassList {
+    fn new() -> PassList {
+        PassList {
+            items: [FuPass {
+                kind: crate::form::FuKind::Alu,
+                a: 0,
+                b: 0,
+                cin: false,
+            }; MAX_PASSES],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, p: FuPass) {
+        assert!((self.len as usize) < MAX_PASSES, "too many FU passes");
+        self.items[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    /// The recorded passes.
+    #[inline]
+    pub fn as_slice(&self) -> &[FuPass] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Number of recorded passes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the instruction used no graded unit.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-dynamic-instruction execution record.
+#[derive(Debug, Clone, Copy)]
+pub struct StepInfo {
+    /// Dynamic instruction number (0-based).
+    pub dyn_idx: u64,
+    /// Static instruction index in the program.
+    pub static_idx: u32,
+    /// The instruction's form.
+    pub form: FormId,
+    /// Bitmask of GPRs read (bit = register index).
+    pub reads_gpr: u16,
+    /// Per-GPR *observation mask*: which bits of the read value can
+    /// influence this instruction's results (OR over the instruction's
+    /// reads of that register). `AND` observes only where the other
+    /// operand has ones, `SHL k` drops the top `k` bits, narrow widths
+    /// observe only the low bits — exact per-bit ACE derating needs this.
+    pub gpr_read_mask: [u64; 16],
+    /// Per-XMM observation mask over the two 64-bit lanes.
+    pub xmm_read_mask: [[u64; 2]; 16],
+    /// Bitmask of GPRs written.
+    pub writes_gpr: u16,
+    /// Bitmask of XMM registers read.
+    pub reads_xmm: u16,
+    /// Bitmask of XMM registers written.
+    pub writes_xmm: u16,
+    /// Whether the condition flags were read.
+    pub reads_flags: bool,
+    /// Whether the condition flags were written.
+    pub writes_flags: bool,
+    /// The data-memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Graded functional-unit passes made by this instruction.
+    pub passes: PassList,
+    /// Branch resolution, for control-flow instructions.
+    pub branch: Option<BranchOut>,
+}
+
+impl StepInfo {
+    fn new(dyn_idx: u64, static_idx: u32, form: FormId) -> StepInfo {
+        StepInfo {
+            dyn_idx,
+            static_idx,
+            form,
+            reads_gpr: 0,
+            gpr_read_mask: [0; 16],
+            xmm_read_mask: [[0; 2]; 16],
+            writes_gpr: 0,
+            reads_xmm: 0,
+            writes_xmm: 0,
+            reads_flags: false,
+            writes_flags: false,
+            mem: None,
+            passes: PassList::new(),
+            branch: None,
+        }
+    }
+}
+
+/// Observation/corruption hooks called during execution. The default
+/// methods are identity functions; the fault injector overrides them to
+/// flip bits at planned (dynamic instruction, location) points.
+pub trait ExecHooks {
+    /// Called on every GPR operand read (explicit and implicit) with the
+    /// full 64-bit value; the returned value is what the instruction sees.
+    #[inline]
+    fn on_gpr_read(&mut self, _dyn_idx: u64, _reg: Gpr, val: u64) -> u64 {
+        val
+    }
+
+    /// Called on every XMM operand read with the full 128-bit value (two
+    /// 64-bit lanes); the returned value is what the instruction sees.
+    #[inline]
+    fn on_xmm_read(&mut self, _dyn_idx: u64, _reg: crate::reg::Xmm, val: [u64; 2]) -> [u64; 2] {
+        val
+    }
+
+    /// Called on every data load (per 8-byte half for 16-byte loads) with
+    /// the loaded value; the returned value is what the instruction sees.
+    #[inline]
+    fn on_load(&mut self, _dyn_idx: u64, _addr: u64, _size: u8, val: u64) -> u64 {
+        val
+    }
+
+    /// Called on every data store *before* it is performed.
+    #[inline]
+    fn on_store(&mut self, _dyn_idx: u64, _addr: u64, _size: u8) {}
+}
+
+/// The no-op hook set used for golden runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl ExecHooks for NoHooks {}
+
+/// Control-flow outcome of one instruction (crate-internal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    Next,
+    Jump(u32),
+    Halt,
+}
+
+/// Result of a completed (non-trapping) run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Final architectural state.
+    pub state: ArchState,
+    /// Output signature (registers + flags + memory hash).
+    pub signature: Signature,
+    /// Number of dynamic instructions retired.
+    pub dyn_count: u64,
+}
+
+/// The functional execution engine. See the module docs for the role of
+/// the two type parameters.
+pub struct Machine<'p, F: FuProvider, H: ExecHooks = NoHooks> {
+    pub(crate) prog: &'p Program,
+    pub(crate) state: ArchState,
+    pub(crate) mem: Memory,
+    pub(crate) fu: F,
+    pub(crate) hooks: H,
+    pub(crate) dyn_count: u64,
+    pub(crate) info: StepInfo,
+}
+
+impl<'p, F: FuProvider> Machine<'p, F, NoHooks> {
+    /// Creates a machine with no corruption hooks.
+    pub fn new(prog: &'p Program, fu: F) -> Machine<'p, F, NoHooks> {
+        Machine::with_hooks(prog, fu, NoHooks)
+    }
+}
+
+impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
+    /// Creates a machine with explicit hooks (fault-injection replays).
+    pub fn with_hooks(prog: &'p Program, fu: F, hooks: H) -> Machine<'p, F, H> {
+        Machine {
+            prog,
+            state: prog.initial_state(),
+            mem: prog.mem.build(),
+            fu,
+            hooks,
+            dyn_count: 0,
+            info: StepInfo::new(0, 0, FormId(0)),
+        }
+    }
+
+    /// The current architectural state.
+    #[inline]
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The program memory (mutable: the fault injector uses this to apply
+    /// pre-run or mid-run persistent corruption).
+    #[inline]
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The program memory.
+    #[inline]
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Dynamic instructions retired so far.
+    #[inline]
+    pub fn dyn_count(&self) -> u64 {
+        self.dyn_count
+    }
+
+    /// The functional-unit provider (mutable: intermittent-fault replay
+    /// toggles a faulty provider's burst window between steps).
+    #[inline]
+    pub fn fu_mut(&mut self) -> &mut F {
+        &mut self.fu
+    }
+
+    /// Whether the machine has retired a `HALT` (or fallen off the end).
+    #[inline]
+    pub fn halted(&self) -> bool {
+        self.state.halted
+    }
+
+    /// Executes one instruction and returns its [`StepInfo`].
+    ///
+    /// Returns `Ok(None)` if the machine is already halted.
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised by the instruction.
+    pub fn step(&mut self) -> Result<Option<StepInfo>, Trap> {
+        if self.state.halted {
+            return Ok(None);
+        }
+        let rip = self.state.rip;
+        if rip as usize >= self.prog.insts.len() {
+            self.state.halted = true;
+            return Ok(None);
+        }
+        let inst = self.prog.insts[rip as usize];
+        self.info = StepInfo::new(self.dyn_count, rip, inst.form);
+        let flow = self.exec_inst(inst)?;
+        self.dyn_count += 1;
+        match flow {
+            Flow::Next => self.state.rip = rip + 1,
+            Flow::Jump(t) => self.state.rip = t,
+            Flow::Halt => self.state.halted = true,
+        }
+        Ok(Some(self.info))
+    }
+
+    /// Runs until `HALT`, a trap, or the dynamic instruction cap.
+    ///
+    /// # Errors
+    /// The trap that terminated execution, including
+    /// [`Trap::InstructionCap`] when the cap is hit.
+    pub fn run(&mut self, cap: u64) -> Result<RunOutput, Trap> {
+        while !self.state.halted {
+            if self.dyn_count >= cap {
+                return Err(Trap::InstructionCap);
+            }
+            self.step()?;
+        }
+        Ok(self.output())
+    }
+
+    /// Captures the output of the (halted) machine.
+    pub fn output(&self) -> RunOutput {
+        RunOutput {
+            state: self.state.clone(),
+            signature: Signature::capture(&self.state, &self.mem),
+            dyn_count: self.dyn_count,
+        }
+    }
+
+    // ---- helpers shared with semantics.rs ----
+
+    /// Reads a GPR through the corruption hook, recording the read as a
+    /// full 64-bit observation.
+    #[inline]
+    pub(crate) fn read_gpr64(&mut self, r: Gpr) -> u64 {
+        self.read_gpr_masked(r, u64::MAX)
+    }
+
+    /// Reads a GPR recording the given observation mask (which bits of
+    /// the value can influence this instruction's results). The returned
+    /// value is the full 64-bit register; the caller truncates.
+    #[inline]
+    pub(crate) fn read_gpr_masked(&mut self, r: Gpr, mask: u64) -> u64 {
+        self.info.reads_gpr |= 1 << r.index();
+        self.info.gpr_read_mask[r.index()] |= mask;
+        let v = self.state.gpr(r);
+        self.hooks.on_gpr_read(self.info.dyn_idx, r, v)
+    }
+
+    /// Widens a GPR observation mask after the fact (data-dependent
+    /// observations, e.g. `AND` masks computed from the other operand).
+    #[inline]
+    pub(crate) fn note_gpr_obs(&mut self, r: Gpr, mask: u64) {
+        self.info.gpr_read_mask[r.index()] |= mask;
+    }
+
+    /// Writes a GPR at width, recording the write.
+    #[inline]
+    pub(crate) fn write_gpr(&mut self, w: crate::reg::Width, r: Gpr, v: u64) {
+        self.info.writes_gpr |= 1 << r.index();
+        self.state.set_gpr_w(w, r, v);
+    }
+
+    /// Loads through the hook, recording the access.
+    pub(crate) fn load(&mut self, addr: u64, size: u8) -> Result<u64, Trap> {
+        let v = self.mem.read(addr, size as u32)?;
+        self.info.mem = Some(MemAccess {
+            addr,
+            size,
+            is_store: false,
+        });
+        Ok(self.hooks.on_load(self.info.dyn_idx, addr, size, v))
+    }
+
+    /// Stores through the hook, recording the access.
+    pub(crate) fn store(&mut self, addr: u64, size: u8, v: u64) -> Result<(), Trap> {
+        self.hooks.on_store(self.info.dyn_idx, addr, size);
+        self.mem.write(addr, size as u32, v)?;
+        self.info.mem = Some(MemAccess {
+            addr,
+            size,
+            is_store: true,
+        });
+        Ok(())
+    }
+
+    /// Records a graded-unit pass.
+    #[inline]
+    pub(crate) fn record_pass(&mut self, p: FuPass) {
+        self.info.passes.push(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::NativeFu;
+    use crate::inst::Inst;
+
+    #[test]
+    fn empty_program_halts_immediately() {
+        let p = Program::new("empty", vec![]);
+        let mut m = Machine::new(&p, NativeFu);
+        let out = m.run(10).unwrap();
+        assert_eq!(out.dyn_count, 0);
+    }
+
+    #[test]
+    fn falling_off_the_end_halts() {
+        let p = Program::new("nop", vec![Inst::nop()]);
+        let mut m = Machine::new(&p, NativeFu);
+        let out = m.run(10).unwrap();
+        assert_eq!(out.dyn_count, 1);
+    }
+
+    #[test]
+    fn instruction_cap_traps() {
+        use crate::form::{Catalog, Mnemonic, OpMode};
+        use crate::reg::Width;
+        let jmp = Catalog::get()
+            .lookup(Mnemonic::Jmp, OpMode::Rel, Width::B64, false)
+            .unwrap();
+        // An infinite self-loop.
+        let p = Program::new("spin", vec![Inst::new(jmp, 0, 0, -1)]);
+        let mut m = Machine::new(&p, NativeFu);
+        assert_eq!(m.run(100).unwrap_err(), Trap::InstructionCap);
+        assert_eq!(m.dyn_count(), 100);
+    }
+
+    #[test]
+    fn step_after_halt_returns_none() {
+        let p = Program::new("h", vec![Inst::halt()]);
+        let mut m = Machine::new(&p, NativeFu);
+        assert!(m.step().unwrap().is_some());
+        assert!(m.halted());
+        assert!(m.step().unwrap().is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! The architectural flags register (a reduced RFLAGS).
+//!
+//! HX86 models the four arithmetic flags that drive conditional behaviour:
+//! carry, zero, sign and overflow. Parity/adjust flags are omitted (no HX86
+//! instruction consumes them). Where x86 leaves a flag *undefined*, HX86
+//! defines a deterministic value — HX86 is its own specification, and
+//! determinism is required for the output-signature comparison used in
+//! fault detection (§V-B of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Condition flags produced by arithmetic instructions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Flags {
+    /// Carry flag.
+    pub cf: bool,
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Packs the flags into a 4-bit value (`OF:SF:ZF:CF`, CF at bit 0),
+    /// used by the output signature.
+    #[inline]
+    pub fn pack(self) -> u8 {
+        (self.cf as u8) | (self.zf as u8) << 1 | (self.sf as u8) << 2 | (self.of as u8) << 3
+    }
+
+    /// Inverse of [`Flags::pack`].
+    #[inline]
+    pub fn unpack(v: u8) -> Flags {
+        Flags {
+            cf: v & 1 != 0,
+            zf: v & 2 != 0,
+            sf: v & 4 != 0,
+            of: v & 8 != 0,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}]",
+            if self.cf { 'C' } else { '-' },
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.of { 'O' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for v in 0..16u8 {
+            assert_eq!(Flags::unpack(v).pack(), v);
+        }
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert_eq!(Flags::default().to_string(), "[----]");
+        let all = Flags { cf: true, zf: true, sf: true, of: true };
+        assert_eq!(all.to_string(), "[CZSO]");
+    }
+}

@@ -1,0 +1,776 @@
+//! The instruction *form* catalogue.
+//!
+//! A **form** is a concrete instruction variant: a mnemonic at a specific
+//! operand mode and width (`ADD r64, r/m64` and `ADD r8, imm8` are distinct
+//! forms). This mirrors MicroProbe's architecture-module view of an ISA,
+//! where "the same mnemonics with different operand types are handled as
+//! distinct instructions" (paper §V-B1) — the mutation engine's
+//! instruction-replacement operator works at form granularity.
+//!
+//! The catalogue is generated programmatically as the legal product of
+//! mnemonic × mode × width and is exposed through [`Catalog`], which also
+//! owns the opcode pages used by the byte encoder/decoder.
+
+use crate::reg::Width;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Instruction mnemonics. Condition-code families are expanded per
+/// condition (`Jz` and `Jnz` are different mnemonics), as are the implicit
+/// one-operand multiply/divide forms, matching how x86 opcode maps are
+/// organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // x86 mnemonics are the documentation
+pub enum Mnemonic {
+    // Data movement.
+    Mov,
+    Movzx,
+    Movsx,
+    Xchg,
+    Lea,
+    Push,
+    Pop,
+    // Integer arithmetic routed through the graded adder unit.
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    Cmp,
+    Inc,
+    Dec,
+    Neg,
+    // Logic / bit manipulation (generic ALU).
+    And,
+    Or,
+    Xor,
+    Test,
+    Not,
+    Bswap,
+    Popcnt,
+    Lzcnt,
+    Tzcnt,
+    Bt,
+    Bts,
+    Btr,
+    Btc,
+    // Shifts and rotates (generic ALU).
+    Shl,
+    Shr,
+    Sar,
+    Rol,
+    Ror,
+    Rcl,
+    Rcr,
+    // Multiply / divide.
+    Imul2,
+    ImulRax,
+    MulRax,
+    IdivRax,
+    DivRax,
+    // Conditional moves and set.
+    Cmovz,
+    Cmovnz,
+    Cmovs,
+    Cmovns,
+    Cmovc,
+    Cmovnc,
+    Setz,
+    Setnz,
+    Sets,
+    Setc,
+    // Control flow.
+    Jmp,
+    Jz,
+    Jnz,
+    Js,
+    Jns,
+    Jc,
+    Jnc,
+    Jo,
+    Jno,
+    // Misc.
+    Nop,
+    Halt,
+    Rdtsc,
+    Cpuid,
+    // SSE moves.
+    Movss,
+    Movaps,
+    MovqRx,
+    MovqXr,
+    // SSE scalar single-precision arithmetic.
+    Addss,
+    Subss,
+    Mulss,
+    Divss,
+    Minss,
+    Maxss,
+    Sqrtss,
+    // SSE packed single-precision arithmetic (4 lanes).
+    Addps,
+    Subps,
+    Mulps,
+    Divps,
+    Minps,
+    Maxps,
+    // SSE logic.
+    Andps,
+    Orps,
+    Xorps,
+    // SSE compare / convert.
+    Ucomiss,
+    Cvtsi2ss,
+    Cvttss2si,
+    // SSE integer (uses the integer adder unit, two 64-bit lanes).
+    Paddq,
+    Psubq,
+    Pxor,
+    /// Packed dword add (four 32-bit lanes through the integer adder).
+    Paddd,
+    /// Packed dword subtract.
+    Psubd,
+    /// Packed unsigned dword multiply (dwords 0 and 2 → two qwords),
+    /// routing the integer multiplier from vector code.
+    Pmuludq,
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)?;
+        Ok(())
+    }
+}
+
+/// Operand mode: how the (up to two) explicit operands are supplied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpMode {
+    /// Two GPR operands; first is the destination.
+    Rr,
+    /// GPR destination, 32-bit immediate (sign-extended to width).
+    Ri,
+    /// GPR destination, memory source at `[base + disp16]`.
+    Rm,
+    /// Memory destination at `[base + disp16]`, GPR source.
+    Mr,
+    /// GPR destination, RIP-relative memory source (`[rip + disp16]`).
+    RmRip,
+    /// RIP-relative memory destination, GPR source.
+    MrRip,
+    /// Single GPR operand.
+    R,
+    /// Single GPR operand plus an 8-bit immediate (shift counts, `BT`).
+    RiB,
+    /// Single GPR operand shifted by the implicit `CL` register.
+    Rc,
+    /// 32-bit immediate only (`PUSH imm32`).
+    I,
+    /// Branch with a 16-bit signed *instruction-index* offset.
+    Rel,
+    /// No explicit operands.
+    None,
+    /// Two XMM operands; first is the destination.
+    Xx,
+    /// XMM destination, memory source.
+    Xm,
+    /// Memory destination, XMM source.
+    Mx,
+    /// XMM destination, GPR source (`MOVQ xmm, r64`, `CVTSI2SS`).
+    Xr,
+    /// GPR destination, XMM source (`MOVQ r64, xmm`, `CVTTSS2SI`).
+    Rx,
+}
+
+impl OpMode {
+    /// Does this mode reference memory?
+    #[inline]
+    pub fn touches_memory(self) -> bool {
+        matches!(
+            self,
+            OpMode::Rm | OpMode::Mr | OpMode::RmRip | OpMode::MrRip | OpMode::Xm | OpMode::Mx
+        )
+    }
+}
+
+/// Functional-unit class an instruction executes on. The four *graded*
+/// structures of the paper's evaluation (§III-B2) are `IntAdd`, `IntMul`,
+/// `FpAdd` and `FpMul`; the rest exist for timing realism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Generic ALU (logic, shifts, moves between registers, LEA).
+    Alu,
+    /// The graded 64-bit integer adder (add/sub/cmp/inc/dec/neg/adc/sbb).
+    IntAdd,
+    /// The graded 32×32→64 integer multiplier array.
+    IntMul,
+    /// Integer divider (not graded; fixed latency).
+    IntDiv,
+    /// The graded single-precision FP adder.
+    FpAdd,
+    /// The graded single-precision FP multiplier.
+    FpMul,
+    /// FP divide/sqrt pipe (not graded).
+    FpDiv,
+    /// Load port (address generation + L1D access).
+    Load,
+    /// Store port.
+    Store,
+    /// Branch unit.
+    Branch,
+}
+
+impl FuKind {
+    /// Default execution latency in cycles (L1D hit latency for loads; the
+    /// cache model adds miss penalties).
+    pub fn latency(self) -> u32 {
+        match self {
+            FuKind::Alu | FuKind::IntAdd => 1,
+            FuKind::IntMul => 3,
+            FuKind::IntDiv => 20,
+            FuKind::FpAdd => 3,
+            FuKind::FpMul => 4,
+            FuKind::FpDiv => 13,
+            FuKind::Load => 4,
+            FuKind::Store => 1,
+            FuKind::Branch => 1,
+        }
+    }
+}
+
+/// Branch conditions (used by the assembler's `jcc` helper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // standard x86 condition codes
+pub enum Cond {
+    Z,
+    Nz,
+    S,
+    Ns,
+    C,
+    Nc,
+    O,
+    No,
+}
+
+/// Identifier of a form: an index into [`Catalog::forms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FormId(pub u16);
+
+impl FormId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FormId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "form#{}", self.0)
+    }
+}
+
+/// A single instruction form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Form {
+    /// The form's identifier (its catalogue index).
+    pub id: FormId,
+    /// Mnemonic.
+    pub mnemonic: Mnemonic,
+    /// Operand mode.
+    pub mode: OpMode,
+    /// Integer data width; for SSE forms this is `B32` (scalar lane) or
+    /// `B64` (`MOVQ` family); packed forms use `B32` with `packed = true`.
+    pub width: Width,
+    /// True for packed (4-lane) SSE forms.
+    pub packed: bool,
+    /// Functional-unit class.
+    pub fu: FuKind,
+    /// False for instructions whose results vary across runs (RDTSC,
+    /// CPUID); generators exclude these, fuzz filters reject them.
+    pub deterministic: bool,
+    /// True if the form's destination register field names an XMM register.
+    pub writes_xmm: bool,
+}
+
+impl Form {
+    /// Does this form read or write memory?
+    #[inline]
+    pub fn touches_memory(&self) -> bool {
+        self.mode.touches_memory() || matches!(self.mnemonic, Mnemonic::Push | Mnemonic::Pop)
+    }
+
+    /// Is this a control-flow form?
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.fu == FuKind::Branch
+    }
+
+    /// Human-readable name, e.g. `add.rr.32`.
+    pub fn name(&self) -> String {
+        let pk = if self.packed { ".p" } else { "" };
+        format!(
+            "{}.{:?}.{}{}",
+            format!("{:?}", self.mnemonic).to_lowercase(),
+            self.mode,
+            self.width.bits(),
+            pk
+        )
+    }
+}
+
+impl fmt::Display for Form {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The complete form catalogue plus the opcode pages used by the binary
+/// encoding. Obtain the process-wide instance with [`Catalog::get`].
+#[derive(Debug)]
+pub struct Catalog {
+    forms: Vec<Form>,
+    /// Opcode pages: `pages[p][b]` maps opcode byte `b` on page `p` to a
+    /// form. Page 0 is the primary map; pages 1.. are reached through
+    /// escape bytes (see `encode.rs`).
+    pages: Vec<[Option<FormId>; 256]>,
+    /// Reverse map: for each form, its (page, opcode) position.
+    position: Vec<(u8, u8)>,
+}
+
+/// Number of opcode slots used per page; the remainder stay invalid so
+/// byte-level fuzzing encounters illegal opcodes, as on real x86.
+const PAGE_FILL: usize = 224;
+
+impl Catalog {
+    /// The process-wide catalogue (built once, on first use).
+    ///
+    /// ```
+    /// use harpo_isa::form::{Catalog, FuKind};
+    /// let cat = Catalog::get();
+    /// assert!(cat.len() > 300);
+    /// // Graded structures have forms to exercise them.
+    /// assert!(cat.forms().iter().any(|f| f.fu == FuKind::IntMul));
+    /// ```
+    pub fn get() -> &'static Catalog {
+        static CAT: OnceLock<Catalog> = OnceLock::new();
+        CAT.get_or_init(Catalog::build)
+    }
+
+    /// All forms, indexable by [`FormId::index`].
+    #[inline]
+    pub fn forms(&self) -> &[Form] {
+        &self.forms
+    }
+
+    /// Number of forms in the catalogue.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.forms.len()
+    }
+
+    /// The catalogue is never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up a form by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (form ids are only minted by this
+    /// catalogue, so this indicates corruption).
+    #[inline]
+    pub fn form(&self, id: FormId) -> &Form {
+        &self.forms[id.index()]
+    }
+
+    /// Finds the form with the given mnemonic/mode/width/packed signature.
+    pub fn lookup(
+        &self,
+        mnemonic: Mnemonic,
+        mode: OpMode,
+        width: Width,
+        packed: bool,
+    ) -> Option<FormId> {
+        self.forms
+            .iter()
+            .find(|f| {
+                f.mnemonic == mnemonic && f.mode == mode && f.width == width && f.packed == packed
+            })
+            .map(|f| f.id)
+    }
+
+    /// The (page, opcode) encoding position of a form.
+    #[inline]
+    pub fn position(&self, id: FormId) -> (u8, u8) {
+        self.position[id.index()]
+    }
+
+    /// Decodes an opcode byte on a page to a form, if assigned.
+    #[inline]
+    pub fn on_page(&self, page: u8, opcode: u8) -> Option<FormId> {
+        self.pages
+            .get(page as usize)
+            .and_then(|p| p[opcode as usize])
+    }
+
+    /// Number of opcode pages.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// All deterministic forms, the default generator domain.
+    pub fn deterministic_forms(&self) -> impl Iterator<Item = &Form> {
+        self.forms.iter().filter(|f| f.deterministic)
+    }
+
+    fn build() -> Catalog {
+        let mut b = Builder::default();
+        b.build_all();
+        let forms = b.forms;
+
+        // Lay forms out across opcode pages round-robin, so every
+        // instruction family (ALU, multiply, SSE, ...) has members on the
+        // primary map — like real x86, where common opcodes are
+        // single-byte and escapes extend the space. A catalogue-order
+        // split would hide whole families behind the escape byte and make
+        // them unreachable for byte-level fuzzers.
+        let page_count = forms.len().div_ceil(PAGE_FILL);
+        let mut pages = vec![[None; 256]; page_count];
+        let mut position = Vec::with_capacity(forms.len());
+        for f in &forms {
+            let p = f.id.index() % page_count;
+            let o = f.id.index() / page_count;
+            debug_assert!(o < PAGE_FILL);
+            pages[p][o] = Some(f.id);
+            position.push((p as u8, o as u8));
+        }
+        Catalog {
+            forms,
+            pages,
+            position,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    forms: Vec<Form>,
+}
+
+impl Builder {
+    #[allow(clippy::too_many_arguments)] // private builder: one arg per Form field
+    fn push(
+        &mut self,
+        mnemonic: Mnemonic,
+        mode: OpMode,
+        width: Width,
+        packed: bool,
+        fu: FuKind,
+        deterministic: bool,
+        writes_xmm: bool,
+    ) {
+        let id = FormId(self.forms.len() as u16);
+        self.forms.push(Form {
+            id,
+            mnemonic,
+            mode,
+            width,
+            packed,
+            fu,
+            deterministic,
+            writes_xmm,
+        });
+    }
+
+    fn int(&mut self, m: Mnemonic, mode: OpMode, w: Width, fu: FuKind) {
+        self.push(m, mode, w, false, fu, true, false);
+    }
+
+    fn sse(&mut self, m: Mnemonic, mode: OpMode, packed: bool, fu: FuKind) {
+        let writes_xmm = !matches!(mode, OpMode::Mx | OpMode::Rx);
+        self.push(m, mode, Width::B32, packed, fu, true, writes_xmm);
+    }
+
+    fn build_all(&mut self) {
+        use FuKind::*;
+        use Mnemonic::*;
+        use OpMode::*;
+        use Width::*;
+
+        // Integer ALU binary operations at all four widths, three modes.
+        // Add-family goes through the graded integer adder; logic through
+        // the generic ALU.
+        let binops: &[(Mnemonic, FuKind)] = &[
+            (Add, IntAdd),
+            (Adc, IntAdd),
+            (Sub, IntAdd),
+            (Sbb, IntAdd),
+            (Cmp, IntAdd),
+            (And, Alu),
+            (Or, Alu),
+            (Xor, Alu),
+            (Test, Alu),
+        ];
+        for &(m, fu) in binops {
+            for &w in &Width::ALL {
+                for &mode in &[Rr, Ri, Rm] {
+                    // Memory-source forms occupy a load port as well; the
+                    // timing model splits them into load + op micro-ops.
+                    self.int(m, mode, w, fu);
+                }
+            }
+        }
+
+        // MOV at all widths, five modes (including RIP-relative).
+        for &w in &Width::ALL {
+            for &mode in &[Rr, Ri, Rm, Mr] {
+                let fu = match mode {
+                    Mr => Store,
+                    Rm => Load,
+                    _ => Alu,
+                };
+                self.int(Mov, mode, w, fu);
+            }
+        }
+        self.int(Mov, RmRip, B64, Load);
+        self.int(Mov, MrRip, B64, Store);
+        self.int(Mov, RmRip, B32, Load);
+        self.int(Mov, MrRip, B32, Store);
+
+        // MOVZX / MOVSX from 8/16/32-bit sources into 64-bit destinations.
+        for &w in &[B8, B16, B32] {
+            for &mode in &[Rr, Rm] {
+                let fu = if mode == Rm { Load } else { Alu };
+                self.int(Movzx, mode, w, fu);
+                self.int(Movsx, mode, w, fu);
+            }
+        }
+
+        // Unary integer ops (adder-backed ones are graded).
+        for &w in &Width::ALL {
+            self.int(Inc, R, w, IntAdd);
+            self.int(Dec, R, w, IntAdd);
+            self.int(Neg, R, w, IntAdd);
+            self.int(Not, R, w, Alu);
+        }
+        self.int(Bswap, R, B32, Alu);
+        self.int(Bswap, R, B64, Alu);
+        for &w in &[B16, B32, B64] {
+            self.int(Popcnt, Rr, w, Alu);
+            self.int(Lzcnt, Rr, w, Alu);
+            self.int(Tzcnt, Rr, w, Alu);
+        }
+
+        // Shifts and rotates: by immediate and by CL.
+        for &m in &[Shl, Shr, Sar, Rol, Ror, Rcl, Rcr] {
+            for &w in &Width::ALL {
+                self.int(m, RiB, w, Alu);
+                self.int(m, Rc, w, Alu);
+            }
+        }
+
+        // Bit test family.
+        for &m in &[Bt, Bts, Btr, Btc] {
+            for &w in &[B16, B32, B64] {
+                self.int(m, Rr, w, Alu);
+                self.int(m, RiB, w, Alu);
+            }
+        }
+
+        // Multiply / divide. IMUL2 is the two-operand register form; the
+        // RAX-implicit forms exist at all widths, as in x86.
+        for &w in &[B16, B32, B64] {
+            self.int(Imul2, Rr, w, IntMul);
+            self.int(Imul2, Rm, w, IntMul);
+        }
+        for &w in &Width::ALL {
+            self.int(ImulRax, R, w, IntMul);
+            self.int(MulRax, R, w, IntMul);
+            self.int(IdivRax, R, w, IntDiv);
+            self.int(DivRax, R, w, IntDiv);
+        }
+
+        // LEA (address arithmetic on the plain ALU).
+        self.int(Lea, Rm, B64, Alu);
+        self.int(Lea, Rm, B32, Alu);
+
+        // XCHG.
+        for &w in &Width::ALL {
+            self.int(Xchg, Rr, w, Alu);
+        }
+
+        // Conditional moves.
+        for &m in &[Cmovz, Cmovnz, Cmovs, Cmovns, Cmovc, Cmovnc] {
+            for &w in &[B16, B32, B64] {
+                self.int(m, Rr, w, Alu);
+            }
+        }
+        for &m in &[Setz, Setnz, Sets, Setc] {
+            self.int(m, R, B8, Alu);
+        }
+
+        // Stack operations (64-bit as on x86-64).
+        self.int(Push, R, B64, Store);
+        self.int(Pop, R, B64, Load);
+        self.int(Push, I, B64, Store);
+
+        // Control flow. Branch targets are instruction-index relative.
+        for &m in &[Jmp, Jz, Jnz, Js, Jns, Jc, Jnc, Jo, Jno] {
+            self.int(m, Rel, B64, Branch);
+        }
+
+        // Misc.
+        self.int(Nop, None, B64, Alu);
+        self.int(Halt, None, B64, Alu);
+        self.push(Rdtsc, None, B64, false, Alu, false, false);
+        self.push(Cpuid, None, B64, false, Alu, false, false);
+
+        // SSE moves.
+        self.sse(Movss, Xx, false, Alu);
+        self.sse(Movss, Xm, false, Load);
+        self.sse(Movss, Mx, false, Store);
+        self.sse(Movaps, Xx, true, Alu);
+        self.sse(Movaps, Xm, true, Load);
+        self.sse(Movaps, Mx, true, Store);
+        self.push(MovqXr, Xr, B64, false, Alu, true, true);
+        self.push(MovqRx, Rx, B64, false, Alu, true, false);
+
+        // SSE scalar arithmetic.
+        for &(m, fu) in &[
+            (Addss, FpAdd),
+            (Subss, FpAdd),
+            (Minss, FpAdd),
+            (Maxss, FpAdd),
+            (Mulss, FpMul),
+            (Divss, FpDiv),
+            (Sqrtss, FpDiv),
+        ] {
+            self.sse(m, Xx, false, fu);
+            if m != Sqrtss {
+                self.sse(m, Xm, false, fu);
+            }
+        }
+
+        // SSE packed arithmetic (four lanes → four unit passes).
+        for &(m, fu) in &[
+            (Addps, FpAdd),
+            (Subps, FpAdd),
+            (Minps, FpAdd),
+            (Maxps, FpAdd),
+            (Mulps, FpMul),
+            (Divps, FpDiv),
+        ] {
+            self.sse(m, Xx, true, fu);
+            self.sse(m, Xm, true, fu);
+        }
+
+        // SSE logic.
+        for &m in &[Andps, Orps, Xorps] {
+            self.sse(m, Xx, true, Alu);
+        }
+
+        // SSE compare / convert.
+        self.sse(Ucomiss, Xx, false, FpAdd);
+        self.push(Cvtsi2ss, Xr, B32, false, FpAdd, true, true);
+        self.push(Cvtsi2ss, Xr, B64, false, FpAdd, true, true);
+        self.push(Cvttss2si, Rx, B32, false, FpAdd, true, false);
+        self.push(Cvttss2si, Rx, B64, false, FpAdd, true, false);
+
+        // SSE integer lanes (exercise the integer adder and multiplier
+        // from vector code — hyperscalers flag both scalar and vector
+        // datapaths as SDC sources).
+        self.sse(Paddq, Xx, true, IntAdd);
+        self.sse(Psubq, Xx, true, IntAdd);
+        self.sse(Pxor, Xx, true, Alu);
+        self.sse(Paddd, Xx, true, IntAdd);
+        self.sse(Psubd, Xx, true, IntAdd);
+        self.sse(Pmuludq, Xx, true, IntMul);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_substantial() {
+        let c = Catalog::get();
+        // The paper's extended MicroProbe supports ~2,000 x86 variants; our
+        // synthetic catalogue targets several hundred.
+        assert!(c.len() >= 300, "catalogue too small: {}", c.len());
+        assert!(c.len() < 1000);
+    }
+
+    #[test]
+    fn form_ids_are_dense_and_self_referential() {
+        let c = Catalog::get();
+        for (i, f) in c.forms().iter().enumerate() {
+            assert_eq!(f.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn opcode_positions_roundtrip() {
+        let c = Catalog::get();
+        for f in c.forms() {
+            let (p, o) = c.position(f.id);
+            assert_eq!(c.on_page(p, o), Some(f.id));
+            assert!((o as usize) < PAGE_FILL);
+        }
+    }
+
+    #[test]
+    fn unassigned_opcodes_exist_on_every_page() {
+        let c = Catalog::get();
+        for p in 0..c.page_count() as u8 {
+            assert_eq!(c.on_page(p, 0xFF), None);
+            assert_eq!(c.on_page(p, PAGE_FILL as u8), None);
+        }
+    }
+
+    #[test]
+    fn nondeterministic_forms_flagged() {
+        let c = Catalog::get();
+        let nd: Vec<_> = c.forms().iter().filter(|f| !f.deterministic).collect();
+        assert_eq!(nd.len(), 2);
+        assert!(nd.iter().all(|f| matches!(f.mnemonic, Mnemonic::Rdtsc | Mnemonic::Cpuid)));
+    }
+
+    #[test]
+    fn lookup_finds_known_forms() {
+        let c = Catalog::get();
+        let add = c
+            .lookup(Mnemonic::Add, OpMode::Rr, Width::B64, false)
+            .expect("add.rr.64 exists");
+        assert_eq!(c.form(add).fu, FuKind::IntAdd);
+        let mul = c
+            .lookup(Mnemonic::Mulps, OpMode::Xx, Width::B32, true)
+            .expect("mulps exists");
+        assert_eq!(c.form(mul).fu, FuKind::FpMul);
+        assert!(c.lookup(Mnemonic::Lea, OpMode::Rr, Width::B64, false).is_none());
+    }
+
+    #[test]
+    fn graded_units_have_forms() {
+        let c = Catalog::get();
+        for fu in [FuKind::IntAdd, FuKind::IntMul, FuKind::FpAdd, FuKind::FpMul] {
+            assert!(
+                c.forms().iter().any(|f| f.fu == fu),
+                "no forms for graded unit {:?}",
+                fu
+            );
+        }
+    }
+
+    #[test]
+    fn rcr_exists_at_all_widths() {
+        // §VI-D regression surface: rotate-through-carry at every width.
+        let c = Catalog::get();
+        for w in Width::ALL {
+            assert!(c.lookup(Mnemonic::Rcr, OpMode::RiB, w, false).is_some());
+            assert!(c.lookup(Mnemonic::Rcr, OpMode::Rc, w, false).is_some());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Functional-unit providers.
+//!
+//! The four *graded* hardware structures of the paper's evaluation — the
+//! integer adder, the integer multiplier, and the SSE FP adder and
+//! multiplier — are accessed by the instruction semantics exclusively
+//! through the [`FuProvider`] trait. The default [`NativeFu`] computes
+//! results with host arithmetic (bit-identical to the fault-free gate
+//! netlists in `harpo-gates`, which is enforced by cross-crate tests);
+//! the fault injector substitutes a netlist-backed provider with stuck-at
+//! faults applied.
+//!
+//! Design notes:
+//! * The **integer adder** is a single 64-bit carry-chain unit with a
+//!   carry-in; subtraction is performed by the semantics layer as
+//!   `a + !b + 1` exactly as in hardware, so `SUB`/`CMP`/`NEG`/`DEC` all
+//!   exercise the same physical adder.
+//! * The **integer multiplier** is a 32×32→64 array; wider multiplies are
+//!   composed from multiple unit passes (schoolbook decomposition), as in
+//!   designs that iterate a narrower array. A 64-bit `IMUL` therefore
+//!   makes 3–4 passes through the unit.
+//! * The **FP units** operate on single-precision values per pass; packed
+//!   (4-lane) SSE instructions make four passes.
+
+use crate::form::FuKind;
+use crate::softfp;
+use serde::{Deserialize, Serialize};
+
+/// One operand pair passed through a graded functional unit. Recorded in
+/// the execution trace; the IBR coverage metric and the gate-level fault
+/// injector both consume these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuPass {
+    /// Which unit the pass used.
+    pub kind: FuKind,
+    /// First operand (zero-extended to 64 bits).
+    pub a: u64,
+    /// Second operand. For the integer adder this is the possibly-inverted
+    /// addend; bit 0 of `c` carries the carry-in.
+    pub b: u64,
+    /// Carry-in for adder passes; 0 otherwise.
+    pub cin: bool,
+}
+
+/// Provider of functional-unit results. Implementations must be pure
+/// functions of their operands (the architectural semantics requires
+/// determinism); `&mut self` allows implementations to keep scratch
+/// buffers and statistics.
+pub trait FuProvider {
+    /// 64-bit addition with carry-in; returns (sum, carry-out).
+    fn int_add(&mut self, a: u64, b: u64, cin: bool) -> (u64, bool);
+
+    /// 32×32→64 unsigned multiplication.
+    fn int_mul32(&mut self, a: u32, b: u32) -> u64;
+
+    /// Single-precision FP addition (truncation rounding, flush-to-zero).
+    fn fp_add(&mut self, a: u32, b: u32) -> u32;
+
+    /// Single-precision FP multiplication.
+    fn fp_mul(&mut self, a: u32, b: u32) -> u32;
+}
+
+/// Host-arithmetic provider: the reference semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeFu;
+
+impl FuProvider for NativeFu {
+    #[inline]
+    fn int_add(&mut self, a: u64, b: u64, cin: bool) -> (u64, bool) {
+        let (s1, c1) = a.overflowing_add(b);
+        let (s2, c2) = s1.overflowing_add(cin as u64);
+        (s2, c1 | c2)
+    }
+
+    #[inline]
+    fn int_mul32(&mut self, a: u32, b: u32) -> u64 {
+        a as u64 * b as u64
+    }
+
+    #[inline]
+    fn fp_add(&mut self, a: u32, b: u32) -> u32 {
+        softfp::fadd(a, b)
+    }
+
+    #[inline]
+    fn fp_mul(&mut self, a: u32, b: u32) -> u32 {
+        softfp::fmul(a, b)
+    }
+}
+
+/// Composed multi-pass operations built on the 32×32 multiplier unit.
+/// These helpers are used by both the semantics layer and the fault
+/// injector so the pass decomposition is defined in exactly one place.
+pub mod compose {
+    use super::FuProvider;
+
+    /// Full 64×64→128 unsigned multiply: four unit passes (schoolbook).
+    /// Returns (low, high).
+    pub fn mul_u64_wide<F: FuProvider + ?Sized>(fu: &mut F, a: u64, b: u64) -> (u64, u64) {
+        let (al, ah) = (a as u32, (a >> 32) as u32);
+        let (bl, bh) = (b as u32, (b >> 32) as u32);
+        let ll = fu.int_mul32(al, bl);
+        let lh = fu.int_mul32(al, bh);
+        let hl = fu.int_mul32(ah, bl);
+        let hh = fu.int_mul32(ah, bh);
+        // Composition adds are part of the multiplier's internal reduction
+        // tree in real hardware; they are performed natively here and the
+        // graded structure remains the 32×32 array.
+        let mid = lh.wrapping_add(hl);
+        let mid_carry = (mid < lh) as u64;
+        let lo = ll.wrapping_add(mid << 32);
+        let lo_carry = (lo < ll) as u64;
+        let hi = hh
+            .wrapping_add(mid >> 32)
+            .wrapping_add(mid_carry << 32)
+            .wrapping_add(lo_carry);
+        (lo, hi)
+    }
+
+    /// Low-64 result of a 64×64 multiply: three unit passes (the high
+    /// partial product cannot influence the low half).
+    pub fn mul_u64_low<F: FuProvider + ?Sized>(fu: &mut F, a: u64, b: u64) -> u64 {
+        let (al, ah) = (a as u32, (a >> 32) as u32);
+        let (bl, bh) = (b as u32, (b >> 32) as u32);
+        let ll = fu.int_mul32(al, bl);
+        let lh = fu.int_mul32(al, bh);
+        let hl = fu.int_mul32(ah, bl);
+        ll.wrapping_add((lh.wrapping_add(hl)) << 32)
+    }
+
+    /// Signed 64×64→128 multiply built from the unsigned wide multiply.
+    pub fn mul_i64_wide<F: FuProvider + ?Sized>(fu: &mut F, a: i64, b: i64) -> (u64, i64) {
+        let (lo, hi_u) = mul_u64_wide(fu, a as u64, b as u64);
+        // Standard signed correction of the unsigned product.
+        let mut hi = hi_u as i64;
+        if a < 0 {
+            hi = hi.wrapping_sub(b);
+        }
+        if b < 0 {
+            hi = hi.wrapping_sub(a);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::compose::*;
+    use super::*;
+
+    #[test]
+    fn native_add_carries() {
+        let mut fu = NativeFu;
+        assert_eq!(fu.int_add(1, 2, false), (3, false));
+        assert_eq!(fu.int_add(u64::MAX, 0, true), (0, true));
+        assert_eq!(fu.int_add(u64::MAX, 1, false), (0, true));
+        assert_eq!(fu.int_add(u64::MAX, u64::MAX, true), (u64::MAX, true));
+    }
+
+    #[test]
+    fn wide_multiply_matches_u128() {
+        let mut fu = NativeFu;
+        let cases = [
+            (0u64, 0u64),
+            (u64::MAX, u64::MAX),
+            (0x1234_5678_9ABC_DEF0, 0x0FED_CBA9_8765_4321),
+            (1 << 63, 3),
+        ];
+        for (a, b) in cases {
+            let (lo, hi) = mul_u64_wide(&mut fu, a, b);
+            let want = a as u128 * b as u128;
+            assert_eq!(lo, want as u64, "lo of {a:#x}*{b:#x}");
+            assert_eq!(hi, (want >> 64) as u64, "hi of {a:#x}*{b:#x}");
+            assert_eq!(mul_u64_low(&mut fu, a, b), want as u64);
+        }
+    }
+
+    #[test]
+    fn signed_wide_multiply_matches_i128() {
+        let mut fu = NativeFu;
+        for (a, b) in [(-5i64, 7i64), (i64::MIN, -1), (i64::MAX, i64::MIN), (-1, -1)] {
+            let (lo, hi) = mul_i64_wide(&mut fu, a, b);
+            let want = a as i128 * b as i128;
+            assert_eq!(lo, want as u64);
+            assert_eq!(hi, (want >> 64) as i64);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Concrete instructions: a form plus operand fields.
+
+use crate::form::{Catalog, Form, FormId, Mnemonic, OpMode};
+use crate::reg::{Gpr, Xmm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete HX86 instruction.
+///
+/// The representation is deliberately compact (16 bytes, `Copy`): programs
+/// run to 30K instructions and the genetic loop holds populations of ~100
+/// programs, so instruction storage is on the hot path. The `a`/`b` fields
+/// are 4-bit register selectors whose meaning depends on the form's
+/// [`OpMode`]; `imm` carries immediates, shift counts, displacements and
+/// branch offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// Which form this instruction instantiates.
+    pub form: FormId,
+    /// First register field (destination for two-operand forms).
+    pub a: u8,
+    /// Second register field (source, or memory base register).
+    pub b: u8,
+    /// Immediate / displacement / branch offset, meaning per mode:
+    /// * `Ri`, `I` — 32-bit immediate (sign-extended at execution);
+    /// * `RiB` — shift count / bit index (low 8 bits);
+    /// * `Rm`/`Mr`/`Xm`/`Mx` — 16-bit signed displacement;
+    /// * `RmRip`/`MrRip` — 16-bit unsigned offset into the data region;
+    /// * `Rel` — signed instruction-index offset.
+    pub imm: i32,
+}
+
+impl Inst {
+    /// Creates an instruction after validating the operand fields fit the
+    /// form's mode (register selectors are 4-bit).
+    ///
+    /// # Panics
+    /// Panics if a register selector exceeds 15; callers construct
+    /// selectors from [`Gpr`]/[`Xmm`] indices so this indicates a logic
+    /// error, not bad input data.
+    pub fn new(form: FormId, a: u8, b: u8, imm: i32) -> Inst {
+        assert!(a < 16 && b < 16, "register selectors are 4-bit");
+        Inst { form, a, b, imm }
+    }
+
+    /// The form metadata for this instruction.
+    #[inline]
+    pub fn form_meta(&self) -> &'static Form {
+        Catalog::get().form(self.form)
+    }
+
+    /// First register field as a GPR.
+    #[inline]
+    pub fn gpr_a(&self) -> Gpr {
+        Gpr::from_nibble(self.a)
+    }
+
+    /// Second register field as a GPR.
+    #[inline]
+    pub fn gpr_b(&self) -> Gpr {
+        Gpr::from_nibble(self.b)
+    }
+
+    /// First register field as an XMM register.
+    #[inline]
+    pub fn xmm_a(&self) -> Xmm {
+        Xmm::from_nibble(self.a)
+    }
+
+    /// Second register field as an XMM register.
+    #[inline]
+    pub fn xmm_b(&self) -> Xmm {
+        Xmm::from_nibble(self.b)
+    }
+
+    /// Memory base register (modes with a `[base + disp]` operand).
+    #[inline]
+    pub fn mem_base(&self) -> Gpr {
+        Gpr::from_nibble(self.b)
+    }
+
+    /// Signed displacement for memory modes.
+    #[inline]
+    pub fn disp(&self) -> i16 {
+        self.imm as i16
+    }
+
+    /// Branch offset in instruction indices (mode `Rel`).
+    #[inline]
+    pub fn rel(&self) -> i32 {
+        self.imm
+    }
+
+    /// A NOP instruction.
+    pub fn nop() -> Inst {
+        let id = Catalog::get()
+            .lookup(Mnemonic::Nop, OpMode::None, crate::reg::Width::B64, false)
+            .expect("nop form exists");
+        Inst::new(id, 0, 0, 0)
+    }
+
+    /// A HALT instruction (terminates execution cleanly).
+    pub fn halt() -> Inst {
+        let id = Catalog::get()
+            .lookup(Mnemonic::Halt, OpMode::None, crate::reg::Width::B64, false)
+            .expect("halt form exists");
+        Inst::new(id, 0, 0, 0)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let meta = self.form_meta();
+        match meta.mode {
+            OpMode::Rr => write!(f, "{} {}, {}", meta, self.gpr_a(), self.gpr_b()),
+            OpMode::Ri => write!(f, "{} {}, {:#x}", meta, self.gpr_a(), self.imm),
+            OpMode::Rm => write!(
+                f,
+                "{} {}, [{}{:+}]",
+                meta,
+                self.gpr_a(),
+                self.mem_base(),
+                self.disp()
+            ),
+            OpMode::Mr => write!(
+                f,
+                "{} [{}{:+}], {}",
+                meta,
+                self.mem_base(),
+                self.disp(),
+                self.gpr_a()
+            ),
+            OpMode::RmRip => write!(f, "{} {}, [rip+{:#x}]", meta, self.gpr_a(), self.imm as u16),
+            OpMode::MrRip => write!(f, "{} [rip+{:#x}], {}", meta, self.imm as u16, self.gpr_a()),
+            OpMode::R => write!(f, "{} {}", meta, self.gpr_a()),
+            OpMode::RiB => write!(f, "{} {}, {}", meta, self.gpr_a(), self.imm as u8),
+            OpMode::Rc => write!(f, "{} {}, cl", meta, self.gpr_a()),
+            OpMode::I => write!(f, "{} {:#x}", meta, self.imm),
+            OpMode::Rel => write!(f, "{} {:+}", meta, self.rel()),
+            OpMode::None => write!(f, "{}", meta),
+            OpMode::Xx => write!(f, "{} {}, {}", meta, self.xmm_a(), self.xmm_b()),
+            OpMode::Xm => write!(
+                f,
+                "{} {}, [{}{:+}]",
+                meta,
+                self.xmm_a(),
+                self.mem_base(),
+                self.disp()
+            ),
+            OpMode::Mx => write!(
+                f,
+                "{} [{}{:+}], {}",
+                meta,
+                self.mem_base(),
+                self.disp(),
+                self.xmm_a()
+            ),
+            OpMode::Xr => write!(f, "{} {}, {}", meta, self.xmm_a(), self.gpr_b()),
+            OpMode::Rx => write!(f, "{} {}, {}", meta, self.gpr_a(), self.xmm_b()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::form::Mnemonic;
+    use crate::reg::Width;
+
+    fn form_of(m: Mnemonic, mode: OpMode, w: Width) -> FormId {
+        Catalog::get().lookup(m, mode, w, false).unwrap()
+    }
+
+    #[test]
+    fn inst_is_compact() {
+        assert!(std::mem::size_of::<Inst>() <= 16);
+    }
+
+    #[test]
+    fn accessors_decode_fields() {
+        let f = form_of(Mnemonic::Add, OpMode::Rr, Width::B64);
+        let i = Inst::new(f, 3, 9, 0);
+        assert_eq!(i.gpr_a(), Gpr::Rbx);
+        assert_eq!(i.gpr_b(), Gpr::R9);
+    }
+
+    #[test]
+    #[should_panic(expected = "register selectors")]
+    fn oversized_selector_panics() {
+        let f = form_of(Mnemonic::Add, OpMode::Rr, Width::B64);
+        let _ = Inst::new(f, 16, 0, 0);
+    }
+
+    #[test]
+    fn display_all_modes_nonempty() {
+        let c = Catalog::get();
+        for form in c.forms() {
+            let i = Inst::new(form.id, 1, 2, 8);
+            let s = i.to_string();
+            assert!(!s.is_empty(), "empty display for {}", form.name());
+        }
+    }
+}

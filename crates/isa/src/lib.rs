@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! # harpo-isa — the HX86 instruction set architecture
+//!
+//! HX86 is a synthetic, x86-64-flavoured ISA built for the Harpocrates
+//! reproduction. It is the substrate shared by every other crate in the
+//! workspace: the program generator emits HX86, the microarchitectural
+//! simulator times it, the fault injector replays it, and the baseline
+//! frameworks (SiliFuzz-, OpenDCDiag-, MiBench-like) are expressed in it.
+//!
+//! The ISA deliberately reproduces the x86-64 complexities the paper calls
+//! out in §V-B:
+//!
+//! * **implicit operands** — `MUL`/`DIV` clobber `RAX`/`RDX`, shifts-by-CL
+//!   read `RCX`, so a generator that ignores implicit defs corrupts address
+//!   base registers exactly as described in the paper;
+//! * **multiple widths** — most integer forms exist at 8/16/32/64 bits;
+//! * **addressing modes** — base+displacement and RIP-relative;
+//! * **stack instructions** — `PUSH`/`POP` can underflow a misconfigured
+//!   stack;
+//! * **rotate-through-carry** — `RCL`/`RCR` including the rotate-amount ==
+//!   register-width corner case that exposed a gem5 emulation bug (§VI-D);
+//! * **non-deterministic instructions** — `RDTSC`/`CPUID` decode but are
+//!   flagged so generators and fuzz filters can exclude them;
+//! * **a dense variable-length byte encoding** with escape pages, so that
+//!   byte-level fuzzing (the SiliFuzz baseline) produces a realistic mix of
+//!   valid and illegal sequences.
+//!
+//! The crate also contains the *functional* execution engine
+//! ([`exec::Machine`]): architectural state, a bounds-checked flat memory,
+//! trap semantics, and pluggable functional-unit providers
+//! ([`fu::FuProvider`]) so that gate-level netlists (crate `harpo-gates`)
+//! can be substituted for native arithmetic during fault injection.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use harpo_isa::asm::Asm;
+//! use harpo_isa::reg::{Gpr, Width};
+//! use harpo_isa::exec::Machine;
+//! use harpo_isa::fu::NativeFu;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new("sum-1-to-10");
+//! a.mov_ri(Width::B64, Gpr::Rax, 0);
+//! a.mov_ri(Width::B64, Gpr::Rcx, 10);
+//! a.label("loop");
+//! a.add_rr(Width::B64, Gpr::Rax, Gpr::Rcx);
+//! a.sub_ri(Width::B64, Gpr::Rcx, 1);
+//! a.jnz("loop");
+//! a.halt();
+//! let prog = a.finish()?;
+//!
+//! let mut m = Machine::new(&prog, NativeFu::default());
+//! let out = m.run(100_000)?;
+//! assert_eq!(out.state.gpr(Gpr::Rax), 55);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod container;
+pub mod encode;
+pub mod exec;
+pub mod flags;
+pub mod form;
+pub mod fu;
+pub mod inst;
+pub mod mem;
+pub mod program;
+pub mod reg;
+pub mod semantics;
+pub mod softfp;
+pub mod state;
+
+pub use asm::Asm;
+pub use container::{from_container, to_container, ContainerError};
+pub use encode::{decode_inst, decode_stream, encode_inst, DecodeError};
+pub use exec::{ExecHooks, Machine, NoHooks, RunOutput, StepInfo, Trap};
+pub use flags::Flags;
+pub use form::{Catalog, Cond, Form, FormId, FuKind, Mnemonic, OpMode};
+pub use fu::{FuPass, FuProvider, NativeFu};
+pub use inst::Inst;
+pub use mem::{MemImage, Memory, DATA_BASE};
+pub use program::{Program, RegInit};
+pub use reg::{Gpr, Width, Xmm};
+pub use state::ArchState;

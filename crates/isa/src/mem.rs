@@ -1,0 +1,289 @@
+//! The flat, bounds-checked data memory of an HX86 program.
+//!
+//! A program owns a single contiguous region at [`DATA_BASE`]: the *data*
+//! area (addressed by generated loads/stores and RIP-relative operands)
+//! followed by a *stack* area at the top (RSP is initialised to the region
+//! end and grows down). Any access outside the region is a memory fault,
+//! which the execution engine surfaces as a crash — the same observable
+//! the paper's fault-injection taxonomy uses for wild addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base virtual address of the data region.
+pub const DATA_BASE: u64 = 0x1_0000;
+
+/// An out-of-bounds access; carries the faulting address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemFault {
+    /// The address that fell outside the program's valid region.
+    pub addr: u64,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory access out of bounds at {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Declarative description of a program's initial memory: a seeded
+/// pseudo-random fill plus explicit byte patches. Keeping the image
+/// declarative (rather than a materialised `Vec<u8>`) keeps `Program`
+/// values small when populations of hundreds of programs are alive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemImage {
+    /// Size in bytes of the data area.
+    pub data_size: u32,
+    /// Size in bytes of the stack area above the data area.
+    pub stack_size: u32,
+    /// Seed for the xorshift fill of the data area; `0` means zero-fill.
+    pub fill_seed: u64,
+    /// Byte patches applied on top of the fill, as (offset, bytes) pairs.
+    pub patches: Vec<(u32, Vec<u8>)>,
+}
+
+impl MemImage {
+    /// A cache-sized default image: 32 KiB data + 4 KiB stack, zero fill.
+    pub fn new(data_size: u32, stack_size: u32) -> MemImage {
+        MemImage {
+            data_size,
+            stack_size,
+            fill_seed: 0,
+            patches: Vec::new(),
+        }
+    }
+
+    /// Total region size (data + stack).
+    #[inline]
+    pub fn total_size(&self) -> u32 {
+        self.data_size + self.stack_size
+    }
+
+    /// Initial stack pointer (one past the region top; pushes pre-decrement).
+    #[inline]
+    pub fn initial_rsp(&self) -> u64 {
+        DATA_BASE + self.total_size() as u64
+    }
+
+    /// Materialises the initial memory contents.
+    pub fn build(&self) -> Memory {
+        let mut bytes = vec![0u8; self.total_size() as usize];
+        if self.fill_seed != 0 {
+            let mut s = self.fill_seed;
+            for chunk in bytes[..self.data_size as usize].chunks_mut(8) {
+                // xorshift64* — fast, seeded, good enough for test data.
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let v = s.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&v[..n]);
+            }
+        }
+        for (off, data) in &self.patches {
+            let start = *off as usize;
+            let end = start + data.len();
+            assert!(
+                end <= self.data_size as usize,
+                "patch [{start}, {end}) exceeds data area of {} bytes",
+                self.data_size
+            );
+            bytes[start..end].copy_from_slice(data);
+        }
+        Memory {
+            bytes,
+            base: DATA_BASE,
+        }
+    }
+}
+
+impl Default for MemImage {
+    fn default() -> Self {
+        MemImage::new(32 * 1024, 4 * 1024)
+    }
+}
+
+/// Materialised program memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    base: u64,
+}
+
+impl Memory {
+    /// The region base address.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The region size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the region is empty (degenerate images only).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, addr: u64, size: u32) -> Result<usize, MemFault> {
+        let off = addr.wrapping_sub(self.base);
+        if off.checked_add(size as u64).is_some_and(|end| end <= self.bytes.len() as u64) {
+            Ok(off as usize)
+        } else {
+            Err(MemFault { addr })
+        }
+    }
+
+    /// Reads `size` bytes (1, 2, 4, 8 or 16 — 16 returns only via
+    /// [`Memory::read128`]) little-endian, zero-extended.
+    ///
+    /// # Errors
+    /// [`MemFault`] if any byte of the access is outside the region.
+    pub fn read(&self, addr: u64, size: u32) -> Result<u64, MemFault> {
+        let off = self.offset(addr, size)?;
+        let mut v = 0u64;
+        for i in (0..size as usize).rev() {
+            v = (v << 8) | self.bytes[off + i] as u64;
+        }
+        Ok(v)
+    }
+
+    /// Writes the low `size` bytes of `val` little-endian.
+    ///
+    /// # Errors
+    /// [`MemFault`] if any byte of the access is outside the region.
+    pub fn write(&mut self, addr: u64, size: u32, val: u64) -> Result<(), MemFault> {
+        let off = self.offset(addr, size)?;
+        for i in 0..size as usize {
+            self.bytes[off + i] = (val >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Reads a 128-bit value as two 64-bit lanes (for `MOVAPS`).
+    ///
+    /// # Errors
+    /// [`MemFault`] if the access leaves the region.
+    pub fn read128(&self, addr: u64) -> Result<[u64; 2], MemFault> {
+        Ok([self.read(addr, 8)?, self.read(addr + 8, 8)?])
+    }
+
+    /// Writes a 128-bit value as two 64-bit lanes.
+    ///
+    /// # Errors
+    /// [`MemFault`] if the access leaves the region.
+    pub fn write128(&mut self, addr: u64, val: [u64; 2]) -> Result<(), MemFault> {
+        self.write(addr, 8, val[0])?;
+        self.write(addr + 8, 8, val[1])
+    }
+
+    /// Raw view of the region (used by the output signature).
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// FNV-1a hash of the whole region; part of the program's output
+    /// signature used for corruption detection.
+    pub fn signature(&self) -> u64 {
+        fnv1a(&self.bytes)
+    }
+
+    /// Direct byte flip (used by the fault injector to model persistent
+    /// memory corruption after a dirty eviction of a faulty cache line).
+    pub fn flip_bit(&mut self, addr: u64, bit: u8) -> Result<(), MemFault> {
+        let off = self.offset(addr, 1)?;
+        self.bytes[off] ^= 1 << (bit & 7);
+        Ok(())
+    }
+}
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = MemImage::new(256, 64).build();
+        for size in [1u32, 2, 4, 8] {
+            let val = 0x1122_3344_5566_7788u64 & if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
+            m.write(DATA_BASE + 16, size, val).unwrap();
+            assert_eq!(m.read(DATA_BASE + 16, size).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MemImage::new(64, 0).build();
+        m.write(DATA_BASE, 4, 0xAABB_CCDD).unwrap();
+        assert_eq!(m.read(DATA_BASE, 1).unwrap(), 0xDD);
+        assert_eq!(m.read(DATA_BASE + 3, 1).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = MemImage::new(64, 0).build();
+        assert!(m.read(DATA_BASE + 63, 1).is_ok());
+        assert!(m.read(DATA_BASE + 63, 2).is_err());
+        assert!(m.read(DATA_BASE - 1, 1).is_err());
+        assert!(m.write(0, 8, 1).is_err());
+        assert!(m.read(u64::MAX, 8).is_err(), "overflowing address");
+    }
+
+    #[test]
+    fn seeded_fill_is_deterministic_and_nonzero() {
+        let img = MemImage {
+            fill_seed: 42,
+            ..MemImage::new(1024, 0)
+        };
+        let a = img.build();
+        let b = img.build();
+        assert_eq!(a, b);
+        assert!(a.as_bytes().iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn patches_apply() {
+        let img = MemImage {
+            patches: vec![(8, vec![1, 2, 3])],
+            ..MemImage::new(64, 0)
+        };
+        let m = img.build();
+        assert_eq!(m.read(DATA_BASE + 8, 1).unwrap(), 1);
+        assert_eq!(m.read(DATA_BASE + 10, 1).unwrap(), 3);
+    }
+
+    #[test]
+    fn signature_changes_with_content() {
+        let mut m = MemImage::new(64, 0).build();
+        let s0 = m.signature();
+        m.write(DATA_BASE + 5, 1, 0xFF).unwrap();
+        assert_ne!(m.signature(), s0);
+    }
+
+    #[test]
+    fn flip_bit_flips() {
+        let mut m = MemImage::new(64, 0).build();
+        m.flip_bit(DATA_BASE + 3, 5).unwrap();
+        assert_eq!(m.read(DATA_BASE + 3, 1).unwrap(), 1 << 5);
+        m.flip_bit(DATA_BASE + 3, 5).unwrap();
+        assert_eq!(m.read(DATA_BASE + 3, 1).unwrap(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Self-contained HX86 test programs.
+//!
+//! A [`Program`] bundles everything needed for a deterministic run: the
+//! instruction sequence, the initial register values and the initial
+//! memory image. This corresponds to the paper's "wrapper" concept
+//! (§V-D): MuSeqGen wraps the raw generated sequence with initialisation
+//! so that every execution starts from an identical state and produces a
+//! fixed end-state output.
+
+use crate::inst::Inst;
+use crate::mem::{MemImage, DATA_BASE};
+use crate::reg::Gpr;
+use serde::{Deserialize, Serialize};
+
+/// Initial values for the architectural registers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegInit {
+    /// Initial GPR values (RSP is overridden to the stack top at load).
+    pub gprs: [u64; 16],
+    /// Initial XMM values, two 64-bit lanes each.
+    pub xmms: [[u64; 2]; 16],
+}
+
+impl RegInit {
+    /// All registers zero.
+    pub fn zeroed() -> RegInit {
+        RegInit {
+            gprs: [0; 16],
+            xmms: [[0; 2]; 16],
+        }
+    }
+
+    /// The generator-friendly default: every GPR points into the data
+    /// region (spread across it, 64-byte aligned) so any register is a
+    /// valid memory base; XMM registers hold small normal floats so FP
+    /// arithmetic starts from meaningful values rather than zeros.
+    ///
+    /// Register values are derived from `seed` so distinct programs can
+    /// start from distinct (but reproducible) states.
+    pub fn spread(data_size: u32, seed: u64) -> RegInit {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut gprs = [0u64; 16];
+        for (i, g) in gprs.iter_mut().enumerate() {
+            let spread = (i as u64 * (data_size as u64 / 16)) & !63;
+            // Leave headroom so small displacements stay in bounds.
+            *g = DATA_BASE + spread.min(data_size.saturating_sub(256) as u64);
+        }
+        let mut xmms = [[0u64; 2]; 16];
+        for x in xmms.iter_mut() {
+            for lane in x.iter_mut() {
+                // Two f32 lanes per u64: normal values spanning the whole
+                // exponent range with random signs, so FP arithmetic
+                // exercises overflow/underflow and sign paths (not just a
+                // narrow magnitude band).
+                let mk = |r: u64| -> u32 {
+                    let sign = ((r >> 40) as u32 & 1) << 31;
+                    let exp = (1 + (r >> 23) % 254) as u32; // 1..=254: normal
+                    let man = r as u32 & 0x007F_FFFF;
+                    sign | (exp << 23) | man
+                };
+                let a = mk(next());
+                let b = mk(next());
+                *lane = a as u64 | (b as u64) << 32;
+            }
+        }
+        RegInit { gprs, xmms }
+    }
+}
+
+impl Default for RegInit {
+    fn default() -> Self {
+        RegInit::zeroed()
+    }
+}
+
+/// A complete, runnable HX86 test program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable identifier (shows up in reports and benches).
+    pub name: String,
+    /// The instruction sequence. Execution begins at index 0 and ends at
+    /// the first retired `HALT` (or when falling off the end).
+    pub insts: Vec<Inst>,
+    /// Initial register values.
+    pub reg_init: RegInit,
+    /// Initial memory image.
+    pub mem: MemImage,
+}
+
+impl Program {
+    /// Creates a program with default (zeroed registers, 32 KiB + 4 KiB)
+    /// state.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Program {
+        Program {
+            name: name.into(),
+            insts,
+            reg_init: RegInit::zeroed(),
+            mem: MemImage::default(),
+        }
+    }
+
+    /// Static instruction count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Encodes the instruction stream to machine code bytes (the paper's
+    /// "compilation" step in Table I).
+    pub fn encode(&self) -> Vec<u8> {
+        crate::encode::encode_program(&self.insts)
+    }
+
+    /// The effective initial RSP (stack top).
+    #[inline]
+    pub fn initial_rsp(&self) -> u64 {
+        self.mem.initial_rsp()
+    }
+
+    /// Builds the initial [`crate::state::ArchState`] for this program.
+    pub fn initial_state(&self) -> crate::state::ArchState {
+        let mut st = crate::state::ArchState::new();
+        for (i, &v) in self.reg_init.gprs.iter().enumerate() {
+            st.set_gpr(Gpr::ALL[i], v);
+        }
+        for (i, &v) in self.reg_init.xmms.iter().enumerate() {
+            st.set_xmm(crate::reg::Xmm::ALL[i], v);
+        }
+        st.set_gpr(Gpr::Rsp, self.initial_rsp());
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_init_points_into_data() {
+        let ri = RegInit::spread(32 * 1024, 7);
+        for (i, &g) in ri.gprs.iter().enumerate() {
+            assert!(g >= DATA_BASE, "gpr{} below base", i);
+            assert!(g < DATA_BASE + 32 * 1024, "gpr{} beyond data", i);
+            assert_eq!(g % 64, 0, "gpr{} unaligned", i);
+        }
+        // XMM lanes hold normal (finite, nonzero) single-precision values
+        // spanning the exponent range.
+        let mut seen_big = false;
+        let mut seen_small = false;
+        for x in &ri.xmms {
+            for lane in x {
+                for bits in [*lane as u32, (*lane >> 32) as u32] {
+                    let f0 = f32::from_bits(bits);
+                    assert!(f0.is_normal(), "{f0}");
+                    seen_big |= f0.abs() > 1e20;
+                    seen_small |= f0.abs() < 1e-20;
+                }
+            }
+        }
+        assert!(seen_big && seen_small, "exponent range should be wide");
+    }
+
+    #[test]
+    fn spread_is_seeded() {
+        assert_eq!(RegInit::spread(1024, 3), RegInit::spread(1024, 3));
+        assert_ne!(
+            RegInit::spread(1024, 3).xmms,
+            RegInit::spread(1024, 4).xmms
+        );
+    }
+
+    #[test]
+    fn initial_state_sets_rsp() {
+        let p = Program::new("t", vec![Inst::halt()]);
+        let st = p.initial_state();
+        assert_eq!(st.gpr(Gpr::Rsp), p.initial_rsp());
+    }
+}

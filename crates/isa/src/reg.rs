@@ -1,0 +1,253 @@
+//! Architectural registers and operand widths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// General-purpose (integer) architectural registers, matching x86-64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // register names are the documentation
+#[repr(u8)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen GPRs in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// Decodes a 4-bit register field. Values above 15 wrap.
+    #[inline]
+    pub fn from_nibble(n: u8) -> Gpr {
+        Gpr::ALL[(n & 0xF) as usize]
+    }
+
+    /// The 4-bit encoding of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ][self.index()];
+        f.write_str(s)
+    }
+}
+
+/// SSE vector registers. Each holds 128 bits, viewed by HX86 as four
+/// single-precision floating-point lanes (or two 64-bit integer lanes for
+/// the `MOVQ`/`PADDQ` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // register names are the documentation
+#[repr(u8)]
+pub enum Xmm {
+    Xmm0 = 0,
+    Xmm1 = 1,
+    Xmm2 = 2,
+    Xmm3 = 3,
+    Xmm4 = 4,
+    Xmm5 = 5,
+    Xmm6 = 6,
+    Xmm7 = 7,
+    Xmm8 = 8,
+    Xmm9 = 9,
+    Xmm10 = 10,
+    Xmm11 = 11,
+    Xmm12 = 12,
+    Xmm13 = 13,
+    Xmm14 = 14,
+    Xmm15 = 15,
+}
+
+impl Xmm {
+    /// All sixteen XMM registers in encoding order.
+    pub const ALL: [Xmm; 16] = [
+        Xmm::Xmm0,
+        Xmm::Xmm1,
+        Xmm::Xmm2,
+        Xmm::Xmm3,
+        Xmm::Xmm4,
+        Xmm::Xmm5,
+        Xmm::Xmm6,
+        Xmm::Xmm7,
+        Xmm::Xmm8,
+        Xmm::Xmm9,
+        Xmm::Xmm10,
+        Xmm::Xmm11,
+        Xmm::Xmm12,
+        Xmm::Xmm13,
+        Xmm::Xmm14,
+        Xmm::Xmm15,
+    ];
+
+    /// Decodes a 4-bit register field. Values above 15 wrap.
+    #[inline]
+    pub fn from_nibble(n: u8) -> Xmm {
+        Xmm::ALL[(n & 0xF) as usize]
+    }
+
+    /// The 4-bit encoding of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.index())
+    }
+}
+
+/// Integer operand width. HX86, like x86-64, offers most ALU operations at
+/// four widths; narrow writes zero-extend into the full 64-bit register
+/// (the 32-bit zero-extension rule generalised down to 8/16 bits — a
+/// deliberate simplification over x86's partial-register merging, noted in
+/// DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // widths named by their bit count
+#[repr(u8)]
+pub enum Width {
+    B8 = 0,
+    B16 = 1,
+    B32 = 2,
+    B64 = 3,
+}
+
+impl Width {
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::B8, Width::B16, Width::B32, Width::B64];
+
+    /// Width in bits (8, 16, 32 or 64).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        8 << (self as u32)
+    }
+
+    /// Width in bytes (1, 2, 4 or 8).
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// Mask selecting the low `bits()` bits of a 64-bit value.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::B64 => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+
+    /// Mask selecting only the sign bit at this width.
+    #[inline]
+    pub fn sign_bit(self) -> u64 {
+        1u64 << (self.bits() - 1)
+    }
+
+    /// Truncates `v` to this width.
+    #[inline]
+    pub fn trunc(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Sign-extends the low `bits()` bits of `v` to 64 bits.
+    #[inline]
+    pub fn sext(self, v: u64) -> u64 {
+        let b = self.bits();
+        if b == 64 {
+            v
+        } else {
+            (((v as i64) << (64 - b)) >> (64 - b)) as u64
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip() {
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Gpr::from_nibble(i as u8), *r);
+        }
+        // Nibble decoding wraps rather than failing.
+        assert_eq!(Gpr::from_nibble(0x1F), Gpr::R15);
+    }
+
+    #[test]
+    fn xmm_roundtrip() {
+        for (i, r) in Xmm::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Xmm::from_nibble(i as u8), *r);
+        }
+    }
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::B8.mask(), 0xFF);
+        assert_eq!(Width::B16.mask(), 0xFFFF);
+        assert_eq!(Width::B32.mask(), 0xFFFF_FFFF);
+        assert_eq!(Width::B64.mask(), u64::MAX);
+        assert_eq!(Width::B8.bits(), 8);
+        assert_eq!(Width::B64.bytes(), 8);
+    }
+
+    #[test]
+    fn width_sext() {
+        assert_eq!(Width::B8.sext(0x80), 0xFFFF_FFFF_FFFF_FF80);
+        assert_eq!(Width::B8.sext(0x7F), 0x7F);
+        assert_eq!(Width::B32.sext(0x8000_0000), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(Width::B64.sext(0xDEAD), 0xDEAD);
+    }
+
+    #[test]
+    fn width_sign_bit() {
+        assert_eq!(Width::B8.sign_bit(), 0x80);
+        assert_eq!(Width::B64.sign_bit(), 1 << 63);
+    }
+}

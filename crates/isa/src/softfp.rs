@@ -1,0 +1,452 @@
+//! The canonical software model of HX86's single-precision floating point.
+//!
+//! HX86's FP semantics are *defined by this module* (and the gate-level
+//! netlists in `harpo-gates` are verified to match it bit-for-bit). The
+//! model is IEEE-754 binary32 with two circuit-friendly simplifications,
+//! both documented in DESIGN.md:
+//!
+//! 1. **truncation rounding** (round-toward-zero, no guard/sticky bits in
+//!    the adder's alignment shifter);
+//! 2. **flush-to-zero** for denormal inputs and outputs.
+//!
+//! NaNs canonicalise to a single quiet NaN pattern. Because the fault-free
+//! netlist output *is* the architectural semantics, golden and faulty runs
+//! of the fault injector are exactly self-consistent regardless of these
+//! simplifications.
+
+/// The canonical quiet NaN produced by every NaN-generating operation.
+pub const QNAN: u32 = 0x7FC0_0000;
+
+const SIGN: u32 = 0x8000_0000;
+const EXP_MASK: u32 = 0x7F80_0000;
+const MAN_MASK: u32 = 0x007F_FFFF;
+
+#[inline]
+fn sign(x: u32) -> u32 {
+    x >> 31
+}
+
+#[inline]
+fn exp(x: u32) -> u32 {
+    (x >> 23) & 0xFF
+}
+
+#[inline]
+fn man(x: u32) -> u32 {
+    x & MAN_MASK
+}
+
+/// Flushes denormals to a same-signed zero. Every operation applies this
+/// to its inputs and output.
+#[inline]
+pub fn flush(x: u32) -> u32 {
+    if exp(x) == 0 {
+        x & SIGN
+    } else {
+        x
+    }
+}
+
+/// Is `x` a NaN (after flushing)?
+#[inline]
+pub fn is_nan(x: u32) -> bool {
+    exp(x) == 0xFF && man(x) != 0
+}
+
+/// Is `x` an infinity?
+#[inline]
+pub fn is_inf(x: u32) -> bool {
+    exp(x) == 0xFF && man(x) == 0
+}
+
+/// Is `x` a (signed) zero? Denormals count as zero under flush-to-zero.
+#[inline]
+pub fn is_zero(x: u32) -> bool {
+    exp(x) == 0
+}
+
+#[inline]
+fn pack(s: u32, e: i32, m: u32) -> u32 {
+    debug_assert!(e > 0 && e < 255);
+    (s << 31) | ((e as u32) << 23) | (m & MAN_MASK)
+}
+
+#[inline]
+fn inf(s: u32) -> u32 {
+    (s << 31) | EXP_MASK
+}
+
+#[inline]
+fn zero(s: u32) -> u32 {
+    s << 31
+}
+
+/// 24-bit significand with the hidden bit, valid for normal numbers only.
+#[inline]
+fn sig24(x: u32) -> u32 {
+    man(x) | 0x0080_0000
+}
+
+/// Floating-point addition with truncation rounding.
+///
+/// Effective subtraction drops alignment bits without guard/sticky — the
+/// documented HX86 simplification that keeps the adder netlist small.
+pub fn fadd(a: u32, b: u32) -> u32 {
+    let (a, b) = (flush(a), flush(b));
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    match (is_inf(a), is_inf(b)) {
+        (true, true) => {
+            return if sign(a) == sign(b) { a } else { QNAN };
+        }
+        (true, false) => return a,
+        (false, true) => return b,
+        _ => {}
+    }
+    match (is_zero(a), is_zero(b)) {
+        (true, true) => {
+            // +0 unless both are -0 (IEEE round-toward-zero rule gives +0
+            // for mixed signs).
+            return if sign(a) == 1 && sign(b) == 1 { zero(1) } else { zero(0) };
+        }
+        (true, false) => return b,
+        (false, true) => return a,
+        _ => {}
+    }
+
+    // Order by magnitude: (exp, man) lexicographic.
+    let mag_a = (exp(a) << 23) | man(a);
+    let mag_b = (exp(b) << 23) | man(b);
+    let (big, small) = if mag_a >= mag_b { (a, b) } else { (b, a) };
+    let d = exp(big) - exp(small);
+    let m_big = sig24(big);
+    let m_small = if d > 25 { 0 } else { sig24(small) >> d };
+    let s = sign(big);
+
+    if sign(a) == sign(b) {
+        let sum = m_big + m_small; // up to 25 bits
+        if sum & 0x0100_0000 != 0 {
+            let e = exp(big) as i32 + 1;
+            if e >= 255 {
+                inf(s)
+            } else {
+                pack(s, e, (sum >> 1) & MAN_MASK)
+            }
+        } else {
+            pack(s, exp(big) as i32, sum & MAN_MASK)
+        }
+    } else {
+        let diff = m_big - m_small;
+        if diff == 0 {
+            return zero(0);
+        }
+        // Normalise: shift the leading 1 up to bit 23.
+        let lz = diff.leading_zeros() as i32 - 8; // diff < 2^24
+        let e = exp(big) as i32 - lz;
+        if e <= 0 {
+            zero(s)
+        } else {
+            pack(s, e, (diff << lz) & MAN_MASK)
+        }
+    }
+}
+
+/// Floating-point subtraction: `a + (-b)`.
+#[inline]
+pub fn fsub(a: u32, b: u32) -> u32 {
+    fadd(a, b ^ SIGN)
+}
+
+/// Floating-point multiplication with truncation rounding.
+pub fn fmul(a: u32, b: u32) -> u32 {
+    let (a, b) = (flush(a), flush(b));
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    let s = sign(a) ^ sign(b);
+    if is_inf(a) || is_inf(b) {
+        if is_zero(a) || is_zero(b) {
+            return QNAN;
+        }
+        return inf(s);
+    }
+    if is_zero(a) || is_zero(b) {
+        return zero(s);
+    }
+    let p = sig24(a) as u64 * sig24(b) as u64; // 48 bits, bit 47 or 46 set
+    let mut e = exp(a) as i32 + exp(b) as i32 - 127;
+    let m = if p & (1 << 47) != 0 {
+        e += 1;
+        (p >> 24) as u32
+    } else {
+        (p >> 23) as u32
+    };
+    if e >= 255 {
+        inf(s)
+    } else if e <= 0 {
+        zero(s)
+    } else {
+        pack(s, e, m & MAN_MASK)
+    }
+}
+
+/// Comparison outcome of [`fcmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // ordering outcomes named conventionally
+pub enum FpCmp {
+    /// At least one operand was NaN.
+    Unordered,
+    Lt,
+    Eq,
+    Gt,
+}
+
+/// Compares two values as reals (−0 equals +0).
+pub fn fcmp(a: u32, b: u32) -> FpCmp {
+    let (a, b) = (flush(a), flush(b));
+    if is_nan(a) || is_nan(b) {
+        return FpCmp::Unordered;
+    }
+    if is_zero(a) && is_zero(b) {
+        return FpCmp::Eq;
+    }
+    // Map to an order-preserving signed key.
+    let key = |x: u32| -> i64 {
+        let mag = (x & !SIGN) as i64;
+        if sign(x) == 1 {
+            -mag
+        } else {
+            mag
+        }
+    };
+    match key(a).cmp(&key(b)) {
+        std::cmp::Ordering::Less => FpCmp::Lt,
+        std::cmp::Ordering::Equal => FpCmp::Eq,
+        std::cmp::Ordering::Greater => FpCmp::Gt,
+    }
+}
+
+/// `MINSS` semantics: NaN in either operand, or equal values, returns `b`
+/// (matching x86's "returns second source" rule).
+pub fn fmin(a: u32, b: u32) -> u32 {
+    match fcmp(a, b) {
+        FpCmp::Lt => flush(a),
+        _ => flush(b),
+    }
+}
+
+/// `MAXSS` semantics: NaN in either operand, or equal values, returns `b`.
+pub fn fmax(a: u32, b: u32) -> u32 {
+    match fcmp(a, b) {
+        FpCmp::Gt => flush(a),
+        _ => flush(b),
+    }
+}
+
+/// Division (not a graded unit, so native IEEE division is used, with
+/// flush-to-zero and NaN canonicalisation applied on top).
+pub fn fdiv(a: u32, b: u32) -> u32 {
+    let (a, b) = (flush(a), flush(b));
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    let r = f32::from_bits(a) / f32::from_bits(b);
+    norm_native(r)
+}
+
+/// Square root (not a graded unit).
+pub fn fsqrt(a: u32) -> u32 {
+    let a = flush(a);
+    if is_nan(a) {
+        return QNAN;
+    }
+    let r = (f32::from_bits(a) as f64).sqrt() as f32;
+    norm_native(r)
+}
+
+fn norm_native(r: f32) -> u32 {
+    if r.is_nan() {
+        QNAN
+    } else {
+        flush(r.to_bits())
+    }
+}
+
+/// Converts a signed 64-bit integer to f32 with truncation.
+pub fn from_i64(v: i64) -> u32 {
+    if v == 0 {
+        return 0;
+    }
+    let s = (v < 0) as u32;
+    let mag = v.unsigned_abs();
+    let msb = 63 - mag.leading_zeros(); // position of leading 1
+    let e = 127 + msb as i32;
+    let m = if msb >= 23 {
+        (mag >> (msb - 23)) as u32
+    } else {
+        (mag << (23 - msb)) as u32
+    };
+    if e >= 255 {
+        inf(s)
+    } else {
+        pack(s, e, m & MAN_MASK)
+    }
+}
+
+/// Converts a signed 32-bit integer to f32 with truncation.
+#[inline]
+pub fn from_i32(v: i32) -> u32 {
+    from_i64(v as i64)
+}
+
+/// The x86 "integer indefinite" result for invalid conversions.
+pub const INT64_INDEFINITE: i64 = i64::MIN;
+
+/// Truncating conversion to a signed 64-bit integer (`CVTTSS2SI`).
+/// NaN, infinity and out-of-range values produce [`INT64_INDEFINITE`].
+pub fn to_i64(x: u32) -> i64 {
+    let x = flush(x);
+    if is_nan(x) || is_inf(x) {
+        return INT64_INDEFINITE;
+    }
+    if is_zero(x) {
+        return 0;
+    }
+    let e = exp(x) as i32 - 127;
+    if e < 0 {
+        return 0;
+    }
+    if e >= 63 {
+        return INT64_INDEFINITE;
+    }
+    let m = sig24(x) as u64;
+    let mag = if e >= 23 {
+        m << (e - 23)
+    } else {
+        m >> (23 - e)
+    };
+    if sign(x) == 1 {
+        -(mag as i64)
+    } else {
+        mag as i64
+    }
+}
+
+/// Truncating conversion to a signed 32-bit integer.
+pub fn to_i32(x: u32) -> i32 {
+    let v = to_i64(x);
+    if !(i32::MIN as i64..=i32::MAX as i64).contains(&v) {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(x: f32) -> u32 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn add_matches_native_closely() {
+        let cases = [
+            (1.0f32, 2.0f32),
+            (1.5, -0.25),
+            (1e10, 1e-10),
+            (3.25, 3.25),
+            (-7.5, 2.125),
+            (1e30, 1e30),
+        ];
+        for (a, b) in cases {
+            let ours = f32::from_bits(fadd(f(a), f(b)));
+            let native = a + b;
+            let rel = ((ours - native) / native.max(1e-30)).abs();
+            assert!(rel < 1e-5, "{} + {} = {} (native {})", a, b, ours, native);
+        }
+    }
+
+    #[test]
+    fn exact_dyadic_adds_are_exact() {
+        // Sums representable exactly must be bit-exact even under
+        // truncation rounding.
+        for (a, b, want) in [(0.5f32, 0.25f32, 0.75f32), (2.0, 2.0, 4.0), (1.0, -1.0, 0.0)] {
+            assert_eq!(fadd(f(a), f(b)), f(want), "{} + {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mul_matches_native_closely() {
+        for (a, b) in [(3.0f32, 4.0f32), (1.5, 1.5), (-2.0, 8.0), (1e20, 1e20), (1e-30, 1e-30)] {
+            let ours = f32::from_bits(fmul(f(a), f(b)));
+            let native = a * b;
+            if native.is_infinite() {
+                assert!(ours.is_infinite());
+            } else if native == 0.0 || native.is_subnormal() {
+                assert_eq!(ours, 0.0, "flush-to-zero");
+            } else {
+                let rel = ((ours - native) / native).abs();
+                assert!(rel < 1e-6, "{} * {} = {} (native {})", a, b, ours, native);
+            }
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let nan = QNAN;
+        let pinf = f(f32::INFINITY);
+        let ninf = f(f32::NEG_INFINITY);
+        assert_eq!(fadd(nan, f(1.0)), QNAN);
+        assert_eq!(fadd(pinf, ninf), QNAN);
+        assert_eq!(fadd(pinf, f(5.0)), pinf);
+        assert_eq!(fmul(pinf, f(0.0)), QNAN);
+        assert_eq!(fmul(ninf, f(-2.0)), pinf);
+        assert_eq!(fmul(f(0.0), f(-3.0)) >> 31, 1, "signed zero");
+    }
+
+    #[test]
+    fn denormals_flush() {
+        let den = 1u32; // smallest positive denormal
+        assert_eq!(flush(den), 0);
+        assert_eq!(fadd(den, den), 0);
+        assert_eq!(fmul(f(1e-30), f(1e-30)), 0);
+    }
+
+    #[test]
+    fn cmp_and_minmax() {
+        assert_eq!(fcmp(f(1.0), f(2.0)), FpCmp::Lt);
+        assert_eq!(fcmp(f(-1.0), f(1.0)), FpCmp::Lt);
+        assert_eq!(fcmp(f(-0.0), f(0.0)), FpCmp::Eq);
+        assert_eq!(fcmp(QNAN, f(0.0)), FpCmp::Unordered);
+        assert_eq!(fmin(f(3.0), f(2.0)), f(2.0));
+        assert_eq!(fmax(f(3.0), f(2.0)), f(3.0));
+        assert_eq!(fmin(QNAN, f(2.0)), f(2.0), "NaN returns second operand");
+    }
+
+    #[test]
+    fn int_conversions() {
+        assert_eq!(from_i64(0), 0);
+        assert_eq!(from_i64(1), f(1.0));
+        assert_eq!(from_i64(-12345), f(-12345.0));
+        assert_eq!(to_i64(f(7.9)), 7);
+        assert_eq!(to_i64(f(-7.9)), -7);
+        assert_eq!(to_i64(QNAN), INT64_INDEFINITE);
+        assert_eq!(to_i64(f(f32::INFINITY)), INT64_INDEFINITE);
+        assert_eq!(to_i32(f(3e10)), i32::MIN);
+        // Large magnitudes truncate mantissa bits, stay within 2^63.
+        let big = (1i64 << 40) + 12345;
+        let conv = to_i64(from_i64(big));
+        assert!((conv - big).abs() < (1 << 18));
+    }
+
+    #[test]
+    fn div_sqrt_deterministic() {
+        assert_eq!(fdiv(f(1.0), f(4.0)), f(0.25));
+        assert_eq!(fdiv(f(1.0), f(0.0)), f(f32::INFINITY));
+        assert_eq!(fsqrt(f(9.0)), f(3.0));
+        assert_eq!(fsqrt(f(-1.0)), QNAN);
+    }
+}

@@ -1,0 +1,217 @@
+//! Architectural register state and the program output signature.
+
+use crate::flags::Flags;
+use crate::mem::{fnv1a, Memory};
+use crate::reg::{Gpr, Width, Xmm};
+use serde::{Deserialize, Serialize};
+
+/// The complete architectural register state of an HX86 hart.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchState {
+    gprs: [u64; 16],
+    xmms: [[u64; 2]; 16],
+    /// Condition flags.
+    pub flags: Flags,
+    /// Instruction pointer, as an *instruction index* into the program.
+    pub rip: u32,
+    /// Set once a `HALT` retires.
+    pub halted: bool,
+}
+
+impl ArchState {
+    /// Fresh state: all registers zero, flags clear, RIP at instruction 0.
+    pub fn new() -> ArchState {
+        ArchState {
+            gprs: [0; 16],
+            xmms: [[0; 2]; 16],
+            flags: Flags::default(),
+            rip: 0,
+            halted: false,
+        }
+    }
+
+    /// Full 64-bit value of a GPR.
+    #[inline]
+    pub fn gpr(&self, r: Gpr) -> u64 {
+        self.gprs[r.index()]
+    }
+
+    /// Sets the full 64-bit value of a GPR.
+    #[inline]
+    pub fn set_gpr(&mut self, r: Gpr, v: u64) {
+        self.gprs[r.index()] = v;
+    }
+
+    /// Reads a GPR at `width` (low bits, zero-extended).
+    #[inline]
+    pub fn gpr_w(&self, w: Width, r: Gpr) -> u64 {
+        w.trunc(self.gprs[r.index()])
+    }
+
+    /// Writes a GPR at `width`.
+    ///
+    /// HX86 zero-extends *all* narrow writes into the 64-bit register
+    /// (generalising x86-64's 32-bit rule down to 8/16 bits; this removes
+    /// partial-register merge state from the rename model — see DESIGN.md).
+    #[inline]
+    pub fn set_gpr_w(&mut self, w: Width, r: Gpr, v: u64) {
+        self.gprs[r.index()] = w.trunc(v);
+    }
+
+    /// The 128-bit value of an XMM register as two 64-bit lanes.
+    #[inline]
+    pub fn xmm(&self, r: Xmm) -> [u64; 2] {
+        self.xmms[r.index()]
+    }
+
+    /// Sets the 128-bit value of an XMM register.
+    #[inline]
+    pub fn set_xmm(&mut self, r: Xmm, v: [u64; 2]) {
+        self.xmms[r.index()] = v;
+    }
+
+    /// The four single-precision lanes of an XMM register.
+    #[inline]
+    pub fn xmm_lanes(&self, r: Xmm) -> [u32; 4] {
+        let [lo, hi] = self.xmms[r.index()];
+        [lo as u32, (lo >> 32) as u32, hi as u32, (hi >> 32) as u32]
+    }
+
+    /// Sets the four single-precision lanes of an XMM register.
+    #[inline]
+    pub fn set_xmm_lanes(&mut self, r: Xmm, l: [u32; 4]) {
+        self.xmms[r.index()] = [
+            l[0] as u64 | (l[1] as u64) << 32,
+            l[2] as u64 | (l[3] as u64) << 32,
+        ];
+    }
+
+    /// The scalar (lane-0) single-precision value of an XMM register.
+    #[inline]
+    pub fn xmm_scalar(&self, r: Xmm) -> u32 {
+        self.xmms[r.index()][0] as u32
+    }
+
+    /// Sets lane 0, preserving the other lanes (`MOVSS`/scalar-op rule).
+    #[inline]
+    pub fn set_xmm_scalar(&mut self, r: Xmm, v: u32) {
+        let x = &mut self.xmms[r.index()];
+        x[0] = (x[0] & !0xFFFF_FFFF) | v as u64;
+    }
+
+    /// Iterates over all GPR values in index order.
+    pub fn gprs(&self) -> &[u64; 16] {
+        &self.gprs
+    }
+
+    /// Iterates over all XMM values in index order.
+    pub fn xmms(&self) -> &[[u64; 2]; 16] {
+        &self.xmms
+    }
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState::new()
+    }
+}
+
+/// The output signature of a completed run: the architecturally visible
+/// end state. Two runs of a deterministic program produce equal
+/// signatures; a mismatch between a faulty and a golden run is a **silent
+/// data corruption** in the paper's outcome taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    /// Hash over all GPRs.
+    pub gpr_hash: u64,
+    /// Hash over all XMM registers.
+    pub xmm_hash: u64,
+    /// Packed condition flags.
+    pub flags: u8,
+    /// Hash over the whole memory region.
+    pub mem_hash: u64,
+}
+
+impl Signature {
+    /// Computes the signature of a final state + memory.
+    pub fn capture(state: &ArchState, mem: &Memory) -> Signature {
+        let mut gb = [0u8; 16 * 8];
+        for (i, v) in state.gprs.iter().enumerate() {
+            gb[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        let mut xb = [0u8; 16 * 16];
+        for (i, v) in state.xmms.iter().enumerate() {
+            xb[i * 16..i * 16 + 8].copy_from_slice(&v[0].to_le_bytes());
+            xb[i * 16 + 8..i * 16 + 16].copy_from_slice(&v[1].to_le_bytes());
+        }
+        Signature {
+            gpr_hash: fnv1a(&gb),
+            xmm_hash: fnv1a(&xb),
+            flags: state.flags.pack(),
+            mem_hash: mem.signature(),
+        }
+    }
+
+    /// Collapses the signature to a single 64-bit digest.
+    pub fn digest(&self) -> u64 {
+        let mut b = [0u8; 25];
+        b[..8].copy_from_slice(&self.gpr_hash.to_le_bytes());
+        b[8..16].copy_from_slice(&self.xmm_hash.to_le_bytes());
+        b[16..24].copy_from_slice(&self.mem_hash.to_le_bytes());
+        b[24] = self.flags;
+        fnv1a(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemImage;
+
+    #[test]
+    fn narrow_writes_zero_extend() {
+        let mut s = ArchState::new();
+        s.set_gpr(Gpr::Rax, u64::MAX);
+        s.set_gpr_w(Width::B8, Gpr::Rax, 0xAB);
+        assert_eq!(s.gpr(Gpr::Rax), 0xAB);
+        s.set_gpr(Gpr::Rbx, u64::MAX);
+        s.set_gpr_w(Width::B32, Gpr::Rbx, 0x1234);
+        assert_eq!(s.gpr(Gpr::Rbx), 0x1234);
+    }
+
+    #[test]
+    fn xmm_lane_accessors() {
+        let mut s = ArchState::new();
+        s.set_xmm_lanes(Xmm::Xmm3, [1, 2, 3, 4]);
+        assert_eq!(s.xmm_lanes(Xmm::Xmm3), [1, 2, 3, 4]);
+        assert_eq!(s.xmm_scalar(Xmm::Xmm3), 1);
+        s.set_xmm_scalar(Xmm::Xmm3, 9);
+        assert_eq!(s.xmm_lanes(Xmm::Xmm3), [9, 2, 3, 4], "other lanes preserved");
+    }
+
+    #[test]
+    fn signature_detects_every_component() {
+        let mem = MemImage::new(64, 0).build();
+        let base_state = ArchState::new();
+        let base = Signature::capture(&base_state, &mem);
+
+        let mut s = base_state.clone();
+        s.set_gpr(Gpr::R9, 1);
+        assert_ne!(Signature::capture(&s, &mem).digest(), base.digest());
+
+        let mut s = base_state.clone();
+        s.set_xmm(Xmm::Xmm0, [0, 1]);
+        assert_ne!(Signature::capture(&s, &mem).digest(), base.digest());
+
+        let mut s = base_state;
+        s.flags.cf = true;
+        assert_ne!(Signature::capture(&s, &mem).digest(), base.digest());
+
+        let mut m2 = MemImage::new(64, 0).build();
+        m2.write(crate::mem::DATA_BASE, 1, 7).unwrap();
+        assert_ne!(
+            Signature::capture(&ArchState::new(), &m2).digest(),
+            base.digest()
+        );
+    }
+}

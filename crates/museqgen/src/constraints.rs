@@ -1,0 +1,271 @@
+//! Generation constraints: the user-configurable knobs of MuSeqGen
+//! (paper §V-A, §V-D).
+//!
+//! The constraint system encodes the ISA-awareness that distinguishes
+//! Harpocrates from byte-level fuzzers:
+//!
+//! * a **base-register pool** that is never written, so memory operands
+//!   always resolve inside the valid region (the paper's `MUL`-clobbers-
+//!   `RAX` example cannot happen);
+//! * `RSP` is excluded from every destination, and `PUSH`/`POP` are
+//!   emitted under a depth budget so the stack never under/overflows;
+//! * non-deterministic forms (`RDTSC`, `CPUID`) and the trap-prone
+//!   divide family are excluded from the random domain;
+//! * memory operands follow a configurable strided pattern inside a
+//!   cache-sized region; `MOVAPS` displacements are 16-byte aligned.
+
+use harpo_isa::form::{Catalog, Form, FormId, FuKind, Mnemonic};
+use harpo_isa::reg::Gpr;
+use serde::{Deserialize, Serialize};
+
+/// Destination-register allocation policy (paper §V-D: "register
+/// allocation is configurable, allowing strategies such as constant
+/// register dependency distance, random allocation, round-robin...").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegAllocPolicy {
+    /// Cycle destinations through the writable pool — maximises the
+    /// dependency distance (the paper's choice: balances ILP against
+    /// dataflow propagation).
+    MaxDependencyDistance,
+    /// Uniformly random destinations (subject to ISA constraints).
+    Random,
+}
+
+/// Memory-operand resolution pattern inside the designated region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemPlan {
+    /// Region size in bytes (displacements stay inside it). Must be
+    /// ≤ 32 KiB so a 16-bit displacement can reach everywhere.
+    pub region: u32,
+    /// Fixed stride between consecutive memory references.
+    pub stride: u32,
+}
+
+impl MemPlan {
+    /// The paper's default for non-cache targets: a cache-sized region
+    /// with a 64-byte stride.
+    pub fn cache_sized() -> MemPlan {
+        MemPlan {
+            region: 32 * 1024,
+            stride: 64,
+        }
+    }
+
+    /// The L1D-targeting plan (§VI-B2): sequential 8-byte stride across
+    /// the full 32 KiB cache image.
+    pub fn l1d_sweep() -> MemPlan {
+        MemPlan {
+            region: 32 * 1024,
+            stride: 8,
+        }
+    }
+
+    /// The displacement of memory reference number `k` for an access of
+    /// `size` bytes (alignment enforced; 16-byte accesses get 16-byte
+    /// alignment for `MOVAPS`).
+    pub fn disp_of(&self, k: u64, size: u32) -> u16 {
+        let align = size.max(1).next_power_of_two();
+        let off = (k * self.stride as u64) % self.region as u64;
+        let off = off & !(align as u64 - 1);
+        // Keep the whole access in the region.
+        off.min((self.region - align.max(size)) as u64) as u16
+    }
+}
+
+/// Which broad instruction classes the generator may emit. All classes
+/// respect determinism and crash-safety invariants regardless.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenConstraints {
+    /// Number of generated core instructions (the wrapper's `HALT` is
+    /// extra).
+    pub n_insts: usize,
+    /// Destination allocation policy.
+    pub regalloc: RegAllocPolicy,
+    /// Memory-operand plan.
+    pub mem: MemPlan,
+    /// Allow memory-referencing forms.
+    pub allow_memory: bool,
+    /// Allow SSE forms.
+    pub allow_sse: bool,
+    /// Allow stack forms (`PUSH`/`POP`), depth-budgeted.
+    pub allow_stack: bool,
+    /// Allow branch forms (always resolved to the next instruction so
+    /// taken and not-taken paths coincide, §V-D).
+    pub allow_branches: bool,
+    /// Optional whitelist: if non-empty, only these mnemonics are used.
+    pub mnemonic_whitelist: Vec<Mnemonic>,
+    /// Stack depth budget in 8-byte slots.
+    pub stack_slots: u32,
+    /// Probability of forcing a store form at each slot (a user-defined
+    /// distribution in the sense of §V-D). Stores propagate register
+    /// values into memory, where the output signature observes them —
+    /// the "data flow propagation" half of the paper's balance.
+    pub store_bias: f64,
+}
+
+impl Default for GenConstraints {
+    fn default() -> Self {
+        GenConstraints {
+            n_insts: 5_000,
+            regalloc: RegAllocPolicy::MaxDependencyDistance,
+            mem: MemPlan::cache_sized(),
+            allow_memory: true,
+            allow_sse: true,
+            allow_stack: true,
+            allow_branches: true,
+            mnemonic_whitelist: Vec::new(),
+            stack_slots: 256,
+            store_bias: 0.0,
+        }
+    }
+}
+
+/// Registers reserved as memory bases: never written by generated code,
+/// initialised to the region base.
+pub const BASE_POOL: [Gpr; 4] = [Gpr::Rsi, Gpr::Rdi, Gpr::R14, Gpr::R15];
+
+/// Registers eligible as destinations (everything except the base pool
+/// and `RSP`).
+pub const WRITABLE_POOL: [Gpr; 11] = [
+    Gpr::Rax,
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::Rbx,
+    Gpr::Rbp,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R10,
+    Gpr::R11,
+    Gpr::R12,
+    Gpr::R13,
+];
+
+impl GenConstraints {
+    /// The form domain induced by these constraints.
+    pub fn allowed_forms(&self) -> Vec<FormId> {
+        Catalog::get()
+            .forms()
+            .iter()
+            .filter(|f| self.form_allowed(f))
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// Whether one form is inside the constrained domain.
+    pub fn form_allowed(&self, f: &Form) -> bool {
+        if !f.deterministic {
+            return false;
+        }
+        // HALT would truncate the sequence; the wrapper appends its own.
+        if f.mnemonic == Mnemonic::Halt {
+            return false;
+        }
+        // The divide family traps on random operands (divide-by-zero /
+        // quotient overflow) — excluded like SiliFuzz excludes
+        // crash-prone encodings.
+        if f.fu == FuKind::IntDiv {
+            return false;
+        }
+        if !self.allow_memory && f.touches_memory() {
+            return false;
+        }
+        if !self.allow_sse && uses_sse(f) {
+            return false;
+        }
+        if !self.allow_stack && matches!(f.mnemonic, Mnemonic::Push | Mnemonic::Pop) {
+            return false;
+        }
+        if !self.allow_branches && f.is_branch() {
+            return false;
+        }
+        if !self.mnemonic_whitelist.is_empty()
+            && !self.mnemonic_whitelist.contains(&f.mnemonic)
+        {
+            return false;
+        }
+        true
+    }
+}
+
+/// Does a form touch XMM state?
+pub fn uses_sse(f: &Form) -> bool {
+    use harpo_isa::form::OpMode::*;
+    matches!(f.mode, Xx | Xm | Mx | Xr | Rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_domain_is_large_and_safe() {
+        let c = GenConstraints::default();
+        let forms = c.allowed_forms();
+        assert!(forms.len() > 200, "domain too small: {}", forms.len());
+        let cat = Catalog::get();
+        for id in &forms {
+            let f = cat.form(*id);
+            assert!(f.deterministic);
+            assert_ne!(f.fu, FuKind::IntDiv);
+        }
+    }
+
+    #[test]
+    fn filters_apply() {
+        let none = GenConstraints {
+            allow_memory: false,
+            allow_sse: false,
+            allow_stack: false,
+            allow_branches: false,
+            ..GenConstraints::default()
+        };
+        let cat = Catalog::get();
+        for id in none.allowed_forms() {
+            let f = cat.form(id);
+            assert!(!f.touches_memory(), "{}", f.name());
+            assert!(!uses_sse(f), "{}", f.name());
+            assert!(!f.is_branch(), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn whitelist_narrows_domain() {
+        let only_mul = GenConstraints {
+            mnemonic_whitelist: vec![Mnemonic::Imul2, Mnemonic::MulRax],
+            ..GenConstraints::default()
+        };
+        let cat = Catalog::get();
+        let forms = only_mul.allowed_forms();
+        assert!(!forms.is_empty());
+        for id in forms {
+            assert!(matches!(
+                cat.form(id).mnemonic,
+                Mnemonic::Imul2 | Mnemonic::MulRax
+            ));
+        }
+    }
+
+    #[test]
+    fn pools_are_disjoint_and_exclude_rsp() {
+        for b in BASE_POOL {
+            assert!(!WRITABLE_POOL.contains(&b));
+            assert_ne!(b, Gpr::Rsp);
+        }
+        assert!(!WRITABLE_POOL.contains(&Gpr::Rsp));
+        assert_eq!(BASE_POOL.len() + WRITABLE_POOL.len() + 1, 16);
+    }
+
+    #[test]
+    fn mem_plan_respects_alignment_and_bounds() {
+        let plan = MemPlan::l1d_sweep();
+        for k in 0..10_000u64 {
+            for size in [1u32, 2, 4, 8, 16] {
+                let d = plan.disp_of(k, size) as u32;
+                assert!(d + size <= plan.region, "k={k} size={size} d={d}");
+                assert_eq!(d % size.next_power_of_two().min(16), 0);
+            }
+        }
+        // 16-byte accesses are 16-aligned for MOVAPS.
+        assert_eq!(plan.disp_of(3, 16) % 16, 0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Constrained-random program generation (paper §V-D).
+//!
+//! A generated program is a single linear basic block (branches resolve
+//! to the next instruction, equating taken and not-taken paths), wrapped
+//! with deterministic initial state: base registers point at the memory
+//! region, data registers and memory hold seeded pseudo-random values,
+//! and the sequence ends in `HALT` so the output signature is
+//! well-defined.
+
+use crate::constraints::{GenConstraints, RegAllocPolicy, BASE_POOL, WRITABLE_POOL};
+use harpo_isa::form::{Catalog, Form, FormId, Mnemonic, OpMode};
+use harpo_isa::inst::Inst;
+use harpo_isa::mem::{MemImage, DATA_BASE};
+use harpo_isa::program::{Program, RegInit};
+use harpo_isa::reg::Gpr;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Operand-assignment state threaded through a generation (or mutation)
+/// pass.
+#[derive(Debug, Clone, Default)]
+pub struct OperandCtx {
+    /// Cursor for the max-dependency-distance destination rotation.
+    pub dst_cursor: usize,
+    /// Cursor for XMM destinations.
+    pub xmm_cursor: usize,
+    /// Memory reference counter (drives the strided pattern).
+    pub mem_counter: u64,
+    /// Current stack depth in slots.
+    pub stack_depth: u32,
+}
+
+/// The MuSeqGen code generator.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    constraints: GenConstraints,
+    allowed: Vec<FormId>,
+    store_forms: Vec<FormId>,
+}
+
+impl Generator {
+    /// Builds a generator for a constraint set.
+    ///
+    /// # Panics
+    /// Panics if the constraints leave an empty form domain.
+    pub fn new(constraints: GenConstraints) -> Generator {
+        let allowed = constraints.allowed_forms();
+        assert!(!allowed.is_empty(), "constraints admit no forms");
+        let cat = Catalog::get();
+        let store_forms = allowed
+            .iter()
+            .copied()
+            .filter(|id| {
+                let f = cat.form(*id);
+                f.fu == harpo_isa::form::FuKind::Store && f.mnemonic != Mnemonic::Push
+            })
+            .collect();
+        Generator {
+            constraints,
+            allowed,
+            store_forms,
+        }
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &GenConstraints {
+        &self.constraints
+    }
+
+    /// The allowed form domain.
+    pub fn allowed(&self) -> &[FormId] {
+        &self.allowed
+    }
+
+    /// Generates one program from a seed. Same seed → same program.
+    ///
+    /// ```
+    /// use harpo_museqgen::{GenConstraints, Generator};
+    /// let gen = Generator::new(GenConstraints { n_insts: 100, ..Default::default() });
+    /// let prog = gen.generate(7);
+    /// assert_eq!(prog.len(), 101); // + the wrapper's HALT
+    /// assert_eq!(prog.insts, gen.generate(7).insts);
+    /// ```
+    pub fn generate(&self, seed: u64) -> Program {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6865_7870_6F63_7261);
+        let mut ctx = OperandCtx::default();
+        let mut insts = Vec::with_capacity(self.constraints.n_insts + 1);
+        for _ in 0..self.constraints.n_insts {
+            let form = self.pick_form(&mut rng, &ctx);
+            insts.push(self.instantiate(form, &mut rng, &mut ctx));
+        }
+        insts.push(Inst::halt());
+        self.wrap(format!("museqgen-{seed:08x}"), insts, seed)
+    }
+
+    /// Wraps an instruction sequence with the deterministic initial
+    /// state (registers + memory image) the constraints imply.
+    pub fn wrap(&self, name: String, insts: Vec<Inst>, seed: u64) -> Program {
+        let region = self.constraints.mem.region;
+        let mut reg_init = RegInit::spread(region, seed | 1);
+        for b in BASE_POOL {
+            reg_init.gprs[b.index()] = DATA_BASE;
+        }
+        // Seeded data values in the writable pool.
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for r in WRITABLE_POOL {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            reg_init.gprs[r.index()] = s;
+        }
+        let mem = MemImage {
+            data_size: region,
+            stack_size: self.constraints.stack_slots * 8 + 512,
+            fill_seed: seed | 1,
+            patches: Vec::new(),
+        };
+        Program {
+            name,
+            insts,
+            reg_init,
+            mem,
+        }
+    }
+
+    /// Picks a form, respecting the stack-depth budget and the store
+    /// bias of the configured distribution.
+    pub fn pick_form(&self, rng: &mut StdRng, ctx: &OperandCtx) -> FormId {
+        if !self.store_forms.is_empty()
+            && self.constraints.store_bias > 0.0
+            && rng.random_bool(self.constraints.store_bias)
+        {
+            return *self.store_forms.choose(rng).expect("nonempty");
+        }
+        let cat = Catalog::get();
+        for _ in 0..16 {
+            let id = *self.allowed.choose(rng).expect("nonempty domain");
+            let f = cat.form(id);
+            match f.mnemonic {
+                Mnemonic::Push if ctx.stack_depth >= self.constraints.stack_slots => continue,
+                Mnemonic::Pop if ctx.stack_depth == 0 => continue,
+                _ => return id,
+            }
+        }
+        // Degenerate constraint sets fall back to a NOP.
+        Inst::nop().form
+    }
+
+    fn next_dst(&self, rng: &mut StdRng, ctx: &mut OperandCtx) -> Gpr {
+        match self.constraints.regalloc {
+            RegAllocPolicy::MaxDependencyDistance => {
+                let r = WRITABLE_POOL[ctx.dst_cursor % WRITABLE_POOL.len()];
+                ctx.dst_cursor += 1;
+                r
+            }
+            RegAllocPolicy::Random => *WRITABLE_POOL.choose(rng).expect("pool nonempty"),
+        }
+    }
+
+    fn next_xmm(&self, rng: &mut StdRng, ctx: &mut OperandCtx) -> u8 {
+        match self.constraints.regalloc {
+            RegAllocPolicy::MaxDependencyDistance => {
+                let x = (ctx.xmm_cursor % 16) as u8;
+                ctx.xmm_cursor += 1;
+                x
+            }
+            RegAllocPolicy::Random => rng.random_range(0..16),
+        }
+    }
+
+    fn mem_operand(&self, form: &Form, rng: &mut StdRng, ctx: &mut OperandCtx) -> (Gpr, u16) {
+        let size = access_size(form);
+        let disp = self.constraints.mem.disp_of(ctx.mem_counter, size);
+        ctx.mem_counter += 1;
+        let base = *BASE_POOL.choose(rng).expect("base pool nonempty");
+        (base, disp)
+    }
+
+    /// Picks an integer *source* register. Sources are drawn mostly from
+    /// the writable pool so values chain through the dataflow and
+    /// propagate toward the output — the paper's §V-D "balance between
+    /// high ILP and data flow propagation". A small fraction still reads
+    /// arbitrary registers (bases, RSP) for pattern diversity.
+    fn src_gpr(&self, rng: &mut StdRng) -> u8 {
+        if rng.random_range(0..5u8) == 0 {
+            rng.random_range(0..16u8)
+        } else {
+            WRITABLE_POOL.choose(rng).expect("pool").index() as u8
+        }
+    }
+
+    /// Assigns operands for `form` under the constraint system.
+    pub fn instantiate(&self, form_id: FormId, rng: &mut StdRng, ctx: &mut OperandCtx) -> Inst {
+        let form = *Catalog::get().form(form_id);
+        let any_xmm = |rng: &mut StdRng| rng.random_range(0..16u8);
+        match form.mode {
+            OpMode::Rr => {
+                let dst = self.next_dst(rng, ctx).index() as u8;
+                // XCHG writes both operands: keep both in the writable
+                // pool so base registers stay intact.
+                let src = if form.mnemonic == Mnemonic::Xchg {
+                    WRITABLE_POOL.choose(rng).expect("pool").index() as u8
+                } else {
+                    self.src_gpr(rng)
+                };
+                Inst::new(form_id, dst, src, 0)
+            }
+            OpMode::Ri => {
+                let dst = self.next_dst(rng, ctx).index() as u8;
+                Inst::new(form_id, dst, 0, rng.random::<i32>())
+            }
+            OpMode::Rm => {
+                let dst = self.next_dst(rng, ctx).index() as u8;
+                let (base, disp) = self.mem_operand(&form, rng, ctx);
+                Inst::new(form_id, dst, base.index() as u8, disp as i32)
+            }
+            OpMode::Mr => {
+                let src = self.src_gpr(rng);
+                let (base, disp) = self.mem_operand(&form, rng, ctx);
+                Inst::new(form_id, src, base.index() as u8, disp as i32)
+            }
+            OpMode::RmRip => {
+                let dst = self.next_dst(rng, ctx).index() as u8;
+                let (_, disp) = self.mem_operand(&form, rng, ctx);
+                Inst::new(form_id, dst, 0, disp as i32)
+            }
+            OpMode::MrRip => {
+                let src = self.src_gpr(rng);
+                let (_, disp) = self.mem_operand(&form, rng, ctx);
+                Inst::new(form_id, src, 0, disp as i32)
+            }
+            OpMode::R => {
+                let r = match form.mnemonic {
+                    // PUSH only reads its operand.
+                    Mnemonic::Push => {
+                        ctx.stack_depth += 1;
+                        self.src_gpr(rng)
+                    }
+                    Mnemonic::Pop => {
+                        ctx.stack_depth = ctx.stack_depth.saturating_sub(1);
+                        self.next_dst(rng, ctx).index() as u8
+                    }
+                    _ => self.next_dst(rng, ctx).index() as u8,
+                };
+                Inst::new(form_id, r, 0, 0)
+            }
+            OpMode::RiB => {
+                let dst = self.next_dst(rng, ctx).index() as u8;
+                Inst::new(form_id, dst, 0, rng.random_range(0..256))
+            }
+            OpMode::Rc => {
+                let dst = self.next_dst(rng, ctx).index() as u8;
+                Inst::new(form_id, dst, 0, 0)
+            }
+            OpMode::I => {
+                ctx.stack_depth += 1;
+                Inst::new(form_id, 0, 0, rng.random::<i32>())
+            }
+            // Branches resolve to the fall-through target (§V-D).
+            OpMode::Rel => Inst::new(form_id, 0, 0, 0),
+            OpMode::None => Inst::new(form_id, 0, 0, 0),
+            OpMode::Xx => {
+                let dst = self.next_xmm(rng, ctx);
+                Inst::new(form_id, dst, any_xmm(rng), 0)
+            }
+            OpMode::Xm => {
+                let dst = self.next_xmm(rng, ctx);
+                let (base, disp) = self.mem_operand(&form, rng, ctx);
+                Inst::new(form_id, dst, base.index() as u8, disp as i32)
+            }
+            OpMode::Mx => {
+                let src = any_xmm(rng);
+                let (base, disp) = self.mem_operand(&form, rng, ctx);
+                Inst::new(form_id, src, base.index() as u8, disp as i32)
+            }
+            OpMode::Xr => {
+                let dst = self.next_xmm(rng, ctx);
+                Inst::new(form_id, dst, self.src_gpr(rng), 0)
+            }
+            OpMode::Rx => {
+                let dst = self.next_dst(rng, ctx).index() as u8;
+                Inst::new(form_id, dst, any_xmm(rng), 0)
+            }
+        }
+    }
+}
+
+/// Memory access size of a form in bytes.
+pub fn access_size(form: &Form) -> u32 {
+    use harpo_isa::form::OpMode::*;
+    match form.mode {
+        Xm | Mx => {
+            if form.packed || form.mnemonic == Mnemonic::Movaps {
+                16
+            } else {
+                4
+            }
+        }
+        _ => form.width.bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::exec::Machine;
+    use harpo_isa::fu::NativeFu;
+    use harpo_uarch::OooCore;
+
+    #[test]
+    fn generated_programs_run_cleanly() {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 2_000,
+            ..GenConstraints::default()
+        });
+        for seed in 0..8 {
+            let p = gen.generate(seed);
+            assert_eq!(p.len(), 2_001);
+            let mut m = Machine::new(&p, NativeFu);
+            let out = m
+                .run(100_000)
+                .unwrap_or_else(|t| panic!("seed {seed} trapped: {t}"));
+            assert_eq!(out.dyn_count, 2_001, "linear program retires once each");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let gen = Generator::new(GenConstraints::default());
+        let a = gen.generate(42);
+        let b = gen.generate(42);
+        assert_eq!(a, b);
+        let c = gen.generate(43);
+        assert_ne!(a.insts, c.insts);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        // The §V-B determinism requirement: same program, same output.
+        let gen = Generator::new(GenConstraints {
+            n_insts: 1_000,
+            ..GenConstraints::default()
+        });
+        let p = gen.generate(7);
+        let s1 = Machine::new(&p, NativeFu).run(100_000).unwrap().signature;
+        let s2 = Machine::new(&p, NativeFu).run(100_000).unwrap().signature;
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn base_registers_never_written() {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 3_000,
+            ..GenConstraints::default()
+        });
+        let p = gen.generate(99);
+        let mut m = Machine::new(&p, NativeFu);
+        while let Some(si) = m.step().unwrap() {
+            for b in BASE_POOL {
+                assert_eq!(
+                    si.writes_gpr & (1 << b.index()),
+                    0,
+                    "base register {b} written by dyn {}",
+                    si.dyn_idx
+                );
+            }
+            let is_stack = matches!(
+                Catalog::get().form(si.form).mnemonic,
+                Mnemonic::Push | Mnemonic::Pop
+            );
+            if !is_stack {
+                assert_eq!(
+                    si.writes_gpr & (1 << Gpr::Rsp.index()),
+                    0,
+                    "RSP written by a non-stack instruction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulates_under_ooo_core() {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 1_500,
+            ..GenConstraints::default()
+        });
+        let p = gen.generate(5);
+        let r = OooCore::default().simulate(&p, 100_000).unwrap();
+        assert!(r.trace.stats.cycles > 100);
+    }
+
+    #[test]
+    fn whitelisted_generation_only_emits_whitelist() {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 500,
+            allow_memory: false,
+            mnemonic_whitelist: vec![Mnemonic::Add, Mnemonic::Sub, Mnemonic::Mov],
+            ..GenConstraints::default()
+        });
+        let p = gen.generate(1);
+        let cat = Catalog::get();
+        for i in &p.insts[..p.insts.len() - 1] {
+            assert!(matches!(
+                cat.form(i.form).mnemonic,
+                Mnemonic::Add | Mnemonic::Sub | Mnemonic::Mov
+            ));
+        }
+    }
+
+    #[test]
+    fn stack_depth_never_negative() {
+        // A stack-heavy domain still never pops an empty stack (run
+        // proves it: underflow would trap).
+        let gen = Generator::new(GenConstraints {
+            n_insts: 4_000,
+            mnemonic_whitelist: vec![Mnemonic::Push, Mnemonic::Pop, Mnemonic::Add],
+            ..GenConstraints::default()
+        });
+        for seed in 0..4 {
+            let p = gen.generate(seed);
+            Machine::new(&p, NativeFu)
+                .run(100_000)
+                .unwrap_or_else(|t| panic!("seed {seed}: {t}"));
+        }
+    }
+}

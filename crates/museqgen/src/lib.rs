@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # harpo-museqgen — the Mutator and Sequence Generator
+//!
+//! The MuSeqGen framework of the paper (§V): constrained-random,
+//! ISA-aware generation of HX86 test programs plus the mutation engine
+//! that powers the Harpocrates refinement loop. Every emitted program is
+//! valid by construction — implicit operands, stack discipline, memory
+//! bounds and determinism are all encoded as generation constraints
+//! rather than discovered by trial execution (the key contrast with the
+//! byte-level SiliFuzz baseline).
+
+pub mod constraints;
+pub mod generator;
+pub mod mutate;
+
+pub use constraints::{GenConstraints, MemPlan, RegAllocPolicy, BASE_POOL, WRITABLE_POOL};
+pub use generator::{access_size, Generator, OperandCtx};
+pub use mutate::Mutator;

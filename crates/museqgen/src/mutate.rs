@@ -1,0 +1,205 @@
+//! The MuSeqGen mutation engine (paper §V-B1).
+//!
+//! The paper's production strategy is **replace-all instruction
+//! replacement**: pick one instruction form present in the sequence
+//! (uniformly) and replace *every* occurrence with another uniformly
+//! chosen form, re-resolving operands under the same constraint system.
+//! The uniform choice avoids over-specialised mutation operators that
+//! trivialise programs or trap in local optima. `k`-point crossover is
+//! also provided (the paper evaluated and rejected it; our ablation
+//! bench reproduces that comparison).
+//!
+//! Stack forms (`PUSH`/`POP`) are pinned — neither replaced nor chosen
+//! as replacements — so the depth discipline established at generation
+//! time survives arbitrarily many mutations.
+
+use crate::generator::{Generator, OperandCtx};
+use harpo_isa::form::{Catalog, FormId, Mnemonic};
+use harpo_isa::program::Program;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+/// The mutation engine; shares the generator's constraint system.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    gen: Generator,
+    replaceable: Vec<FormId>,
+}
+
+fn is_pinned(m: Mnemonic) -> bool {
+    matches!(m, Mnemonic::Push | Mnemonic::Pop | Mnemonic::Halt)
+}
+
+impl Mutator {
+    /// Builds a mutator over the generator's domain.
+    pub fn new(gen: Generator) -> Mutator {
+        let cat = Catalog::get();
+        let replaceable = gen
+            .allowed()
+            .iter()
+            .copied()
+            .filter(|id| !is_pinned(cat.form(*id).mnemonic))
+            .collect();
+        Mutator { gen, replaceable }
+    }
+
+    /// The underlying generator.
+    pub fn generator(&self) -> &Generator {
+        &self.gen
+    }
+
+    /// Replace-all instruction replacement: returns a mutated copy with
+    /// the same length. Same `(program, seed)` → same mutant.
+    pub fn mutate(&self, prog: &Program, seed: u64) -> Program {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6D75_7461_746F_7221);
+        let cat = Catalog::get();
+
+        // Forms present and eligible for replacement.
+        let mut present: Vec<FormId> = prog
+            .insts
+            .iter()
+            .map(|i| i.form)
+            .filter(|f| !is_pinned(cat.form(*f).mnemonic))
+            .collect();
+        present.sort_unstable();
+        present.dedup();
+        let (Some(&target), Some(&replacement)) =
+            (present.choose(&mut rng), self.replaceable.choose(&mut rng))
+        else {
+            return prog.clone();
+        };
+
+        let mut out = prog.clone();
+        let mut ctx = OperandCtx::default();
+        for (idx, inst) in out.insts.iter_mut().enumerate() {
+            if inst.form == target {
+                // Spread replacement memory references across the plan
+                // by seeding the counter with the instruction index.
+                ctx.mem_counter = idx as u64;
+                *inst = self.gen.instantiate(replacement, &mut rng, &mut ctx);
+            }
+        }
+        out
+    }
+
+    /// `k`-point crossover between two parents of equal length (the
+    /// alternative recombination strategy of §V-B1).
+    ///
+    /// # Panics
+    /// Panics if the parents' lengths differ.
+    pub fn crossover_kpoint(&self, a: &Program, b: &Program, k: usize, seed: u64) -> Program {
+        assert_eq!(a.len(), b.len(), "crossover needs equal-length parents");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6372_6F73_736F_7665);
+        let n = a.len();
+        let mut points: Vec<usize> = (0..k).map(|_| rand::Rng::random_range(&mut rng, 0..n)).collect();
+        points.sort_unstable();
+        let mut out = a.clone();
+        let mut take_b = false;
+        let mut pi = 0;
+        for i in 0..n {
+            while pi < points.len() && points[pi] == i {
+                take_b = !take_b;
+                pi += 1;
+            }
+            if take_b {
+                out.insts[i] = b.insts[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::GenConstraints;
+    use harpo_isa::exec::Machine;
+    use harpo_isa::fu::NativeFu;
+
+    fn mutator(n: usize) -> Mutator {
+        Mutator::new(Generator::new(GenConstraints {
+            n_insts: n,
+            ..GenConstraints::default()
+        }))
+    }
+
+    #[test]
+    fn mutants_preserve_length_and_run() {
+        let m = mutator(1_000);
+        let mut p = m.generator().generate(11);
+        for seed in 0..10 {
+            p = m.mutate(&p, seed);
+            assert_eq!(p.len(), 1_001);
+            Machine::new(&p, NativeFu)
+                .run(100_000)
+                .unwrap_or_else(|t| panic!("mutant {seed} trapped: {t}"));
+        }
+    }
+
+    #[test]
+    fn mutation_changes_something() {
+        let m = mutator(500);
+        let p = m.generator().generate(3);
+        let q = m.mutate(&p, 1);
+        assert_ne!(p.insts, q.insts);
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let m = mutator(300);
+        let p = m.generator().generate(5);
+        assert_eq!(m.mutate(&p, 9).insts, m.mutate(&p, 9).insts);
+    }
+
+    #[test]
+    fn replace_all_replaces_every_occurrence() {
+        let m = mutator(800);
+        let p = m.generator().generate(17);
+        let q = m.mutate(&p, 4);
+        // Find the replaced form: forms in p but with changed instances.
+        let changed: Vec<usize> = (0..p.len())
+            .filter(|&i| p.insts[i] != q.insts[i])
+            .collect();
+        assert!(!changed.is_empty());
+        let target = p.insts[changed[0]].form;
+        // Every occurrence of the target form must have been rewritten
+        // away (replace-all semantics).
+        for i in 0..p.len() {
+            if p.insts[i].form == target {
+                assert_ne!(q.insts[i].form, target, "occurrence {i} survived");
+            } else {
+                assert_eq!(p.insts[i], q.insts[i], "non-target {i} modified");
+            }
+        }
+    }
+
+    #[test]
+    fn stack_balance_survives_mutation_chains() {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 2_000,
+            stack_slots: 16,
+            ..GenConstraints::default()
+        });
+        let m = Mutator::new(gen);
+        let mut p = m.generator().generate(23);
+        for seed in 0..30 {
+            p = m.mutate(&p, seed);
+        }
+        Machine::new(&p, NativeFu)
+            .run(100_000)
+            .expect("30-deep mutant still runs cleanly");
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let m = mutator(400);
+        let a = m.generator().generate(1);
+        let b = m.generator().generate(2);
+        let c = m.crossover_kpoint(&a, &b, 3, 7);
+        assert_eq!(c.len(), a.len());
+        let from_a = (0..c.len()).filter(|&i| c.insts[i] == a.insts[i]).count();
+        let from_b = (0..c.len()).filter(|&i| c.insts[i] == b.insts[i]).count();
+        assert!(from_a > 0 && from_b > 0, "a={from_a} b={from_b}");
+    }
+}

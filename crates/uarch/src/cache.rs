@@ -1,0 +1,264 @@
+//! The L1 data cache timing and residency model.
+//!
+//! A set-associative, write-allocate, write-back cache with LRU
+//! replacement. Beyond hit/miss timing, the model emits the *residency
+//! events* (fills, evictions) and per-access placements (set, way) that
+//! the ACE lifetime analysis and the transient-fault planner consume: a
+//! fault is injected into a physical `(set, way, bit, cycle)` and the
+//! event stream determines which program byte — if any — was resident
+//! there.
+
+use crate::config::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// What happened to a line frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineEventKind {
+    /// A line was filled into the frame.
+    Fill,
+    /// The previous occupant left without writeback.
+    EvictClean,
+    /// The previous occupant was written back to memory.
+    EvictDirty,
+}
+
+/// A fill/eviction event on one cache frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineEvent {
+    /// Cycle of the event.
+    pub cycle: u64,
+    /// Set index.
+    pub set: u32,
+    /// Way index.
+    pub way: u32,
+    /// Base address of the line involved.
+    pub line_addr: u64,
+    /// Event kind.
+    pub kind: LineEventKind,
+}
+
+/// One data access as placed in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheAccess {
+    /// Dynamic instruction index of the access.
+    pub dyn_idx: u64,
+    /// Cycle the data array was read/written.
+    pub cycle: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// True for stores.
+    pub is_store: bool,
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Set index of the (first) line touched.
+    pub set: u32,
+    /// Way index within the set.
+    pub way: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// The cache model. One instance per simulated program run.
+#[derive(Debug)]
+pub struct L1Dcache {
+    sets: u32,
+    assoc: u32,
+    line: u32,
+    frames: Vec<Frame>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl L1Dcache {
+    /// Builds an empty (all-invalid) cache per the config geometry.
+    pub fn new(cfg: &CoreConfig) -> L1Dcache {
+        L1Dcache {
+            sets: cfg.l1d_sets(),
+            assoc: cfg.l1d_assoc,
+            line: cfg.l1d_line,
+            frames: vec![
+                Frame {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0,
+                };
+                (cfg.l1d_sets() * cfg.l1d_assoc) as usize
+            ],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Line base address of `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line as u64 - 1)
+    }
+
+    /// Set index of `addr`.
+    #[inline]
+    pub fn set_of(&self, addr: u64) -> u32 {
+        ((addr / self.line as u64) % self.sets as u64) as u32
+    }
+
+    /// Performs one access (already split so it does not straddle lines).
+    /// Returns `(hit, way)` and appends any fill/evict events to `events`.
+    pub fn access(
+        &mut self,
+        addr: u64,
+        is_store: bool,
+        cycle: u64,
+        events: &mut Vec<LineEvent>,
+    ) -> (bool, u32) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(addr);
+        let tag = addr / (self.line as u64 * self.sets as u64);
+        let base = (set * self.assoc) as usize;
+        let set_frames = &mut self.frames[base..base + self.assoc as usize];
+
+        if let Some((w, f)) = set_frames
+            .iter_mut()
+            .enumerate()
+            .find(|(_, f)| f.valid && f.tag == tag)
+        {
+            f.lru = tick;
+            f.dirty |= is_store;
+            self.hits += 1;
+            return (true, w as u32);
+        }
+
+        // Miss: pick the LRU victim (prefer invalid frames).
+        self.misses += 1;
+        let (victim, _) = set_frames
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| if f.valid { f.lru + 1 } else { 0 })
+            .expect("assoc >= 1");
+        let f = &mut set_frames[victim];
+        if f.valid {
+            let old_addr = (f.tag * self.sets as u64 + set as u64) * self.line as u64;
+            events.push(LineEvent {
+                cycle,
+                set,
+                way: victim as u32,
+                line_addr: old_addr,
+                kind: if f.dirty {
+                    LineEventKind::EvictDirty
+                } else {
+                    LineEventKind::EvictClean
+                },
+            });
+            if f.dirty {
+                self.writebacks += 1;
+            }
+        }
+        *f = Frame {
+            tag,
+            valid: true,
+            dirty: is_store,
+            lru: tick,
+        };
+        events.push(LineEvent {
+            cycle,
+            set,
+            way: victim as u32,
+            line_addr: self.line_addr(addr),
+            kind: LineEventKind::Fill,
+        });
+        (false, victim as u32)
+    }
+
+    /// (hits, misses, writebacks) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.writebacks)
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u32 {
+        self.line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> (L1Dcache, Vec<LineEvent>) {
+        (L1Dcache::new(&CoreConfig::default()), Vec::new())
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let (mut c, mut ev) = cache();
+        let (hit, way) = c.access(0x10000, false, 1, &mut ev);
+        assert!(!hit);
+        let (hit2, way2) = c.access(0x10008, false, 2, &mut ev);
+        assert!(hit2, "same line");
+        assert_eq!(way, way2);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, LineEventKind::Fill);
+    }
+
+    #[test]
+    fn conflict_evictions_emit_events() {
+        let (mut c, mut ev) = cache();
+        // 9 lines mapping to the same set (stride = sets * line = 4096).
+        for i in 0..9u64 {
+            c.access(0x10000 + i * 4096, i == 0, 10 + i, &mut ev);
+        }
+        let evictions: Vec<_> = ev
+            .iter()
+            .filter(|e| e.kind != LineEventKind::Fill)
+            .collect();
+        assert_eq!(evictions.len(), 1, "one way over capacity");
+        assert_eq!(evictions[0].kind, LineEventKind::EvictDirty, "way 0 was stored to");
+        assert_eq!(evictions[0].line_addr, 0x10000);
+    }
+
+    #[test]
+    fn lru_keeps_recent_lines() {
+        let (mut c, mut ev) = cache();
+        for i in 0..8u64 {
+            c.access(0x10000 + i * 4096, false, i, &mut ev);
+        }
+        // Touch line 0 again, then insert a 9th line: victim must be line 1.
+        c.access(0x10000, false, 100, &mut ev);
+        c.access(0x10000 + 8 * 4096, false, 101, &mut ev);
+        let last_evict = ev.iter().rev().find(|e| e.kind != LineEventKind::Fill).unwrap();
+        assert_eq!(last_evict.line_addr, 0x10000 + 4096);
+        let (hit, _) = c.access(0x10000, false, 102, &mut ev);
+        assert!(hit, "recently-touched line survived");
+    }
+
+    #[test]
+    fn working_set_fits_32k() {
+        let (mut c, mut ev) = cache();
+        // Stream 32 KiB twice: second pass all hits.
+        for pass in 0..2 {
+            for off in (0..32 * 1024).step_by(64) {
+                c.access(0x10000 + off as u64, false, off as u64, &mut ev);
+            }
+            let (h, m, _) = c.stats();
+            if pass == 0 {
+                assert_eq!(m, 512);
+                assert_eq!(h, 0);
+            } else {
+                assert_eq!(h, 512);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Out-of-order core configuration.
+//!
+//! Defaults follow publicly available parameters of commercial x86 cores
+//! (as the paper does for its gem5 model, §III-B1): a 4-wide machine with
+//! a 192-entry ROB, 128 integer physical registers and a 32 KiB 8-way L1
+//! data cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Core and memory-hierarchy parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions dispatched (renamed) per cycle.
+    pub width: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: u32,
+    /// Issue-queue entries (unified).
+    pub iq_size: u32,
+    /// Integer physical register file size — the IRF structure graded by
+    /// ACE analysis and targeted by transient fault injection.
+    pub phys_regs: u32,
+    /// XMM physical register file size (the 128-bit FP rename pool).
+    pub phys_xmm: u32,
+    /// Frontend depth in cycles (fetch → dispatch).
+    pub frontend_depth: u32,
+    /// Branch misprediction redirect penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Number of ALU pipes (logic/shift/adds issue here).
+    pub alu_pipes: u32,
+    /// Number of load ports.
+    pub load_ports: u32,
+    /// Number of store ports.
+    pub store_ports: u32,
+    /// L1D capacity in bytes.
+    pub l1d_bytes: u32,
+    /// L1D associativity.
+    pub l1d_assoc: u32,
+    /// L1D line size in bytes.
+    pub l1d_line: u32,
+    /// L1D hit latency (cycles).
+    pub l1d_hit_lat: u32,
+    /// Miss penalty to the flat backing memory (cycles).
+    pub l1d_miss_lat: u32,
+}
+
+impl CoreConfig {
+    /// The reference configuration used throughout the evaluation.
+    pub fn skylake_like() -> CoreConfig {
+        CoreConfig {
+            width: 4,
+            rob_size: 192,
+            iq_size: 60,
+            phys_regs: 128,
+            phys_xmm: 64,
+            frontend_depth: 5,
+            mispredict_penalty: 12,
+            alu_pipes: 2,
+            load_ports: 2,
+            store_ports: 1,
+            l1d_bytes: 32 * 1024,
+            l1d_assoc: 8,
+            l1d_line: 64,
+            l1d_hit_lat: 4,
+            l1d_miss_lat: 40,
+        }
+    }
+
+    /// L1D set count.
+    pub fn l1d_sets(&self) -> u32 {
+        self.l1d_bytes / (self.l1d_assoc * self.l1d_line)
+    }
+
+    /// Total L1D data-array bits — the denominator of the cache ACE
+    /// coverage metric.
+    pub fn l1d_bits(&self) -> u64 {
+        self.l1d_bytes as u64 * 8
+    }
+
+    /// Total IRF bits (64 per physical register).
+    pub fn irf_bits(&self) -> u64 {
+        self.phys_regs as u64 * 64
+    }
+
+    /// Total XMM register file bits (128 per physical register).
+    pub fn xrf_bits(&self) -> u64 {
+        self.phys_xmm as u64 * 128
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if the cache geometry is not a power-of-two split or the
+    /// PRF cannot hold the architectural state.
+    pub fn validate(&self) {
+        assert!(self.phys_regs >= 32, "PRF must exceed 16 arch regs + margin");
+        assert!(self.phys_xmm >= 24, "XMM PRF must exceed 16 arch regs + margin");
+        assert!(self.l1d_line.is_power_of_two());
+        assert!(self.l1d_sets().is_power_of_two());
+        assert!(self.l1d_bytes.is_multiple_of(self.l1d_assoc * self.l1d_line));
+        assert!(self.width >= 1 && self.rob_size >= self.width);
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = CoreConfig::default();
+        c.validate();
+        assert_eq!(c.l1d_sets(), 64);
+        assert_eq!(c.l1d_bits(), 262_144);
+        assert_eq!(c.irf_bits(), 8_192);
+    }
+
+    #[test]
+    #[should_panic(expected = "PRF")]
+    fn tiny_prf_rejected() {
+        let c = CoreConfig {
+            phys_regs: 8,
+            ..CoreConfig::default()
+        };
+        c.validate();
+    }
+}

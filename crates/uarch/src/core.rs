@@ -1,0 +1,843 @@
+//! The out-of-order core timing model.
+//!
+//! An execution-driven, timestamp-based OoO model: the functional engine
+//! (`harpo_isa::exec::Machine`) supplies per-instruction [`StepInfo`]
+//! records in program order; the timing model assigns each instruction
+//! its fetch/dispatch/issue/complete/commit cycles under the structural
+//! constraints of [`CoreConfig`] (dispatch width, ROB/IQ occupancy,
+//! physical-register availability, FU pipes, cache ports, branch
+//! redirects) and records the microarchitectural observables into an
+//! [`ExecutionTrace`].
+//!
+//! This style of model computes the same quantities Harpocrates consumes
+//! from gem5 — per-cycle physical-register lifetimes, cache residency,
+//! FU operand streams — at a fraction of the cost, which is what the
+//! hardware-in-the-loop evaluation step needs (thousands of simulations
+//! per genetic run; see DESIGN.md substitution table).
+
+use crate::cache::{CacheAccess, L1Dcache, LineEvent};
+use crate::config::CoreConfig;
+use crate::trace::{DynRecord, ExecutionTrace, FuOp, RegInstance, RegRead, SimStats, XmmInstance};
+use harpo_isa::exec::{Machine, RunOutput, StepInfo, Trap};
+use harpo_isa::form::{Catalog, FuKind};
+use harpo_isa::fu::NativeFu;
+use harpo_isa::program::Program;
+use harpo_isa::reg::{Gpr, Xmm};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of a golden simulation: the architectural output plus the full
+/// microarchitectural trace.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Architectural output of the run.
+    pub output: RunOutput,
+    /// Microarchitectural observables.
+    pub trace: ExecutionTrace,
+}
+
+/// The out-of-order core simulator. Stateless between runs; create once
+/// and call [`OooCore::simulate`] per program.
+#[derive(Debug, Clone)]
+pub struct OooCore {
+    cfg: CoreConfig,
+}
+
+impl OooCore {
+    /// Creates a core with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (see
+    /// [`CoreConfig::validate`]).
+    pub fn new(cfg: CoreConfig) -> OooCore {
+        cfg.validate();
+        OooCore { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs `prog` to completion, producing output and trace.
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised by the program (including the dynamic
+    /// instruction cap).
+    pub fn simulate(&self, prog: &Program, cap: u64) -> Result<SimResult, Trap> {
+        let mut machine = Machine::new(prog, NativeFu);
+        let mut t = Timing::new(&self.cfg);
+        loop {
+            if machine.dyn_count() >= cap {
+                return Err(Trap::InstructionCap);
+            }
+            match machine.step()? {
+                None => break,
+                Some(si) => t.retire(&si),
+            }
+        }
+        let output = machine.output();
+        let trace = t.finish(output.dyn_count);
+        Ok(SimResult { output, trace })
+    }
+}
+
+impl Default for OooCore {
+    fn default() -> Self {
+        OooCore::new(CoreConfig::default())
+    }
+}
+
+/// A pool of identical pipelined execution pipes.
+#[derive(Debug)]
+struct PipePool {
+    next_free: Vec<u64>,
+}
+
+impl PipePool {
+    fn new(n: u32) -> PipePool {
+        PipePool {
+            next_free: vec![0; n.max(1) as usize],
+        }
+    }
+
+    /// Issues at the earliest cycle ≥ `ready` with a free pipe, occupying
+    /// it for `occupancy` cycles.
+    fn issue(&mut self, ready: u64, occupancy: u64) -> u64 {
+        let (idx, &free) = self
+            .next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("pool nonempty");
+        let at = ready.max(free);
+        self.next_free[idx] = at + occupancy;
+        at
+    }
+}
+
+/// Two-bit saturating branch direction predictor.
+#[derive(Debug)]
+struct Bpred {
+    table: Vec<u8>,
+}
+
+impl Bpred {
+    fn new() -> Bpred {
+        Bpred {
+            table: vec![1; 1024], // weakly not-taken
+        }
+    }
+
+    fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool {
+        let e = &mut self.table[pc as usize % 1024];
+        let pred = *e >= 2;
+        if taken {
+            *e = (*e + 1).min(3);
+        } else {
+            *e = e.saturating_sub(1);
+        }
+        pred == taken
+    }
+}
+
+struct Timing {
+    cfg: CoreConfig,
+    cache: L1Dcache,
+    bpred: Bpred,
+
+    // Frontend.
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+
+    // Backend rings (freed-at times).
+    rob_ring: Vec<u64>,
+    iq_ring: Vec<u64>,
+    dyn_idx: u64,
+
+    // Register readiness.
+    gpr_ready: [u64; 16],
+    xmm_ready: [u64; 16],
+    flags_ready: u64,
+
+    // Rename state.
+    freelist: VecDeque<(u64, u16)>, // (free_at, preg)
+    cur_inst: [usize; 16],          // arch → index into instances
+    instances: Vec<RegInstance>,
+    xmm_freelist: VecDeque<(u64, u16)>,
+    xmm_cur_inst: [usize; 16],
+    xmm_instances: Vec<XmmInstance>,
+
+    // Execution resources.
+    alu: PipePool,
+    mul: PipePool,
+    div: PipePool,
+    fpadd: PipePool,
+    fpmul: PipePool,
+    fpdiv: PipePool,
+    load_ports: PipePool,
+    store_ports: PipePool,
+    /// Commit cycle of the most recent store to each byte: loads must not
+    /// read the data array before an older overlapping store has written
+    /// it (no store-to-load forwarding is modelled).
+    store_commit: HashMap<u64, u64>,
+
+    // Commit.
+    last_commit: u64,
+    committed_this_cycle: u32,
+
+    // Trace accumulation.
+    dyn_records: Vec<DynRecord>,
+    cache_accesses: Vec<CacheAccess>,
+    line_events: Vec<LineEvent>,
+    fu_ops: Vec<FuOp>,
+    branches: u64,
+    mispredicts: u64,
+}
+
+impl Timing {
+    fn new(cfg: &CoreConfig) -> Timing {
+        let mut instances = Vec::with_capacity(1024);
+        let mut cur_inst = [0usize; 16];
+        for (i, slot) in cur_inst.iter_mut().enumerate() {
+            *slot = instances.len();
+            instances.push(RegInstance {
+                preg: i as u16,
+                arch: Gpr::ALL[i],
+                writer: u64::MAX,
+                write_cycle: 0,
+                free_cycle: u64::MAX,
+                live_at_end: false,
+                reads: Vec::new(),
+            });
+        }
+        let freelist = (16..cfg.phys_regs as u16).map(|p| (0u64, p)).collect();
+        let mut xmm_instances = Vec::with_capacity(256);
+        let mut xmm_cur_inst = [0usize; 16];
+        for (i, slot) in xmm_cur_inst.iter_mut().enumerate() {
+            *slot = xmm_instances.len();
+            xmm_instances.push(XmmInstance {
+                preg: i as u16,
+                arch: Xmm::ALL[i],
+                writer: u64::MAX,
+                write_cycle: 0,
+                free_cycle: u64::MAX,
+                live_at_end: false,
+                reads: Vec::new(),
+            });
+        }
+        let xmm_freelist = (16..cfg.phys_xmm as u16).map(|p| (0u64, p)).collect();
+        Timing {
+            cfg: cfg.clone(),
+            cache: L1Dcache::new(cfg),
+            bpred: Bpred::new(),
+            fetch_cycle: 0,
+            fetched_this_cycle: 0,
+            rob_ring: vec![0; cfg.rob_size as usize],
+            iq_ring: vec![0; cfg.iq_size as usize],
+            dyn_idx: 0,
+            gpr_ready: [0; 16],
+            xmm_ready: [0; 16],
+            flags_ready: 0,
+            freelist,
+            cur_inst,
+            instances,
+            xmm_freelist,
+            xmm_cur_inst,
+            xmm_instances,
+            alu: PipePool::new(cfg.alu_pipes),
+            mul: PipePool::new(1),
+            div: PipePool::new(1),
+            fpadd: PipePool::new(1),
+            fpmul: PipePool::new(1),
+            fpdiv: PipePool::new(1),
+            load_ports: PipePool::new(cfg.load_ports),
+            store_ports: PipePool::new(cfg.store_ports),
+            store_commit: HashMap::new(),
+            last_commit: 0,
+            committed_this_cycle: 0,
+            dyn_records: Vec::new(),
+            cache_accesses: Vec::new(),
+            line_events: Vec::new(),
+            fu_ops: Vec::new(),
+            branches: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn retire(&mut self, si: &StepInfo) {
+        let cfg_width = self.cfg.width;
+        let form = Catalog::get().form(si.form);
+        let idx = self.dyn_idx;
+        self.dyn_idx += 1;
+
+        // ---- Fetch (width-limited, redirected on mispredicts). ----
+        if self.fetched_this_cycle >= cfg_width {
+            self.fetch_cycle += 1;
+            self.fetched_this_cycle = 0;
+        }
+        let fetch = self.fetch_cycle;
+        self.fetched_this_cycle += 1;
+
+        // ---- Dispatch: frontend depth + ROB/IQ/PRF availability. ----
+        let mut dispatch = fetch + self.cfg.frontend_depth as u64;
+        let rob_slot = (idx % self.cfg.rob_size as u64) as usize;
+        dispatch = dispatch.max(self.rob_ring[rob_slot]);
+        let iq_slot = (idx % self.cfg.iq_size as u64) as usize;
+        dispatch = dispatch.max(self.iq_ring[iq_slot]);
+
+        // Allocate physical destination registers (integer and XMM).
+        let n_writes = (si.writes_gpr).count_ones() as usize;
+        let mut new_pregs = [0u16; 6];
+        for slot in new_pregs.iter_mut().take(n_writes) {
+            let (free_at, preg) = self
+                .freelist
+                .pop_front()
+                .expect("PRF smaller than architectural state");
+            dispatch = dispatch.max(free_at);
+            *slot = preg;
+        }
+        let n_xwrites = (si.writes_xmm).count_ones() as usize;
+        let mut new_xpregs = [0u16; 6];
+        for slot in new_xpregs.iter_mut().take(n_xwrites) {
+            let (free_at, preg) = self
+                .xmm_freelist
+                .pop_front()
+                .expect("XMM PRF smaller than architectural state");
+            dispatch = dispatch.max(free_at);
+            *slot = preg;
+        }
+
+        // ---- Operand readiness. ----
+        let mut ready = dispatch + 1;
+        let mut rd = si.reads_gpr;
+        while rd != 0 {
+            let r = rd.trailing_zeros() as usize;
+            rd &= rd - 1;
+            ready = ready.max(self.gpr_ready[r]);
+        }
+        let mut rx = si.reads_xmm;
+        while rx != 0 {
+            let r = rx.trailing_zeros() as usize;
+            rx &= rx - 1;
+            ready = ready.max(self.xmm_ready[r]);
+        }
+        if si.reads_flags {
+            ready = ready.max(self.flags_ready);
+        }
+
+        // ---- Split memory micro-op (if any). ----
+        let is_store = si.mem.map(|m| m.is_store).unwrap_or(false);
+        let mut op_ready = ready;
+        let mut load_done = 0u64;
+        if let Some(mem) = si.mem {
+            if !mem.is_store {
+                // Memory dependence: wait for older overlapping stores to
+                // have written the data array (one cycle after commit).
+                let mut ready = ready;
+                for b in mem.addr..mem.addr + mem.size as u64 {
+                    if let Some(&t) = self.store_commit.get(&b) {
+                        ready = ready.max(t + 1);
+                    }
+                }
+                let l_issue = self.load_ports.issue(ready, 1);
+                let lat = self.cache_load(idx, l_issue, mem.addr, mem.size);
+                load_done = l_issue + lat as u64;
+                op_ready = op_ready.max(load_done);
+            }
+        }
+
+        // ---- Execute micro-op. ----
+        let passes = si.passes.len().max(1) as u64;
+        let (issue, complete) = match form.fu {
+            FuKind::Alu | FuKind::IntAdd | FuKind::Branch => {
+                let at = self.alu.issue(op_ready, passes);
+                (at, at + FuKind::Alu.latency() as u64 + (passes - 1))
+            }
+            FuKind::IntMul => {
+                let at = self.mul.issue(op_ready, passes);
+                (at, at + FuKind::IntMul.latency() as u64 + (passes - 1))
+            }
+            FuKind::IntDiv => {
+                let lat = FuKind::IntDiv.latency() as u64;
+                let at = self.div.issue(op_ready, lat); // unpipelined
+                (at, at + lat)
+            }
+            FuKind::FpAdd => {
+                let at = self.fpadd.issue(op_ready, passes);
+                (at, at + FuKind::FpAdd.latency() as u64 + (passes - 1))
+            }
+            FuKind::FpMul => {
+                let at = self.fpmul.issue(op_ready, passes);
+                (at, at + FuKind::FpMul.latency() as u64 + (passes - 1))
+            }
+            FuKind::FpDiv => {
+                let lat = FuKind::FpDiv.latency() as u64;
+                let at = self.fpdiv.issue(op_ready, lat);
+                (at, at + lat)
+            }
+            FuKind::Load => {
+                // Pure load: the load micro-op *is* the instruction.
+                if load_done > 0 {
+                    (op_ready.max(ready), load_done)
+                } else {
+                    (ready, ready + 1)
+                }
+            }
+            FuKind::Store => {
+                let at = self.store_ports.issue(op_ready, 1);
+                (at, at + 1)
+            }
+        };
+        self.iq_ring[iq_slot] = issue + 1;
+
+        // ---- Record graded unit passes at their issue cycles. ----
+        for (i, p) in si.passes.as_slice().iter().enumerate() {
+            self.fu_ops.push(FuOp {
+                dyn_idx: idx,
+                cycle: issue + i as u64,
+                kind: p.kind,
+                a: p.a,
+                b: p.b,
+                cin: p.cin,
+            });
+        }
+
+        // ---- Record register reads at the issue cycle. ----
+        let propagates = si.writes_gpr != 0
+            || si.writes_xmm != 0
+            || si.mem.map(|m| m.is_store).unwrap_or(false);
+        let mut rd = si.reads_gpr;
+        while rd != 0 {
+            let r = rd.trailing_zeros() as usize;
+            rd &= rd - 1;
+            let inst = self.cur_inst[r];
+            self.instances[inst].reads.push(RegRead {
+                dyn_idx: idx,
+                cycle: issue,
+                propagates,
+                obs: [si.gpr_read_mask[r], 0],
+            });
+        }
+        let mut rx = si.reads_xmm;
+        while rx != 0 {
+            let r = rx.trailing_zeros() as usize;
+            rx &= rx - 1;
+            let inst = self.xmm_cur_inst[r];
+            self.xmm_instances[inst].reads.push(RegRead {
+                dyn_idx: idx,
+                cycle: issue,
+                propagates,
+                obs: si.xmm_read_mask[r],
+            });
+        }
+
+        // ---- Commit (in order, width-limited). ----
+        let mut commit = (complete + 1).max(self.last_commit);
+        if commit == self.last_commit {
+            if self.committed_this_cycle >= cfg_width {
+                commit += 1;
+                self.committed_this_cycle = 1;
+            } else {
+                self.committed_this_cycle += 1;
+            }
+        } else {
+            self.committed_this_cycle = 1;
+        }
+        self.last_commit = commit;
+        self.rob_ring[rob_slot] = commit;
+
+        // ---- Stores write the cache at commit. ----
+        if let Some(mem) = si.mem {
+            if is_store {
+                self.cache_store(idx, commit, mem.addr, mem.size);
+                for b in mem.addr..mem.addr + mem.size as u64 {
+                    self.store_commit.insert(b, commit);
+                }
+            }
+        }
+
+        // ---- Register writeback + rename bookkeeping. ----
+        let mut wr = si.writes_gpr;
+        let mut wslot = 0;
+        while wr != 0 {
+            let r = wr.trailing_zeros() as usize;
+            wr &= wr - 1;
+            self.gpr_ready[r] = complete;
+            let preg = new_pregs[wslot];
+            wslot += 1;
+            // The previous instance frees when this writer commits.
+            let old = self.cur_inst[r];
+            self.instances[old].free_cycle = commit;
+            let old_preg = self.instances[old].preg;
+            self.freelist.push_back((commit, old_preg));
+            self.cur_inst[r] = self.instances.len();
+            self.instances.push(RegInstance {
+                preg,
+                arch: Gpr::ALL[r],
+                writer: idx,
+                write_cycle: complete,
+                free_cycle: u64::MAX,
+                live_at_end: false,
+                reads: Vec::new(),
+            });
+        }
+        let mut wx = si.writes_xmm;
+        let mut xslot = 0;
+        while wx != 0 {
+            let r = wx.trailing_zeros() as usize;
+            wx &= wx - 1;
+            self.xmm_ready[r] = complete;
+            let preg = new_xpregs[xslot];
+            xslot += 1;
+            let old = self.xmm_cur_inst[r];
+            self.xmm_instances[old].free_cycle = commit;
+            let old_preg = self.xmm_instances[old].preg;
+            self.xmm_freelist.push_back((commit, old_preg));
+            self.xmm_cur_inst[r] = self.xmm_instances.len();
+            self.xmm_instances.push(XmmInstance {
+                preg,
+                arch: Xmm::ALL[r],
+                writer: idx,
+                write_cycle: complete,
+                free_cycle: u64::MAX,
+                live_at_end: false,
+                reads: Vec::new(),
+            });
+        }
+        if si.writes_flags {
+            self.flags_ready = complete;
+        }
+
+        // ---- Def/use record for liveness analysis. ----
+        let branch_kind = match si.branch {
+            None => 0,
+            Some(br) if br.trivial => 1, // direction can never matter
+            Some(_) => 2,
+        };
+        self.dyn_records.push(DynRecord {
+            reads_gpr: si.reads_gpr,
+            writes_gpr: si.writes_gpr,
+            reads_xmm: si.reads_xmm,
+            writes_xmm: si.writes_xmm,
+            reads_flags: si.reads_flags,
+            writes_flags: si.writes_flags,
+            mem_addr: si.mem.map(|m| m.addr).unwrap_or(0),
+            mem_size: si.mem.map(|m| m.size).unwrap_or(0),
+            is_store: si.mem.map(|m| m.is_store).unwrap_or(false),
+            branch: branch_kind,
+        });
+
+        // ---- Branch resolution. ----
+        if let Some(br) = si.branch {
+            self.branches += 1;
+            let correct = self.bpred.predict_and_update(si.static_idx, br.taken);
+            if !correct {
+                self.mispredicts += 1;
+                let redirect = complete + self.cfg.mispredict_penalty as u64;
+                if redirect > self.fetch_cycle {
+                    self.fetch_cycle = redirect;
+                    self.fetched_this_cycle = 0;
+                }
+            }
+        }
+    }
+
+    /// Accesses the cache for a load (splitting line straddles); returns
+    /// the load-to-use latency.
+    fn cache_load(&mut self, dyn_idx: u64, cycle: u64, addr: u64, size: u8) -> u32 {
+        let line = self.cache.line_size() as u64;
+        let mut lat = 0u32;
+        let mut a = addr;
+        let end = addr + size as u64;
+        while a < end {
+            let chunk_end = ((a / line) + 1) * line;
+            let sz = chunk_end.min(end) - a;
+            let (hit, way) = self.cache.access(a, false, cycle, &mut self.line_events);
+            lat = lat.max(if hit {
+                self.cfg.l1d_hit_lat
+            } else {
+                self.cfg.l1d_hit_lat + self.cfg.l1d_miss_lat
+            });
+            self.cache_accesses.push(CacheAccess {
+                dyn_idx,
+                cycle,
+                addr: a,
+                size: sz as u8,
+                is_store: false,
+                hit,
+                set: self.cache.set_of(a),
+                way,
+            });
+            a = chunk_end;
+        }
+        lat
+    }
+
+    fn cache_store(&mut self, dyn_idx: u64, cycle: u64, addr: u64, size: u8) {
+        let line = self.cache.line_size() as u64;
+        let mut a = addr;
+        let end = addr + size as u64;
+        while a < end {
+            let chunk_end = ((a / line) + 1) * line;
+            let sz = chunk_end.min(end) - a;
+            let (hit, way) = self.cache.access(a, true, cycle, &mut self.line_events);
+            self.cache_accesses.push(CacheAccess {
+                dyn_idx,
+                cycle,
+                addr: a,
+                size: sz as u8,
+                is_store: true,
+                hit,
+                set: self.cache.set_of(a),
+                way,
+            });
+            a = chunk_end;
+        }
+    }
+
+    fn finish(mut self, insts: u64) -> ExecutionTrace {
+        let cycles = self.last_commit.max(1);
+        for inst in &mut self.instances {
+            if inst.free_cycle == u64::MAX {
+                inst.free_cycle = cycles;
+                inst.live_at_end = true;
+            }
+        }
+        for inst in &mut self.xmm_instances {
+            if inst.free_cycle == u64::MAX {
+                inst.free_cycle = cycles;
+                inst.live_at_end = true;
+            }
+        }
+        let (h, m, wb) = self.cache.stats();
+        ExecutionTrace {
+            stats: SimStats {
+                cycles,
+                insts,
+                l1d_hits: h,
+                l1d_misses: m,
+                l1d_writebacks: wb,
+                branches: self.branches,
+                mispredicts: self.mispredicts,
+            },
+            reg_instances: self.instances,
+            xmm_instances: self.xmm_instances,
+            dyn_records: self.dyn_records,
+            cache_accesses: self.cache_accesses,
+            line_events: self.line_events,
+            fu_ops: self.fu_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::form::Mnemonic;
+    use harpo_isa::mem::DATA_BASE;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::*;
+    use harpo_isa::reg::Xmm;
+
+    fn simulate(prog: &harpo_isa::program::Program) -> SimResult {
+        OooCore::default().simulate(prog, 10_000_000).expect("clean run")
+    }
+
+    #[test]
+    fn timing_and_function_agree() {
+        let mut a = Asm::new("loop");
+        a.mov_ri(B64, Rax, 0);
+        a.mov_ri(B64, Rcx, 100);
+        a.label("l");
+        a.add_ri(B64, Rax, 2);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l");
+        a.halt();
+        let p = a.finish().unwrap();
+        let r = simulate(&p);
+        assert_eq!(r.output.state.gpr(Rax), 200);
+        assert!(r.trace.stats.cycles > 100, "loop takes real time");
+        assert_eq!(r.trace.stats.insts, r.output.dyn_count);
+        assert!(r.trace.stats.ipc() > 0.1 && r.trace.stats.ipc() < 4.0);
+    }
+
+    #[test]
+    fn dependent_chain_slower_than_independent() {
+        // Serial dependency chain.
+        let mut a = Asm::new("serial");
+        a.mov_ri(B64, Rax, 1);
+        for _ in 0..200 {
+            a.add_ri(B64, Rax, 1);
+        }
+        a.halt();
+        let serial = simulate(&a.finish().unwrap()).trace.stats.cycles;
+
+        // Same op count spread over 8 independent registers.
+        let mut a = Asm::new("parallel");
+        for (i, r) in [Rax, Rbx, Rcx, Rdx, Rsi, Rdi, R8, R9].iter().enumerate() {
+            a.mov_ri(B64, *r, i as i32);
+        }
+        for i in 0..200 {
+            let r = [Rax, Rbx, Rcx, Rdx, Rsi, Rdi, R8, R9][i % 8];
+            a.add_ri(B64, r, 1);
+        }
+        a.halt();
+        let parallel = simulate(&a.finish().unwrap()).trace.stats.cycles;
+        assert!(
+            parallel * 3 < serial * 2,
+            "ILP must pay off: serial={serial}, parallel={parallel}"
+        );
+    }
+
+    #[test]
+    fn cache_misses_cost_cycles() {
+        // Stride-64 over 32 KiB misses everywhere on the first pass.
+        let mut a = Asm::new("stream");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rcx, 512);
+        a.label("l");
+        a.load(B64, Rax, Rsi, 0);
+        a.add_ri(B64, Rsi, 64);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l");
+        a.halt();
+        let r = simulate(&a.finish().unwrap());
+        assert_eq!(r.trace.stats.l1d_misses, 512);
+        assert_eq!(r.trace.stats.l1d_hits, 0);
+        // Hit-only version is much faster.
+        let mut a = Asm::new("hot");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rcx, 512);
+        a.label("l");
+        a.load(B64, Rax, Rsi, 0);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l");
+        a.halt();
+        let hot = simulate(&a.finish().unwrap());
+        assert!(hot.trace.stats.cycles < r.trace.stats.cycles);
+    }
+
+    #[test]
+    fn reg_instances_track_lifetimes() {
+        let mut a = Asm::new("life");
+        a.mov_ri(B64, Rax, 1); // instance A
+        a.add_ri(B64, Rbx, 0); // reads rbx
+        a.mov_rr(B64, Rcx, Rax); // reads instance A
+        a.mov_ri(B64, Rax, 2); // instance B; frees A at commit
+        a.halt();
+        let r = simulate(&a.finish().unwrap());
+        // Find the instance written by dyn instruction 0 (mov rax, 1).
+        let inst_a = r
+            .trace
+            .reg_instances
+            .iter()
+            .find(|i| i.writer == 0)
+            .expect("instance exists");
+        assert_eq!(inst_a.arch, Rax);
+        assert_eq!(inst_a.reads.len(), 1, "read once by mov rcx, rax");
+        assert!(inst_a.free_cycle < r.trace.stats.cycles + 1);
+        // Bypass allows a consumer to issue in the producer's completion
+        // cycle, so equality is legal.
+        assert!(inst_a.write_cycle <= inst_a.reads[0].cycle);
+        assert!(inst_a.reads[0].cycle <= inst_a.free_cycle);
+        // Never-rewritten architectural registers stay live to the end.
+        let rbx_init = r
+            .trace
+            .reg_instances
+            .iter()
+            .find(|i| i.arch == Rbx && i.writer == u64::MAX);
+        assert!(rbx_init.is_none() || rbx_init.unwrap().free_cycle <= r.trace.stats.cycles);
+    }
+
+    #[test]
+    fn fu_ops_recorded_with_cycles() {
+        let mut a = Asm::new("fu");
+        a.mov_ri(B64, Rax, 7);
+        a.mov_ri(B64, Rbx, 9);
+        a.imul_rr(B64, Rax, Rbx);
+        a.add_rr(B64, Rax, Rbx);
+        a.halt();
+        let r = simulate(&a.finish().unwrap());
+        let muls = r.trace.fu_op_count(FuKind::IntMul);
+        assert_eq!(muls, 4, "64-bit signed imul decomposes into 4 passes");
+        let adds = r.trace.fu_op_count(FuKind::IntAdd);
+        assert_eq!(adds, 1);
+        // Pass cycles are ordered within the instruction.
+        let mul_ops: Vec<_> = r.trace.fu_ops_of(FuKind::IntMul).collect();
+        for w in mul_ops.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+    }
+
+    #[test]
+    fn branch_mispredicts_counted() {
+        // A data-dependent alternating branch defeats the 2-bit predictor.
+        let mut a = Asm::new("alt");
+        a.mov_ri(B64, Rcx, 200);
+        a.mov_ri(B64, Rax, 0);
+        a.label("l");
+        a.op_ri(Mnemonic::Xor, B64, Rax, 1);
+        a.op_ri(Mnemonic::Test, B64, Rax, 1);
+        a.jz("skip");
+        a.add_ri(B64, Rbx, 1);
+        a.label("skip");
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l");
+        a.halt();
+        let r = simulate(&a.finish().unwrap());
+        assert!(r.trace.stats.branches >= 400);
+        assert!(
+            r.trace.stats.mispredicts > 50,
+            "alternating pattern mispredicts: {}",
+            r.trace.stats.mispredicts
+        );
+    }
+
+    #[test]
+    fn sse_ops_use_fp_units() {
+        let mut a = Asm::new("sse");
+        a.reg_init.xmms[0][0] = 1.5f32.to_bits() as u64;
+        a.reg_init.xmms[1][0] = 2.5f32.to_bits() as u64;
+        a.op_xx(Mnemonic::Addss, false, Xmm::Xmm0, Xmm::Xmm1);
+        a.op_xx(Mnemonic::Mulss, false, Xmm::Xmm0, Xmm::Xmm1);
+        a.halt();
+        let r = simulate(&a.finish().unwrap());
+        assert_eq!(r.trace.fu_op_count(FuKind::FpAdd), 1);
+        assert_eq!(r.trace.fu_op_count(FuKind::FpMul), 1);
+        assert_eq!(
+            r.output.state.xmm_scalar(Xmm::Xmm0),
+            10.0f32.to_bits() // (1.5 + 2.5) * 2.5
+        );
+    }
+
+    #[test]
+    fn prf_pressure_stalls_but_completes() {
+        // More in-flight writes than physical registers forces recycling.
+        let cfg = CoreConfig {
+            phys_regs: 34,
+            ..CoreConfig::default()
+        };
+        let core = OooCore::new(cfg);
+        let mut a = Asm::new("prf");
+        for i in 0..500 {
+            a.mov_ri(B64, Gpr::ALL[i % 4], i as i32);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let r = core.simulate(&p, 100_000).unwrap();
+        assert_eq!(r.trace.stats.insts, 501);
+        // Physical registers stay within the configured population.
+        assert!(r.trace.reg_instances.iter().all(|i| (i.preg as u32) < 34));
+    }
+
+    #[test]
+    fn trap_propagates() {
+        let mut a = Asm::new("oob");
+        a.mov_ri(B64, Rsi, 0x100); // below DATA_BASE
+        a.load(B64, Rax, Rsi, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert!(OooCore::default().simulate(&p, 1000).is_err());
+    }
+}

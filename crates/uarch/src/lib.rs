@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # harpo-uarch — the microarchitectural evaluation engine
+//!
+//! The gem5 substitute (DESIGN.md substitution table): an out-of-order
+//! x86-class core model that executes HX86 programs and records the
+//! microarchitectural observables the Harpocrates loop consumes —
+//! physical-register lifetimes (for ACE analysis of the IRF), L1D
+//! residency and access events (for cache ACE and transient-fault
+//! planning), and graded functional-unit operand streams (for the IBR
+//! metric and gate-level fault injection).
+//!
+//! ```
+//! use harpo_uarch::{CoreConfig, OooCore};
+//! use harpo_isa::asm::Asm;
+//! use harpo_isa::reg::{Gpr, Width};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new("demo");
+//! a.mov_ri(Width::B64, Gpr::Rax, 21);
+//! a.add_rr(Width::B64, Gpr::Rax, Gpr::Rax);
+//! a.halt();
+//! let prog = a.finish()?;
+//!
+//! let core = OooCore::new(CoreConfig::skylake_like());
+//! let result = core.simulate(&prog, 1_000_000)?;
+//! assert_eq!(result.output.state.gpr(Gpr::Rax), 42);
+//! assert!(result.trace.stats.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod trace;
+
+pub use cache::{CacheAccess, L1Dcache, LineEvent, LineEventKind};
+pub use config::CoreConfig;
+pub use core::{OooCore, SimResult};
+pub use trace::{ExecutionTrace, FuOp, RegInstance, RegRead, SimStats};

@@ -1,0 +1,219 @@
+//! The execution trace: everything downstream analyses consume.
+//!
+//! One golden out-of-order simulation produces a single
+//! [`ExecutionTrace`], which feeds *both* consumers of the Harpocrates
+//! loop (DESIGN.md §5):
+//!
+//! * **hardware coverage** — ACE lifetime analysis over
+//!   [`RegInstance`]s / cache events, and the IBR metric over [`FuOp`]s
+//!   (fast; computed every genetic iteration);
+//! * **fault-injection planning** — the same records give the residency
+//!   windows and read schedules needed to convert a random `(bit, cycle)`
+//!   fault into a concrete corruption plan for functional replay
+//!   (slower; sampled).
+
+use crate::cache::{CacheAccess, LineEvent};
+use harpo_isa::form::FuKind;
+use harpo_isa::reg::{Gpr, Xmm};
+use serde::{Deserialize, Serialize};
+
+/// A read of a physical-register value instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegRead {
+    /// Dynamic instruction index performing the read.
+    pub dyn_idx: u64,
+    /// Cycle the operand was read (issue time of the consumer).
+    pub cycle: u64,
+    /// Whether the consumer propagates data onward (writes a register,
+    /// an XMM register or memory). Flag-only consumers (`CMP`, `TEST`)
+    /// sensitise a fault without making it observable; the refined IRF
+    /// coverage metric discounts them (paper §II-C: coverage must proxy
+    /// both activation *and* propagation).
+    pub propagates: bool,
+    /// Observation mask over two 64-bit lanes: which bits of the value
+    /// can influence the consumer's results (lane 1 is only meaningful
+    /// for XMM reads). Flips outside the mask are invisible to this
+    /// consumer — the exact per-bit ACE derating.
+    pub obs: [u64; 2],
+}
+
+/// One value instance living in a physical integer register: from
+/// allocation/write until the register is freed (its architectural
+/// successor commits) or the program ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegInstance {
+    /// Physical register index.
+    pub preg: u16,
+    /// Architectural register this instance renames.
+    pub arch: Gpr,
+    /// Dynamic index of the producing instruction (`u64::MAX` for initial
+    /// architectural state).
+    pub writer: u64,
+    /// Cycle the value became resident (writeback of the producer; 0 for
+    /// initial state).
+    pub write_cycle: u64,
+    /// Cycle the physical register was freed (end of program if never).
+    pub free_cycle: u64,
+    /// True if this instance is the current architectural mapping when
+    /// the program ends — the output checker hashes these registers, so
+    /// the value is consumed even without an explicit read.
+    pub live_at_end: bool,
+    /// All reads of this instance, in program order.
+    pub reads: Vec<RegRead>,
+}
+
+impl RegInstance {
+    /// The latest read cycle, if any. Reads are stored in program order,
+    /// but out-of-order issue means the *cycle-wise* last read can be an
+    /// earlier instruction — take the max.
+    pub fn last_read_cycle(&self) -> Option<u64> {
+        self.reads.iter().map(|r| r.cycle).max()
+    }
+
+    /// The latest read whose consumer propagates data onward.
+    pub fn last_propagating_read_cycle(&self) -> Option<u64> {
+        self.reads
+            .iter()
+            .filter(|r| r.propagates)
+            .map(|r| r.cycle)
+            .max()
+    }
+}
+
+/// One value instance living in a physical XMM register — the same
+/// lifetime record as [`RegInstance`], for the 128-bit FP register file
+/// (the "seventh structure" demonstrating §IV-B's any-structure claim).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XmmInstance {
+    /// Physical XMM register index.
+    pub preg: u16,
+    /// Architectural XMM register this instance renames.
+    pub arch: Xmm,
+    /// Dynamic index of the producing instruction (`u64::MAX` = initial).
+    pub writer: u64,
+    /// Cycle the value became resident.
+    pub write_cycle: u64,
+    /// Cycle the physical register was freed.
+    pub free_cycle: u64,
+    /// Whether this instance holds the final architectural value.
+    pub live_at_end: bool,
+    /// All reads of this instance, in program order.
+    pub reads: Vec<RegRead>,
+}
+
+impl XmmInstance {
+    /// The latest read whose consumer propagates data onward.
+    pub fn last_propagating_read_cycle(&self) -> Option<u64> {
+        self.reads
+            .iter()
+            .filter(|r| r.propagates)
+            .map(|r| r.cycle)
+            .max()
+    }
+}
+
+/// Compact per-dynamic-instruction def/use record, the input to the
+/// transitive dynamic-liveness analysis that true ACE requires
+/// (Mukherjee et al.: transitively dynamically dead values are un-ACE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynRecord {
+    /// GPRs read.
+    pub reads_gpr: u16,
+    /// GPRs written.
+    pub writes_gpr: u16,
+    /// XMM registers read.
+    pub reads_xmm: u16,
+    /// XMM registers written.
+    pub writes_xmm: u16,
+    /// Whether the flags were read.
+    pub reads_flags: bool,
+    /// Whether the flags were written.
+    pub writes_flags: bool,
+    /// Memory access address (meaningful when `mem_size > 0`).
+    pub mem_addr: u64,
+    /// Memory access size in bytes; 0 = no access.
+    pub mem_size: u8,
+    /// Whether the memory access is a store.
+    pub is_store: bool,
+    /// Branch kind: 0 = not a branch, 1 = trivial (taken and fall-through
+    /// targets coincide, as in generated linear tests), 2 = real branch.
+    pub branch: u8,
+}
+
+/// One operand pair through a graded functional unit, with its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuOp {
+    /// Dynamic instruction index.
+    pub dyn_idx: u64,
+    /// Issue cycle of this pass.
+    pub cycle: u64,
+    /// Unit kind.
+    pub kind: FuKind,
+    /// First operand.
+    pub a: u64,
+    /// Second operand (post-inversion for subtract-family adder passes).
+    pub b: u64,
+    /// Adder carry-in.
+    pub cin: bool,
+}
+
+/// Headline statistics of a simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total cycles (cycle of the last commit).
+    pub cycles: u64,
+    /// Dynamic instructions retired.
+    pub insts: u64,
+    /// L1D hits.
+    pub l1d_hits: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// Dirty-line writebacks.
+    pub l1d_writebacks: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The complete observable record of one golden run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Run statistics.
+    pub stats: SimStats,
+    /// Physical-register value instances (IRF ACE + transient planning).
+    pub reg_instances: Vec<RegInstance>,
+    /// Physical XMM value instances (XRF ACE + transient planning).
+    pub xmm_instances: Vec<XmmInstance>,
+    /// Per-dynamic-instruction def/use records (for liveness analysis).
+    pub dyn_records: Vec<DynRecord>,
+    /// Cache accesses in program order.
+    pub cache_accesses: Vec<CacheAccess>,
+    /// Cache fill/evict events in time order.
+    pub line_events: Vec<LineEvent>,
+    /// Graded functional-unit passes in program order.
+    pub fu_ops: Vec<FuOp>,
+}
+
+impl ExecutionTrace {
+    /// Passes through a specific graded unit.
+    pub fn fu_ops_of(&self, kind: FuKind) -> impl Iterator<Item = &FuOp> {
+        self.fu_ops.iter().filter(move |o| o.kind == kind)
+    }
+
+    /// Count of passes through a specific unit.
+    pub fn fu_op_count(&self, kind: FuKind) -> usize {
+        self.fu_ops_of(kind).count()
+    }
+}

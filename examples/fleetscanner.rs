@@ -1,0 +1,85 @@
+//! The "Fleetscanner" use case (paper §IV-B): comprehensive
+//! out-of-production screening. No runtime constraint — Harpocrates
+//! iterates until the detection target is met, then the test is used to
+//! screen a (simulated) fleet of CPUs, some of which carry silicon
+//! defects.
+//!
+//! ```sh
+//! cargo run --release --example fleetscanner
+//! ```
+
+use harpocrates::core::{presets, Evaluator, Harpocrates, Scale};
+use harpocrates::coverage::TargetStructure;
+use harpocrates::gates::{FaultyFu, GateFault, GradedUnit};
+use harpocrates::isa::exec::Machine;
+use harpocrates::isa::fu::NativeFu;
+use harpocrates::museqgen::Generator;
+use harpocrates::uarch::OooCore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let structure = TargetStructure::IntAdder;
+    println!("Fleetscanner mode: screening for {} defects\n", structure.label());
+
+    // 1. Produce a high-detection test (no duration constraint).
+    let (constraints, loop_cfg) = presets::preset(structure, Scale::Reduced);
+    let h = Harpocrates::new(
+        Generator::new(constraints),
+        Evaluator::new(OooCore::default(), structure),
+        loop_cfg,
+    );
+    let report = h.run();
+    let test = &report.champion;
+    let golden = Machine::new(test, NativeFu)
+        .run(10_000_000)
+        .expect("golden run")
+        .signature;
+
+    // 2. Simulate a fleet: 60 CPUs, 10 of which shipped with a latent
+    //    stuck-at defect in the integer adder (a DPPM disaster worthy of
+    //    Fig. 1).
+    let mut rng = StdRng::seed_from_u64(0xF1EE7);
+    let fleet: Vec<Option<GateFault>> = (0..60)
+        .map(|i| {
+            (i % 6 == 0).then(|| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: rng.random_range(0..GradedUnit::IntAdder.gate_count() as u32),
+                stuck_one: rng.random_bool(0.5),
+            })
+        })
+        .collect();
+
+    // 3. Run the screening test on every CPU and compare signatures.
+    let mut caught = 0;
+    let mut missed = 0;
+    let mut healthy_flagged = 0;
+    for (i, defect) in fleet.iter().enumerate() {
+        let deviates = match defect {
+            None => {
+                let out = Machine::new(test, NativeFu).run(10_000_000);
+                out.map(|o| o.signature != golden).unwrap_or(true)
+            }
+            Some(f) => {
+                let out = Machine::new(test, FaultyFu::new(*f)).run(10_000_000);
+                out.map(|o| o.signature != golden).unwrap_or(true)
+            }
+        };
+        match (defect.is_some(), deviates) {
+            (true, true) => {
+                caught += 1;
+                println!("cpu{i:02}: DEFECTIVE — isolated (gate fault detected)");
+            }
+            (true, false) => {
+                missed += 1;
+                println!("cpu{i:02}: defective but SILENT — escaped this test");
+            }
+            (false, true) => healthy_flagged += 1,
+            (false, false) => {}
+        }
+    }
+    println!(
+        "\nscreen result: {caught}/{} defective CPUs isolated, {missed} escaped, {healthy_flagged} false alarms",
+        caught + missed
+    );
+}

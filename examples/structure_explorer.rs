@@ -1,0 +1,46 @@
+//! Structure explorer: how differently the six target structures react
+//! to the same workload. Runs one generated program and one hand-written
+//! kernel through the evaluation engine and prints the full coverage
+//! profile plus execution statistics — a minimal tour of the
+//! observability the hardware-in-the-loop approach is built on.
+//!
+//! ```sh
+//! cargo run --release --example structure_explorer
+//! ```
+
+use harpocrates::baselines::opendcdiag;
+use harpocrates::coverage::TargetStructure;
+use harpocrates::museqgen::{GenConstraints, Generator};
+use harpocrates::uarch::OooCore;
+
+fn main() {
+    let core = OooCore::default();
+    let generated = Generator::new(GenConstraints {
+        n_insts: 2_000,
+        ..GenConstraints::default()
+    })
+    .generate(2024);
+    let kernel = opendcdiag::mxm_int();
+
+    for prog in [&generated, &kernel] {
+        let sim = core.simulate(prog, 10_000_000).expect("clean run");
+        let s = &sim.trace.stats;
+        println!("program `{}`:", prog.name);
+        println!(
+            "  {} instructions in {} cycles (IPC {:.2}); L1D {} hits / {} misses; {} branch mispredicts",
+            s.insts, s.cycles, s.ipc(), s.l1d_hits, s.l1d_misses, s.mispredicts
+        );
+        println!("  coverage profile:");
+        for structure in TargetStructure::ALL {
+            let c = structure.coverage(&sim.trace, core.config());
+            let bar = "#".repeat((c * 120.0) as usize);
+            println!("    {:<20} {:>7.3}%  {bar}", structure.label(), c * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "The generated program spreads activity across structures; the MxM kernel \
+concentrates on the multiplier and the cache — which is why structure-targeted \
+generation (the Harpocrates loop) beats fixed test suites."
+    );
+}

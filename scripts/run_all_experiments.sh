@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper at the given scale
+# (default: reduced). Usage: scripts/run_all_experiments.sh [paper|reduced]
+set -euo pipefail
+SCALE="${1:-reduced}"
+cd "$(dirname "$0")/.."
+mkdir -p results/logs
+
+BINS=(
+  fig01_dppm
+  fig04_arrays
+  fig05_intfu
+  fig06_fpfu
+  table1_loopstep
+  rate_comparison
+  fig10_convergence
+  fig11_detection
+  detection_speed
+  ablation_mutation
+  ablation_l1d
+  fault_model_study
+  seventh_structure
+)
+
+cargo build --release -p harpo-bench
+for bin in "${BINS[@]}"; do
+  echo "==== $bin (scale: $SCALE) ===="
+  cargo run --release -p harpo-bench --bin "$bin" -- --scale "$SCALE" \
+    | tee "results/logs/$bin.txt"
+done
+echo "All experiments complete; CSVs in results/, logs in results/logs/."

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # Harpocrates — hardware-in-the-loop CPU test program generation
+//!
+//! A from-scratch Rust reproduction of *"Harpocrates: Breaking the Silence
+//! of CPU Faults through Hardware-in-the-Loop Program Generation"*
+//! (ISCA 2024). This facade crate re-exports the full workspace API; see
+//! `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! ## Crates
+//!
+//! * [`isa`] — the HX86 ISA, functional execution engine and assembler
+//! * [`gates`] — gate-level functional-unit netlists with stuck-at faults
+//! * [`uarch`] — the out-of-order microarchitectural evaluation engine
+//! * [`coverage`] — ACE lifetime analysis and the IBR metric
+//! * [`faultsim`] — statistical fault injection and outcome grading
+//! * [`museqgen`] — the constrained-random generator and mutation engine
+//! * [`baselines`] — SiliFuzz-, OpenDCDiag- and MiBench-like comparators
+//! * [`core`] — the Harpocrates Generator–Mutator–Evaluator loop
+
+pub use harpo_baselines as baselines;
+pub use harpo_core as core;
+pub use harpo_coverage as coverage;
+pub use harpo_faultsim as faultsim;
+pub use harpo_gates as gates;
+pub use harpo_isa as isa;
+pub use harpo_museqgen as museqgen;
+pub use harpo_uarch as uarch;

@@ -1,0 +1,110 @@
+//! Cross-crate integration: baseline suites graded by the coverage and
+//! fault-injection engines, checking the qualitative relationships the
+//! paper's §III-C baseline study establishes.
+
+use harpocrates::baselines::{mibench, opendcdiag};
+use harpocrates::coverage::TargetStructure;
+use harpocrates::faultsim::{measure_detection_with_golden, CampaignConfig};
+use harpocrates::uarch::OooCore;
+
+fn campaign() -> CampaignConfig {
+    CampaignConfig {
+        n_faults: 48,
+        threads: 0,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn ace_upper_bounds_detection_for_bit_arrays() {
+    // ACE is an upper bound of transient detection (§III-C); allow
+    // statistical slack for the small campaign size.
+    let core = OooCore::default();
+    let ccfg = campaign();
+    for p in opendcdiag::all().iter().take(4) {
+        let sim = core.simulate(p, 50_000_000).unwrap();
+        for structure in [TargetStructure::Irf, TargetStructure::L1d] {
+            let cov = structure.coverage(&sim.trace, core.config());
+            let det = measure_detection_with_golden(
+                p,
+                structure,
+                &core,
+                &ccfg,
+                &sim.output.signature,
+                &sim.trace,
+            )
+            .detection();
+            assert!(
+                det <= cov + 0.17,
+                "{} on {}: detection {det:.3} above ACE bound {cov:.3}",
+                p.name,
+                structure
+            );
+        }
+    }
+}
+
+#[test]
+fn fp_faults_invisible_to_integer_only_kernels() {
+    let core = OooCore::default();
+    let ccfg = campaign();
+    // bitcount and sha are pure integer kernels.
+    for p in [mibench::bitcount(), mibench::sha_like()] {
+        let sim = core.simulate(&p, 50_000_000).unwrap();
+        for structure in [TargetStructure::FpAdder, TargetStructure::FpMultiplier] {
+            let det = measure_detection_with_golden(
+                &p,
+                structure,
+                &core,
+                &ccfg,
+                &sim.output.signature,
+                &sim.trace,
+            );
+            assert_eq!(
+                det.detection(),
+                0.0,
+                "{} must mask all {} faults",
+                p.name,
+                structure
+            );
+            assert_eq!(det.masked_fast_path, 48, "screening resolves all");
+        }
+    }
+}
+
+#[test]
+fn checking_tests_catch_multiplier_faults_better_than_mul_free_code() {
+    let core = OooCore::default();
+    let ccfg = campaign();
+    let structure = TargetStructure::IntMultiplier;
+    let grade = |p: &harpocrates::isa::program::Program| {
+        let sim = core.simulate(p, 50_000_000).unwrap();
+        measure_detection_with_golden(p, structure, &core, &ccfg, &sim.output.signature, &sim.trace)
+            .detection()
+    };
+    let mxm = grade(&opendcdiag::mxm_int());
+    let crc = grade(&opendcdiag::checksum_crc()); // multiplier-free
+    assert!(
+        mxm > crc,
+        "MxM ({mxm:.3}) must beat CRC ({crc:.3}) on multiplier faults"
+    );
+    assert!(mxm > 0.3, "MxM is multiplication-saturated: {mxm:.3}");
+}
+
+#[test]
+fn memcheck_dominates_l1d_detection() {
+    // The cache-covering test is the L1D outlier, as in the paper's
+    // Fig. 4 (one OpenDCDiag test near 80%).
+    let core = OooCore::default();
+    let ccfg = campaign();
+    let structure = TargetStructure::L1d;
+    let grade = |p: &harpocrates::isa::program::Program| {
+        let sim = core.simulate(p, 50_000_000).unwrap();
+        measure_detection_with_golden(p, structure, &core, &ccfg, &sim.output.signature, &sim.trace)
+            .detection()
+    };
+    let mem = grade(&opendcdiag::mem_check());
+    assert!(mem > 0.5, "memcheck L1D detection {mem:.3} should be high");
+    let sha = grade(&mibench::sha_like());
+    assert!(mem > sha, "memcheck ({mem:.3}) above a streaming kernel ({sha:.3})");
+}

@@ -1,0 +1,111 @@
+//! Workspace-level property tests (proptest) over the core invariants:
+//! encode/decode round trips, netlist/native equivalence, replay
+//! neutrality and generator safety.
+
+use harpo_gates::{int_adder, int_multiplier, fp_adder, fp_multiplier, Evaluator, FaultSet};
+use harpocrates::isa::exec::Machine;
+use harpocrates::isa::fu::{FuProvider, NativeFu};
+use harpocrates::isa::softfp;
+use harpocrates::isa::{decode_stream, encode_inst, Inst};
+use harpocrates::museqgen::{GenConstraints, Generator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode ∘ decode == id over the whole valid-instruction domain.
+    #[test]
+    fn encode_decode_roundtrip(form_idx in 0usize..=10_000, a in 0u8..16, b in 0u8..16, imm: i32) {
+        let cat = harpocrates::isa::form::Catalog::get();
+        let form = cat.forms()[form_idx % cat.len()];
+        let inst = Inst::new(form.id, a, b, imm);
+        let mut bytes = Vec::new();
+        encode_inst(&inst, &mut bytes);
+        let back = decode_stream(&bytes).expect("valid encoding decodes");
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(back[0].form, inst.form);
+        prop_assert_eq!(back[0].a, inst.a);
+        prop_assert_eq!(back[0].b, inst.b);
+    }
+
+    /// The fault-free adder netlist is the native adder.
+    #[test]
+    fn adder_netlist_equals_native(x: u64, y: u64, cin: bool) {
+        let c = int_adder();
+        let mut ev = Evaluator::new(c.netlist());
+        prop_assert_eq!(
+            c.eval(&mut ev, x, y, cin, &FaultSet::none()),
+            NativeFu.int_add(x, y, cin)
+        );
+    }
+
+    /// The fault-free multiplier netlist is the native multiplier.
+    #[test]
+    fn multiplier_netlist_equals_native(x: u32, y: u32) {
+        let c = int_multiplier();
+        let mut ev = Evaluator::new(c.netlist());
+        prop_assert_eq!(c.eval(&mut ev, x, y, &FaultSet::none()), x as u64 * y as u64);
+    }
+
+    /// The FP circuits are bit-exact against the softfp specification on
+    /// arbitrary bit patterns (including NaN/Inf/denormal encodings).
+    #[test]
+    fn fp_netlists_equal_softfp(x: u32, y: u32) {
+        let mut ev = Evaluator::new(fp_adder().netlist());
+        prop_assert_eq!(fp_adder().eval(&mut ev, x, y, &FaultSet::none()), softfp::fadd(x, y));
+        let mut ev = Evaluator::new(fp_multiplier().netlist());
+        prop_assert_eq!(fp_multiplier().eval(&mut ev, x, y, &FaultSet::none()), softfp::fmul(x, y));
+    }
+
+    /// softfp addition is commutative (the magnitude-ordering and
+    /// signed-zero rules are symmetric by construction).
+    #[test]
+    fn softfp_add_commutes(x: u32, y: u32) {
+        prop_assume!(!softfp::is_nan(x) && !softfp::is_nan(y));
+        prop_assert_eq!(softfp::fadd(x, y), softfp::fadd(y, x));
+    }
+
+    /// Every generated program runs to completion without trapping and
+    /// retires exactly its static length (linearity), for arbitrary
+    /// seeds.
+    #[test]
+    fn generated_programs_never_trap(seed: u64) {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 300,
+            ..GenConstraints::default()
+        });
+        let p = gen.generate(seed);
+        let out = Machine::new(&p, NativeFu).run(100_000).expect("no trap");
+        prop_assert_eq!(out.dyn_count, 301);
+    }
+
+    /// An empty corruption plan replays bit-identically (the fault
+    /// injector's neutrality requirement).
+    #[test]
+    fn empty_plan_replay_is_identity(seed: u64) {
+        use harpocrates::faultsim::{replay_with_plan, CorruptionPlan, FaultOutcome};
+        let gen = Generator::new(GenConstraints {
+            n_insts: 150,
+            ..GenConstraints::default()
+        });
+        let p = gen.generate(seed);
+        let golden = Machine::new(&p, NativeFu).run(100_000).unwrap().signature;
+        prop_assert_eq!(
+            replay_with_plan(&p, &CorruptionPlan::default(), &golden, 100_000),
+            FaultOutcome::Masked
+        );
+    }
+
+    /// Mutation preserves validity: mutants of valid programs never trap.
+    #[test]
+    fn mutants_never_trap(seed: u64, mseed: u64) {
+        use harpocrates::museqgen::Mutator;
+        let gen = Generator::new(GenConstraints {
+            n_insts: 200,
+            ..GenConstraints::default()
+        });
+        let m = Mutator::new(gen.clone());
+        let p = m.mutate(&gen.generate(seed), mseed);
+        Machine::new(&p, NativeFu).run(100_000).expect("mutant runs");
+    }
+}

@@ -1,0 +1,119 @@
+//! §VI-D regression: Harpocrates-generated programs exposed a gem5 bug in
+//! `RCR` emulation — a crash when the rotate amount equals the register
+//! size. This differential test pins the corner-case semantics of our
+//! engine against a from-first-principles step-by-step reference (the
+//! Intel SDM's per-bit RCR/RCL definition), for every width and every
+//! count, including count == width.
+
+use harpocrates::isa::asm::Asm;
+use harpocrates::isa::exec::Machine;
+use harpocrates::isa::form::Mnemonic;
+use harpocrates::isa::fu::NativeFu;
+use harpocrates::isa::reg::Gpr::*;
+use harpocrates::isa::reg::Width;
+
+/// The SDM's step-by-step RCR reference: one bit per iteration through
+/// the CF ring.
+fn rcr_reference(width: u32, mut v: u64, mut cf: bool, count: u32) -> (u64, bool) {
+    let masked = count & if width == 64 { 63 } else { 31 };
+    let n = masked % (width + 1);
+    for _ in 0..n {
+        let new_cf = v & 1 != 0;
+        v = (v >> 1) | ((cf as u64) << (width - 1));
+        cf = new_cf;
+    }
+    (v & if width == 64 { u64::MAX } else { (1 << width) - 1 }, cf)
+}
+
+fn rcl_reference(width: u32, mut v: u64, mut cf: bool, count: u32) -> (u64, bool) {
+    let masked = count & if width == 64 { 63 } else { 31 };
+    let n = masked % (width + 1);
+    let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    for _ in 0..n {
+        let new_cf = v >> (width - 1) & 1 != 0;
+        v = ((v << 1) | cf as u64) & mask;
+        cf = new_cf;
+    }
+    (v, cf)
+}
+
+fn run_rotate(m: Mnemonic, w: Width, v: u64, cf_in: bool, count: u8) -> (u64, bool) {
+    let mut a = Asm::new("rcr-diff");
+    a.mov_ri64(Rax, v);
+    if cf_in {
+        // Set CF: 0xFF..F + 1 carries at the chosen width.
+        a.mov_ri(Width::B64, Rbx, -1);
+        a.add_ri(Width::B8, Rbx, 1);
+    } else {
+        // Clear CF: 0 + 0.
+        a.mov_ri(Width::B64, Rbx, 0);
+        a.add_ri(Width::B8, Rbx, 0);
+    }
+    a.op_shift_i(m, w, Rax, count);
+    a.halt();
+    let p = a.finish().unwrap();
+    let out = Machine::new(&p, NativeFu).run(1000).unwrap();
+    (out.state.gpr(Rax), out.state.flags.cf)
+}
+
+#[test]
+fn rcr_matches_reference_at_every_count_and_width() {
+    for w in [Width::B8, Width::B16, Width::B32, Width::B64] {
+        let bits = w.bits();
+        let v = 0xA5A5_A5A5_A5A5_A5A5u64 & w.mask();
+        for cf in [false, true] {
+            for count in 0..=bits.min(66) {
+                let got = run_rotate(Mnemonic::Rcr, w, v, cf, count as u8);
+                let want = rcr_reference(bits, v, cf, count);
+                assert_eq!(
+                    got, want,
+                    "RCR width {bits} count {count} cf {cf} — the gem5 v22 bug \
+                     surfaced exactly at count == width"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rcl_matches_reference_at_every_count_and_width() {
+    for w in [Width::B8, Width::B16, Width::B32, Width::B64] {
+        let bits = w.bits();
+        let v = 0x1234_5678_9ABC_DEF0u64 & w.mask();
+        for cf in [false, true] {
+            for count in 0..=bits.min(66) {
+                let got = run_rotate(Mnemonic::Rcl, w, v, cf, count as u8);
+                let want = rcl_reference(bits, v, cf, count);
+                assert_eq!(got, want, "RCL width {bits} count {count} cf {cf}");
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_programs_exercise_rcr_corner() {
+    // A constrained generation whose domain is rotate-heavy produces the
+    // corner case organically — the way Harpocrates found the gem5 bug.
+    use harpocrates::isa::form::Catalog;
+    use harpocrates::museqgen::{GenConstraints, Generator};
+    let gen = Generator::new(GenConstraints {
+        n_insts: 3_000,
+        allow_memory: false,
+        allow_sse: false,
+        mnemonic_whitelist: vec![Mnemonic::Rcr, Mnemonic::Rcl, Mnemonic::Mov, Mnemonic::Add],
+        ..GenConstraints::default()
+    });
+    let p = gen.generate(0xC0);
+    let cat = Catalog::get();
+    let corner = p.insts.iter().any(|i| {
+        let f = cat.form(i.form);
+        matches!(f.mnemonic, Mnemonic::Rcr | Mnemonic::Rcl)
+            && f.mode == harpocrates::isa::form::OpMode::RiB
+            && (i.imm as u32 & if f.width == Width::B64 { 63 } else { 31 })
+                % (f.width.bits() + 1)
+                == f.width.bits()
+    });
+    assert!(corner, "3K rotate-heavy instructions should hit count==width");
+    // And the program still runs deterministically.
+    Machine::new(&p, NativeFu).run(100_000).expect("clean run");
+}

@@ -1,0 +1,334 @@
+//! Edge-case conformance tests for HX86 instruction semantics — the long
+//! tail of behaviours that fault-free correctness (and therefore fault
+//! *grading* correctness) depends on.
+
+use harpocrates::isa::asm::Asm;
+use harpocrates::isa::exec::Machine;
+use harpocrates::isa::form::{Catalog, Cond, FormId, Mnemonic, OpMode};
+use harpocrates::isa::fu::NativeFu;
+use harpocrates::isa::inst::Inst;
+use harpocrates::isa::program::Program;
+use harpocrates::isa::reg::Gpr::{self, *};
+use harpocrates::isa::reg::Width::{self, *};
+use harpocrates::isa::reg::Xmm;
+use harpocrates::isa::state::ArchState;
+
+fn f(m: Mnemonic, mode: OpMode, w: Width) -> FormId {
+    Catalog::get().lookup(m, mode, w, false).unwrap()
+}
+
+fn run(build: impl FnOnce(&mut Asm)) -> ArchState {
+    let mut a = Asm::new("edge");
+    build(&mut a);
+    a.halt();
+    let p = a.finish().unwrap();
+    Machine::new(&p, NativeFu).run(100_000).unwrap().state
+}
+
+#[test]
+fn sbb_chains_borrow() {
+    // 0 - 1 at 64 bits sets borrow; SBB then subtracts an extra 1.
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 0);
+        a.mov_ri(B64, Rbx, 10);
+        a.sub_ri(B64, Rax, 1); // borrow out
+        a.op_ri(Mnemonic::Sbb, B64, Rbx, 3); // 10 - 3 - 1
+    });
+    assert_eq!(s.gpr(Rbx), 6);
+}
+
+#[test]
+fn cmp_does_not_write() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 5);
+        a.cmp_ri(B64, Rax, 9);
+    });
+    assert_eq!(s.gpr(Rax), 5);
+    assert!(s.flags.cf, "5 < 9 borrows");
+}
+
+#[test]
+fn test_does_not_write() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 0b1100);
+        a.op_ri(Mnemonic::Test, B64, Rax, 0b0011);
+    });
+    assert_eq!(s.gpr(Rax), 0b1100);
+    assert!(s.flags.zf, "no common bits");
+}
+
+#[test]
+fn neg_zero_clears_cf() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 0);
+        a.op_r(Mnemonic::Neg, B64, Rax);
+    });
+    assert!(!s.flags.cf, "NEG 0 leaves CF clear");
+    assert!(s.flags.zf);
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 5);
+        a.op_r(Mnemonic::Neg, B64, Rax);
+    });
+    assert!(s.flags.cf, "NEG nonzero sets CF");
+    assert_eq!(s.gpr(Rax) as i64, -5);
+}
+
+#[test]
+fn movzx_movsx_widths() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rbx, 0x80); // sign bit of a byte
+        a.op_rr(Mnemonic::Movzx, B8, Rax, Rbx);
+        a.op_rr(Mnemonic::Movsx, B8, Rcx, Rbx);
+        a.mov_ri(B64, Rbx, 0x8000);
+        a.op_rr(Mnemonic::Movsx, B16, Rdx, Rbx);
+    });
+    assert_eq!(s.gpr(Rax), 0x80);
+    assert_eq!(s.gpr(Rcx), 0xFFFF_FFFF_FFFF_FF80);
+    assert_eq!(s.gpr(Rdx), 0xFFFF_FFFF_FFFF_8000);
+}
+
+#[test]
+fn bswap_32_and_64() {
+    let s = run(|a| {
+        a.mov_ri64(Rax, 0x1122_3344_5566_7788);
+        a.mov_rr(B64, Rbx, Rax);
+        a.op_r(Mnemonic::Bswap, B64, Rax);
+        a.op_r(Mnemonic::Bswap, B32, Rbx);
+    });
+    assert_eq!(s.gpr(Rax), 0x8877_6655_4433_2211);
+    // 32-bit BSWAP swaps the low dword and zero-extends (HX86 rule).
+    assert_eq!(s.gpr(Rbx), 0x8877_6655);
+}
+
+#[test]
+fn count_instructions_edge_values() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rbx, 0);
+        a.op_rr(Mnemonic::Lzcnt, B64, Rax, Rbx); // 64 for zero
+        a.op_rr(Mnemonic::Tzcnt, B32, Rcx, Rbx); // 32 for zero
+        a.mov_ri(B64, Rbx, 1);
+        a.op_rr(Mnemonic::Lzcnt, B16, Rdx, Rbx); // 15
+        a.mov_ri64(Rbx, u64::MAX);
+        a.op_rr(Mnemonic::Popcnt, B64, Rbp, Rbx); // 64
+    });
+    assert_eq!(s.gpr(Rax), 64);
+    assert_eq!(s.gpr(Rcx), 32);
+    assert_eq!(s.gpr(Rdx), 15);
+    assert_eq!(s.gpr(Rbp), 64);
+}
+
+#[test]
+fn bt_family_reads_and_mutates() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 0b0100);
+        a.op_shift_i(Mnemonic::Bts, B64, Rax, 0); // set bit 0
+        a.op_shift_i(Mnemonic::Btr, B64, Rax, 2); // clear bit 2
+        a.op_shift_i(Mnemonic::Btc, B64, Rax, 3); // toggle bit 3
+        a.op_shift_i(Mnemonic::Bt, B64, Rax, 3); // read bit 3 → CF
+    });
+    assert_eq!(s.gpr(Rax), 0b1001);
+    assert!(s.flags.cf);
+}
+
+#[test]
+fn bt_index_masks_to_width() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 1);
+        // Bit index 64 masks to 0 at 64-bit width.
+        a.op_shift_i(Mnemonic::Bt, B64, Rax, 64);
+    });
+    assert!(s.flags.cf, "index 64 wraps to bit 0");
+}
+
+#[test]
+fn cmov_narrow_width_truncates() {
+    let s = run(|a| {
+        a.mov_ri64(Rbx, 0xFFFF_FFFF_1234_5678);
+        a.mov_ri(B64, Rax, 0);
+        a.cmp_ri(B64, Rax, 0); // ZF=1
+        a.op_rr(Mnemonic::Cmovz, B32, Rax, Rbx);
+    });
+    assert_eq!(s.gpr(Rax), 0x1234_5678, "32-bit cmov zero-extends");
+}
+
+#[test]
+fn setcc_writes_one_byte() {
+    let s = run(|a| {
+        a.mov_ri64(Rax, 0xAABB_CCDD_EEFF_0011);
+        a.cmp_ri(B64, Rax, 0); // nonzero → ZF=0
+        a.op_r(Mnemonic::Setnz, B8, Rax);
+    });
+    assert_eq!(s.gpr(Rax), 1, "byte write zero-extends under HX86 rule");
+}
+
+#[test]
+fn xchg_narrow() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 0x1111);
+        a.mov_ri(B64, Rbx, 0x2222);
+        a.op_rr(Mnemonic::Xchg, B16, Rax, Rbx);
+    });
+    assert_eq!(s.gpr(Rax), 0x2222);
+    assert_eq!(s.gpr(Rbx), 0x1111);
+}
+
+#[test]
+fn lea_computes_without_memory_access() {
+    // LEA with a base pointing outside the region must NOT trap.
+    let s = run(|a| {
+        a.mov_ri(B64, Rbx, 0x10); // invalid as a load address
+        a.op_rm(Mnemonic::Lea, B64, Rax, Rbx, 0x30);
+    });
+    assert_eq!(s.gpr(Rax), 0x40);
+}
+
+#[test]
+fn shifts_by_zero_preserve_flags() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, -1);
+        a.add_ri(B64, Rax, 1); // CF=1, ZF=1
+        a.op_shift_i(Mnemonic::Shl, B64, Rax, 0); // no-op
+    });
+    assert!(s.flags.cf && s.flags.zf, "zero-count shift leaves flags");
+}
+
+#[test]
+fn rol_ror_full_width_identity() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 0xBEEF);
+        a.op_shift_i(Mnemonic::Rol, B16, Rax, 16); // count % 16 == 0
+    });
+    assert_eq!(s.gpr(Rax), 0xBEEF);
+}
+
+#[test]
+fn imul_rax_8bit_uses_rdx_low_byte() {
+    // HX86's documented deviation: the 8-bit widening multiply writes
+    // the high half to DL rather than AH.
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, 0x40);
+        a.mov_ri(B64, Rbx, 0x40);
+        a.op_r(Mnemonic::MulRax, B8, Rbx);
+    });
+    assert_eq!(s.gpr(Rax), 0x00, "low byte of 0x1000");
+    assert_eq!(s.gpr(Rdx), 0x10, "high byte of 0x1000");
+}
+
+#[test]
+fn idiv_signed_rounding_toward_zero() {
+    let s = run(|a| {
+        a.mov_ri(B64, Rax, -7);
+        a.mov_ri(B64, Rdx, -1); // sign extension of RAX
+        a.mov_ri(B64, Rbx, 2);
+        a.op_r(Mnemonic::IdivRax, B64, Rbx);
+    });
+    assert_eq!(s.gpr(Rax) as i64, -3, "C-style truncation");
+    assert_eq!(s.gpr(Rdx) as i64, -1, "remainder keeps dividend sign");
+}
+
+#[test]
+fn jcc_taken_and_fallthrough_cover_all_conditions() {
+    type Case = (Cond, fn(&mut Asm), bool);
+    let cases: Vec<Case> = vec![
+        (Cond::Z, |a| a.cmp_ri(B64, Rax, 0), true),
+        (Cond::Nz, |a| a.cmp_ri(B64, Rax, 0), false),
+        (Cond::C, |a| a.cmp_ri(B64, Rax, 1), true),
+        (Cond::Nc, |a| a.cmp_ri(B64, Rax, 1), false),
+        (Cond::S, |a| a.cmp_ri(B64, Rax, 1), true),
+        (Cond::Ns, |a| a.cmp_ri(B64, Rax, 1), false),
+    ];
+    for (cond, prep, expect_taken) in cases {
+        let s = run(|a| {
+            a.mov_ri(B64, Rax, 0);
+            prep(a);
+            a.jcc(cond, "skip");
+            a.mov_ri(B64, Rbx, 99);
+            a.label("skip");
+        });
+        let taken = s.gpr(Rbx) != 99;
+        assert_eq!(taken, expect_taken, "{cond:?}");
+    }
+}
+
+#[test]
+fn overflow_conditions() {
+    let s = run(|a| {
+        a.mov_ri64(Rax, i64::MAX as u64);
+        a.add_ri(B64, Rax, 1); // signed overflow
+        a.jcc(Cond::O, "ovf");
+        a.mov_ri(B64, Rbx, 1);
+        a.label("ovf");
+    });
+    assert_eq!(s.gpr(Rbx), 0, "JO taken on signed overflow");
+}
+
+#[test]
+fn packed_min_max_per_lane() {
+    let mut a = Asm::new("minmax");
+    a.reg_init.xmms[0] = [
+        1.0f32.to_bits() as u64 | (9.0f32.to_bits() as u64) << 32,
+        5.0f32.to_bits() as u64 | (2.0f32.to_bits() as u64) << 32,
+    ];
+    a.reg_init.xmms[1] = [
+        3.0f32.to_bits() as u64 | (4.0f32.to_bits() as u64) << 32,
+        5.0f32.to_bits() as u64 | (8.0f32.to_bits() as u64) << 32,
+    ];
+    let minps = Catalog::get().lookup(Mnemonic::Minps, OpMode::Xx, B32, true).unwrap();
+    a.push(Inst::new(minps, 0, 1, 0));
+    a.halt();
+    let p = a.finish().unwrap();
+    let out = Machine::new(&p, NativeFu).run(100).unwrap();
+    let lanes = out.state.xmm_lanes(Xmm::Xmm0).map(f32::from_bits);
+    assert_eq!(lanes, [1.0, 4.0, 5.0, 2.0]);
+}
+
+#[test]
+fn psubq_wraps() {
+    let mut a = Asm::new("psubq");
+    a.reg_init.xmms[0] = [0, 5];
+    a.reg_init.xmms[1] = [1, 2];
+    let psubq = Catalog::get().lookup(Mnemonic::Psubq, OpMode::Xx, B32, true).unwrap();
+    a.push(Inst::new(psubq, 0, 1, 0));
+    a.halt();
+    let p = a.finish().unwrap();
+    let out = Machine::new(&p, NativeFu).run(100).unwrap();
+    assert_eq!(out.state.xmm(Xmm::Xmm0), [u64::MAX, 3]);
+}
+
+#[test]
+fn push_imm_and_stack_layout() {
+    let mut a = Asm::new("pushimm");
+    let push_i = Catalog::get().lookup(Mnemonic::Push, OpMode::I, B64, false).unwrap();
+    a.push(Inst::new(push_i, 0, 0, -5));
+    a.op_r(Mnemonic::Pop, B64, Rcx);
+    a.halt();
+    let p = a.finish().unwrap();
+    let out = Machine::new(&p, NativeFu).run(100).unwrap();
+    assert_eq!(out.state.gpr(Rcx) as i64, -5, "imm sign-extends to 64");
+    assert_eq!(out.state.gpr(Gpr::Rsp), p.initial_rsp(), "balanced stack");
+}
+
+#[test]
+fn rip_relative_store_load_roundtrip_all_widths() {
+    for w in [B32, B64] {
+        let s = run(move |a| {
+            a.mov_ri(B64, Rax, 0x0BAD_CAFE);
+            a.push(Inst::new(f(Mnemonic::Mov, OpMode::MrRip, w), Rax.index() as u8, 0, 0x200));
+            a.push(Inst::new(f(Mnemonic::Mov, OpMode::RmRip, w), Rbx.index() as u8, 0, 0x200));
+        });
+        assert_eq!(s.gpr(Rbx), 0x0BAD_CAFE, "width {w}");
+    }
+}
+
+#[test]
+fn cpuid_is_deterministic_but_flagged() {
+    let cat = Catalog::get();
+    let cpuid = cat.lookup(Mnemonic::Cpuid, OpMode::None, B64, false).unwrap();
+    assert!(!cat.form(cpuid).deterministic, "flagged non-deterministic");
+    // Inside the simulator it still produces fixed values (it models an
+    // identification leaf, not a timer).
+    let p = Program::new("cpuid", vec![Inst::new(cpuid, 0, 0, 0), Inst::halt()]);
+    let a = Machine::new(&p, NativeFu).run(10).unwrap();
+    let b = Machine::new(&p, NativeFu).run(10).unwrap();
+    assert_eq!(a.signature, b.signature);
+}
