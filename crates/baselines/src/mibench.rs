@@ -344,7 +344,10 @@ pub fn patricia_like() -> Program {
 /// Naive substring search of 8 patterns over 1 KiB of text.
 pub fn stringsearch() -> Program {
     let mut a = Asm::new("mib-stringsearch");
-    let text: Vec<u8> = byte_patch(0x7E87, 4096).iter().map(|b| b % 26 + 97).collect();
+    let text: Vec<u8> = byte_patch(0x7E87, 4096)
+        .iter()
+        .map(|b| b % 26 + 97)
+        .collect();
     let pats: Vec<u8> = byte_patch(0x9A7, 32).iter().map(|b| b % 26 + 97).collect();
     a.mem.patches.push((0, text));
     a.mem.patches.push((4096, pats));
@@ -534,8 +537,8 @@ pub fn gsm_fp() -> Program {
 mod tests {
     use super::*;
     use harpo_isa::exec::Machine;
-    use harpo_isa::fu::NativeFu;
     use harpo_isa::form::FuKind;
+    use harpo_isa::fu::NativeFu;
     use harpo_uarch::OooCore;
 
     #[test]
@@ -557,8 +560,7 @@ mod tests {
         let mut fp_users = Vec::new();
         for p in all() {
             let r = OooCore::default().simulate(&p, 20_000_000).unwrap();
-            let fp =
-                r.trace.fu_op_count(FuKind::FpAdd) + r.trace.fu_op_count(FuKind::FpMul);
+            let fp = r.trace.fu_op_count(FuKind::FpAdd) + r.trace.fu_op_count(FuKind::FpMul);
             if fp > 0 {
                 fp_users.push(p.name.clone());
             }

@@ -52,7 +52,7 @@ pub fn mxm_int() -> Program {
     a.add_rr(B64, Rbp, Rbx);
     a.add_rr(B64, Rbp, Rsi);
     a.load(B64, Rcx, Rbp, 0); // A[i][k]
-    // rbp = &B[k*8 + j] = rsi + 512 + k*64 + j*8
+                              // rbp = &B[k*8 + j] = rsi + 512 + k*64 + j*8
     a.mov_rr(B64, Rbp, R10);
     a.op_shift_i(Mnemonic::Shl, B64, Rbp, 7);
     a.mov_rr(B64, Rbx, R9);
@@ -145,12 +145,14 @@ pub fn svd_like() -> Program {
     let mut a = Asm::new("odcd-svd");
     let cols = 32i16;
     let rows = 64i16;
-    a.mem.patches.push((0, f32_patch(0x57D, (cols * rows) as usize, 3)));
+    a.mem
+        .patches
+        .push((0, f32_patch(0x57D, (cols * rows) as usize, 3)));
     a.reg_init.gprs[Rsi.index()] = harpo_isa::mem::DATA_BASE;
     a.zero(R8); // column
     a.label("col");
     a.op_xx(Mnemonic::Xorps, true, Xmm::Xmm0, Xmm::Xmm0); // Σ a²
-    // rbp = column base = rsi + col*rows*4
+                                                          // rbp = column base = rsi + col*rows*4
     a.mov_rr(B64, Rbp, R8);
     a.op_shift_i(Mnemonic::Shl, B64, Rbp, 8); // ×64 (= rows*4)
     a.add_rr(B64, Rbp, Rsi);
@@ -164,7 +166,7 @@ pub fn svd_like() -> Program {
     a.cmp_ri(B64, R10, rows as i32);
     a.jnz("sum");
     a.op_xx(Mnemonic::Sqrtss, false, Xmm::Xmm2, Xmm::Xmm0); // norm
-    // Normalise the column in a second pass.
+                                                            // Normalise the column in a second pass.
     a.mov_rr(B64, Rbp, R8);
     a.op_shift_i(Mnemonic::Shl, B64, Rbp, 8);
     a.add_rr(B64, Rbp, Rsi);
@@ -435,14 +437,18 @@ mod tests {
                 .unwrap_or_else(|t| panic!("{} trapped: {t}", p.name));
             let o2 = Machine::new(&p, NativeFu).run(5_000_000).unwrap();
             assert_eq!(o1.signature, o2.signature, "{} nondeterministic", p.name);
-            assert!(o1.dyn_count > 500, "{} too trivial: {}", p.name, o1.dyn_count);
+            assert!(
+                o1.dyn_count > 500,
+                "{} too trivial: {}",
+                p.name,
+                o1.dyn_count
+            );
         }
     }
 
     #[test]
     fn suite_has_nine_distinct_tests() {
-        let names: std::collections::HashSet<_> =
-            all().into_iter().map(|p| p.name).collect();
+        let names: std::collections::HashSet<_> = all().into_iter().map(|p| p.name).collect();
         assert_eq!(names.len(), 9);
     }
 

@@ -175,9 +175,7 @@ impl SiliFuzz {
                         let ob = &other.bytes;
                         if !ob.is_empty() {
                             let start = self.rng.random_range(0..ob.len());
-                            let len = self
-                                .rng
-                                .random_range(1..=(ob.len() - start).min(16));
+                            let len = self.rng.random_range(1..=(ob.len() - start).min(16));
                             let at = self.rng.random_range(0..=b.len());
                             let mut nb = b[..at].to_vec();
                             nb.extend_from_slice(&ob[start..start + len]);
@@ -269,12 +267,7 @@ impl SiliFuzz {
                     break 'fill;
                 }
                 let mut candidate = insts.clone();
-                candidate.extend(
-                    s.insts
-                        .iter()
-                        .take(n_insts - insts.len())
-                        .copied(),
-                );
+                candidate.extend(s.insts.iter().take(n_insts - insts.len()).copied());
                 let prog = Self::wrap(candidate.clone(), format!("agg-try-{round}-{si}"));
                 let mut m = Machine::new(&prog, NativeFu);
                 if m.run(10 * n_insts as u64 + 10_000).is_ok() {

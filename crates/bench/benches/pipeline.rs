@@ -64,7 +64,14 @@ fn bench_pipeline(c: &mut Criterion) {
         .collect();
     c.bench_function("screen_64_adder_faults", |b| {
         let mut ev = UnitEvaluators::new();
-        b.iter(|| black_box(screen_faults(&sim.trace, GradedUnit::IntAdder, &faults, &mut ev)))
+        b.iter(|| {
+            black_box(screen_faults(
+                &sim.trace,
+                GradedUnit::IntAdder,
+                &faults,
+                &mut ev,
+            ))
+        })
     });
 }
 

@@ -7,7 +7,7 @@
 //! harness compares that plan against a sparse 64-byte stride and a
 //! tiny 2 KiB region.
 
-use harpo_bench::{pct, write_csv, Cli};
+use harpo_bench::{pct, write_csv, Cli, Harness};
 use harpo_core::{presets, Evaluator, Harpocrates};
 use harpo_coverage::TargetStructure;
 use harpo_museqgen::{Generator, MemPlan};
@@ -15,11 +15,30 @@ use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("ablation_l1d", &cli);
     let structure = TargetStructure::L1d;
     let plans = [
-        ("cache-sweep 8B/32K (paper)", MemPlan { region: 32 * 1024, stride: 8 }),
-        ("sparse 64B/32K", MemPlan { region: 32 * 1024, stride: 64 }),
-        ("tiny region 8B/2K", MemPlan { region: 2 * 1024, stride: 8 }),
+        (
+            "cache-sweep 8B/32K (paper)",
+            MemPlan {
+                region: 32 * 1024,
+                stride: 8,
+            },
+        ),
+        (
+            "sparse 64B/32K",
+            MemPlan {
+                region: 32 * 1024,
+                stride: 64,
+            },
+        ),
+        (
+            "tiny region 8B/2K",
+            MemPlan {
+                region: 2 * 1024,
+                stride: 8,
+            },
+        ),
     ];
     let mut csv = Vec::new();
     for (label, plan) in plans {
@@ -30,7 +49,8 @@ fn main() {
             Generator::new(constraints),
             Evaluator::new(OooCore::default(), structure),
             loop_cfg,
-        );
+        )
+        .with_metrics(harness.metrics().clone());
         let r = h.run();
         let initial = r.samples.first().unwrap().top_coverages[0];
         let converged = r.champion_coverage;
@@ -47,4 +67,5 @@ fn main() {
         "plan,initial_coverage,converged_coverage",
         &csv,
     );
+    harness.finish();
 }

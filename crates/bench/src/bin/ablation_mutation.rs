@@ -5,20 +5,22 @@
 //! swiftly without over-specialising; this harness runs both operators
 //! under identical budgets and compares the converged coverage.
 
-use harpo_bench::{pct, write_csv, Cli};
+use harpo_bench::{pct, write_csv, Cli, Harness};
 use harpo_core::{presets, Evaluator};
 use harpo_coverage::TargetStructure;
-use harpo_museqgen::{Generator, Mutator};
 use harpo_isa::program::Program;
+use harpo_museqgen::{Generator, Mutator};
 use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("ablation_mutation", &cli);
     let structure = TargetStructure::IntMultiplier;
     let (constraints, loop_cfg) = presets::preset(structure, cli.scale);
     let gen = Generator::new(constraints);
     let mutator = Mutator::new(gen.clone());
-    let evaluator = Evaluator::new(OooCore::default(), structure);
+    let evaluator =
+        Evaluator::new(OooCore::default(), structure).with_metrics(harness.metrics().clone());
 
     let pop_n = loop_cfg.population;
     let top_k = loop_cfg.top_k;
@@ -26,7 +28,8 @@ fn main() {
 
     let mut csv = Vec::new();
     for strategy in ["replace-all", "crossover-2pt", "crossover-8pt"] {
-        let mut population: Vec<Program> = (0..pop_n).map(|i| gen.generate(900 + i as u64)).collect();
+        let mut population: Vec<Program> =
+            (0..pop_n).map(|i| gen.generate(900 + i as u64)).collect();
         let mut survivors: Vec<(f64, Program)> = Vec::new();
         for iter in 0..=iters {
             let scores = evaluator.evaluate_population(&population, cli.threads);
@@ -64,5 +67,11 @@ fn main() {
         csv.push(format!("{strategy},{best:.6}"));
     }
     println!("\n(crossover alone only reshuffles the initial gene pool; replacement injects new instructions — the paper's argument for it)");
-    write_csv(&cli.out_dir, "ablation_mutation.csv", "strategy,coverage", &csv);
+    write_csv(
+        &cli.out_dir,
+        "ablation_mutation.csv",
+        "strategy,coverage",
+        &csv,
+    );
+    harness.finish();
 }

@@ -7,7 +7,7 @@
 //! truncations of the Harpocrates champion and compare against the best
 //! baseline program for the integer adder and multiplier.
 
-use harpo_bench::{baseline_suites, grade, run_harpocrates, write_csv, Cli};
+use harpo_bench::{baseline_suites, write_csv, Cli, Harness};
 use harpo_coverage::TargetStructure;
 use harpo_isa::inst::Inst;
 use harpo_isa::program::Program;
@@ -27,6 +27,7 @@ fn truncated(p: &Program, frac: f64) -> Program {
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("detection_speed", &cli);
     let core = OooCore::default();
     let ccfg = cli.campaign();
 
@@ -38,23 +39,31 @@ fn main() {
         let mut best: Option<(String, f64, u64)> = None;
         for (fw, progs) in baseline_suites(cli.scale) {
             for p in &progs {
-                let (_, det, cycles) = grade(p, structure, &core, &ccfg);
+                let (_, det, cycles) = harness.grade(p, structure, &core, &ccfg);
                 if best.as_ref().map(|b| det > b.1).unwrap_or(true) {
                     best = Some((format!("{fw}/{}", p.name), det, cycles));
                 }
             }
         }
         let (bname, bdet, bcycles) = best.expect("some baseline");
-        println!("best baseline: {bname} → {:.1}% in {bcycles} cycles", bdet * 100.0);
+        println!(
+            "best baseline: {bname} → {:.1}% in {bcycles} cycles",
+            bdet * 100.0
+        );
 
         // Harpocrates champion at prefix truncations.
-        let report = run_harpocrates(structure, cli.scale, cli.threads);
+        let report = harness.run_harpocrates(structure, cli.scale, cli.threads);
         println!("{:>10} {:>12} {:>11}", "prefix", "cycles", "detection");
         let mut cycles_at_parity = None;
         for frac in [0.125, 0.25, 0.5, 1.0] {
             let t = truncated(&report.champion, frac);
-            let (_, det, cycles) = grade(&t, structure, &core, &ccfg);
-            println!("{:>9.0}% {:>12} {:>10.1}%", frac * 100.0, cycles, det * 100.0);
+            let (_, det, cycles) = harness.grade(&t, structure, &core, &ccfg);
+            println!(
+                "{:>9.0}% {:>12} {:>10.1}%",
+                frac * 100.0,
+                cycles,
+                det * 100.0
+            );
             csv.push(format!(
                 "{},{},{},{:.6}",
                 structure.label(),
@@ -81,4 +90,5 @@ fn main() {
         "structure,prefix_fraction,cycles,detection",
         &csv,
     );
+    harness.finish();
 }

@@ -10,7 +10,7 @@
 //!    §II-E "Masked (Corrected)" case.
 
 use harpo_baselines::opendcdiag;
-use harpo_bench::{pct, write_csv, Cli};
+use harpo_bench::{pct, write_csv, Cli, Harness};
 use harpo_coverage::TargetStructure;
 use harpo_faultsim::{
     measure_detection, replay_gate_intermittent, sample_gate_faults, CampaignConfig,
@@ -23,6 +23,7 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("fault_model_study", &cli);
     let core = OooCore::default();
 
     // --- Part 1: permanent vs intermittent gate faults. ---
@@ -49,22 +50,36 @@ fn main() {
         } else {
             format!("{burst} of {total_dyn}")
         };
+        tally.publish(harness.metrics());
         println!("{label:>22} {:>11}", pct(tally.detection()));
-        csv.push(format!("intermittent,{burst_frac},{:.6}", tally.detection()));
+        csv.push(format!(
+            "intermittent,{burst_frac},{:.6}",
+            tally.detection()
+        ));
     }
 
     // --- Part 2: SECDED ECC on the L1D. ---
     println!("\n=== L1D protection (memcheck test) ===");
     let mem = opendcdiag::mem_check();
-    for (label, prot) in [("unprotected", L1dProtection::None), ("SECDED", L1dProtection::Secded)] {
+    for (label, prot) in [
+        ("unprotected", L1dProtection::None),
+        ("SECDED", L1dProtection::Secded),
+    ] {
         let ccfg = CampaignConfig {
             n_faults: cli.faults,
             l1d_protection: prot,
             ..cli.campaign()
         };
         let r = measure_detection(&mem, TargetStructure::L1d, &core, &ccfg).expect("campaign");
+        r.publish(harness.metrics());
         println!("{label:<12} {r}");
         csv.push(format!("l1d,{label},{:.6}", r.detection()));
     }
-    write_csv(&cli.out_dir, "fault_model_study.csv", "study,param,detection", &csv);
+    write_csv(
+        &cli.out_dir,
+        "fault_model_study.csv",
+        "study,param,detection",
+        &csv,
+    );
+    harness.finish();
 }

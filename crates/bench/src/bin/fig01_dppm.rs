@@ -4,16 +4,29 @@
 //! point of the figure is the gap between field DPPM and the automotive
 //! acceptability threshold.
 
-use harpo_bench::{write_csv, Cli};
+use harpo_bench::{write_csv, Cli, Harness};
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("fig01_dppm", &cli);
     // (source, DPPM, citation note)
     let rows = [
-        ("Meta [Dixit et al. 2021]", 1000.0, "hundreds of CPUs per hundreds of thousands of machines"),
-        ("Google [Hochschild et al. 2021]", 1000.0, "a few mercurial cores per several thousand machines"),
+        (
+            "Meta [Dixit et al. 2021]",
+            1000.0,
+            "hundreds of CPUs per hundreds of thousands of machines",
+        ),
+        (
+            "Google [Hochschild et al. 2021]",
+            1000.0,
+            "a few mercurial cores per several thousand machines",
+        ),
         ("Alibaba [Wang et al. 2023]", 361.0, "3.61 CPUs per 10,000"),
-        ("automotive threshold [ISO 26262]", 10.0, "safety-critical acceptability"),
+        (
+            "automotive threshold [ISO 26262]",
+            10.0,
+            "safety-critical acceptability",
+        ),
     ];
     println!("Fig. 1 — reported CPU DPPM by hyperscalers");
     println!("{:<36} {:>10}  note", "source", "DPPM");
@@ -23,4 +36,5 @@ fn main() {
         csv.push(format!("{src},{dppm},{note}"));
     }
     write_csv(&cli.out_dir, "fig01_dppm.csv", "source,dppm,note", &csv);
+    harness.finish();
 }

@@ -5,12 +5,15 @@
 //! programs; L1D detection much higher (up to ~80% for one OpenDCDiag
 //! test); coverage always upper-bounds detection for bit arrays.
 
-use harpo_bench::{baseline_suites, grade_suite, print_structure_table, write_csv, Cli, GRADE_CSV_HEADER};
+use harpo_bench::{
+    baseline_suites, print_structure_table, write_csv, Cli, Harness, GRADE_CSV_HEADER,
+};
 use harpo_coverage::TargetStructure;
 use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("fig04_arrays", &cli);
     let core = OooCore::default();
     let ccfg = cli.campaign();
     let suites = baseline_suites(cli.scale);
@@ -19,7 +22,7 @@ fn main() {
     for structure in [TargetStructure::Irf, TargetStructure::L1d] {
         let mut rows = Vec::new();
         for (fw, progs) in &suites {
-            rows.extend(grade_suite(fw, progs, structure, &core, &ccfg));
+            rows.extend(harness.grade_suite(fw, progs, structure, &core, &ccfg));
         }
         csv.extend(print_structure_table(structure, &rows));
 
@@ -35,4 +38,5 @@ fn main() {
         );
     }
     write_csv(&cli.out_dir, "fig04_arrays.csv", GRADE_CSV_HEADER, &csv);
+    harness.finish();
 }

@@ -5,12 +5,15 @@
 //! with near-99% outliers; multiplier detection is far more variable
 //! (the paper reports MiBench avg 53%, SiliFuzz 70%, OpenDCDiag 37%).
 
-use harpo_bench::{baseline_suites, grade_suite, print_structure_table, write_csv, Cli, GRADE_CSV_HEADER};
+use harpo_bench::{
+    baseline_suites, print_structure_table, write_csv, Cli, Harness, GRADE_CSV_HEADER,
+};
 use harpo_coverage::TargetStructure;
 use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("fig05_intfu", &cli);
     let core = OooCore::default();
     let ccfg = cli.campaign();
     let suites = baseline_suites(cli.scale);
@@ -19,9 +22,10 @@ fn main() {
     for structure in [TargetStructure::IntAdder, TargetStructure::IntMultiplier] {
         let mut rows = Vec::new();
         for (fw, progs) in &suites {
-            rows.extend(grade_suite(fw, progs, structure, &core, &ccfg));
+            rows.extend(harness.grade_suite(fw, progs, structure, &core, &ccfg));
         }
         csv.extend(print_structure_table(structure, &rows));
     }
     write_csv(&cli.out_dir, "fig05_intfu.csv", GRADE_CSV_HEADER, &csv);
+    harness.finish();
 }

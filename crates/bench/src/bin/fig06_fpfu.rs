@@ -5,12 +5,15 @@
 //! units — only 4 MiBench kernels and about half of OpenDCDiag show
 //! non-zero detection; OpenDCDiag's FP-heavy tests (MxM, SVD) lead.
 
-use harpo_bench::{baseline_suites, grade_suite, print_structure_table, write_csv, Cli, GRADE_CSV_HEADER};
+use harpo_bench::{
+    baseline_suites, print_structure_table, write_csv, Cli, Harness, GRADE_CSV_HEADER,
+};
 use harpo_coverage::TargetStructure;
 use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("fig06_fpfu", &cli);
     let core = OooCore::default();
     let ccfg = cli.campaign();
     let suites = baseline_suites(cli.scale);
@@ -19,7 +22,7 @@ fn main() {
     for structure in [TargetStructure::FpAdder, TargetStructure::FpMultiplier] {
         let mut rows = Vec::new();
         for (fw, progs) in &suites {
-            rows.extend(grade_suite(fw, progs, structure, &core, &ccfg));
+            rows.extend(harness.grade_suite(fw, progs, structure, &core, &ccfg));
         }
         csv.extend(print_structure_table(structure, &rows));
 
@@ -30,4 +33,5 @@ fn main() {
         println!("  MiBench programs with non-zero detection: {mib_nonzero}/12 (paper: 4)");
     }
     write_csv(&cli.out_dir, "fig06_fpfu.csv", GRADE_CSV_HEADER, &csv);
+    harness.finish();
 }

@@ -6,15 +6,16 @@
 //! coverage of the population translates into increasing detection
 //! capability** (§VI-B, final observation).
 
-use harpo_bench::{pct, write_csv, Cli};
-use harpo_coverage::TargetStructure;
+use harpo_bench::{pct, write_csv, Cli, Harness};
 use harpo_core::{presets, Evaluator, Harpocrates};
+use harpo_coverage::TargetStructure;
 use harpo_faultsim::measure_detection;
 use harpo_museqgen::Generator;
 use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("fig10_convergence", &cli);
     let core = OooCore::default();
     let ccfg = cli.campaign();
 
@@ -27,7 +28,8 @@ fn main() {
             Generator::new(constraints),
             Evaluator::new(core.clone(), structure),
             loop_cfg,
-        );
+        )
+        .with_metrics(harness.metrics().clone());
         let report = h.run();
 
         println!(
@@ -37,7 +39,10 @@ fn main() {
         let mut pairs = Vec::new();
         for s in &report.samples {
             let det = measure_detection(&s.champion, structure, &core, &ccfg)
-                .map(|r| r.detection())
+                .map(|r| {
+                    r.publish(harness.metrics());
+                    r.detection()
+                })
                 .unwrap_or(0.0);
             let best = s.top_coverages[0];
             let kth = *s.top_coverages.last().unwrap();
@@ -77,6 +82,7 @@ fn main() {
         "structure,iteration,best_coverage,kth_coverage,champion_detection",
         &csv,
     );
+    harness.finish();
 }
 
 fn pearson(pairs: &[(f64, f64)]) -> f64 {

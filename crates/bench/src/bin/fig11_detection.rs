@@ -6,14 +6,15 @@
 //! SiliFuzz's 87% best; both SSE FP units ≈99.8% vs sparse baselines.
 
 use harpo_bench::{
-    baseline_suites, grade, grade_suite, print_structure_table, run_harpocrates, write_csv, Cli,
-    GradedProgram, GRADE_CSV_HEADER,
+    baseline_suites, print_structure_table, write_csv, Cli, GradedProgram, Harness,
+    GRADE_CSV_HEADER,
 };
 use harpo_coverage::TargetStructure;
 use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("fig11_detection", &cli);
     let core = OooCore::default();
     let ccfg = cli.campaign();
     let suites = baseline_suites(cli.scale);
@@ -22,11 +23,12 @@ fn main() {
     for structure in TargetStructure::ALL {
         let mut rows = Vec::new();
         for (fw, progs) in &suites {
-            rows.extend(grade_suite(fw, progs, structure, &core, &ccfg));
+            rows.extend(harness.grade_suite(fw, progs, structure, &core, &ccfg));
         }
         // The Harpocrates champion for this structure.
-        let report = run_harpocrates(structure, cli.scale, cli.threads);
-        let (coverage, detection, cycles) = grade(&report.champion, structure, &core, &ccfg);
+        let report = harness.run_harpocrates(structure, cli.scale, cli.threads);
+        let (coverage, detection, cycles) =
+            harness.grade(&report.champion, structure, &core, &ccfg);
         rows.push(GradedProgram {
             framework: "Harpocrates",
             name: report.champion.name.clone(),
@@ -37,4 +39,5 @@ fn main() {
         csv.extend(print_structure_table(structure, &rows));
     }
     write_csv(&cli.out_dir, "fig11_detection.csv", GRADE_CSV_HEADER, &csv);
+    harness.finish();
 }

@@ -9,13 +9,14 @@
 //! ratio.
 
 use harpo_baselines::{SiliFuzz, SiliFuzzConfig};
-use harpo_bench::{run_harpocrates, write_csv, Cli};
+use harpo_bench::{write_csv, Cli, Harness};
 use harpo_core::Scale;
 use harpo_coverage::TargetStructure;
 use std::time::Instant;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("rate_comparison", &cli);
     let iters = match cli.scale {
         Scale::Paper => 200_000,
         Scale::Reduced => 20_000,
@@ -32,8 +33,16 @@ fn main() {
     let fuzz_secs = t.elapsed().as_secs_f64();
     let fuzz_rate = s.stats().runnable_instructions as f64 / fuzz_secs;
     println!("SiliFuzz-style session:");
-    println!("  inputs {}   decoded {}   runnable {}", s.stats().inputs, s.stats().decoded, s.stats().runnable);
-    println!("  discard rate {:.1}% (paper: ~2/3)", s.stats().discard_rate() * 100.0);
+    println!(
+        "  inputs {}   decoded {}   runnable {}",
+        s.stats().inputs,
+        s.stats().decoded,
+        s.stats().runnable
+    );
+    println!(
+        "  discard rate {:.1}% (paper: ~2/3)",
+        s.stats().discard_rate() * 100.0
+    );
     println!(
         "  runnable instructions {} in {:.2}s → {:.0} inst/s",
         s.stats().runnable_instructions,
@@ -42,7 +51,7 @@ fn main() {
     );
 
     // Harpocrates loop: generated AND evaluated instructions.
-    let report = run_harpocrates(TargetStructure::IntAdder, cli.scale, cli.threads);
+    let report = harness.run_harpocrates(TargetStructure::IntAdder, cli.scale, cli.threads);
     let harpo_rate = report.timing.instructions_per_second();
     println!("\nHarpocrates loop:");
     println!(
@@ -65,4 +74,5 @@ fn main() {
             format!("ratio,{ratio:.2}"),
         ],
     );
+    harness.finish();
 }

@@ -7,22 +7,26 @@
 //! objective, and a planner. The harness compares the refined champion
 //! against the baselines, the same experiment shape as Fig. 11.
 
-use harpo_bench::{baseline_suites, grade, grade_suite, print_structure_table, run_harpocrates, write_csv, Cli, GradedProgram, GRADE_CSV_HEADER};
+use harpo_bench::{
+    baseline_suites, print_structure_table, write_csv, Cli, GradedProgram, Harness,
+    GRADE_CSV_HEADER,
+};
 use harpo_coverage::TargetStructure;
 use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("seventh_structure", &cli);
     let core = OooCore::default();
     let ccfg = cli.campaign();
     let structure = TargetStructure::Xrf;
 
     let mut rows = Vec::new();
     for (fw, progs) in baseline_suites(cli.scale) {
-        rows.extend(grade_suite(fw, &progs, structure, &core, &ccfg));
+        rows.extend(harness.grade_suite(fw, &progs, structure, &core, &ccfg));
     }
-    let report = run_harpocrates(structure, cli.scale, cli.threads);
-    let (coverage, detection, cycles) = grade(&report.champion, structure, &core, &ccfg);
+    let report = harness.run_harpocrates(structure, cli.scale, cli.threads);
+    let (coverage, detection, cycles) = harness.grade(&report.champion, structure, &core, &ccfg);
     rows.push(GradedProgram {
         framework: "Harpocrates",
         name: report.champion.name.clone(),
@@ -31,9 +35,15 @@ fn main() {
         cycles,
     });
     let csv = print_structure_table(structure, &rows);
-    write_csv(&cli.out_dir, "seventh_structure.csv", GRADE_CSV_HEADER, &csv);
+    write_csv(
+        &cli.out_dir,
+        "seventh_structure.csv",
+        GRADE_CSV_HEADER,
+        &csv,
+    );
     println!(
         "\nThe XRF was targeted with zero engine changes — the §IV-B claim \
 that any simulated structure can be optimised against."
     );
+    harness.finish();
 }

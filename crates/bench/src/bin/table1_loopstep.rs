@@ -6,7 +6,7 @@
 //! evaluation engine is far faster than gem5), but the *structure* of
 //! the costs and the per-step accounting are reproduced exactly.
 
-use harpo_bench::{write_csv, Cli};
+use harpo_bench::{write_csv, Cli, Harness};
 use harpo_core::{Evaluator, Harpocrates, LoopConfig, Scale};
 use harpo_coverage::TargetStructure;
 use harpo_museqgen::{GenConstraints, Generator};
@@ -14,6 +14,7 @@ use harpo_uarch::OooCore;
 
 fn main() {
     let cli = Cli::parse();
+    let harness = Harness::start("table1_loopstep", &cli);
     // Table I's configuration: 96 programs of 5K instructions.
     let (population, n_insts, iters) = match cli.scale {
         Scale::Paper => (96, 5_000, 10),
@@ -33,7 +34,8 @@ fn main() {
             seed: 0x7AB1,
             threads: cli.threads,
         },
-    );
+    )
+    .with_metrics(harness.metrics().clone());
     let r = h.run();
     let t = r.timing;
     let per = |d: std::time::Duration| d.as_secs_f64() / iters as f64;
@@ -59,4 +61,5 @@ fn main() {
     );
     csv.push(format!("inst_per_sec,{:.1}", t.instructions_per_second()));
     write_csv(&cli.out_dir, "table1_loopstep.csv", "step,seconds", &csv);
+    harness.finish();
 }

@@ -9,14 +9,16 @@
 //! and writes a CSV next to the workspace under `results/`.
 
 use harpo_baselines::{mibench, opendcdiag, SiliFuzz, SiliFuzzConfig};
-use harpo_coverage::TargetStructure;
 use harpo_core::{presets, Evaluator, Harpocrates, RunReport, Scale};
-use harpo_faultsim::{measure_detection_with_golden, CampaignConfig};
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{measure_detection_with_golden, CampaignConfig, CampaignResult};
 use harpo_isa::program::Program;
 use harpo_museqgen::Generator;
+use harpo_telemetry::{Metrics, Value};
 use harpo_uarch::OooCore;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone)]
@@ -46,8 +48,8 @@ impl Cli {
             match args[i].as_str() {
                 "--scale" => {
                     i += 1;
-                    cli.scale = Scale::parse(&args[i])
-                        .unwrap_or_else(|| panic!("bad --scale {}", args[i]));
+                    cli.scale =
+                        Scale::parse(&args[i]).unwrap_or_else(|| panic!("bad --scale {}", args[i]));
                 }
                 "--faults" => {
                     i += 1;
@@ -94,15 +96,16 @@ pub struct GradedProgram {
 }
 
 /// Simulates once and grades both coverage and detection for one
-/// structure. Trapping programs score zero on both axes.
-pub fn grade(
+/// structure, returning the full campaign tally. Trapping programs
+/// score zero on both axes.
+pub fn grade_detailed(
     prog: &Program,
     structure: TargetStructure,
     core: &OooCore,
     ccfg: &CampaignConfig,
-) -> (f64, f64, u64) {
+) -> (f64, CampaignResult, u64) {
     match core.simulate(prog, ccfg.cap) {
-        Err(_) => (0.0, 0.0, 0),
+        Err(_) => (0.0, CampaignResult::default(), 0),
         Ok(sim) => {
             let coverage = structure.coverage(&sim.trace, core.config());
             let det = measure_detection_with_golden(
@@ -113,9 +116,21 @@ pub fn grade(
                 &sim.output.signature,
                 &sim.trace,
             );
-            (coverage, det.detection(), sim.trace.stats.cycles)
+            (coverage, det, sim.trace.stats.cycles)
         }
     }
+}
+
+/// Simulates once and grades both coverage and detection for one
+/// structure. Trapping programs score zero on both axes.
+pub fn grade(
+    prog: &Program,
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+) -> (f64, f64, u64) {
+    let (coverage, det, cycles) = grade_detailed(prog, structure, core, ccfg);
+    (coverage, det.detection(), cycles)
 }
 
 /// Grades every program of a suite against one structure.
@@ -139,6 +154,122 @@ pub fn grade_suite(
             }
         })
         .collect()
+}
+
+/// Per-binary experiment harness: owns the shared metrics registry and
+/// the wall clock, and writes a `<name>.manifest.json` run manifest
+/// (config, counters, wall time) beside the CSV on
+/// [`Harness::finish`].
+#[derive(Debug)]
+pub struct Harness {
+    name: &'static str,
+    cli: Cli,
+    metrics: Metrics,
+    started: Instant,
+}
+
+impl Harness {
+    /// Starts the harness clock for one experiment binary.
+    pub fn start(name: &'static str, cli: &Cli) -> Harness {
+        Harness {
+            name,
+            cli: cli.clone(),
+            metrics: Metrics::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The registry every instrumented stage reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// [`grade`] with the campaign tally published into the harness
+    /// registry.
+    pub fn grade(
+        &self,
+        prog: &Program,
+        structure: TargetStructure,
+        core: &OooCore,
+        ccfg: &CampaignConfig,
+    ) -> (f64, f64, u64) {
+        let (coverage, det, cycles) = grade_detailed(prog, structure, core, ccfg);
+        det.publish(&self.metrics);
+        (coverage, det.detection(), cycles)
+    }
+
+    /// [`grade_suite`] with every campaign tally published into the
+    /// harness registry.
+    pub fn grade_suite(
+        &self,
+        framework: &'static str,
+        progs: &[Program],
+        structure: TargetStructure,
+        core: &OooCore,
+        ccfg: &CampaignConfig,
+    ) -> Vec<GradedProgram> {
+        progs
+            .iter()
+            .map(|p| {
+                let (coverage, detection, cycles) = self.grade(p, structure, core, ccfg);
+                GradedProgram {
+                    framework,
+                    name: p.name.clone(),
+                    coverage,
+                    detection,
+                    cycles,
+                }
+            })
+            .collect()
+    }
+
+    /// [`run_harpocrates`] reporting into the harness registry.
+    pub fn run_harpocrates(
+        &self,
+        structure: TargetStructure,
+        scale: Scale,
+        threads: usize,
+    ) -> RunReport {
+        let (constraints, mut loop_cfg) = presets::preset(structure, scale);
+        loop_cfg.threads = threads;
+        Harpocrates::new(
+            Generator::new(constraints),
+            Evaluator::new(OooCore::default(), structure),
+            loop_cfg,
+        )
+        .with_metrics(self.metrics.clone())
+        .run()
+    }
+
+    /// Writes `<name>.manifest.json` into the output directory: the
+    /// experiment configuration, wall time, and the counter snapshot.
+    pub fn finish(&self) {
+        std::fs::create_dir_all(&self.cli.out_dir).expect("create results dir");
+        let manifest = Value::Obj(vec![
+            ("name".to_string(), self.name.into()),
+            ("scale".to_string(), self.cli.scale.label().into()),
+            ("faults".to_string(), (self.cli.faults as u64).into()),
+            ("threads".to_string(), (self.cli.threads as u64).into()),
+            (
+                "effective_threads".to_string(),
+                (harpo_telemetry::effective_threads(self.cli.threads) as u64).into(),
+            ),
+            ("campaign_seed".to_string(), self.cli.campaign().seed.into()),
+            (
+                "wall_seconds".to_string(),
+                self.started.elapsed().as_secs_f64().into(),
+            ),
+            ("counters".to_string(), self.metrics.to_value()),
+        ]);
+        let path = self
+            .cli
+            .out_dir
+            .join(format!("{}.manifest.json", self.name));
+        let mut json = manifest.to_json();
+        json.push('\n');
+        std::fs::write(&path, json).expect("write manifest");
+        println!("↳ wrote {}", path.display());
+    }
 }
 
 /// Number of SiliFuzz aggregate tests per scale.

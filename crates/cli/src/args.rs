@@ -13,17 +13,27 @@ pub struct Args {
 impl Args {
     /// Parses `--key value` pairs; everything else is positional.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
+        Args::parse_with_switches(argv, &[])
+    }
+
+    /// Parses `--key value` pairs plus valueless boolean switches (e.g.
+    /// `--quiet`); everything else is positional.
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Args, String> {
         let mut flags = HashMap::new();
         let mut positional = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
             if let Some(key) = a.strip_prefix("--") {
-                i += 1;
-                let val = argv
-                    .get(i)
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                flags.insert(key.to_string(), val.clone());
+                if switches.contains(&key) {
+                    flags.insert(key.to_string(), String::new());
+                } else {
+                    i += 1;
+                    let val = argv
+                        .get(i)
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    flags.insert(key.to_string(), val.clone());
+                }
             } else {
                 positional.push(a.clone());
             }
@@ -35,6 +45,11 @@ impl Args {
     /// A string flag.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// A numeric flag with default.
@@ -77,7 +92,14 @@ mod tests {
 
     #[test]
     fn flags_and_positionals_split() {
-        let a = Args::parse(&argv(&["--structure", "irf", "file.hxpf", "--faults", "64"])).unwrap();
+        let a = Args::parse(&argv(&[
+            "--structure",
+            "irf",
+            "file.hxpf",
+            "--faults",
+            "64",
+        ]))
+        .unwrap();
         assert_eq!(a.get("structure"), Some("irf"));
         assert_eq!(a.num::<usize>("faults", 0).unwrap(), 64);
         assert_eq!(a.positional, vec!["file.hxpf".to_string()]);
@@ -86,6 +108,22 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Args::parse(&argv(&["--faults"])).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(
+            &argv(&["--quiet", "--journal", "run.jsonl", "t.hxpf"]),
+            &["quiet", "verbose"],
+        )
+        .unwrap();
+        assert!(a.has("quiet"));
+        assert!(!a.has("verbose"));
+        assert_eq!(a.get("journal"), Some("run.jsonl"));
+        assert_eq!(a.positional, vec!["t.hxpf".to_string()]);
+        // A trailing switch is fine (it never consumes a value).
+        let a = Args::parse_with_switches(&argv(&["--verbose"]), &["verbose"]).unwrap();
+        assert!(a.has("verbose"));
     }
 
     #[test]

@@ -8,7 +8,9 @@ use harpo_isa::form::Catalog;
 use harpo_isa::program::Program;
 use harpo_isa::{from_container, to_container};
 use harpo_museqgen::{GenConstraints, Generator};
+use harpo_telemetry::{JsonlSink, Metrics, Record, Sink, StderrSink, Telemetry};
 use harpo_uarch::OooCore;
+use std::sync::Arc;
 
 /// Prints the top-level usage text.
 pub fn usage() {
@@ -17,14 +19,39 @@ pub fn usage() {
 
 USAGE:
   harpo refine   --structure <s> [--scale reduced|paper] [--out test.hxpf] [--threads N]
+                 [--journal run.jsonl] [--quiet] [--verbose]
   harpo generate --insts <n> [--seed <n>] [--out test.hxpf]
-  harpo grade    --structure <s> [--faults N] <test.hxpf>
+  harpo grade    --structure <s> [--faults N] [--journal run.jsonl] [--quiet] [--verbose]
+                 <test.hxpf>
   harpo simulate <test.hxpf>
   harpo disasm   [--limit N] <test.hxpf>
   harpo info
 
-STRUCTURES: irf, l1d, int-adder, int-mul, fp-adder, fp-mul"
+STRUCTURES: irf, l1d, int-adder, int-mul, fp-adder, fp-mul
+
+OBSERVABILITY:
+  --journal <path>  write a machine-readable JSONL run journal (one
+                    record per refinement iteration / campaign, plus a
+                    summary with the full counter snapshot)
+  --verbose         mirror journal records to stderr, human-readable
+  --quiet           suppress progress output on stdout"
     );
+}
+
+/// Switch names shared by the journalling subcommands.
+const SWITCHES: &[&str] = &["quiet", "verbose"];
+
+/// Builds the telemetry handle from `--journal` / `--verbose`.
+fn telemetry_of(args: &Args) -> Result<Telemetry, String> {
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+    if let Some(path) = args.get("journal") {
+        let sink = JsonlSink::create(path).map_err(|e| format!("--journal {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    if args.has("verbose") {
+        sinks.push(Arc::new(StderrSink));
+    }
+    Ok(Telemetry::fanout(sinks))
 }
 
 fn load(path: &str) -> Result<Program, String> {
@@ -40,31 +67,38 @@ fn save(prog: &Program, path: &str) -> Result<(), String> {
 
 /// `harpo refine` — run the Harpocrates loop for a structure.
 pub fn refine(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
+    let args = Args::parse_with_switches(argv, SWITCHES)?;
     let structure = args.structure()?;
     let scale = match args.get("scale") {
         None => Scale::Reduced,
         Some(s) => Scale::parse(s).ok_or_else(|| format!("bad --scale {s}"))?,
     };
     let threads: usize = args.num("threads", 0)?;
+    let quiet = args.has("quiet");
+    let telemetry = telemetry_of(&args)?;
     let (constraints, mut loop_cfg) = presets::preset(structure, scale);
     loop_cfg.threads = threads;
-    println!(
-        "refining for {structure}: population {}, top-{}, {} iterations, {}-instruction programs",
-        loop_cfg.population, loop_cfg.top_k, loop_cfg.iterations, constraints.n_insts
-    );
+    if !quiet {
+        println!(
+            "refining for {structure}: population {}, top-{}, {} iterations, {}-instruction programs",
+            loop_cfg.population, loop_cfg.top_k, loop_cfg.iterations, constraints.n_insts
+        );
+    }
     let h = Harpocrates::new(
         Generator::new(constraints),
         Evaluator::new(OooCore::default(), structure),
         loop_cfg,
-    );
+    )
+    .with_telemetry(telemetry);
     let report = h.run();
-    for s in &report.samples {
-        println!(
-            "  iter {:>5}  best coverage {:>8.4}%",
-            s.iteration,
-            s.top_coverages[0] * 100.0
-        );
+    if !quiet {
+        for s in &report.samples {
+            println!(
+                "  iter {:>5}  best coverage {:>8.4}%",
+                s.iteration,
+                s.top_coverages[0] * 100.0
+            );
+        }
     }
     println!(
         "champion coverage {:.4}% ({:.0} inst/s loop throughput)",
@@ -101,12 +135,13 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 
 /// `harpo grade` — SFI campaign for a stored program.
 pub fn grade(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
+    let args = Args::parse_with_switches(argv, SWITCHES)?;
     let structure = args.structure()?;
     let path = args
         .positional
         .first()
         .ok_or("grade needs a <test.hxpf> argument")?;
+    let telemetry = telemetry_of(&args)?;
     let prog = load(path)?;
     let ccfg = CampaignConfig {
         n_faults: args.num("faults", 128)?,
@@ -120,9 +155,29 @@ pub fn grade(argv: &[String]) -> Result<(), String> {
     let coverage = structure.coverage(&sim.trace, core.config());
     let result = measure_detection(&prog, structure, &core, &ccfg)
         .map_err(|t| format!("golden run trapped: {t}"))?;
-    println!("program `{}` vs {structure}:", prog.name);
-    println!("  hardware coverage  {:.4}%", coverage * 100.0);
-    println!("  fault injection    {result}");
+    telemetry.emit(|| {
+        let metrics = Metrics::new();
+        result.publish(&metrics);
+        Record::new("campaign")
+            .field("program", prog.name.as_str())
+            .field("structure", structure.label())
+            .field("coverage", coverage)
+            .field("faults", result.injected)
+            .field("detection", result.detection())
+            .field("sdc", result.sdc)
+            .field("crash", result.crash)
+            .field("masked", result.masked)
+            .field("masked_fast_path", result.masked_fast_path)
+            .field("replays", result.replays)
+            .field("replay_insts", result.replay_insts)
+            .field("counters", metrics.to_value())
+    });
+    telemetry.flush();
+    if !args.has("quiet") {
+        println!("program `{}` vs {structure}:", prog.name);
+        println!("  hardware coverage  {:.4}%", coverage * 100.0);
+        println!("  fault injection    {result}");
+    }
     Ok(())
 }
 
@@ -140,12 +195,20 @@ pub fn simulate(argv: &[String]) -> Result<(), String> {
         .map_err(|t| format!("trapped: {t}"))?;
     let s = sim.trace.stats;
     println!("program `{}`:", prog.name);
-    println!("  {} instructions in {} cycles (IPC {:.2})", s.insts, s.cycles, s.ipc());
+    println!(
+        "  {} instructions in {} cycles (IPC {:.2})",
+        s.insts,
+        s.cycles,
+        s.ipc()
+    );
     println!(
         "  L1D: {} hits, {} misses, {} writebacks",
         s.l1d_hits, s.l1d_misses, s.l1d_writebacks
     );
-    println!("  branches: {} ({} mispredicted)", s.branches, s.mispredicts);
+    println!(
+        "  branches: {} ({} mispredicted)",
+        s.branches, s.mispredicts
+    );
     println!("  output digest: {:#018x}", sim.output.signature.digest());
     println!("  coverage profile:");
     for st in TargetStructure::ALL {
@@ -180,7 +243,11 @@ pub fn disasm(argv: &[String]) -> Result<(), String> {
 /// `harpo info` — ISA and model summary.
 pub fn info(_argv: &[String]) -> Result<(), String> {
     let cat = Catalog::get();
-    println!("HX86 ISA: {} instruction forms across {} opcode pages", cat.len(), cat.page_count());
+    println!(
+        "HX86 ISA: {} instruction forms across {} opcode pages",
+        cat.len(),
+        cat.page_count()
+    );
     let det = cat.deterministic_forms().count();
     println!("  deterministic forms: {det}");
     let core = OooCore::default();

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! harpo refine   --structure int-mul [--scale reduced|paper] [--out t.hxpf]
+//!                [--journal run.jsonl] [--quiet] [--verbose]
 //! harpo generate --insts 5000 --seed 7 [--out t.hxpf]
-//! harpo grade    --structure int-mul --faults 128 t.hxpf
+//! harpo grade    --structure int-mul --faults 128 [--journal run.jsonl] t.hxpf
 //! harpo simulate t.hxpf
 //! harpo disasm   t.hxpf [--limit 40]
 //! harpo info

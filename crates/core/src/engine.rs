@@ -13,11 +13,17 @@
 //!   instruction replacement.
 //!
 //! Every stage is timed, reproducing the paper's Table I loop-step
-//! breakdown (mutation / generation / compilation / evaluation).
+//! breakdown (mutation / generation / compilation / evaluation). Stage
+//! timing uses [`Span`] RAII timers feeding both the [`LoopTiming`]
+//! report and the shared metrics registry; when a [`Telemetry`] journal
+//! is attached the loop additionally emits one `iteration` record per
+//! round and a final `summary` record. Telemetry never perturbs the
+//! search itself: a journalled run produces a bit-identical champion.
 
-use crate::evaluator::Evaluator;
+use crate::evaluator::{Evaluator, RoundStats};
 use harpo_isa::program::Program;
 use harpo_museqgen::{Generator, Mutator};
+use harpo_telemetry::{Metrics, Record, Span, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -124,10 +130,12 @@ pub struct Harpocrates {
     mutator: Mutator,
     evaluator: Evaluator,
     cfg: LoopConfig,
+    telemetry: Telemetry,
 }
 
 impl Harpocrates {
-    /// Assembles the loop from its three components.
+    /// Assembles the loop from its three components (journal off; see
+    /// [`Harpocrates::with_telemetry`]).
     pub fn new(generator: Generator, evaluator: Evaluator, cfg: LoopConfig) -> Harpocrates {
         assert!(cfg.top_k >= 1 && cfg.population >= cfg.top_k);
         let mutator = Mutator::new(generator.clone());
@@ -136,7 +144,22 @@ impl Harpocrates {
             mutator,
             evaluator,
             cfg,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a journal: the loop emits an `iteration` record per
+    /// round and a `summary` record at the end.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Harpocrates {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Rebinds the whole pipeline to a shared metrics registry (the
+    /// evaluator reports its counters there too).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Harpocrates {
+        self.evaluator = self.evaluator.with_metrics(metrics);
+        self
     }
 
     /// The loop configuration.
@@ -149,51 +172,103 @@ impl Harpocrates {
         &self.evaluator
     }
 
+    /// The metrics registry this run reports into.
+    pub fn metrics(&self) -> &Metrics {
+        self.evaluator.metrics()
+    }
+
     /// Runs the complete refinement loop.
     pub fn run(&self) -> RunReport {
+        let metrics = self.evaluator.metrics();
+        let iter_counter = metrics.counter("engine.iterations");
+        let h_generation = metrics.histogram("engine.stage.generation_ns");
+        let h_compilation = metrics.histogram("engine.stage.compilation_ns");
+        let h_mutation = metrics.histogram("engine.stage.mutation_ns");
+        let h_evaluation = metrics.histogram("engine.stage.evaluation_ns");
+
         let t_total = Instant::now();
         let mut timing = LoopTiming::default();
         let n_insts = self.generator.constraints().n_insts as u64;
 
         // Step 0: initial population.
-        let t = Instant::now();
-        let mut population: Vec<Program> = (0..self.cfg.population)
-            .map(|i| self.generator.generate(self.cfg.seed.wrapping_add(i as u64)))
-            .collect();
-        timing.generation += t.elapsed();
+        let mut population: Vec<Program> = {
+            let _s = Span::enter(&mut timing.generation).with_histogram(h_generation);
+            (0..self.cfg.population)
+                .map(|i| {
+                    self.generator
+                        .generate(self.cfg.seed.wrapping_add(i as u64))
+                })
+                .collect()
+        };
 
         // "Compilation": lower to machine code (the artefact a real
         // deployment would ship; the simulator consumes the IR directly).
-        let t = Instant::now();
-        let mut code_bytes = 0u64;
-        for p in &population {
-            code_bytes += p.encode().len() as u64;
+        {
+            let _s = Span::enter(&mut timing.compilation).with_histogram(h_compilation.clone());
+            let mut code_bytes = 0u64;
+            for p in &population {
+                code_bytes += p.encode().len() as u64;
+            }
+            debug_assert!(code_bytes > 0);
         }
-        timing.compilation += t.elapsed();
-        debug_assert!(code_bytes > 0);
+
+        // Stage time behind the population entering each evaluation:
+        // bootstrap generation + compilation for iteration 0, mutation +
+        // compilation from step 3 afterwards.
+        let mut pending_generation = timing.generation;
+        let mut pending_mutation = Duration::ZERO;
+        let mut pending_compilation = timing.compilation;
 
         let mut survivors: Vec<(f64, Program)> = Vec::new();
         let mut samples = Vec::new();
 
         for iter in 0..=self.cfg.iterations {
             // Step 1: evaluate the new offspring.
-            let t = Instant::now();
-            let scores = self
-                .evaluator
-                .evaluate_population(&population, self.cfg.threads);
-            timing.evaluation += t.elapsed();
-            timing.programs_evaluated += population.len() as u64;
-            timing.instructions_processed += population.len() as u64 * n_insts;
+            let eval_before = timing.evaluation;
+            let scores = {
+                let _s = Span::enter(&mut timing.evaluation).with_histogram(h_evaluation.clone());
+                self.evaluator
+                    .evaluate_population(&population, self.cfg.threads)
+            };
+            let eval_spent = timing.evaluation - eval_before;
+            iter_counter.inc();
+            let evaluated = scores.len();
+            timing.programs_evaluated += evaluated as u64;
+            timing.instructions_processed += evaluated as u64 * n_insts;
+            let round = RoundStats::from_scores(&scores);
 
             // Step 2: (μ+λ) selection — survivors compete with offspring.
-            let mut pool: Vec<(f64, Program)> = scores
+            // Offspring are tagged so survivor churn can be journalled.
+            let mut pool: Vec<(f64, Program, bool)> = scores
                 .into_iter()
                 .zip(std::mem::take(&mut population))
+                .map(|(c, p)| (c, p, true))
                 .collect();
-            pool.extend(std::mem::take(&mut survivors));
+            pool.extend(
+                std::mem::take(&mut survivors)
+                    .into_iter()
+                    .map(|(c, p)| (c, p, false)),
+            );
             pool.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("coverage is finite"));
             pool.truncate(self.cfg.top_k);
-            survivors = pool;
+            let new_survivors = pool.iter().filter(|(_, _, new)| *new).count();
+            survivors = pool.into_iter().map(|(c, p, _)| (c, p)).collect();
+
+            self.telemetry.emit(|| {
+                Record::new("iteration")
+                    .field("iter", iter)
+                    .field("evaluated", evaluated)
+                    .field("best", round.best)
+                    .field("mean", round.mean)
+                    .field("champion", survivors[0].0)
+                    .field("kth", survivors[survivors.len() - 1].0)
+                    .field("new_survivors", new_survivors)
+                    .field("generation_ns", pending_generation.as_nanos() as u64)
+                    .field("mutation_ns", pending_mutation.as_nanos() as u64)
+                    .field("compilation_ns", pending_compilation.as_nanos() as u64)
+                    .field("evaluation_ns", eval_spent.as_nanos() as u64)
+            });
+            pending_generation = Duration::ZERO;
 
             if iter % self.cfg.sample_every == 0 || iter == self.cfg.iterations {
                 samples.push(Sample {
@@ -207,38 +282,61 @@ impl Harpocrates {
             }
 
             // Step 3: mutation produces the next offspring generation.
-            let t = Instant::now();
-            let m = self.cfg.offspring_per_parent();
-            population = Vec::with_capacity(self.cfg.population);
-            'fill: for (pi, (_, parent)) in survivors.iter().enumerate() {
-                for oi in 0..m {
-                    if population.len() >= self.cfg.population {
-                        break 'fill;
+            let mut_before = timing.mutation;
+            {
+                let _s = Span::enter(&mut timing.mutation).with_histogram(h_mutation.clone());
+                let m = self.cfg.offspring_per_parent();
+                population = Vec::with_capacity(self.cfg.population);
+                'fill: for (pi, (_, parent)) in survivors.iter().enumerate() {
+                    for oi in 0..m {
+                        if population.len() >= self.cfg.population {
+                            break 'fill;
+                        }
+                        let seed = self
+                            .cfg
+                            .seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add((iter as u64) << 20)
+                            .wrapping_add((pi as u64) << 8)
+                            .wrapping_add(oi as u64);
+                        population.push(self.mutator.mutate(parent, seed));
                     }
-                    let seed = self
-                        .cfg
-                        .seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add((iter as u64) << 20)
-                        .wrapping_add((pi as u64) << 8)
-                        .wrapping_add(oi as u64);
-                    population.push(self.mutator.mutate(parent, seed));
                 }
             }
-            timing.mutation += t.elapsed();
+            pending_mutation = timing.mutation - mut_before;
 
             // "Generation"/"compilation" per iteration: re-materialise
             // the offspring artefacts.
-            let t = Instant::now();
-            for p in &population {
-                std::hint::black_box(p.encode());
+            let comp_before = timing.compilation;
+            {
+                let _s = Span::enter(&mut timing.compilation).with_histogram(h_compilation.clone());
+                for p in &population {
+                    std::hint::black_box(p.encode());
+                }
             }
-            timing.compilation += t.elapsed();
+            pending_compilation = timing.compilation - comp_before;
         }
 
         timing.total = t_total.elapsed();
         timing.iterations = self.cfg.iterations;
         let (champion_coverage, champion) = survivors.swap_remove(0);
+
+        self.telemetry.emit(|| {
+            Record::new("summary")
+                .field("iterations", timing.iterations)
+                .field("champion_coverage", champion_coverage)
+                .field("programs_evaluated", timing.programs_evaluated)
+                .field("instructions_processed", timing.instructions_processed)
+                .field("insts_per_sec", timing.instructions_per_second())
+                .field("generation_ns", timing.generation.as_nanos() as u64)
+                .field("mutation_ns", timing.mutation.as_nanos() as u64)
+                .field("compilation_ns", timing.compilation.as_nanos() as u64)
+                .field("evaluation_ns", timing.evaluation.as_nanos() as u64)
+                .field("total_ns", timing.total.as_nanos() as u64)
+                .field("counters", self.evaluator.metrics().to_value())
+        });
+        self.telemetry.flush();
+
         RunReport {
             samples,
             champion,
@@ -255,13 +353,13 @@ mod tests {
     use harpo_museqgen::GenConstraints;
     use harpo_uarch::OooCore;
 
-    fn tiny_loop(structure: TargetStructure, iters: usize) -> RunReport {
+    fn tiny_harpocrates(structure: TargetStructure, iters: usize) -> Harpocrates {
         let gen = Generator::new(GenConstraints {
             n_insts: 200,
             ..GenConstraints::default()
         });
         let ev = Evaluator::new(OooCore::default(), structure);
-        let h = Harpocrates::new(
+        Harpocrates::new(
             gen,
             ev,
             LoopConfig {
@@ -272,8 +370,11 @@ mod tests {
                 seed: 1,
                 threads: 2,
             },
-        );
-        h.run()
+        )
+    }
+
+    fn tiny_loop(structure: TargetStructure, iters: usize) -> RunReport {
+        tiny_harpocrates(structure, iters).run()
     }
 
     #[test]
@@ -343,5 +444,70 @@ mod tests {
         let b = tiny_loop(TargetStructure::IntMultiplier, 5);
         assert_eq!(a.champion_coverage, b.champion_coverage);
         assert_eq!(a.champion.insts, b.champion.insts);
+    }
+
+    #[test]
+    fn journal_records_every_iteration_and_a_summary() {
+        use harpo_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new());
+        let r = tiny_harpocrates(TargetStructure::IntAdder, 4)
+            .with_telemetry(Telemetry::to(mem.clone()))
+            .run();
+
+        let iters = mem.records_of("iteration");
+        assert_eq!(iters.len(), 5, "iterations 0..=4 each journal a record");
+        for (i, rec) in iters.iter().enumerate() {
+            assert_eq!(rec.get("iter").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(rec.get("evaluated").unwrap().as_u64(), Some(8));
+            let best = rec.get("best").unwrap().as_f64().unwrap();
+            let mean = rec.get("mean").unwrap().as_f64().unwrap();
+            assert!(best >= mean, "best {best} below mean {mean}");
+            let churn = rec.get("new_survivors").unwrap().as_u64().unwrap();
+            assert!(churn <= 2, "churn bounded by top_k");
+        }
+        // Iteration 0 is produced by bootstrap generation, later ones by
+        // mutation.
+        assert!(iters[0].get("generation_ns").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(iters[1].get("generation_ns").unwrap().as_u64(), Some(0));
+
+        let summaries = mem.records_of("summary");
+        assert_eq!(summaries.len(), 1);
+        let s = &summaries[0];
+        assert_eq!(
+            s.get("champion_coverage").unwrap().as_f64(),
+            Some(r.champion_coverage)
+        );
+        assert_eq!(
+            s.get("programs_evaluated").unwrap().as_u64(),
+            Some(r.timing.programs_evaluated)
+        );
+        let counters = s.get("counters").unwrap();
+        assert_eq!(
+            counters.get("evaluator.programs").unwrap().as_u64(),
+            Some(r.timing.programs_evaluated)
+        );
+        assert_eq!(counters.get("engine.iterations").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn journalling_does_not_perturb_the_search() {
+        use harpo_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let plain = tiny_loop(TargetStructure::IntMultiplier, 5);
+        let mem = Arc::new(MemorySink::new());
+        let journalled = tiny_harpocrates(TargetStructure::IntMultiplier, 5)
+            .with_telemetry(Telemetry::to(mem.clone()))
+            .with_metrics(Metrics::new())
+            .run();
+        assert!(!mem.records().is_empty());
+        assert_eq!(plain.champion_coverage, journalled.champion_coverage);
+        assert_eq!(plain.champion.insts, journalled.champion.insts);
+        assert_eq!(
+            plain.samples.last().unwrap().top_coverages,
+            journalled.samples.last().unwrap().top_coverages
+        );
     }
 }

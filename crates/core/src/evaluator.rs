@@ -6,10 +6,16 @@
 //! that traps (possible only for hand-fed candidates; MuSeqGen output is
 //! valid by construction) scores zero — it would be useless as a fleet
 //! test.
+//!
+//! The evaluator is the pipeline's hottest layer, so it feeds the
+//! telemetry registry directly: programs graded, trap count, per-thread
+//! work batches, and the aggregate microarchitectural activity (cycles,
+//! committed instructions, structural stalls) of every simulation.
 
 use harpo_coverage::TargetStructure;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
+use harpo_telemetry::{effective_threads, Counter, Histogram, Metrics};
 use harpo_uarch::{ExecutionTrace, OooCore};
 use serde::{Deserialize, Serialize};
 
@@ -33,22 +39,69 @@ pub struct RoundStats {
     pub mean: f64,
 }
 
+impl RoundStats {
+    /// Computes the round summary of one evaluated population.
+    pub fn from_scores(scores: &[f64]) -> RoundStats {
+        if scores.is_empty() {
+            return RoundStats::default();
+        }
+        let best = scores.iter().cloned().fold(f64::MIN, f64::max);
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        RoundStats { best, mean }
+    }
+}
+
 /// The hardware-in-the-loop evaluator.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     core: OooCore,
     structure: TargetStructure,
     cap: u64,
+    metrics: Metrics,
+    programs: Counter,
+    traps: Counter,
+    thread_batch: Histogram,
+    uarch_cycles: Counter,
+    uarch_insts: Counter,
+    uarch_stalls: Counter,
 }
 
 impl Evaluator {
-    /// Creates an evaluator for a core model and target structure.
+    /// Creates an evaluator for a core model and target structure,
+    /// reporting into a private metrics registry (see
+    /// [`Evaluator::with_metrics`] to share one).
     pub fn new(core: OooCore, structure: TargetStructure) -> Evaluator {
+        // Handles are resolved once here; the hot path is pure atomics.
+        let metrics = Metrics::new();
         Evaluator {
             core,
             structure,
             cap: 50_000_000,
+            programs: metrics.counter("evaluator.programs"),
+            traps: metrics.counter("evaluator.traps"),
+            thread_batch: metrics.histogram("evaluator.thread_batch"),
+            uarch_cycles: metrics.counter("uarch.cycles"),
+            uarch_insts: metrics.counter("uarch.insts"),
+            uarch_stalls: metrics.counter("uarch.dispatch_stalls"),
+            metrics,
         }
+    }
+
+    /// Rebinds the evaluator to a shared metrics registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Evaluator {
+        self.programs = metrics.counter("evaluator.programs");
+        self.traps = metrics.counter("evaluator.traps");
+        self.thread_batch = metrics.histogram("evaluator.thread_batch");
+        self.uarch_cycles = metrics.counter("uarch.cycles");
+        self.uarch_insts = metrics.counter("uarch.insts");
+        self.uarch_stalls = metrics.counter("uarch.dispatch_stalls");
+        self.metrics = metrics;
+        self
+    }
+
+    /// The shared metrics registry this evaluator reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The target structure.
@@ -63,17 +116,28 @@ impl Evaluator {
 
     /// Grades one program.
     pub fn evaluate(&self, prog: &Program) -> Evaluation {
+        self.programs.inc();
         match self.core.simulate(prog, self.cap) {
-            Err(_) => Evaluation {
-                coverage: 0.0,
-                signature: None,
-                trace: None,
-            },
-            Ok(sim) => Evaluation {
-                coverage: self.structure.coverage(&sim.trace, self.core.config()),
-                signature: Some(sim.output.signature),
-                trace: Some(sim.trace),
-            },
+            Err(_) => {
+                self.traps.inc();
+                Evaluation {
+                    coverage: 0.0,
+                    signature: None,
+                    trace: None,
+                }
+            }
+            Ok(sim) => {
+                let stats = &sim.trace.stats;
+                self.uarch_cycles.add(stats.cycles);
+                self.uarch_insts.add(stats.insts);
+                self.uarch_stalls
+                    .add(stats.rob_stalls + stats.iq_stalls + stats.prf_stalls);
+                Evaluation {
+                    coverage: self.structure.coverage(&sim.trace, self.core.config()),
+                    signature: Some(sim.output.signature),
+                    trace: Some(sim.trace),
+                }
+            }
         }
     }
 
@@ -81,19 +145,15 @@ impl Evaluator {
     /// input order. This is the paper's "programs are simulated in
     /// parallel in gem5" step, scaled to the host's cores.
     pub fn evaluate_population(&self, progs: &[Program], threads: usize) -> Vec<f64> {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            threads
-        }
-        .min(progs.len().max(1));
+        let threads = effective_threads(threads).min(progs.len().max(1));
+        let chunk_size = progs.len().div_ceil(threads);
         let mut out = vec![0.0; progs.len()];
         std::thread::scope(|s| {
-            let chunks = out.chunks_mut(progs.len().div_ceil(threads));
-            for (t, chunk) in chunks.enumerate() {
-                let start = t * progs.len().div_ceil(threads);
+            for (t, chunk) in out.chunks_mut(chunk_size).enumerate() {
+                let start = t * chunk_size;
                 let this = &*self;
                 let progs = &progs[start..start + chunk.len()];
+                this.thread_batch.observe(progs.len() as u64);
                 s.spawn(move || {
                     for (score, p) in chunk.iter_mut().zip(progs) {
                         *score = this.evaluate(p).coverage;
@@ -108,9 +168,11 @@ impl Evaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harpo_coverage::TargetStructure;
     use harpo_isa::asm::Asm;
     use harpo_isa::reg::Gpr::*;
     use harpo_isa::reg::Width::*;
+    use harpo_uarch::OooCore;
 
     #[test]
     fn trapping_program_scores_zero() {
@@ -137,5 +199,43 @@ mod tests {
         for (i, p) in pop.iter().enumerate() {
             assert_eq!(batch[i], ev.evaluate(p).coverage, "program {i}");
         }
+    }
+
+    #[test]
+    fn metrics_count_work_and_traps() {
+        let metrics = Metrics::new();
+        let ev =
+            Evaluator::new(OooCore::default(), TargetStructure::Irf).with_metrics(metrics.clone());
+        let gen = harpo_museqgen::Generator::new(harpo_museqgen::GenConstraints {
+            n_insts: 100,
+            ..Default::default()
+        });
+        let pop: Vec<_> = (0..4).map(|s| gen.generate(s)).collect();
+        ev.evaluate_population(&pop, 2);
+        assert_eq!(metrics.counter("evaluator.programs").get(), 4);
+        assert_eq!(metrics.counter("evaluator.traps").get(), 0);
+        assert!(metrics.counter("uarch.cycles").get() > 0);
+        assert!(metrics.counter("uarch.insts").get() >= 4 * 100);
+        // Two worker batches of two programs each.
+        let batches = metrics.histogram("evaluator.thread_batch").snapshot();
+        assert_eq!(batches.count, 2);
+        assert_eq!(batches.sum, 4);
+
+        // A trapping program is tallied.
+        let mut a = Asm::new("trap");
+        a.mov_ri(B64, Rsi, 1);
+        a.load(B64, Rax, Rsi, 0);
+        a.halt();
+        ev.evaluate(&a.finish().unwrap());
+        assert_eq!(metrics.counter("evaluator.traps").get(), 1);
+        assert_eq!(metrics.counter("evaluator.programs").get(), 5);
+    }
+
+    #[test]
+    fn round_stats_from_scores() {
+        let s = RoundStats::from_scores(&[0.1, 0.4, 0.25]);
+        assert_eq!(s.best, 0.4);
+        assert!((s.mean - 0.25).abs() < 1e-12);
+        assert_eq!(RoundStats::from_scores(&[]), RoundStats::default());
     }
 }

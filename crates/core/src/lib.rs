@@ -42,5 +42,5 @@ pub mod evaluator;
 pub mod presets;
 
 pub use engine::{Harpocrates, LoopConfig, LoopTiming, RunReport, Sample};
-pub use evaluator::{Evaluation, Evaluator};
+pub use evaluator::{Evaluation, Evaluator, RoundStats};
 pub use presets::{preset, Scale};

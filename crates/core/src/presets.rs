@@ -22,8 +22,7 @@ use serde::{Deserialize, Serialize};
 fn irf_distribution() -> Vec<Mnemonic> {
     use Mnemonic::*;
     vec![
-        Add, Adc, Sub, Sbb, Xor, Mov, Rol, Ror, Bswap, Neg, Inc, Dec, Xchg, Paddq, Psubq,
-        Pxor,
+        Add, Adc, Sub, Sbb, Xor, Mov, Rol, Ror, Bswap, Neg, Inc, Dec, Xchg, Paddq, Psubq, Pxor,
     ]
 }
 
@@ -32,8 +31,7 @@ fn irf_distribution() -> Vec<Mnemonic> {
 fn xrf_distribution() -> Vec<Mnemonic> {
     use Mnemonic::*;
     vec![
-        Movaps, Movss, MovqXr, MovqRx, Paddq, Psubq, Paddd, Psubd, Pxor, Mov, Add, Sub,
-        Xchg,
+        Movaps, Movss, MovqXr, MovqRx, Paddq, Psubq, Paddd, Psubd, Pxor, Mov, Add, Sub, Xchg,
     ]
 }
 
@@ -53,6 +51,14 @@ impl Scale {
             "paper" => Some(Scale::Paper),
             "reduced" => Some(Scale::Reduced),
             _ => None,
+        }
+    }
+
+    /// The CLI spelling of this scale (inverse of [`Scale::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Reduced => "reduced",
         }
     }
 }
@@ -120,10 +126,7 @@ pub fn preset(structure: TargetStructure, scale: Scale) -> (GenConstraints, Loop
         // §VI-B3..6: 5K instructions, population 32, top 8, ×4 mutations,
         // IBR objective, ~1,000 iterations (FP units ~5,000).
         fu => {
-            let fp = matches!(
-                fu,
-                TargetStructure::FpAdder | TargetStructure::FpMultiplier
-            );
+            let fp = matches!(fu, TargetStructure::FpAdder | TargetStructure::FpMultiplier);
             (
                 GenConstraints {
                     n_insts: if paper { 5_000 } else { 2_000 },

@@ -126,9 +126,19 @@ pub fn xrf_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
 
 #[derive(Debug, Clone, Copy)]
 enum FrameItem {
-    Fill { cycle: u64 },
-    Evict { cycle: u64, dirty: bool },
-    Access { cycle: u64, offset: u8, size: u8, is_store: bool },
+    Fill {
+        cycle: u64,
+    },
+    Evict {
+        cycle: u64,
+        dirty: bool,
+    },
+    Access {
+        cycle: u64,
+        offset: u8,
+        size: u8,
+        is_store: bool,
+    },
 }
 
 impl FrameItem {
@@ -178,12 +188,15 @@ pub fn l1d_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
         frames.entry((e.set, e.way)).or_default().push(item);
     }
     for a in &trace.cache_accesses {
-        frames.entry((a.set, a.way)).or_default().push(FrameItem::Access {
-            cycle: a.cycle,
-            offset: (a.addr as usize % line) as u8,
-            size: a.size,
-            is_store: a.is_store,
-        });
+        frames
+            .entry((a.set, a.way))
+            .or_default()
+            .push(FrameItem::Access {
+                cycle: a.cycle,
+                offset: (a.addr as usize % line) as u8,
+                size: a.size,
+                is_store: a.is_store,
+            });
     }
 
     let mut ace = 0u64;
@@ -236,8 +249,8 @@ pub fn l1d_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
         // ACE from its last access to the end.
         if resident {
             let end = trace.stats.cycles;
-            for b in 0..line {
-                ace += end.saturating_sub(last_point[b]);
+            for last in last_point.iter().take(line) {
+                ace += end.saturating_sub(*last);
             }
         }
     }

@@ -17,6 +17,6 @@ pub mod liveness;
 pub mod objective;
 
 pub use ace::{irf_ace, l1d_ace, xrf_ace, AceReport};
-pub use liveness::dynamic_liveness;
 pub use ibr::{ibr, input_width, IbrReport};
+pub use liveness::dynamic_liveness;
 pub use objective::TargetStructure;

@@ -178,8 +178,8 @@ mod tests {
         a.mov_ri(B64, Rax, 42);
         a.store(B64, Rsi, 0, Rax); // read back below → live
         a.load(B64, Rbx, Rsi, 0); // rbx final → live load
-        // Overwrite the byte so the *memory* is no longer the store's
-        // value; the store stays live through the load.
+                                  // Overwrite the byte so the *memory* is no longer the store's
+                                  // value; the store stays live through the load.
         a.mov_ri(B64, Rcx, 0);
         a.store(B64, Rsi, 0, Rcx);
         a.halt();

@@ -8,10 +8,10 @@
 //! [`crate::gate`] before paying for a functional replay.
 
 use crate::fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults};
-use crate::gate::{replay_gate_permanent, screen_faults};
+use crate::gate::{replay_gate_permanent_counted, screen_faults};
 use crate::outcome::{CampaignResult, FaultOutcome};
 use crate::plan::{plan_irf, plan_l1d, plan_xrf};
-use crate::replay::replay_with_plan;
+use crate::replay::replay_with_plan_counted;
 use harpo_coverage::TargetStructure;
 use harpo_gates::{GateFault, GradedUnit, UnitEvaluators};
 use harpo_isa::exec::Trap;
@@ -63,11 +63,7 @@ impl Default for CampaignConfig {
 
 impl CampaignConfig {
     fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        }
+        harpo_telemetry::effective_threads(self.threads)
     }
 }
 
@@ -152,7 +148,8 @@ pub fn measure_detection_with_golden(
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                 } else {
-                    res.record(replay_with_plan(prog, &plan, golden, replay_cap), false);
+                    let (o, insts) = replay_with_plan_counted(prog, &plan, golden, replay_cap);
+                    res.record_replayed(o, insts);
                 }
             })
         }
@@ -163,7 +160,8 @@ pub fn measure_detection_with_golden(
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                 } else {
-                    res.record(replay_with_plan(prog, &plan, golden, replay_cap), false);
+                    let (o, insts) = replay_with_plan_counted(prog, &plan, golden, replay_cap);
+                    res.record_replayed(o, insts);
                 }
             })
         }
@@ -178,7 +176,8 @@ pub fn measure_detection_with_golden(
                     // access — the consumer never sees corrupted data.
                     res.record(FaultOutcome::Corrected, true);
                 } else {
-                    res.record(replay_with_plan(prog, &plan, golden, replay_cap), false);
+                    let (o, insts) = replay_with_plan_counted(prog, &plan, golden, replay_cap);
+                    res.record_replayed(o, insts);
                 }
             })
         }
@@ -188,16 +187,17 @@ pub fn measure_detection_with_golden(
             // Stage 1: activation screening in 64-fault packed batches.
             let activated = screen_all(trace, unit, &faults, ccfg);
             // Stage 2: propagation replay for activated faults only.
-            parallel_tally(ccfg, faults.len(), |i, res| {
+            let mut result = parallel_tally(ccfg, faults.len(), |i, res| {
                 if !activated[i] {
                     res.record(FaultOutcome::Masked, true);
                 } else {
-                    res.record(
-                        replay_gate_permanent(prog, faults[i], golden, replay_cap),
-                        false,
-                    );
+                    let (o, insts) =
+                        replay_gate_permanent_counted(prog, faults[i], golden, replay_cap);
+                    res.record_replayed(o, insts);
                 }
-            })
+            });
+            result.screened = faults.len() as u64;
+            result
         }
     }
 }
@@ -307,6 +307,9 @@ mod tests {
         assert_eq!(r.injected, 128);
         assert!(r.detection() > 0.0, "{r}");
         assert!(r.masked_fast_path > 0, "fast path should fire");
+        // Every fault either resolved on the fast path or paid a replay.
+        assert_eq!(r.replays, r.injected - r.masked_fast_path);
+        assert!(r.replay_insts > 0, "replays execute instructions");
     }
 
     #[test]
@@ -345,8 +348,7 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
         let core = OooCore::default();
-        let r =
-            measure_detection(&p, TargetStructure::IntAdder, &core, &small_cfg(96)).unwrap();
+        let r = measure_detection(&p, TargetStructure::IntAdder, &core, &small_cfg(96)).unwrap();
         assert!(
             r.detection() > 0.4,
             "an add/sub chain should catch many adder faults: {r}"
@@ -377,9 +379,12 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
         let core = OooCore::default();
-        let r = measure_detection(&p, TargetStructure::IntMultiplier, &core, &small_cfg(64))
-            .unwrap();
+        let r =
+            measure_detection(&p, TargetStructure::IntMultiplier, &core, &small_cfg(64)).unwrap();
         assert_eq!(r.detection(), 0.0);
         assert_eq!(r.masked_fast_path, 64, "all resolved by screening");
+        assert_eq!(r.screened, 64);
+        assert_eq!(r.replays, 0, "screening avoided every replay");
+        assert_eq!(r.replay_insts, 0);
     }
 }

@@ -69,8 +69,20 @@ pub fn replay_gate_permanent(
     golden: &Signature,
     cap: u64,
 ) -> FaultOutcome {
+    replay_gate_permanent_counted(prog, fault, golden, cap).0
+}
+
+/// [`replay_gate_permanent`] variant that also reports the dynamic
+/// instructions the faulty run executed — the unit of replay cost that
+/// campaign telemetry aggregates.
+pub fn replay_gate_permanent_counted(
+    prog: &Program,
+    fault: GateFault,
+    golden: &Signature,
+    cap: u64,
+) -> (FaultOutcome, u64) {
     let mut m = Machine::new(prog, FaultyFu::new(fault));
-    match m.run(cap) {
+    let outcome = match m.run(cap) {
         Err(_) => FaultOutcome::Crash,
         Ok(out) => {
             if out.signature == *golden {
@@ -79,7 +91,8 @@ pub fn replay_gate_permanent(
                 FaultOutcome::Sdc
             }
         }
-    }
+    };
+    (outcome, m.dyn_count())
 }
 
 /// Propagation replay of an intermittent gate fault asserted only for
@@ -157,7 +170,13 @@ mod tests {
             let out = replay_gate_permanent(&p, *f, &golden, 1_000_000);
             if !act[i] {
                 // Never-activated faults must be masked.
-                assert_eq!(out, FaultOutcome::Masked, "fault {:?} inactive but {:?}", f, out);
+                assert_eq!(
+                    out,
+                    FaultOutcome::Masked,
+                    "fault {:?} inactive but {:?}",
+                    f,
+                    out
+                );
             } else {
                 some_active = true;
             }

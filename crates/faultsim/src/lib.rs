@@ -25,9 +25,19 @@ pub mod outcome;
 pub mod plan;
 pub mod replay;
 
-pub use campaign::{graded_unit_of, measure_detection, measure_detection_with_golden, CampaignConfig, L1dProtection};
-pub use fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults, FaultSpec, IrfFault, L1dFault, XrfFault};
-pub use gate::{replay_gate_intermittent, replay_gate_permanent, screen_faults};
+pub use campaign::{
+    graded_unit_of, measure_detection, measure_detection_with_golden, CampaignConfig, L1dProtection,
+};
+pub use fault::{
+    sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults, FaultSpec,
+    IrfFault, L1dFault, XrfFault,
+};
+pub use gate::{
+    replay_gate_intermittent, replay_gate_permanent, replay_gate_permanent_counted, screen_faults,
+};
 pub use outcome::{CampaignResult, FaultOutcome};
-pub use plan::{plan_irf, plan_irf_intermittent, plan_l1d, plan_xrf, CorruptKind, CorruptionPlan, LoadFlip, RegFlip, XmmFlip};
-pub use replay::{replay_with_plan, PlanHooks};
+pub use plan::{
+    plan_irf, plan_irf_intermittent, plan_l1d, plan_xrf, CorruptKind, CorruptionPlan, LoadFlip,
+    RegFlip, XmmFlip,
+};
+pub use replay::{replay_with_plan, replay_with_plan_counted, PlanHooks};

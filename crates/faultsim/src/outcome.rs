@@ -1,5 +1,6 @@
 //! Fault-injection outcome taxonomy and campaign tallies (paper §II-E).
 
+use harpo_telemetry::Metrics;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -57,6 +58,15 @@ pub struct CampaignResult {
     /// Faults resolved Masked from the golden trace alone (no replay) —
     /// a throughput statistic, subset of `masked`.
     pub masked_fast_path: u64,
+    /// Faults screened against the golden operand stream by the packed
+    /// gate-level evaluator (gate-fault campaigns only).
+    pub screened: u64,
+    /// Functional replays actually paid for (injected minus the faults
+    /// resolved without a replay).
+    pub replays: u64,
+    /// Dynamic instructions executed across all replays — the campaign's
+    /// simulation cost.
+    pub replay_insts: u64,
 }
 
 impl CampaignResult {
@@ -76,6 +86,14 @@ impl CampaignResult {
         }
     }
 
+    /// Records one outcome that required a functional replay of `insts`
+    /// dynamic instructions.
+    pub fn record_replayed(&mut self, o: FaultOutcome, insts: u64) {
+        self.record(o, false);
+        self.replays += 1;
+        self.replay_insts += insts;
+    }
+
     /// Merges another tally into this one.
     pub fn merge(&mut self, other: &CampaignResult) {
         self.injected += other.injected;
@@ -84,6 +102,28 @@ impl CampaignResult {
         self.masked += other.masked;
         self.corrected += other.corrected;
         self.masked_fast_path += other.masked_fast_path;
+        self.screened += other.screened;
+        self.replays += other.replays;
+        self.replay_insts += other.replay_insts;
+    }
+
+    /// Adds this tally to the `faultsim.*` counters of a metrics
+    /// registry (counters accumulate across campaigns on the same
+    /// registry).
+    pub fn publish(&self, metrics: &Metrics) {
+        metrics.counter("faultsim.injected").add(self.injected);
+        metrics.counter("faultsim.sdc").add(self.sdc);
+        metrics.counter("faultsim.crash").add(self.crash);
+        metrics.counter("faultsim.masked").add(self.masked);
+        metrics.counter("faultsim.corrected").add(self.corrected);
+        metrics
+            .counter("faultsim.masked_fast_path")
+            .add(self.masked_fast_path);
+        metrics.counter("faultsim.screened").add(self.screened);
+        metrics.counter("faultsim.replays").add(self.replays);
+        metrics
+            .counter("faultsim.replay_insts")
+            .add(self.replay_insts);
     }
 
     /// Fault detection capability n/N (paper §II-C).
@@ -133,9 +173,29 @@ mod tests {
         a.record(FaultOutcome::Sdc, false);
         let mut b = CampaignResult::default();
         b.record(FaultOutcome::Masked, true);
+        b.record_replayed(FaultOutcome::Crash, 5000);
         a.merge(&b);
-        assert_eq!(a.injected, 2);
+        assert_eq!(a.injected, 3);
         assert_eq!(a.masked, 1);
+        assert_eq!(a.replays, 1);
+        assert_eq!(a.replay_insts, 5000);
+    }
+
+    #[test]
+    fn publish_feeds_metrics_counters() {
+        let mut r = CampaignResult::default();
+        r.record_replayed(FaultOutcome::Sdc, 100);
+        r.record_replayed(FaultOutcome::Masked, 200);
+        r.record(FaultOutcome::Masked, true);
+        let m = Metrics::new();
+        r.publish(&m);
+        r.publish(&m); // counters accumulate across campaigns
+        assert_eq!(m.counter("faultsim.injected").get(), 6);
+        assert_eq!(m.counter("faultsim.sdc").get(), 2);
+        assert_eq!(m.counter("faultsim.masked").get(), 4);
+        assert_eq!(m.counter("faultsim.masked_fast_path").get(), 2);
+        assert_eq!(m.counter("faultsim.replays").get(), 4);
+        assert_eq!(m.counter("faultsim.replay_insts").get(), 600);
     }
 
     #[test]

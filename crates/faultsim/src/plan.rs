@@ -322,7 +322,12 @@ mod tests {
         a.add_rr(B64, Rbx, Rax); // reads the rax instance
         a.halt();
         let (_, r) = sim(a);
-        let inst = r.trace.reg_instances.iter().find(|i| i.writer == 0).unwrap();
+        let inst = r
+            .trace
+            .reg_instances
+            .iter()
+            .find(|i| i.writer == 0)
+            .unwrap();
         let fault = IrfFault {
             preg: inst.preg,
             bit: 3,
@@ -342,7 +347,12 @@ mod tests {
         a.mov_ri(B64, Rax, 0); // overwrite: the instance dies unread
         a.halt();
         let (_, r) = sim(a);
-        let inst = r.trace.reg_instances.iter().find(|i| i.writer == 0).unwrap();
+        let inst = r
+            .trace
+            .reg_instances
+            .iter()
+            .find(|i| i.writer == 0)
+            .unwrap();
         assert!(!inst.live_at_end, "instance was overwritten");
         let last_read = inst.reads.last().unwrap().cycle;
         let fault = IrfFault {
@@ -363,7 +373,12 @@ mod tests {
         a.mov_ri(B64, Rax, 5); // never overwritten → hashed by the checker
         a.halt();
         let (_, r) = sim(a);
-        let inst = r.trace.reg_instances.iter().find(|i| i.writer == 0).unwrap();
+        let inst = r
+            .trace
+            .reg_instances
+            .iter()
+            .find(|i| i.writer == 0)
+            .unwrap();
         assert!(inst.live_at_end);
         let fault = IrfFault {
             preg: inst.preg,
@@ -402,7 +417,10 @@ mod tests {
         let (_, r) = sim(a);
         let store = r.trace.cache_accesses.iter().find(|x| x.is_store).unwrap();
         let load = r.trace.cache_accesses.iter().find(|x| !x.is_store).unwrap();
-        assert!(load.cycle > store.cycle, "store commits before load issues in this toy case");
+        assert!(
+            load.cycle > store.cycle,
+            "store commits before load issues in this toy case"
+        );
         let fault = L1dFault {
             set: store.set,
             way: store.way,
@@ -471,9 +489,9 @@ mod tests {
         a.mem.data_size = 64 * 1024;
         a.mov_ri(B64, Rax, 0x77);
         a.store(B64, Rsi, 0, Rax); // victim line, dirtied
-        // Conflicting line: DATA_BASE + sets×line stride hits set 0 too.
-        // A short dependency chain delays the evicting store past the
-        // victim store's commit, keeping event order deterministic.
+                                   // Conflicting line: DATA_BASE + sets×line stride hits set 0 too.
+                                   // A short dependency chain delays the evicting store past the
+                                   // victim store's commit, keeping event order deterministic.
         let stride = (cfg.l1d_sets() * cfg.l1d_line) as i32;
         a.mov_ri(B64, Rbx, 1);
         for _ in 0..4 {
@@ -484,7 +502,7 @@ mod tests {
         a.add_ri(B64, Rdi, stride);
         a.add_rr(B64, Rdi, Rbx);
         a.store(B64, Rdi, 0, Rax); // evicts the victim (dirty)
-        // Delay the reload with a serial multiply chain feeding its base.
+                                   // Delay the reload with a serial multiply chain feeding its base.
         a.mov_ri(B64, Rbp, 1);
         for _ in 0..30 {
             a.imul_rr(B64, Rbp, Rbp);
@@ -519,8 +537,12 @@ mod tests {
         let last_load = r
             .trace
             .cache_accesses
-            .iter().rfind(|x| !x.is_store && x.addr == store.addr)
+            .iter()
+            .rfind(|x| !x.is_store && x.addr == store.addr)
             .unwrap();
-        assert!(plan.load_flips.iter().any(|f| f.dyn_idx == last_load.dyn_idx));
+        assert!(plan
+            .load_flips
+            .iter()
+            .any(|f| f.dyn_idx == last_load.dyn_idx));
     }
 }

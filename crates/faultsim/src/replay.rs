@@ -30,17 +30,9 @@ impl<'a> PlanHooks<'a> {
 }
 
 impl ExecHooks for PlanHooks<'_> {
-    fn on_xmm_read(
-        &mut self,
-        dyn_idx: u64,
-        reg: harpo_isa::reg::Xmm,
-        val: [u64; 2],
-    ) -> [u64; 2] {
+    fn on_xmm_read(&mut self, dyn_idx: u64, reg: harpo_isa::reg::Xmm, val: [u64; 2]) -> [u64; 2] {
         let mut v = val;
-        let start = self
-            .plan
-            .xmm_flips
-            .partition_point(|f| f.dyn_idx < dyn_idx);
+        let start = self.plan.xmm_flips.partition_point(|f| f.dyn_idx < dyn_idx);
         for f in &self.plan.xmm_flips[start..] {
             if f.dyn_idx != dyn_idx {
                 break;
@@ -56,10 +48,7 @@ impl ExecHooks for PlanHooks<'_> {
         let mut v = val;
         // Plans are short (often a handful of entries); a linear probe of
         // the dyn-ordered list via binary search keeps this cheap.
-        let start = self
-            .plan
-            .reg_flips
-            .partition_point(|f| f.dyn_idx < dyn_idx);
+        let start = self.plan.reg_flips.partition_point(|f| f.dyn_idx < dyn_idx);
         for f in &self.plan.reg_flips[start..] {
             if f.dyn_idx != dyn_idx {
                 break;
@@ -102,8 +91,20 @@ pub fn replay_with_plan(
     golden: &Signature,
     cap: u64,
 ) -> FaultOutcome {
+    replay_with_plan_counted(prog, plan, golden, cap).0
+}
+
+/// [`replay_with_plan`] variant that also reports the dynamic
+/// instructions the faulty run executed — the unit of replay cost that
+/// campaign telemetry aggregates.
+pub fn replay_with_plan_counted(
+    prog: &Program,
+    plan: &CorruptionPlan,
+    golden: &Signature,
+    cap: u64,
+) -> (FaultOutcome, u64) {
     let mut m = Machine::with_hooks(prog, NativeFu, PlanHooks::new(plan));
-    match m.run(cap) {
+    let outcome = match m.run(cap) {
         Err(_) => FaultOutcome::Crash,
         Ok(out) => {
             let mut state = out.state;
@@ -136,7 +137,8 @@ pub fn replay_with_plan(
                 FaultOutcome::Sdc
             }
         }
-    }
+    };
+    (outcome, m.dyn_count())
 }
 
 #[cfg(test)]

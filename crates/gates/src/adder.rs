@@ -5,8 +5,8 @@
 //! instruction passes through (the semantics layer pre-inverts the second
 //! operand for subtraction, exactly as ALU hardware does).
 
-use crate::eval::{bit_of, Evaluator, FaultSet};
 use crate::components::ripple_add;
+use crate::eval::{bit_of, Evaluator, FaultSet};
 use crate::netlist::{Netlist, NetlistBuilder, WireId};
 use std::sync::OnceLock;
 
@@ -126,9 +126,13 @@ mod tests {
         let mut native = NativeFu;
         let mut s = 0x1234_5678u64;
         for _ in 0..500 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = s;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = s;
             let cin = s & 1 == 1;
             assert_eq!(
@@ -162,7 +166,13 @@ mod tests {
         let mut out = [(0u64, false); 64];
         c.eval_lanes(&mut ev, 0xAAAA_5555, 0x1111_2222, true, &fs, &mut out);
         for (i, &(g, s1)) in faults.iter().enumerate() {
-            let single = c.eval(&mut ev, 0xAAAA_5555, 0x1111_2222, true, &FaultSet::single(g, s1));
+            let single = c.eval(
+                &mut ev,
+                0xAAAA_5555,
+                0x1111_2222,
+                true,
+                &FaultSet::single(g, s1),
+            );
             assert_eq!(out[i], single, "lane {i} fault ({g},{s1})");
         }
     }

@@ -42,11 +42,7 @@ pub fn ripple_add(
 
 /// Two's-complement subtraction `a - b` via `a + !b + 1`.
 /// Returns `(difference, no_borrow)`: `no_borrow == 1` iff `a >= b`.
-pub fn ripple_sub(
-    b: &mut NetlistBuilder,
-    a: &[WireId],
-    bb: &[WireId],
-) -> (Vec<WireId>, WireId) {
+pub fn ripple_sub(b: &mut NetlistBuilder, a: &[WireId], bb: &[WireId]) -> (Vec<WireId>, WireId) {
     let inv: Vec<WireId> = bb.iter().map(|&w| b.not(w)).collect();
     ripple_add(b, a, &inv, WireId::ONE)
 }
@@ -54,10 +50,7 @@ pub fn ripple_sub(
 /// Per-bit 2:1 mux: `sel ? a : b`.
 pub fn mux_bus(b: &mut NetlistBuilder, sel: WireId, a: &[WireId], bb: &[WireId]) -> Vec<WireId> {
     assert_eq!(a.len(), bb.len());
-    a.iter()
-        .zip(bb)
-        .map(|(&x, &y)| b.mux(sel, x, y))
-        .collect()
+    a.iter().zip(bb).map(|(&x, &y)| b.mux(sel, x, y)).collect()
 }
 
 /// OR-reduction of a bus.
@@ -117,13 +110,7 @@ pub fn eq_const(b: &mut NetlistBuilder, bus: &[WireId], value: u64) -> WireId {
     let terms: Vec<WireId> = bus
         .iter()
         .enumerate()
-        .map(|(i, &w)| {
-            if value >> i & 1 == 1 {
-                w
-            } else {
-                b.not(w)
-            }
-        })
+        .map(|(i, &w)| if value >> i & 1 == 1 { w } else { b.not(w) })
         .collect();
     and_tree(b, &terms)
 }
@@ -158,7 +145,13 @@ pub fn barrel_left(b: &mut NetlistBuilder, bus: &[WireId], sh: &[WireId]) -> Vec
     for (k, &s) in sh.iter().enumerate() {
         let step = 1usize << k;
         let shifted: Vec<WireId> = (0..n)
-            .map(|i| if i >= step { cur[i - step] } else { WireId::ZERO })
+            .map(|i| {
+                if i >= step {
+                    cur[i - step]
+                } else {
+                    WireId::ZERO
+                }
+            })
             .collect();
         cur = mux_bus(b, s, &shifted, &cur);
     }
@@ -188,7 +181,13 @@ pub fn normalize_left(b: &mut NetlistBuilder, bus: &[WireId]) -> (Vec<WireId>, V
         let allz = is_zero(b, top);
         count[k] = allz;
         let shifted: Vec<WireId> = (0..n)
-            .map(|i| if i >= step { cur[i - step] } else { WireId::ZERO })
+            .map(|i| {
+                if i >= step {
+                    cur[i - step]
+                } else {
+                    WireId::ZERO
+                }
+            })
             .collect();
         cur = mux_bus(b, allz, &shifted, &cur);
     }
@@ -202,7 +201,10 @@ mod tests {
     use crate::netlist::Netlist;
 
     /// Builds a throwaway circuit around `f` over one n-bit input bus.
-    fn harness1(n: usize, f: impl FnOnce(&mut NetlistBuilder, &[WireId]) -> Vec<WireId>) -> Netlist {
+    fn harness1(
+        n: usize,
+        f: impl FnOnce(&mut NetlistBuilder, &[WireId]) -> Vec<WireId>,
+    ) -> Netlist {
         let mut b = NetlistBuilder::new("h");
         let bus = b.input_bus(n);
         let out = f(&mut b, &bus);
@@ -225,7 +227,13 @@ mod tests {
         outs.push(cout);
         let net = b.finish(outs);
         let mut ev = Evaluator::new(&net);
-        for (x, y) in [(0u64, 0u64), (1, 1), (0xFFFF, 1), (0x1234, 0xEDCB), (0x8000, 0x8000)] {
+        for (x, y) in [
+            (0u64, 0u64),
+            (1, 1),
+            (0xFFFF, 1),
+            (0x1234, 0xEDCB),
+            (0x8000, 0x8000),
+        ] {
             ev.run(
                 &net,
                 |i| {
@@ -281,7 +289,11 @@ mod tests {
                 let sh = const_bus(sh_amt, 4);
                 barrel_left(b, bus, &sh)
             });
-            assert_eq!(run1(&net, 0xF0F0), (0xF0F0 << sh_amt) & 0xFFFF, "left by {sh_amt}");
+            assert_eq!(
+                run1(&net, 0xF0F0),
+                (0xF0F0 << sh_amt) & 0xFFFF,
+                "left by {sh_amt}"
+            );
         }
     }
 
@@ -316,7 +328,9 @@ mod tests {
             let net = harness1(1, |b, _| {
                 let bus = const_bus(v, 16);
                 // Pass constants through a mux so they become outputs.
-                bus.iter().map(|&w| b.mux(WireId::ONE, w, WireId::ZERO)).collect()
+                bus.iter()
+                    .map(|&w| b.mux(WireId::ONE, w, WireId::ZERO))
+                    .collect()
             });
             assert_eq!(run1(&net, 0), v & 0xFFFF);
         }

@@ -86,7 +86,11 @@ impl Evaluator {
     /// # Panics
     /// Panics if the evaluator was created for a different netlist shape.
     pub fn run(&mut self, net: &Netlist, input_bit: impl Fn(usize) -> bool, faults: &FaultSet) {
-        assert_eq!(self.values.len(), net.wire_count(), "evaluator/netlist mismatch");
+        assert_eq!(
+            self.values.len(),
+            net.wire_count(),
+            "evaluator/netlist mismatch"
+        );
         // Clear previous fault masks sparsely.
         for &g in &self.touched {
             self.force0[g as usize] = 0;
@@ -263,7 +267,11 @@ mod tests {
         let mut out = [0u64; 64];
         ev.bus_all_lanes(net.outputs(), &mut out);
         for lane in 0..64u8 {
-            assert_eq!(out[lane as usize], ev.bus(net.outputs(), lane), "lane {lane}");
+            assert_eq!(
+                out[lane as usize],
+                ev.bus(net.outputs(), lane),
+                "lane {lane}"
+            );
         }
     }
 

@@ -257,7 +257,9 @@ mod tests {
         let mut ev = Evaluator::new(c.netlist());
         let mut s = 0xABCD_EF01u64;
         for i in 0..2_000 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = s as u32;
             let b = (s >> 32) as u32;
             let got = c.eval(&mut ev, a, b, &FaultSet::none());

@@ -52,7 +52,9 @@ impl FpMulCircuit {
         let p47 = acc[47];
         // Mantissa: bits [24..=46] when the product has 48 significant
         // bits, else [23..=45] (truncation rounding).
-        let m: Vec<WireId> = (0..23).map(|i| b.mux(p47, acc[i + 24], acc[i + 23])).collect();
+        let m: Vec<WireId> = (0..23)
+            .map(|i| b.mux(p47, acc[i + 24], acc[i + 23]))
+            .collect();
 
         // Exponent: e = ea + eb - 127 + p47, computed in 10 bits
         // (two's complement; -127 ≡ 897 mod 1024).
@@ -202,7 +204,9 @@ mod tests {
         let mut ev = Evaluator::new(c.netlist());
         let mut s = 0x1357_9BDFu64;
         for i in 0..2_000 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = s as u32;
             let b = (s >> 32) as u32;
             let got = c.eval(&mut ev, a, b, &FaultSet::none());

@@ -113,7 +113,14 @@ mod tests {
     fn small_products_exact() {
         let c = int_multiplier();
         let mut ev = Evaluator::new(c.netlist());
-        for (a, b) in [(0u32, 0u32), (1, 1), (7, 9), (0xFFFF, 0xFFFF), (u32::MAX, u32::MAX), (u32::MAX, 2)] {
+        for (a, b) in [
+            (0u32, 0u32),
+            (1, 1),
+            (7, 9),
+            (0xFFFF, 0xFFFF),
+            (u32::MAX, u32::MAX),
+            (u32::MAX, 2),
+        ] {
             assert_eq!(
                 c.eval(&mut ev, a, b, &FaultSet::none()),
                 a as u64 * b as u64,
@@ -131,7 +138,10 @@ mod tests {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
             let a = s as u32;
             let b = (s >> 32) as u32;
-            assert_eq!(c.eval(&mut ev, a, b, &FaultSet::none()), a as u64 * b as u64);
+            assert_eq!(
+                c.eval(&mut ev, a, b, &FaultSet::none()),
+                a as u64 * b as u64
+            );
         }
     }
 
@@ -146,8 +156,9 @@ mod tests {
     fn packed_fault_screening_matches_single() {
         let c = int_multiplier();
         let mut ev = Evaluator::new(c.netlist());
-        let faults: Vec<(u32, bool)> =
-            (0..32u32).map(|i| (i * 97 % c.netlist().gate_count() as u32, i % 2 == 0)).collect();
+        let faults: Vec<(u32, bool)> = (0..32u32)
+            .map(|i| (i * 97 % c.netlist().gate_count() as u32, i % 2 == 0))
+            .collect();
         let fs = FaultSet::lanes(&faults);
         let mut out = [0u64; 64];
         c.eval_lanes(&mut ev, 123_456_789, 987_654_321, &fs, &mut out);

@@ -281,9 +281,18 @@ mod tests {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
             let b = s;
             assert_eq!(net.int_add(a, b, s & 1 == 1), nat.int_add(a, b, s & 1 == 1));
-            assert_eq!(net.int_mul32(a as u32, b as u32), nat.int_mul32(a as u32, b as u32));
-            assert_eq!(net.fp_add(a as u32, b as u32), nat.fp_add(a as u32, b as u32));
-            assert_eq!(net.fp_mul(a as u32, b as u32), nat.fp_mul(a as u32, b as u32));
+            assert_eq!(
+                net.int_mul32(a as u32, b as u32),
+                nat.int_mul32(a as u32, b as u32)
+            );
+            assert_eq!(
+                net.fp_add(a as u32, b as u32),
+                nat.fp_add(a as u32, b as u32)
+            );
+            assert_eq!(
+                net.fp_mul(a as u32, b as u32),
+                nat.fp_mul(a as u32, b as u32)
+            );
         }
     }
 
@@ -297,7 +306,10 @@ mod tests {
         let mut nat = NativeFu;
         // Non-faulted units behave natively.
         assert_eq!(fu.int_add(5, 7, false), nat.int_add(5, 7, false));
-        assert_eq!(fu.fp_add(0x3F80_0000, 0x4000_0000), nat.fp_add(0x3F80_0000, 0x4000_0000));
+        assert_eq!(
+            fu.fp_add(0x3F80_0000, 0x4000_0000),
+            nat.fp_add(0x3F80_0000, 0x4000_0000)
+        );
         // Deactivated fault behaves natively too.
         fu.active = false;
         assert_eq!(fu.int_mul32(1234, 5678), nat.int_mul32(1234, 5678));
@@ -309,7 +321,15 @@ mod tests {
         let n = int_adder().netlist().gate_count() as u32;
         let faults: Vec<(u32, bool)> = (0..48u32).map(|i| (i * 11 % n, i % 3 == 0)).collect();
         let mut act = vec![false; faults.len()];
-        screen_activation(GradedUnit::IntAdder, &mut ev, 0xFF00, 0x00FF, false, &faults, &mut act);
+        screen_activation(
+            GradedUnit::IntAdder,
+            &mut ev,
+            0xFF00,
+            0x00FF,
+            false,
+            &faults,
+            &mut act,
+        );
         for (i, &(g, s1)) in faults.iter().enumerate() {
             let mut fu = FaultyFu::new(GateFault {
                 unit: GradedUnit::IntAdder,

@@ -53,7 +53,11 @@ impl fmt::Display for AsmError {
             AsmError::UndefinedLabel(l) => write!(f, "undefined label `{}`", l),
             AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{}`", l),
             AsmError::BranchOutOfRange { label, offset } => {
-                write!(f, "branch to `{}` out of range ({} instructions)", label, offset)
+                write!(
+                    f,
+                    "branch to `{}` out of range ({} instructions)",
+                    label, offset
+                )
             }
         }
     }
@@ -135,7 +139,12 @@ impl Asm {
     /// `op reg, [base + disp]` at width.
     pub fn op_rm(&mut self, m: Mnemonic, w: Width, dst: Gpr, base: Gpr, disp: i16) {
         let f = Self::lookup(m, OpMode::Rm, w, false);
-        self.push(Inst::new(f, dst.index() as u8, base.index() as u8, disp as i32));
+        self.push(Inst::new(
+            f,
+            dst.index() as u8,
+            base.index() as u8,
+            disp as i32,
+        ));
     }
 
     /// Single-register op at width (`inc`, `neg`, `push`, ...).
@@ -165,7 +174,12 @@ impl Asm {
     /// SSE `op xmm, [base + disp]`.
     pub fn op_xm(&mut self, m: Mnemonic, packed: bool, dst: Xmm, base: Gpr, disp: i16) {
         let f = Self::lookup(m, OpMode::Xm, Width::B32, packed);
-        self.push(Inst::new(f, dst.index() as u8, base.index() as u8, disp as i32));
+        self.push(Inst::new(
+            f,
+            dst.index() as u8,
+            base.index() as u8,
+            disp as i32,
+        ));
     }
 
     // ---- common conveniences ----
@@ -241,7 +255,12 @@ impl Asm {
     /// `store [base + disp], src` (a `MOV` store).
     pub fn store(&mut self, w: Width, base: Gpr, disp: i16, src: Gpr) {
         let f = Self::lookup(Mnemonic::Mov, OpMode::Mr, w, false);
-        self.push(Inst::new(f, src.index() as u8, base.index() as u8, disp as i32));
+        self.push(Inst::new(
+            f,
+            src.index() as u8,
+            base.index() as u8,
+            disp as i32,
+        ));
     }
 
     /// `xor reg, reg` (the idiomatic zeroing).
@@ -378,7 +397,10 @@ mod tests {
         a.label("x");
         a.label("x");
         a.halt();
-        assert!(matches!(a.finish().unwrap_err(), AsmError::DuplicateLabel(_)));
+        assert!(matches!(
+            a.finish().unwrap_err(),
+            AsmError::DuplicateLabel(_)
+        ));
     }
 
     #[test]

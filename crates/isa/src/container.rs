@@ -243,7 +243,10 @@ mod tests {
         let n = bytes.len() - 8;
         let sum = crate::mem::fnv1a(&bytes[..n]);
         bytes[n..].copy_from_slice(&sum.to_le_bytes());
-        assert_eq!(from_container(&bytes).unwrap_err(), ContainerError::BadMagic);
+        assert_eq!(
+            from_container(&bytes).unwrap_err(),
+            ContainerError::BadMagic
+        );
     }
 
     #[test]

@@ -209,8 +209,12 @@ mod tests {
     #[test]
     fn stream_roundtrip() {
         let cat = Catalog::get();
-        let add = cat.lookup(Mnemonic::Add, OpMode::Rr, Width::B64, false).unwrap();
-        let mov = cat.lookup(Mnemonic::Mov, OpMode::Ri, Width::B32, false).unwrap();
+        let add = cat
+            .lookup(Mnemonic::Add, OpMode::Rr, Width::B64, false)
+            .unwrap();
+        let mov = cat
+            .lookup(Mnemonic::Mov, OpMode::Ri, Width::B32, false)
+            .unwrap();
         let prog = vec![
             Inst::new(add, 0, 1, 0),
             Inst::new(mov, 2, 0, 0x1234_5678),
@@ -232,7 +236,9 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let cat = Catalog::get();
-        let mov = cat.lookup(Mnemonic::Mov, OpMode::Ri, Width::B64, false).unwrap();
+        let mov = cat
+            .lookup(Mnemonic::Mov, OpMode::Ri, Width::B64, false)
+            .unwrap();
         let mut bytes = Vec::new();
         encode_inst(&Inst::new(mov, 1, 0, 42), &mut bytes);
         for cut in 1..bytes.len() {
@@ -253,7 +259,12 @@ mod tests {
                 illegal += 1;
             }
         }
-        assert!(illegal > 16, "only {}/{} illegal first bytes", illegal, total);
+        assert!(
+            illegal > 16,
+            "only {}/{} illegal first bytes",
+            illegal,
+            total
+        );
     }
 
     #[test]

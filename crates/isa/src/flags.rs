@@ -70,7 +70,12 @@ mod tests {
     #[test]
     fn display_is_never_empty() {
         assert_eq!(Flags::default().to_string(), "[----]");
-        let all = Flags { cf: true, zf: true, sf: true, of: true };
+        let all = Flags {
+            cf: true,
+            zf: true,
+            sf: true,
+            of: true,
+        };
         assert_eq!(all.to_string(), "[CZSO]");
     }
 }

@@ -735,7 +735,9 @@ mod tests {
         let c = Catalog::get();
         let nd: Vec<_> = c.forms().iter().filter(|f| !f.deterministic).collect();
         assert_eq!(nd.len(), 2);
-        assert!(nd.iter().all(|f| matches!(f.mnemonic, Mnemonic::Rdtsc | Mnemonic::Cpuid)));
+        assert!(nd
+            .iter()
+            .all(|f| matches!(f.mnemonic, Mnemonic::Rdtsc | Mnemonic::Cpuid)));
     }
 
     #[test]
@@ -749,7 +751,9 @@ mod tests {
             .lookup(Mnemonic::Mulps, OpMode::Xx, Width::B32, true)
             .expect("mulps exists");
         assert_eq!(c.form(mul).fu, FuKind::FpMul);
-        assert!(c.lookup(Mnemonic::Lea, OpMode::Rr, Width::B64, false).is_none());
+        assert!(c
+            .lookup(Mnemonic::Lea, OpMode::Rr, Width::B64, false)
+            .is_none());
     }
 
     #[test]

@@ -177,7 +177,12 @@ mod tests {
     #[test]
     fn signed_wide_multiply_matches_i128() {
         let mut fu = NativeFu;
-        for (a, b) in [(-5i64, 7i64), (i64::MIN, -1), (i64::MAX, i64::MIN), (-1, -1)] {
+        for (a, b) in [
+            (-5i64, 7i64),
+            (i64::MIN, -1),
+            (i64::MAX, i64::MIN),
+            (-1, -1),
+        ] {
             let (lo, hi) = mul_i64_wide(&mut fu, a, b);
             let want = a as i128 * b as i128;
             assert_eq!(lo, want as u64);

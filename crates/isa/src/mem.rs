@@ -134,7 +134,10 @@ impl Memory {
     #[inline]
     fn offset(&self, addr: u64, size: u32) -> Result<usize, MemFault> {
         let off = addr.wrapping_sub(self.base);
-        if off.checked_add(size as u64).is_some_and(|end| end <= self.bytes.len() as u64) {
+        if off
+            .checked_add(size as u64)
+            .is_some_and(|end| end <= self.bytes.len() as u64)
+        {
             Ok(off as usize)
         } else {
             Err(MemFault { addr })
@@ -223,7 +226,12 @@ mod tests {
     fn read_write_roundtrip() {
         let mut m = MemImage::new(256, 64).build();
         for size in [1u32, 2, 4, 8] {
-            let val = 0x1122_3344_5566_7788u64 & if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
+            let val = 0x1122_3344_5566_7788u64
+                & if size == 8 {
+                    u64::MAX
+                } else {
+                    (1 << (8 * size)) - 1
+                };
             m.write(DATA_BASE + 16, size, val).unwrap();
             assert_eq!(m.read(DATA_BASE + 16, size).unwrap(), val);
         }

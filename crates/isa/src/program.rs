@@ -175,10 +175,7 @@ mod tests {
     #[test]
     fn spread_is_seeded() {
         assert_eq!(RegInit::spread(1024, 3), RegInit::spread(1024, 3));
-        assert_ne!(
-            RegInit::spread(1024, 3).xmms,
-            RegInit::spread(1024, 4).xmms
-        );
+        assert_ne!(RegInit::spread(1024, 3).xmms, RegInit::spread(1024, 4).xmms);
     }
 
     #[test]

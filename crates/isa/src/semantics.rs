@@ -16,6 +16,7 @@
 //!   width) that crashed gem5 v22 (paper §VI-D) is handled and covered by
 //!   a differential regression test.
 
+use crate::exec::{BranchOut, ExecHooks};
 use crate::exec::{Flow, Machine, MemAccess, Trap};
 use crate::flags::Flags;
 use crate::form::{Catalog, Form, FuKind, Mnemonic, OpMode};
@@ -24,7 +25,6 @@ use crate::inst::Inst;
 use crate::mem::DATA_BASE;
 use crate::reg::{Gpr, Width, Xmm};
 use crate::softfp;
-use crate::exec::{BranchOut, ExecHooks};
 
 const FSIGN: u32 = 0x8000_0000;
 
@@ -1342,7 +1342,12 @@ mod tests {
 
     #[test]
     fn wild_branch_traps() {
-        let insts = vec![Inst::new(f(Mnemonic::Jmp, OpMode::Rel, Width::B64), 0, 0, 1000)];
+        let insts = vec![Inst::new(
+            f(Mnemonic::Jmp, OpMode::Rel, Width::B64),
+            0,
+            0,
+            1000,
+        )];
         let p = Program::new("wild", insts);
         let mut m = Machine::new(&p, NativeFu);
         assert!(matches!(m.run(100).unwrap_err(), Trap::WildBranch { .. }));
@@ -1400,10 +1405,7 @@ mod tests {
             )],
         );
         let lanes = out.state.xmm_lanes(Xmm::Xmm0);
-        assert_eq!(
-            lanes.map(f32::from_bits),
-            [11.0, 22.0, 33.0, 44.0]
-        );
+        assert_eq!(lanes.map(f32::from_bits), [11.0, 22.0, 33.0, 44.0]);
     }
 
     #[test]
@@ -1419,10 +1421,7 @@ mod tests {
         let mut p = Program::new("movaps", insts);
         p.reg_init.gprs[6] = DATA_BASE + 4; // misaligned
         let mut m = Machine::new(&p, NativeFu);
-        assert!(matches!(
-            m.run(10).unwrap_err(),
-            Trap::UnalignedSse { .. }
-        ));
+        assert!(matches!(m.run(10).unwrap_err(), Trap::UnalignedSse { .. }));
     }
 
     #[test]
@@ -1524,7 +1523,11 @@ mod tests {
         assert_eq!(s1.passes.len(), 1);
         assert_eq!(s1.passes.as_slice()[0].kind, crate::form::FuKind::IntAdd);
         let s2 = m.step().unwrap().unwrap();
-        assert_eq!(s2.passes.len(), 4, "64-bit signed imul makes 4 array passes");
+        assert_eq!(
+            s2.passes.len(),
+            4,
+            "64-bit signed imul makes 4 array passes"
+        );
         assert!(s2
             .passes
             .as_slice()
@@ -1543,7 +1546,9 @@ mod sse2_tests {
     use crate::reg::{Width, Xmm};
 
     fn xx(m: Mnemonic) -> Inst {
-        let f = Catalog::get().lookup(m, OpMode::Xx, Width::B32, true).unwrap();
+        let f = Catalog::get()
+            .lookup(m, OpMode::Xx, Width::B32, true)
+            .unwrap();
         Inst::new(f, 0, 1, 0)
     }
 

@@ -108,7 +108,11 @@ pub fn fadd(a: u32, b: u32) -> u32 {
         (true, true) => {
             // +0 unless both are -0 (IEEE round-toward-zero rule gives +0
             // for mixed signs).
-            return if sign(a) == 1 && sign(b) == 1 { zero(1) } else { zero(0) };
+            return if sign(a) == 1 && sign(b) == 1 {
+                zero(1)
+            } else {
+                zero(0)
+            };
         }
         (true, false) => return b,
         (false, true) => return a,
@@ -373,14 +377,24 @@ mod tests {
     fn exact_dyadic_adds_are_exact() {
         // Sums representable exactly must be bit-exact even under
         // truncation rounding.
-        for (a, b, want) in [(0.5f32, 0.25f32, 0.75f32), (2.0, 2.0, 4.0), (1.0, -1.0, 0.0)] {
+        for (a, b, want) in [
+            (0.5f32, 0.25f32, 0.75f32),
+            (2.0, 2.0, 4.0),
+            (1.0, -1.0, 0.0),
+        ] {
             assert_eq!(fadd(f(a), f(b)), f(want), "{} + {}", a, b);
         }
     }
 
     #[test]
     fn mul_matches_native_closely() {
-        for (a, b) in [(3.0f32, 4.0f32), (1.5, 1.5), (-2.0, 8.0), (1e20, 1e20), (1e-30, 1e-30)] {
+        for (a, b) in [
+            (3.0f32, 4.0f32),
+            (1.5, 1.5),
+            (-2.0, 8.0),
+            (1e20, 1e20),
+            (1e-30, 1e-30),
+        ] {
             let ours = f32::from_bits(fmul(f(a), f(b)));
             let native = a * b;
             if native.is_infinite() {

@@ -186,7 +186,11 @@ mod tests {
         assert_eq!(s.xmm_lanes(Xmm::Xmm3), [1, 2, 3, 4]);
         assert_eq!(s.xmm_scalar(Xmm::Xmm3), 1);
         s.set_xmm_scalar(Xmm::Xmm3, 9);
-        assert_eq!(s.xmm_lanes(Xmm::Xmm3), [9, 2, 3, 4], "other lanes preserved");
+        assert_eq!(
+            s.xmm_lanes(Xmm::Xmm3),
+            [9, 2, 3, 4],
+            "other lanes preserved"
+        );
     }
 
     #[test]

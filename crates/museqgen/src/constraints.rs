@@ -178,9 +178,7 @@ impl GenConstraints {
         if !self.allow_branches && f.is_branch() {
             return false;
         }
-        if !self.mnemonic_whitelist.is_empty()
-            && !self.mnemonic_whitelist.contains(&f.mnemonic)
-        {
+        if !self.mnemonic_whitelist.is_empty() && !self.mnemonic_whitelist.contains(&f.mnemonic) {
             return false;
         }
         true

@@ -92,7 +92,9 @@ impl Mutator {
         assert_eq!(a.len(), b.len(), "crossover needs equal-length parents");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6372_6F73_736F_7665);
         let n = a.len();
-        let mut points: Vec<usize> = (0..k).map(|_| rand::Rng::random_range(&mut rng, 0..n)).collect();
+        let mut points: Vec<usize> = (0..k)
+            .map(|_| rand::Rng::random_range(&mut rng, 0..n))
+            .collect();
         points.sort_unstable();
         let mut out = a.clone();
         let mut take_b = false;
@@ -158,9 +160,7 @@ mod tests {
         let p = m.generator().generate(17);
         let q = m.mutate(&p, 4);
         // Find the replaced form: forms in p but with changed instances.
-        let changed: Vec<usize> = (0..p.len())
-            .filter(|&i| p.insts[i] != q.insts[i])
-            .collect();
+        let changed: Vec<usize> = (0..p.len()).filter(|&i| p.insts[i] != q.insts[i]).collect();
         assert!(!changed.is_empty());
         let target = p.insts[changed[0]].form;
         // Every occurrence of the target form must have been rewritten

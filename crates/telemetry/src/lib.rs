@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # harpo-telemetry — structured run journal, metrics and stage spans
+//!
+//! The paper's evaluation hinges on quantities the pipeline computes at
+//! run time: Table I's loop-stage breakdown, Fig. 10's convergence
+//! curves, the SFI campaign's screened-vs-replayed fault economics.
+//! This crate makes those observable as first-class signals instead of
+//! ad-hoc `println!`s:
+//!
+//! * [`Record`] / [`Sink`] — a structured **run journal**: every event
+//!   is a flat key→value record that renders as one JSONL line
+//!   ([`JsonlSink`]), a human-readable stderr line ([`StderrSink`]) or
+//!   an in-memory entry for tests ([`MemorySink`]). [`Telemetry`] is the
+//!   cheap, cloneable handle the pipeline emits through; with no sink
+//!   attached, emission is a single branch and the record is never
+//!   built.
+//! * [`Metrics`] — a **global-free registry** of named atomic
+//!   [`Counter`]s and log-bucketed [`Histogram`]s. Clone the registry
+//!   (it is an `Arc` inside), hand it to each pipeline layer, snapshot
+//!   it at the end of a run.
+//! * [`Span`] — RAII **stage timers** that accumulate wall time into a
+//!   `Duration` and/or a histogram, replacing hand-rolled
+//!   `Instant::now()` bookkeeping.
+//! * [`json`] — the hand-rolled JSON writer/parser backing all of the
+//!   above. No third-party dependencies anywhere in this crate, so it
+//!   builds offline and adds nothing to the workspace's dependency set.
+//!
+//! Telemetry is strictly observational: attaching or detaching sinks
+//! must never change a run's results (the engine's determinism test
+//! verifies champion and coverage are bit-identical either way).
+
+pub mod json;
+pub mod metrics;
+pub mod record;
+pub mod sink;
+pub mod span;
+
+pub use json::Value;
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricSnapshot, Metrics};
+pub use record::Record;
+pub use sink::{JsonlSink, MemorySink, Sink, StderrSink, Telemetry};
+pub use span::Span;
+
+/// Resolves a requested worker-thread count: `0` means "all available
+/// cores". The single source of truth for every fan-out in the
+/// workspace (population evaluation, SFI campaigns, screening).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves() {
+        assert_eq!(effective_threads(4), 4);
+        assert!(effective_threads(0) >= 1);
+    }
+}

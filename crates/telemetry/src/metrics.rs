@@ -1,0 +1,345 @@
+//! The global-free metrics registry: named atomic counters and
+//! log-bucketed histograms.
+//!
+//! There is deliberately no `static` registry — a [`Metrics`] value is
+//! created by whoever owns a run (CLI command, bench binary, test),
+//! cloned into each pipeline layer (it is an `Arc` inside) and
+//! snapshotted at the end. Two runs never share state by accident, and
+//! tests can assert on exact counts.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter (registered ones come from
+    /// [`Metrics::counter`]).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Bucket `i` counts observations with `i` significant bits, i.e.
+    /// values in `[2^(i-1), 2^i)`; bucket 0 counts zeros. Powers of two
+    /// keep `observe` branch-free and cover the full `u64` range.
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log₂-bucketed histogram of `u64` observations (durations in
+/// nanoseconds, work counts, ...).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistInner {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram (registered ones come from
+    /// [`Metrics::histogram`]).
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index of a value: its significant-bit count.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let h = &*self.inner;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+        h.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting (individual loads are
+    /// atomic; the histogram may be concurrently updated).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &*self.inner;
+        HistogramSnapshot {
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Per-bucket counts (see [`Histogram`] for the bucket layout).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observation.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter value.
+    Counter(u64),
+    /// A histogram state (boxed: the bucket array dwarfs the counter
+    /// variant).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+/// The registry: a name → metric map shared by clone.
+///
+/// ```
+/// use harpo_telemetry::Metrics;
+/// let m = Metrics::new();
+/// m.counter("evaluator.programs").add(3);
+/// m.histogram("engine.stage.evaluation_ns").observe(1_500);
+/// assert_eq!(m.counter("evaluator.programs").get(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// Registration takes the lock; the returned handle is lock-free —
+    /// resolve once outside hot loops.
+    ///
+    /// # Panics
+    /// Panics if `name` is already a histogram.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            Metric::Histogram(_) => panic!("metric `{name}` is a histogram, not a counter"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already a counter.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            Metric::Counter(_) => panic!("metric `{name}` is a counter, not a histogram"),
+        }
+    }
+
+    /// Whether anything has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .is_empty()
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        map.iter()
+            .map(|(name, m)| {
+                let snap = match m {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(Box::new(h.snapshot())),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// The registry as one JSON object: counters become numbers,
+    /// histograms become `{count, sum, max, mean}` objects — the
+    /// `counters` payload of journal summaries and bench manifests.
+    pub fn to_value(&self) -> Value {
+        let fields = self
+            .snapshot()
+            .into_iter()
+            .map(|(name, snap)| {
+                let v = match snap {
+                    MetricSnapshot::Counter(n) => Value::U64(n),
+                    MetricSnapshot::Histogram(h) => Value::Obj(vec![
+                        ("count".to_string(), Value::U64(h.count)),
+                        ("sum".to_string(), Value::U64(h.sum)),
+                        ("max".to_string(), Value::U64(h.max)),
+                        ("mean".to_string(), Value::F64(h.mean())),
+                    ]),
+                };
+                (name, v)
+            })
+            .collect();
+        Value::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let m = Metrics::new();
+        let a = m.counter("x");
+        let b = m.clone().counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(m.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[10], 1, "1000 has 10 significant bits");
+        assert!((s.mean() - 201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let m = Metrics::new();
+        m.counter("b.count").inc();
+        m.histogram("a.hist").observe(5);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "a.hist");
+        assert!(matches!(snap[1].1, MetricSnapshot::Counter(1)));
+    }
+
+    #[test]
+    fn to_value_round_trips_as_json() {
+        let m = Metrics::new();
+        m.counter("runs").add(2);
+        m.histogram("ns").observe(7);
+        let v = crate::json::parse(&m.to_value().to_json()).unwrap();
+        assert_eq!(v.get("runs").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("ns").unwrap().get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("ns").unwrap().get("sum").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a histogram")]
+    fn kind_mismatch_panics() {
+        let m = Metrics::new();
+        m.histogram("x");
+        m.counter("x");
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    let c = m.counter("n");
+                    let h = m.histogram("h");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("n").get(), 4000);
+        assert_eq!(m.histogram("h").count(), 4000);
+    }
+}

@@ -1,0 +1,111 @@
+//! The journal record: one structured event.
+
+use crate::json::{write_string, Value};
+
+/// One journal event: a kind tag plus ordered key→value fields.
+///
+/// Built fluently and cheaply — construction is skipped entirely when no
+/// sink is attached (see [`crate::Telemetry::emit`]):
+///
+/// ```
+/// use harpo_telemetry::Record;
+/// let r = Record::new("iteration").field("iter", 3u64).field("best", 0.25);
+/// assert_eq!(r.to_json(), r#"{"kind":"iteration","iter":3,"best":0.25}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The event kind (`"iteration"`, `"summary"`, `"campaign"`, ...).
+    pub kind: &'static str,
+    /// The fields, in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Record {
+    /// Starts a record of the given kind.
+    pub fn new(kind: &'static str) -> Record {
+        Record {
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Record {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Looks up a field value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Renders as one compact JSON object with `"kind"` first — the
+    /// journal's JSONL line format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"kind\":");
+        write_string(&mut out, self.kind);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_json());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders as a human-readable `kind key=value ...` line — the
+    /// stderr sink format.
+    pub fn to_human(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 12);
+        out.push_str(self.kind);
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            match v {
+                Value::Str(s) => out.push_str(s),
+                other => out.push_str(&other.to_json()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn json_line_round_trips() {
+        let r = Record::new("iteration")
+            .field("iter", 7u64)
+            .field("best", 0.5)
+            .field("name", "int-mul")
+            .field("ok", true);
+        let v = parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("iteration"));
+        assert_eq!(v.get("iter").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("best").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("int-mul"));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn human_line_is_flat() {
+        let r = Record::new("summary")
+            .field("coverage", 0.25)
+            .field("tag", "x");
+        assert_eq!(r.to_human(), "summary coverage=0.25 tag=x");
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let r = Record::new("k").field("a", 1u64);
+        assert_eq!(r.get("a").unwrap().as_u64(), Some(1));
+        assert!(r.get("b").is_none());
+    }
+}

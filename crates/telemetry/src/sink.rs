@@ -1,0 +1,232 @@
+//! Journal sinks and the [`Telemetry`] emission handle.
+
+use crate::record::Record;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A destination for journal records. Implementations must tolerate
+/// concurrent `emit` calls (the pipeline fans out across threads).
+pub trait Sink: Send + Sync {
+    /// Consumes one record.
+    fn emit(&self, record: &Record);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Human-readable journal on stderr, one `kind key=value ...` line per
+/// record.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, record: &Record) {
+        eprintln!("[harpo] {}", record.to_human());
+    }
+}
+
+/// Machine-readable journal: one JSON object per line (JSONL).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the journal file.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, record: &Record) {
+        let mut w = self.writer.lock().expect("journal writer poisoned");
+        // A journal write failure must never abort a run; drop the line.
+        let _ = writeln!(w, "{}", record.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("journal writer poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// In-memory sink for tests: share one instance via `Arc` and inspect
+/// [`MemorySink::records`] afterwards.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Snapshot of everything emitted so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Records of one kind.
+    pub fn records_of(&self, kind: &str) -> Vec<Record> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.kind == kind)
+            .collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, record: &Record) {
+        self.records
+            .lock()
+            .expect("memory sink poisoned")
+            .push(record.clone());
+    }
+}
+
+/// The cloneable emission handle the pipeline carries.
+///
+/// With no sink attached ([`Telemetry::off`]) an emit is a single
+/// branch: the record-building closure is never invoked, so
+/// instrumentation costs ~zero on unobserved runs.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl Telemetry {
+    /// A handle with no sinks: all emissions are dropped for free.
+    pub fn off() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A handle writing to one sink.
+    pub fn to(sink: Arc<dyn Sink>) -> Telemetry {
+        Telemetry { sinks: vec![sink] }
+    }
+
+    /// A handle fanning out to several sinks.
+    pub fn fanout(sinks: Vec<Arc<dyn Sink>>) -> Telemetry {
+        Telemetry { sinks }
+    }
+
+    /// Whether any sink is attached.
+    pub fn enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Emits a record; the closure runs only if a sink is attached.
+    pub fn emit(&self, build: impl FnOnce() -> Record) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let record = build();
+        for sink in &self.sinks {
+            sink.emit(&record);
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_never_builds_the_record() {
+        let t = Telemetry::off();
+        assert!(!t.enabled());
+        t.emit(|| panic!("must not be called"));
+    }
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let mem = Arc::new(MemorySink::new());
+        let t = Telemetry::to(mem.clone());
+        assert!(t.enabled());
+        t.emit(|| Record::new("a").field("n", 1u64));
+        t.emit(|| Record::new("b").field("n", 2u64));
+        let recs = mem.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, "a");
+        assert_eq!(recs[1].get("n").unwrap().as_u64(), Some(2));
+        assert_eq!(mem.records_of("b").len(), 1);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let m1 = Arc::new(MemorySink::new());
+        let m2 = Arc::new(MemorySink::new());
+        let t = Telemetry::fanout(vec![m1.clone(), m2.clone()]);
+        t.emit(|| Record::new("x"));
+        assert_eq!(m1.records().len(), 1);
+        assert_eq!(m2.records().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("harpo-telemetry-test-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            let t = Telemetry::to(Arc::new(sink));
+            t.emit(|| Record::new("one").field("v", 0.5));
+            t.emit(|| Record::new("two").field("s", "x"));
+            t.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = crate::json::parse(line).unwrap();
+            assert!(v.get("kind").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn emission_is_thread_safe() {
+        let mem = Arc::new(MemorySink::new());
+        let t = Telemetry::to(mem.clone());
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for j in 0..100u64 {
+                        t.emit(|| Record::new("tick").field("v", i * 1000 + j));
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.records().len(), 400);
+    }
+}

@@ -1,0 +1,110 @@
+//! RAII stage timers.
+
+use crate::metrics::Histogram;
+use std::time::{Duration, Instant};
+
+/// Times a scope: on drop, the elapsed wall time is added to a
+/// `Duration` accumulator and/or observed (in nanoseconds) by a
+/// [`Histogram`].
+///
+/// ```
+/// use harpo_telemetry::Span;
+/// use std::time::Duration;
+/// let mut evaluation = Duration::ZERO;
+/// {
+///     let _span = Span::enter(&mut evaluation);
+///     // ... the stage ...
+/// }
+/// assert!(evaluation > Duration::ZERO || evaluation == evaluation);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    start: Instant,
+    acc: Option<&'a mut Duration>,
+    hist: Option<Histogram>,
+}
+
+impl<'a> Span<'a> {
+    /// A span accumulating into a duration.
+    pub fn enter(acc: &'a mut Duration) -> Span<'a> {
+        Span {
+            start: Instant::now(),
+            acc: Some(acc),
+            hist: None,
+        }
+    }
+
+    /// A span observed only by a histogram.
+    pub fn observe(hist: Histogram) -> Span<'static> {
+        Span {
+            start: Instant::now(),
+            acc: None,
+            hist: Some(hist),
+        }
+    }
+
+    /// Additionally records the elapsed nanoseconds into `hist`.
+    pub fn with_histogram(mut self, hist: Histogram) -> Span<'a> {
+        self.hist = Some(hist);
+        self
+    }
+
+    /// Elapsed time so far (the span keeps running).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        if let Some(acc) = self.acc.as_deref_mut() {
+            *acc += elapsed;
+        }
+        if let Some(hist) = &self.hist {
+            hist.observe(elapsed.as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_accumulates_duration() {
+        let mut acc = Duration::ZERO;
+        {
+            let _s = Span::enter(&mut acc);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(acc >= Duration::from_millis(1));
+        let before = acc;
+        {
+            let _s = Span::enter(&mut acc);
+        }
+        assert!(acc >= before, "second span adds, never resets");
+    }
+
+    #[test]
+    fn span_feeds_histogram() {
+        let h = Histogram::new();
+        {
+            let _s = Span::observe(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_can_do_both() {
+        let h = Histogram::new();
+        let mut acc = Duration::ZERO;
+        {
+            let _s = Span::enter(&mut acc).with_histogram(h.clone());
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() > 0);
+        assert!(acc > Duration::ZERO);
+    }
+}

@@ -225,7 +225,11 @@ mod tests {
             .filter(|e| e.kind != LineEventKind::Fill)
             .collect();
         assert_eq!(evictions.len(), 1, "one way over capacity");
-        assert_eq!(evictions[0].kind, LineEventKind::EvictDirty, "way 0 was stored to");
+        assert_eq!(
+            evictions[0].kind,
+            LineEventKind::EvictDirty,
+            "way 0 was stored to"
+        );
         assert_eq!(evictions[0].line_addr, 0x10000);
     }
 
@@ -238,7 +242,11 @@ mod tests {
         // Touch line 0 again, then insert a 9th line: victim must be line 1.
         c.access(0x10000, false, 100, &mut ev);
         c.access(0x10000 + 8 * 4096, false, 101, &mut ev);
-        let last_evict = ev.iter().rev().find(|e| e.kind != LineEventKind::Fill).unwrap();
+        let last_evict = ev
+            .iter()
+            .rev()
+            .find(|e| e.kind != LineEventKind::Fill)
+            .unwrap();
         assert_eq!(last_evict.line_addr, 0x10000 + 4096);
         let (hit, _) = c.access(0x10000, false, 102, &mut ev);
         assert!(hit, "recently-touched line survived");

@@ -92,11 +92,19 @@ impl CoreConfig {
     /// Panics if the cache geometry is not a power-of-two split or the
     /// PRF cannot hold the architectural state.
     pub fn validate(&self) {
-        assert!(self.phys_regs >= 32, "PRF must exceed 16 arch regs + margin");
-        assert!(self.phys_xmm >= 24, "XMM PRF must exceed 16 arch regs + margin");
+        assert!(
+            self.phys_regs >= 32,
+            "PRF must exceed 16 arch regs + margin"
+        );
+        assert!(
+            self.phys_xmm >= 24,
+            "XMM PRF must exceed 16 arch regs + margin"
+        );
         assert!(self.l1d_line.is_power_of_two());
         assert!(self.l1d_sets().is_power_of_two());
-        assert!(self.l1d_bytes.is_multiple_of(self.l1d_assoc * self.l1d_line));
+        assert!(self
+            .l1d_bytes
+            .is_multiple_of(self.l1d_assoc * self.l1d_line));
         assert!(self.width >= 1 && self.rob_size >= self.width);
     }
 }

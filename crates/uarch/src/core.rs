@@ -192,6 +192,9 @@ struct Timing {
     fu_ops: Vec<FuOp>,
     branches: u64,
     mispredicts: u64,
+    rob_stalls: u64,
+    iq_stalls: u64,
+    prf_stalls: u64,
 }
 
 impl Timing {
@@ -261,6 +264,9 @@ impl Timing {
             fu_ops: Vec::new(),
             branches: 0,
             mispredicts: 0,
+            rob_stalls: 0,
+            iq_stalls: 0,
+            prf_stalls: 0,
         }
     }
 
@@ -279,13 +285,22 @@ impl Timing {
         self.fetched_this_cycle += 1;
 
         // ---- Dispatch: frontend depth + ROB/IQ/PRF availability. ----
+        // Each structural constraint that actually delays dispatch is
+        // counted as a stall of that structure.
         let mut dispatch = fetch + self.cfg.frontend_depth as u64;
         let rob_slot = (idx % self.cfg.rob_size as u64) as usize;
-        dispatch = dispatch.max(self.rob_ring[rob_slot]);
+        if self.rob_ring[rob_slot] > dispatch {
+            dispatch = self.rob_ring[rob_slot];
+            self.rob_stalls += 1;
+        }
         let iq_slot = (idx % self.cfg.iq_size as u64) as usize;
-        dispatch = dispatch.max(self.iq_ring[iq_slot]);
+        if self.iq_ring[iq_slot] > dispatch {
+            dispatch = self.iq_ring[iq_slot];
+            self.iq_stalls += 1;
+        }
 
         // Allocate physical destination registers (integer and XMM).
+        let mut prf_stalled = false;
         let n_writes = (si.writes_gpr).count_ones() as usize;
         let mut new_pregs = [0u16; 6];
         for slot in new_pregs.iter_mut().take(n_writes) {
@@ -293,7 +308,10 @@ impl Timing {
                 .freelist
                 .pop_front()
                 .expect("PRF smaller than architectural state");
-            dispatch = dispatch.max(free_at);
+            if free_at > dispatch {
+                dispatch = free_at;
+                prf_stalled = true;
+            }
             *slot = preg;
         }
         let n_xwrites = (si.writes_xmm).count_ones() as usize;
@@ -303,8 +321,14 @@ impl Timing {
                 .xmm_freelist
                 .pop_front()
                 .expect("XMM PRF smaller than architectural state");
-            dispatch = dispatch.max(free_at);
+            if free_at > dispatch {
+                dispatch = free_at;
+                prf_stalled = true;
+            }
             *slot = preg;
+        }
+        if prf_stalled {
+            self.prf_stalls += 1;
         }
 
         // ---- Operand readiness. ----
@@ -403,9 +427,8 @@ impl Timing {
         }
 
         // ---- Record register reads at the issue cycle. ----
-        let propagates = si.writes_gpr != 0
-            || si.writes_xmm != 0
-            || si.mem.map(|m| m.is_store).unwrap_or(false);
+        let propagates =
+            si.writes_gpr != 0 || si.writes_xmm != 0 || si.mem.map(|m| m.is_store).unwrap_or(false);
         let mut rd = si.reads_gpr;
         while rd != 0 {
             let r = rd.trailing_zeros() as usize;
@@ -619,6 +642,9 @@ impl Timing {
                 l1d_writebacks: wb,
                 branches: self.branches,
                 mispredicts: self.mispredicts,
+                rob_stalls: self.rob_stalls,
+                iq_stalls: self.iq_stalls,
+                prf_stalls: self.prf_stalls,
             },
             reg_instances: self.instances,
             xmm_instances: self.xmm_instances,
@@ -641,7 +667,9 @@ mod tests {
     use harpo_isa::reg::Xmm;
 
     fn simulate(prog: &harpo_isa::program::Program) -> SimResult {
-        OooCore::default().simulate(prog, 10_000_000).expect("clean run")
+        OooCore::default()
+            .simulate(prog, 10_000_000)
+            .expect("clean run")
     }
 
     #[test]
@@ -829,6 +857,45 @@ mod tests {
         assert_eq!(r.trace.stats.insts, 501);
         // Physical registers stay within the configured population.
         assert!(r.trace.reg_instances.iter().all(|i| (i.preg as u32) < 34));
+        assert!(
+            r.trace.stats.prf_stalls > 0,
+            "recycling the tiny PRF must register as dispatch stalls"
+        );
+    }
+
+    #[test]
+    fn structural_stalls_counted_under_pressure() {
+        // A long serial chain keeps instructions in flight far longer than
+        // a 16-entry ROB can hold, so dispatch must repeatedly wait on ROB
+        // slot reuse.
+        let cfg = CoreConfig {
+            rob_size: 16,
+            ..CoreConfig::default()
+        };
+        let core = OooCore::new(cfg);
+        let mut a = Asm::new("chain");
+        a.mov_ri(B64, Rax, 1);
+        a.mov_ri(B64, Rbx, 3);
+        for _ in 0..300 {
+            a.imul_rr(B64, Rax, Rbx);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let r = core.simulate(&p, 100_000).unwrap();
+        assert!(
+            r.trace.stats.rob_stalls > 0,
+            "serial multiply chain must fill a 16-entry ROB"
+        );
+        // A trivial straight-line program on the default core stalls on
+        // nothing.
+        let mut a = Asm::new("tiny");
+        a.mov_ri(B64, Rax, 1);
+        a.halt();
+        let r = OooCore::default()
+            .simulate(&a.finish().unwrap(), 100)
+            .unwrap();
+        let s = r.trace.stats;
+        assert_eq!(s.rob_stalls + s.iq_stalls + s.prf_stalls, 0);
     }
 
     #[test]

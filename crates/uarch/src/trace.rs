@@ -174,6 +174,12 @@ pub struct SimStats {
     pub branches: u64,
     /// Branch mispredictions.
     pub mispredicts: u64,
+    /// Dispatches delayed because the ROB was full.
+    pub rob_stalls: u64,
+    /// Dispatches delayed because the issue queue was full.
+    pub iq_stalls: u64,
+    /// Dispatches delayed waiting for a free physical register.
+    pub prf_stalls: u64,
 }
 
 impl SimStats {

@@ -14,7 +14,6 @@ use harpocrates::isa::exec::Machine;
 use harpocrates::isa::form::{Catalog, Mnemonic, OpMode};
 use harpocrates::isa::fu::NativeFu;
 use harpocrates::isa::program::Program;
-use harpocrates::isa::reg::Width;
 use harpocrates::museqgen::{GenConstraints, Generator};
 
 /// A buggy model of `RCR`/`RCL`: the rotate amount is reduced modulo the

@@ -20,7 +20,10 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let structure = TargetStructure::IntAdder;
-    println!("Fleetscanner mode: screening for {} defects\n", structure.label());
+    println!(
+        "Fleetscanner mode: screening for {} defects\n",
+        structure.label()
+    );
 
     // 1. Produce a high-detection test (no duration constraint).
     let (constraints, loop_cfg) = presets::preset(structure, Scale::Reduced);

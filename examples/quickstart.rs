@@ -34,7 +34,11 @@ fn main() {
     println!("\ncoverage (IBR) over sampled iterations:");
     for s in &report.samples {
         let bar = "#".repeat((s.top_coverages[0] * 400.0) as usize);
-        println!("  iter {:>4}  {:>7.3}%  {bar}", s.iteration, s.top_coverages[0] * 100.0);
+        println!(
+            "  iter {:>4}  {:>7.3}%  {bar}",
+            s.iteration,
+            s.top_coverages[0] * 100.0
+        );
     }
 
     // 3. Grade the champion with gate-level statistical fault injection.

@@ -51,8 +51,8 @@ fn main() {
         let sim = core
             .simulate(&report.champion, 1_000_000)
             .expect("champion runs");
-        let det = measure_detection(&report.champion, structure, &core, &ccfg)
-            .expect("campaign runs");
+        let det =
+            measure_detection(&report.champion, structure, &core, &ccfg).expect("campaign runs");
         println!(
             "{:<22} {:>6} cycles  detection {:>6.1}%",
             structure.label(),

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper at the given scale
 # (default: reduced). Usage: scripts/run_all_experiments.sh [paper|reduced]
-set -euo pipefail
+#
+# Each binary writes its CSV plus a <name>.manifest.json run manifest
+# (config, seed, wall time, counter snapshot) into results/; a missing
+# manifest or a non-zero exit fails the whole script with the binary
+# named.
+set -uo pipefail
 SCALE="${1:-reduced}"
 cd "$(dirname "$0")/.."
 mkdir -p results/logs
@@ -22,10 +27,28 @@ BINS=(
   seventh_structure
 )
 
-cargo build --release -p harpo-bench
+cargo build --release -p harpo-bench || {
+  echo "FATAL: harpo-bench failed to build" >&2
+  exit 1
+}
+
+failed=()
 for bin in "${BINS[@]}"; do
   echo "==== $bin (scale: $SCALE) ===="
-  cargo run --release -p harpo-bench --bin "$bin" -- --scale "$SCALE" \
-    | tee "results/logs/$bin.txt"
+  if ! cargo run --release -p harpo-bench --bin "$bin" -- --scale "$SCALE" \
+    | tee "results/logs/$bin.txt"; then
+    echo "ERROR: $bin exited non-zero (log: results/logs/$bin.txt)" >&2
+    failed+=("$bin")
+    continue
+  fi
+  if [[ ! -s "results/$bin.manifest.json" ]]; then
+    echo "ERROR: $bin wrote no results/$bin.manifest.json" >&2
+    failed+=("$bin")
+  fi
 done
-echo "All experiments complete; CSVs in results/, logs in results/logs/."
+
+if ((${#failed[@]})); then
+  echo "FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "All ${#BINS[@]} experiments complete; CSVs + manifests in results/, logs in results/logs/."

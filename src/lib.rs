@@ -17,6 +17,7 @@
 //! * [`museqgen`] — the constrained-random generator and mutation engine
 //! * [`baselines`] — SiliFuzz-, OpenDCDiag- and MiBench-like comparators
 //! * [`core`] — the Harpocrates Generator–Mutator–Evaluator loop
+//! * [`telemetry`] — the run journal, metrics registry and stage spans
 
 pub use harpo_baselines as baselines;
 pub use harpo_core as core;
@@ -25,4 +26,5 @@ pub use harpo_faultsim as faultsim;
 pub use harpo_gates as gates;
 pub use harpo_isa as isa;
 pub use harpo_museqgen as museqgen;
+pub use harpo_telemetry as telemetry;
 pub use harpo_uarch as uarch;

@@ -79,8 +79,15 @@ fn checking_tests_catch_multiplier_faults_better_than_mul_free_code() {
     let structure = TargetStructure::IntMultiplier;
     let grade = |p: &harpocrates::isa::program::Program| {
         let sim = core.simulate(p, 50_000_000).unwrap();
-        measure_detection_with_golden(p, structure, &core, &ccfg, &sim.output.signature, &sim.trace)
-            .detection()
+        measure_detection_with_golden(
+            p,
+            structure,
+            &core,
+            &ccfg,
+            &sim.output.signature,
+            &sim.trace,
+        )
+        .detection()
     };
     let mxm = grade(&opendcdiag::mxm_int());
     let crc = grade(&opendcdiag::checksum_crc()); // multiplier-free
@@ -100,11 +107,21 @@ fn memcheck_dominates_l1d_detection() {
     let structure = TargetStructure::L1d;
     let grade = |p: &harpocrates::isa::program::Program| {
         let sim = core.simulate(p, 50_000_000).unwrap();
-        measure_detection_with_golden(p, structure, &core, &ccfg, &sim.output.signature, &sim.trace)
-            .detection()
+        measure_detection_with_golden(
+            p,
+            structure,
+            &core,
+            &ccfg,
+            &sim.output.signature,
+            &sim.trace,
+        )
+        .detection()
     };
     let mem = grade(&opendcdiag::mem_check());
     assert!(mem > 0.5, "memcheck L1D detection {mem:.3} should be high");
     let sha = grade(&mibench::sha_like());
-    assert!(mem > sha, "memcheck ({mem:.3}) above a streaming kernel ({sha:.3})");
+    assert!(
+        mem > sha,
+        "memcheck ({mem:.3}) above a streaming kernel ({sha:.3})"
+    );
 }

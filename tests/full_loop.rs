@@ -8,7 +8,11 @@ use harpocrates::faultsim::{measure_detection, CampaignConfig};
 use harpocrates::museqgen::{GenConstraints, Generator};
 use harpocrates::uarch::OooCore;
 
-fn small_loop(structure: TargetStructure, n_insts: usize, iters: usize) -> harpocrates::core::RunReport {
+fn small_loop(
+    structure: TargetStructure,
+    n_insts: usize,
+    iters: usize,
+) -> harpocrates::core::RunReport {
     let h = Harpocrates::new(
         Generator::new(GenConstraints {
             n_insts,

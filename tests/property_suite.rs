@@ -2,7 +2,7 @@
 //! encode/decode round trips, netlist/native equivalence, replay
 //! neutrality and generator safety.
 
-use harpo_gates::{int_adder, int_multiplier, fp_adder, fp_multiplier, Evaluator, FaultSet};
+use harpo_gates::{fp_adder, fp_multiplier, int_adder, int_multiplier, Evaluator, FaultSet};
 use harpocrates::isa::exec::Machine;
 use harpocrates::isa::fu::{FuProvider, NativeFu};
 use harpocrates::isa::softfp;

@@ -22,13 +22,24 @@ fn rcr_reference(width: u32, mut v: u64, mut cf: bool, count: u32) -> (u64, bool
         v = (v >> 1) | ((cf as u64) << (width - 1));
         cf = new_cf;
     }
-    (v & if width == 64 { u64::MAX } else { (1 << width) - 1 }, cf)
+    (
+        v & if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        },
+        cf,
+    )
 }
 
 fn rcl_reference(width: u32, mut v: u64, mut cf: bool, count: u32) -> (u64, bool) {
     let masked = count & if width == 64 { 63 } else { 31 };
     let n = masked % (width + 1);
-    let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     for _ in 0..n {
         let new_cf = v >> (width - 1) & 1 != 0;
         v = ((v << 1) | cf as u64) & mask;
@@ -109,11 +120,13 @@ fn generated_programs_exercise_rcr_corner() {
         let f = cat.form(i.form);
         matches!(f.mnemonic, Mnemonic::Rcr | Mnemonic::Rcl)
             && f.mode == harpocrates::isa::form::OpMode::RiB
-            && (i.imm as u32 & if f.width == Width::B64 { 63 } else { 31 })
-                % (f.width.bits() + 1)
+            && (i.imm as u32 & if f.width == Width::B64 { 63 } else { 31 }) % (f.width.bits() + 1)
                 == f.width.bits()
     });
-    assert!(corner, "3K rotate-heavy instructions should hit count==width");
+    assert!(
+        corner,
+        "3K rotate-heavy instructions should hit count==width"
+    );
     // And the program still runs deterministically.
     Machine::new(&p, NativeFu).run(100_000).expect("clean run");
 }

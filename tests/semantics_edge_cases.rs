@@ -273,7 +273,9 @@ fn packed_min_max_per_lane() {
         3.0f32.to_bits() as u64 | (4.0f32.to_bits() as u64) << 32,
         5.0f32.to_bits() as u64 | (8.0f32.to_bits() as u64) << 32,
     ];
-    let minps = Catalog::get().lookup(Mnemonic::Minps, OpMode::Xx, B32, true).unwrap();
+    let minps = Catalog::get()
+        .lookup(Mnemonic::Minps, OpMode::Xx, B32, true)
+        .unwrap();
     a.push(Inst::new(minps, 0, 1, 0));
     a.halt();
     let p = a.finish().unwrap();
@@ -287,7 +289,9 @@ fn psubq_wraps() {
     let mut a = Asm::new("psubq");
     a.reg_init.xmms[0] = [0, 5];
     a.reg_init.xmms[1] = [1, 2];
-    let psubq = Catalog::get().lookup(Mnemonic::Psubq, OpMode::Xx, B32, true).unwrap();
+    let psubq = Catalog::get()
+        .lookup(Mnemonic::Psubq, OpMode::Xx, B32, true)
+        .unwrap();
     a.push(Inst::new(psubq, 0, 1, 0));
     a.halt();
     let p = a.finish().unwrap();
@@ -298,7 +302,9 @@ fn psubq_wraps() {
 #[test]
 fn push_imm_and_stack_layout() {
     let mut a = Asm::new("pushimm");
-    let push_i = Catalog::get().lookup(Mnemonic::Push, OpMode::I, B64, false).unwrap();
+    let push_i = Catalog::get()
+        .lookup(Mnemonic::Push, OpMode::I, B64, false)
+        .unwrap();
     a.push(Inst::new(push_i, 0, 0, -5));
     a.op_r(Mnemonic::Pop, B64, Rcx);
     a.halt();
@@ -313,8 +319,18 @@ fn rip_relative_store_load_roundtrip_all_widths() {
     for w in [B32, B64] {
         let s = run(move |a| {
             a.mov_ri(B64, Rax, 0x0BAD_CAFE);
-            a.push(Inst::new(f(Mnemonic::Mov, OpMode::MrRip, w), Rax.index() as u8, 0, 0x200));
-            a.push(Inst::new(f(Mnemonic::Mov, OpMode::RmRip, w), Rbx.index() as u8, 0, 0x200));
+            a.push(Inst::new(
+                f(Mnemonic::Mov, OpMode::MrRip, w),
+                Rax.index() as u8,
+                0,
+                0x200,
+            ));
+            a.push(Inst::new(
+                f(Mnemonic::Mov, OpMode::RmRip, w),
+                Rbx.index() as u8,
+                0,
+                0x200,
+            ));
         });
         assert_eq!(s.gpr(Rbx), 0x0BAD_CAFE, "width {w}");
     }
@@ -323,7 +339,9 @@ fn rip_relative_store_load_roundtrip_all_widths() {
 #[test]
 fn cpuid_is_deterministic_but_flagged() {
     let cat = Catalog::get();
-    let cpuid = cat.lookup(Mnemonic::Cpuid, OpMode::None, B64, false).unwrap();
+    let cpuid = cat
+        .lookup(Mnemonic::Cpuid, OpMode::None, B64, false)
+        .unwrap();
     assert!(!cat.form(cpuid).deterministic, "flagged non-deterministic");
     // Inside the simulator it still produces fixed values (it models an
     // identification leaf, not a timer).

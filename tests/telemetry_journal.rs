@@ -1,0 +1,136 @@
+//! Cross-crate observability contract: the JSONL run journal emitted by
+//! the refinement loop parses with the in-tree JSON parser, carries the
+//! documented per-iteration and summary fields, and — critically — does
+//! not perturb the search (attaching telemetry is strictly
+//! observational).
+
+use harpocrates::core::{Evaluator, Harpocrates, LoopConfig};
+use harpocrates::coverage::TargetStructure;
+use harpocrates::museqgen::{GenConstraints, Generator};
+use harpocrates::telemetry::{json, JsonlSink, Metrics, Telemetry, Value};
+use harpocrates::uarch::OooCore;
+use std::sync::Arc;
+
+const ITERS: usize = 6;
+
+fn journal_loop(structure: TargetStructure) -> Harpocrates {
+    Harpocrates::new(
+        Generator::new(GenConstraints {
+            n_insts: 300,
+            ..GenConstraints::default()
+        }),
+        Evaluator::new(OooCore::default(), structure),
+        LoopConfig {
+            population: 8,
+            top_k: 3,
+            iterations: ITERS,
+            sample_every: ITERS,
+            seed: 0x70AD,
+            threads: 0,
+        },
+    )
+}
+
+#[test]
+fn jsonl_journal_round_trips_through_the_in_tree_parser() {
+    let path = std::env::temp_dir().join(format!("harpo-journal-{}.jsonl", std::process::id()));
+    let sink = JsonlSink::create(&path).expect("create journal");
+    let report = journal_loop(TargetStructure::IntAdder)
+        .with_telemetry(Telemetry::to(Arc::new(sink)))
+        .run();
+
+    let text = std::fs::read_to_string(&path).expect("read journal back");
+    std::fs::remove_file(&path).ok();
+    let records: Vec<Value> = text
+        .lines()
+        .map(|l| json::parse(l).expect("every journal line is valid JSON"))
+        .collect();
+
+    // One record per iteration (including the bootstrap generation 0)
+    // plus the final summary.
+    let iterations: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some("iteration"))
+        .collect();
+    assert_eq!(iterations.len(), ITERS + 1, "journal: {text}");
+    for (i, rec) in iterations.iter().enumerate() {
+        assert_eq!(rec.get("iter").and_then(Value::as_u64), Some(i as u64));
+        for key in ["evaluated", "new_survivors", "evaluation_ns"] {
+            assert!(
+                rec.get(key).and_then(Value::as_u64).is_some(),
+                "missing {key}"
+            );
+        }
+        for key in ["best", "mean", "champion", "kth"] {
+            let v = rec
+                .get(key)
+                .and_then(Value::as_f64)
+                .expect("coverage field");
+            assert!((0.0..=1.0).contains(&v), "{key} out of range: {v}");
+        }
+        // Bootstrap pays generation, later iterations pay mutation.
+        let gen_ns = rec.get("generation_ns").and_then(Value::as_u64).unwrap();
+        let mut_ns = rec.get("mutation_ns").and_then(Value::as_u64).unwrap();
+        if i == 0 {
+            assert!(gen_ns > 0 && mut_ns == 0);
+        } else {
+            assert!(gen_ns == 0 && mut_ns > 0);
+        }
+    }
+
+    let summary = records
+        .iter()
+        .find(|r| r.get("kind").and_then(Value::as_str) == Some("summary"))
+        .expect("summary record");
+    assert_eq!(
+        summary.get("iterations").and_then(Value::as_u64),
+        Some(ITERS as u64)
+    );
+    assert_eq!(
+        summary.get("programs_evaluated").and_then(Value::as_u64),
+        Some(report.timing.programs_evaluated)
+    );
+    assert_eq!(
+        summary.get("champion_coverage").and_then(Value::as_f64),
+        Some(report.champion_coverage)
+    );
+    assert!(summary.get("total_ns").and_then(Value::as_u64).unwrap() > 0);
+    // The counter snapshot rode along and agrees with the run totals.
+    let counters = summary.get("counters").expect("counter snapshot");
+    assert_eq!(
+        counters.get("evaluator.programs").and_then(Value::as_u64),
+        summary.get("programs_evaluated").and_then(Value::as_u64)
+    );
+    assert!(
+        counters
+            .get("uarch.cycles")
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
+fn journalling_is_invisible_to_the_search() {
+    let structure = TargetStructure::IntMultiplier;
+    let plain = journal_loop(structure).run();
+
+    let path = std::env::temp_dir().join(format!("harpo-determinism-{}.jsonl", std::process::id()));
+    let sink = JsonlSink::create(&path).expect("create journal");
+    let journalled = journal_loop(structure)
+        .with_telemetry(Telemetry::to(Arc::new(sink)))
+        .with_metrics(Metrics::new())
+        .run();
+    std::fs::remove_file(&path).ok();
+
+    // Bit-identical champion and coverage trajectory either way.
+    assert_eq!(plain.champion_coverage, journalled.champion_coverage);
+    assert_eq!(plain.champion.encode(), journalled.champion.encode());
+    let traj = |r: &harpocrates::core::RunReport| {
+        r.samples
+            .iter()
+            .map(|s| s.top_coverages.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(traj(&plain), traj(&journalled));
+}

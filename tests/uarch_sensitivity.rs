@@ -22,7 +22,12 @@ fn loop_program(body: impl Fn(&mut Asm), iters: i32) -> harpocrates::isa::Progra
 }
 
 fn cycles(cfg: CoreConfig, p: &harpocrates::isa::Program) -> u64 {
-    OooCore::new(cfg).simulate(p, 10_000_000).unwrap().trace.stats.cycles
+    OooCore::new(cfg)
+        .simulate(p, 10_000_000)
+        .unwrap()
+        .trace
+        .stats
+        .cycles
 }
 
 #[test]
@@ -111,7 +116,11 @@ fn smaller_cache_misses_more() {
     };
     small_cfg.validate();
     let small = OooCore::new(small_cfg).simulate(&p, 10_000_000).unwrap();
-    assert!(big.trace.stats.l1d_misses <= 260, "fits: {}", big.trace.stats.l1d_misses);
+    assert!(
+        big.trace.stats.l1d_misses <= 260,
+        "fits: {}",
+        big.trace.stats.l1d_misses
+    );
     assert!(
         small.trace.stats.l1d_misses > 1500,
         "thrashes: {}",
