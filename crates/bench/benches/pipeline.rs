@@ -4,11 +4,13 @@
 //! performance regressions in the engine itself are visible.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use harpo_core::Evaluator;
 use harpo_coverage::TargetStructure;
 use harpo_faultsim::screen_faults;
 use harpo_gates::{GateFault, GradedUnit, UnitEvaluators};
+use harpo_isa::program::Program;
 use harpo_museqgen::{GenConstraints, Generator, Mutator};
-use harpo_uarch::OooCore;
+use harpo_uarch::{OooCore, SimContext};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -75,9 +77,63 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// The allocation-free / work-stealing / memo-cache paths added by the
+/// performance-architecture work (DESIGN.md), benchmarked against their
+/// allocating predecessors.
+fn bench_perf_architecture(c: &mut Criterion) {
+    let gen = Generator::new(GenConstraints {
+        n_insts: 1_000,
+        ..GenConstraints::default()
+    });
+    let prog = gen.generate(7);
+    let core = OooCore::default();
+
+    // Fresh context per run (the old `simulate` behaviour) vs one warm
+    // context reused across runs.
+    c.bench_function("simulate_fresh_context_1k_inst", |b| {
+        b.iter(|| black_box(core.simulate(&prog, 1_000_000).unwrap()))
+    });
+    c.bench_function("simulate_into_warm_context_1k_inst", |b| {
+        let mut ctx = SimContext::new();
+        b.iter(|| {
+            core.simulate_into(&prog, 1_000_000, &mut ctx).unwrap();
+            black_box(ctx.result().unwrap().output.dyn_count)
+        })
+    });
+
+    // Population evaluation throughput across thread counts.
+    let popgen = Generator::new(GenConstraints {
+        n_insts: 300,
+        ..GenConstraints::default()
+    });
+    let pop: Vec<Program> = (0..64u64).map(|s| popgen.generate(s)).collect();
+    let ev = Evaluator::new(OooCore::default(), TargetStructure::IntAdder);
+    for threads in [1usize, 4, 8] {
+        c.bench_function(&format!("evaluate_population_64x300_t{threads}"), |b| {
+            b.iter(|| black_box(ev.evaluate_population(&pop, threads)))
+        });
+    }
+
+    // A cache-hit-heavy round: every program already fingerprinted, so
+    // the round is pure hashing + table lookups.
+    c.bench_function("memo_round_64_programs_all_hits", |b| {
+        let mut memo = std::collections::HashMap::new();
+        for p in &pop {
+            memo.insert(harpo_core::fingerprint(p), 0.5f64);
+        }
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for p in &pop {
+                acc += memo[&harpo_core::fingerprint(p)];
+            }
+            black_box(acc)
+        })
+    });
+}
+
 criterion_group! {
     name = pipeline;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
+    targets = bench_pipeline, bench_perf_architecture
 }
 criterion_main!(pipeline);

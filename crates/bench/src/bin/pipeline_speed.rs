@@ -1,0 +1,213 @@
+//! Performance-architecture speed harness (DESIGN.md, "Performance
+//! architecture").
+//!
+//! A dependency-free timing harness for the allocation-free simulation
+//! contexts, the work-stealing population evaluator and the evaluation
+//! memo cache. Unlike the criterion benches (which need `cargo bench`),
+//! this binary runs anywhere the workspace builds and writes
+//! `BENCH_pipeline.json` (median ns/op per benchmark plus the
+//! throughput ratio against the pre-optimisation evaluator) into the
+//! output directory.
+//!
+//! The `evaluate_population_static_fresh_*` baseline reproduces the old
+//! evaluator's *scheduling*: static `chunks_mut` partitioning with one
+//! fresh `simulate()` (allocating a new timing model, memory image and
+//! trace) per program. It still runs on the current simulator internals,
+//! so the ratio against it isolates the scheduling + context-reuse gain
+//! and UNDERSTATES the full speedup of this PR (the SoA trace arena,
+//! sparse `StepInfo` reset and word-wise signature hashing sped up the
+//! baseline's `simulate()` calls too). To record the end-to-end speedup,
+//! measure the pre-PR commit on the same workload — build the parent
+//! commit and time `Evaluator::evaluate_population` over 64 programs of
+//! 300 instructions (generator seeds 0..64, `TargetStructure::IntAdder`,
+//! median of 7 runs after one warm-up) — and pass the ns/op in via
+//! `--baseline-t1/--baseline-t4/--baseline-t8`; the summary then reports
+//! `population_speedup_tN` against those measurements.
+
+use harpo_core::{fingerprint, Evaluator};
+use harpo_coverage::TargetStructure;
+use harpo_isa::program::Program;
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_telemetry::Value;
+use harpo_uarch::{OooCore, SimContext};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `reps` runs of `f` and returns the median nanoseconds per run.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    assert!(reps >= 1);
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// The old evaluator's population loop: static chunks, one fresh
+/// allocating simulation per program.
+fn evaluate_population_static_fresh(
+    core: &OooCore,
+    structure: TargetStructure,
+    progs: &[Program],
+    threads: usize,
+) -> Vec<f64> {
+    let threads = threads.min(progs.len().max(1));
+    let chunk_size = progs.len().div_ceil(threads);
+    let mut out = vec![0.0; progs.len()];
+    std::thread::scope(|s| {
+        for (t, chunk) in out.chunks_mut(chunk_size).enumerate() {
+            let start = t * chunk_size;
+            let progs = &progs[start..start + chunk.len()];
+            s.spawn(move || {
+                for (score, p) in chunk.iter_mut().zip(progs) {
+                    if let Ok(sim) = core.simulate(p, 50_000_000) {
+                        *score = structure.coverage(&sim.trace, core.config());
+                        black_box((sim.output.signature, sim.trace));
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+/// CLI: `--out DIR` plus optional externally measured pre-PR ns/op
+/// (`--baseline-tN NS`, see the module docs for the measurement recipe).
+struct Args {
+    out_dir: std::path::PathBuf,
+    baseline: HashMap<usize, u64>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        out_dir: std::path::PathBuf::from("results"),
+        baseline: HashMap::new(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: usize| -> &str { args.get(i + 1).expect("flag needs a value") };
+        match args[i].as_str() {
+            "--out" => out.out_dir = std::path::PathBuf::from(take(i)),
+            "--baseline-t1" => {
+                out.baseline.insert(1, take(i).parse().expect("ns"));
+            }
+            "--baseline-t4" => {
+                out.baseline.insert(4, take(i).parse().expect("ns"));
+            }
+            "--baseline-t8" => {
+                out.baseline.insert(8, take(i).parse().expect("ns"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 2;
+    }
+    out
+}
+
+fn main() {
+    let cli = parse_args();
+    let core = OooCore::default();
+    let structure = TargetStructure::IntAdder;
+    let mut results: Vec<(String, Value)> = Vec::new();
+    let mut record = |name: &str, ns: u64| {
+        println!("{name:<44} {ns:>12} ns/op");
+        results.push((name.to_string(), ns.into()));
+    };
+
+    // --- single-program simulation: fresh vs warm context ------------
+    let gen1k = Generator::new(GenConstraints {
+        n_insts: 1_000,
+        ..GenConstraints::default()
+    });
+    let prog1k = gen1k.generate(7);
+    let sim_fresh = median_ns(30, || {
+        black_box(core.simulate(&prog1k, 50_000_000).unwrap());
+    });
+    record("simulate_fresh_context_1k_inst", sim_fresh);
+    let mut ctx = SimContext::new();
+    core.simulate_into(&prog1k, 50_000_000, &mut ctx).unwrap();
+    let sim_warm = median_ns(30, || {
+        core.simulate_into(&prog1k, 50_000_000, &mut ctx).unwrap();
+        black_box(ctx.result().unwrap().output.dyn_count);
+    });
+    record("simulate_into_warm_context_1k_inst", sim_warm);
+
+    // --- population evaluation: 64 programs, 1/4/8 threads -----------
+    let popgen = Generator::new(GenConstraints {
+        n_insts: 300,
+        ..GenConstraints::default()
+    });
+    let pop: Vec<Program> = (0..64u64).map(|s| popgen.generate(s)).collect();
+    let ev = Evaluator::new(core.clone(), structure);
+    // Warm the evaluator's context pool so steady-state reuse is
+    // measured, matching a mid-run loop iteration.
+    black_box(ev.evaluate_population(&pop, 8));
+    let mut per_thread: Vec<(usize, u64, u64)> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let stealing = median_ns(7, || {
+            black_box(ev.evaluate_population(&pop, threads));
+        });
+        record(&format!("evaluate_population_64x300_t{threads}"), stealing);
+        let baseline = median_ns(7, || {
+            black_box(evaluate_population_static_fresh(
+                &core, structure, &pop, threads,
+            ));
+        });
+        record(
+            &format!("evaluate_population_static_fresh_64x300_t{threads}"),
+            baseline,
+        );
+        per_thread.push((threads, stealing, baseline));
+    }
+
+    // --- a cache-hit-heavy round --------------------------------------
+    let mut memo: HashMap<u128, f64> = HashMap::new();
+    for p in &pop {
+        memo.insert(fingerprint(p), 0.5);
+    }
+    let cache_round = median_ns(30, || {
+        let mut acc = 0.0f64;
+        for p in &pop {
+            acc += memo[&fingerprint(p)];
+        }
+        black_box(acc);
+    });
+    record("memo_round_64_programs_all_hits", cache_round);
+
+    // --- summary ratios -----------------------------------------------
+    for (threads, stealing, static_fresh) in &per_thread {
+        let sched = *static_fresh as f64 / (*stealing).max(1) as f64;
+        println!(
+            "population throughput at {threads} threads: {sched:.2}x vs in-binary static+fresh"
+        );
+        results.push((
+            format!("population_speedup_t{threads}_scheduling_only"),
+            sched.into(),
+        ));
+        if let Some(&pre) = cli.baseline.get(threads) {
+            let full = pre as f64 / (*stealing).max(1) as f64;
+            println!("population throughput at {threads} threads: {full:.2}x vs pre-PR build");
+            results.push((
+                format!("evaluate_population_prepr_64x300_t{threads}"),
+                pre.into(),
+            ));
+            results.push((format!("population_speedup_t{threads}"), full.into()));
+        }
+    }
+    let sim_ratio = sim_fresh as f64 / sim_warm.max(1) as f64;
+    println!("warm-context simulation: {sim_ratio:.2}x vs fresh");
+    results.push(("simulate_into_speedup".to_string(), sim_ratio.into()));
+
+    std::fs::create_dir_all(&cli.out_dir).expect("create results dir");
+    let path = cli.out_dir.join("BENCH_pipeline.json");
+    let mut json = Value::Obj(results).to_json();
+    json.push('\n');
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("↳ wrote {}", path.display());
+}

@@ -21,10 +21,12 @@
 //! search itself: a journalled run produces a bit-identical champion.
 
 use crate::evaluator::{Evaluator, RoundStats};
+use crate::memo::fingerprint;
 use harpo_isa::program::Program;
 use harpo_museqgen::{Generator, Mutator};
-use harpo_telemetry::{Metrics, Record, Span, Telemetry};
+use harpo_telemetry::{Counter, Metrics, Record, Span, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Loop parameters (paper §VI-B per-structure values live in
@@ -177,10 +179,53 @@ impl Harpocrates {
         self.evaluator.metrics()
     }
 
+    /// Grades a population through the run-local memo cache: programs
+    /// whose semantic fingerprint has already been scored replay the
+    /// cached value; only the remainder is simulated. Evaluation is
+    /// deterministic, so a replayed score is bit-identical to a fresh
+    /// one and the search trajectory is unchanged.
+    fn score_population(
+        &self,
+        population: &[Program],
+        memo: &mut HashMap<u128, f64>,
+        hits: &Counter,
+        misses: &Counter,
+    ) -> Vec<f64> {
+        let keys: Vec<u128> = population.iter().map(fingerprint).collect();
+        let mut scores = vec![0.0f64; population.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            match memo.get(k) {
+                Some(&s) => {
+                    scores[i] = s;
+                    hits.inc();
+                }
+                None => {
+                    miss_idx.push(i);
+                    misses.inc();
+                }
+            }
+        }
+        let miss_refs: Vec<&Program> = miss_idx.iter().map(|&i| &population[i]).collect();
+        let fresh = self
+            .evaluator
+            .evaluate_population_refs(&miss_refs, self.cfg.threads);
+        for (&i, s) in miss_idx.iter().zip(fresh) {
+            scores[i] = s;
+            // Intra-round duplicates are both simulated (they were both
+            // misses at lookup time) and land on the same key with the
+            // same deterministic score — harmless.
+            memo.insert(keys[i], s);
+        }
+        scores
+    }
+
     /// Runs the complete refinement loop.
     pub fn run(&self) -> RunReport {
         let metrics = self.evaluator.metrics();
         let iter_counter = metrics.counter("engine.iterations");
+        let cache_hits = metrics.counter("engine.cache.hits");
+        let cache_misses = metrics.counter("engine.cache.misses");
         let h_generation = metrics.histogram("engine.stage.generation_ns");
         let h_compilation = metrics.histogram("engine.stage.compilation_ns");
         let h_mutation = metrics.histogram("engine.stage.mutation_ns");
@@ -221,14 +266,17 @@ impl Harpocrates {
 
         let mut survivors: Vec<(f64, Program)> = Vec::new();
         let mut samples = Vec::new();
+        // Evaluation memo: semantic fingerprint → coverage. Run-local so
+        // concurrent runs never share state and reproducibility is a
+        // property of the run alone.
+        let mut memo: HashMap<u128, f64> = HashMap::new();
 
         for iter in 0..=self.cfg.iterations {
-            // Step 1: evaluate the new offspring.
+            // Step 1: evaluate the new offspring (through the memo).
             let eval_before = timing.evaluation;
             let scores = {
                 let _s = Span::enter(&mut timing.evaluation).with_histogram(h_evaluation.clone());
-                self.evaluator
-                    .evaluate_population(&population, self.cfg.threads)
+                self.score_population(&population, &mut memo, &cache_hits, &cache_misses)
             };
             let eval_spent = timing.evaluation - eval_before;
             iter_counter.inc();
@@ -326,6 +374,8 @@ impl Harpocrates {
                 .field("iterations", timing.iterations)
                 .field("champion_coverage", champion_coverage)
                 .field("programs_evaluated", timing.programs_evaluated)
+                .field("cache_hits", cache_hits.get())
+                .field("cache_misses", cache_misses.get())
                 .field("instructions_processed", timing.instructions_processed)
                 .field("insts_per_sec", timing.instructions_per_second())
                 .field("generation_ns", timing.generation.as_nanos() as u64)
@@ -484,11 +534,54 @@ mod tests {
             Some(r.timing.programs_evaluated)
         );
         let counters = s.get("counters").unwrap();
-        assert_eq!(
-            counters.get("evaluator.programs").unwrap().as_u64(),
-            Some(r.timing.programs_evaluated)
-        );
+        // Every graded program is either freshly simulated (an
+        // evaluator.programs tick) or replayed from the memo cache.
+        let simulated = counters
+            .get("evaluator.programs")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let hits = counters.get("engine.cache.hits").unwrap().as_u64().unwrap();
+        let misses = counters
+            .get("engine.cache.misses")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(simulated + hits, r.timing.programs_evaluated);
+        assert_eq!(simulated, misses, "every miss is simulated exactly once");
+        assert_eq!(s.get("cache_hits").unwrap().as_u64(), Some(hits));
+        assert_eq!(s.get("cache_misses").unwrap().as_u64(), Some(misses));
         assert_eq!(counters.get("engine.iterations").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn memo_cache_replays_repeat_programs() {
+        // Evaluate the same population twice by running survivors back
+        // through the pool: with replace-all mutation the survivors
+        // themselves never re-enter `population`, so drive the cache
+        // directly through two identical runs sharing one engine.
+        let h = tiny_harpocrates(TargetStructure::IntAdder, 4);
+        let a = h.run();
+        let hits_after_first = h.metrics().counter("engine.cache.hits").get();
+        let misses_after_first = h.metrics().counter("engine.cache.misses").get();
+        let b = h.run();
+        let hits_after_second = h.metrics().counter("engine.cache.hits").get();
+
+        // The memo is run-local, so the second run starts cold and must
+        // behave identically to the first — both in search outcome and
+        // in cache statistics.
+        assert_eq!(a.champion_coverage, b.champion_coverage);
+        assert_eq!(a.champion.insts, b.champion.insts);
+        assert_eq!(hits_after_second, hits_after_first * 2);
+        assert_eq!(
+            h.metrics().counter("engine.cache.misses").get(),
+            misses_after_first * 2
+        );
+        // Cached scores never tick evaluator.programs.
+        assert_eq!(
+            h.metrics().counter("evaluator.programs").get(),
+            misses_after_first * 2
+        );
     }
 
     #[test]

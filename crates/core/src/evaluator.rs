@@ -16,8 +16,10 @@ use harpo_coverage::TargetStructure;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
 use harpo_telemetry::{effective_threads, Counter, Histogram, Metrics};
-use harpo_uarch::{ExecutionTrace, OooCore};
+use harpo_uarch::{ExecutionTrace, OooCore, SimContext};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Result of grading one program.
 #[derive(Debug, Clone)]
@@ -61,9 +63,13 @@ pub struct Evaluator {
     programs: Counter,
     traps: Counter,
     thread_batch: Histogram,
+    steals: Counter,
     uarch_cycles: Counter,
     uarch_insts: Counter,
     uarch_stalls: Counter,
+    /// Pool of warm simulation contexts, checked out per worker thread so
+    /// consecutive rounds keep their allocations (clones share the pool).
+    contexts: Arc<Mutex<Vec<SimContext>>>,
 }
 
 impl Evaluator {
@@ -80,10 +86,12 @@ impl Evaluator {
             programs: metrics.counter("evaluator.programs"),
             traps: metrics.counter("evaluator.traps"),
             thread_batch: metrics.histogram("evaluator.thread_batch"),
+            steals: metrics.counter("evaluator.steals"),
             uarch_cycles: metrics.counter("uarch.cycles"),
             uarch_insts: metrics.counter("uarch.insts"),
             uarch_stalls: metrics.counter("uarch.dispatch_stalls"),
             metrics,
+            contexts: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -92,11 +100,26 @@ impl Evaluator {
         self.programs = metrics.counter("evaluator.programs");
         self.traps = metrics.counter("evaluator.traps");
         self.thread_batch = metrics.histogram("evaluator.thread_batch");
+        self.steals = metrics.counter("evaluator.steals");
         self.uarch_cycles = metrics.counter("uarch.cycles");
         self.uarch_insts = metrics.counter("uarch.insts");
         self.uarch_stalls = metrics.counter("uarch.dispatch_stalls");
         self.metrics = metrics;
         self
+    }
+
+    /// Checks a warm context out of the pool (or a fresh one).
+    fn checkout(&self) -> SimContext {
+        self.contexts
+            .lock()
+            .expect("context pool")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a context to the pool for the next round.
+    fn checkin(&self, ctx: SimContext) {
+        self.contexts.lock().expect("context pool").push(ctx);
     }
 
     /// The shared metrics registry this evaluator reports into.
@@ -114,17 +137,46 @@ impl Evaluator {
         &self.core
     }
 
-    /// Grades one program.
+    /// Grades one program. The simulation runs in a pooled context, but
+    /// the trace is handed to the caller, so the trace buffers are fresh
+    /// allocations; batch scoring goes through
+    /// [`Evaluator::evaluate_population`], which never exports traces.
     pub fn evaluate(&self, prog: &Program) -> Evaluation {
         self.programs.inc();
-        match self.core.simulate(prog, self.cap) {
+        let mut ctx = self.checkout();
+        let eval = if self.core.simulate_into(prog, self.cap, &mut ctx).is_err() {
+            self.traps.inc();
+            Evaluation {
+                coverage: 0.0,
+                signature: None,
+                trace: None,
+            }
+        } else {
+            let sim = ctx.take_result().expect("simulation succeeded");
+            let stats = &sim.trace.stats;
+            self.uarch_cycles.add(stats.cycles);
+            self.uarch_insts.add(stats.insts);
+            self.uarch_stalls
+                .add(stats.rob_stalls + stats.iq_stalls + stats.prf_stalls);
+            Evaluation {
+                coverage: self.structure.coverage(&sim.trace, self.core.config()),
+                signature: Some(sim.output.signature),
+                trace: Some(sim.trace),
+            }
+        };
+        self.checkin(ctx);
+        eval
+    }
+
+    /// Scores one program inside a reused context: the trace is only
+    /// borrowed for the coverage computation and its buffers stay in the
+    /// context for the next simulation.
+    fn score_with(&self, prog: &Program, ctx: &mut SimContext) -> f64 {
+        self.programs.inc();
+        match self.core.simulate_into(prog, self.cap, ctx) {
             Err(_) => {
                 self.traps.inc();
-                Evaluation {
-                    coverage: 0.0,
-                    signature: None,
-                    trace: None,
-                }
+                0.0
             }
             Ok(sim) => {
                 let stats = &sim.trace.stats;
@@ -132,11 +184,7 @@ impl Evaluator {
                 self.uarch_insts.add(stats.insts);
                 self.uarch_stalls
                     .add(stats.rob_stalls + stats.iq_stalls + stats.prf_stalls);
-                Evaluation {
-                    coverage: self.structure.coverage(&sim.trace, self.core.config()),
-                    signature: Some(sim.output.signature),
-                    trace: Some(sim.trace),
-                }
+                self.structure.coverage(&sim.trace, self.core.config())
             }
         }
     }
@@ -145,20 +193,57 @@ impl Evaluator {
     /// input order. This is the paper's "programs are simulated in
     /// parallel in gem5" step, scaled to the host's cores.
     pub fn evaluate_population(&self, progs: &[Program], threads: usize) -> Vec<f64> {
-        let threads = effective_threads(threads).min(progs.len().max(1));
-        let chunk_size = progs.len().div_ceil(threads);
+        let refs: Vec<&Program> = progs.iter().collect();
+        self.evaluate_population_refs(&refs, threads)
+    }
+
+    /// [`Evaluator::evaluate_population`] over borrowed programs (the
+    /// engine's memo cache grades only the cache-miss subset, which is a
+    /// gather of references).
+    ///
+    /// Work distribution is an atomic-cursor work-stealing loop: workers
+    /// claim the next un-graded index as they finish the previous one, so
+    /// a thread stuck on one expensive simulation cannot idle its peers
+    /// the way static chunking can. Scores are keyed by index and merged
+    /// after the join, so the result is order-deterministic regardless of
+    /// which worker graded what; claims beyond a worker's fair share are
+    /// reported as `evaluator.steals`.
+    pub fn evaluate_population_refs(&self, progs: &[&Program], threads: usize) -> Vec<f64> {
+        if progs.is_empty() {
+            return Vec::new();
+        }
+        let threads = effective_threads(threads).min(progs.len());
+        let fair_share = progs.len().div_ceil(threads) as u64;
+        let cursor = AtomicUsize::new(0);
         let mut out = vec![0.0; progs.len()];
         std::thread::scope(|s| {
-            for (t, chunk) in out.chunks_mut(chunk_size).enumerate() {
-                let start = t * chunk_size;
-                let this = &*self;
-                let progs = &progs[start..start + chunk.len()];
-                this.thread_batch.observe(progs.len() as u64);
-                s.spawn(move || {
-                    for (score, p) in chunk.iter_mut().zip(progs) {
-                        *score = this.evaluate(p).coverage;
-                    }
-                });
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let this = &*self;
+                    s.spawn(move || {
+                        let mut ctx = this.checkout();
+                        let mut local: Vec<(usize, f64)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= progs.len() {
+                                break;
+                            }
+                            local.push((i, this.score_with(progs[i], &mut ctx)));
+                        }
+                        this.checkin(ctx);
+                        this.thread_batch.observe(local.len() as u64);
+                        if local.len() as u64 > fair_share {
+                            this.steals.add(local.len() as u64 - fair_share);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, score) in h.join().expect("evaluator worker") {
+                    out[i] = score;
+                }
             }
         });
         out
@@ -229,6 +314,30 @@ mod tests {
         ev.evaluate(&a.finish().unwrap());
         assert_eq!(metrics.counter("evaluator.traps").get(), 1);
         assert_eq!(metrics.counter("evaluator.programs").get(), 5);
+    }
+
+    #[test]
+    fn empty_population_returns_empty() {
+        // Regression: static chunking panicked on `chunks_mut(0)` when the
+        // population was empty.
+        let ev = Evaluator::new(OooCore::default(), TargetStructure::Irf);
+        assert!(ev.evaluate_population(&[], 4).is_empty());
+        assert!(ev.evaluate_population_refs(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn population_refs_match_owned_population() {
+        let ev = Evaluator::new(OooCore::default(), TargetStructure::Irf);
+        let gen = harpo_museqgen::Generator::new(harpo_museqgen::GenConstraints {
+            n_insts: 100,
+            ..Default::default()
+        });
+        let pop: Vec<_> = (0..5).map(|s| gen.generate(s)).collect();
+        let refs: Vec<&harpo_isa::program::Program> = pop.iter().collect();
+        assert_eq!(
+            ev.evaluate_population(&pop, 2),
+            ev.evaluate_population_refs(&refs, 2)
+        );
     }
 
     #[test]

@@ -39,8 +39,10 @@
 
 pub mod engine;
 pub mod evaluator;
+pub mod memo;
 pub mod presets;
 
 pub use engine::{Harpocrates, LoopConfig, LoopTiming, RunReport, Sample};
 pub use evaluator::{Evaluation, Evaluator, RoundStats};
+pub use memo::{fingerprint, Fnv128};
 pub use presets::{preset, Scale};

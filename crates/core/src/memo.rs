@@ -1,0 +1,135 @@
+//! Evaluation memoisation.
+//!
+//! The (μ+λ) loop re-evaluates every offspring each round, but replace-all
+//! mutation occasionally reproduces a program the loop has already graded
+//! (and survivors re-enter the pool verbatim when selection is stable).
+//! Since evaluation is deterministic — same program, same core config,
+//! same coverage — a score computed once can be replayed from a table
+//! instead of re-simulated.
+//!
+//! Programs are keyed by a 128-bit FNV-style fingerprint of their
+//! *semantic* content: the instruction sequence, the initial register
+//! state and the memory image. The `name` field is deliberately excluded
+//! — it is a human label and two programs differing only in name execute
+//! identically. 128 bits keeps the collision probability negligible at
+//! any realistic population size (birthday bound ≈ 2⁻⁶⁴ per pair), so the
+//! engine treats a fingerprint hit as a definitive score.
+
+use harpo_isa::program::Program;
+use std::hash::{Hash, Hasher};
+
+/// A 128-bit streaming hasher: two independent 64-bit FNV-1a-style
+/// accumulators with distinct offset bases and odd multipliers. Not
+/// cryptographic — just wide enough that accidental collisions are out
+/// of reach for the memo table's lifetime.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fnv128 {
+    const LO_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const LO_PRIME: u64 = 0x0000_0100_0000_01b3;
+    const HI_OFFSET: u64 = 0x6c62_272e_07bb_0142;
+    const HI_PRIME: u64 = 0x0000_0001_0000_01b5;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            lo: Self::LO_OFFSET,
+            hi: Self::HI_OFFSET,
+        }
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn fingerprint(&self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+impl Hasher for Fnv128 {
+    fn finish(&self) -> u64 {
+        self.lo ^ self.hi
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ b as u64).wrapping_mul(Self::LO_PRIME);
+            self.hi = (self.hi ^ b as u64).wrapping_mul(Self::HI_PRIME);
+        }
+    }
+}
+
+/// The memo key of a program: a 128-bit fingerprint of its instructions,
+/// initial register state and memory image (the name is excluded).
+pub fn fingerprint(prog: &Program) -> u128 {
+    let mut h = Fnv128::new();
+    prog.insts.hash(&mut h);
+    prog.reg_init.hash(&mut h);
+    prog.mem.hash(&mut h);
+    h.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_museqgen::{GenConstraints, Generator};
+
+    fn gen() -> Generator {
+        Generator::new(GenConstraints {
+            n_insts: 60,
+            ..GenConstraints::default()
+        })
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        let p = gen().generate(42);
+        assert_eq!(fingerprint(&p), fingerprint(&p.clone()));
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_name() {
+        let p = gen().generate(42);
+        let mut q = p.clone();
+        q.name = "renamed".into();
+        assert_eq!(fingerprint(&p), fingerprint(&q));
+    }
+
+    #[test]
+    fn distinct_programs_have_distinct_fingerprints() {
+        let g = gen();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            assert!(seen.insert(fingerprint(&g.generate(seed))));
+        }
+    }
+
+    #[test]
+    fn single_instruction_change_moves_the_fingerprint() {
+        let p = gen().generate(7);
+        let mut q = p.clone();
+        // Swap two instructions (the generated tail always ends in halt,
+        // so swap within the body).
+        q.insts.swap(0, 1);
+        if q.insts == p.insts {
+            return; // degenerate: identical neighbours
+        }
+        assert_ne!(fingerprint(&p), fingerprint(&q));
+    }
+
+    #[test]
+    fn fingerprint_sees_reg_and_mem_state() {
+        let p = gen().generate(9);
+        let mut q = p.clone();
+        q.reg_init.gprs[3] ^= 1;
+        assert_ne!(fingerprint(&p), fingerprint(&q));
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end determinism guarantees for the refinement loop.
+//!
+//! The performance work (reusable simulation contexts, work-stealing
+//! population evaluation, the evaluation memo cache) must not move a
+//! single bit of the search outcome: same seed → same champion program,
+//! same coverage, same sample trajectory. These tests pin that contract
+//! at the engine level.
+//!
+//! The golden-value test additionally pins the *absolute* outcome of a
+//! seeded run so that any future change to evaluation order, scoring or
+//! caching that silently shifts results is caught — not just
+//! run-to-run nondeterminism. Golden constants depend on the exact RNG
+//! stream, so they are gated on an RNG fingerprint and the test degrades
+//! to a run-twice determinism check when the stream differs.
+
+use harpo_core::{Evaluator, Harpocrates, LoopConfig};
+use harpo_coverage::TargetStructure;
+use harpo_isa::mem::fnv1a;
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_uarch::{OooCore, SimContext};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn golden_harpocrates(structure: TargetStructure) -> Harpocrates {
+    let gen = Generator::new(GenConstraints {
+        n_insts: 200,
+        ..GenConstraints::default()
+    });
+    let ev = Evaluator::new(OooCore::default(), structure);
+    Harpocrates::new(
+        gen,
+        ev,
+        LoopConfig {
+            population: 8,
+            top_k: 2,
+            iterations: 5,
+            sample_every: 5,
+            seed: 0xD5EED,
+            threads: 2,
+        },
+    )
+}
+
+/// The golden constants below were captured against this exact RNG
+/// stream; a different `rand` backend yields a different (but equally
+/// deterministic) trajectory.
+fn rng_stream_matches_golden() -> bool {
+    StdRng::seed_from_u64(0xA1C0).next_u64() == 0xd5fab77b605f0bb5
+}
+
+struct Golden {
+    structure: TargetStructure,
+    coverage_bits: u64,
+    champ_hash: u64,
+    top_bits: [u64; 2],
+}
+
+const GOLDENS: [Golden; 2] = [
+    Golden {
+        structure: TargetStructure::IntAdder,
+        coverage_bits: 0x3fa86678dfb4f331,
+        champ_hash: 0xb2b6e73c105f9391,
+        top_bits: [0x3fa86678dfb4f331, 0x3fa7dece06db0426],
+    },
+    Golden {
+        structure: TargetStructure::Irf,
+        coverage_bits: 0x3fb5056cbd32398a,
+        champ_hash: 0x4828171af0f8bc4f,
+        top_bits: [0x3fb5056cbd32398a, 0x3fb4e9bcb564efe9],
+    },
+];
+
+#[test]
+fn seeded_runs_hit_golden_values() {
+    for g in &GOLDENS {
+        let r = golden_harpocrates(g.structure).run();
+        assert_eq!(r.champion.len(), 201);
+        if rng_stream_matches_golden() {
+            assert_eq!(
+                r.champion_coverage.to_bits(),
+                g.coverage_bits,
+                "{:?}: champion coverage moved (got bits {:#x} = {})",
+                g.structure,
+                r.champion_coverage.to_bits(),
+                r.champion_coverage
+            );
+            assert_eq!(
+                fnv1a(&r.champion.encode()),
+                g.champ_hash,
+                "{:?}: champion machine code changed",
+                g.structure
+            );
+            let last = r.samples.last().unwrap();
+            let bits: Vec<u64> = last.top_coverages.iter().map(|c| c.to_bits()).collect();
+            assert_eq!(
+                bits, g.top_bits,
+                "{:?}: survivor trajectory moved",
+                g.structure
+            );
+        } else {
+            // Unknown RNG stream: fall back to exact run-to-run equality.
+            let r2 = golden_harpocrates(g.structure).run();
+            assert_eq!(
+                r.champion_coverage.to_bits(),
+                r2.champion_coverage.to_bits()
+            );
+            assert_eq!(r.champion.encode(), r2.champion.encode());
+            assert_eq!(
+                r.samples.last().unwrap().top_coverages,
+                r2.samples.last().unwrap().top_coverages
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_the_outcome() {
+    // Work-stealing changes which worker grades which program, never the
+    // program→score mapping or the selection order.
+    let run_at = |threads: usize| {
+        let gen = Generator::new(GenConstraints {
+            n_insts: 150,
+            ..GenConstraints::default()
+        });
+        let ev = Evaluator::new(OooCore::default(), TargetStructure::IntMultiplier);
+        Harpocrates::new(
+            gen,
+            ev,
+            LoopConfig {
+                population: 9,
+                top_k: 3,
+                iterations: 4,
+                sample_every: 2,
+                seed: 77,
+                threads,
+            },
+        )
+        .run()
+    };
+    let one = run_at(1);
+    for threads in [2, 4, 8] {
+        let many = run_at(threads);
+        assert_eq!(
+            one.champion_coverage.to_bits(),
+            many.champion_coverage.to_bits()
+        );
+        assert_eq!(one.champion.insts, many.champion.insts);
+        assert_eq!(
+            one.samples.last().unwrap().top_coverages,
+            many.samples.last().unwrap().top_coverages
+        );
+    }
+}
+
+#[test]
+fn simulate_into_matches_simulate_over_a_corpus() {
+    // One long-lived context replaying a generated corpus must agree
+    // with a fresh simulation of every program, field for field.
+    let gen = Generator::new(GenConstraints {
+        n_insts: 120,
+        ..GenConstraints::default()
+    });
+    let core = OooCore::default();
+    let mut ctx = SimContext::new();
+    for seed in 0..24u64 {
+        let prog = gen.generate(seed);
+        let fresh = core.simulate(&prog, 1_000_000);
+        let reused = core.simulate_into(&prog, 1_000_000, &mut ctx);
+        match (fresh, reused) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.output.signature, b.output.signature, "seed {seed}");
+                assert_eq!(a.output.dyn_count, b.output.dyn_count, "seed {seed}");
+                assert_eq!(a.trace.stats, b.trace.stats, "seed {seed}");
+                assert_eq!(a.trace.reg_instances, b.trace.reg_instances, "seed {seed}");
+                assert_eq!(a.trace.xmm_instances, b.trace.xmm_instances, "seed {seed}");
+                assert_eq!(a.trace.reads, b.trace.reads, "seed {seed}");
+                assert_eq!(a.trace.dyn_records, b.trace.dyn_records, "seed {seed}");
+            }
+            (Err(ta), Err(tb)) => assert_eq!(ta, tb, "seed {seed}"),
+            (a, b) => panic!("seed {seed}: divergent outcomes {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -55,7 +55,7 @@ pub fn irf_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
         }
         let mut last = [0u64; 64];
         let mut any = false;
-        for r in &inst.reads {
+        for r in trace.reads_of(inst) {
             if !live.get(r.dyn_idx as usize).copied().unwrap_or(false) {
                 continue;
             }
@@ -96,7 +96,7 @@ pub fn xrf_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
         }
         let mut last = [0u64; 128];
         let mut any = false;
-        for r in &inst.reads {
+        for r in trace.xmm_reads_of(inst) {
             if !live.get(r.dyn_idx as usize).copied().unwrap_or(false) {
                 continue;
             }

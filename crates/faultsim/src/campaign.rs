@@ -8,10 +8,10 @@
 //! [`crate::gate`] before paying for a functional replay.
 
 use crate::fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults};
-use crate::gate::{replay_gate_permanent_counted, screen_faults};
+use crate::gate::{replay_gate_permanent_counted_ctx, screen_faults};
 use crate::outcome::{CampaignResult, FaultOutcome};
 use crate::plan::{plan_irf, plan_l1d, plan_xrf};
-use crate::replay::replay_with_plan_counted;
+use crate::replay::{replay_with_plan_counted_ctx, ReplayCtx};
 use harpo_coverage::TargetStructure;
 use harpo_gates::{GateFault, GradedUnit, UnitEvaluators};
 use harpo_isa::exec::Trap;
@@ -143,31 +143,33 @@ pub fn measure_detection_with_golden(
     match structure {
         TargetStructure::Irf => {
             let faults = sample_irf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res| {
+            parallel_tally(ccfg, faults.len(), |i, res, ctx| {
                 let plan = plan_irf(trace, &faults[i]);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                 } else {
-                    let (o, insts) = replay_with_plan_counted(prog, &plan, golden, replay_cap);
+                    let (o, insts) =
+                        replay_with_plan_counted_ctx(prog, &plan, golden, replay_cap, ctx);
                     res.record_replayed(o, insts);
                 }
             })
         }
         TargetStructure::Xrf => {
             let faults = sample_xrf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res| {
+            parallel_tally(ccfg, faults.len(), |i, res, ctx| {
                 let plan = plan_xrf(trace, &faults[i]);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                 } else {
-                    let (o, insts) = replay_with_plan_counted(prog, &plan, golden, replay_cap);
+                    let (o, insts) =
+                        replay_with_plan_counted_ctx(prog, &plan, golden, replay_cap, ctx);
                     res.record_replayed(o, insts);
                 }
             })
         }
         TargetStructure::L1d => {
             let faults = sample_l1d_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res| {
+            parallel_tally(ccfg, faults.len(), |i, res, ctx| {
                 let plan = plan_l1d(trace, cfg, &faults[i]);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
@@ -176,7 +178,8 @@ pub fn measure_detection_with_golden(
                     // access — the consumer never sees corrupted data.
                     res.record(FaultOutcome::Corrected, true);
                 } else {
-                    let (o, insts) = replay_with_plan_counted(prog, &plan, golden, replay_cap);
+                    let (o, insts) =
+                        replay_with_plan_counted_ctx(prog, &plan, golden, replay_cap, ctx);
                     res.record_replayed(o, insts);
                 }
             })
@@ -187,12 +190,12 @@ pub fn measure_detection_with_golden(
             // Stage 1: activation screening in 64-fault packed batches.
             let activated = screen_all(trace, unit, &faults, ccfg);
             // Stage 2: propagation replay for activated faults only.
-            let mut result = parallel_tally(ccfg, faults.len(), |i, res| {
+            let mut result = parallel_tally(ccfg, faults.len(), |i, res, ctx| {
                 if !activated[i] {
                     res.record(FaultOutcome::Masked, true);
                 } else {
                     let (o, insts) =
-                        replay_gate_permanent_counted(prog, faults[i], golden, replay_cap);
+                        replay_gate_permanent_counted_ctx(prog, faults[i], golden, replay_cap, ctx);
                     res.record_replayed(o, insts);
                 }
             });
@@ -239,11 +242,15 @@ fn screen_all(
     out
 }
 
-/// Fans `n` independent fault gradings across threads and merges tallies.
+/// Fans `n` independent fault gradings across threads and merges
+/// tallies. Each worker owns one [`ReplayCtx`] so every replay it runs
+/// recycles the same memory buffer; the strided index distribution is
+/// kept (rather than work stealing) because tallies are merged per
+/// worker and the assignment must stay deterministic.
 fn parallel_tally(
     ccfg: &CampaignConfig,
     n: usize,
-    grade: impl Fn(usize, &mut CampaignResult) + Sync,
+    grade: impl Fn(usize, &mut CampaignResult, &mut ReplayCtx) + Sync,
 ) -> CampaignResult {
     let threads = ccfg.effective_threads().min(n.max(1));
     let mut total = CampaignResult::default();
@@ -253,9 +260,10 @@ fn parallel_tally(
             .map(|t| {
                 s.spawn(move || {
                     let mut local = CampaignResult::default();
+                    let mut ctx = ReplayCtx::new();
                     let mut i = t;
                     while i < n {
-                        grade(i, &mut local);
+                        grade(i, &mut local, &mut ctx);
                         i += threads;
                     }
                     local

@@ -17,6 +17,7 @@
 //! instruction burst, toggling the provider between steps.
 
 use crate::outcome::FaultOutcome;
+use crate::replay::ReplayCtx;
 use harpo_gates::{screen_activation, FaultyFu, GateFault, GradedUnit, UnitEvaluators};
 use harpo_isa::exec::Machine;
 use harpo_isa::form::FuKind;
@@ -81,7 +82,22 @@ pub fn replay_gate_permanent_counted(
     golden: &Signature,
     cap: u64,
 ) -> (FaultOutcome, u64) {
-    let mut m = Machine::new(prog, FaultyFu::new(fault));
+    replay_gate_permanent_counted_ctx(prog, fault, golden, cap, &mut ReplayCtx::new())
+}
+
+/// [`replay_gate_permanent_counted`] variant that recycles the machine's
+/// memory buffer through `ctx` across replays.
+pub fn replay_gate_permanent_counted_ctx(
+    prog: &Program,
+    fault: GateFault,
+    golden: &Signature,
+    cap: u64,
+    ctx: &mut ReplayCtx,
+) -> (FaultOutcome, u64) {
+    let mut m = match ctx.take_mem() {
+        Some(mem) => Machine::new_in(prog, FaultyFu::new(fault), mem),
+        None => Machine::new(prog, FaultyFu::new(fault)),
+    };
     let outcome = match m.run(cap) {
         Err(_) => FaultOutcome::Crash,
         Ok(out) => {
@@ -92,7 +108,9 @@ pub fn replay_gate_permanent_counted(
             }
         }
     };
-    (outcome, m.dyn_count())
+    let insts = m.dyn_count();
+    ctx.park_mem(m.into_memory());
+    (outcome, insts)
 }
 
 /// Propagation replay of an intermittent gate fault asserted only for

@@ -33,11 +33,14 @@ pub use fault::{
     IrfFault, L1dFault, XrfFault,
 };
 pub use gate::{
-    replay_gate_intermittent, replay_gate_permanent, replay_gate_permanent_counted, screen_faults,
+    replay_gate_intermittent, replay_gate_permanent, replay_gate_permanent_counted,
+    replay_gate_permanent_counted_ctx, screen_faults,
 };
 pub use outcome::{CampaignResult, FaultOutcome};
 pub use plan::{
     plan_irf, plan_irf_intermittent, plan_l1d, plan_xrf, CorruptKind, CorruptionPlan, LoadFlip,
     RegFlip, XmmFlip,
 };
-pub use replay::{replay_with_plan, replay_with_plan_counted, PlanHooks};
+pub use replay::{
+    replay_with_plan, replay_with_plan_counted, replay_with_plan_counted_ctx, PlanHooks, ReplayCtx,
+};

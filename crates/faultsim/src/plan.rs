@@ -103,7 +103,7 @@ pub fn plan_irf(trace: &ExecutionTrace, f: &IrfFault) -> CorruptionPlan {
         if inst.preg != f.preg || f.cycle < inst.write_cycle || f.cycle >= inst.free_cycle {
             continue;
         }
-        for r in &inst.reads {
+        for r in trace.reads_of(inst) {
             if r.cycle >= f.cycle {
                 plan.reg_flips.push(RegFlip {
                     dyn_idx: r.dyn_idx,
@@ -129,7 +129,7 @@ pub fn plan_xrf(trace: &ExecutionTrace, f: &XrfFault) -> CorruptionPlan {
         if inst.preg != f.preg || f.cycle < inst.write_cycle || f.cycle >= inst.free_cycle {
             continue;
         }
-        for r in &inst.reads {
+        for r in trace.xmm_reads_of(inst) {
             if r.cycle >= f.cycle {
                 plan.xmm_flips.push(XmmFlip {
                     dyn_idx: r.dyn_idx,
@@ -164,7 +164,7 @@ pub fn plan_irf_intermittent(
         if inst.preg != preg || inst.write_cycle >= to || inst.free_cycle <= from {
             continue;
         }
-        for r in &inst.reads {
+        for r in trace.reads_of(inst) {
             if r.cycle >= from && r.cycle < to {
                 plan.reg_flips.push(RegFlip {
                     dyn_idx: r.dyn_idx,
@@ -354,7 +354,7 @@ mod tests {
             .find(|i| i.writer == 0)
             .unwrap();
         assert!(!inst.live_at_end, "instance was overwritten");
-        let last_read = inst.reads.last().unwrap().cycle;
+        let last_read = r.trace.reads_of(inst).last().unwrap().cycle;
         let fault = IrfFault {
             preg: inst.preg,
             bit: 0,

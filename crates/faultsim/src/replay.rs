@@ -12,9 +12,37 @@ use crate::outcome::FaultOutcome;
 use crate::plan::CorruptionPlan;
 use harpo_isa::exec::{ExecHooks, Machine};
 use harpo_isa::fu::NativeFu;
+use harpo_isa::mem::Memory;
 use harpo_isa::program::Program;
 use harpo_isa::reg::Gpr;
 use harpo_isa::state::Signature;
+
+/// Reusable scratch state for faulty replays. A campaign worker replays
+/// thousands of faults against the same program; recycling the machine's
+/// memory image between replays turns the per-replay memory build into a
+/// clear-and-refill of one long-lived buffer instead of a fresh
+/// allocation (see DESIGN.md, "Performance architecture").
+#[derive(Debug, Default)]
+pub struct ReplayCtx {
+    mem: Option<Memory>,
+}
+
+impl ReplayCtx {
+    /// An empty context; the buffer is allocated by the first replay.
+    pub fn new() -> ReplayCtx {
+        ReplayCtx::default()
+    }
+
+    /// Takes the parked memory buffer, if any.
+    pub(crate) fn take_mem(&mut self) -> Option<Memory> {
+        self.mem.take()
+    }
+
+    /// Parks a spent machine's memory for the next replay.
+    pub(crate) fn park_mem(&mut self, mem: Memory) {
+        self.mem = Some(mem);
+    }
+}
 
 /// Hooks that apply a corruption plan during replay.
 #[derive(Debug)]
@@ -103,7 +131,23 @@ pub fn replay_with_plan_counted(
     golden: &Signature,
     cap: u64,
 ) -> (FaultOutcome, u64) {
-    let mut m = Machine::with_hooks(prog, NativeFu, PlanHooks::new(plan));
+    replay_with_plan_counted_ctx(prog, plan, golden, cap, &mut ReplayCtx::new())
+}
+
+/// [`replay_with_plan_counted`] variant that recycles the machine's
+/// memory buffer through `ctx` across replays. Outcomes are identical to
+/// the context-free path.
+pub fn replay_with_plan_counted_ctx(
+    prog: &Program,
+    plan: &CorruptionPlan,
+    golden: &Signature,
+    cap: u64,
+    ctx: &mut ReplayCtx,
+) -> (FaultOutcome, u64) {
+    let mut m = match ctx.take_mem() {
+        Some(mem) => Machine::with_hooks_in(prog, NativeFu, PlanHooks::new(plan), mem),
+        None => Machine::with_hooks(prog, NativeFu, PlanHooks::new(plan)),
+    };
     let outcome = match m.run(cap) {
         Err(_) => FaultOutcome::Crash,
         Ok(out) => {
@@ -138,7 +182,9 @@ pub fn replay_with_plan_counted(
             }
         }
     };
-    (outcome, m.dyn_count())
+    let insts = m.dyn_count();
+    ctx.park_mem(m.into_memory());
+    (outcome, insts)
 }
 
 #[cfg(test)]

@@ -198,6 +198,41 @@ impl StepInfo {
             branch: None,
         }
     }
+
+    /// Re-initialises the record in place for the next instruction. The
+    /// struct is several hundred bytes (dominated by the observation-mask
+    /// arrays), so rebuilding it wholesale every step is a measurable
+    /// memset on the simulation hot path; instead only the mask entries
+    /// the *previous* instruction touched are cleared. Masks are only
+    /// ever set together with the corresponding read bit (and only mask
+    /// entries with a set read bit are consumed), so this is equivalent
+    /// to a full clear.
+    fn reset(&mut self, dyn_idx: u64, static_idx: u32, form: FormId) {
+        let mut rd = self.reads_gpr;
+        while rd != 0 {
+            let r = rd.trailing_zeros() as usize;
+            rd &= rd - 1;
+            self.gpr_read_mask[r] = 0;
+        }
+        let mut rx = self.reads_xmm;
+        while rx != 0 {
+            let r = rx.trailing_zeros() as usize;
+            rx &= rx - 1;
+            self.xmm_read_mask[r] = [0; 2];
+        }
+        self.dyn_idx = dyn_idx;
+        self.static_idx = static_idx;
+        self.form = form;
+        self.reads_gpr = 0;
+        self.writes_gpr = 0;
+        self.reads_xmm = 0;
+        self.writes_xmm = 0;
+        self.reads_flags = false;
+        self.writes_flags = false;
+        self.mem = None;
+        self.passes.len = 0;
+        self.branch = None;
+    }
 }
 
 /// Observation/corruption hooks called during execution. The default
@@ -272,6 +307,13 @@ impl<'p, F: FuProvider> Machine<'p, F, NoHooks> {
     pub fn new(prog: &'p Program, fu: F) -> Machine<'p, F, NoHooks> {
         Machine::with_hooks(prog, fu, NoHooks)
     }
+
+    /// [`Machine::new`] recycling a [`Memory`] buffer from an earlier run.
+    /// The buffer is rebuilt from `prog.mem`, so the machine starts from
+    /// exactly the state [`Machine::new`] would produce.
+    pub fn new_in(prog: &'p Program, fu: F, recycle: Memory) -> Machine<'p, F, NoHooks> {
+        Machine::with_hooks_in(prog, fu, NoHooks, recycle)
+    }
 }
 
 impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
@@ -286,6 +328,34 @@ impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
             dyn_count: 0,
             info: StepInfo::new(0, 0, FormId(0)),
         }
+    }
+
+    /// [`Machine::with_hooks`] recycling a [`Memory`] buffer from an
+    /// earlier run (replay campaigns reuse one buffer per worker instead
+    /// of allocating the full region per fault).
+    pub fn with_hooks_in(
+        prog: &'p Program,
+        fu: F,
+        hooks: H,
+        mut recycle: Memory,
+    ) -> Machine<'p, F, H> {
+        prog.mem.build_into(&mut recycle);
+        Machine {
+            prog,
+            state: prog.initial_state(),
+            mem: recycle,
+            fu,
+            hooks,
+            dyn_count: 0,
+            info: StepInfo::new(0, 0, FormId(0)),
+        }
+    }
+
+    /// Releases the machine's memory buffer for recycling into the next
+    /// [`Machine::new_in`] / [`Machine::with_hooks_in`].
+    #[inline]
+    pub fn into_memory(self) -> Memory {
+        self.mem
     }
 
     /// The current architectural state.
@@ -326,13 +396,15 @@ impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
         self.state.halted
     }
 
-    /// Executes one instruction and returns its [`StepInfo`].
+    /// Executes one instruction and returns a reference to its
+    /// [`StepInfo`] (valid until the next step; copy it out — the struct
+    /// is `Copy` — to keep it longer).
     ///
     /// Returns `Ok(None)` if the machine is already halted.
     ///
     /// # Errors
     /// Any [`Trap`] raised by the instruction.
-    pub fn step(&mut self) -> Result<Option<StepInfo>, Trap> {
+    pub fn step(&mut self) -> Result<Option<&StepInfo>, Trap> {
         if self.state.halted {
             return Ok(None);
         }
@@ -342,7 +414,7 @@ impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
             return Ok(None);
         }
         let inst = self.prog.insts[rip as usize];
-        self.info = StepInfo::new(self.dyn_count, rip, inst.form);
+        self.info.reset(self.dyn_count, rip, inst.form);
         let flow = self.exec_inst(inst)?;
         self.dyn_count += 1;
         match flow {
@@ -350,7 +422,7 @@ impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
             Flow::Jump(t) => self.state.rip = t,
             Flow::Halt => self.state.halted = true,
         }
-        Ok(Some(self.info))
+        Ok(Some(&self.info))
     }
 
     /// Runs until `HALT`, a trap, or the dynamic instruction cap.

@@ -32,7 +32,7 @@ impl std::error::Error for MemFault {}
 /// pseudo-random fill plus explicit byte patches. Keeping the image
 /// declarative (rather than a materialised `Vec<u8>`) keeps `Program`
 /// values small when populations of hundreds of programs are alive.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemImage {
     /// Size in bytes of the data area.
     pub data_size: u32,
@@ -69,7 +69,24 @@ impl MemImage {
 
     /// Materialises the initial memory contents.
     pub fn build(&self) -> Memory {
-        let mut bytes = vec![0u8; self.total_size() as usize];
+        let mut mem = Memory {
+            bytes: Vec::new(),
+            base: DATA_BASE,
+        };
+        self.build_into(&mut mem);
+        mem
+    }
+
+    /// Materialises the initial memory contents into an existing
+    /// [`Memory`], reusing its allocation. Produces exactly the state
+    /// [`MemImage::build`] would, regardless of what `mem` held before —
+    /// the buffer-recycling path of simulation contexts and replay
+    /// campaigns.
+    pub fn build_into(&self, mem: &mut Memory) {
+        mem.base = DATA_BASE;
+        mem.bytes.clear();
+        mem.bytes.resize(self.total_size() as usize, 0);
+        let bytes = &mut mem.bytes;
         if self.fill_seed != 0 {
             let mut s = self.fill_seed;
             for chunk in bytes[..self.data_size as usize].chunks_mut(8) {
@@ -91,10 +108,6 @@ impl MemImage {
                 self.data_size
             );
             bytes[start..end].copy_from_slice(data);
-        }
-        Memory {
-            bytes,
-            base: DATA_BASE,
         }
     }
 }
@@ -193,10 +206,13 @@ impl Memory {
         &self.bytes
     }
 
-    /// FNV-1a hash of the whole region; part of the program's output
-    /// signature used for corruption detection.
+    /// Hash of the whole region; part of the program's output signature
+    /// used for corruption detection. Word-wise ([`fnv1a_wide`]): the
+    /// region is tens of kilobytes and is hashed once per simulation, so
+    /// the byte-at-a-time [`fnv1a`] was a measurable slice of total
+    /// simulation time.
     pub fn signature(&self) -> u64 {
-        fnv1a(&self.bytes)
+        fnv1a_wide(&self.bytes)
     }
 
     /// Direct byte flip (used by the fault injector to model persistent
@@ -212,6 +228,27 @@ impl Memory {
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-style hash absorbing eight bytes per multiply, with an extra
+/// xor-shift so flips in the high bits of a word diffuse downward. Each
+/// step is a bijection of the accumulator, so two buffers differing in a
+/// single word always hash differently. Roughly 8× faster than [`fnv1a`]
+/// on large regions; NOT byte-compatible with it — use only where the
+/// exact FNV-1a value is not part of a stored format.
+pub fn fnv1a_wide(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= h >> 29;
+    }
+    for &b in chunks.remainder() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
@@ -268,6 +305,25 @@ mod tests {
     }
 
     #[test]
+    fn build_into_matches_build_and_reuses_capacity() {
+        let img = MemImage {
+            fill_seed: 99,
+            patches: vec![(16, vec![0xAB, 0xCD])],
+            ..MemImage::new(4096, 256)
+        };
+        // A dirty, differently-sized buffer from a previous program.
+        let mut recycled = MemImage::new(64, 0).build();
+        recycled.write(DATA_BASE, 8, u64::MAX).unwrap();
+        img.build_into(&mut recycled);
+        assert_eq!(recycled, img.build());
+        // Shrinking reuses the larger allocation.
+        let cap_before = recycled.bytes.capacity();
+        MemImage::new(128, 0).build_into(&mut recycled);
+        assert_eq!(recycled, MemImage::new(128, 0).build());
+        assert_eq!(recycled.bytes.capacity(), cap_before);
+    }
+
+    #[test]
     fn patches_apply() {
         let img = MemImage {
             patches: vec![(8, vec![1, 2, 3])],
@@ -284,6 +340,22 @@ mod tests {
         let s0 = m.signature();
         m.write(DATA_BASE + 5, 1, 0xFF).unwrap();
         assert_ne!(m.signature(), s0);
+    }
+
+    #[test]
+    fn fnv1a_wide_sees_every_word_and_the_tail() {
+        let base: Vec<u8> = (0..141u32).map(|i| (i * 37) as u8).collect();
+        let h0 = fnv1a_wide(&base);
+        // A flip in any single byte — aligned words and the ragged tail
+        // alike — must change the hash.
+        for i in 0..base.len() {
+            let mut b = base.clone();
+            b[i] ^= 0x80;
+            assert_ne!(fnv1a_wide(&b), h0, "byte {i} did not affect the hash");
+        }
+        // Stable across calls and sensitive to length.
+        assert_eq!(fnv1a_wide(&base), h0);
+        assert_ne!(fnv1a_wide(&base[..140]), h0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::reg::Gpr;
 use serde::{Deserialize, Serialize};
 
 /// Initial values for the architectural registers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RegInit {
     /// Initial GPR values (RSP is overridden to the stack top at load).
     pub gprs: [u64; 16],

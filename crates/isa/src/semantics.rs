@@ -1519,10 +1519,10 @@ mod tests {
         );
         p.insts.push(Inst::halt());
         let mut m = Machine::new(&p, NativeFu);
-        let s1 = m.step().unwrap().unwrap();
+        let s1 = *m.step().unwrap().unwrap();
         assert_eq!(s1.passes.len(), 1);
         assert_eq!(s1.passes.as_slice()[0].kind, crate::form::FuKind::IntAdd);
-        let s2 = m.step().unwrap().unwrap();
+        let s2 = *m.step().unwrap().unwrap();
         assert_eq!(
             s2.passes.len(),
             4,

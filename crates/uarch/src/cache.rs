@@ -102,6 +102,29 @@ impl L1Dcache {
         }
     }
 
+    /// Returns the cache to the empty state [`L1Dcache::new`] produces,
+    /// reusing the frame allocation (re-sizing it only if the configured
+    /// geometry changed). Part of the [`crate::SimContext`] reuse path.
+    pub fn reset(&mut self, cfg: &CoreConfig) {
+        self.sets = cfg.l1d_sets();
+        self.assoc = cfg.l1d_assoc;
+        self.line = cfg.l1d_line;
+        self.frames.clear();
+        self.frames.resize(
+            (self.sets * self.assoc) as usize,
+            Frame {
+                tag: 0,
+                valid: false,
+                dirty: false,
+                lru: 0,
+            },
+        );
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
     /// Line base address of `addr`.
     #[inline]
     pub fn line_addr(&self, addr: u64) -> u64 {

@@ -21,9 +21,41 @@ use crate::trace::{DynRecord, ExecutionTrace, FuOp, RegInstance, RegRead, SimSta
 use harpo_isa::exec::{Machine, RunOutput, StepInfo, Trap};
 use harpo_isa::form::{Catalog, FuKind};
 use harpo_isa::fu::NativeFu;
+use harpo_isa::mem::Memory;
 use harpo_isa::program::Program;
 use harpo_isa::reg::{Gpr, Xmm};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-mix hasher for the store-commit byte map. Keys are small
+/// byte addresses, the map is probed on every load byte and written on
+/// every store byte, and nothing ever iterates it — so a two-instruction
+/// deterministic mix beats SipHash by an order of magnitude without
+/// affecting results (lookups are point queries; iteration order is
+/// never observed).
+#[derive(Debug, Default)]
+struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 31)
+    }
+}
+
+type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
 
 /// Result of a golden simulation: the architectural output plus the full
 /// microarchitectural trace.
@@ -35,8 +67,50 @@ pub struct SimResult {
     pub trace: ExecutionTrace,
 }
 
+/// Reusable per-thread simulation scratch state: the timing model's
+/// rename tables, predictor, cache frames and trace arenas, plus the
+/// functional machine's memory buffer. A fresh context allocates
+/// everything on its first simulation; every later
+/// [`OooCore::simulate_into`] clears-and-reuses the same buffers, so the
+/// evaluation hot loop performs O(1) large allocations per program
+/// instead of thousands of small ones (see DESIGN.md, "Performance
+/// architecture").
+///
+/// A context is *not* tied to one core: simulating on a core with a
+/// different [`CoreConfig`] simply re-sizes the affected buffers.
+/// Results are bit-identical to [`OooCore::simulate`] regardless of what
+/// the context ran before.
+#[derive(Debug, Default)]
+pub struct SimContext {
+    timing: Option<Timing>,
+    mem: Option<Memory>,
+    result: Option<SimResult>,
+}
+
+impl SimContext {
+    /// An empty context; buffers are allocated lazily by the first
+    /// simulation.
+    pub fn new() -> SimContext {
+        SimContext::default()
+    }
+
+    /// The result of the most recent successful simulation, if any.
+    pub fn result(&self) -> Option<&SimResult> {
+        self.result.as_ref()
+    }
+
+    /// Takes ownership of the most recent result. The buffers inside it
+    /// leave the context for good; prefer [`SimContext::result`] on hot
+    /// paths so the next simulation can recycle them.
+    pub fn take_result(&mut self) -> Option<SimResult> {
+        self.result.take()
+    }
+}
+
 /// The out-of-order core simulator. Stateless between runs; create once
-/// and call [`OooCore::simulate`] per program.
+/// and call [`OooCore::simulate`] per program (or
+/// [`OooCore::simulate_into`] with a reused [`SimContext`] on hot
+/// loops).
 #[derive(Debug, Clone)]
 pub struct OooCore {
     cfg: CoreConfig,
@@ -64,20 +138,64 @@ impl OooCore {
     /// Any [`Trap`] raised by the program (including the dynamic
     /// instruction cap).
     pub fn simulate(&self, prog: &Program, cap: u64) -> Result<SimResult, Trap> {
-        let mut machine = Machine::new(prog, NativeFu);
-        let mut t = Timing::new(&self.cfg);
-        loop {
-            if machine.dyn_count() >= cap {
-                return Err(Trap::InstructionCap);
+        let mut ctx = SimContext::new();
+        self.simulate_into(prog, cap, &mut ctx)?;
+        Ok(ctx.take_result().expect("simulation succeeded"))
+    }
+
+    /// Runs `prog` to completion inside a reusable context, returning a
+    /// borrow of the result stored in the context. This is the same code
+    /// path as [`OooCore::simulate`] (which is a thin wrapper over a
+    /// fresh context), so outputs are bit-identical; the difference is
+    /// purely allocation reuse.
+    ///
+    /// # Errors
+    /// Any [`Trap`] raised by the program (including the dynamic
+    /// instruction cap). The context remains reusable after a trap.
+    pub fn simulate_into<'c>(
+        &self,
+        prog: &Program,
+        cap: u64,
+        ctx: &'c mut SimContext,
+    ) -> Result<&'c SimResult, Trap> {
+        // Reclaim the trace buffers parked in the previous result.
+        let recycle = ctx.result.take().map(|r| r.trace).unwrap_or_default();
+        let mut t = match ctx.timing.take() {
+            Some(mut t) => {
+                t.reset(&self.cfg);
+                t
             }
-            match machine.step()? {
-                None => break,
-                Some(si) => t.retire(&si),
+            None => Timing::new(&self.cfg),
+        };
+        let mut machine = match ctx.mem.take() {
+            Some(mem) => Machine::new_in(prog, NativeFu, mem),
+            None => Machine::new(prog, NativeFu),
+        };
+        let run = loop {
+            if machine.dyn_count() >= cap {
+                break Err(Trap::InstructionCap);
+            }
+            match machine.step() {
+                Err(trap) => break Err(trap),
+                Ok(None) => break Ok(()),
+                Ok(Some(si)) => t.retire(si),
+            }
+        };
+        match run {
+            Err(trap) => {
+                ctx.mem = Some(machine.into_memory());
+                ctx.timing = Some(t);
+                Err(trap)
+            }
+            Ok(()) => {
+                let output = machine.output();
+                ctx.mem = Some(machine.into_memory());
+                let trace = t.finish(output.dyn_count, recycle);
+                ctx.timing = Some(t);
+                ctx.result = Some(SimResult { output, trace });
+                Ok(ctx.result.as_ref().expect("just stored"))
             }
         }
-        let output = machine.output();
-        let trace = t.finish(output.dyn_count);
-        Ok(SimResult { output, trace })
     }
 }
 
@@ -98,6 +216,12 @@ impl PipePool {
         PipePool {
             next_free: vec![0; n.max(1) as usize],
         }
+    }
+
+    /// Returns all pipes to the free state, reusing the allocation.
+    fn reset(&mut self, n: u32) {
+        self.next_free.clear();
+        self.next_free.resize(n.max(1) as usize, 0);
     }
 
     /// Issues at the earliest cycle ≥ `ready` with a free pipe, occupying
@@ -128,6 +252,12 @@ impl Bpred {
         }
     }
 
+    /// Returns every counter to weakly not-taken, reusing the table.
+    fn reset(&mut self) {
+        self.table.clear();
+        self.table.resize(1024, 1);
+    }
+
     fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool {
         let e = &mut self.table[pc as usize % 1024];
         let pred = *e >= 2;
@@ -140,6 +270,7 @@ impl Bpred {
     }
 }
 
+#[derive(Debug)]
 struct Timing {
     cfg: CoreConfig,
     cache: L1Dcache,
@@ -179,13 +310,20 @@ struct Timing {
     /// Commit cycle of the most recent store to each byte: loads must not
     /// read the data array before an older overlapping store has written
     /// it (no store-to-load forwarding is modelled).
-    store_commit: HashMap<u64, u64>,
+    store_commit: AddrMap<u64>,
 
     // Commit.
     last_commit: u64,
     committed_this_cycle: u32,
 
-    // Trace accumulation.
+    // Trace accumulation. Register reads arrive interleaved across value
+    // instances (issue order), so they accumulate as (instance, read)
+    // pairs and are counting-sorted into the trace's contiguous
+    // per-instance arena at `finish`.
+    pending_reads: Vec<(u32, RegRead)>,
+    pending_xmm_reads: Vec<(u32, RegRead)>,
+    reads_arena: Vec<RegRead>,
+    scatter_starts: Vec<u32>,
     dyn_records: Vec<DynRecord>,
     cache_accesses: Vec<CacheAccess>,
     line_events: Vec<LineEvent>,
@@ -199,54 +337,24 @@ struct Timing {
 
 impl Timing {
     fn new(cfg: &CoreConfig) -> Timing {
-        let mut instances = Vec::with_capacity(1024);
-        let mut cur_inst = [0usize; 16];
-        for (i, slot) in cur_inst.iter_mut().enumerate() {
-            *slot = instances.len();
-            instances.push(RegInstance {
-                preg: i as u16,
-                arch: Gpr::ALL[i],
-                writer: u64::MAX,
-                write_cycle: 0,
-                free_cycle: u64::MAX,
-                live_at_end: false,
-                reads: Vec::new(),
-            });
-        }
-        let freelist = (16..cfg.phys_regs as u16).map(|p| (0u64, p)).collect();
-        let mut xmm_instances = Vec::with_capacity(256);
-        let mut xmm_cur_inst = [0usize; 16];
-        for (i, slot) in xmm_cur_inst.iter_mut().enumerate() {
-            *slot = xmm_instances.len();
-            xmm_instances.push(XmmInstance {
-                preg: i as u16,
-                arch: Xmm::ALL[i],
-                writer: u64::MAX,
-                write_cycle: 0,
-                free_cycle: u64::MAX,
-                live_at_end: false,
-                reads: Vec::new(),
-            });
-        }
-        let xmm_freelist = (16..cfg.phys_xmm as u16).map(|p| (0u64, p)).collect();
-        Timing {
+        let mut t = Timing {
             cfg: cfg.clone(),
             cache: L1Dcache::new(cfg),
             bpred: Bpred::new(),
             fetch_cycle: 0,
             fetched_this_cycle: 0,
-            rob_ring: vec![0; cfg.rob_size as usize],
-            iq_ring: vec![0; cfg.iq_size as usize],
+            rob_ring: Vec::new(),
+            iq_ring: Vec::new(),
             dyn_idx: 0,
             gpr_ready: [0; 16],
             xmm_ready: [0; 16],
             flags_ready: 0,
-            freelist,
-            cur_inst,
-            instances,
-            xmm_freelist,
-            xmm_cur_inst,
-            xmm_instances,
+            freelist: VecDeque::new(),
+            cur_inst: [0; 16],
+            instances: Vec::with_capacity(1024),
+            xmm_freelist: VecDeque::new(),
+            xmm_cur_inst: [0; 16],
+            xmm_instances: Vec::with_capacity(256),
             alu: PipePool::new(cfg.alu_pipes),
             mul: PipePool::new(1),
             div: PipePool::new(1),
@@ -255,9 +363,13 @@ impl Timing {
             fpdiv: PipePool::new(1),
             load_ports: PipePool::new(cfg.load_ports),
             store_ports: PipePool::new(cfg.store_ports),
-            store_commit: HashMap::new(),
+            store_commit: AddrMap::default(),
             last_commit: 0,
             committed_this_cycle: 0,
+            pending_reads: Vec::new(),
+            pending_xmm_reads: Vec::new(),
+            reads_arena: Vec::new(),
+            scatter_starts: Vec::new(),
             dyn_records: Vec::new(),
             cache_accesses: Vec::new(),
             line_events: Vec::new(),
@@ -267,7 +379,87 @@ impl Timing {
             rob_stalls: 0,
             iq_stalls: 0,
             prf_stalls: 0,
+        };
+        t.reset(cfg);
+        t
+    }
+
+    /// Returns the model to the state [`Timing::new`] produces, keeping
+    /// every allocation. The clear-and-resize idiom throughout also makes
+    /// a context safe to move between cores with different
+    /// configurations.
+    fn reset(&mut self, cfg: &CoreConfig) {
+        self.cache.reset(cfg);
+        self.bpred.reset();
+        self.fetch_cycle = 0;
+        self.fetched_this_cycle = 0;
+        self.rob_ring.clear();
+        self.rob_ring.resize(cfg.rob_size as usize, 0);
+        self.iq_ring.clear();
+        self.iq_ring.resize(cfg.iq_size as usize, 0);
+        self.dyn_idx = 0;
+        self.gpr_ready = [0; 16];
+        self.xmm_ready = [0; 16];
+        self.flags_ready = 0;
+        self.freelist.clear();
+        self.freelist
+            .extend((16..cfg.phys_regs as u16).map(|p| (0u64, p)));
+        self.instances.clear();
+        for (i, slot) in self.cur_inst.iter_mut().enumerate() {
+            *slot = i;
+            self.instances.push(RegInstance {
+                preg: i as u16,
+                arch: Gpr::ALL[i],
+                writer: u64::MAX,
+                write_cycle: 0,
+                free_cycle: u64::MAX,
+                live_at_end: false,
+                reads_start: 0,
+                reads_len: 0,
+            });
         }
+        self.xmm_freelist.clear();
+        self.xmm_freelist
+            .extend((16..cfg.phys_xmm as u16).map(|p| (0u64, p)));
+        self.xmm_instances.clear();
+        for (i, slot) in self.xmm_cur_inst.iter_mut().enumerate() {
+            *slot = i;
+            self.xmm_instances.push(XmmInstance {
+                preg: i as u16,
+                arch: Xmm::ALL[i],
+                writer: u64::MAX,
+                write_cycle: 0,
+                free_cycle: u64::MAX,
+                live_at_end: false,
+                reads_start: 0,
+                reads_len: 0,
+            });
+        }
+        self.alu.reset(cfg.alu_pipes);
+        self.mul.reset(1);
+        self.div.reset(1);
+        self.fpadd.reset(1);
+        self.fpmul.reset(1);
+        self.fpdiv.reset(1);
+        self.load_ports.reset(cfg.load_ports);
+        self.store_ports.reset(cfg.store_ports);
+        self.store_commit.clear();
+        self.last_commit = 0;
+        self.committed_this_cycle = 0;
+        self.pending_reads.clear();
+        self.pending_xmm_reads.clear();
+        self.reads_arena.clear();
+        self.scatter_starts.clear();
+        self.dyn_records.clear();
+        self.cache_accesses.clear();
+        self.line_events.clear();
+        self.fu_ops.clear();
+        self.branches = 0;
+        self.mispredicts = 0;
+        self.rob_stalls = 0;
+        self.iq_stalls = 0;
+        self.prf_stalls = 0;
+        self.cfg = cfg.clone();
     }
 
     fn retire(&mut self, si: &StepInfo) {
@@ -433,25 +625,31 @@ impl Timing {
         while rd != 0 {
             let r = rd.trailing_zeros() as usize;
             rd &= rd - 1;
-            let inst = self.cur_inst[r];
-            self.instances[inst].reads.push(RegRead {
-                dyn_idx: idx,
-                cycle: issue,
-                propagates,
-                obs: [si.gpr_read_mask[r], 0],
-            });
+            let inst = self.cur_inst[r] as u32;
+            self.pending_reads.push((
+                inst,
+                RegRead {
+                    dyn_idx: idx,
+                    cycle: issue,
+                    propagates,
+                    obs: [si.gpr_read_mask[r], 0],
+                },
+            ));
         }
         let mut rx = si.reads_xmm;
         while rx != 0 {
             let r = rx.trailing_zeros() as usize;
             rx &= rx - 1;
-            let inst = self.xmm_cur_inst[r];
-            self.xmm_instances[inst].reads.push(RegRead {
-                dyn_idx: idx,
-                cycle: issue,
-                propagates,
-                obs: si.xmm_read_mask[r],
-            });
+            let inst = self.xmm_cur_inst[r] as u32;
+            self.pending_xmm_reads.push((
+                inst,
+                RegRead {
+                    dyn_idx: idx,
+                    cycle: issue,
+                    propagates,
+                    obs: si.xmm_read_mask[r],
+                },
+            ));
         }
 
         // ---- Commit (in order, width-limited). ----
@@ -501,7 +699,8 @@ impl Timing {
                 write_cycle: complete,
                 free_cycle: u64::MAX,
                 live_at_end: false,
-                reads: Vec::new(),
+                reads_start: 0,
+                reads_len: 0,
             });
         }
         let mut wx = si.writes_xmm;
@@ -524,7 +723,8 @@ impl Timing {
                 write_cycle: complete,
                 free_cycle: u64::MAX,
                 live_at_end: false,
-                reads: Vec::new(),
+                reads_start: 0,
+                reads_len: 0,
             });
         }
         if si.writes_flags {
@@ -618,7 +818,12 @@ impl Timing {
         }
     }
 
-    fn finish(mut self, insts: u64) -> ExecutionTrace {
+    /// Seals the run: patches end-of-program lifetimes, flattens the
+    /// pending reads into the shared arena, and moves the accumulated
+    /// trace out — swapping buffers with `recycle` (a spent trace whose
+    /// allocations are reclaimed for the next run) rather than
+    /// allocating.
+    fn finish(&mut self, insts: u64, recycle: ExecutionTrace) -> ExecutionTrace {
         let cycles = self.last_commit.max(1);
         for inst in &mut self.instances {
             if inst.free_cycle == u64::MAX {
@@ -632,27 +837,93 @@ impl Timing {
                 inst.live_at_end = true;
             }
         }
-        let (h, m, wb) = self.cache.stats();
-        ExecutionTrace {
-            stats: SimStats {
-                cycles,
-                insts,
-                l1d_hits: h,
-                l1d_misses: m,
-                l1d_writebacks: wb,
-                branches: self.branches,
-                mispredicts: self.mispredicts,
-                rob_stalls: self.rob_stalls,
-                iq_stalls: self.iq_stalls,
-                prf_stalls: self.prf_stalls,
-            },
-            reg_instances: self.instances,
-            xmm_instances: self.xmm_instances,
-            dyn_records: self.dyn_records,
-            cache_accesses: self.cache_accesses,
-            line_events: self.line_events,
-            fu_ops: self.fu_ops,
+
+        // Flatten reads into the arena by counting sort over instance
+        // indices: count, prefix-sum into per-instance start offsets
+        // (stamped onto the instances), then a stable forward pass that
+        // places each read — so every instance's reads stay contiguous
+        // and in program order. GPR instances take the front of the
+        // arena, XMM instances the back; `scatter_starts` is consumed as
+        // the write cursor.
+        const EMPTY: RegRead = RegRead {
+            dyn_idx: 0,
+            cycle: 0,
+            propagates: false,
+            obs: [0, 0],
+        };
+        let n_gpr = self.pending_reads.len() as u32;
+        let total = self.pending_reads.len() + self.pending_xmm_reads.len();
+        self.reads_arena.clear();
+        self.reads_arena.resize(total, EMPTY);
+
+        let starts = &mut self.scatter_starts;
+        starts.clear();
+        starts.resize(self.instances.len() + 1, 0);
+        for &(i, _) in &self.pending_reads {
+            starts[i as usize + 1] += 1;
         }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        for (i, inst) in self.instances.iter_mut().enumerate() {
+            inst.reads_start = starts[i];
+            inst.reads_len = starts[i + 1] - starts[i];
+        }
+        for &(i, r) in &self.pending_reads {
+            let at = starts[i as usize];
+            self.reads_arena[at as usize] = r;
+            starts[i as usize] = at + 1;
+        }
+
+        starts.clear();
+        starts.resize(self.xmm_instances.len() + 1, 0);
+        for &(i, _) in &self.pending_xmm_reads {
+            starts[i as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        for (i, inst) in self.xmm_instances.iter_mut().enumerate() {
+            inst.reads_start = n_gpr + starts[i];
+            inst.reads_len = starts[i + 1] - starts[i];
+        }
+        for &(i, r) in &self.pending_xmm_reads {
+            let at = starts[i as usize];
+            self.reads_arena[(n_gpr + at) as usize] = r;
+            starts[i as usize] = at + 1;
+        }
+        self.pending_reads.clear();
+        self.pending_xmm_reads.clear();
+
+        let (h, m, wb) = self.cache.stats();
+        let mut out = recycle;
+        out.stats = SimStats {
+            cycles,
+            insts,
+            l1d_hits: h,
+            l1d_misses: m,
+            l1d_writebacks: wb,
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            rob_stalls: self.rob_stalls,
+            iq_stalls: self.iq_stalls,
+            prf_stalls: self.prf_stalls,
+        };
+        out.reg_instances.clear();
+        std::mem::swap(&mut out.reg_instances, &mut self.instances);
+        out.xmm_instances.clear();
+        std::mem::swap(&mut out.xmm_instances, &mut self.xmm_instances);
+        out.reads.clear();
+        std::mem::swap(&mut out.reads, &mut self.reads_arena);
+        out.dyn_records.clear();
+        std::mem::swap(&mut out.dyn_records, &mut self.dyn_records);
+        out.cache_accesses.clear();
+        std::mem::swap(&mut out.cache_accesses, &mut self.cache_accesses);
+        out.line_events.clear();
+        std::mem::swap(&mut out.line_events, &mut self.line_events);
+        out.fu_ops.clear();
+        std::mem::swap(&mut out.fu_ops, &mut self.fu_ops);
+        out
     }
 }
 
@@ -763,12 +1034,13 @@ mod tests {
             .find(|i| i.writer == 0)
             .expect("instance exists");
         assert_eq!(inst_a.arch, Rax);
-        assert_eq!(inst_a.reads.len(), 1, "read once by mov rcx, rax");
+        let reads = r.trace.reads_of(inst_a);
+        assert_eq!(reads.len(), 1, "read once by mov rcx, rax");
         assert!(inst_a.free_cycle < r.trace.stats.cycles + 1);
         // Bypass allows a consumer to issue in the producer's completion
         // cycle, so equality is legal.
-        assert!(inst_a.write_cycle <= inst_a.reads[0].cycle);
-        assert!(inst_a.reads[0].cycle <= inst_a.free_cycle);
+        assert!(inst_a.write_cycle <= reads[0].cycle);
+        assert!(reads[0].cycle <= inst_a.free_cycle);
         // Never-rewritten architectural registers stay live to the end.
         let rbx_init = r
             .trace
@@ -906,5 +1178,66 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
         assert!(OooCore::default().simulate(&p, 1000).is_err());
+    }
+
+    #[test]
+    fn reused_context_matches_fresh_simulation() {
+        // Three structurally different programs through ONE context, each
+        // compared field-by-field against a fresh `simulate` — buffer
+        // reuse must never leak state across runs.
+        let progs: Vec<_> = (0..3)
+            .map(|k| {
+                let mut a = Asm::new("ctx");
+                a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+                a.mov_ri(B64, Rcx, 40 + 30 * k);
+                a.label("l");
+                a.load(B64, Rax, Rsi, 0);
+                a.add_rr(B64, Rax, Rcx);
+                a.imul_rr(B64, Rax, Rcx);
+                a.add_ri(B64, Rsi, 64 * (k + 1));
+                a.op_xx(Mnemonic::Addss, false, Xmm::Xmm0, Xmm::Xmm1);
+                a.sub_ri(B64, Rcx, 1);
+                a.jnz("l");
+                a.halt();
+                a.finish().unwrap()
+            })
+            .collect();
+        let core = OooCore::default();
+        let mut ctx = SimContext::new();
+        for p in &progs {
+            let fresh = core.simulate(p, 10_000_000).unwrap();
+            let reused = core.simulate_into(p, 10_000_000, &mut ctx).unwrap();
+            assert_eq!(reused.output.signature, fresh.output.signature);
+            assert_eq!(reused.output.dyn_count, fresh.output.dyn_count);
+            assert_eq!(reused.trace.stats, fresh.trace.stats);
+            assert_eq!(reused.trace.reg_instances, fresh.trace.reg_instances);
+            assert_eq!(reused.trace.xmm_instances, fresh.trace.xmm_instances);
+            assert_eq!(reused.trace.reads, fresh.trace.reads);
+            assert_eq!(reused.trace.dyn_records, fresh.trace.dyn_records);
+            assert_eq!(reused.trace.cache_accesses, fresh.trace.cache_accesses);
+            assert_eq!(reused.trace.line_events, fresh.trace.line_events);
+            assert_eq!(reused.trace.fu_ops, fresh.trace.fu_ops);
+        }
+    }
+
+    #[test]
+    fn context_survives_a_trap() {
+        let core = OooCore::default();
+        let mut ctx = SimContext::new();
+        let mut a = Asm::new("oob");
+        a.mov_ri(B64, Rsi, 0x100);
+        a.load(B64, Rax, Rsi, 0);
+        a.halt();
+        let bad = a.finish().unwrap();
+        assert!(core.simulate_into(&bad, 1000, &mut ctx).is_err());
+        // The context is reusable and produces clean results afterwards.
+        let mut a = Asm::new("ok");
+        a.mov_ri(B64, Rax, 5);
+        a.halt();
+        let good = a.finish().unwrap();
+        let fresh = core.simulate(&good, 1000).unwrap();
+        let reused = core.simulate_into(&good, 1000, &mut ctx).unwrap();
+        assert_eq!(reused.output.signature, fresh.output.signature);
+        assert_eq!(reused.trace.stats, fresh.trace.stats);
     }
 }

@@ -37,5 +37,5 @@ pub mod trace;
 
 pub use cache::{CacheAccess, L1Dcache, LineEvent, LineEventKind};
 pub use config::CoreConfig;
-pub use core::{OooCore, SimResult};
+pub use core::{OooCore, SimContext, SimResult};
 pub use trace::{ExecutionTrace, FuOp, RegInstance, RegRead, SimStats};

@@ -58,21 +58,32 @@ pub struct RegInstance {
     /// the program ends — the output checker hashes these registers, so
     /// the value is consumed even without an explicit read.
     pub live_at_end: bool,
-    /// All reads of this instance, in program order.
-    pub reads: Vec<RegRead>,
+    /// Offset of this instance's reads in the trace's shared
+    /// [`ExecutionTrace::reads`] arena.
+    pub reads_start: u32,
+    /// Number of reads of this instance in the arena (contiguous from
+    /// `reads_start`, in program order).
+    pub reads_len: u32,
 }
 
 impl RegInstance {
+    /// This instance's reads, sliced out of the shared arena
+    /// (`trace.reads`); in program order.
+    #[inline]
+    pub fn reads<'a>(&self, arena: &'a [RegRead]) -> &'a [RegRead] {
+        &arena[self.reads_start as usize..(self.reads_start + self.reads_len) as usize]
+    }
+
     /// The latest read cycle, if any. Reads are stored in program order,
     /// but out-of-order issue means the *cycle-wise* last read can be an
     /// earlier instruction — take the max.
-    pub fn last_read_cycle(&self) -> Option<u64> {
-        self.reads.iter().map(|r| r.cycle).max()
+    pub fn last_read_cycle(&self, arena: &[RegRead]) -> Option<u64> {
+        self.reads(arena).iter().map(|r| r.cycle).max()
     }
 
     /// The latest read whose consumer propagates data onward.
-    pub fn last_propagating_read_cycle(&self) -> Option<u64> {
-        self.reads
+    pub fn last_propagating_read_cycle(&self, arena: &[RegRead]) -> Option<u64> {
+        self.reads(arena)
             .iter()
             .filter(|r| r.propagates)
             .map(|r| r.cycle)
@@ -97,14 +108,25 @@ pub struct XmmInstance {
     pub free_cycle: u64,
     /// Whether this instance holds the final architectural value.
     pub live_at_end: bool,
-    /// All reads of this instance, in program order.
-    pub reads: Vec<RegRead>,
+    /// Offset of this instance's reads in the trace's shared
+    /// [`ExecutionTrace::reads`] arena.
+    pub reads_start: u32,
+    /// Number of reads of this instance in the arena (contiguous from
+    /// `reads_start`, in program order).
+    pub reads_len: u32,
 }
 
 impl XmmInstance {
+    /// This instance's reads, sliced out of the shared arena
+    /// (`trace.reads`); in program order.
+    #[inline]
+    pub fn reads<'a>(&self, arena: &'a [RegRead]) -> &'a [RegRead] {
+        &arena[self.reads_start as usize..(self.reads_start + self.reads_len) as usize]
+    }
+
     /// The latest read whose consumer propagates data onward.
-    pub fn last_propagating_read_cycle(&self) -> Option<u64> {
-        self.reads
+    pub fn last_propagating_read_cycle(&self, arena: &[RegRead]) -> Option<u64> {
+        self.reads(arena)
             .iter()
             .filter(|r| r.propagates)
             .map(|r| r.cycle)
@@ -202,6 +224,12 @@ pub struct ExecutionTrace {
     pub reg_instances: Vec<RegInstance>,
     /// Physical XMM value instances (XRF ACE + transient planning).
     pub xmm_instances: Vec<XmmInstance>,
+    /// The shared register-read arena: every instance's reads live here
+    /// contiguously, addressed by its `(reads_start, reads_len)` range —
+    /// one large allocation per run instead of one small `Vec` per
+    /// renamed instance (the SoA flattening of the performance
+    /// architecture; see DESIGN.md).
+    pub reads: Vec<RegRead>,
     /// Per-dynamic-instruction def/use records (for liveness analysis).
     pub dyn_records: Vec<DynRecord>,
     /// Cache accesses in program order.
@@ -213,6 +241,19 @@ pub struct ExecutionTrace {
 }
 
 impl ExecutionTrace {
+    /// The reads of one integer-register value instance, in program
+    /// order.
+    #[inline]
+    pub fn reads_of(&self, inst: &RegInstance) -> &[RegRead] {
+        inst.reads(&self.reads)
+    }
+
+    /// The reads of one XMM value instance, in program order.
+    #[inline]
+    pub fn xmm_reads_of(&self, inst: &XmmInstance) -> &[RegRead] {
+        inst.reads(&self.reads)
+    }
+
     /// Passes through a specific graded unit.
     pub fn fu_ops_of(&self, kind: FuKind) -> impl Iterator<Item = &FuOp> {
         self.fu_ops.iter().filter(move |o| o.kind == kind)
