@@ -1,0 +1,222 @@
+//! Checkpointed-replay speed harness (DESIGN.md, "Performance
+//! architecture").
+//!
+//! Times statistical fault-injection campaigns over a corpus of
+//! generated programs with the golden checkpoint trail disabled
+//! (`checkpoint_interval = 0`, the pre-PR replay behaviour: every
+//! replay starts at instruction 0 and runs to the end) and enabled (the
+//! default interval: replays seek to the fault's first corruption point
+//! and early-exit on reconvergence). Outcome tallies are asserted
+//! bit-identical between the two configurations on every run, so the
+//! timed comparison is also a live equivalence check.
+//!
+//! The reference workload is the **bit-array suite** (IRF, XRF, L1D):
+//! those replays run at native functional speed, so their cost is
+//! dominated by golden-prefix re-execution — exactly what the trail
+//! removes. Gate-fault campaigns are timed and reported separately
+//! (`gate_campaign_*`): their replays are netlist-bound (~µs per
+//! faulted-unit op versus ~ns per ordinary instruction), a cost that is
+//! the same no matter where the replay starts, so checkpointing is
+//! expected to be roughly neutral there — see the cost model in
+//! DESIGN.md.
+//!
+//! Writes `BENCH_campaign.json` with the wall-clock nanoseconds and
+//! speedup at 1/4/8 campaign threads plus the replay-instruction
+//! reduction (skipped / (executed + skipped)) of the checkpointed
+//! configuration, and a `campaign_speed.manifest.json` run manifest
+//! like every other figure binary.
+
+use harpo_bench::{Cli, Harness};
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{
+    build_campaign_trail, measure_detection_with_trail, CampaignConfig, CampaignResult,
+};
+use harpo_isa::program::Program;
+use harpo_isa::state::Signature;
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_telemetry::Value;
+use harpo_uarch::{ExecutionTrace, OooCore};
+use std::time::Instant;
+
+const BIT_ARRAYS: [TargetStructure; 3] = [
+    TargetStructure::Irf,
+    TargetStructure::Xrf,
+    TargetStructure::L1d,
+];
+const GATES: [TargetStructure; 1] = [TargetStructure::IntAdder];
+
+/// One program with its golden run, simulated once up front so the
+/// timed region contains only campaign work (plus trail recording for
+/// the checkpointed configuration, which is part of its honest cost).
+struct Workload {
+    prog: Program,
+    golden: Signature,
+    trace: ExecutionTrace,
+}
+
+/// Runs the given structure campaigns for every workload program and
+/// merges the tallies. `interval == 0` is the full-replay baseline.
+fn run_campaigns(
+    workloads: &[Workload],
+    structures: &[TargetStructure],
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+) -> CampaignResult {
+    let mut total = CampaignResult::default();
+    for w in workloads {
+        let trail = build_campaign_trail(&w.prog, ccfg);
+        for &structure in structures {
+            total.merge(&measure_detection_with_trail(
+                &w.prog,
+                structure,
+                core,
+                ccfg,
+                &w.golden,
+                &w.trace,
+                trail.as_ref(),
+            ));
+        }
+    }
+    total
+}
+
+/// Median wall nanoseconds of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut() -> CampaignResult) -> (u64, CampaignResult) {
+    let mut samples: Vec<u64> = Vec::with_capacity(reps);
+    let mut last = CampaignResult::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        last = f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], last)
+}
+
+/// Strips perf counters so tallies can be compared across
+/// configurations.
+fn outcome_tallies(r: &CampaignResult) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        r.injected,
+        r.sdc,
+        r.crash,
+        r.masked,
+        r.corrected,
+        r.masked_fast_path,
+    )
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let harness = Harness::start("campaign_speed", &cli);
+    let core = OooCore::default();
+
+    // Reference workload: long-ish generated programs (the regime the
+    // trail is built for — fleet tests run thousands of instructions,
+    // and a fault's corruption window is a tiny slice of that).
+    let gen = Generator::new(GenConstraints {
+        n_insts: 3_000,
+        allow_sse: true,
+        store_bias: 0.25,
+        ..GenConstraints::default()
+    });
+    let workloads: Vec<Workload> = (0..4u64)
+        .map(|s| {
+            let prog = gen.generate(0xCA3 + s);
+            let sim = core.simulate(&prog, 50_000_000).expect("golden run");
+            Workload {
+                prog,
+                golden: sim.output.signature,
+                trace: sim.trace,
+            }
+        })
+        .collect();
+
+    let ccfg_of = |threads: usize, interval: u64| CampaignConfig {
+        n_faults: cli.faults,
+        threads,
+        checkpoint_interval: interval,
+        ..cli.campaign()
+    };
+    let default_interval = CampaignConfig::default().checkpoint_interval;
+
+    let mut results: Vec<(String, Value)> = Vec::new();
+    let mut ck_tally = CampaignResult::default();
+    println!(
+        "{:<10} {:>8} {:>15} {:>15} {:>9}",
+        "suite", "threads", "full (ns)", "checkpoint (ns)", "speedup"
+    );
+    for threads in [1usize, 4, 8] {
+        let mut suite_ns = Vec::new();
+        for (suite, structures) in [("bit_array", &BIT_ARRAYS[..]), ("gate", &GATES[..])] {
+            let (full_ns, full_r) = median_ns(3, || {
+                run_campaigns(&workloads, structures, &core, &ccfg_of(threads, 0))
+            });
+            let (ck_ns, ck_r) = median_ns(3, || {
+                run_campaigns(
+                    &workloads,
+                    structures,
+                    &core,
+                    &ccfg_of(threads, default_interval),
+                )
+            });
+            assert_eq!(
+                outcome_tallies(&full_r),
+                outcome_tallies(&ck_r),
+                "checkpointing changed {suite} campaign outcomes at {threads} threads"
+            );
+            let speedup = full_ns as f64 / ck_ns.max(1) as f64;
+            println!("{suite:<10} {threads:>8} {full_ns:>15} {ck_ns:>15} {speedup:>8.2}x");
+            let key = if suite == "gate" {
+                "gate_campaign"
+            } else {
+                "campaign"
+            };
+            results.push((format!("{key}_full_t{threads}_ns"), full_ns.into()));
+            results.push((format!("{key}_checkpointed_t{threads}_ns"), ck_ns.into()));
+            results.push((format!("{key}_speedup_t{threads}"), speedup.into()));
+            suite_ns.push((full_ns, ck_ns));
+            if threads == 8 {
+                ck_tally.merge(&ck_r);
+            }
+        }
+        let full: u64 = suite_ns.iter().map(|(f, _)| f).sum();
+        let ck: u64 = suite_ns.iter().map(|(_, c)| c).sum();
+        results.push((
+            format!("overall_speedup_t{threads}"),
+            (full as f64 / ck.max(1) as f64).into(),
+        ));
+    }
+
+    // Replay-instruction accounting of the checkpointed configuration:
+    // executed is what was actually replayed, skipped is the golden
+    // prefix seeks plus reconverged suffixes the trail saved.
+    let executed = ck_tally.replay_insts;
+    let skipped = ck_tally.replay_insts_skipped;
+    let reduction = skipped as f64 / (executed + skipped).max(1) as f64;
+    println!(
+        "replay instructions: {executed} executed, {skipped} skipped \
+         ({:.1}% reduction; {} checkpoint seeks, {} early exits over {} replays)",
+        reduction * 100.0,
+        ck_tally.checkpoint_hits,
+        ck_tally.early_exits,
+        ck_tally.replays
+    );
+    results.push(("replay_insts_executed".to_string(), executed.into()));
+    results.push(("replay_insts_skipped".to_string(), skipped.into()));
+    results.push(("replay_inst_reduction".to_string(), reduction.into()));
+    results.push((
+        "checkpoint_hits".to_string(),
+        ck_tally.checkpoint_hits.into(),
+    ));
+    results.push(("early_exits".to_string(), ck_tally.early_exits.into()));
+    ck_tally.publish(harness.metrics());
+
+    std::fs::create_dir_all(&cli.out_dir).expect("create results dir");
+    let path = cli.out_dir.join("BENCH_campaign.json");
+    let mut json = Value::Obj(results).to_json();
+    json.push('\n');
+    std::fs::write(&path, json).expect("write BENCH_campaign.json");
+    println!("↳ wrote {}", path.display());
+    harness.finish();
+}

@@ -13,8 +13,8 @@ use harpo_baselines::opendcdiag;
 use harpo_bench::{pct, write_csv, Cli, Harness};
 use harpo_coverage::TargetStructure;
 use harpo_faultsim::{
-    measure_detection, replay_gate_intermittent, sample_gate_faults, CampaignConfig,
-    CampaignResult, L1dProtection,
+    build_campaign_trail, measure_detection, replay_gate_intermittent_counted_ctx,
+    sample_gate_faults, CampaignConfig, CampaignResult, L1dProtection, ReplayCtx,
 };
 use harpo_gates::GradedUnit;
 use harpo_uarch::OooCore;
@@ -34,6 +34,8 @@ fn main() {
     let total_dyn = sim.trace.stats.insts;
     let mut rng = StdRng::seed_from_u64(cli.campaign().seed);
     let faults = sample_gate_faults(&mut rng, GradedUnit::IntAdder, cli.faults.min(48));
+    let trail = build_campaign_trail(&prog, &cli.campaign());
+    let mut ctx = ReplayCtx::new();
 
     let mut csv = Vec::new();
     println!("{:>22} {:>11}", "burst (dyn insts)", "detection");
@@ -42,8 +44,17 @@ fn main() {
         let from = (total_dyn - burst) / 2;
         let mut tally = CampaignResult::default();
         for f in &faults {
-            let out = replay_gate_intermittent(&prog, *f, from, from + burst, &golden, 50_000_000);
-            tally.record(out, false);
+            let (out, stats) = replay_gate_intermittent_counted_ctx(
+                &prog,
+                *f,
+                from,
+                from + burst,
+                &golden,
+                50_000_000,
+                trail.as_ref(),
+                &mut ctx,
+            );
+            tally.record_replay_stats(out, &stats);
         }
         let label = if burst_frac == 1.0 {
             "permanent".to_string()

@@ -11,7 +11,9 @@
 use harpo_baselines::{mibench, opendcdiag, SiliFuzz, SiliFuzzConfig};
 use harpo_core::{presets, Evaluator, Harpocrates, RunReport, Scale};
 use harpo_coverage::TargetStructure;
-use harpo_faultsim::{measure_detection_with_golden, CampaignConfig, CampaignResult};
+use harpo_faultsim::{
+    build_campaign_trail, measure_detection_with_trail, CampaignConfig, CampaignResult,
+};
 use harpo_isa::program::Program;
 use harpo_museqgen::Generator;
 use harpo_telemetry::{Metrics, Value};
@@ -96,8 +98,10 @@ pub struct GradedProgram {
 }
 
 /// Simulates once and grades both coverage and detection for one
-/// structure, returning the full campaign tally. Trapping programs
-/// score zero on both axes.
+/// structure, returning the full campaign tally. The golden checkpoint
+/// trail is recorded once per program here and handed to the campaign
+/// so every replay can seek to its fault and early-exit on
+/// reconvergence. Trapping programs score zero on both axes.
 pub fn grade_detailed(
     prog: &Program,
     structure: TargetStructure,
@@ -108,13 +112,15 @@ pub fn grade_detailed(
         Err(_) => (0.0, CampaignResult::default(), 0),
         Ok(sim) => {
             let coverage = structure.coverage(&sim.trace, core.config());
-            let det = measure_detection_with_golden(
+            let trail = build_campaign_trail(prog, ccfg);
+            let det = measure_detection_with_trail(
                 prog,
                 structure,
                 core,
                 ccfg,
                 &sim.output.signature,
                 &sim.trace,
+                trail.as_ref(),
             );
             (coverage, det, sim.trace.stats.cycles)
         }

@@ -3,7 +3,7 @@
 use crate::args::Args;
 use harpo_core::{presets, Evaluator, Harpocrates, Scale};
 use harpo_coverage::TargetStructure;
-use harpo_faultsim::{measure_detection, CampaignConfig};
+use harpo_faultsim::{measure_detection_with_golden, CampaignConfig};
 use harpo_isa::form::Catalog;
 use harpo_isa::program::Program;
 use harpo_isa::{from_container, to_container};
@@ -153,8 +153,14 @@ pub fn grade(argv: &[String]) -> Result<(), String> {
         .simulate(&prog, ccfg.cap)
         .map_err(|t| format!("golden run trapped: {t}"))?;
     let coverage = structure.coverage(&sim.trace, core.config());
-    let result = measure_detection(&prog, structure, &core, &ccfg)
-        .map_err(|t| format!("golden run trapped: {t}"))?;
+    let result = measure_detection_with_golden(
+        &prog,
+        structure,
+        &core,
+        &ccfg,
+        &sim.output.signature,
+        &sim.trace,
+    );
     telemetry.emit(|| {
         let metrics = Metrics::new();
         result.publish(&metrics);
@@ -170,6 +176,9 @@ pub fn grade(argv: &[String]) -> Result<(), String> {
             .field("masked_fast_path", result.masked_fast_path)
             .field("replays", result.replays)
             .field("replay_insts", result.replay_insts)
+            .field("replay_insts_skipped", result.replay_insts_skipped)
+            .field("checkpoint_hits", result.checkpoint_hits)
+            .field("early_exits", result.early_exits)
             .field("counters", metrics.to_value())
     });
     telemetry.flush();

@@ -15,6 +15,7 @@
 use harpo_coverage::TargetStructure;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
+use harpo_isa::trail::GoldenTrail;
 use harpo_telemetry::{effective_threads, Counter, Histogram, Metrics};
 use harpo_uarch::{ExecutionTrace, OooCore, SimContext};
 use serde::{Deserialize, Serialize};
@@ -189,6 +190,19 @@ impl Evaluator {
         }
     }
 
+    /// Records the golden checkpoint trail of a champion program so a
+    /// fault-injection campaign can seek replays to the fault and
+    /// early-exit on reconvergence instead of re-executing the golden
+    /// prefix. The trail is built **once per program** here and shared
+    /// across every structure campaign that grades it. `None` when
+    /// checkpointing is disabled (`interval == 0`) or the program traps
+    /// (trap-free is a precondition for campaigns anyway).
+    pub fn golden_trail(&self, prog: &Program, interval: u64) -> Option<GoldenTrail> {
+        (interval > 0)
+            .then(|| GoldenTrail::record(prog, self.cap, interval).ok())
+            .flatten()
+    }
+
     /// Grades a whole population in parallel, returning coverages in
     /// input order. This is the paper's "programs are simulated in
     /// parallel in gem5" step, scaled to the host's cores.
@@ -338,6 +352,22 @@ mod tests {
             ev.evaluate_population(&pop, 2),
             ev.evaluate_population_refs(&refs, 2)
         );
+    }
+
+    #[test]
+    fn golden_trail_once_per_program() {
+        let ev = Evaluator::new(OooCore::default(), TargetStructure::Irf);
+        let mut a = Asm::new("t");
+        a.mov_ri(B64, Rax, 5);
+        for _ in 0..80 {
+            a.add_ri(B64, Rax, 1);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let trail = ev.golden_trail(&p, 16).expect("trap-free program");
+        assert_eq!(trail.interval(), 16);
+        assert!(trail.checkpoints().len() > 2);
+        assert!(ev.golden_trail(&p, 0).is_none(), "interval 0 disables");
     }
 
     #[test]

@@ -8,15 +8,18 @@
 //! [`crate::gate`] before paying for a functional replay.
 
 use crate::fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults};
-use crate::gate::{replay_gate_permanent_counted_ctx, screen_faults};
+use crate::gate::{
+    replay_gate_permanent_bounded, screen_fault_spans, screen_faults, ActivationSpan,
+};
 use crate::outcome::{CampaignResult, FaultOutcome};
 use crate::plan::{plan_irf, plan_l1d, plan_xrf};
-use crate::replay::{replay_with_plan_counted_ctx, ReplayCtx};
+use crate::replay::{replay_with_plan_bounded, ReplayCtx};
 use harpo_coverage::TargetStructure;
 use harpo_gates::{GateFault, GradedUnit, UnitEvaluators};
 use harpo_isa::exec::Trap;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
+use harpo_isa::trail::GoldenTrail;
 use harpo_uarch::{ExecutionTrace, OooCore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +50,19 @@ pub struct CampaignConfig {
     pub cap: u64,
     /// L1D protection scheme.
     pub l1d_protection: L1dProtection,
+    /// Golden-trail checkpoint interval in dynamic instructions for
+    /// checkpointed replay (seek to the fault, early-exit on
+    /// reconvergence); `0` disables the trail and every replay runs the
+    /// full prefix. Outcomes are bit-identical either way (enforced by
+    /// `tests/equivalence.rs`).
+    #[serde(default = "default_checkpoint_interval")]
+    pub checkpoint_interval: u64,
+}
+
+/// Serde default so configs serialised before the checkpoint trail
+/// existed deserialise to the current default.
+fn default_checkpoint_interval() -> u64 {
+    128
 }
 
 impl Default for CampaignConfig {
@@ -57,6 +73,7 @@ impl Default for CampaignConfig {
             threads: 0,
             cap: 50_000_000,
             l1d_protection: L1dProtection::None,
+            checkpoint_interval: default_checkpoint_interval(),
         }
     }
 }
@@ -123,7 +140,10 @@ pub fn measure_detection(
 }
 
 /// Campaign variant reusing an existing golden run (the Harpocrates loop
-/// already has the trace from the coverage evaluation).
+/// already has the trace from the coverage evaluation). Builds the
+/// golden checkpoint trail itself; callers grading many structures for
+/// the same program should build the trail once with
+/// [`build_campaign_trail`] and use [`measure_detection_with_trail`].
 pub fn measure_detection_with_golden(
     prog: &Program,
     structure: TargetStructure,
@@ -131,6 +151,32 @@ pub fn measure_detection_with_golden(
     ccfg: &CampaignConfig,
     golden: &Signature,
     trace: &ExecutionTrace,
+) -> CampaignResult {
+    let trail = build_campaign_trail(prog, ccfg);
+    measure_detection_with_trail(prog, structure, core, ccfg, golden, trace, trail.as_ref())
+}
+
+/// Records the golden checkpoint trail for `prog` under `ccfg`, or
+/// `None` when checkpointing is disabled (`checkpoint_interval == 0`)
+/// or the golden run traps (campaigns only grade trap-free programs, so
+/// the replay engine simply falls back to full replays).
+pub fn build_campaign_trail(prog: &Program, ccfg: &CampaignConfig) -> Option<GoldenTrail> {
+    (ccfg.checkpoint_interval > 0)
+        .then(|| GoldenTrail::record(prog, ccfg.cap, ccfg.checkpoint_interval).ok())
+        .flatten()
+}
+
+/// Campaign variant reusing an existing golden run *and* golden trail,
+/// so the trail is recorded once per program no matter how many
+/// structures are graded against it.
+pub fn measure_detection_with_trail(
+    prog: &Program,
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+    golden: &Signature,
+    trace: &ExecutionTrace,
+    trail: Option<&GoldenTrail>,
 ) -> CampaignResult {
     let cfg = core.config();
     let cycles = trace.stats.cycles;
@@ -148,9 +194,9 @@ pub fn measure_detection_with_golden(
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                 } else {
-                    let (o, insts) =
-                        replay_with_plan_counted_ctx(prog, &plan, golden, replay_cap, ctx);
-                    res.record_replayed(o, insts);
+                    let (o, stats) =
+                        replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
+                    res.record_replay_stats(o, &stats);
                 }
             })
         }
@@ -161,9 +207,9 @@ pub fn measure_detection_with_golden(
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                 } else {
-                    let (o, insts) =
-                        replay_with_plan_counted_ctx(prog, &plan, golden, replay_cap, ctx);
-                    res.record_replayed(o, insts);
+                    let (o, stats) =
+                        replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
+                    res.record_replay_stats(o, &stats);
                 }
             })
         }
@@ -178,9 +224,9 @@ pub fn measure_detection_with_golden(
                     // access — the consumer never sees corrupted data.
                     res.record(FaultOutcome::Corrected, true);
                 } else {
-                    let (o, insts) =
-                        replay_with_plan_counted_ctx(prog, &plan, golden, replay_cap, ctx);
-                    res.record_replayed(o, insts);
+                    let (o, stats) =
+                        replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
+                    res.record_replay_stats(o, &stats);
                 }
             })
         }
@@ -188,17 +234,42 @@ pub fn measure_detection_with_golden(
             let unit = graded_unit_of(fu);
             let faults = sample_gate_faults(&mut rng, unit, ccfg.n_faults);
             // Stage 1: activation screening in 64-fault packed batches.
-            let activated = screen_all(trace, unit, &faults, ccfg);
-            // Stage 2: propagation replay for activated faults only.
-            let mut result = parallel_tally(ccfg, faults.len(), |i, res, ctx| {
-                if !activated[i] {
-                    res.record(FaultOutcome::Masked, true);
-                } else {
-                    let (o, insts) =
-                        replay_gate_permanent_counted_ctx(prog, faults[i], golden, replay_cap, ctx);
-                    res.record_replayed(o, insts);
+            // With a trail the screen also yields each fault's
+            // first/last activation span, which bounds the replay; a
+            // fault with no span is exactly a never-activated fault, so
+            // the fast-path tally is identical either way.
+            let mut result = match trail {
+                Some(t) => {
+                    let spans = screen_spans_all(trace, unit, &faults, ccfg);
+                    parallel_tally(ccfg, faults.len(), |i, res, ctx| match spans[i] {
+                        None => res.record(FaultOutcome::Masked, true),
+                        Some(span) => {
+                            let (o, stats) = replay_gate_permanent_bounded(
+                                prog,
+                                faults[i],
+                                golden,
+                                replay_cap,
+                                Some((t, span)),
+                                ctx,
+                            );
+                            res.record_replay_stats(o, &stats);
+                        }
+                    })
                 }
-            });
+                None => {
+                    let activated = screen_all(trace, unit, &faults, ccfg);
+                    parallel_tally(ccfg, faults.len(), |i, res, ctx| {
+                        if !activated[i] {
+                            res.record(FaultOutcome::Masked, true);
+                        } else {
+                            let (o, stats) = replay_gate_permanent_bounded(
+                                prog, faults[i], golden, replay_cap, None, ctx,
+                            );
+                            res.record_replay_stats(o, &stats);
+                        }
+                    })
+                }
+            };
             result.screened = faults.len() as u64;
             result
         }
@@ -211,10 +282,30 @@ fn screen_all(
     faults: &[GateFault],
     ccfg: &CampaignConfig,
 ) -> Vec<bool> {
+    screen_chunks(faults, ccfg, |c, ev| screen_faults(trace, unit, c, ev))
+}
+
+fn screen_spans_all(
+    trace: &ExecutionTrace,
+    unit: GradedUnit,
+    faults: &[GateFault],
+    ccfg: &CampaignConfig,
+) -> Vec<Option<ActivationSpan>> {
+    screen_chunks(faults, ccfg, |c, ev| screen_fault_spans(trace, unit, c, ev))
+}
+
+/// Fans the packed 64-lane activation screen across threads; `screen`
+/// maps one ≤64-fault chunk to one result per fault.
+fn screen_chunks<T: Copy + Default + Send>(
+    faults: &[GateFault],
+    ccfg: &CampaignConfig,
+    screen: impl Fn(&[GateFault], &mut UnitEvaluators) -> Vec<T> + Sync,
+) -> Vec<T> {
     let chunks: Vec<&[GateFault]> = faults.chunks(64).collect();
-    let mut out = vec![false; faults.len()];
+    let mut out = vec![T::default(); faults.len()];
     let threads = ccfg.effective_threads().min(chunks.len().max(1));
     std::thread::scope(|s| {
+        let screen = &screen;
         let mut handles = Vec::new();
         for (t, chunk_group) in chunks.chunks(chunks.len().div_ceil(threads)).enumerate() {
             let chunk_group: Vec<&[GateFault]> = chunk_group.to_vec();
@@ -224,7 +315,7 @@ fn screen_all(
                     let mut ev = UnitEvaluators::new();
                     chunk_group
                         .iter()
-                        .map(|c| screen_faults(trace, unit, c, &mut ev))
+                        .map(|c| screen(c, &mut ev))
                         .collect::<Vec<_>>()
                 }),
             ));

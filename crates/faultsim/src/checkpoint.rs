@@ -1,0 +1,221 @@
+//! Divergence-bounded replay over a golden checkpoint trail.
+//!
+//! The shared driver behind every checkpointed replay path
+//! ([`crate::replay`] for planned transients, [`crate::gate`] for gate
+//! faults). Given a [`GoldenTrail`] and the fault's corruption window
+//! `[first_corruption, quiesce)`:
+//!
+//! 1. **seek** — the machine is restored to the latest checkpoint at or
+//!    before `first_corruption` (memory via the store-delta log,
+//!    registers via [`Machine::restore`]) instead of re-executing the
+//!    golden prefix, which is bit-identical to the golden run by
+//!    construction;
+//! 2. **bounded run** — past `quiesce` (the dynamic index from which no
+//!    further corruption can be introduced), the faulty state is
+//!    compared against the trail at every checkpoint boundary. Equal
+//!    registers *and* equal touched memory prove the continuation is
+//!    deterministic and golden, so the replay stops early
+//!    ([`RunEnd::Reconverged`] ⇒ Masked) with the outcome the full run
+//!    would have produced.
+//!
+//! The memory comparison tracks a *divergence frontier*: the set of
+//! (address, size) ranges where the faulty run and the golden cursor may
+//! differ — faulty stores since the seek plus golden deltas applied to
+//! the cursor. Ranges that compare equal at a checkpoint are pruned (a
+//! byte that is equal and untouched stays equal), so the frontier stays
+//! proportional to the *live* divergence, not the run length.
+//!
+//! Outcome bit-identity with full replays (the equivalence-test
+//! invariant) holds because a seek only skips state the replay could
+//! never observe, the dynamic instruction counter is restored so caps
+//! and hook indices are unchanged, and an early exit fires only when the
+//! remaining execution is provably identical to the golden run.
+
+use harpo_isa::exec::{ExecHooks, Machine};
+use harpo_isa::fu::FuProvider;
+use harpo_isa::mem::Memory;
+use harpo_isa::trail::GoldenTrail;
+
+/// Per-replay statistics of the checkpointed engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Dynamic instructions the faulty run actually executed.
+    pub executed_insts: u64,
+    /// Golden instructions *not* executed thanks to the trail: the
+    /// seeked-over prefix plus, on an early exit, the reconverged
+    /// suffix.
+    pub skipped_insts: u64,
+    /// Whether the replay seeked to a mid-run checkpoint.
+    pub checkpoint_hit: bool,
+    /// Whether the replay early-exited on reconvergence.
+    pub early_exit: bool,
+}
+
+/// How a driven replay ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunEnd {
+    /// Ran to halt; the caller grades via the output signature.
+    Halted,
+    /// Reconverged to the golden trail past the corruption window: the
+    /// outcome is exactly **Masked**.
+    Reconverged,
+    /// Trapped (including the instruction cap): **Crash**.
+    Trapped,
+}
+
+/// Runs `m` (a freshly constructed replay machine) to completion,
+/// seeking and early-exiting over `trail` when one is supplied.
+/// `pre_step` runs before every executed instruction (intermittent
+/// faults toggle their burst window there). `stats` accumulates the
+/// executed/skipped instruction split.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive<F: FuProvider, H: ExecHooks>(
+    m: &mut Machine<'_, F, H>,
+    trail: Option<&GoldenTrail>,
+    cap: u64,
+    first_corruption: u64,
+    quiesce: u64,
+    cursor_slot: &mut Option<Memory>,
+    dirty: &mut Vec<(u64, u8)>,
+    stats: &mut ReplayStats,
+    mut pre_step: impl FnMut(&mut Machine<'_, F, H>),
+) -> RunEnd {
+    // A trail longer than the replay cap could seek over a cap trap the
+    // full replay would have hit; campaigns always size the cap past the
+    // golden run, but stay bit-identical for pathological callers too.
+    let trail = trail.filter(|t| t.end_dyn() <= cap);
+    let mut seek_deltas = 0;
+    if let Some(t) = trail {
+        let ck = t.checkpoint_before(first_corruption);
+        if ck.dyn_idx > 0 {
+            t.apply_deltas(0, ck.deltas, m.mem_mut());
+            m.restore(&ck.state, ck.dyn_idx);
+            stats.checkpoint_hit = true;
+            stats.skipped_insts += ck.dyn_idx;
+        }
+        seek_deltas = ck.deltas;
+    }
+    let start_dyn = m.dyn_count();
+    let end = match trail {
+        // Reconvergence is only worth checking when the quiesce point
+        // lies within the golden run (end-of-run corruption pushes it to
+        // u64::MAX: such replays must reach the signature check).
+        Some(t) if quiesce <= t.end_dyn() => {
+            let cursor = match cursor_slot {
+                Some(c) => {
+                    c.clone_from(m.mem());
+                    c
+                }
+                None => cursor_slot.insert(m.mem().clone()),
+            };
+            bounded_loop(
+                m,
+                t,
+                cap,
+                quiesce,
+                seek_deltas,
+                cursor,
+                dirty,
+                &mut pre_step,
+            )
+        }
+        _ => plain_loop(m, cap, &mut pre_step),
+    };
+    stats.executed_insts += m.dyn_count() - start_dyn;
+    if end == RunEnd::Reconverged {
+        stats.early_exit = true;
+        stats.skipped_insts += trail.expect("reconverged ⇒ trail").end_dyn() - m.dyn_count();
+    }
+    end
+}
+
+/// The uncheckpointed run loop; semantics match [`Machine::run`] with
+/// `pre_step` interposed.
+fn plain_loop<F: FuProvider, H: ExecHooks>(
+    m: &mut Machine<'_, F, H>,
+    cap: u64,
+    pre_step: &mut impl FnMut(&mut Machine<'_, F, H>),
+) -> RunEnd {
+    loop {
+        if m.halted() {
+            return RunEnd::Halted;
+        }
+        if m.dyn_count() >= cap {
+            return RunEnd::Trapped;
+        }
+        pre_step(m);
+        match m.step() {
+            Err(_) => return RunEnd::Trapped,
+            Ok(None) => return RunEnd::Halted,
+            Ok(Some(_)) => {}
+        }
+    }
+}
+
+/// Frontier size past which reconvergence tracking stops paying: a run
+/// this divergent is headed for the signature check anyway, so the loop
+/// degrades to [`plain_loop`] (forfeiting only the early exit, never
+/// changing the outcome). Replays that do reconverge prune toward an
+/// empty frontier and stay far below the bound.
+const GIVE_UP_RANGES: usize = 64;
+
+/// The checkpoint-compared run loop. `cursor` starts as the golden
+/// memory at the seek point (`seek_deltas` log entries applied) and is
+/// advanced along the delta log; `dirty` accumulates the divergence
+/// frontier.
+#[allow(clippy::too_many_arguments)]
+fn bounded_loop<F: FuProvider, H: ExecHooks>(
+    m: &mut Machine<'_, F, H>,
+    trail: &GoldenTrail,
+    cap: u64,
+    quiesce: u64,
+    seek_deltas: usize,
+    cursor: &mut Memory,
+    dirty: &mut Vec<(u64, u8)>,
+    pre_step: &mut impl FnMut(&mut Machine<'_, F, H>),
+) -> RunEnd {
+    dirty.clear();
+    let cks = trail.checkpoints();
+    let mut next = trail.next_checkpoint_idx(m.dyn_count());
+    let mut applied = seek_deltas;
+    loop {
+        if next < cks.len() && m.dyn_count() == cks[next].dyn_idx {
+            let ck = &cks[next];
+            next += 1;
+            for d in trail.deltas(applied, ck.deltas) {
+                d.apply(cursor);
+                dirty.push((d.addr, d.size));
+            }
+            applied = ck.deltas;
+            // Prune ranges that agree: an equal, untouched byte stays
+            // equal, and any later write re-enters it into the frontier.
+            let (fb, gb, base) = (m.mem().as_bytes(), cursor.as_bytes(), cursor.base());
+            dirty.retain(|&(addr, size)| {
+                let off = (addr - base) as usize;
+                fb[off..off + size as usize] != gb[off..off + size as usize]
+            });
+            if m.dyn_count() >= quiesce && dirty.is_empty() && m.state() == &ck.state {
+                return RunEnd::Reconverged;
+            }
+            if dirty.len() > GIVE_UP_RANGES {
+                return plain_loop(m, cap, pre_step);
+            }
+        }
+        if m.halted() {
+            return RunEnd::Halted;
+        }
+        if m.dyn_count() >= cap {
+            return RunEnd::Trapped;
+        }
+        pre_step(m);
+        match m.step() {
+            Err(_) => return RunEnd::Trapped,
+            Ok(None) => return RunEnd::Halted,
+            Ok(Some(info)) => {
+                if let Some(a) = info.mem.filter(|a| a.is_store) {
+                    dirty.push((a.addr, a.size));
+                }
+            }
+        }
+    }
+}

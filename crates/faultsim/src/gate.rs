@@ -16,6 +16,7 @@
 //! Intermittent faults assert the stuck-at only within a dynamic-
 //! instruction burst, toggling the provider between steps.
 
+use crate::checkpoint::{drive, ReplayStats, RunEnd};
 use crate::outcome::FaultOutcome;
 use crate::replay::ReplayCtx;
 use harpo_gates::{screen_activation, FaultyFu, GateFault, GradedUnit, UnitEvaluators};
@@ -23,7 +24,9 @@ use harpo_isa::exec::Machine;
 use harpo_isa::form::FuKind;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
+use harpo_isa::trail::GoldenTrail;
 use harpo_uarch::ExecutionTrace;
+use std::collections::HashMap;
 
 /// The `FuKind` whose passes feed a graded unit.
 pub fn fu_kind_of(unit: GradedUnit) -> FuKind {
@@ -35,32 +38,123 @@ pub fn fu_kind_of(unit: GradedUnit) -> FuKind {
     }
 }
 
+/// Memoised packed screening: generated programs reuse operand values
+/// heavily (loop bodies re-add the same accumulators), so the 64-lane
+/// activation mask is cached per unique `(a, b, cin)` triple and the
+/// netlist is evaluated once per distinct operand pattern instead of
+/// once per dynamic pass.
+struct TripleMemo {
+    pairs: Vec<(u32, bool)>,
+    masks: HashMap<(u64, u64, bool), u64>,
+    scratch: Vec<bool>,
+}
+
+impl TripleMemo {
+    fn new(faults: &[GateFault]) -> TripleMemo {
+        assert!(faults.len() <= 64);
+        TripleMemo {
+            pairs: faults.iter().map(|f| (f.gate, f.stuck_one)).collect(),
+            masks: HashMap::new(),
+            scratch: vec![false; faults.len()],
+        }
+    }
+
+    /// Activation mask (bit `i` = fault `i` changes the output) for one
+    /// operand triple, evaluating the netlist only on a cache miss.
+    fn mask(
+        &mut self,
+        unit: GradedUnit,
+        ev: &mut UnitEvaluators,
+        a: u64,
+        b: u64,
+        cin: bool,
+    ) -> u64 {
+        let (pairs, scratch) = (&self.pairs, &mut self.scratch);
+        *self.masks.entry((a, b, cin)).or_insert_with(|| {
+            screen_activation(unit, ev, a, b, cin, pairs, scratch);
+            scratch
+                .iter()
+                .enumerate()
+                .fold(0u64, |m, (i, &hit)| m | ((hit as u64) << i))
+        })
+    }
+}
+
 /// Screens a batch of candidate faults (≤ 64) against the golden operand
 /// stream; `activated[i]` is set if fault `i` ever changes the unit's
-/// output during the run.
+/// output during the run. Unique operand triples are evaluated once.
 pub fn screen_faults(
     trace: &ExecutionTrace,
     unit: GradedUnit,
     faults: &[GateFault],
     ev: &mut UnitEvaluators,
 ) -> Vec<bool> {
-    assert!(faults.len() <= 64);
-    let pairs: Vec<(u32, bool)> = faults.iter().map(|f| (f.gate, f.stuck_one)).collect();
-    let mut activated = vec![false; faults.len()];
-    let mut scratch = vec![false; faults.len()];
+    let mut memo = TripleMemo::new(faults);
+    let all = if faults.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << faults.len()) - 1
+    };
+    let mut activated = 0u64;
     let kind = fu_kind_of(unit);
     for op in trace.fu_ops_of(kind) {
-        screen_activation(unit, ev, op.a, op.b, op.cin, &pairs, &mut scratch);
-        let mut all = true;
-        for i in 0..faults.len() {
-            activated[i] |= scratch[i];
-            all &= activated[i];
-        }
-        if all {
+        activated |= memo.mask(unit, ev, op.a, op.b, op.cin);
+        if activated == all {
             break; // every candidate already activated
         }
     }
-    activated
+    (0..faults.len()).map(|i| activated >> i & 1 != 0).collect()
+}
+
+/// First/last activation of one gate fault over the golden operand
+/// stream, in dynamic instruction indices. The checkpointed replay seeks
+/// to before `first_dyn` (the prefix cannot activate the fault, so it is
+/// golden) and treats `last_dyn + 1` as the quiesce point: a faulty run
+/// whose state reconverges to the golden trail past it replays golden
+/// instructions with golden operands, none of which activate the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationSpan {
+    /// Dynamic index of the first activating pass.
+    pub first_dyn: u64,
+    /// Dynamic index of the last activating pass.
+    pub last_dyn: u64,
+}
+
+/// [`screen_faults`] variant reporting each fault's activation *span*
+/// (`None` = never activated ⇒ Masked without replay). Scans the whole
+/// stream — no all-activated early break — but the triple memo makes a
+/// full scan one netlist evaluation per unique operand pattern.
+pub fn screen_fault_spans(
+    trace: &ExecutionTrace,
+    unit: GradedUnit,
+    faults: &[GateFault],
+    ev: &mut UnitEvaluators,
+) -> Vec<Option<ActivationSpan>> {
+    let mut memo = TripleMemo::new(faults);
+    let mut spans: Vec<Option<ActivationSpan>> = vec![None; faults.len()];
+    let kind = fu_kind_of(unit);
+    for op in trace.fu_ops_of(kind) {
+        let mut mask = memo.mask(unit, ev, op.a, op.b, op.cin);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            match &mut spans[i] {
+                Some(s) => {
+                    // FU ops are recorded at issue, so the stream is not
+                    // strictly dyn-ordered; track min/max explicitly.
+                    s.first_dyn = s.first_dyn.min(op.dyn_idx);
+                    s.last_dyn = s.last_dyn.max(op.dyn_idx);
+                }
+                slot => {
+                    *slot = Some(ActivationSpan {
+                        first_dyn: op.dyn_idx,
+                        last_dyn: op.dyn_idx,
+                    });
+                }
+            }
+        }
+    }
+    spans
 }
 
 /// Full propagation replay of one permanent gate fault.
@@ -94,23 +188,59 @@ pub fn replay_gate_permanent_counted_ctx(
     cap: u64,
     ctx: &mut ReplayCtx,
 ) -> (FaultOutcome, u64) {
+    let (outcome, stats) = replay_gate_permanent_bounded(prog, fault, golden, cap, None, ctx);
+    (outcome, stats.executed_insts)
+}
+
+/// Checkpointed [`replay_gate_permanent_counted_ctx`]: given the fault's
+/// [`ActivationSpan`] from the packed screen, the replay seeks to the
+/// checkpoint before the first activation (the prefix passes golden
+/// operands that never activate the fault, so it is bit-identical to the
+/// golden run) and early-exits Masked on reconvergence past the last
+/// activation. With `trail == None` this is the full replay.
+pub fn replay_gate_permanent_bounded(
+    prog: &Program,
+    fault: GateFault,
+    golden: &Signature,
+    cap: u64,
+    trail: Option<(&GoldenTrail, ActivationSpan)>,
+    ctx: &mut ReplayCtx,
+) -> (FaultOutcome, ReplayStats) {
+    let mut stats = ReplayStats::default();
     let mut m = match ctx.take_mem() {
         Some(mem) => Machine::new_in(prog, FaultyFu::new(fault), mem),
         None => Machine::new(prog, FaultyFu::new(fault)),
     };
-    let outcome = match m.run(cap) {
-        Err(_) => FaultOutcome::Crash,
-        Ok(out) => {
-            if out.signature == *golden {
-                FaultOutcome::Masked
-            } else {
-                FaultOutcome::Sdc
-            }
+    // A trail only pays its way when the seek can skip at least one
+    // checkpoint interval of golden prefix, or the quiesce point leaves
+    // a substantial tail for a reconvergence early-exit (a permanent
+    // fault still activating near the end almost never reconverges, so
+    // a short tail does not buy back the divergence tracking).
+    // Otherwise the bounded loop is pure overhead on top of a replay
+    // that is netlist-bound anyway.
+    let (trail, first, quiesce) = match trail {
+        Some((t, span))
+            if span.first_dyn >= t.interval()
+                || span.last_dyn + 1 + 4 * t.interval() <= t.end_dyn() =>
+        {
+            (Some(t), span.first_dyn, span.last_dyn + 1)
         }
+        _ => (None, 0, u64::MAX),
     };
-    let insts = m.dyn_count();
+    let end = drive(
+        &mut m,
+        trail,
+        cap,
+        first,
+        quiesce,
+        &mut ctx.cursor,
+        &mut ctx.dirty,
+        &mut stats,
+        |_| {},
+    );
+    let outcome = grade_run_end(&m, end, golden);
     ctx.park_mem(m.into_memory());
-    (outcome, insts)
+    (outcome, stats)
 }
 
 /// Propagation replay of an intermittent gate fault asserted only for
@@ -123,23 +253,82 @@ pub fn replay_gate_intermittent(
     golden: &Signature,
     cap: u64,
 ) -> FaultOutcome {
-    let mut m = Machine::new(prog, FaultyFu::new(fault));
-    loop {
-        let dyn_idx = m.dyn_count();
-        if dyn_idx >= cap {
-            return FaultOutcome::Crash;
+    replay_gate_intermittent_counted_ctx(
+        prog,
+        fault,
+        from_dyn,
+        to_dyn,
+        golden,
+        cap,
+        None,
+        &mut ReplayCtx::new(),
+    )
+    .0
+}
+
+/// [`replay_gate_intermittent`] at parity with the permanent path:
+/// recycles [`ReplayCtx`] buffers, reports replay cost for campaign
+/// telemetry, and — with a trail — seeks to the checkpoint before the
+/// burst opens (the fault is inert before `from_dyn`, so the prefix is
+/// golden) and early-exits Masked on reconvergence after the burst
+/// closes at `to_dyn`.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_gate_intermittent_counted_ctx(
+    prog: &Program,
+    fault: GateFault,
+    from_dyn: u64,
+    to_dyn: u64,
+    golden: &Signature,
+    cap: u64,
+    trail: Option<&GoldenTrail>,
+    ctx: &mut ReplayCtx,
+) -> (FaultOutcome, ReplayStats) {
+    let mut stats = ReplayStats::default();
+    let mut m = match ctx.take_mem() {
+        Some(mem) => Machine::new_in(prog, FaultyFu::new(fault), mem),
+        None => Machine::new(prog, FaultyFu::new(fault)),
+    };
+    // Same profitability condition as the permanent path: the burst must
+    // open at least one interval in, or close at least one interval
+    // before the end, for the trail to beat a plain replay.
+    let trail = trail
+        .filter(|t| from_dyn >= t.interval() || to_dyn.saturating_add(t.interval()) <= t.end_dyn());
+    let end = drive(
+        &mut m,
+        trail,
+        cap,
+        from_dyn,
+        to_dyn,
+        &mut ctx.cursor,
+        &mut ctx.dirty,
+        &mut stats,
+        |m| {
+            let dyn_idx = m.dyn_count();
+            m.fu_mut().active = dyn_idx >= from_dyn && dyn_idx < to_dyn;
+        },
+    );
+    let outcome = grade_run_end(&m, end, golden);
+    ctx.park_mem(m.into_memory());
+    (outcome, stats)
+}
+
+/// Grades a driven gate replay: trap ⇒ Crash, reconvergence ⇒ Masked,
+/// halt ⇒ signature comparison.
+fn grade_run_end<F: harpo_isa::fu::FuProvider, H: harpo_isa::exec::ExecHooks>(
+    m: &Machine<'_, F, H>,
+    end: RunEnd,
+    golden: &Signature,
+) -> FaultOutcome {
+    match end {
+        RunEnd::Trapped => FaultOutcome::Crash,
+        RunEnd::Reconverged => FaultOutcome::Masked,
+        RunEnd::Halted => {
+            if m.output().signature == *golden {
+                FaultOutcome::Masked
+            } else {
+                FaultOutcome::Sdc
+            }
         }
-        m.fu_mut().active = dyn_idx >= from_dyn && dyn_idx < to_dyn;
-        match m.step() {
-            Err(_) => return FaultOutcome::Crash,
-            Ok(None) => break,
-            Ok(Some(_)) => {}
-        }
-    }
-    if m.output().signature == *golden {
-        FaultOutcome::Masked
-    } else {
-        FaultOutcome::Sdc
     }
 }
 
@@ -286,6 +475,45 @@ mod tests {
         // Burst covering the whole run behaves like a permanent fault.
         let out = replay_gate_intermittent(&p, f, 0, u64::MAX, &golden, 10_000_000);
         assert_eq!(out, replay_gate_permanent(&p, f, &golden, 1_000_000));
+    }
+
+    #[test]
+    fn spans_agree_with_bool_screen_and_bound_replay() {
+        let p = adder_heavy();
+        let (golden, trace) = golden_of(&p);
+        let faults: Vec<GateFault> = (0..64u32)
+            .map(|g| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: g * 3 % GradedUnit::IntAdder.gate_count() as u32,
+                stuck_one: g % 2 == 1,
+            })
+            .collect();
+        let mut ev = UnitEvaluators::new();
+        let act = screen_faults(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        let spans = screen_fault_spans(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        let trail = harpo_isa::trail::GoldenTrail::record(&p, 1_000_000, 16).unwrap();
+        let mut ctx = crate::replay::ReplayCtx::new();
+        for (i, f) in faults.iter().enumerate() {
+            // A span exists exactly when the bool screen activates —
+            // the masked fast-path tally is identical on both paths.
+            assert_eq!(act[i], spans[i].is_some(), "fault {i}");
+            let Some(span) = spans[i] else { continue };
+            assert!(span.first_dyn <= span.last_dyn);
+            let (full, _) =
+                replay_gate_permanent_bounded(&p, *f, &golden, 1_000_000, None, &mut ctx);
+            let (ck, stats) = replay_gate_permanent_bounded(
+                &p,
+                *f,
+                &golden,
+                1_000_000,
+                Some((&trail, span)),
+                &mut ctx,
+            );
+            assert_eq!(ck, full, "fault {i}: checkpointed outcome differs");
+            if span.first_dyn >= 16 {
+                assert!(stats.checkpoint_hit, "fault {i} should seek");
+            }
+        }
     }
 
     #[test]

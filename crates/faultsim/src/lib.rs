@@ -16,9 +16,15 @@
 //! * gate faults are screened with the 64-lane packed netlist evaluator
 //!   before any replay is paid for;
 //! * campaigns fan out across threads (`std::thread::scope`), mirroring
-//!   the paper's use of all 96 host threads.
+//!   the paper's use of all 96 host threads;
+//! * replays are *checkpointed* ([`checkpoint`]): a golden trail of
+//!   architectural snapshots plus a store-delta log lets every replay
+//!   seek to the fault's first corruption point and early-exit once the
+//!   faulty run provably reconverges with the golden one, with
+//!   bit-identical outcomes.
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod fault;
 pub mod gate;
 pub mod outcome;
@@ -26,15 +32,18 @@ pub mod plan;
 pub mod replay;
 
 pub use campaign::{
-    graded_unit_of, measure_detection, measure_detection_with_golden, CampaignConfig, L1dProtection,
+    build_campaign_trail, graded_unit_of, measure_detection, measure_detection_with_golden,
+    measure_detection_with_trail, CampaignConfig, L1dProtection,
 };
+pub use checkpoint::ReplayStats;
 pub use fault::{
     sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults, FaultSpec,
     IrfFault, L1dFault, XrfFault,
 };
 pub use gate::{
-    replay_gate_intermittent, replay_gate_permanent, replay_gate_permanent_counted,
-    replay_gate_permanent_counted_ctx, screen_faults,
+    replay_gate_intermittent, replay_gate_intermittent_counted_ctx, replay_gate_permanent,
+    replay_gate_permanent_bounded, replay_gate_permanent_counted,
+    replay_gate_permanent_counted_ctx, screen_fault_spans, screen_faults, ActivationSpan,
 };
 pub use outcome::{CampaignResult, FaultOutcome};
 pub use plan::{
@@ -42,5 +51,6 @@ pub use plan::{
     RegFlip, XmmFlip,
 };
 pub use replay::{
-    replay_with_plan, replay_with_plan_counted, replay_with_plan_counted_ctx, PlanHooks, ReplayCtx,
+    replay_with_plan, replay_with_plan_bounded, replay_with_plan_counted,
+    replay_with_plan_counted_ctx, PlanHooks, ReplayCtx,
 };

@@ -1,5 +1,6 @@
 //! Fault-injection outcome taxonomy and campaign tallies (paper §II-E).
 
+use crate::checkpoint::ReplayStats;
 use harpo_telemetry::Metrics;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -67,6 +68,18 @@ pub struct CampaignResult {
     /// Dynamic instructions executed across all replays — the campaign's
     /// simulation cost.
     pub replay_insts: u64,
+    /// Golden instructions *not* executed thanks to the checkpoint
+    /// trail: seeked-over prefixes plus reconverged suffixes.
+    #[serde(default)]
+    pub replay_insts_skipped: u64,
+    /// Replays that seeked to a mid-run checkpoint instead of starting
+    /// from instruction 0.
+    #[serde(default)]
+    pub checkpoint_hits: u64,
+    /// Replays that early-exited Masked on reconvergence with the
+    /// golden trail.
+    #[serde(default)]
+    pub early_exits: u64,
 }
 
 impl CampaignResult {
@@ -94,6 +107,15 @@ impl CampaignResult {
         self.replay_insts += insts;
     }
 
+    /// Records one replayed outcome with the checkpointed engine's
+    /// per-replay statistics ([`ReplayStats`]).
+    pub fn record_replay_stats(&mut self, o: FaultOutcome, stats: &ReplayStats) {
+        self.record_replayed(o, stats.executed_insts);
+        self.replay_insts_skipped += stats.skipped_insts;
+        self.checkpoint_hits += stats.checkpoint_hit as u64;
+        self.early_exits += stats.early_exit as u64;
+    }
+
     /// Merges another tally into this one.
     pub fn merge(&mut self, other: &CampaignResult) {
         self.injected += other.injected;
@@ -105,6 +127,9 @@ impl CampaignResult {
         self.screened += other.screened;
         self.replays += other.replays;
         self.replay_insts += other.replay_insts;
+        self.replay_insts_skipped += other.replay_insts_skipped;
+        self.checkpoint_hits += other.checkpoint_hits;
+        self.early_exits += other.early_exits;
     }
 
     /// Adds this tally to the `faultsim.*` counters of a metrics
@@ -124,6 +149,15 @@ impl CampaignResult {
         metrics
             .counter("faultsim.replay_insts")
             .add(self.replay_insts);
+        metrics
+            .counter("faultsim.replay_insts_skipped")
+            .add(self.replay_insts_skipped);
+        metrics
+            .counter("faultsim.checkpoint_hits")
+            .add(self.checkpoint_hits);
+        metrics
+            .counter("faultsim.early_exits")
+            .add(self.early_exits);
     }
 
     /// Fault detection capability n/N (paper §II-C).

@@ -92,6 +92,48 @@ impl CorruptionPlan {
             && self.end_reg_corruption.is_none()
             && self.end_xmm_corruption.is_none()
     }
+
+    /// True when the plan carries end-of-run corruption that must be
+    /// applied to the final state regardless of how execution unfolds.
+    pub fn has_end_corruption(&self) -> bool {
+        self.end_corruption.is_some()
+            || self.end_reg_corruption.is_some()
+            || self.end_xmm_corruption.is_some()
+    }
+
+    /// Dynamic index of the earliest planned flip — the replay before it
+    /// is bit-identical to the golden run, so a checkpointed replay may
+    /// seek over that prefix. `u64::MAX` when the plan carries only
+    /// end-of-run corruption (the whole run is golden).
+    pub fn first_flip_dyn(&self) -> u64 {
+        let reg = self.reg_flips.iter().map(|f| f.dyn_idx).min();
+        let xmm = self.xmm_flips.iter().map(|f| f.dyn_idx).min();
+        let load = self.load_flips.iter().map(|f| f.dyn_idx).min();
+        [reg, xmm, load]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Dynamic index from which no planned flip can fire any more (last
+    /// flip + 1). Past this point a replay that matches the golden state
+    /// is provably Masked — unless end-of-run corruption is pending, in
+    /// which case this returns `u64::MAX` so the replay runs to the
+    /// signature check.
+    pub fn quiesce_dyn(&self) -> u64 {
+        if self.has_end_corruption() {
+            return u64::MAX;
+        }
+        let reg = self.reg_flips.iter().map(|f| f.dyn_idx).max();
+        let xmm = self.xmm_flips.iter().map(|f| f.dyn_idx).max();
+        let load = self.load_flips.iter().map(|f| f.dyn_idx).max();
+        [reg, xmm, load]
+            .into_iter()
+            .flatten()
+            .max()
+            .map_or(0, |d| d + 1)
+    }
 }
 
 /// Plans an IRF transient: find the value instance resident in the

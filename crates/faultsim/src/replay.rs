@@ -8,6 +8,7 @@
 //! golden run decides **SDC** vs **Masked** (software masking: the
 //! corrupted value may still be logically dead).
 
+use crate::checkpoint::{drive, ReplayStats, RunEnd};
 use crate::outcome::FaultOutcome;
 use crate::plan::CorruptionPlan;
 use harpo_isa::exec::{ExecHooks, Machine};
@@ -16,19 +17,24 @@ use harpo_isa::mem::Memory;
 use harpo_isa::program::Program;
 use harpo_isa::reg::Gpr;
 use harpo_isa::state::Signature;
+use harpo_isa::trail::GoldenTrail;
 
 /// Reusable scratch state for faulty replays. A campaign worker replays
 /// thousands of faults against the same program; recycling the machine's
 /// memory image between replays turns the per-replay memory build into a
 /// clear-and-refill of one long-lived buffer instead of a fresh
-/// allocation (see DESIGN.md, "Performance architecture").
+/// allocation (see DESIGN.md, "Performance architecture"). Checkpointed
+/// replays additionally recycle the golden-cursor memory and the
+/// divergence-frontier scratch of [`crate::checkpoint`].
 #[derive(Debug, Default)]
 pub struct ReplayCtx {
     mem: Option<Memory>,
+    pub(crate) cursor: Option<Memory>,
+    pub(crate) dirty: Vec<(u64, u8)>,
 }
 
 impl ReplayCtx {
-    /// An empty context; the buffer is allocated by the first replay.
+    /// An empty context; the buffers are allocated by the first replay.
     pub fn new() -> ReplayCtx {
         ReplayCtx::default()
     }
@@ -144,13 +150,45 @@ pub fn replay_with_plan_counted_ctx(
     cap: u64,
     ctx: &mut ReplayCtx,
 ) -> (FaultOutcome, u64) {
+    let (outcome, stats) = replay_with_plan_bounded(prog, plan, golden, cap, None, ctx);
+    (outcome, stats.executed_insts)
+}
+
+/// Checkpointed [`replay_with_plan_counted_ctx`]: with a trail, the
+/// replay seeks to the checkpoint before the plan's earliest flip
+/// (plans are dyn-indexed, so the prefix is golden by construction) and
+/// early-exits Masked once it reconverges past the last flip. With
+/// `trail == None` this *is* the full replay; outcomes are bit-identical
+/// either way.
+pub fn replay_with_plan_bounded(
+    prog: &Program,
+    plan: &CorruptionPlan,
+    golden: &Signature,
+    cap: u64,
+    trail: Option<&GoldenTrail>,
+    ctx: &mut ReplayCtx,
+) -> (FaultOutcome, ReplayStats) {
+    let mut stats = ReplayStats::default();
     let mut m = match ctx.take_mem() {
         Some(mem) => Machine::with_hooks_in(prog, NativeFu, PlanHooks::new(plan), mem),
         None => Machine::with_hooks(prog, NativeFu, PlanHooks::new(plan)),
     };
-    let outcome = match m.run(cap) {
-        Err(_) => FaultOutcome::Crash,
-        Ok(out) => {
+    let end = drive(
+        &mut m,
+        trail,
+        cap,
+        plan.first_flip_dyn(),
+        plan.quiesce_dyn(),
+        &mut ctx.cursor,
+        &mut ctx.dirty,
+        &mut stats,
+        |_| {},
+    );
+    let outcome = match end {
+        RunEnd::Trapped => FaultOutcome::Crash,
+        RunEnd::Reconverged => FaultOutcome::Masked,
+        RunEnd::Halted => {
+            let out = m.output();
             let mut state = out.state;
             let mut dirty = false;
             if let Some((addr, bit)) = plan.end_corruption {
@@ -182,9 +220,8 @@ pub fn replay_with_plan_counted_ctx(
             }
         }
     };
-    let insts = m.dyn_count();
     ctx.park_mem(m.into_memory());
-    (outcome, insts)
+    (outcome, stats)
 }
 
 #[cfg(test)]
@@ -311,5 +348,117 @@ mod tests {
             end_xmm_corruption: None,
         };
         assert_eq!(replay_with_plan(&p, &plan, &g, 1000), FaultOutcome::Sdc);
+    }
+
+    /// A ~400-dyn-inst loop whose per-iteration scratch (`rdx` and the
+    /// store slot) is overwritten every iteration, so a transient flip
+    /// of one copy reconverges within a few instructions.
+    fn loop_prog() -> Program {
+        let mut a = Asm::new("ckloop");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rcx, 100);
+        a.label("l");
+        a.mov_rr(B64, Rdx, Rcx); // dyn 1+4i reads rcx
+        a.store(B64, Rsi, 0, Rdx); // dyn 2+4i
+        a.sub_ri(B64, Rcx, 1); // dyn 3+4i reads rcx
+        a.jnz("l"); // dyn 4+4i
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn flip_rcx_at(dyn_idx: u64) -> CorruptionPlan {
+        CorruptionPlan {
+            reg_flips: vec![RegFlip {
+                dyn_idx,
+                arch: Rcx,
+                bit: 2,
+                kind: crate::plan::CorruptKind::Flip,
+            }],
+            xmm_flips: vec![],
+            load_flips: vec![],
+            end_corruption: None,
+            end_reg_corruption: None,
+            end_xmm_corruption: None,
+        }
+    }
+
+    #[test]
+    fn checkpointed_masked_replay_early_exits_bit_identically() {
+        let p = loop_prog();
+        let g = golden(&p);
+        let trail = GoldenTrail::record(&p, 1_000_000, 32).unwrap();
+        // Transient flip of the `mov rdx, rcx` read in iteration 10:
+        // the corrupt copy is dead two instructions later and the store
+        // slot is rewritten next iteration — software-masked.
+        let plan = flip_rcx_at(1 + 4 * 10);
+        let mut ctx = ReplayCtx::new();
+        let (full_o, full_s) = replay_with_plan_bounded(&p, &plan, &g, 1_000_000, None, &mut ctx);
+        let (ck_o, ck_s) =
+            replay_with_plan_bounded(&p, &plan, &g, 1_000_000, Some(&trail), &mut ctx);
+        assert_eq!(full_o, FaultOutcome::Masked);
+        assert_eq!(ck_o, full_o);
+        assert!(!full_s.checkpoint_hit && !full_s.early_exit);
+        assert_eq!(full_s.skipped_insts, 0);
+        assert!(ck_s.checkpoint_hit, "flip at dyn 41 seeks past dyn 32");
+        assert!(ck_s.early_exit, "reconverges long before halt");
+        assert!(ck_s.executed_insts < full_s.executed_insts);
+        // Executed + skipped partitions exactly the golden run length.
+        assert_eq!(
+            ck_s.executed_insts + ck_s.skipped_insts,
+            full_s.executed_insts
+        );
+    }
+
+    #[test]
+    fn checkpointed_sdc_replay_matches_full_replay() {
+        // Accumulator loop: the trip count feeds the live sum in rbx,
+        // so corrupting the count is architecturally visible.
+        let mut a = Asm::new("cksum");
+        a.mov_ri(B64, Rcx, 100);
+        a.label("l");
+        a.add_rr(B64, Rbx, Rcx); // dyn 1+3i
+        a.sub_ri(B64, Rcx, 1); // dyn 2+3i reads rcx
+        a.jnz("l"); // dyn 3+3i
+        a.halt();
+        let p = a.finish().unwrap();
+        let g = golden(&p);
+        let trail = GoldenTrail::record(&p, 1_000_000, 32).unwrap();
+        // Flip the `sub rcx, 1` read in iteration 20: every later
+        // partial sum differs — the run never reconverges.
+        let plan = flip_rcx_at(2 + 3 * 20);
+        let mut ctx = ReplayCtx::new();
+        let (full_o, _) = replay_with_plan_bounded(&p, &plan, &g, 1_000_000, None, &mut ctx);
+        let (ck_o, ck_s) =
+            replay_with_plan_bounded(&p, &plan, &g, 1_000_000, Some(&trail), &mut ctx);
+        assert_ne!(full_o, FaultOutcome::Masked, "trip-count flip is visible");
+        assert_eq!(ck_o, full_o);
+        assert!(ck_s.checkpoint_hit);
+        assert!(!ck_s.early_exit, "a diverged run must reach its own end");
+    }
+
+    #[test]
+    fn end_corruption_plan_seeks_to_final_checkpoint() {
+        let p = loop_prog();
+        let g = golden(&p);
+        let trail = GoldenTrail::record(&p, 1_000_000, 32).unwrap();
+        // A flip that only matters at checker time (residual memory
+        // corruption): the replay itself is golden, so the checkpointed
+        // path seeks straight to the final snapshot and executes nothing.
+        let plan = CorruptionPlan {
+            reg_flips: vec![],
+            xmm_flips: vec![],
+            load_flips: vec![],
+            end_corruption: Some((DATA_BASE, 3)),
+            end_reg_corruption: None,
+            end_xmm_corruption: None,
+        };
+        let mut ctx = ReplayCtx::new();
+        let (full_o, full_s) = replay_with_plan_bounded(&p, &plan, &g, 1_000_000, None, &mut ctx);
+        let (ck_o, ck_s) =
+            replay_with_plan_bounded(&p, &plan, &g, 1_000_000, Some(&trail), &mut ctx);
+        assert_eq!(full_o, FaultOutcome::Sdc, "residual bit reaches checker");
+        assert_eq!(ck_o, full_o);
+        assert_eq!(ck_s.executed_insts, 0, "nothing left to execute");
+        assert_eq!(ck_s.skipped_insts, full_s.executed_insts);
     }
 }

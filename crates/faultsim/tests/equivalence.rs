@@ -1,0 +1,129 @@
+//! Checkpointed-replay equivalence corpus.
+//!
+//! The checkpointed replay engine (golden trail seek + reconvergence
+//! early-exit) is a pure performance transform: campaign tallies must be
+//! **bit-identical** with checkpointing on and off, for every target
+//! structure, over generated programs. This suite is the enforcement of
+//! that invariant (and of thread-count determinism while we are at it).
+
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{measure_detection, CampaignConfig, CampaignResult, L1dProtection};
+use harpo_isa::program::Program;
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_uarch::OooCore;
+
+const STRUCTURES: [TargetStructure; 4] = [
+    TargetStructure::Irf,
+    TargetStructure::Xrf,
+    TargetStructure::L1d,
+    TargetStructure::IntAdder,
+];
+
+fn corpus() -> Vec<Program> {
+    let mut progs = Vec::new();
+    // Plain ALU programs, memory-heavy programs, and SSE programs: the
+    // three plan families (reg flips, load flips + end corruption, xmm
+    // flips) all need coverage.
+    for (seed, n_insts, allow_sse, store_bias) in [
+        (11u64, 120usize, false, 0.0f64),
+        (23, 400, false, 0.35),
+        (37, 900, true, 0.2),
+        (53, 250, true, 0.5),
+    ] {
+        let c = GenConstraints {
+            n_insts,
+            allow_sse,
+            store_bias,
+            ..GenConstraints::default()
+        };
+        progs.push(Generator::new(c).generate(seed));
+    }
+    progs
+}
+
+fn cfg(interval: u64, threads: usize, l1d: L1dProtection) -> CampaignConfig {
+    CampaignConfig {
+        n_faults: 64,
+        seed: 0xE9_01AD,
+        threads,
+        cap: 10_000_000,
+        l1d_protection: l1d,
+        checkpoint_interval: interval,
+    }
+}
+
+/// Strips the perf-only counters that legitimately differ between the
+/// checkpointed and full paths, keeping every outcome tally.
+fn outcome_tallies(r: &CampaignResult) -> CampaignResult {
+    let mut t = *r;
+    t.replay_insts = 0;
+    t.replay_insts_skipped = 0;
+    t.checkpoint_hits = 0;
+    t.early_exits = 0;
+    t
+}
+
+#[test]
+fn checkpointed_campaigns_match_full_campaigns_bit_for_bit() {
+    let core = OooCore::default();
+    let mut any_hit = false;
+    let mut any_exit = false;
+    for (pi, p) in corpus().iter().enumerate() {
+        for structure in STRUCTURES {
+            let full = measure_detection(p, structure, &core, &cfg(0, 2, L1dProtection::None))
+                .expect("golden run");
+            let ck = measure_detection(p, structure, &core, &cfg(64, 2, L1dProtection::None))
+                .expect("golden run");
+            assert_eq!(
+                outcome_tallies(&full),
+                outcome_tallies(&ck),
+                "program {pi} / {structure}: checkpointing changed the tallies"
+            );
+            any_hit |= ck.checkpoint_hits > 0;
+            any_exit |= ck.early_exits > 0;
+            assert_eq!(full.checkpoint_hits, 0);
+            assert_eq!(full.early_exits, 0);
+            assert_eq!(full.replay_insts_skipped, 0);
+        }
+    }
+    assert!(any_hit, "corpus never exercised a checkpoint seek");
+    assert!(
+        any_exit,
+        "corpus never exercised a reconvergence early-exit"
+    );
+}
+
+#[test]
+fn secded_tallies_unchanged_by_checkpointing() {
+    let core = OooCore::default();
+    let p = &corpus()[1];
+    let full = measure_detection(
+        p,
+        TargetStructure::L1d,
+        &core,
+        &cfg(0, 2, L1dProtection::Secded),
+    )
+    .expect("golden run");
+    let ck = measure_detection(
+        p,
+        TargetStructure::L1d,
+        &core,
+        &cfg(64, 2, L1dProtection::Secded),
+    )
+    .expect("golden run");
+    assert_eq!(outcome_tallies(&full), outcome_tallies(&ck));
+    assert_eq!(full.corrected, ck.corrected);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let core = OooCore::default();
+    let p = &corpus()[2];
+    for structure in STRUCTURES {
+        let one = measure_detection(p, structure, &core, &cfg(64, 1, L1dProtection::None))
+            .expect("golden run");
+        let three = measure_detection(p, structure, &core, &cfg(64, 3, L1dProtection::None))
+            .expect("golden run");
+        assert_eq!(one, three, "{structure}: thread count changed the result");
+    }
+}

@@ -396,6 +396,17 @@ impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
         self.state.halted
     }
 
+    /// Restores the machine to a recorded mid-run architectural state (a
+    /// [`crate::trail::GoldenTrail`] checkpoint seek). Memory must be
+    /// brought to the matching point separately via
+    /// [`crate::trail::GoldenTrail::apply_deltas`]; the dynamic
+    /// instruction counter continues from `dyn_idx` so caps and
+    /// per-instruction hooks see the same indices a full run would.
+    pub fn restore(&mut self, state: &ArchState, dyn_idx: u64) {
+        self.state.clone_from(state);
+        self.dyn_count = dyn_idx;
+    }
+
     /// Executes one instruction and returns a reference to its
     /// [`StepInfo`] (valid until the next step; copy it out — the struct
     /// is `Copy` — to keep it longer).

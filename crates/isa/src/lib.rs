@@ -72,6 +72,7 @@ pub mod reg;
 pub mod semantics;
 pub mod softfp;
 pub mod state;
+pub mod trail;
 
 pub use asm::Asm;
 pub use container::{from_container, to_container, ContainerError};
@@ -85,3 +86,4 @@ pub use mem::{MemImage, Memory, DATA_BASE};
 pub use program::{Program, RegInit};
 pub use reg::{Gpr, Width, Xmm};
 pub use state::ArchState;
+pub use trail::{Checkpoint, GoldenTrail, MemDelta};

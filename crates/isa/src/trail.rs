@@ -1,0 +1,309 @@
+//! Golden checkpoint trail for divergence-bounded fault replay.
+//!
+//! A [`GoldenTrail`] is recorded once per program from a golden
+//! functional run: periodic architectural snapshots plus a global,
+//! dyn-ordered *store delta log* (the copy-on-write view of memory — a
+//! store's address/size/value triple is enough to reconstruct the
+//! region at any checkpoint from the initial [`crate::mem::MemImage`]).
+//! Fault replays use it in two ways:
+//!
+//! * **seek** — a replay whose first corruption lands at dynamic
+//!   instruction `d` restores the nearest checkpoint at or before `d`
+//!   ([`GoldenTrail::checkpoint_before`], [`GoldenTrail::apply_deltas`],
+//!   [`crate::exec::Machine::restore`]) instead of re-executing the
+//!   golden prefix;
+//! * **reconvergence** — past its last corruption point the faulty run
+//!   is compared against the trail at checkpoint boundaries; equality
+//!   of registers and touched memory proves the rest of the run is
+//!   bit-identical to the golden one, so the replay can stop early.
+//!
+//! The prefix skipped by a seek is sound because the replay machinery
+//! only ever *observes* state before the first corruption point — the
+//! golden prefix of a faulty run is bit-identical to the golden run by
+//! construction.
+
+use crate::exec::{Machine, Trap};
+use crate::fu::NativeFu;
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::state::ArchState;
+
+/// One store of the golden run, in retirement order: applying the log's
+/// prefix to the initial memory image reproduces memory at any
+/// checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Effective address of the store.
+    pub addr: u64,
+    /// Store size in bytes (1, 2, 4, 8 or 16).
+    pub size: u8,
+    /// Stored bytes as two little-endian 64-bit lanes (lane 1 is only
+    /// meaningful for 16-byte stores).
+    pub val: [u64; 2],
+}
+
+impl MemDelta {
+    /// Writes the delta into `mem`. The address was in bounds when the
+    /// golden run performed the store, so this cannot fault on the same
+    /// image.
+    #[inline]
+    pub fn apply(&self, mem: &mut Memory) {
+        if self.size == 16 {
+            mem.write128(self.addr, self.val).expect("golden store");
+        } else {
+            mem.write(self.addr, self.size as u32, self.val[0])
+                .expect("golden store");
+        }
+    }
+}
+
+/// A periodic snapshot of the golden run: the architectural register
+/// state after `dyn_idx` retired instructions, plus the store-delta-log
+/// prefix that reproduces memory at that point.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Dynamic instructions retired before this point.
+    pub dyn_idx: u64,
+    /// Architectural register state at this point.
+    pub state: ArchState,
+    /// Number of [`MemDelta`] entries applied at this point.
+    pub deltas: usize,
+}
+
+/// The golden run's checkpoint trail: snapshots every `interval` dynamic
+/// instructions (plus one at dyn 0 and one at halt) over a shared store
+/// delta log.
+#[derive(Debug, Clone)]
+pub struct GoldenTrail {
+    interval: u64,
+    checkpoints: Vec<Checkpoint>,
+    deltas: Vec<MemDelta>,
+    end_dyn: u64,
+}
+
+impl GoldenTrail {
+    /// Records the trail by running `prog` functionally to completion,
+    /// snapshotting every `interval` retired instructions.
+    ///
+    /// # Errors
+    /// Any [`Trap`] of the golden run, including [`Trap::InstructionCap`]
+    /// at `cap` — a program whose golden run traps has no valid trail.
+    ///
+    /// # Panics
+    /// If `interval` is zero.
+    pub fn record(prog: &Program, cap: u64, interval: u64) -> Result<GoldenTrail, Trap> {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        let mut m = Machine::new(prog, NativeFu);
+        let mut trail = GoldenTrail {
+            interval,
+            checkpoints: Vec::new(),
+            deltas: Vec::new(),
+            end_dyn: 0,
+        };
+        trail.checkpoints.push(Checkpoint {
+            dyn_idx: 0,
+            state: m.state().clone(),
+            deltas: 0,
+        });
+        loop {
+            if m.dyn_count() >= cap {
+                return Err(Trap::InstructionCap);
+            }
+            let acc = match m.step()? {
+                None => break,
+                Some(info) => info.mem,
+            };
+            if let Some(acc) = acc.filter(|a| a.is_store) {
+                // Hooks see stores before they land, so the value is
+                // read back from memory after the step instead.
+                let val = if acc.size == 16 {
+                    m.mem().read128(acc.addr).expect("golden store")
+                } else {
+                    [
+                        m.mem()
+                            .read(acc.addr, acc.size as u32)
+                            .expect("golden store"),
+                        0,
+                    ]
+                };
+                trail.deltas.push(MemDelta {
+                    addr: acc.addr,
+                    size: acc.size,
+                    val,
+                });
+            }
+            if m.dyn_count().is_multiple_of(interval) && !m.halted() {
+                trail.checkpoints.push(Checkpoint {
+                    dyn_idx: m.dyn_count(),
+                    state: m.state().clone(),
+                    deltas: trail.deltas.len(),
+                });
+            }
+        }
+        trail.end_dyn = m.dyn_count();
+        // The final checkpoint carries the halted state; drop a same-dyn
+        // mid-run snapshot (a run whose length is a multiple of the
+        // interval) so checkpoint dyn indices stay strictly increasing.
+        if trail
+            .checkpoints
+            .last()
+            .is_some_and(|c| c.dyn_idx == trail.end_dyn)
+        {
+            trail.checkpoints.pop();
+        }
+        trail.checkpoints.push(Checkpoint {
+            dyn_idx: trail.end_dyn,
+            state: m.state().clone(),
+            deltas: trail.deltas.len(),
+        });
+        Ok(trail)
+    }
+
+    /// The snapshot interval in dynamic instructions.
+    #[inline]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Dynamic length of the golden run.
+    #[inline]
+    pub fn end_dyn(&self) -> u64 {
+        self.end_dyn
+    }
+
+    /// All checkpoints, in strictly increasing `dyn_idx` order.
+    #[inline]
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// Total store-delta-log length.
+    #[inline]
+    pub fn delta_len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The final (halted) architectural state of the golden run.
+    pub fn final_state(&self) -> &ArchState {
+        &self
+            .checkpoints
+            .last()
+            .expect("trail has checkpoints")
+            .state
+    }
+
+    /// The latest checkpoint at or before `dyn_idx` (clamped to the
+    /// final checkpoint for indices past the end of the run).
+    pub fn checkpoint_before(&self, dyn_idx: u64) -> &Checkpoint {
+        let i = self.checkpoints.partition_point(|c| c.dyn_idx <= dyn_idx);
+        &self.checkpoints[i - 1]
+    }
+
+    /// Index into [`GoldenTrail::checkpoints`] of the first checkpoint
+    /// strictly after `dyn_idx` (`checkpoints().len()` if none).
+    pub fn next_checkpoint_idx(&self, dyn_idx: u64) -> usize {
+        self.checkpoints.partition_point(|c| c.dyn_idx <= dyn_idx)
+    }
+
+    /// Applies store-delta-log entries `[from, to)` to `mem`, advancing
+    /// it from the memory state of one checkpoint to another's.
+    pub fn apply_deltas(&self, from: usize, to: usize, mem: &mut Memory) {
+        for d in &self.deltas[from..to] {
+            d.apply(mem);
+        }
+    }
+
+    /// The store-delta-log entries `[from, to)`.
+    #[inline]
+    pub fn deltas(&self, from: usize, to: usize) -> &[MemDelta] {
+        &self.deltas[from..to]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::mem::DATA_BASE;
+    use crate::reg::Gpr::*;
+    use crate::reg::Width::*;
+
+    fn store_loop() -> Program {
+        let mut a = Asm::new("trail");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri(B64, Rcx, 40);
+        a.label("w");
+        a.add_rr(B64, Rax, Rcx);
+        a.store(B64, Rsi, 0, Rax);
+        a.add_ri(B64, Rsi, 8);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("w");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn checkpoints_match_reexecuted_prefixes() {
+        let p = store_loop();
+        let trail = GoldenTrail::record(&p, 1_000_000, 16).unwrap();
+        assert!(trail.checkpoints().len() > 3);
+        for ck in trail.checkpoints() {
+            // Re-execute the prefix from scratch and compare.
+            let mut m = Machine::new(&p, NativeFu);
+            while m.dyn_count() < ck.dyn_idx {
+                m.step().unwrap().unwrap();
+            }
+            assert_eq!(m.state(), &ck.state, "state at dyn {}", ck.dyn_idx);
+            let mut mem = p.mem.build();
+            trail.apply_deltas(0, ck.deltas, &mut mem);
+            assert_eq!(
+                mem.as_bytes(),
+                m.mem().as_bytes(),
+                "mem at dyn {}",
+                ck.dyn_idx
+            );
+        }
+    }
+
+    #[test]
+    fn restore_then_run_matches_full_run() {
+        let p = store_loop();
+        let trail = GoldenTrail::record(&p, 1_000_000, 32).unwrap();
+        let golden = Machine::new(&p, NativeFu).run(1_000_000).unwrap();
+        // Seek to a mid-run checkpoint and run to completion.
+        let ck = trail.checkpoint_before(trail.end_dyn() / 2);
+        assert!(ck.dyn_idx > 0, "mid-run checkpoint exists");
+        let mut m = Machine::new(&p, NativeFu);
+        trail.apply_deltas(0, ck.deltas, m.mem_mut());
+        m.restore(&ck.state, ck.dyn_idx);
+        let out = m.run(1_000_000).unwrap();
+        assert_eq!(out.signature, golden.signature);
+        assert_eq!(out.dyn_count, golden.dyn_count);
+    }
+
+    #[test]
+    fn final_checkpoint_is_halted_end_state() {
+        let p = store_loop();
+        let trail = GoldenTrail::record(&p, 1_000_000, 64).unwrap();
+        let golden = Machine::new(&p, NativeFu).run(1_000_000).unwrap();
+        assert_eq!(trail.end_dyn(), golden.dyn_count);
+        assert!(trail.final_state().halted);
+        assert_eq!(trail.final_state(), &golden.state);
+        // Checkpoint dyn indices are strictly increasing.
+        for w in trail.checkpoints().windows(2) {
+            assert!(w[0].dyn_idx < w[1].dyn_idx);
+        }
+        // Seeking past the end lands on the final checkpoint.
+        assert_eq!(trail.checkpoint_before(u64::MAX).dyn_idx, trail.end_dyn());
+    }
+
+    #[test]
+    fn trapping_program_has_no_trail() {
+        let mut a = Asm::new("oob");
+        a.mov_ri64(Rsi, 0xDEAD_0000);
+        a.load(B64, Rax, Rsi, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert!(GoldenTrail::record(&p, 1_000_000, 16).is_err());
+    }
+}

@@ -21,6 +21,7 @@ BINS=(
   fig10_convergence
   fig11_detection
   detection_speed
+  campaign_speed
   ablation_mutation
   ablation_l1d
   fault_model_study
