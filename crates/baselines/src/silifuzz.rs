@@ -137,6 +137,7 @@ impl SiliFuzz {
             insts,
             reg_init,
             mem,
+            provenance: Default::default(),
         }
     }
 

@@ -1,0 +1,102 @@
+//! `bench_diff` — the benchmark regression gate.
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [--threshold 0.10] [--keys a,b,...]
+//! ```
+//!
+//! Compares a fresh `BENCH_*.json` snapshot against the committed
+//! baseline on the gated keys (by default, every shared `*speedup*`
+//! key) and exits non-zero if any dropped by more than the threshold.
+//! CI runs this after the manual bench job so a change that quietly
+//! costs more than 10% of a headline speedup fails the build.
+
+use harpo_bench::diff::{diff, DEFAULT_THRESHOLD};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <fresh.json> [--threshold {DEFAULT_THRESHOLD}] [--keys a,b,...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut keys: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--keys" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                keys = Some(list.split(',').map(str::to_string).collect());
+            }
+            "--help" | "-h" => usage(),
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench_diff: {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let fresh = read(fresh_path);
+    let report = match diff(
+        baseline_path,
+        &baseline,
+        fresh_path,
+        &fresh,
+        threshold,
+        keys.as_deref(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "key", "baseline", "fresh", "ratio"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<44} {:>12.4} {:>12.4} {:>7.1}%  {}",
+            row.key,
+            row.baseline,
+            row.fresh,
+            row.ratio * 100.0,
+            if row.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    if report.regressed() {
+        eprintln!(
+            "bench_diff: regression beyond {:.0}% on {} of {} gated keys",
+            report.threshold * 100.0,
+            report.rows.iter().filter(|r| r.regressed).count(),
+            report.rows.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "all {} gated keys within {:.0}% of baseline",
+        report.rows.len(),
+        report.threshold * 100.0
+    );
+}

@@ -22,6 +22,7 @@ fn truncated(p: &Program, frac: f64) -> Program {
         insts,
         reg_init: p.reg_init.clone(),
         mem: p.mem.clone(),
+        provenance: p.provenance.clone(),
     }
 }
 

@@ -1,0 +1,210 @@
+//! Benchmark regression gating: compare a fresh `BENCH_*.json` snapshot
+//! against the committed baseline and fail on regressions.
+//!
+//! The gated quantities default to the *speedup* keys (higher is
+//! better) — the ones the paper's claims rest on — because raw
+//! nanosecond timings vary with the host, while speedups are ratios of
+//! two timings from the same machine and stay comparable across hosts.
+//! A key regresses when `fresh < baseline * (1 - threshold)`.
+
+use harpo_telemetry::json::{self, Value};
+
+/// Default allowed relative drop before a key counts as regressed.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One gated benchmark key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Benchmark key.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// `fresh / baseline` (1.0 when the baseline is zero).
+    pub ratio: f64,
+    /// Whether this key dropped below the threshold.
+    pub regressed: bool,
+}
+
+/// The comparison across all gated keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Per-key comparison, in baseline key order.
+    pub rows: Vec<DiffRow>,
+    /// The relative-drop threshold applied.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Whether any gated key regressed.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+fn flat_numbers(path: &str, content: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = json::parse(content).map_err(|e| format!("{path}: {e}"))?;
+    let Value::Obj(fields) = v else {
+        return Err(format!("{path}: expected a flat JSON object"));
+    };
+    fields
+        .into_iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|n| (k.clone(), n))
+                .ok_or_else(|| format!("{path}: key `{k}` is not a number"))
+        })
+        .collect()
+}
+
+/// Compares `fresh` against `baseline` (both flat `BENCH_*.json`
+/// contents) on the gated keys.
+///
+/// With `keys: None`, gates every key containing `speedup` that is
+/// present in both files (and errors if there are none — a silent empty
+/// gate would pass vacuously). With an explicit key list, every named
+/// key must exist in both files.
+pub fn diff(
+    baseline_path: &str,
+    baseline: &str,
+    fresh_path: &str,
+    fresh: &str,
+    threshold: f64,
+    keys: Option<&[String]>,
+) -> Result<DiffReport, String> {
+    if !(0.0..1.0).contains(&threshold) {
+        return Err(format!("threshold {threshold} must be in [0, 1)"));
+    }
+    let base = flat_numbers(baseline_path, baseline)?;
+    let new = flat_numbers(fresh_path, fresh)?;
+    let lookup = |side: &[(String, f64)], key: &str| -> Option<f64> {
+        side.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    };
+
+    let gated: Vec<String> = match keys {
+        Some(list) => {
+            for k in list {
+                if lookup(&base, k).is_none() {
+                    return Err(format!("{baseline_path}: missing key `{k}`"));
+                }
+                if lookup(&new, k).is_none() {
+                    return Err(format!("{fresh_path}: missing key `{k}`"));
+                }
+            }
+            list.to_vec()
+        }
+        None => {
+            let auto: Vec<String> = base
+                .iter()
+                .filter(|(k, _)| k.contains("speedup") && lookup(&new, k).is_some())
+                .map(|(k, _)| k.clone())
+                .collect();
+            if auto.is_empty() {
+                return Err(format!(
+                    "no speedup keys shared by {baseline_path} and {fresh_path}; \
+                     pass --keys to gate explicitly"
+                ));
+            }
+            auto
+        }
+    };
+
+    let rows = gated
+        .iter()
+        .map(|key| {
+            let b = lookup(&base, key).expect("validated above");
+            let f = lookup(&new, key).expect("validated above");
+            let ratio = if b == 0.0 { 1.0 } else { f / b };
+            DiffRow {
+                key: key.clone(),
+                baseline: b,
+                fresh: f,
+                ratio,
+                regressed: f < b * (1.0 - threshold),
+            }
+        })
+        .collect();
+    Ok(DiffReport { rows, threshold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"evaluate_population_64x300_t4":4000000,
+        "population_speedup_t4":2.0,"population_speedup_t1":1.6,
+        "simulate_into_speedup":1.5}"#;
+
+    fn run(fresh: &str, threshold: f64, keys: Option<&[String]>) -> Result<DiffReport, String> {
+        diff("base.json", BASE, "fresh.json", fresh, threshold, keys)
+    }
+
+    #[test]
+    fn matching_snapshots_pass() {
+        let r = run(BASE, DEFAULT_THRESHOLD, None).unwrap();
+        assert!(!r.regressed());
+        // All three speedup keys gated, the raw timing ignored.
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.rows.iter().all(|row| row.ratio == 1.0));
+    }
+
+    #[test]
+    fn drops_beyond_the_threshold_regress() {
+        let fresh = r#"{"population_speedup_t4":1.7,"population_speedup_t1":1.58,
+            "simulate_into_speedup":1.5}"#;
+        let r = run(fresh, 0.10, None).unwrap();
+        assert!(r.regressed());
+        let t4 = r.rows.iter().find(|x| x.key.ends_with("t4")).unwrap();
+        assert!(t4.regressed, "1.7 < 2.0 * 0.9");
+        let t1 = r.rows.iter().find(|x| x.key.ends_with("t1")).unwrap();
+        assert!(!t1.regressed, "1.58 >= 1.6 * 0.9 stays within tolerance");
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let fresh = r#"{"population_speedup_t4":3.0,"population_speedup_t1":2.0,
+            "simulate_into_speedup":9.9}"#;
+        assert!(!run(fresh, 0.10, None).unwrap().regressed());
+    }
+
+    #[test]
+    fn explicit_keys_gate_exactly_those() {
+        let keys = vec!["evaluate_population_64x300_t4".to_string()];
+        let fresh = r#"{"evaluate_population_64x300_t4":1000000}"#;
+        let r = run(fresh, 0.10, Some(&keys)).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Raw timings gate on the same rule: lower than baseline−10%
+        // counts as a drop of the *value*, which for a timing key means
+        // "faster" — callers opting into timing keys accept that
+        // direction. The default speedup gate avoids the ambiguity.
+        assert!(r.rows[0].regressed);
+    }
+
+    #[test]
+    fn missing_keys_and_bad_inputs_error() {
+        let keys = vec!["nope".to_string()];
+        assert!(run(BASE, 0.10, Some(&keys)).unwrap_err().contains("nope"));
+        assert!(run("[1,2]", 0.10, None).unwrap_err().contains("flat JSON"));
+        assert!(run(r#"{"a":"x"}"#, 0.10, None).unwrap_err().contains("`a`"));
+        assert!(run(r#"{"a":1.0}"#, 0.10, None)
+            .unwrap_err()
+            .contains("no speedup keys"));
+        assert!(run(BASE, 1.5, None).unwrap_err().contains("threshold"));
+    }
+
+    #[test]
+    fn zero_baseline_is_not_a_division_crash() {
+        let r = diff(
+            "b.json",
+            r#"{"x_speedup":0.0}"#,
+            "f.json",
+            r#"{"x_speedup":0.0}"#,
+            0.10,
+            None,
+        )
+        .unwrap();
+        assert!(!r.regressed());
+        assert_eq!(r.rows[0].ratio, 1.0);
+    }
+}

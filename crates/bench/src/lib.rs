@@ -8,6 +8,8 @@
 //! `--faults N` and `--threads N`, prints the figure's rows to stdout
 //! and writes a CSV next to the workspace under `results/`.
 
+pub mod diff;
+
 use harpo_baselines::{mibench, opendcdiag, SiliFuzz, SiliFuzzConfig};
 use harpo_core::{presets, Evaluator, Harpocrates, RunReport, Scale};
 use harpo_coverage::TargetStructure;
@@ -16,7 +18,7 @@ use harpo_faultsim::{
 };
 use harpo_isa::program::Program;
 use harpo_museqgen::Generator;
-use harpo_telemetry::{Metrics, Value};
+use harpo_telemetry::{JsonlSink, Metrics, Sink, Telemetry, Value};
 use harpo_uarch::OooCore;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -229,7 +231,10 @@ impl Harness {
             .collect()
     }
 
-    /// [`run_harpocrates`] reporting into the harness registry.
+    /// [`run_harpocrates`] reporting into the harness registry, with the
+    /// run's flight-recorder journal written to
+    /// `<out>/<name>_<structure>.journal.jsonl` so `harpo report` can
+    /// analyze every experiment's refinement loop after the fact.
     pub fn run_harpocrates(
         &self,
         structure: TargetStructure,
@@ -238,13 +243,36 @@ impl Harness {
     ) -> RunReport {
         let (constraints, mut loop_cfg) = presets::preset(structure, scale);
         loop_cfg.threads = threads;
-        Harpocrates::new(
+        let mut h = Harpocrates::new(
             Generator::new(constraints),
             Evaluator::new(OooCore::default(), structure),
             loop_cfg,
         )
-        .with_metrics(self.metrics.clone())
-        .run()
+        .with_metrics(self.metrics.clone());
+        std::fs::create_dir_all(&self.cli.out_dir).expect("create results dir");
+        let slug: String = structure
+            .label()
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let journal = self
+            .cli
+            .out_dir
+            .join(format!("{}_{slug}.journal.jsonl", self.name));
+        match JsonlSink::create(&journal) {
+            Ok(sink) => {
+                let sink: std::sync::Arc<dyn Sink> = std::sync::Arc::new(sink);
+                h = h.with_telemetry(Telemetry::fanout(vec![sink]));
+            }
+            Err(e) => eprintln!("warning: journal {}: {e}", journal.display()),
+        }
+        h.run()
     }
 
     /// Writes `<name>.manifest.json` into the output directory: the

@@ -25,6 +25,7 @@ USAGE:
                  <test.hxpf>
   harpo simulate <test.hxpf>
   harpo disasm   [--limit N] <test.hxpf>
+  harpo report   <run.jsonl | BENCH_*.json>... [--out REPORT.md]
   harpo info
 
 STRUCTURES: irf, l1d, int-adder, int-mul, fp-adder, fp-mul
@@ -33,6 +34,8 @@ OBSERVABILITY:
   --journal <path>  write a machine-readable JSONL run journal (one
                     record per refinement iteration / campaign, plus a
                     summary with the full counter snapshot)
+  harpo report      render journals and bench snapshots into a
+                    self-contained Markdown report, fully offline
   --verbose         mirror journal records to stderr, human-readable
   --quiet           suppress progress output on stdout"
     );

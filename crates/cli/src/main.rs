@@ -7,11 +7,13 @@
 //! harpo grade    --structure int-mul --faults 128 [--journal run.jsonl] t.hxpf
 //! harpo simulate t.hxpf
 //! harpo disasm   t.hxpf [--limit 40]
+//! harpo report   run.jsonl [BENCH_pipeline.json ...] [--out REPORT.md]
 //! harpo info
 //! ```
 
 mod args;
 mod commands;
+mod report;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +28,7 @@ fn main() {
         "grade" => commands::grade(&argv),
         "simulate" => commands::simulate(&argv),
         "disasm" => commands::disasm(&argv),
+        "report" => report::report(&argv),
         "info" => commands::info(&argv),
         "help" | "--help" | "-h" => {
             commands::usage();

@@ -1,0 +1,568 @@
+//! `harpo report` — the offline journal analyzer.
+//!
+//! Consumes one or more JSONL run journals (written by `--journal`) and
+//! optionally `BENCH_*.json` snapshots, entirely offline, and renders a
+//! self-contained Markdown report: run summary, convergence table with
+//! plateau detection, operator-efficacy ranking, stage wall-clock
+//! breakdown with per-iteration percentiles, cache/stall counters, and
+//! campaign replay-savings statistics.
+//!
+//! Rendering is a pure function of the input bytes — no clocks, no
+//! environment — so a committed journal renders byte-identically
+//! forever (the golden snapshot test relies on this).
+
+use crate::args::Args;
+use harpo_telemetry::json::{self, Value};
+use harpo_telemetry::SCHEMA_VERSION;
+use std::fmt::Write as _;
+
+/// `harpo report` entry point.
+pub fn report(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    if args.positional.is_empty() {
+        return Err("report needs at least one journal (.jsonl) or bench (.json) file".to_string());
+    }
+    let mut inputs = Vec::new();
+    for path in &args.positional {
+        let content = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        inputs.push((path.clone(), content));
+    }
+    let md = render(&inputs)?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &md).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(())
+}
+
+/// One parsed input file.
+enum Input {
+    /// A JSONL run journal: the parsed records in file order.
+    Journal(Vec<Value>),
+    /// A flat benchmark snapshot: name → number.
+    Bench(Vec<(String, Value)>),
+}
+
+/// Parses and classifies one file: JSONL lines carrying a `"kind"` field
+/// are a journal; a single flat object of numbers is a bench snapshot.
+fn classify(path: &str, content: &str) -> Result<Input, String> {
+    let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(format!("{path}: empty file"));
+    }
+    let first = json::parse(lines[0]).map_err(|e| format!("{path}:1: {e}"))?;
+    if first.get("kind").is_none() {
+        if lines.len() > 1 {
+            return Err(format!("{path}: multi-line file without journal records"));
+        }
+        return match first {
+            Value::Obj(fields) => Ok(Input::Bench(fields)),
+            _ => Err(format!("{path}: expected a JSON object")),
+        };
+    }
+    let mut records = vec![first];
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        records.push(json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    for (i, rec) in records.iter().enumerate() {
+        let v = rec.get("v").and_then(Value::as_u64).unwrap_or(1);
+        if v > SCHEMA_VERSION {
+            return Err(format!(
+                "{path}:{}: journal schema v{v} is newer than this build reads (v{SCHEMA_VERSION}); \
+                 upgrade harpo to analyze it",
+                i + 1
+            ));
+        }
+    }
+    Ok(Input::Journal(records))
+}
+
+/// Renders the full Markdown report for a set of `(path, content)`
+/// inputs. Pure: same bytes in, same bytes out.
+pub fn render(inputs: &[(String, String)]) -> Result<String, String> {
+    let mut out = String::new();
+    out.push_str("# Harpocrates run report\n\n");
+    out.push_str("Inputs:\n");
+    for (path, _) in inputs {
+        let _ = writeln!(out, "- `{path}`");
+    }
+    out.push('\n');
+    for (path, content) in inputs {
+        match classify(path, content)? {
+            Input::Journal(records) => render_journal(&mut out, path, &records),
+            Input::Bench(fields) => render_bench(&mut out, path, &fields),
+        }
+    }
+    Ok(out)
+}
+
+fn render_journal(out: &mut String, path: &str, records: &[Value]) {
+    let _ = writeln!(out, "## Journal `{path}`\n");
+    let of = |kind: &str| -> Vec<&Value> {
+        records
+            .iter()
+            .filter(|r| r.get("kind").and_then(Value::as_str) == Some(kind))
+            .collect()
+    };
+    let summaries = of("summary");
+    let iterations = of("iteration");
+    let campaigns = of("campaign");
+
+    if let Some(s) = summaries.first() {
+        render_summary(out, s);
+    }
+    if !iterations.is_empty() {
+        render_convergence(out, &iterations);
+    }
+    if let Some(e) = of("operator_efficacy").first() {
+        render_efficacy(out, e);
+    }
+    if let Some(s) = summaries.first() {
+        render_stages(out, s);
+        render_cache(out, s);
+    }
+    if !campaigns.is_empty() {
+        render_campaigns(out, &campaigns);
+    }
+    if summaries.is_empty() && iterations.is_empty() && campaigns.is_empty() {
+        let _ = writeln!(
+            out,
+            "_No summary, iteration or campaign records — nothing to analyze._\n"
+        );
+    }
+}
+
+fn u(v: Option<&Value>) -> u64 {
+    v.and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn f(v: Option<&Value>) -> f64 {
+    v.and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn render_summary(out: &mut String, s: &Value) {
+    out.push_str("### Run summary\n\n");
+    out.push_str("| quantity | value |\n|---|---|\n");
+    let _ = writeln!(out, "| iterations | {} |", u(s.get("iterations")));
+    let _ = writeln!(
+        out,
+        "| champion coverage | {} |",
+        fmt_pct(f(s.get("champion_coverage")))
+    );
+    let _ = writeln!(
+        out,
+        "| programs evaluated | {} |",
+        u(s.get("programs_evaluated"))
+    );
+    let _ = writeln!(
+        out,
+        "| instructions processed | {} |",
+        u(s.get("instructions_processed"))
+    );
+    let _ = writeln!(
+        out,
+        "| loop throughput | {:.0} inst/s |",
+        f(s.get("insts_per_sec"))
+    );
+    let _ = writeln!(out, "| wall clock | {} |", fmt_ns(u(s.get("total_ns"))));
+    out.push('\n');
+}
+
+/// Convergence table (downsampled to at most this many rows) plus
+/// plateau detection over the champion trajectory.
+const MAX_CONVERGENCE_ROWS: usize = 60;
+
+fn render_convergence(out: &mut String, iterations: &[&Value]) {
+    out.push_str("### Convergence\n\n");
+    out.push_str("| round | best | champion | kth | new survivors |\n|---|---|---|---|---|\n");
+    let stride = iterations.len().div_ceil(MAX_CONVERGENCE_ROWS).max(1);
+    for (i, rec) in iterations.iter().enumerate() {
+        if i % stride != 0 && i != iterations.len() - 1 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            u(rec.get("iter")),
+            fmt_pct(f(rec.get("best"))),
+            fmt_pct(f(rec.get("champion"))),
+            fmt_pct(f(rec.get("kth"))),
+            u(rec.get("new_survivors")),
+        );
+    }
+    if stride > 1 {
+        let _ = writeln!(
+            out,
+            "\n_{} rounds, showing every {stride}th (plus the last)._",
+            iterations.len()
+        );
+    }
+    out.push('\n');
+
+    // Plateau detection: the last round where the champion improved.
+    const EPS: f64 = 1e-12;
+    let mut best_so_far = f64::NEG_INFINITY;
+    let mut last_improvement = 0u64;
+    for rec in iterations {
+        let c = f(rec.get("champion"));
+        if c > best_so_far + EPS {
+            best_so_far = c;
+            last_improvement = u(rec.get("iter"));
+        }
+    }
+    let final_round = u(iterations.last().unwrap().get("iter"));
+    let idle = final_round.saturating_sub(last_improvement);
+    if idle == 0 {
+        out.push_str(
+            "Champion still improving in the final round — the run had not converged.\n\n",
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "Champion plateaued after round {last_improvement}: no improvement in the final {idle} round(s).\n"
+        );
+    }
+}
+
+fn render_efficacy(out: &mut String, e: &Value) {
+    let Some(ops) = e.get("operators").and_then(Value::as_arr) else {
+        return;
+    };
+    out.push_str("### Operator efficacy\n\n");
+    out.push_str("Ranked by realized coverage gain (survivors' coverage delta vs parent):\n\n");
+    out.push_str(
+        "| rank | operator | offspring | survivors | survival | realized gain | mean Δ | max Δ |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for (i, op) in ops.iter().enumerate() {
+        let offspring = u(op.get("offspring"));
+        let survivors = u(op.get("survivors"));
+        let survival = if offspring == 0 {
+            0.0
+        } else {
+            survivors as f64 / offspring as f64
+        };
+        let _ = writeln!(
+            out,
+            "| {} | `{}` | {} | {} | {} | {:+.6} | {:+.6} | {:+.6} |",
+            i + 1,
+            op.get("operator").and_then(Value::as_str).unwrap_or("?"),
+            offspring,
+            survivors,
+            fmt_pct(survival),
+            f(op.get("realized_gain")),
+            f(op.get("mean_delta")),
+            f(op.get("max_delta")),
+        );
+    }
+    out.push('\n');
+}
+
+/// The loop stages, in pipeline order, as `(summary field, label)`.
+const STAGES: [(&str, &str); 4] = [
+    ("generation_ns", "generation"),
+    ("mutation_ns", "mutation"),
+    ("compilation_ns", "compilation"),
+    ("evaluation_ns", "evaluation"),
+];
+
+fn render_stages(out: &mut String, s: &Value) {
+    let total = u(s.get("total_ns"));
+    if total == 0 {
+        return;
+    }
+    out.push_str("### Stage wall clock\n\n");
+    out.push_str("```\n");
+    let _ = writeln!(out, "total {:>14}", fmt_ns(total));
+    let counters = s.get("counters");
+    for (i, (field, label)) in STAGES.iter().enumerate() {
+        let ns = u(s.get(field));
+        let branch = if i == STAGES.len() - 1 {
+            "└─"
+        } else {
+            "├─"
+        };
+        let _ = write!(
+            out,
+            "{branch} {label:<12} {:>10}  {:>5}",
+            fmt_ns(ns),
+            fmt_pct(ns as f64 / total as f64)
+        );
+        // Per-iteration latency percentiles from the stage histogram.
+        let hist = counters.and_then(|c| c.get(&format!("engine.stage.{field}")));
+        if let Some(h) = hist {
+            let _ = write!(
+                out,
+                "  per-iter p50 {} / p90 {} / p99 {}",
+                fmt_ns(u(h.get("p50"))),
+                fmt_ns(u(h.get("p90"))),
+                fmt_ns(u(h.get("p99"))),
+            );
+        }
+        out.push('\n');
+    }
+    out.push_str("```\n\n");
+    if let Some(h) = counters.and_then(|c| c.get("evaluator.simulate_ns")) {
+        let _ = writeln!(
+            out,
+            "Per-program simulate latency: p50 {} / p90 {} / p99 {} (max {}, {} simulations).\n",
+            fmt_ns(u(h.get("p50"))),
+            fmt_ns(u(h.get("p90"))),
+            fmt_ns(u(h.get("p99"))),
+            fmt_ns(u(h.get("max"))),
+            u(h.get("count")),
+        );
+    }
+}
+
+fn render_cache(out: &mut String, s: &Value) {
+    let hits = u(s.get("cache_hits"));
+    let misses = u(s.get("cache_misses"));
+    let counters = s.get("counters");
+    out.push_str("### Cache and stalls\n\n");
+    out.push_str("| counter | value |\n|---|---|\n");
+    let lookups = hits + misses;
+    let rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let _ = writeln!(
+        out,
+        "| memo-cache hit rate | {} ({hits} of {lookups}) |",
+        fmt_pct(rate)
+    );
+    if let Some(c) = counters {
+        let insts = u(c.get("uarch.insts"));
+        let stalls = u(c.get("uarch.dispatch_stalls"));
+        if insts > 0 {
+            let _ = writeln!(
+                out,
+                "| dispatch stalls | {stalls} ({:.2} per kilo-inst) |",
+                stalls as f64 * 1000.0 / insts as f64
+            );
+        }
+        for (key, label) in [
+            ("evaluator.steals", "work-steal events"),
+            ("evaluator.traps", "trapped programs"),
+        ] {
+            if let Some(v) = c.get(key).and_then(Value::as_u64) {
+                let _ = writeln!(out, "| {label} | {v} |");
+            }
+        }
+    }
+    out.push('\n');
+}
+
+fn render_campaigns(out: &mut String, campaigns: &[&Value]) {
+    out.push_str("### Fault-injection campaigns\n\n");
+    out.push_str(
+        "| program | structure | coverage | detection | faults | replays | replay savings | checkpoint hits | early exits |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    for c in campaigns {
+        let executed = u(c.get("replay_insts"));
+        let skipped = u(c.get("replay_insts_skipped"));
+        let savings = if executed + skipped == 0 {
+            0.0
+        } else {
+            skipped as f64 / (executed + skipped) as f64
+        };
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} |",
+            c.get("program").and_then(Value::as_str).unwrap_or("?"),
+            c.get("structure").and_then(Value::as_str).unwrap_or("?"),
+            fmt_pct(f(c.get("coverage"))),
+            fmt_pct(f(c.get("detection"))),
+            u(c.get("faults")),
+            u(c.get("replays")),
+            fmt_pct(savings),
+            u(c.get("checkpoint_hits")),
+            u(c.get("early_exits")),
+        );
+    }
+    out.push('\n');
+    for c in campaigns {
+        let Some(h) = c.get("counters").and_then(|m| m.get("faultsim.replay_len")) else {
+            continue;
+        };
+        if u(h.get("count")) == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "Replay length (`{}`): p50 {} / p90 {} / p99 {} insts (max {}, {} replays).",
+            c.get("program").and_then(Value::as_str).unwrap_or("?"),
+            u(h.get("p50")),
+            u(h.get("p90")),
+            u(h.get("p99")),
+            u(h.get("max")),
+            u(h.get("count")),
+        );
+    }
+    out.push('\n');
+}
+
+fn render_bench(out: &mut String, path: &str, fields: &[(String, Value)]) {
+    let _ = writeln!(out, "## Benchmarks `{path}`\n");
+    out.push_str("| benchmark | value |\n|---|---|\n");
+    for (key, v) in fields {
+        let rendered = match v {
+            Value::U64(ns) if !key.contains("speedup") => fmt_ns(*ns),
+            _ => match v.as_f64() {
+                Some(x) if key.contains("speedup") => format!("{x:.3}×"),
+                Some(x) => format!("{x}"),
+                None => v.to_json(),
+            },
+        };
+        let _ = writeln!(out, "| `{key}` | {rendered} |");
+    }
+    out.push('\n');
+}
+
+/// Formats nanoseconds with a readable unit. Deterministic (fixed
+/// precision), so reports are stable byte-for-byte.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal() -> String {
+        [
+            r#"{"kind":"run_start","v":2,"structure":"int-adder"}"#,
+            r#"{"kind":"iteration","v":2,"iter":0,"evaluated":8,"best":0.10,"mean":0.05,"champion":0.10,"kth":0.08,"new_survivors":2,"generation_ns":1000,"mutation_ns":0,"compilation_ns":500,"evaluation_ns":9000}"#,
+            r#"{"kind":"lineage","v":2,"iter":1,"operator":"replace-all","offspring":8,"survivors":1,"delta_mean":0.001,"delta_max":0.02,"realized_gain":0.02}"#,
+            r#"{"kind":"iteration","v":2,"iter":1,"evaluated":8,"best":0.12,"mean":0.06,"champion":0.12,"kth":0.09,"new_survivors":1,"generation_ns":0,"mutation_ns":800,"compilation_ns":480,"evaluation_ns":8800}"#,
+            r#"{"kind":"iteration","v":2,"iter":2,"evaluated":8,"best":0.12,"mean":0.07,"champion":0.12,"kth":0.10,"new_survivors":0,"generation_ns":0,"mutation_ns":790,"compilation_ns":475,"evaluation_ns":8700}"#,
+            r#"{"kind":"operator_efficacy","v":2,"operators":[{"operator":"replace-all","offspring":16,"survivors":1,"realized_gain":0.02,"mean_delta":0.001,"max_delta":0.02}]}"#,
+            r#"{"kind":"summary","v":2,"iterations":2,"champion_coverage":0.12,"programs_evaluated":24,"cache_hits":3,"cache_misses":21,"instructions_processed":4800,"insts_per_sec":100000.0,"generation_ns":1000,"mutation_ns":1590,"compilation_ns":1455,"evaluation_ns":26500,"total_ns":31000,"counters":{"engine.stage.evaluation_ns":{"count":3,"sum":26500,"max":9000,"mean":8833.3,"p50":8191,"p90":8191,"p99":8191},"evaluator.simulate_ns":{"count":24,"sum":26000,"max":2000,"mean":1083.3,"p50":1023,"p90":2000,"p99":2000},"uarch.insts":4800,"uarch.dispatch_stalls":240,"evaluator.steals":2,"evaluator.traps":0}}"#,
+        ]
+        .join("\n")
+    }
+
+    fn render_one(name: &str, content: &str) -> String {
+        render(&[(name.to_string(), content.to_string())]).unwrap()
+    }
+
+    #[test]
+    fn journal_renders_every_section() {
+        let md = render_one("run.jsonl", &journal());
+        for heading in [
+            "### Run summary",
+            "### Convergence",
+            "### Operator efficacy",
+            "### Stage wall clock",
+            "### Cache and stalls",
+        ] {
+            assert!(md.contains(heading), "missing {heading}:\n{md}");
+        }
+        assert!(md.contains("| 1 | `replace-all` | 16 | 1 |"));
+        assert!(md.contains("memo-cache hit rate | 12.50% (3 of 24)"));
+        assert!(md.contains("Champion plateaued after round 1"));
+        assert!(md.contains("Per-program simulate latency"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = render_one("run.jsonl", &journal());
+        let b = render_one("run.jsonl", &journal());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unversioned_records_are_v1_and_accepted() {
+        let md = render_one(
+            "old.jsonl",
+            r#"{"kind":"summary","iterations":1,"champion_coverage":0.5,"total_ns":10}"#,
+        );
+        assert!(md.contains("### Run summary"));
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected() {
+        let future = format!(r#"{{"kind":"summary","v":{}}}"#, SCHEMA_VERSION + 1);
+        let err = render(&[("f.jsonl".to_string(), future)]).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+        assert!(err.contains("f.jsonl:1"), "{err}");
+    }
+
+    #[test]
+    fn bench_snapshots_render_as_a_table() {
+        let md = render_one(
+            "BENCH_pipeline.json",
+            r#"{"evaluate_population_64x300_t4":4337046,"population_speedup_t4":2.318577898412883}"#,
+        );
+        assert!(md.contains("## Benchmarks `BENCH_pipeline.json`"));
+        assert!(md.contains("| `evaluate_population_64x300_t4` | 4.34 ms |"));
+        assert!(md.contains("| `population_speedup_t4` | 2.319× |"));
+    }
+
+    #[test]
+    fn campaign_journals_report_replay_savings() {
+        let md = render_one(
+            "grade.jsonl",
+            r#"{"kind":"campaign","v":2,"program":"t0","structure":"irf","coverage":0.8,"detection":0.7,"faults":128,"sdc":60,"crash":30,"masked":38,"masked_fast_path":10,"replays":100,"replay_insts":5000,"replay_insts_skipped":5000,"checkpoint_hits":40,"early_exits":25,"counters":{"faultsim.replay_len":{"count":100,"sum":5000,"max":400,"mean":50.0,"p50":63,"p90":255,"p99":400}}}"#,
+        );
+        assert!(md.contains("### Fault-injection campaigns"));
+        assert!(md.contains("| `t0` | irf | 80.00% | 70.00% | 128 | 100 | 50.00% | 40 | 25 |"));
+        assert!(md.contains("Replay length (`t0`): p50 63 / p90 255 / p99 400 insts"));
+    }
+
+    #[test]
+    fn long_runs_downsample_the_convergence_table() {
+        let mut lines = Vec::new();
+        for i in 0..300 {
+            lines.push(format!(
+                r#"{{"kind":"iteration","v":2,"iter":{i},"best":0.1,"mean":0.05,"champion":0.1,"kth":0.05,"new_survivors":0,"generation_ns":0,"mutation_ns":0,"compilation_ns":0,"evaluation_ns":0}}"#
+            ));
+        }
+        let md = render_one("big.jsonl", &lines.join("\n"));
+        let rows = md.lines().filter(|l| l.starts_with("| 2")).count();
+        assert!(md.contains("300 rounds, showing every 5th"));
+        // Last round always present even if off-stride.
+        assert!(md.contains("| 299 | "));
+        assert!(rows < 70);
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_error_with_the_path() {
+        assert!(render(&[("e.jsonl".into(), String::new())])
+            .unwrap_err()
+            .contains("e.jsonl"));
+        assert!(render(&[("g.jsonl".into(), "not json".into())])
+            .unwrap_err()
+            .contains("g.jsonl:1"));
+        // A multi-line file with no journal records is neither format.
+        assert!(render(&[("m.json".into(), "{\"a\":1}\n{\"b\":2}".into())])
+            .unwrap_err()
+            .contains("m.json"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(0), "0 ns");
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 us");
+        assert_eq!(fmt_ns(2_345_678), "2.35 ms");
+        assert_eq!(fmt_ns(61_000_000_000), "61.00 s");
+    }
+}

@@ -1,0 +1,67 @@
+//! Golden snapshot of `harpo report`: rendering the committed journal
+//! and bench baseline must reproduce the committed report byte-for-byte.
+//!
+//! Rendering is a pure function of the input bytes, so this pins the
+//! whole report pipeline — JSON parsing, section layout, number
+//! formatting, plateau detection. Regenerate with:
+//!
+//! ```text
+//! cargo run --example golden_journal
+//! cargo run -p harpo-cli --bin harpo -- report tests/data/golden_run.jsonl \
+//!     tests/data/BENCH_pipeline.json --out tests/data/golden_report.md
+//! ```
+//!
+//! `tests/data/BENCH_pipeline.json` is a frozen copy of the bench
+//! baseline — the committed root baseline moves when benchmarks are
+//! re-run, and the snapshot must not.
+
+use harpo_cli::report::render;
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn golden_report_is_byte_identical() {
+    let inputs = [
+        (
+            "tests/data/golden_run.jsonl".to_string(),
+            repo_file("tests/data/golden_run.jsonl"),
+        ),
+        (
+            "tests/data/BENCH_pipeline.json".to_string(),
+            repo_file("tests/data/BENCH_pipeline.json"),
+        ),
+    ];
+    let rendered = render(&inputs).expect("golden journal renders");
+    let committed = repo_file("tests/data/golden_report.md");
+    assert_eq!(
+        rendered, committed,
+        "report output drifted from tests/data/golden_report.md — \
+         if the change is intentional, regenerate the golden files \
+         (see this test's module docs)"
+    );
+}
+
+#[test]
+fn golden_journal_has_the_flagship_sections() {
+    let md = render(&[(
+        "golden_run.jsonl".to_string(),
+        repo_file("tests/data/golden_run.jsonl"),
+    )])
+    .unwrap();
+    for needle in [
+        "### Run summary",
+        "### Convergence",
+        "### Operator efficacy",
+        "`replace-all`",
+        "`operand-reseed`",
+        "### Stage wall clock",
+        "### Cache and stalls",
+        "### Fault-injection campaigns",
+        "Replay length",
+    ] {
+        assert!(md.contains(needle), "golden journal lost {needle}:\n{md}");
+    }
+}

@@ -23,10 +23,10 @@
 use crate::evaluator::{Evaluator, RoundStats};
 use crate::memo::fingerprint;
 use harpo_isa::program::Program;
-use harpo_museqgen::{Generator, Mutator};
-use harpo_telemetry::{Counter, Metrics, Record, Span, Telemetry};
+use harpo_museqgen::{Generator, MutationOp, Mutator};
+use harpo_telemetry::{Counter, Metrics, Record, Span, Telemetry, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 /// Loop parameters (paper §VI-B per-structure values live in
@@ -101,6 +101,40 @@ impl LoopTiming {
     }
 }
 
+/// Per-operator lineage totals over a whole run: how much realized
+/// coverage gain each mutation operator contributed. The engine journals
+/// this as the `operator_efficacy` record and returns it in
+/// [`RunReport::efficacy`] — the signal a later adaptive-scheduling PR
+/// will feed on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorEfficacy {
+    /// Operator label (see [`MutationOp::label`]).
+    pub operator: String,
+    /// Offspring this operator produced (and the loop evaluated).
+    pub offspring: u64,
+    /// Offspring that made it into the survivor set of their round.
+    pub survivors: u64,
+    /// Realized coverage gain: the sum of positive coverage deltas
+    /// (child − parent) over this operator's *surviving* offspring —
+    /// improvement actually banked into the population, not just
+    /// proposed.
+    pub realized_gain: f64,
+    /// Mean coverage delta (child − parent) over all offspring.
+    pub mean_delta: f64,
+    /// Best single coverage delta over all offspring.
+    pub max_delta: f64,
+}
+
+/// Per-round, per-operator accumulation backing lineage records.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpRound {
+    offspring: u64,
+    survivors: u64,
+    delta_sum: f64,
+    delta_max: f64,
+    realized_gain: f64,
+}
+
 /// One recorded sample of the optimisation.
 #[derive(Debug, Clone)]
 pub struct Sample {
@@ -123,6 +157,8 @@ pub struct RunReport {
     pub champion_coverage: f64,
     /// Stage timing.
     pub timing: LoopTiming,
+    /// Per-operator lineage totals, best realized gain first.
+    pub efficacy: Vec<OperatorEfficacy>,
 }
 
 /// The Harpocrates system: Generator + Mutator + Evaluator.
@@ -133,11 +169,15 @@ pub struct Harpocrates {
     evaluator: Evaluator,
     cfg: LoopConfig,
     telemetry: Telemetry,
+    operators: Vec<MutationOp>,
+    memo_enabled: bool,
 }
 
 impl Harpocrates {
     /// Assembles the loop from its three components (journal off; see
-    /// [`Harpocrates::with_telemetry`]).
+    /// [`Harpocrates::with_telemetry`]). The default operator set is the
+    /// paper's production strategy, replace-all, alone; the evaluation
+    /// memo cache is on.
     pub fn new(generator: Generator, evaluator: Evaluator, cfg: LoopConfig) -> Harpocrates {
         assert!(cfg.top_k >= 1 && cfg.population >= cfg.top_k);
         let mutator = Mutator::new(generator.clone());
@@ -147,6 +187,8 @@ impl Harpocrates {
             evaluator,
             cfg,
             telemetry: Telemetry::off(),
+            operators: vec![MutationOp::ReplaceAll],
+            memo_enabled: true,
         }
     }
 
@@ -154,6 +196,27 @@ impl Harpocrates {
     /// round and a `summary` record at the end.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Harpocrates {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the mutation-operator set. Offspring slots cycle through
+    /// the operators deterministically, so the lineage records can
+    /// compare them on equal footing.
+    ///
+    /// # Panics
+    /// Panics on an empty set.
+    pub fn with_operators(mut self, operators: Vec<MutationOp>) -> Harpocrates {
+        assert!(!operators.is_empty(), "need at least one mutation operator");
+        self.operators = operators;
+        self
+    }
+
+    /// Enables or disables the evaluation memo cache (on by default).
+    /// The search trajectory is identical either way — the cache only
+    /// skips re-simulating programs already scored — which the lineage
+    /// regression tests assert.
+    pub fn with_memo(mut self, enabled: bool) -> Harpocrates {
+        self.memo_enabled = enabled;
         self
     }
 
@@ -270,13 +333,26 @@ impl Harpocrates {
         // concurrent runs never share state and reproducibility is a
         // property of the run alone.
         let mut memo: HashMap<u128, f64> = HashMap::new();
+        // Lineage flight recorder: scores of every parent that produced
+        // offspring (keyed by the fingerprint the Mutator stamps into
+        // each child), and per-operator totals over the whole run.
+        let mut parent_scores: HashMap<u128, f64> = HashMap::new();
+        let mut op_totals: BTreeMap<String, OpRound> = BTreeMap::new();
 
         for iter in 0..=self.cfg.iterations {
-            // Step 1: evaluate the new offspring (through the memo).
+            // Step 1: evaluate the new offspring (through the memo when
+            // enabled; the cached score of a repeat program is
+            // bit-identical to a fresh one either way).
             let eval_before = timing.evaluation;
             let scores = {
                 let _s = Span::enter(&mut timing.evaluation).with_histogram(h_evaluation.clone());
-                self.score_population(&population, &mut memo, &cache_hits, &cache_misses)
+                if self.memo_enabled {
+                    self.score_population(&population, &mut memo, &cache_hits, &cache_misses)
+                } else {
+                    let refs: Vec<&Program> = population.iter().collect();
+                    self.evaluator
+                        .evaluate_population_refs(&refs, self.cfg.threads)
+                }
             };
             let eval_spent = timing.evaluation - eval_before;
             iter_counter.inc();
@@ -285,21 +361,54 @@ impl Harpocrates {
             timing.instructions_processed += evaluated as u64 * n_insts;
             let round = RoundStats::from_scores(&scores);
 
+            // Lineage: attribute each offspring's coverage delta to the
+            // operator that produced it (genesis programs carry no
+            // operator and stay out of the ranking).
+            let mut round_ops: BTreeMap<String, OpRound> = BTreeMap::new();
+            let mut deltas: Vec<Option<(String, f64)>> = vec![None; population.len()];
+            for (i, prog) in population.iter().enumerate() {
+                let prov = &prog.provenance;
+                let (Some(parent), Some(op)) = (prov.parent, prov.operator.as_ref()) else {
+                    continue;
+                };
+                let Some(&parent_score) = parent_scores.get(&parent) else {
+                    continue;
+                };
+                let delta = scores[i] - parent_score;
+                let e = round_ops.entry(op.clone()).or_default();
+                if e.offspring == 0 {
+                    e.delta_max = delta;
+                }
+                e.offspring += 1;
+                e.delta_sum += delta;
+                e.delta_max = e.delta_max.max(delta);
+                deltas[i] = Some((op.clone(), delta));
+            }
+
             // Step 2: (μ+λ) selection — survivors compete with offspring.
-            // Offspring are tagged so survivor churn can be journalled.
-            let mut pool: Vec<(f64, Program, bool)> = scores
+            // Offspring keep their population index so survivor churn and
+            // operator attribution can be journalled.
+            let mut pool: Vec<(f64, Program, Option<usize>)> = scores
                 .into_iter()
                 .zip(std::mem::take(&mut population))
-                .map(|(c, p)| (c, p, true))
+                .enumerate()
+                .map(|(i, (c, p))| (c, p, Some(i)))
                 .collect();
             pool.extend(
                 std::mem::take(&mut survivors)
                     .into_iter()
-                    .map(|(c, p)| (c, p, false)),
+                    .map(|(c, p)| (c, p, None)),
             );
             pool.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("coverage is finite"));
             pool.truncate(self.cfg.top_k);
-            let new_survivors = pool.iter().filter(|(_, _, new)| *new).count();
+            let new_survivors = pool.iter().filter(|(_, _, new)| new.is_some()).count();
+            for (_, _, idx) in &pool {
+                if let Some((op, delta)) = idx.and_then(|i| deltas[i].as_ref()) {
+                    let e = round_ops.entry(op.clone()).or_default();
+                    e.survivors += 1;
+                    e.realized_gain += delta.max(0.0);
+                }
+            }
             survivors = pool.into_iter().map(|(c, p, _)| (c, p)).collect();
 
             self.telemetry.emit(|| {
@@ -318,6 +427,30 @@ impl Harpocrates {
             });
             pending_generation = Duration::ZERO;
 
+            // One `lineage` record per operator active this round, and
+            // run-total accumulation for the final efficacy ranking.
+            for (op, r) in &round_ops {
+                self.telemetry.emit(|| {
+                    Record::new("lineage")
+                        .field("iter", iter)
+                        .field("operator", Value::Str(op.clone()))
+                        .field("offspring", r.offspring)
+                        .field("survivors", r.survivors)
+                        .field("delta_mean", r.delta_sum / r.offspring as f64)
+                        .field("delta_max", r.delta_max)
+                        .field("realized_gain", r.realized_gain)
+                });
+                let t = op_totals.entry(op.clone()).or_default();
+                if t.offspring == 0 {
+                    t.delta_max = r.delta_max;
+                }
+                t.offspring += r.offspring;
+                t.survivors += r.survivors;
+                t.delta_sum += r.delta_sum;
+                t.delta_max = t.delta_max.max(r.delta_max);
+                t.realized_gain += r.realized_gain;
+            }
+
             if iter % self.cfg.sample_every == 0 || iter == self.cfg.iterations {
                 samples.push(Sample {
                     iteration: iter,
@@ -330,12 +463,18 @@ impl Harpocrates {
             }
 
             // Step 3: mutation produces the next offspring generation.
+            // Each parent is fingerprinted once (the key its offspring's
+            // provenance will carry) and its score recorded for the next
+            // round's lineage deltas; offspring slots cycle through the
+            // operator set.
             let mut_before = timing.mutation;
             {
                 let _s = Span::enter(&mut timing.mutation).with_histogram(h_mutation.clone());
                 let m = self.cfg.offspring_per_parent();
                 population = Vec::with_capacity(self.cfg.population);
-                'fill: for (pi, (_, parent)) in survivors.iter().enumerate() {
+                'fill: for (pi, (score, parent)) in survivors.iter().enumerate() {
+                    let pfp = fingerprint(parent);
+                    parent_scores.insert(pfp, *score);
                     for oi in 0..m {
                         if population.len() >= self.cfg.population {
                             break 'fill;
@@ -347,7 +486,10 @@ impl Harpocrates {
                             .wrapping_add((iter as u64) << 20)
                             .wrapping_add((pi as u64) << 8)
                             .wrapping_add(oi as u64);
-                        population.push(self.mutator.mutate(parent, seed));
+                        let op = self.operators[(pi + oi) % self.operators.len()];
+                        let mut child = self.mutator.mutate_from(parent, pfp, seed, op);
+                        child.provenance.birth_round = (iter + 1) as u32;
+                        population.push(child);
                     }
                 }
             }
@@ -368,6 +510,45 @@ impl Harpocrates {
         timing.total = t_total.elapsed();
         timing.iterations = self.cfg.iterations;
         let (champion_coverage, champion) = survivors.swap_remove(0);
+
+        // Rank operators by realized gain (ties broken by label so the
+        // journal is deterministic) and publish the per-run efficacy
+        // record before the summary.
+        let mut efficacy: Vec<OperatorEfficacy> = op_totals
+            .into_iter()
+            .map(|(operator, t)| OperatorEfficacy {
+                operator,
+                offspring: t.offspring,
+                survivors: t.survivors,
+                realized_gain: t.realized_gain,
+                mean_delta: t.delta_sum / t.offspring as f64,
+                max_delta: t.delta_max,
+            })
+            .collect();
+        efficacy.sort_by(|a, b| {
+            b.realized_gain
+                .partial_cmp(&a.realized_gain)
+                .expect("gains are finite")
+                .then_with(|| a.operator.cmp(&b.operator))
+        });
+        if !efficacy.is_empty() {
+            self.telemetry.emit(|| {
+                let rows = efficacy
+                    .iter()
+                    .map(|e| {
+                        Value::Obj(vec![
+                            ("operator".into(), Value::Str(e.operator.clone())),
+                            ("offspring".into(), Value::U64(e.offspring)),
+                            ("survivors".into(), Value::U64(e.survivors)),
+                            ("realized_gain".into(), Value::F64(e.realized_gain)),
+                            ("mean_delta".into(), Value::F64(e.mean_delta)),
+                            ("max_delta".into(), Value::F64(e.max_delta)),
+                        ])
+                    })
+                    .collect();
+                Record::new("operator_efficacy").field("operators", Value::Arr(rows))
+            });
+        }
 
         self.telemetry.emit(|| {
             Record::new("summary")
@@ -392,6 +573,7 @@ impl Harpocrates {
             champion,
             champion_coverage,
             timing,
+            efficacy,
         }
     }
 }
@@ -471,6 +653,21 @@ mod tests {
             ..LoopConfig::default()
         };
         assert_eq!(cfg.offspring_per_parent(), 4, "ceil(10/3)");
+    }
+
+    #[test]
+    fn zero_duration_rates_are_zero() {
+        // A run so fast the clock never ticks must report 0.0, not
+        // inf/NaN (division guard on the rate helpers).
+        let t = LoopTiming {
+            instructions_processed: 1_000,
+            programs_evaluated: 10,
+            ..LoopTiming::default()
+        };
+        assert_eq!(t.total, Duration::ZERO);
+        assert_eq!(t.instructions_per_second(), 0.0);
+        let empty = LoopTiming::default();
+        assert_eq!(empty.instructions_per_second(), 0.0);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub struct Evaluator {
     programs: Counter,
     traps: Counter,
     thread_batch: Histogram,
+    simulate_ns: Histogram,
     steals: Counter,
     uarch_cycles: Counter,
     uarch_insts: Counter,
@@ -87,6 +88,7 @@ impl Evaluator {
             programs: metrics.counter("evaluator.programs"),
             traps: metrics.counter("evaluator.traps"),
             thread_batch: metrics.histogram("evaluator.thread_batch"),
+            simulate_ns: metrics.histogram("evaluator.simulate_ns"),
             steals: metrics.counter("evaluator.steals"),
             uarch_cycles: metrics.counter("uarch.cycles"),
             uarch_insts: metrics.counter("uarch.insts"),
@@ -101,6 +103,7 @@ impl Evaluator {
         self.programs = metrics.counter("evaluator.programs");
         self.traps = metrics.counter("evaluator.traps");
         self.thread_batch = metrics.histogram("evaluator.thread_batch");
+        self.simulate_ns = metrics.histogram("evaluator.simulate_ns");
         self.steals = metrics.counter("evaluator.steals");
         self.uarch_cycles = metrics.counter("uarch.cycles");
         self.uarch_insts = metrics.counter("uarch.insts");
@@ -174,7 +177,12 @@ impl Evaluator {
     /// context for the next simulation.
     fn score_with(&self, prog: &Program, ctx: &mut SimContext) -> f64 {
         self.programs.inc();
-        match self.core.simulate_into(prog, self.cap, ctx) {
+        // Two clock reads per multi-microsecond simulation: well under
+        // the journal's <2% observability-overhead budget, and it buys
+        // the per-program latency distribution (p50/p90/p99) in the
+        // summary record.
+        let t = std::time::Instant::now();
+        let score = match self.core.simulate_into(prog, self.cap, ctx) {
             Err(_) => {
                 self.traps.inc();
                 0.0
@@ -187,7 +195,9 @@ impl Evaluator {
                     .add(stats.rob_stalls + stats.iq_stalls + stats.prf_stalls);
                 self.structure.coverage(&sim.trace, self.core.config())
             }
-        }
+        };
+        self.simulate_ns.observe(t.elapsed().as_nanos() as u64);
+        score
     }
 
     /// Records the golden checkpoint trail of a champion program so a

@@ -42,7 +42,7 @@ pub mod evaluator;
 pub mod memo;
 pub mod presets;
 
-pub use engine::{Harpocrates, LoopConfig, LoopTiming, RunReport, Sample};
+pub use engine::{Harpocrates, LoopConfig, LoopTiming, OperatorEfficacy, RunReport, Sample};
 pub use evaluator::{Evaluation, Evaluator, RoundStats};
 pub use memo::{fingerprint, Fnv128};
 pub use presets::{preset, Scale};

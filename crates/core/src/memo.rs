@@ -7,75 +7,15 @@
 //! same coverage — a score computed once can be replayed from a table
 //! instead of re-simulated.
 //!
-//! Programs are keyed by a 128-bit FNV-style fingerprint of their
-//! *semantic* content: the instruction sequence, the initial register
-//! state and the memory image. The `name` field is deliberately excluded
-//! — it is a human label and two programs differing only in name execute
-//! identically. 128 bits keeps the collision probability negligible at
-//! any realistic population size (birthday bound ≈ 2⁻⁶⁴ per pair), so the
-//! engine treats a fingerprint hit as a definitive score.
+//! The fingerprint itself lives in [`harpo_isa::fingerprint`] (re-exported
+//! here for compatibility): the Mutator stamps every offspring with its
+//! parent's fingerprint, so the memo key and the lineage flight recorder
+//! must agree on one definition of program identity. A memo hit therefore
+//! preserves operator attribution for free — the cached score is keyed by
+//! the same fingerprint the provenance tag refers to, and the program
+//! object (with its tag) is never replaced by the cache.
 
-use harpo_isa::program::Program;
-use std::hash::{Hash, Hasher};
-
-/// A 128-bit streaming hasher: two independent 64-bit FNV-1a-style
-/// accumulators with distinct offset bases and odd multipliers. Not
-/// cryptographic — just wide enough that accidental collisions are out
-/// of reach for the memo table's lifetime.
-#[derive(Debug, Clone)]
-pub struct Fnv128 {
-    lo: u64,
-    hi: u64,
-}
-
-impl Fnv128 {
-    const LO_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const LO_PRIME: u64 = 0x0000_0100_0000_01b3;
-    const HI_OFFSET: u64 = 0x6c62_272e_07bb_0142;
-    const HI_PRIME: u64 = 0x0000_0001_0000_01b5;
-
-    /// A fresh hasher at the offset basis.
-    pub fn new() -> Fnv128 {
-        Fnv128 {
-            lo: Self::LO_OFFSET,
-            hi: Self::HI_OFFSET,
-        }
-    }
-
-    /// The 128-bit digest of everything written so far.
-    pub fn fingerprint(&self) -> u128 {
-        ((self.hi as u128) << 64) | self.lo as u128
-    }
-}
-
-impl Default for Fnv128 {
-    fn default() -> Fnv128 {
-        Fnv128::new()
-    }
-}
-
-impl Hasher for Fnv128 {
-    fn finish(&self) -> u64 {
-        self.lo ^ self.hi
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.lo = (self.lo ^ b as u64).wrapping_mul(Self::LO_PRIME);
-            self.hi = (self.hi ^ b as u64).wrapping_mul(Self::HI_PRIME);
-        }
-    }
-}
-
-/// The memo key of a program: a 128-bit fingerprint of its instructions,
-/// initial register state and memory image (the name is excluded).
-pub fn fingerprint(prog: &Program) -> u128 {
-    let mut h = Fnv128::new();
-    prog.insts.hash(&mut h);
-    prog.reg_init.hash(&mut h);
-    prog.mem.hash(&mut h);
-    h.fingerprint()
-}
+pub use harpo_isa::fingerprint::{fingerprint, Fnv128};
 
 #[cfg(test)]
 mod tests {

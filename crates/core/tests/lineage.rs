@@ -1,0 +1,153 @@
+//! Lineage flight-recorder integration tests: provenance stamping through
+//! the loop, journalled `lineage`/`operator_efficacy` records, and the
+//! memo-cache regression guarantee — a memo hit must preserve operator
+//! attribution, so efficacy accounting is identical with the cache on or
+//! off.
+
+use harpo_core::{Evaluator, Harpocrates, LoopConfig};
+use harpo_coverage::TargetStructure;
+use harpo_museqgen::{GenConstraints, Generator, MutationOp};
+use harpo_telemetry::{MemorySink, Record, Telemetry};
+use harpo_uarch::OooCore;
+use std::sync::Arc;
+
+fn harpo(structure: TargetStructure, iters: usize) -> Harpocrates {
+    let gen = Generator::new(GenConstraints {
+        n_insts: 200,
+        ..GenConstraints::default()
+    });
+    Harpocrates::new(
+        gen,
+        Evaluator::new(OooCore::default(), structure),
+        LoopConfig {
+            population: 8,
+            top_k: 2,
+            iterations: iters,
+            sample_every: 2,
+            seed: 3,
+            threads: 2,
+        },
+    )
+}
+
+#[test]
+fn offspring_carry_full_provenance_through_the_loop() {
+    let r = harpo(TargetStructure::IntAdder, 4).run();
+    let prov = &r.champion.provenance;
+    if prov.operator.is_some() {
+        // Champion is an offspring: parent fingerprint, operator and a
+        // birth round within the run.
+        assert!(prov.parent.is_some());
+        assert_eq!(prov.operator.as_deref(), Some("replace-all"));
+        assert!((1..=4).contains(&prov.birth_round));
+    } else {
+        // Champion survived from the bootstrap population.
+        assert_eq!(prov.parent, None);
+        assert_eq!(prov.birth_round, 0);
+    }
+}
+
+#[test]
+fn lineage_records_account_for_every_offspring() {
+    let mem = Arc::new(MemorySink::new());
+    harpo(TargetStructure::IntAdder, 5)
+        .with_telemetry(Telemetry::to(mem.clone()))
+        .run();
+
+    let lineage = mem.records_of("lineage");
+    assert!(!lineage.is_empty(), "mutation rounds must journal lineage");
+    let mut total_offspring = 0;
+    for rec in &lineage {
+        let iter = rec.get("iter").unwrap().as_u64().unwrap();
+        assert!(iter >= 1, "iteration 0 has no mutated offspring");
+        assert_eq!(rec.get("operator").unwrap().as_str(), Some("replace-all"));
+        let offspring = rec.get("offspring").unwrap().as_u64().unwrap();
+        let survivors = rec.get("survivors").unwrap().as_u64().unwrap();
+        assert!((1..=8).contains(&offspring));
+        assert!(survivors <= 2, "bounded by top_k");
+        let mean = rec.get("delta_mean").unwrap().as_f64().unwrap();
+        let max = rec.get("delta_max").unwrap().as_f64().unwrap();
+        assert!(max >= mean, "max delta below mean");
+        assert!(rec.get("realized_gain").unwrap().as_f64().unwrap() >= 0.0);
+        total_offspring += offspring;
+    }
+    // Iterations 1..=5 each evaluate 8 mutated offspring, every one of
+    // which has a known parent score.
+    assert_eq!(total_offspring, 5 * 8);
+
+    let eff = mem.records_of("operator_efficacy");
+    assert_eq!(eff.len(), 1);
+    let ops = eff[0].get("operators").unwrap().as_arr().unwrap();
+    assert_eq!(ops.len(), 1);
+    assert_eq!(
+        ops[0].get("operator").unwrap().as_str(),
+        Some("replace-all")
+    );
+    assert_eq!(ops[0].get("offspring").unwrap().as_u64(), Some(40));
+}
+
+#[test]
+fn multi_operator_runs_rank_every_operator() {
+    let mem = Arc::new(MemorySink::new());
+    let r = harpo(TargetStructure::IntMultiplier, 5)
+        .with_operators(MutationOp::ALL.to_vec())
+        .with_telemetry(Telemetry::to(mem.clone()))
+        .run();
+
+    assert_eq!(r.efficacy.len(), MutationOp::ALL.len());
+    let labels: Vec<&str> = r.efficacy.iter().map(|e| e.operator.as_str()).collect();
+    for op in MutationOp::ALL {
+        assert!(labels.contains(&op.label()), "missing {}", op.label());
+    }
+    // Ranking is by realized gain, descending.
+    for w in r.efficacy.windows(2) {
+        assert!(w[0].realized_gain >= w[1].realized_gain);
+    }
+    let total: u64 = r.efficacy.iter().map(|e| e.offspring).sum();
+    assert_eq!(total, 5 * 8, "every offspring attributed to an operator");
+}
+
+/// Strips non-deterministic (timing) fields so journals from two runs can
+/// be compared structurally.
+fn searchable(records: &[Record]) -> Vec<String> {
+    records
+        .iter()
+        .filter(|r| matches!(r.kind, "lineage" | "operator_efficacy"))
+        .map(|r| r.to_json())
+        .collect()
+}
+
+#[test]
+fn memo_cache_preserves_operator_attribution() {
+    // The satellite regression test: lineage and efficacy records must be
+    // byte-identical with the evaluation memo on and off. A memo hit
+    // replays the cached score but never replaces the program object, so
+    // the provenance tag (and the operator credited) is unchanged.
+    let run = |memo: bool, ops: Vec<MutationOp>| {
+        let mem = Arc::new(MemorySink::new());
+        let r = harpo(TargetStructure::IntAdder, 6)
+            .with_operators(ops)
+            .with_memo(memo)
+            .with_telemetry(Telemetry::to(mem.clone()))
+            .run();
+        (r, mem)
+    };
+
+    for ops in [vec![MutationOp::ReplaceAll], MutationOp::ALL.to_vec()] {
+        let (r_on, mem_on) = run(true, ops.clone());
+        let (r_off, mem_off) = run(false, ops);
+
+        assert_eq!(r_on.champion_coverage, r_off.champion_coverage);
+        assert_eq!(r_on.champion.insts, r_off.champion.insts);
+        assert_eq!(r_on.efficacy, r_off.efficacy, "efficacy diverged");
+        assert_eq!(
+            searchable(&mem_on.records()),
+            searchable(&mem_off.records()),
+            "lineage journal diverged between cache on and off"
+        );
+        // The cache-off run must not touch the cache counters.
+        let s_off = &mem_off.records_of("summary")[0];
+        assert_eq!(s_off.get("cache_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(s_off.get("cache_misses").unwrap().as_u64(), Some(0));
+    }
+}

@@ -45,7 +45,7 @@ pub use gate::{
     replay_gate_permanent_bounded, replay_gate_permanent_counted,
     replay_gate_permanent_counted_ctx, screen_fault_spans, screen_faults, ActivationSpan,
 };
-pub use outcome::{CampaignResult, FaultOutcome};
+pub use outcome::{CampaignResult, FaultOutcome, ReplayLenHist};
 pub use plan::{
     plan_irf, plan_irf_intermittent, plan_l1d, plan_xrf, CorruptKind, CorruptionPlan, LoadFlip,
     RegFlip, XmmFlip,

@@ -1,9 +1,56 @@
 //! Fault-injection outcome taxonomy and campaign tallies (paper §II-E).
 
 use crate::checkpoint::ReplayStats;
-use harpo_telemetry::Metrics;
+use harpo_telemetry::{Histogram, Metrics, HIST_BUCKETS};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// A lock-free, allocation-free tally of per-fault replay lengths
+/// (dynamic instructions executed per functional replay), log₂-bucketed
+/// with the same geometry as [`Histogram`].
+///
+/// Campaign workers accumulate into their thread-local tally and
+/// [`CampaignResult::merge`] folds tallies together; [`CampaignResult::publish`]
+/// then merges the final distribution into the shared
+/// `faultsim.replay_len` histogram, whose p50/p90/p99 land in the journal
+/// summary record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayLenHist {
+    /// Replays tallied.
+    pub count: u64,
+    /// Longest replay seen.
+    pub max: u64,
+    /// Bucket `i` counts replays whose length has `i` significant bits.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for ReplayLenHist {
+    fn default() -> ReplayLenHist {
+        ReplayLenHist {
+            count: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl ReplayLenHist {
+    /// Tallies one replay of `insts` dynamic instructions.
+    pub fn observe(&mut self, insts: u64) {
+        self.count += 1;
+        self.max = self.max.max(insts);
+        self.buckets[Histogram::bucket_of(insts)] += 1;
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &ReplayLenHist) {
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        for (slot, &n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += n;
+        }
+    }
+}
 
 /// The observable outcome of one injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -80,6 +127,10 @@ pub struct CampaignResult {
     /// golden trail.
     #[serde(default)]
     pub early_exits: u64,
+    /// Distribution of per-replay lengths (not serialized — the flight
+    /// recorder carries it via the `faultsim.replay_len` histogram).
+    #[serde(skip)]
+    pub replay_len: ReplayLenHist,
 }
 
 impl CampaignResult {
@@ -105,6 +156,7 @@ impl CampaignResult {
         self.record(o, false);
         self.replays += 1;
         self.replay_insts += insts;
+        self.replay_len.observe(insts);
     }
 
     /// Records one replayed outcome with the checkpointed engine's
@@ -130,6 +182,7 @@ impl CampaignResult {
         self.replay_insts_skipped += other.replay_insts_skipped;
         self.checkpoint_hits += other.checkpoint_hits;
         self.early_exits += other.early_exits;
+        self.replay_len.merge(&other.replay_len);
     }
 
     /// Adds this tally to the `faultsim.*` counters of a metrics
@@ -158,6 +211,13 @@ impl CampaignResult {
         metrics
             .counter("faultsim.early_exits")
             .add(self.early_exits);
+        if self.replay_len.count > 0 {
+            metrics.histogram("faultsim.replay_len").merge_counts(
+                &self.replay_len.buckets,
+                self.replay_insts,
+                self.replay_len.max,
+            );
+        }
     }
 
     /// Fault detection capability n/N (paper §II-C).
@@ -230,6 +290,43 @@ mod tests {
         assert_eq!(m.counter("faultsim.masked_fast_path").get(), 2);
         assert_eq!(m.counter("faultsim.replays").get(), 4);
         assert_eq!(m.counter("faultsim.replay_insts").get(), 600);
+    }
+
+    #[test]
+    fn replay_lengths_are_tallied_and_merged() {
+        let mut a = CampaignResult::default();
+        a.record_replayed(FaultOutcome::Sdc, 100);
+        a.record_replayed(FaultOutcome::Masked, 3000);
+        let mut b = CampaignResult::default();
+        b.record_replayed(FaultOutcome::Crash, 7);
+        a.merge(&b);
+        assert_eq!(a.replay_len.count, 3);
+        assert_eq!(a.replay_len.max, 3000);
+        assert_eq!(a.replay_len.buckets[Histogram::bucket_of(100)], 1);
+        assert_eq!(a.replay_len.buckets[Histogram::bucket_of(7)], 1);
+
+        let m = Metrics::new();
+        a.publish(&m);
+        let snap = m.histogram("faultsim.replay_len").snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 3107);
+        assert_eq!(snap.max, 3000);
+        // p99 resolves to the bucket holding the longest replay, capped
+        // at the observed max.
+        assert_eq!(snap.percentile(0.99), 3000);
+    }
+
+    #[test]
+    fn fast_path_outcomes_do_not_enter_the_replay_histogram() {
+        let mut r = CampaignResult::default();
+        r.record(FaultOutcome::Masked, true);
+        r.record(FaultOutcome::Sdc, false);
+        assert_eq!(r.replay_len.count, 0);
+        let m = Metrics::new();
+        r.publish(&m);
+        // Empty distribution: publish must not materialize the histogram
+        // with a zero merge.
+        assert_eq!(m.histogram("faultsim.replay_len").snapshot().count, 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ fn outcome_tallies(r: &CampaignResult) -> CampaignResult {
     t.replay_insts_skipped = 0;
     t.checkpoint_hits = 0;
     t.early_exits = 0;
+    t.replay_len = Default::default();
     t
 }
 

@@ -339,6 +339,7 @@ impl Asm {
             insts,
             reg_init: self.reg_init,
             mem: self.mem,
+            provenance: crate::program::Provenance::default(),
         })
     }
 }

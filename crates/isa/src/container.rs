@@ -14,6 +14,10 @@
 //! magic  "HXPF"            4 bytes
 //! version                  u16
 //! name length | name       u16 + bytes (UTF-8)
+//! provenance (v2+)         flags u8 (bit 0: has parent),
+//!                          parent u128 as lo/hi u64 if present,
+//!                          operator length u16 + bytes (0 = none),
+//!                          seed u64, birth_round u32
 //! gprs                     16 × u64
 //! xmms                     16 × 2 × u64
 //! data_size, stack_size    u32, u32
@@ -23,14 +27,17 @@
 //! code length | code       u32 + bytes (HX86 machine code)
 //! fnv64 of everything above
 //! ```
+//!
+//! Version 1 containers (no provenance section) still load; the lineage
+//! tag defaults to "unknown origin".
 
 use crate::encode::{decode_stream, encode_program, DecodeError};
 use crate::mem::{fnv1a, MemImage};
-use crate::program::{Program, RegInit};
+use crate::program::{Program, Provenance, RegInit};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"HXPF";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Errors loading an HXPF container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +79,17 @@ pub fn to_container(prog: &Program) -> Vec<u8> {
     let name = prog.name.as_bytes();
     out.extend_from_slice(&(name.len() as u16).to_le_bytes());
     out.extend_from_slice(name);
+    let prov = &prog.provenance;
+    out.push(prov.parent.is_some() as u8);
+    if let Some(parent) = prov.parent {
+        out.extend_from_slice(&(parent as u64).to_le_bytes());
+        out.extend_from_slice(&((parent >> 64) as u64).to_le_bytes());
+    }
+    let op = prov.operator.as_deref().unwrap_or("").as_bytes();
+    out.extend_from_slice(&(op.len() as u16).to_le_bytes());
+    out.extend_from_slice(op);
+    out.extend_from_slice(&prov.seed.to_le_bytes());
+    out.extend_from_slice(&prov.birth_round.to_le_bytes());
     for g in prog.reg_init.gprs {
         out.extend_from_slice(&g.to_le_bytes());
     }
@@ -143,13 +161,38 @@ pub fn from_container(bytes: &[u8]) -> Result<Program, ContainerError> {
         return Err(ContainerError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(ContainerError::BadVersion(version));
     }
     let name_len = r.u16()? as usize;
     let name = std::str::from_utf8(r.take(name_len)?)
         .map_err(|_| ContainerError::BadName)?
         .to_string();
+
+    let provenance = if version >= 2 {
+        let has_parent = r.take(1)?[0] != 0;
+        let parent = if has_parent {
+            let lo = r.u64()? as u128;
+            let hi = r.u64()? as u128;
+            Some((hi << 64) | lo)
+        } else {
+            None
+        };
+        let op_len = r.u16()? as usize;
+        let op = std::str::from_utf8(r.take(op_len)?)
+            .map_err(|_| ContainerError::BadName)?
+            .to_string();
+        let seed = r.u64()?;
+        let birth_round = r.u32()?;
+        Provenance {
+            parent,
+            operator: (!op.is_empty()).then_some(op),
+            seed,
+            birth_round,
+        }
+    } else {
+        Provenance::default()
+    };
 
     let mut reg_init = RegInit::zeroed();
     for g in reg_init.gprs.iter_mut() {
@@ -182,6 +225,7 @@ pub fn from_container(bytes: &[u8]) -> Result<Program, ContainerError> {
             fill_seed,
             patches,
         },
+        provenance,
     })
 }
 
@@ -210,6 +254,58 @@ mod tests {
         let bytes = to_container(&p);
         let back = from_container(&bytes).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn roundtrip_preserves_provenance() {
+        let mut p = sample();
+        p.provenance = Provenance {
+            parent: Some(0xDEAD_BEEF_0000_0001_FFFF_0000_1234_5678),
+            operator: Some("replace-all".into()),
+            seed: 0xA1C0,
+            birth_round: 17,
+        };
+        let back = from_container(&to_container(&p)).unwrap();
+        assert_eq!(back, p);
+        // Genesis tags (no parent, no operator) round-trip too.
+        p.provenance = Provenance::genesis(7);
+        assert_eq!(from_container(&to_container(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn version_1_containers_still_load() {
+        // Build a v2 container, strip the provenance section and rewrite
+        // the version word + checksum — the shape old tools produced.
+        let p = sample();
+        let v2 = to_container(&p);
+        let name_len = p.name.len();
+        let prov_at = 4 + 2 + 2 + name_len;
+        // Default tag: no-parent flag (1) + operator len (2) + seed (8)
+        // + birth_round (4).
+        let prov_len = 1 + 2 + 8 + 4;
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(&v2[..prov_at]);
+        v1.extend_from_slice(&v2[prov_at + prov_len..v2.len() - 8]);
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let sum = crate::mem::fnv1a(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        let back = from_container(&v1).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.provenance, Provenance::default());
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let p = sample();
+        let mut bytes = to_container(&p);
+        bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+        let n = bytes.len() - 8;
+        let sum = crate::mem::fnv1a(&bytes[..n]);
+        bytes[n..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            from_container(&bytes).unwrap_err(),
+            ContainerError::BadVersion(9)
+        );
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Semantic program fingerprints.
+//!
+//! Several layers need a compact, stable identity for a program's
+//! *behaviour*: the engine's evaluation memo keys cached coverage scores
+//! by it, and the lineage flight recorder stamps every offspring with the
+//! fingerprint of its parent so journal analysis can attribute coverage
+//! deltas to mutation operators. Both uses share one definition so a
+//! memo hit and a lineage edge always talk about the same program.
+//!
+//! Programs are keyed by a 128-bit FNV-style fingerprint of their
+//! *semantic* content: the instruction sequence, the initial register
+//! state and the memory image. The `name` and [`Provenance`] fields are
+//! deliberately excluded — they are metadata, and two programs differing
+//! only there execute identically. 128 bits keeps the collision
+//! probability negligible at any realistic population size (birthday
+//! bound ≈ 2⁻⁶⁴ per pair), so a fingerprint hit is treated as definitive.
+//!
+//! [`Provenance`]: crate::program::Provenance
+
+use crate::program::Program;
+use std::hash::{Hash, Hasher};
+
+/// A 128-bit streaming hasher: two independent 64-bit FNV-1a-style
+/// accumulators with distinct offset bases and odd multipliers. Not
+/// cryptographic — just wide enough that accidental collisions are out
+/// of reach for the memo table's lifetime.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fnv128 {
+    const LO_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const LO_PRIME: u64 = 0x0000_0100_0000_01b3;
+    const HI_OFFSET: u64 = 0x6c62_272e_07bb_0142;
+    const HI_PRIME: u64 = 0x0000_0001_0000_01b5;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            lo: Self::LO_OFFSET,
+            hi: Self::HI_OFFSET,
+        }
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn fingerprint(&self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+impl Hasher for Fnv128 {
+    fn finish(&self) -> u64 {
+        self.lo ^ self.hi
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ b as u64).wrapping_mul(Self::LO_PRIME);
+            self.hi = (self.hi ^ b as u64).wrapping_mul(Self::HI_PRIME);
+        }
+    }
+}
+
+/// The semantic fingerprint of a program: a 128-bit digest of its
+/// instructions, initial register state and memory image (name and
+/// provenance are excluded).
+pub fn fingerprint(prog: &Program) -> u128 {
+    let mut h = Fnv128::new();
+    prog.insts.hash(&mut h);
+    prog.reg_init.hash(&mut h);
+    prog.mem.hash(&mut h);
+    h.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::program::Provenance;
+
+    fn sample(tweak: u64) -> Program {
+        let mut p = Program::new(format!("fp-{tweak}"), vec![Inst::halt()]);
+        p.reg_init.gprs[5] = 0x1234_5678 ^ tweak;
+        p
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        let p = sample(1);
+        assert_eq!(fingerprint(&p), fingerprint(&p.clone()));
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_and_provenance() {
+        let p = sample(2);
+        let mut q = p.clone();
+        q.name = "renamed".into();
+        q.provenance = Provenance {
+            parent: Some(7),
+            operator: Some("replace-all".into()),
+            seed: 99,
+            birth_round: 3,
+        };
+        assert_eq!(fingerprint(&p), fingerprint(&q));
+    }
+
+    #[test]
+    fn fingerprint_sees_reg_state() {
+        assert_ne!(fingerprint(&sample(3)), fingerprint(&sample(4)));
+    }
+
+    #[test]
+    fn fingerprint_sees_instructions() {
+        let p = sample(5);
+        let mut q = p.clone();
+        q.insts.push(Inst::halt());
+        assert_ne!(fingerprint(&p), fingerprint(&q));
+    }
+}

@@ -62,6 +62,7 @@ pub mod asm;
 pub mod container;
 pub mod encode;
 pub mod exec;
+pub mod fingerprint;
 pub mod flags;
 pub mod form;
 pub mod fu;
@@ -78,12 +79,13 @@ pub use asm::Asm;
 pub use container::{from_container, to_container, ContainerError};
 pub use encode::{decode_inst, decode_stream, encode_inst, DecodeError};
 pub use exec::{ExecHooks, Machine, NoHooks, RunOutput, StepInfo, Trap};
+pub use fingerprint::{fingerprint, Fnv128};
 pub use flags::Flags;
 pub use form::{Catalog, Cond, Form, FormId, FuKind, Mnemonic, OpMode};
 pub use fu::{FuPass, FuProvider, NativeFu};
 pub use inst::Inst;
 pub use mem::{MemImage, Memory, DATA_BASE};
-pub use program::{Program, RegInit};
+pub use program::{Program, Provenance, RegInit};
 pub use reg::{Gpr, Width, Xmm};
 pub use state::ArchState;
 pub use trail::{Checkpoint, GoldenTrail, MemDelta};

@@ -79,6 +79,52 @@ impl Default for RegInit {
     }
 }
 
+/// Where a program came from — the lineage flight-recorder tag.
+///
+/// The Generator stamps genesis programs (no parent), the Mutator stamps
+/// offspring with the parent's semantic fingerprint and the operator that
+/// produced them, and the engine fills in the refinement round. The tag
+/// is pure metadata: it is excluded from the semantic fingerprint
+/// ([`crate::fingerprint::fingerprint`]) and never influences execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Semantic fingerprint of the parent program (`None` for genesis
+    /// programs produced directly by the Generator).
+    pub parent: Option<u128>,
+    /// Mutation-operator label that produced this program (`None` for
+    /// genesis programs).
+    pub operator: Option<String>,
+    /// The RNG seed the producing step used.
+    pub seed: u64,
+    /// Refinement round this program was born in (0 = bootstrap
+    /// population).
+    pub birth_round: u32,
+}
+
+impl Provenance {
+    /// A genesis tag: produced by the Generator from `seed`, no parent.
+    pub fn genesis(seed: u64) -> Provenance {
+        Provenance {
+            parent: None,
+            operator: None,
+            seed,
+            birth_round: 0,
+        }
+    }
+
+    /// A mutation tag: produced from the parent with fingerprint
+    /// `parent` by `operator` under `seed`. The birth round is filled in
+    /// by whoever runs the loop.
+    pub fn mutated(parent: u128, operator: impl Into<String>, seed: u64) -> Provenance {
+        Provenance {
+            parent: Some(parent),
+            operator: Some(operator.into()),
+            seed,
+            birth_round: 0,
+        }
+    }
+}
+
 /// A complete, runnable HX86 test program.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Program {
@@ -91,6 +137,9 @@ pub struct Program {
     pub reg_init: RegInit,
     /// Initial memory image.
     pub mem: MemImage,
+    /// Lineage tag (metadata only; absent in old serialised programs).
+    #[serde(default)]
+    pub provenance: Provenance,
 }
 
 impl Program {
@@ -102,6 +151,7 @@ impl Program {
             insts,
             reg_init: RegInit::zeroed(),
             mem: MemImage::default(),
+            provenance: Provenance::default(),
         }
     }
 

@@ -11,7 +11,7 @@ use crate::constraints::{GenConstraints, RegAllocPolicy, BASE_POOL, WRITABLE_POO
 use harpo_isa::form::{Catalog, Form, FormId, Mnemonic, OpMode};
 use harpo_isa::inst::Inst;
 use harpo_isa::mem::{MemImage, DATA_BASE};
-use harpo_isa::program::{Program, RegInit};
+use harpo_isa::program::{Program, Provenance, RegInit};
 use harpo_isa::reg::Gpr;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -121,6 +121,7 @@ impl Generator {
             insts,
             reg_init,
             mem,
+            provenance: Provenance::genesis(seed),
         }
     }
 

@@ -16,4 +16,4 @@ pub mod mutate;
 
 pub use constraints::{GenConstraints, MemPlan, RegAllocPolicy, BASE_POOL, WRITABLE_POOL};
 pub use generator::{access_size, Generator, OperandCtx};
-pub use mutate::Mutator;
+pub use mutate::{MutationOp, Mutator};

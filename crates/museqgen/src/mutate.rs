@@ -14,11 +14,45 @@
 //! time survives arbitrarily many mutations.
 
 use crate::generator::{Generator, OperandCtx};
+use harpo_isa::fingerprint::fingerprint;
 use harpo_isa::form::{Catalog, FormId, Mnemonic};
-use harpo_isa::program::Program;
+use harpo_isa::program::{Program, Provenance};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::SeedableRng;
+
+/// A mutation operator the loop can apply to a parent program.
+///
+/// [`MutationOp::ReplaceAll`] is the paper's production strategy and the
+/// engine's default; the others exist so the lineage flight recorder has
+/// real alternatives to rank (the precondition for adaptive operator
+/// scheduling). Every operator preserves program length and the stack
+/// discipline (`PUSH`/`POP`/`HALT` are never touched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// Replace-all instruction replacement (paper §V-B1): one form
+    /// present in the sequence is replaced at every occurrence by
+    /// another uniformly chosen form.
+    ReplaceAll,
+    /// Operand re-resolution: one form present in the sequence keeps its
+    /// mnemonic but every occurrence gets freshly drawn operands — a
+    /// data-path-only mutation that perturbs values and addresses
+    /// without changing the instruction mix.
+    OperandReseed,
+}
+
+impl MutationOp {
+    /// Every operator, in the order the engine cycles through them.
+    pub const ALL: [MutationOp; 2] = [MutationOp::ReplaceAll, MutationOp::OperandReseed];
+
+    /// Stable label used in provenance tags and journal records.
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationOp::ReplaceAll => "replace-all",
+            MutationOp::OperandReseed => "operand-reseed",
+        }
+    }
+}
 
 /// The mutation engine; shares the generator's constraint system.
 #[derive(Debug, Clone)]
@@ -49,9 +83,35 @@ impl Mutator {
         &self.gen
     }
 
-    /// Replace-all instruction replacement: returns a mutated copy with
-    /// the same length. Same `(program, seed)` → same mutant.
+    /// Replace-all instruction replacement (the default operator):
+    /// returns a mutated copy with the same length, provenance-stamped
+    /// with this parent's fingerprint. Same `(program, seed)` → same
+    /// mutant.
     pub fn mutate(&self, prog: &Program, seed: u64) -> Program {
+        self.mutate_from(prog, fingerprint(prog), seed, MutationOp::ReplaceAll)
+    }
+
+    /// Applies a specific operator, computing the parent fingerprint
+    /// here. Same `(program, seed, op)` → same mutant.
+    pub fn mutate_with(&self, prog: &Program, seed: u64, op: MutationOp) -> Program {
+        self.mutate_from(prog, fingerprint(prog), seed, op)
+    }
+
+    /// Applies `op` to a parent whose fingerprint the caller already
+    /// knows (the engine fingerprints each survivor once instead of once
+    /// per offspring). The offspring's provenance records the parent,
+    /// operator and seed; the birth round is filled in by the loop.
+    pub fn mutate_from(&self, prog: &Program, parent: u128, seed: u64, op: MutationOp) -> Program {
+        let mut out = match op {
+            MutationOp::ReplaceAll => self.replace_all(prog, seed),
+            MutationOp::OperandReseed => self.operand_reseed(prog, seed),
+        };
+        out.provenance = Provenance::mutated(parent, op.label(), seed);
+        out
+    }
+
+    /// Replace-all instruction replacement (paper §V-B1).
+    fn replace_all(&self, prog: &Program, seed: u64) -> Program {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6D75_7461_746F_7221);
         let cat = Catalog::get();
 
@@ -78,6 +138,35 @@ impl Mutator {
                 // by seeding the counter with the instruction index.
                 ctx.mem_counter = idx as u64;
                 *inst = self.gen.instantiate(replacement, &mut rng, &mut ctx);
+            }
+        }
+        out
+    }
+
+    /// Operand re-resolution: every occurrence of one present form keeps
+    /// its form but gets freshly drawn operands.
+    fn operand_reseed(&self, prog: &Program, seed: u64) -> Program {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6F70_6572_616E_6473);
+        let cat = Catalog::get();
+
+        let mut present: Vec<FormId> = prog
+            .insts
+            .iter()
+            .map(|i| i.form)
+            .filter(|f| !is_pinned(cat.form(*f).mnemonic))
+            .collect();
+        present.sort_unstable();
+        present.dedup();
+        let Some(&target) = present.choose(&mut rng) else {
+            return prog.clone();
+        };
+
+        let mut out = prog.clone();
+        let mut ctx = OperandCtx::default();
+        for (idx, inst) in out.insts.iter_mut().enumerate() {
+            if inst.form == target {
+                ctx.mem_counter = idx as u64;
+                *inst = self.gen.instantiate(target, &mut rng, &mut ctx);
             }
         }
         out
@@ -172,6 +261,66 @@ mod tests {
                 assert_eq!(p.insts[i], q.insts[i], "non-target {i} modified");
             }
         }
+    }
+
+    #[test]
+    fn mutants_carry_provenance() {
+        let m = mutator(300);
+        let p = m.generator().generate(8);
+        // Genesis programs record their generator seed and no parent.
+        assert_eq!(p.provenance.parent, None);
+        assert_eq!(p.provenance.operator, None);
+        assert_eq!(p.provenance.seed, 8);
+        let pfp = fingerprint(&p);
+        for op in MutationOp::ALL {
+            let q = m.mutate_with(&p, 41, op);
+            assert_eq!(q.provenance.parent, Some(pfp));
+            assert_eq!(q.provenance.operator.as_deref(), Some(op.label()));
+            assert_eq!(q.provenance.seed, 41);
+            // The tag is metadata: the child's own fingerprint ignores it,
+            // so an identical mutant from a different round would memo-hit.
+            assert_eq!(fingerprint(&q), {
+                let mut bare = q.clone();
+                bare.provenance = Default::default();
+                fingerprint(&bare)
+            });
+        }
+    }
+
+    #[test]
+    fn operand_reseed_preserves_the_form_mix() {
+        let m = mutator(800);
+        let p = m.generator().generate(19);
+        let q = m.mutate_with(&p, 5, MutationOp::OperandReseed);
+        assert_eq!(p.len(), q.len());
+        // Same mnemonic/form at every position; at least one operand
+        // changed somewhere.
+        for i in 0..p.len() {
+            assert_eq!(p.insts[i].form, q.insts[i].form, "form changed at {i}");
+        }
+        assert_ne!(p.insts, q.insts, "operand reseed must change operands");
+        Machine::new(&q, NativeFu)
+            .run(100_000)
+            .unwrap_or_else(|t| panic!("reseeded mutant trapped: {t}"));
+    }
+
+    #[test]
+    fn operand_reseed_is_deterministic() {
+        let m = mutator(300);
+        let p = m.generator().generate(5);
+        assert_eq!(
+            m.mutate_with(&p, 9, MutationOp::OperandReseed).insts,
+            m.mutate_with(&p, 9, MutationOp::OperandReseed).insts
+        );
+    }
+
+    #[test]
+    fn operator_labels_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in MutationOp::ALL {
+            assert!(seen.insert(op.label()), "duplicate label {}", op.label());
+        }
+        assert_eq!(MutationOp::ReplaceAll.label(), "replace-all");
     }
 
     #[test]

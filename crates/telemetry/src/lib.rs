@@ -37,8 +37,8 @@ pub mod sink;
 pub mod span;
 
 pub use json::Value;
-pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricSnapshot, Metrics};
-pub use record::Record;
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricSnapshot, Metrics, HIST_BUCKETS};
+pub use record::{Record, SCHEMA_VERSION};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink, Telemetry};
 pub use span::Span;
 

@@ -41,7 +41,14 @@ impl Counter {
     }
 }
 
-const BUCKETS: usize = 65;
+/// Number of histogram buckets: one per significant-bit count of a
+/// `u64`, plus bucket 0 for zeros. Public so layers that pre-aggregate
+/// observations off the hot path (e.g. per-worker campaign tallies) can
+/// build a compatible bucket array and merge it in with
+/// [`Histogram::merge_counts`].
+pub const HIST_BUCKETS: usize = 65;
+
+const BUCKETS: usize = HIST_BUCKETS;
 
 #[derive(Debug)]
 struct HistInner {
@@ -105,6 +112,25 @@ impl Histogram {
         self.inner.sum.load(Ordering::Relaxed)
     }
 
+    /// Merges a pre-aggregated bucket array into this histogram: each
+    /// `buckets[i]` count lands in bucket `i`, `sum` is added to the
+    /// running sum and `max` folded into the running max. This is how
+    /// layers that tally observations locally (lock- and atomic-free)
+    /// publish into a shared registry at the end of a run.
+    pub fn merge_counts(&self, buckets: &[u64; HIST_BUCKETS], sum: u64, max: u64) {
+        let h = &*self.inner;
+        let mut count = 0;
+        for (slot, &n) in h.buckets.iter().zip(buckets) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+                count += n;
+            }
+        }
+        h.count.fetch_add(count, Ordering::Relaxed);
+        h.sum.fetch_add(sum, Ordering::Relaxed);
+        h.max.fetch_max(max, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy for reporting (individual loads are
     /// atomic; the histogram may be concurrently updated).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -139,6 +165,36 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`q` in `(0, 1]`), as the upper bound of
+    /// the bucket holding the rank-`⌈q·count⌉` observation, clamped to
+    /// the observed max. Log₂ buckets bound the error to 2× — plenty for
+    /// the latency-distribution questions the journal answers (is p99 a
+    /// few times p50, or orders of magnitude above it?). Deterministic:
+    /// same buckets, same answer. Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds values with i significant bits, so its
+                // inclusive upper bound is 2^i − 1 (bucket 0 holds zeros).
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -233,8 +289,9 @@ impl Metrics {
     }
 
     /// The registry as one JSON object: counters become numbers,
-    /// histograms become `{count, sum, max, mean}` objects — the
-    /// `counters` payload of journal summaries and bench manifests.
+    /// histograms become `{count, sum, max, mean, p50, p90, p99}`
+    /// objects — the `counters` payload of journal summaries and bench
+    /// manifests.
     pub fn to_value(&self) -> Value {
         let fields = self
             .snapshot()
@@ -247,6 +304,9 @@ impl Metrics {
                         ("sum".to_string(), Value::U64(h.sum)),
                         ("max".to_string(), Value::U64(h.max)),
                         ("mean".to_string(), Value::F64(h.mean())),
+                        ("p50".to_string(), Value::U64(h.percentile(0.50))),
+                        ("p90".to_string(), Value::U64(h.percentile(0.90))),
+                        ("p99".to_string(), Value::U64(h.percentile(0.99))),
                     ]),
                 };
                 (name, v)
@@ -291,6 +351,55 @@ mod tests {
         assert_eq!(s.buckets[2], 2);
         assert_eq!(s.buckets[10], 1, "1000 has 10 significant bits");
         assert!((s.mean() - 201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let h = Histogram::new();
+        // 98 small observations and 2 enormous ones: p50/p90 must stay
+        // in the small bucket, p99 must reach the big one.
+        for _ in 0..98 {
+            h.observe(100);
+        }
+        h.observe(1_000_000);
+        h.observe(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.50), 127, "upper bound of bucket ⌈log₂ 100⌉");
+        assert_eq!(s.percentile(0.90), 127);
+        assert_eq!(s.percentile(0.99), 1_000_000, "clamped to observed max");
+        assert_eq!(s.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_zero_histograms() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().percentile(0.5), 0);
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_counts_is_equivalent_to_observing() {
+        let direct = Histogram::new();
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let (mut sum, mut max) = (0u64, 0u64);
+        for v in [0u64, 3, 17, 17, 4096, 70_000] {
+            direct.observe(v);
+            buckets[Histogram::bucket_of(v)] += 1;
+            sum += v;
+            max = max.max(v);
+        }
+        let merged = Histogram::new();
+        merged.merge_counts(&buckets, sum, max);
+        assert_eq!(merged.snapshot(), direct.snapshot());
+        // Merging again doubles counts and sum but keeps the max.
+        merged.merge_counts(&buckets, sum, max);
+        let s = merged.snapshot();
+        assert_eq!(s.count, 12);
+        assert_eq!(s.sum, 2 * sum);
+        assert_eq!(s.max, max);
     }
 
     #[test]

@@ -2,6 +2,16 @@
 
 use crate::json::{write_string, Value};
 
+/// The journal schema version, stamped into every JSONL line as `"v"`.
+///
+/// Offline consumers (`harpo report`) refuse journals written by a newer
+/// schema instead of mis-parsing them. Records without a `"v"` field are
+/// version 1 (the pre-versioning journals of early runs). Bump this when
+/// a record kind changes meaning or drops a field — additive fields do
+/// not need a bump. The bump protocol is documented in DESIGN.md and
+/// docs/observability.md.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// One journal event: a kind tag plus ordered key→value fields.
 ///
 /// Built fluently and cheaply — construction is skipped entirely when no
@@ -10,7 +20,7 @@ use crate::json::{write_string, Value};
 /// ```
 /// use harpo_telemetry::Record;
 /// let r = Record::new("iteration").field("iter", 3u64).field("best", 0.25);
-/// assert_eq!(r.to_json(), r#"{"kind":"iteration","iter":3,"best":0.25}"#);
+/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":2,"iter":3,"best":0.25}"#);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -40,12 +50,14 @@ impl Record {
         self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 
-    /// Renders as one compact JSON object with `"kind"` first — the
-    /// journal's JSONL line format.
+    /// Renders as one compact JSON object with `"kind"` first and the
+    /// schema version second — the journal's JSONL line format.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 + self.fields.len() * 16);
         out.push_str("{\"kind\":");
         write_string(&mut out, self.kind);
+        out.push_str(",\"v\":");
+        out.push_str(&SCHEMA_VERSION.to_string());
         for (k, v) in &self.fields {
             out.push(',');
             write_string(&mut out, k);
@@ -88,6 +100,7 @@ mod tests {
             .field("ok", true);
         let v = parse(&r.to_json()).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("iteration"));
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(SCHEMA_VERSION));
         assert_eq!(v.get("iter").unwrap().as_u64(), Some(7));
         assert_eq!(v.get("best").unwrap().as_f64(), Some(0.5));
         assert_eq!(v.get("name").unwrap().as_str(), Some("int-mul"));

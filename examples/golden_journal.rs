@@ -1,0 +1,91 @@
+//! Regenerates the golden journal behind the `harpo report` snapshot
+//! test.
+//!
+//! ```text
+//! cargo run --example golden_journal
+//! harpo report tests/data/golden_run.jsonl > tests/data/golden_report.md
+//! ```
+//!
+//! Runs a small deterministic refinement loop plus one fault-injection
+//! campaign, journalling both into `tests/data/golden_run.jsonl`. The
+//! snapshot test (`crates/cli/tests/report_snapshot.rs`) re-renders the
+//! *committed* journal and compares byte-for-byte against the committed
+//! report, so regenerate both files together — timing fields differ
+//! between machines, but rendering is a pure function of the journal.
+
+use harpocrates::core::{Evaluator, Harpocrates, LoopConfig};
+use harpocrates::coverage::TargetStructure;
+use harpocrates::faultsim::{measure_detection_with_golden, CampaignConfig};
+use harpocrates::museqgen::{GenConstraints, Generator, MutationOp};
+use harpocrates::telemetry::{JsonlSink, Metrics, Record, Telemetry};
+use harpocrates::uarch::OooCore;
+use std::sync::Arc;
+
+fn main() {
+    let path = "tests/data/golden_run.jsonl";
+    std::fs::create_dir_all("tests/data").expect("create tests/data");
+    let sink = JsonlSink::create(path).expect("create journal");
+    let telemetry = Telemetry::to(Arc::new(sink));
+
+    let structure = TargetStructure::IntAdder;
+    let report = Harpocrates::new(
+        Generator::new(GenConstraints {
+            n_insts: 300,
+            ..GenConstraints::default()
+        }),
+        Evaluator::new(OooCore::default(), structure),
+        LoopConfig {
+            population: 8,
+            top_k: 2,
+            iterations: 8,
+            sample_every: 2,
+            seed: 0xA11CE,
+            threads: 2,
+        },
+    )
+    .with_operators(MutationOp::ALL.to_vec())
+    .with_telemetry(telemetry.clone())
+    .run();
+
+    // One SFI campaign on the champion, journalled the same way
+    // `harpo grade` does it.
+    let prog = report.champion;
+    let ccfg = CampaignConfig {
+        n_faults: 64,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let core = OooCore::default();
+    let sim = core.simulate(&prog, ccfg.cap).expect("golden run");
+    let coverage = structure.coverage(&sim.trace, core.config());
+    let result = measure_detection_with_golden(
+        &prog,
+        structure,
+        &core,
+        &ccfg,
+        &sim.output.signature,
+        &sim.trace,
+    );
+    telemetry.emit(|| {
+        let metrics = Metrics::new();
+        result.publish(&metrics);
+        Record::new("campaign")
+            .field("program", prog.name.as_str())
+            .field("structure", structure.label())
+            .field("coverage", coverage)
+            .field("faults", result.injected)
+            .field("detection", result.detection())
+            .field("sdc", result.sdc)
+            .field("crash", result.crash)
+            .field("masked", result.masked)
+            .field("masked_fast_path", result.masked_fast_path)
+            .field("replays", result.replays)
+            .field("replay_insts", result.replay_insts)
+            .field("replay_insts_skipped", result.replay_insts_skipped)
+            .field("checkpoint_hits", result.checkpoint_hits)
+            .field("early_exits", result.early_exits)
+            .field("counters", metrics.to_value())
+    });
+    telemetry.flush();
+    println!("wrote {path} (champion coverage {:.4})", coverage);
+}

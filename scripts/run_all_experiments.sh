@@ -52,4 +52,18 @@ if ((${#failed[@]})); then
   echo "FAILED: ${failed[*]}" >&2
   exit 1
 fi
-echo "All ${#BINS[@]} experiments complete; CSVs + manifests in results/, logs in results/logs/."
+
+# Render the offline analysis report from every run journal and bench
+# snapshot the experiments produced.
+shopt -s nullglob
+report_inputs=(results/*.journal.jsonl results/BENCH_*.json)
+shopt -u nullglob
+if ((${#report_inputs[@]})); then
+  cargo build --release -p harpo-cli --bin harpo || {
+    echo "FATAL: harpo-cli failed to build" >&2
+    exit 1
+  }
+  ./target/release/harpo report "${report_inputs[@]}" --out results/REPORT.md \
+    || { echo "ERROR: harpo report failed" >&2; exit 1; }
+fi
+echo "All ${#BINS[@]} experiments complete; CSVs + manifests in results/, logs in results/logs/, report at results/REPORT.md."
