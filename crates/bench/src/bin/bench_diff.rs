@@ -86,12 +86,16 @@ fn main() {
         );
     }
     if report.regressed() {
+        let lines = report.regression_lines();
         eprintln!(
-            "bench_diff: regression beyond {:.0}% on {} of {} gated keys",
+            "bench_diff: regression beyond {:.0}% on {} of {} gated keys:",
             report.threshold * 100.0,
-            report.rows.iter().filter(|r| r.regressed).count(),
+            lines.len(),
             report.rows.len()
         );
+        for line in lines {
+            eprintln!("bench_diff:   {line}");
+        }
         std::process::exit(1);
     }
     println!(

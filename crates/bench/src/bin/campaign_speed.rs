@@ -25,6 +25,14 @@
 //! reduction (skipped / (executed + skipped)) of the checkpointed
 //! configuration, and a `campaign_speed.manifest.json` run manifest
 //! like every other figure binary.
+//!
+//! The bit-array suite is additionally timed with fault forensics
+//! enabled (`CampaignConfig::forensics`): `campaign_forensics_t*_ns` is
+//! the instrumented cost and `campaign_forensics_off_speedup_t*` the
+//! ratio of instrumented to default time — the price of the autopsy
+//! recorder. Both sides of that ratio are paired interleaved minima
+//! (see [`paired_min_ns`]); CI's bench job gates the single-thread key
+//! at 5% so the default (forensics-off) path stays free.
 
 use harpo_bench::{Cli, Harness};
 use harpo_coverage::TargetStructure;
@@ -93,6 +101,31 @@ fn median_ns(reps: usize, mut f: impl FnMut() -> CampaignResult) -> (u64, Campai
     (samples[samples.len() / 2], last)
 }
 
+/// Paired minimum wall nanoseconds of `reps` interleaved runs of `a`
+/// and `b` — the noise-robust estimator used for the gated forensics
+/// on/off ratio. Alternating the two configurations within one loop
+/// samples both under the same load epoch, and taking each side's
+/// minimum discards interference outliers; timing the sides in separate
+/// blocks would let a load spike during one block swamp a 5% threshold.
+fn paired_min_ns(
+    reps: usize,
+    mut a: impl FnMut() -> CampaignResult,
+    mut b: impl FnMut() -> CampaignResult,
+) -> (u64, u64, CampaignResult, CampaignResult) {
+    let (mut best_a, mut best_b) = (u64::MAX, u64::MAX);
+    let mut last_a = CampaignResult::default();
+    let mut last_b = CampaignResult::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        last_a = a();
+        best_a = best_a.min(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        last_b = b();
+        best_b = best_b.min(t.elapsed().as_nanos() as u64);
+    }
+    (best_a, best_b, last_a, last_b)
+}
+
 /// Strips perf counters so tallies can be compared across
 /// configurations.
 fn outcome_tallies(r: &CampaignResult) -> (u64, u64, u64, u64, u64, u64) {
@@ -138,6 +171,10 @@ fn main() {
         checkpoint_interval: interval,
         ..cli.campaign()
     };
+    let forensic_ccfg_of = |threads: usize, interval: u64| CampaignConfig {
+        forensics: true,
+        ..ccfg_of(threads, interval)
+    };
     let default_interval = CampaignConfig::default().checkpoint_interval;
 
     let mut results: Vec<(String, Value)> = Vec::new();
@@ -178,6 +215,46 @@ fn main() {
             suite_ns.push((full_ns, ck_ns));
             if threads == 8 {
                 ck_tally.merge(&ck_r);
+            }
+            // Forensics cost on the reference suite: same campaign with
+            // the autopsy recorder on. The off/on ratio is the gated
+            // quantity — the default path must stay free of forensic
+            // bookkeeping, so `on / off` staying near its baseline means
+            // the off path did not silently absorb the recorder's cost.
+            if suite == "bit_array" {
+                let (fo_ns, off_ns, fo_r, _) = paired_min_ns(
+                    9,
+                    || {
+                        run_campaigns(
+                            &workloads,
+                            structures,
+                            &core,
+                            &forensic_ccfg_of(threads, default_interval),
+                        )
+                    },
+                    || {
+                        run_campaigns(
+                            &workloads,
+                            structures,
+                            &core,
+                            &ccfg_of(threads, default_interval),
+                        )
+                    },
+                );
+                assert_eq!(
+                    outcome_tallies(&ck_r),
+                    outcome_tallies(&fo_r),
+                    "forensics changed campaign outcomes at {threads} threads"
+                );
+                let off_speedup = fo_ns as f64 / off_ns.max(1) as f64;
+                println!(
+                    "forensics   {threads:>8} {fo_ns:>15} {off_ns:>15} {off_speedup:>8.2}x (on/off)"
+                );
+                results.push((format!("campaign_forensics_t{threads}_ns"), fo_ns.into()));
+                results.push((
+                    format!("campaign_forensics_off_speedup_t{threads}"),
+                    off_speedup.into(),
+                ));
             }
         }
         let full: u64 = suite_ns.iter().map(|(f, _)| f).sum();

@@ -36,10 +36,39 @@ pub struct DiffReport {
     pub threshold: f64,
 }
 
+impl DiffRow {
+    /// Relative change in percent, negative for drops (`-17.3` means the
+    /// fresh value is 17.3% below the baseline).
+    pub fn delta_pct(&self) -> f64 {
+        (self.ratio - 1.0) * 100.0
+    }
+}
+
 impl DiffReport {
     /// Whether any gated key regressed.
     pub fn regressed(&self) -> bool {
         self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// One line per regressed key with its percentage delta, in gate
+    /// order — the gate prints *all* of them before failing, so a run
+    /// that regresses three keys doesn't take three CI round-trips to
+    /// fix.
+    pub fn regression_lines(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| {
+                format!(
+                    "{}: {:.4} -> {:.4} ({:+.1}%, allowed -{:.0}%)",
+                    r.key,
+                    r.baseline,
+                    r.fresh,
+                    r.delta_pct(),
+                    self.threshold * 100.0
+                )
+            })
+            .collect()
     }
 }
 
@@ -191,6 +220,26 @@ mod tests {
             .unwrap_err()
             .contains("no speedup keys"));
         assert!(run(BASE, 1.5, None).unwrap_err().contains("threshold"));
+    }
+
+    #[test]
+    fn every_regressed_key_is_reported_with_its_delta() {
+        let fresh = r#"{"population_speedup_t4":1.0,"population_speedup_t1":1.6,
+            "simulate_into_speedup":0.75}"#;
+        let r = run(fresh, 0.10, None).unwrap();
+        let lines = r.regression_lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].starts_with("population_speedup_t4:"), "{lines:?}");
+        assert!(lines[0].contains("(-50.0%"), "{lines:?}");
+        assert!(lines[1].starts_with("simulate_into_speedup:"), "{lines:?}");
+        assert!(lines[1].contains("(-50.0%"), "{lines:?}");
+        assert!(lines.iter().all(|l| l.contains("allowed -10%")), "{lines:?}");
+        // The healthy key is not listed.
+        assert!(!lines.iter().any(|l| l.contains("_t1")), "{lines:?}");
+
+        let row = &r.rows[0];
+        assert!((row.delta_pct() - -50.0).abs() < 1e-9);
+        assert!(run(BASE, 0.10, None).unwrap().regression_lines().is_empty());
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! `harpo autopsy` — per-fault forensics for a stored program.
+//!
+//! Runs a forensics-enabled SFI campaign and emits, besides the usual
+//! `campaign` record, one `autopsy` record per injected fault and one
+//! `heatmap` record per structure (per-bit outcome histogram with the
+//! ACE-residency overlay from `harpo-coverage`). The records are
+//! schema-v3 journal lines, so `harpo report` renders them offline and
+//! `--trace` exports the campaign as a Chrome/Perfetto trace.
+
+use crate::args::Args;
+use crate::commands::{load, telemetry_of, SWITCHES};
+use harpo_coverage::{ace_overlay_of, TargetStructure};
+use harpo_faultsim::{
+    build_campaign_trail, heatmaps_of, measure_detection_forensic, CampaignConfig, CampaignResult,
+    FaultAutopsy, Mechanism, StructureHeatmap,
+};
+use harpo_isa::program::Program;
+use harpo_telemetry::{json, trace_from_journal, Metrics, Record, Value};
+use harpo_uarch::OooCore;
+
+/// The fixed mechanism order used by every breakdown (deterministic
+/// tables regardless of input order).
+pub const MECHANISMS: [Mechanism; 6] = [
+    Mechanism::Overwrite,
+    Mechanism::Logical,
+    Mechanism::Reconverged,
+    Mechanism::Corrected,
+    Mechanism::Signature,
+    Mechanism::Trap,
+];
+
+/// Runs the forensic campaign and renders its full journal record
+/// stream: `campaign`, then one `autopsy` per fault, then one `heatmap`
+/// per structure. Pure given the config (seeded sampling, fixed thread
+/// assignment), so two invocations emit byte-identical JSONL.
+pub fn forensic_records(
+    prog: &Program,
+    structure: TargetStructure,
+    ccfg: &CampaignConfig,
+) -> Result<(CampaignResult, Vec<FaultAutopsy>, Vec<Record>), String> {
+    let mut ccfg = ccfg.clone();
+    ccfg.forensics = true;
+    let core = OooCore::default();
+    let sim = core
+        .simulate(prog, ccfg.cap)
+        .map_err(|t| format!("golden run trapped: {t}"))?;
+    let coverage = structure.coverage(&sim.trace, core.config());
+    let trail = build_campaign_trail(prog, &ccfg);
+    let (result, autopsies) = measure_detection_forensic(
+        prog,
+        structure,
+        &core,
+        &ccfg,
+        &sim.output.signature,
+        &sim.trace,
+        trail.as_ref(),
+    );
+    let mut records = Vec::with_capacity(autopsies.len() + 2);
+    let metrics = Metrics::new();
+    result.publish(&metrics);
+    records.push(
+        Record::new("campaign")
+            .field("program", prog.name.clone())
+            .field("structure", structure.label())
+            .field("coverage", coverage)
+            .field("faults", result.injected)
+            .field("detection", result.detection())
+            .field("sdc", result.sdc)
+            .field("crash", result.crash)
+            .field("masked", result.masked)
+            .field("masked_fast_path", result.masked_fast_path)
+            .field("replays", result.replays)
+            .field("replay_insts", result.replay_insts)
+            .field("replay_insts_skipped", result.replay_insts_skipped)
+            .field("checkpoint_hits", result.checkpoint_hits)
+            .field("early_exits", result.early_exits)
+            .field("counters", metrics.to_value()),
+    );
+    for a in &autopsies {
+        records.push(a.to_record());
+    }
+    for map in heatmaps(structure, &autopsies, &sim.trace, &core) {
+        records.push(map.to_record());
+    }
+    Ok((result, autopsies, records))
+}
+
+/// Aggregates the autopsies into per-structure heatmaps and attaches the
+/// per-bit ACE residency overlay where the structure has one.
+fn heatmaps(
+    structure: TargetStructure,
+    autopsies: &[FaultAutopsy],
+    trace: &harpo_uarch::ExecutionTrace,
+    core: &OooCore,
+) -> Vec<StructureHeatmap> {
+    let mut maps = heatmaps_of(autopsies);
+    if let Some(overlay) = ace_overlay_of(structure, trace, core.config()) {
+        for map in &mut maps {
+            map.set_ace(overlay.clone());
+        }
+    }
+    maps
+}
+
+/// Sorted detection latencies of the detected faults.
+fn detection_latencies(autopsies: &[FaultAutopsy]) -> Vec<u64> {
+    let mut lat: Vec<u64> = autopsies
+        .iter()
+        .filter(|a| a.outcome.detected())
+        .map(|a| a.detection_latency)
+        .collect();
+    lat.sort_unstable();
+    lat
+}
+
+/// Integer nearest-rank percentile over a sorted slice.
+fn pct(sorted: &[u64], num: u64, den: u64) -> u64 {
+    sorted[((sorted.len() - 1) as u64 * num / den) as usize]
+}
+
+/// `harpo autopsy` entry point.
+pub fn autopsy(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse_with_switches(argv, SWITCHES)?;
+    let structure = args.structure()?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("autopsy needs a <test.hxpf> argument")?;
+    let telemetry = telemetry_of(&args)?;
+    let prog = load(path)?;
+    let ccfg = CampaignConfig {
+        n_faults: args.num("faults", 128)?,
+        seed: args.num("seed", CampaignConfig::default().seed)?,
+        threads: args.num("threads", 0)?,
+        ..CampaignConfig::default()
+    };
+    let (result, autopsies, records) = forensic_records(&prog, structure, &ccfg)?;
+    for r in &records {
+        telemetry.emit(|| r.clone());
+    }
+    telemetry.flush();
+
+    if let Some(out) = args.get("heatmap") {
+        let maps: Vec<Value> = records
+            .iter()
+            .filter(|r| r.kind == "heatmap")
+            .map(|r| json::parse(&r.to_json()).expect("heatmap record is valid JSON"))
+            .collect();
+        std::fs::write(out, Value::Arr(maps).to_json()).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(out) = args.get("trace") {
+        let values: Vec<Value> = records
+            .iter()
+            .map(|r| json::parse(&r.to_json()).expect("record is valid JSON"))
+            .collect();
+        std::fs::write(out, trace_from_journal(&values).to_json())
+            .map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+
+    if !args.has("quiet") {
+        println!("program `{}` vs {structure}: {result}", prog.name);
+        println!("  masking mechanisms:");
+        for m in MECHANISMS {
+            let n = autopsies.iter().filter(|a| a.mechanism == m).count();
+            if n > 0 {
+                println!("    {:<12} {n:>6}", m.label());
+            }
+        }
+        let lat = detection_latencies(&autopsies);
+        if !lat.is_empty() {
+            println!(
+                "  detection latency: p50 {} / p90 {} / p99 {} insts ({} detected)",
+                pct(&lat, 50, 100),
+                pct(&lat, 90, 100),
+                pct(&lat, 99, 100),
+                lat.len()
+            );
+        }
+        for map in heatmaps_of(&autopsies) {
+            let blind = map.never_detected();
+            if blind.is_empty() {
+                continue;
+            }
+            println!("  never-detected bits ({}):", map.structure);
+            for (bit, faults) in blind.iter().take(5) {
+                println!("    bit {bit:<4} {faults} fault(s), 0 detected");
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(pct(&sorted, 50, 100), 50);
+        assert_eq!(pct(&sorted, 99, 100), 99);
+        assert_eq!(pct(&[7], 90, 100), 7);
+    }
+
+    #[test]
+    fn mechanism_order_is_total() {
+        assert_eq!(MECHANISMS.len(), 6);
+        let labels: Vec<&str> = MECHANISMS.iter().map(|m| m.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+}

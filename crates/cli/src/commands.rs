@@ -23,9 +23,12 @@ USAGE:
   harpo generate --insts <n> [--seed <n>] [--out test.hxpf]
   harpo grade    --structure <s> [--faults N] [--journal run.jsonl] [--quiet] [--verbose]
                  <test.hxpf>
+  harpo autopsy  --structure <s> [--faults N] [--seed N] [--journal run.jsonl]
+                 [--heatmap heatmap.json] [--trace trace.json] [--quiet] [--verbose]
+                 <test.hxpf>
   harpo simulate <test.hxpf>
   harpo disasm   [--limit N] <test.hxpf>
-  harpo report   <run.jsonl | BENCH_*.json>... [--out REPORT.md]
+  harpo report   <run.jsonl | BENCH_*.json>... [--out REPORT.md] [--trace trace.json]
   harpo info
 
 STRUCTURES: irf, l1d, int-adder, int-mul, fp-adder, fp-mul
@@ -34,18 +37,24 @@ OBSERVABILITY:
   --journal <path>  write a machine-readable JSONL run journal (one
                     record per refinement iteration / campaign, plus a
                     summary with the full counter snapshot)
+  harpo autopsy     forensics-enabled campaign: per-fault autopsy records
+                    (divergence site, masking mechanism, detection
+                    latency) and per-structure bit-level heatmaps with
+                    the ACE-residency overlay
   harpo report      render journals and bench snapshots into a
                     self-contained Markdown report, fully offline
+  --trace <path>    export journal records as a Chrome/Perfetto
+                    trace_event file (open in ui.perfetto.dev)
   --verbose         mirror journal records to stderr, human-readable
   --quiet           suppress progress output on stdout"
     );
 }
 
 /// Switch names shared by the journalling subcommands.
-const SWITCHES: &[&str] = &["quiet", "verbose"];
+pub(crate) const SWITCHES: &[&str] = &["quiet", "verbose"];
 
 /// Builds the telemetry handle from `--journal` / `--verbose`.
-fn telemetry_of(args: &Args) -> Result<Telemetry, String> {
+pub(crate) fn telemetry_of(args: &Args) -> Result<Telemetry, String> {
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     if let Some(path) = args.get("journal") {
         let sink = JsonlSink::create(path).map_err(|e| format!("--journal {path}: {e}"))?;
@@ -57,7 +66,7 @@ fn telemetry_of(args: &Args) -> Result<Telemetry, String> {
     Ok(Telemetry::fanout(sinks))
 }
 
-fn load(path: &str) -> Result<Program, String> {
+pub(crate) fn load(path: &str) -> Result<Program, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     from_container(&bytes).map_err(|e| format!("{path}: {e}"))
 }

@@ -6,5 +6,6 @@
 //! library so they can be unit-tested.
 
 pub mod args;
+pub mod autopsy;
 pub mod commands;
 pub mod report;

@@ -5,13 +5,16 @@
 //!                [--journal run.jsonl] [--quiet] [--verbose]
 //! harpo generate --insts 5000 --seed 7 [--out t.hxpf]
 //! harpo grade    --structure int-mul --faults 128 [--journal run.jsonl] t.hxpf
+//! harpo autopsy  --structure int-mul --faults 128 [--journal run.jsonl]
+//!                [--heatmap heatmap.json] [--trace trace.json] t.hxpf
 //! harpo simulate t.hxpf
 //! harpo disasm   t.hxpf [--limit 40]
-//! harpo report   run.jsonl [BENCH_pipeline.json ...] [--out REPORT.md]
+//! harpo report   run.jsonl [BENCH_pipeline.json ...] [--out REPORT.md] [--trace trace.json]
 //! harpo info
 //! ```
 
 mod args;
+mod autopsy;
 mod commands;
 mod report;
 
@@ -26,6 +29,7 @@ fn main() {
         "refine" => commands::refine(&argv),
         "generate" => commands::generate(&argv),
         "grade" => commands::grade(&argv),
+        "autopsy" => autopsy::autopsy(&argv),
         "simulate" => commands::simulate(&argv),
         "disasm" => commands::disasm(&argv),
         "report" => report::report(&argv),

@@ -4,8 +4,12 @@
 //! optionally `BENCH_*.json` snapshots, entirely offline, and renders a
 //! self-contained Markdown report: run summary, convergence table with
 //! plateau detection, operator-efficacy ranking, stage wall-clock
-//! breakdown with per-iteration percentiles, cache/stall counters, and
-//! campaign replay-savings statistics.
+//! breakdown with per-iteration percentiles, cache/stall counters,
+//! campaign replay-savings statistics, and — for journals written by
+//! `harpo autopsy` — a fault-forensics section (masking-mechanism
+//! breakdown, detection-latency percentiles, never-detected bits per
+//! structure). `--trace` additionally exports the journal as a
+//! Chrome/Perfetto `trace_event` file.
 //!
 //! Rendering is a pure function of the input bytes — no clocks, no
 //! environment — so a committed journal renders byte-identically
@@ -34,6 +38,17 @@ pub fn report(argv: &[String]) -> Result<(), String> {
             println!("wrote {path}");
         }
         None => print!("{md}"),
+    }
+    if let Some(tpath) = args.get("trace") {
+        let mut records = Vec::new();
+        for (path, content) in &inputs {
+            if let Input::Journal(recs) = classify(path, content)? {
+                records.extend(recs);
+            }
+        }
+        let trace = harpo_telemetry::trace_from_journal(&records);
+        std::fs::write(tpath, trace.to_json()).map_err(|e| format!("{tpath}: {e}"))?;
+        println!("wrote {tpath} ({} trace events)", trace.len());
     }
     Ok(())
 }
@@ -65,7 +80,14 @@ fn classify(path: &str, content: &str) -> Result<Input, String> {
     }
     let mut records = vec![first];
     for (i, line) in lines.iter().enumerate().skip(1) {
-        records.push(json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+        match json::parse(line) {
+            Ok(v) => records.push(v),
+            // A run killed mid-write can leave a torn final line even
+            // though the sink flushes on drop; everything before it is
+            // still a valid journal, so analyze what survived.
+            Err(_) if i + 1 == lines.len() => break,
+            Err(e) => return Err(format!("{path}:{}: {e}", i + 1)),
+        }
     }
     for (i, rec) in records.iter().enumerate() {
         let v = rec.get("v").and_then(Value::as_u64).unwrap_or(1);
@@ -110,6 +132,8 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     let summaries = of("summary");
     let iterations = of("iteration");
     let campaigns = of("campaign");
+    let autopsies = of("autopsy");
+    let heatmaps = of("heatmap");
 
     if let Some(s) = summaries.first() {
         render_summary(out, s);
@@ -127,7 +151,15 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     if !campaigns.is_empty() {
         render_campaigns(out, &campaigns);
     }
-    if summaries.is_empty() && iterations.is_empty() && campaigns.is_empty() {
+    if !autopsies.is_empty() || !heatmaps.is_empty() {
+        render_forensics(out, &autopsies, &heatmaps);
+    }
+    if summaries.is_empty()
+        && iterations.is_empty()
+        && campaigns.is_empty()
+        && autopsies.is_empty()
+        && heatmaps.is_empty()
+    {
         let _ = writeln!(
             out,
             "_No summary, iteration or campaign records — nothing to analyze._\n"
@@ -407,6 +439,98 @@ fn render_campaigns(out: &mut String, campaigns: &[&Value]) {
     out.push('\n');
 }
 
+/// Masking-mechanism labels in the fixed presentation order (matches
+/// `harpo_cli::autopsy::MECHANISMS`); rendering works on parsed JSON, so
+/// the order is pinned here rather than derived from input order.
+const MECHANISM_LABELS: [&str; 6] = [
+    "overwrite",
+    "logical",
+    "reconverged",
+    "corrected",
+    "signature",
+    "trap",
+];
+
+/// How many never-detected bits to show per structure.
+const MAX_BLIND_BITS: usize = 5;
+
+fn render_forensics(out: &mut String, autopsies: &[&Value], heatmaps: &[&Value]) {
+    out.push_str("### Fault forensics\n\n");
+    if !autopsies.is_empty() {
+        out.push_str("| masking mechanism | faults | share |\n|---|---|---|\n");
+        for label in MECHANISM_LABELS {
+            let n = autopsies
+                .iter()
+                .filter(|a| a.get("mechanism").and_then(Value::as_str) == Some(label))
+                .count();
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "| {label} | {n} | {} |",
+                    fmt_pct(n as f64 / autopsies.len() as f64)
+                );
+            }
+        }
+        out.push('\n');
+        let mut lat: Vec<u64> = autopsies
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a.get("outcome").and_then(Value::as_str),
+                    Some("sdc") | Some("crash")
+                )
+            })
+            .map(|a| u(a.get("detection_latency")))
+            .collect();
+        lat.sort_unstable();
+        if !lat.is_empty() {
+            let p = |num: u64| lat[((lat.len() - 1) as u64 * num / 100) as usize];
+            let _ = writeln!(
+                out,
+                "Detection latency: p50 {} / p90 {} / p99 {} insts ({} detected of {}).\n",
+                p(50),
+                p(90),
+                p(99),
+                lat.len(),
+                autopsies.len(),
+            );
+        }
+    }
+    // Blind spots: faulted bits that were never detected, per structure,
+    // with the ACE-residency overlay for context.
+    let mut blind_header = false;
+    for h in heatmaps {
+        let Ok(map) = harpo_faultsim::StructureHeatmap::from_value(h) else {
+            continue;
+        };
+        let blind = map.never_detected();
+        if blind.is_empty() {
+            continue;
+        }
+        if !blind_header {
+            out.push_str("| structure | bit | faults (0 detected) | ACE bit-cycles |\n|---|---|---|---|\n");
+            blind_header = true;
+        }
+        for &(bit, faults) in blind.iter().take(MAX_BLIND_BITS) {
+            let ace = map.ace.get(bit).copied().unwrap_or(0);
+            let _ = writeln!(out, "| {} | {bit} | {faults} | {ace} |", map.structure);
+        }
+        if blind.len() > MAX_BLIND_BITS {
+            let _ = writeln!(
+                out,
+                "| {} | … | {} more never-detected bit(s) | |",
+                map.structure,
+                blind.len() - MAX_BLIND_BITS
+            );
+        }
+    }
+    if blind_header {
+        out.push('\n');
+    } else if !heatmaps.is_empty() {
+        out.push_str("No never-detected bits — every faulted bit was detected at least once.\n\n");
+    }
+}
+
 fn render_bench(out: &mut String, path: &str, fields: &[(String, Value)]) {
     let _ = writeln!(out, "## Benchmarks `{path}`\n");
     out.push_str("| benchmark | value |\n|---|---|\n");
@@ -555,6 +679,76 @@ mod tests {
         assert!(render(&[("m.json".into(), "{\"a\":1}\n{\"b\":2}".into())])
             .unwrap_err()
             .contains("m.json"));
+    }
+
+    fn forensics_journal() -> String {
+        [
+            r#"{"kind":"autopsy","v":3,"fault":0,"worker":0,"structure":"irf","bit":5,"outcome":"sdc","mechanism":"signature","site":"register","site_detail":"rax","injected_cycle":10,"injected_dyn":4,"propagation_insts":40,"detection_latency":40}"#,
+            r#"{"kind":"autopsy","v":3,"fault":1,"worker":1,"structure":"irf","bit":63,"outcome":"masked","mechanism":"overwrite","site":"none","site_detail":"","injected_cycle":2,"injected_dyn":0,"propagation_insts":0,"detection_latency":0}"#,
+            r#"{"kind":"autopsy","v":3,"fault":2,"worker":0,"structure":"irf","bit":63,"outcome":"crash","mechanism":"trap","site":"memory","site_detail":"0x40","injected_cycle":7,"injected_dyn":3,"propagation_insts":12,"detection_latency":12}"#,
+            r#"{"kind":"heatmap","v":3,"structure":"irf","bits":3,"sdc":[1,0,0],"crash":[0,0,1],"masked":[0,3,0],"corrected":[0,0,0],"ace":[100,70,9]}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn forensics_journals_render_the_autopsy_section() {
+        let md = render_one("autopsy.jsonl", &forensics_journal());
+        assert!(md.contains("### Fault forensics"), "{md}");
+        assert!(md.contains("| signature | 1 | 33.33% |"), "{md}");
+        assert!(md.contains("| overwrite | 1 | 33.33% |"), "{md}");
+        assert!(
+            md.contains("Detection latency: p50 12 / p90 12 / p99 12 insts (2 detected of 3)."),
+            "{md}"
+        );
+        // Bit 1 was faulted three times, never detected, with 70 ACE
+        // bit-cycles — the heatmap's blind spot.
+        assert!(md.contains("| irf | 1 | 3 | 70 |"), "{md}");
+        // Bits 0 and 2 were detected, so only bit 1 is listed.
+        assert!(!md.contains("| irf | 0 |"), "{md}");
+    }
+
+    #[test]
+    fn heatmap_records_round_trip_through_the_report() {
+        // The journal's heatmap record parses back into the exact
+        // StructureHeatmap that rendered it.
+        let rec = forensics_journal().lines().last().unwrap().to_string();
+        let v = json::parse(&rec).unwrap();
+        let map = harpo_faultsim::StructureHeatmap::from_value(&v).unwrap();
+        assert_eq!(map.structure, "irf");
+        assert_eq!(map.bits(), 3);
+        assert_eq!(map.never_detected(), vec![(1, 3)]);
+        // to_value -> from_value is the identity.
+        let again = harpo_faultsim::StructureHeatmap::from_value(&map.to_value()).unwrap();
+        assert_eq!(again, map);
+        // And the rendered report is unchanged whether the record came
+        // from the journal or from the round-tripped heatmap.
+        let md = render_one("a.jsonl", &forensics_journal());
+        let md2 = render_one("a.jsonl", &forensics_journal());
+        assert_eq!(md, md2);
+    }
+
+    #[test]
+    fn fully_detected_heatmaps_say_so() {
+        let md = render_one(
+            "a.jsonl",
+            r#"{"kind":"heatmap","v":3,"structure":"irf","bits":1,"sdc":[2],"crash":[0],"masked":[0],"corrected":[0],"ace":[5]}"#,
+        );
+        assert!(md.contains("No never-detected bits"), "{md}");
+    }
+
+    #[test]
+    fn torn_final_journal_lines_are_tolerated() {
+        // A run killed mid-write leaves a truncated last line; everything
+        // before it still renders.
+        let torn = format!("{}\n{}", journal(), r#"{"kind":"iteration","v":2,"it"#);
+        let md = render_one("run.jsonl", &torn);
+        assert!(md.contains("### Run summary"), "{md}");
+        assert_eq!(md, render_one("run.jsonl", &journal()));
+        // A torn line in the *middle* is still an error.
+        let broken = format!("{}\nnot json\n{}", journal(), journal());
+        let err = render(&[("b.jsonl".to_string(), broken)]).unwrap_err();
+        assert!(err.contains("b.jsonl:8"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `harpo autopsy` pipeline: the forensic
+//! record stream is deterministic, renders through `harpo report`, and
+//! the committed golden forensics journal reproduces its committed
+//! report byte-for-byte. Regenerate the golden report with:
+//!
+//! ```text
+//! cargo run -p harpo-cli --bin harpo -- report \
+//!     tests/data/golden_forensics.jsonl \
+//!     --out tests/data/golden_forensics_report.md
+//! ```
+//!
+//! (`golden_forensics.jsonl` is hand-written, not harvested from a run,
+//! so it never moves when the sampler or the RNG implementation does.)
+
+use harpo_cli::autopsy::forensic_records;
+use harpo_cli::report::render;
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{CampaignConfig, StructureHeatmap};
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_telemetry::json;
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn campaign_journal(structure: TargetStructure, threads: usize) -> String {
+    let prog = Generator::new(GenConstraints {
+        n_insts: 200,
+        allow_sse: true,
+        store_bias: 0.3,
+        ..GenConstraints::default()
+    })
+    .generate(0xA07);
+    let ccfg = CampaignConfig {
+        n_faults: 48,
+        seed: 0xF0DA,
+        threads,
+        cap: 10_000_000,
+        ..CampaignConfig::default()
+    };
+    let (_, _, records) = forensic_records(&prog, structure, &ccfg).expect("campaign runs");
+    records
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn golden_forensics_report_is_byte_identical() {
+    let inputs = [(
+        "tests/data/golden_forensics.jsonl".to_string(),
+        repo_file("tests/data/golden_forensics.jsonl"),
+    )];
+    let rendered = render(&inputs).expect("golden forensics journal renders");
+    let committed = repo_file("tests/data/golden_forensics_report.md");
+    assert_eq!(
+        rendered, committed,
+        "forensics report drifted from tests/data/golden_forensics_report.md — \
+         if the change is intentional, regenerate the golden report \
+         (see this test's module docs)"
+    );
+}
+
+#[test]
+fn autopsy_record_stream_is_deterministic() {
+    for structure in [TargetStructure::Irf, TargetStructure::IntAdder] {
+        let a = campaign_journal(structure, 2);
+        let b = campaign_journal(structure, 2);
+        assert_eq!(a, b, "{structure}: same config must emit identical JSONL");
+    }
+}
+
+#[test]
+fn autopsy_journal_renders_the_forensics_section() {
+    let journal = campaign_journal(TargetStructure::Irf, 2);
+    let md = render(&[("autopsy.jsonl".to_string(), journal.clone())]).expect("journal renders");
+    assert!(md.contains("### Fault-injection campaigns"), "{md}");
+    assert!(md.contains("### Fault forensics"), "{md}");
+    assert!(md.contains("| masking mechanism | faults | share |"), "{md}");
+
+    // Every heatmap record in the live stream round-trips through the
+    // report's parser into an equal heatmap.
+    let mut saw_heatmap = false;
+    for line in journal.lines() {
+        let v = json::parse(line).expect("journal line is valid JSON");
+        if v.get("kind").and_then(harpo_telemetry::Value::as_str) != Some("heatmap") {
+            continue;
+        }
+        saw_heatmap = true;
+        let map = StructureHeatmap::from_value(&v).expect("heatmap record parses");
+        let again = StructureHeatmap::from_value(&map.to_value()).unwrap();
+        assert_eq!(map, again);
+        assert_eq!(map.structure, TargetStructure::Irf.label());
+    }
+    assert!(saw_heatmap, "campaign emitted no heatmap record:\n{journal}");
+}

@@ -7,7 +7,7 @@
 //! same coverage — a score computed once can be replayed from a table
 //! instead of re-simulated.
 //!
-//! The fingerprint itself lives in [`harpo_isa::fingerprint`] (re-exported
+//! The fingerprint itself lives in [`mod@harpo_isa::fingerprint`] (re-exported
 //! here for compatibility): the Mutator stamps every offspring with its
 //! parent's fingerprint, so the memo key and the lineage flight recorder
 //! must agree on one definition of program identity. A memo hit therefore

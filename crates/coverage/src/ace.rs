@@ -124,6 +124,90 @@ pub fn xrf_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
     }
 }
 
+/// Per-bit ACE residency of the integer register file: element `b` is
+/// the ACE bit-cycles accumulated by bit `b` across every physical
+/// register instance, so `sum == irf_ace().ace_bit_cycles`. The fault
+/// forensics heatmaps overlay this on per-bit outcome histograms: a bit
+/// with high residency but no detections marks corruption the generator
+/// exposes to consumers that then mask it.
+pub fn irf_ace_per_bit(trace: &ExecutionTrace, _cfg: &CoreConfig) -> Vec<u64> {
+    let live = dynamic_liveness(trace);
+    let end = trace.stats.cycles;
+    let mut per_bit = vec![0u64; 64];
+    for inst in &trace.reg_instances {
+        if inst.live_at_end {
+            let credit = end.saturating_sub(inst.write_cycle);
+            for slot in per_bit.iter_mut() {
+                *slot += credit;
+            }
+            continue;
+        }
+        let mut last = [0u64; 64];
+        let mut any = false;
+        for r in trace.reads_of(inst) {
+            if !live.get(r.dyn_idx as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut m = r.obs[0];
+            if m != 0 {
+                any = true;
+            }
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                last[b] = last[b].max(r.cycle);
+            }
+        }
+        if any {
+            for (slot, lb) in per_bit.iter_mut().zip(last) {
+                *slot += lb.saturating_sub(inst.write_cycle);
+            }
+        }
+    }
+    per_bit
+}
+
+/// Per-bit ACE residency of the XMM register file (128 positions);
+/// `sum == xrf_ace().ace_bit_cycles`.
+pub fn xrf_ace_per_bit(trace: &ExecutionTrace, _cfg: &CoreConfig) -> Vec<u64> {
+    let live = dynamic_liveness(trace);
+    let end = trace.stats.cycles;
+    let mut per_bit = vec![0u64; 128];
+    for inst in &trace.xmm_instances {
+        if inst.live_at_end {
+            let credit = end.saturating_sub(inst.write_cycle);
+            for slot in per_bit.iter_mut() {
+                *slot += credit;
+            }
+            continue;
+        }
+        let mut last = [0u64; 128];
+        let mut any = false;
+        for r in trace.xmm_reads_of(inst) {
+            if !live.get(r.dyn_idx as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            for lane in 0..2 {
+                let mut m = r.obs[lane];
+                if m != 0 {
+                    any = true;
+                }
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    last[lane * 64 + b] = last[lane * 64 + b].max(r.cycle);
+                }
+            }
+        }
+        if any {
+            for (slot, lb) in per_bit.iter_mut().zip(last) {
+                *slot += lb.saturating_sub(inst.write_cycle);
+            }
+        }
+    }
+    per_bit
+}
+
 #[derive(Debug, Clone, Copy)]
 enum FrameItem {
     Fill {
@@ -260,6 +344,116 @@ pub fn l1d_ace(trace: &ExecutionTrace, cfg: &CoreConfig) -> AceReport {
     }
 }
 
+/// Per-bit ACE residency of the L1D data array along the *line offset*
+/// axis: position `p = byte_in_line × 8 + bit` — the same coordinate an
+/// `L1dFault` names — aggregated over every (set, way) frame. Accesses
+/// are byte-granular, so the 8 bits of a byte share its ACE cycles;
+/// `sum == l1d_ace().ace_bit_cycles`.
+pub fn l1d_ace_per_bit(trace: &ExecutionTrace, cfg: &CoreConfig) -> Vec<u64> {
+    let line = cfg.l1d_line as usize;
+    let mut frames: HashMap<(u32, u32), Vec<FrameItem>> = HashMap::new();
+    for e in &trace.line_events {
+        let item = match e.kind {
+            LineEventKind::Fill => FrameItem::Fill { cycle: e.cycle },
+            LineEventKind::EvictClean => FrameItem::Evict {
+                cycle: e.cycle,
+                dirty: false,
+            },
+            LineEventKind::EvictDirty => FrameItem::Evict {
+                cycle: e.cycle,
+                dirty: true,
+            },
+        };
+        frames.entry((e.set, e.way)).or_default().push(item);
+    }
+    for a in &trace.cache_accesses {
+        frames
+            .entry((a.set, a.way))
+            .or_default()
+            .push(FrameItem::Access {
+                cycle: a.cycle,
+                offset: (a.addr as usize % line) as u8,
+                size: a.size,
+                is_store: a.is_store,
+            });
+    }
+
+    let mut per_byte = vec![0u64; line];
+    let mut last_point = vec![0u64; line];
+    let mut dirty = vec![false; line];
+    for (_, mut items) in frames {
+        items.sort_by_key(|i| (i.cycle(), i.prio()));
+        let mut resident = false;
+        for item in items {
+            match item {
+                FrameItem::Fill { cycle } => {
+                    resident = true;
+                    last_point.fill(cycle);
+                    dirty.fill(false);
+                }
+                FrameItem::Evict { cycle, dirty: d } => {
+                    if resident && d {
+                        for b in 0..line {
+                            if dirty[b] {
+                                per_byte[b] += cycle.saturating_sub(last_point[b]);
+                            }
+                        }
+                    }
+                    resident = false;
+                }
+                FrameItem::Access {
+                    cycle,
+                    offset,
+                    size,
+                    is_store,
+                } => {
+                    if !resident {
+                        continue;
+                    }
+                    let lo = offset as usize;
+                    let hi = (lo + size as usize).min(line);
+                    for b in lo..hi {
+                        if is_store {
+                            dirty[b] = true;
+                        } else {
+                            per_byte[b] += cycle.saturating_sub(last_point[b]);
+                        }
+                        last_point[b] = cycle;
+                    }
+                }
+            }
+        }
+        if resident {
+            let end = trace.stats.cycles;
+            for (acc, last) in per_byte.iter_mut().zip(last_point.iter()).take(line) {
+                *acc += end.saturating_sub(*last);
+            }
+        }
+    }
+    let mut per_bit = vec![0u64; line * 8];
+    for (b, &cycles) in per_byte.iter().enumerate() {
+        for slot in per_bit.iter_mut().skip(b * 8).take(8) {
+            *slot += cycles;
+        }
+    }
+    per_bit
+}
+
+/// The per-bit ACE overlay of a bit-array structure's heatmap, or `None`
+/// for functional units (gate position has no residency axis).
+pub fn ace_overlay_of(
+    structure: crate::TargetStructure,
+    trace: &ExecutionTrace,
+    cfg: &CoreConfig,
+) -> Option<Vec<u64>> {
+    match structure {
+        crate::TargetStructure::Irf => Some(irf_ace_per_bit(trace, cfg)),
+        crate::TargetStructure::Xrf => Some(xrf_ace_per_bit(trace, cfg)),
+        crate::TargetStructure::L1d => Some(l1d_ace_per_bit(trace, cfg)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +570,51 @@ mod tests {
         let cfg = CoreConfig::default();
         assert_eq!(irf_ace(&t, &cfg).coverage(), 0.0);
         assert_eq!(l1d_ace(&t, &cfg).coverage(), 0.0);
+    }
+
+    #[test]
+    fn per_bit_overlays_sum_to_the_aggregates() {
+        // A mixed program exercising registers, narrow widths (so the
+        // observation masks differ per bit) and the cache.
+        let mut a = Asm::new("mix");
+        a.reg_init.gprs[Rsi.index()] = DATA_BASE;
+        a.mov_ri64(Rax, 0x0123_4567_89AB_CDEF);
+        a.mov_ri(B64, Rcx, 30);
+        a.label("l");
+        a.add_rr(B64, Rbx, Rax);
+        a.add_rr(B8, Rdx, Rbx); // narrow read: only low bits observed
+        a.store(B64, Rsi, 0, Rbx);
+        a.load(B64, Rbp, Rsi, 0);
+        a.add_ri(B64, Rsi, 8);
+        a.sub_ri(B64, Rcx, 1);
+        a.jnz("l");
+        a.halt();
+        let (t, cfg) = run(a);
+
+        let irf = irf_ace_per_bit(&t, &cfg);
+        assert_eq!(irf.len(), 64);
+        assert_eq!(irf.iter().sum::<u64>(), irf_ace(&t, &cfg).ace_bit_cycles);
+        // Low bits are observed by the B8 reads too, so they accumulate
+        // at least as much residency as nothing.
+        assert!(irf.iter().any(|&x| x > 0));
+
+        let l1d = l1d_ace_per_bit(&t, &cfg);
+        assert_eq!(l1d.len(), cfg.l1d_line as usize * 8);
+        assert_eq!(l1d.iter().sum::<u64>(), l1d_ace(&t, &cfg).ace_bit_cycles);
+
+        let xrf = xrf_ace_per_bit(&t, &cfg);
+        assert_eq!(xrf.len(), 128);
+        assert_eq!(xrf.iter().sum::<u64>(), xrf_ace(&t, &cfg).ace_bit_cycles);
+    }
+
+    #[test]
+    fn overlay_dispatch_matches_structures() {
+        let t = ExecutionTrace::default();
+        let cfg = CoreConfig::default();
+        use crate::TargetStructure as S;
+        assert_eq!(ace_overlay_of(S::Irf, &t, &cfg).unwrap().len(), 64);
+        assert_eq!(ace_overlay_of(S::Xrf, &t, &cfg).unwrap().len(), 128);
+        assert!(ace_overlay_of(S::L1d, &t, &cfg).is_some());
+        assert!(ace_overlay_of(S::IntAdder, &t, &cfg).is_none());
     }
 }

@@ -16,7 +16,10 @@ pub mod ibr;
 pub mod liveness;
 pub mod objective;
 
-pub use ace::{irf_ace, l1d_ace, xrf_ace, AceReport};
+pub use ace::{
+    ace_overlay_of, irf_ace, irf_ace_per_bit, l1d_ace, l1d_ace_per_bit, xrf_ace, xrf_ace_per_bit,
+    AceReport,
+};
 pub use ibr::{ibr, input_width, IbrReport};
 pub use liveness::dynamic_liveness;
 pub use objective::TargetStructure;

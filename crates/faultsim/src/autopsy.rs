@@ -1,0 +1,643 @@
+//! Per-fault forensics: autopsy records and bit-level heatmaps.
+//!
+//! Campaign tallies say *how many* faults stayed silent; an autopsy says
+//! *why each one did*. When [`crate::CampaignConfig::forensics`] is on,
+//! every injected fault produces a [`FaultAutopsy`]: where the corruption
+//! first became architecturally visible, how far it propagated, and the
+//! mechanism that masked it (or the detector that caught it). Autopsies
+//! stream into the run journal as `autopsy` records (schema v3) and
+//! aggregate per structure into [`StructureHeatmap`]s — a per-bit outcome
+//! histogram with an optional ACE-residency overlay from
+//! `harpo-coverage` — so a plateaued structure can be read bit by bit:
+//! which cells the generator never exercises, and where corrupted values
+//! go to die.
+//!
+//! Everything here is derived from state the campaign already computes
+//! (corruption plans, activation spans, replay statistics); with
+//! forensics off, no autopsy is ever constructed and campaigns run
+//! exactly as before.
+
+use crate::checkpoint::ReplayStats;
+use crate::outcome::FaultOutcome;
+use crate::plan::CorruptionPlan;
+use harpo_isa::reg::{Gpr, Xmm};
+use harpo_telemetry::{Record, Value};
+
+/// How one fault was resolved — the masking mechanism for undetected
+/// faults, the detector for detected ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// The corrupted cell was overwritten or never consumed: the plan is
+    /// empty, so no replay was needed (transient fast path).
+    Overwrite,
+    /// Logically masked: for gate faults, the stuck-at never changed the
+    /// unit's output over the whole operand stream; for replayed faults,
+    /// the corruption was consumed but cancelled out in the program's
+    /// dataflow before the signature check.
+    Logical,
+    /// The faulty run reconverged with the golden trail past the
+    /// corruption window (checkpointed replay early exit).
+    Reconverged,
+    /// A hardware protection scheme (SECDED) corrected the bit before a
+    /// consumer observed it.
+    Corrected,
+    /// Detected: the output signature differed (SDC caught by the
+    /// checking test program).
+    Signature,
+    /// Detected: the faulty run trapped or hit the watchdog cap.
+    Trap,
+}
+
+impl Mechanism {
+    /// Journal label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Overwrite => "overwrite",
+            Mechanism::Logical => "logical",
+            Mechanism::Reconverged => "reconverged",
+            Mechanism::Corrected => "corrected",
+            Mechanism::Signature => "signature",
+            Mechanism::Trap => "trap",
+        }
+    }
+
+    /// Classifies a replayed outcome.
+    fn of_replay(outcome: FaultOutcome, early_exit: bool) -> Mechanism {
+        match outcome {
+            FaultOutcome::Sdc => Mechanism::Signature,
+            FaultOutcome::Crash => Mechanism::Trap,
+            FaultOutcome::Corrected => Mechanism::Corrected,
+            FaultOutcome::Masked if early_exit => Mechanism::Reconverged,
+            FaultOutcome::Masked => Mechanism::Logical,
+        }
+    }
+}
+
+/// The first architecturally visible divergence a fault causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceSite {
+    /// No consumer ever observes the corruption.
+    None,
+    /// A corrupted GPR operand read.
+    Register(Gpr),
+    /// A corrupted XMM operand read.
+    Xmm(Xmm),
+    /// A corrupted loaded value at this byte address.
+    Memory(u64),
+    /// A corrupted functional-unit result (gate faults: the first
+    /// activating pass through the defective unit).
+    Fu,
+    /// Residual corruption in a register holding a final architectural
+    /// value, observed by the end-state checker.
+    EndRegister(Gpr),
+    /// The XMM analogue of [`DivergenceSite::EndRegister`].
+    EndXmm(Xmm),
+    /// Residual corruption in cache/memory at this byte address,
+    /// observed by the checker reading back through the cache.
+    EndMemory(u64),
+}
+
+impl DivergenceSite {
+    /// Journal label of the site kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            DivergenceSite::None => "none",
+            DivergenceSite::Register(_) => "register",
+            DivergenceSite::Xmm(_) => "xmm",
+            DivergenceSite::Memory(_) => "memory",
+            DivergenceSite::Fu => "fu",
+            DivergenceSite::EndRegister(_) => "end-register",
+            DivergenceSite::EndXmm(_) => "end-xmm",
+            DivergenceSite::EndMemory(_) => "end-memory",
+        }
+    }
+
+    /// Human detail: the register name or byte address.
+    pub fn detail(self) -> String {
+        match self {
+            DivergenceSite::None | DivergenceSite::Fu => String::new(),
+            DivergenceSite::Register(g) | DivergenceSite::EndRegister(g) => g.to_string(),
+            DivergenceSite::Xmm(x) | DivergenceSite::EndXmm(x) => x.to_string(),
+            DivergenceSite::Memory(a) | DivergenceSite::EndMemory(a) => format!("{a:#x}"),
+        }
+    }
+
+    /// The earliest planned corruption of a transient plan: the flip
+    /// with the smallest dynamic index, falling back to end-of-run
+    /// corruption when the plan has no in-run flips.
+    pub fn of_plan(plan: &CorruptionPlan) -> DivergenceSite {
+        let mut best: Option<(u64, DivergenceSite)> = None;
+        let mut consider = |dyn_idx: u64, site: DivergenceSite| {
+            if best.map_or(true, |(d, _)| dyn_idx < d) {
+                best = Some((dyn_idx, site));
+            }
+        };
+        for f in &plan.reg_flips {
+            consider(f.dyn_idx, DivergenceSite::Register(f.arch));
+        }
+        for f in &plan.xmm_flips {
+            consider(f.dyn_idx, DivergenceSite::Xmm(f.arch));
+        }
+        for f in &plan.load_flips {
+            consider(f.dyn_idx, DivergenceSite::Memory(f.addr));
+        }
+        if let Some((_, site)) = best {
+            return site;
+        }
+        if let Some((reg, _)) = plan.end_reg_corruption {
+            DivergenceSite::EndRegister(reg)
+        } else if let Some((reg, _)) = plan.end_xmm_corruption {
+            DivergenceSite::EndXmm(reg)
+        } else if let Some((addr, _)) = plan.end_corruption {
+            DivergenceSite::EndMemory(addr)
+        } else {
+            DivergenceSite::None
+        }
+    }
+}
+
+/// The forensic record of one injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAutopsy {
+    /// Fault index within the campaign's sample (stable across thread
+    /// counts — the sampler is seeded).
+    pub fault: u64,
+    /// Campaign worker that graded the fault (`fault % threads`): the
+    /// per-worker timeline row in the trace export.
+    pub worker: u64,
+    /// Target structure label.
+    pub structure: &'static str,
+    /// Bit position within the structure: register bit (IRF/XRF), bit
+    /// within the cache line (L1D), or gate index (functional units).
+    pub bit: u32,
+    /// Cycle at which the fault was injected (transients) or first
+    /// activated (gate faults; 0 when never activated or unscreened).
+    pub injected_cycle: u64,
+    /// Dynamic instruction at which the corruption first became
+    /// architecturally visible (0 when it never did).
+    pub injected_dyn: u64,
+    /// Graded outcome.
+    pub outcome: FaultOutcome,
+    /// Masking mechanism or detector.
+    pub mechanism: Mechanism,
+    /// First architectural divergence.
+    pub site: DivergenceSite,
+    /// Dynamic instructions from the first corruption to detection,
+    /// reconvergence, or program end — the propagation span.
+    pub propagation_insts: u64,
+    /// Dynamic instructions from the first corruption to detection; 0
+    /// for undetected faults.
+    pub detection_latency: u64,
+}
+
+impl FaultAutopsy {
+    fn base(structure: &'static str, bit: u32) -> FaultAutopsy {
+        FaultAutopsy {
+            fault: 0,
+            worker: 0,
+            structure,
+            bit,
+            injected_cycle: 0,
+            injected_dyn: 0,
+            outcome: FaultOutcome::Masked,
+            mechanism: Mechanism::Overwrite,
+            site: DivergenceSite::None,
+            propagation_insts: 0,
+            detection_latency: 0,
+        }
+    }
+
+    /// A transient resolved Masked on the fast path: the planner proved
+    /// no consumer ever observes the flipped bit.
+    pub fn transient_fast_path(structure: &'static str, bit: u32, cycle: u64) -> FaultAutopsy {
+        FaultAutopsy {
+            injected_cycle: cycle,
+            ..FaultAutopsy::base(structure, bit)
+        }
+    }
+
+    /// A transient corrected by a protection scheme before any consumer
+    /// observed it (SECDED L1D): the plan says where the first read
+    /// *would* have landed.
+    pub fn corrected(
+        structure: &'static str,
+        bit: u32,
+        cycle: u64,
+        plan: &CorruptionPlan,
+    ) -> FaultAutopsy {
+        FaultAutopsy {
+            injected_cycle: cycle,
+            outcome: FaultOutcome::Corrected,
+            mechanism: Mechanism::Corrected,
+            site: DivergenceSite::of_plan(plan),
+            injected_dyn: in_run_dyn(plan.first_flip_dyn(), 0),
+            ..FaultAutopsy::base(structure, bit)
+        }
+    }
+
+    /// A replayed transient, graded from its plan and replay statistics.
+    pub fn transient(
+        structure: &'static str,
+        bit: u32,
+        cycle: u64,
+        plan: &CorruptionPlan,
+        outcome: FaultOutcome,
+        stats: &ReplayStats,
+    ) -> FaultAutopsy {
+        let injected_dyn = in_run_dyn(plan.first_flip_dyn(), stats.end_dyn);
+        FaultAutopsy {
+            injected_cycle: cycle,
+            injected_dyn,
+            site: DivergenceSite::of_plan(plan),
+            ..FaultAutopsy::replayed(structure, bit, injected_dyn, outcome, stats)
+        }
+    }
+
+    /// A gate fault proven inactive by the packed screen: the stuck-at
+    /// never changed the unit's output (pure logical masking).
+    pub fn gate_screened(structure: &'static str, gate: u32) -> FaultAutopsy {
+        FaultAutopsy {
+            mechanism: Mechanism::Logical,
+            ..FaultAutopsy::base(structure, gate)
+        }
+    }
+
+    /// A replayed gate fault. `activation` is the first activating pass
+    /// `(dyn, cycle)` when the span screen ran.
+    pub fn gate(
+        structure: &'static str,
+        gate: u32,
+        activation: Option<(u64, u64)>,
+        outcome: FaultOutcome,
+        stats: &ReplayStats,
+    ) -> FaultAutopsy {
+        let (injected_dyn, injected_cycle) = activation.unwrap_or((0, 0));
+        FaultAutopsy {
+            injected_cycle,
+            site: DivergenceSite::Fu,
+            ..FaultAutopsy::replayed(structure, gate, injected_dyn, outcome, stats)
+        }
+    }
+
+    fn replayed(
+        structure: &'static str,
+        bit: u32,
+        injected_dyn: u64,
+        outcome: FaultOutcome,
+        stats: &ReplayStats,
+    ) -> FaultAutopsy {
+        let span = stats.end_dyn.saturating_sub(injected_dyn);
+        FaultAutopsy {
+            injected_dyn,
+            outcome,
+            mechanism: Mechanism::of_replay(outcome, stats.early_exit),
+            propagation_insts: span,
+            detection_latency: if outcome.detected() { span } else { 0 },
+            ..FaultAutopsy::base(structure, bit)
+        }
+    }
+
+    /// Renders as a schema-v3 `autopsy` journal record.
+    pub fn to_record(&self) -> Record {
+        Record::new("autopsy")
+            .field("fault", self.fault)
+            .field("worker", self.worker)
+            .field("structure", self.structure)
+            .field("bit", self.bit as u64)
+            .field("outcome", self.outcome.label())
+            .field("mechanism", self.mechanism.label())
+            .field("site", self.site.label())
+            .field("site_detail", self.site.detail())
+            .field("injected_cycle", self.injected_cycle)
+            .field("injected_dyn", self.injected_dyn)
+            .field("propagation_insts", self.propagation_insts)
+            .field("detection_latency", self.detection_latency)
+    }
+}
+
+/// The corruption's first in-run consumption, or `fallback` when the
+/// plan carries only end-of-run corruption (`first_flip_dyn` =
+/// `u64::MAX`: the run itself is golden and diverges at the checker).
+fn in_run_dyn(first_flip: u64, fallback: u64) -> u64 {
+    if first_flip == u64::MAX {
+        fallback
+    } else {
+        first_flip
+    }
+}
+
+/// Per-bit outcome histogram of one structure, with an optional
+/// ACE-residency overlay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StructureHeatmap {
+    /// Structure label.
+    pub structure: String,
+    /// Per-bit SDC counts.
+    pub sdc: Vec<u64>,
+    /// Per-bit crash counts.
+    pub crash: Vec<u64>,
+    /// Per-bit masked counts.
+    pub masked: Vec<u64>,
+    /// Per-bit corrected counts.
+    pub corrected: Vec<u64>,
+    /// Per-bit ACE residency (bit-cycles) from `harpo-coverage`; empty
+    /// when the overlay does not apply (functional units) or was not
+    /// computed.
+    pub ace: Vec<u64>,
+}
+
+impl StructureHeatmap {
+    /// An empty heatmap over `bits` positions.
+    pub fn new(structure: &str, bits: usize) -> StructureHeatmap {
+        StructureHeatmap {
+            structure: structure.to_string(),
+            sdc: vec![0; bits],
+            crash: vec![0; bits],
+            masked: vec![0; bits],
+            corrected: vec![0; bits],
+            ace: Vec::new(),
+        }
+    }
+
+    /// Number of bit positions tracked.
+    pub fn bits(&self) -> usize {
+        self.sdc.len()
+    }
+
+    /// Tallies one fault outcome at `bit`, growing the histogram if the
+    /// position is beyond the current width.
+    pub fn record(&mut self, bit: usize, outcome: FaultOutcome) {
+        if bit >= self.bits() {
+            for v in [
+                &mut self.sdc,
+                &mut self.crash,
+                &mut self.masked,
+                &mut self.corrected,
+            ] {
+                v.resize(bit + 1, 0);
+            }
+        }
+        match outcome {
+            FaultOutcome::Sdc => self.sdc[bit] += 1,
+            FaultOutcome::Crash => self.crash[bit] += 1,
+            FaultOutcome::Masked => self.masked[bit] += 1,
+            FaultOutcome::Corrected => self.corrected[bit] += 1,
+        }
+    }
+
+    /// Attaches the per-bit ACE residency overlay, truncating or
+    /// zero-padding it to the histogram width.
+    pub fn set_ace(&mut self, mut overlay: Vec<u64>) {
+        overlay.resize(self.bits(), 0);
+        self.ace = overlay;
+    }
+
+    /// Faults observed at `bit` across all outcomes.
+    pub fn observed(&self, bit: usize) -> u64 {
+        self.sdc[bit] + self.crash[bit] + self.masked[bit] + self.corrected[bit]
+    }
+
+    /// Faults detected at `bit` (SDC + crash).
+    pub fn detected(&self, bit: usize) -> u64 {
+        self.sdc[bit] + self.crash[bit]
+    }
+
+    /// Bits that were faulted but never detected, most-faulted first
+    /// (ties by bit index) — the structure's blind spots.
+    pub fn never_detected(&self) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = (0..self.bits())
+            .filter(|&b| self.observed(b) > 0 && self.detected(b) == 0)
+            .map(|b| (b, self.observed(b)))
+            .collect();
+        out.sort_by_key(|&(b, n)| (std::cmp::Reverse(n), b));
+        out
+    }
+
+    /// Renders as the columnar heatmap JSON object.
+    pub fn to_value(&self) -> Value {
+        let col = |v: &[u64]| Value::Arr(v.iter().map(|&n| Value::U64(n)).collect());
+        Value::Obj(vec![
+            ("structure".to_string(), Value::from(self.structure.clone())),
+            ("bits".to_string(), Value::from(self.bits())),
+            ("sdc".to_string(), col(&self.sdc)),
+            ("crash".to_string(), col(&self.crash)),
+            ("masked".to_string(), col(&self.masked)),
+            ("corrected".to_string(), col(&self.corrected)),
+            ("ace".to_string(), col(&self.ace)),
+        ])
+    }
+
+    /// Parses the columnar heatmap JSON object back (the round-trip
+    /// `harpo report` uses when a journal carries `heatmap` records).
+    ///
+    /// # Errors
+    /// A description of the missing or malformed field.
+    pub fn from_value(v: &Value) -> Result<StructureHeatmap, String> {
+        let structure = v
+            .get("structure")
+            .and_then(Value::as_str)
+            .ok_or("heatmap without structure")?
+            .to_string();
+        let col = |key: &str| -> Result<Vec<u64>, String> {
+            v.get(key)
+                .and_then(Value::as_arr)
+                .ok_or(format!("heatmap without {key}"))?
+                .iter()
+                .map(|x| x.as_u64().ok_or(format!("non-integer in {key}")))
+                .collect()
+        };
+        let map = StructureHeatmap {
+            structure,
+            sdc: col("sdc")?,
+            crash: col("crash")?,
+            masked: col("masked")?,
+            corrected: col("corrected")?,
+            ace: col("ace")?,
+        };
+        if map.crash.len() != map.bits()
+            || map.masked.len() != map.bits()
+            || map.corrected.len() != map.bits()
+        {
+            return Err("heatmap columns disagree on width".to_string());
+        }
+        Ok(map)
+    }
+
+    /// Renders as a schema-v3 `heatmap` journal record.
+    pub fn to_record(&self) -> Record {
+        let Value::Obj(fields) = self.to_value() else {
+            unreachable!("to_value renders an object");
+        };
+        let mut r = Record::new("heatmap");
+        for (k, v) in fields {
+            // Keys are the fixed column names; leak-free static strs.
+            let key: &'static str = match k.as_str() {
+                "structure" => "structure",
+                "bits" => "bits",
+                "sdc" => "sdc",
+                "crash" => "crash",
+                "masked" => "masked",
+                "corrected" => "corrected",
+                _ => "ace",
+            };
+            r = r.field(key, v);
+        }
+        r
+    }
+}
+
+/// Aggregates autopsies into one heatmap per structure, in order of
+/// first appearance.
+pub fn heatmaps_of(autopsies: &[FaultAutopsy]) -> Vec<StructureHeatmap> {
+    let mut maps: Vec<StructureHeatmap> = Vec::new();
+    for a in autopsies {
+        let map = match maps.iter_mut().find(|m| m.structure == a.structure) {
+            Some(m) => m,
+            None => {
+                maps.push(StructureHeatmap::new(a.structure, 0));
+                maps.last_mut().expect("just pushed")
+            }
+        };
+        map.record(a.bit as usize, a.outcome);
+    }
+    maps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CorruptKind, LoadFlip, RegFlip};
+
+    fn plan_with_reg_and_load() -> CorruptionPlan {
+        CorruptionPlan {
+            reg_flips: vec![RegFlip {
+                dyn_idx: 9,
+                arch: Gpr::Rax,
+                bit: 3,
+                kind: CorruptKind::Flip,
+            }],
+            load_flips: vec![LoadFlip {
+                dyn_idx: 4,
+                addr: 0x1_0000,
+                bit: 1,
+            }],
+            ..CorruptionPlan::default()
+        }
+    }
+
+    #[test]
+    fn site_picks_earliest_flip() {
+        let plan = plan_with_reg_and_load();
+        assert_eq!(DivergenceSite::of_plan(&plan), DivergenceSite::Memory(0x1_0000));
+        assert_eq!(DivergenceSite::of_plan(&plan).label(), "memory");
+        assert_eq!(DivergenceSite::of_plan(&plan).detail(), "0x10000");
+    }
+
+    #[test]
+    fn site_falls_back_to_end_corruption() {
+        let plan = CorruptionPlan {
+            end_reg_corruption: Some((Gpr::Rbx, 5)),
+            ..CorruptionPlan::default()
+        };
+        let site = DivergenceSite::of_plan(&plan);
+        assert_eq!(site, DivergenceSite::EndRegister(Gpr::Rbx));
+        assert_eq!(site.label(), "end-register");
+        assert_eq!(DivergenceSite::of_plan(&CorruptionPlan::default()), DivergenceSite::None);
+    }
+
+    #[test]
+    fn replayed_transient_mechanisms() {
+        let plan = plan_with_reg_and_load();
+        let stats = ReplayStats {
+            executed_insts: 90,
+            end_dyn: 100,
+            ..ReplayStats::default()
+        };
+        let a = FaultAutopsy::transient("IRF", 3, 17, &plan, FaultOutcome::Sdc, &stats);
+        assert_eq!(a.mechanism, Mechanism::Signature);
+        assert_eq!(a.injected_dyn, 4);
+        assert_eq!(a.propagation_insts, 96);
+        assert_eq!(a.detection_latency, 96);
+
+        let early = ReplayStats {
+            early_exit: true,
+            end_dyn: 40,
+            ..ReplayStats::default()
+        };
+        let a = FaultAutopsy::transient("IRF", 3, 17, &plan, FaultOutcome::Masked, &early);
+        assert_eq!(a.mechanism, Mechanism::Reconverged);
+        assert_eq!(a.propagation_insts, 36);
+        assert_eq!(a.detection_latency, 0, "undetected ⇒ no latency");
+
+        let a = FaultAutopsy::transient("IRF", 3, 17, &plan, FaultOutcome::Masked, &stats);
+        assert_eq!(a.mechanism, Mechanism::Logical);
+    }
+
+    #[test]
+    fn end_corruption_only_plan_diverges_at_the_checker() {
+        let plan = CorruptionPlan {
+            end_corruption: Some((0x2_0000, 7)),
+            ..CorruptionPlan::default()
+        };
+        let stats = ReplayStats {
+            end_dyn: 500,
+            ..ReplayStats::default()
+        };
+        let a = FaultAutopsy::transient("L1D", 63, 9, &plan, FaultOutcome::Sdc, &stats);
+        assert_eq!(a.injected_dyn, 500, "divergence at end of run");
+        assert_eq!(a.propagation_insts, 0);
+        assert_eq!(a.site, DivergenceSite::EndMemory(0x2_0000));
+    }
+
+    #[test]
+    fn autopsy_record_shape() {
+        let a = FaultAutopsy::gate_screened("Integer Adder", 117);
+        let r = a.to_record();
+        assert_eq!(r.kind, "autopsy");
+        assert_eq!(r.get("mechanism").unwrap().as_str(), Some("logical"));
+        assert_eq!(r.get("outcome").unwrap().as_str(), Some("masked"));
+        assert_eq!(r.get("bit").unwrap().as_u64(), Some(117));
+        // The JSONL line parses back with the schema version stamped.
+        let v = harpo_telemetry::json::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(harpo_telemetry::SCHEMA_VERSION));
+    }
+
+    #[test]
+    fn heatmap_tallies_and_round_trips() {
+        let mut m = StructureHeatmap::new("IRF", 4);
+        m.record(0, FaultOutcome::Sdc);
+        m.record(0, FaultOutcome::Masked);
+        m.record(2, FaultOutcome::Masked);
+        m.record(2, FaultOutcome::Masked);
+        m.record(7, FaultOutcome::Crash); // grows to 8 bits
+        assert_eq!(m.bits(), 8);
+        m.set_ace(vec![5; 8]);
+        assert_eq!(m.observed(0), 2);
+        assert_eq!(m.detected(2), 0);
+        // Bit 2 is the blind spot: faulted twice, never detected.
+        assert_eq!(m.never_detected(), vec![(2, 2)]);
+
+        let v = m.to_value();
+        let back = StructureHeatmap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+        // And through actual JSON text, as `harpo report` will read it.
+        let parsed = harpo_telemetry::json::parse(&v.to_json()).unwrap();
+        assert_eq!(StructureHeatmap::from_value(&parsed).unwrap(), m);
+    }
+
+    #[test]
+    fn heatmaps_group_by_structure() {
+        let mut a = FaultAutopsy::transient_fast_path("IRF", 3, 0);
+        a.outcome = FaultOutcome::Masked;
+        let b = FaultAutopsy::gate_screened("Integer Adder", 9);
+        let mut c = FaultAutopsy::transient_fast_path("IRF", 3, 0);
+        c.outcome = FaultOutcome::Sdc;
+        let maps = heatmaps_of(&[a, b, c]);
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].structure, "IRF");
+        assert_eq!(maps[0].sdc[3], 1);
+        assert_eq!(maps[0].masked[3], 1);
+        assert_eq!(maps[1].structure, "Integer Adder");
+        assert_eq!(maps[1].masked[9], 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! the fast-path planners of [`crate::plan`] / the activation screen of
 //! [`crate::gate`] before paying for a functional replay.
 
+use crate::autopsy::FaultAutopsy;
 use crate::fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults};
 use crate::gate::{
     replay_gate_permanent_bounded, screen_fault_spans, screen_faults, ActivationSpan,
@@ -57,6 +58,12 @@ pub struct CampaignConfig {
     /// `tests/equivalence.rs`).
     #[serde(default = "default_checkpoint_interval")]
     pub checkpoint_interval: u64,
+    /// Record a per-fault [`FaultAutopsy`] alongside the aggregate
+    /// tally. Off by default: campaigns in the inner refinement loop pay
+    /// nothing for the instrumentation (the forensic log is never
+    /// allocated), and outcomes are identical either way.
+    #[serde(default)]
+    pub forensics: bool,
 }
 
 /// Serde default so configs serialised before the checkpoint trail
@@ -74,6 +81,7 @@ impl Default for CampaignConfig {
             cap: 50_000_000,
             l1d_protection: L1dProtection::None,
             checkpoint_interval: default_checkpoint_interval(),
+            forensics: false,
         }
     }
 }
@@ -178,7 +186,25 @@ pub fn measure_detection_with_trail(
     trace: &ExecutionTrace,
     trail: Option<&GoldenTrail>,
 ) -> CampaignResult {
+    measure_detection_forensic(prog, structure, core, ccfg, golden, trace, trail).0
+}
+
+/// [`measure_detection_with_trail`] with the forensic log: when
+/// [`CampaignConfig::forensics`] is on, the second element holds one
+/// [`FaultAutopsy`] per injected fault, ordered by fault index (a total
+/// order independent of the thread count). With forensics off it is
+/// empty and the campaign runs exactly as the plain variant.
+pub fn measure_detection_forensic(
+    prog: &Program,
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+    golden: &Signature,
+    trace: &ExecutionTrace,
+    trail: Option<&GoldenTrail>,
+) -> (CampaignResult, Vec<FaultAutopsy>) {
     let cfg = core.config();
+    let label = structure.label();
     let cycles = trace.stats.cycles;
     // Watchdog budget: a corrupted loop bound can make the faulty run
     // diverge; anything beyond a few times the golden length is graded
@@ -189,44 +215,89 @@ pub fn measure_detection_with_trail(
     match structure {
         TargetStructure::Irf => {
             let faults = sample_irf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res, ctx| {
-                let plan = plan_irf(trace, &faults[i]);
+            parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
+                let f = &faults[i];
+                let plan = plan_irf(trace, f);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
+                    if let Some(log) = log {
+                        log.push(FaultAutopsy::transient_fast_path(label, f.bit.into(), f.cycle));
+                    }
                 } else {
                     let (o, stats) =
                         replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
                     res.record_replay_stats(o, &stats);
+                    if let Some(log) = log {
+                        log.push(FaultAutopsy::transient(
+                            label,
+                            f.bit.into(),
+                            f.cycle,
+                            &plan,
+                            o,
+                            &stats,
+                        ));
+                    }
                 }
             })
         }
         TargetStructure::Xrf => {
             let faults = sample_xrf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res, ctx| {
-                let plan = plan_xrf(trace, &faults[i]);
+            parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
+                let f = &faults[i];
+                let plan = plan_xrf(trace, f);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
+                    if let Some(log) = log {
+                        log.push(FaultAutopsy::transient_fast_path(label, f.bit.into(), f.cycle));
+                    }
                 } else {
                     let (o, stats) =
                         replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
                     res.record_replay_stats(o, &stats);
+                    if let Some(log) = log {
+                        log.push(FaultAutopsy::transient(
+                            label,
+                            f.bit.into(),
+                            f.cycle,
+                            &plan,
+                            o,
+                            &stats,
+                        ));
+                    }
                 }
             })
         }
         TargetStructure::L1d => {
             let faults = sample_l1d_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res, ctx| {
-                let plan = plan_l1d(trace, cfg, &faults[i]);
+            parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
+                let f = &faults[i];
+                let plan = plan_l1d(trace, cfg, f);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
+                    if let Some(log) = log {
+                        log.push(FaultAutopsy::transient_fast_path(label, f.bit.into(), f.cycle));
+                    }
                 } else if ccfg.l1d_protection == L1dProtection::Secded {
                     // SECDED corrects the single flipped bit at the first
                     // access — the consumer never sees corrupted data.
                     res.record(FaultOutcome::Corrected, true);
+                    if let Some(log) = log {
+                        log.push(FaultAutopsy::corrected(label, f.bit.into(), f.cycle, &plan));
+                    }
                 } else {
                     let (o, stats) =
                         replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
                     res.record_replay_stats(o, &stats);
+                    if let Some(log) = log {
+                        log.push(FaultAutopsy::transient(
+                            label,
+                            f.bit.into(),
+                            f.cycle,
+                            &plan,
+                            o,
+                            &stats,
+                        ));
+                    }
                 }
             })
         }
@@ -238,11 +309,16 @@ pub fn measure_detection_with_trail(
             // first/last activation span, which bounds the replay; a
             // fault with no span is exactly a never-activated fault, so
             // the fast-path tally is identical either way.
-            let mut result = match trail {
+            let (mut result, autopsies) = match trail {
                 Some(t) => {
                     let spans = screen_spans_all(trace, unit, &faults, ccfg);
-                    parallel_tally(ccfg, faults.len(), |i, res, ctx| match spans[i] {
-                        None => res.record(FaultOutcome::Masked, true),
+                    parallel_tally(ccfg, faults.len(), |i, res, ctx, log| match spans[i] {
+                        None => {
+                            res.record(FaultOutcome::Masked, true);
+                            if let Some(log) = log {
+                                log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
+                            }
+                        }
                         Some(span) => {
                             let (o, stats) = replay_gate_permanent_bounded(
                                 prog,
@@ -253,25 +329,40 @@ pub fn measure_detection_with_trail(
                                 ctx,
                             );
                             res.record_replay_stats(o, &stats);
+                            if let Some(log) = log {
+                                log.push(FaultAutopsy::gate(
+                                    label,
+                                    faults[i].gate,
+                                    Some((span.first_dyn, span.first_cycle)),
+                                    o,
+                                    &stats,
+                                ));
+                            }
                         }
                     })
                 }
                 None => {
                     let activated = screen_all(trace, unit, &faults, ccfg);
-                    parallel_tally(ccfg, faults.len(), |i, res, ctx| {
+                    parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
                         if !activated[i] {
                             res.record(FaultOutcome::Masked, true);
+                            if let Some(log) = log {
+                                log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
+                            }
                         } else {
                             let (o, stats) = replay_gate_permanent_bounded(
                                 prog, faults[i], golden, replay_cap, None, ctx,
                             );
                             res.record_replay_stats(o, &stats);
+                            if let Some(log) = log {
+                                log.push(FaultAutopsy::gate(label, faults[i].gate, None, o, &stats));
+                            }
                         }
                     })
                 }
             };
             result.screened = faults.len() as u64;
-            result
+            (result, autopsies)
         }
     }
 }
@@ -338,34 +429,53 @@ fn screen_chunks<T: Copy + Default + Send>(
 /// recycles the same memory buffer; the strided index distribution is
 /// kept (rather than work stealing) because tallies are merged per
 /// worker and the assignment must stay deterministic.
+///
+/// With [`CampaignConfig::forensics`] on, each worker also keeps a local
+/// autopsy log; `grade` pushes zero or more autopsies per fault, which
+/// are stamped with the fault index and worker id here, merged, and
+/// sorted by fault index so the log is a deterministic function of the
+/// campaign alone. With forensics off the log is `None` end to end.
 fn parallel_tally(
     ccfg: &CampaignConfig,
     n: usize,
-    grade: impl Fn(usize, &mut CampaignResult, &mut ReplayCtx) + Sync,
-) -> CampaignResult {
+    grade: impl Fn(usize, &mut CampaignResult, &mut ReplayCtx, Option<&mut Vec<FaultAutopsy>>) + Sync,
+) -> (CampaignResult, Vec<FaultAutopsy>) {
     let threads = ccfg.effective_threads().min(n.max(1));
+    let forensics = ccfg.forensics;
     let mut total = CampaignResult::default();
+    let mut autopsies = Vec::new();
     std::thread::scope(|s| {
         let grade = &grade;
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 s.spawn(move || {
                     let mut local = CampaignResult::default();
+                    let mut log = forensics.then(Vec::new);
                     let mut ctx = ReplayCtx::new();
                     let mut i = t;
                     while i < n {
-                        grade(i, &mut local, &mut ctx);
+                        let before = log.as_ref().map_or(0, Vec::len);
+                        grade(i, &mut local, &mut ctx, log.as_mut());
+                        if let Some(log) = &mut log {
+                            for a in &mut log[before..] {
+                                a.fault = i as u64;
+                                a.worker = t as u64;
+                            }
+                        }
                         i += threads;
                     }
-                    local
+                    (local, log)
                 })
             })
             .collect();
         for h in handles {
-            total.merge(&h.join().expect("campaign worker"));
+            let (local, log) = h.join().expect("campaign worker");
+            total.merge(&local);
+            autopsies.extend(log.into_iter().flatten());
         }
     });
-    total
+    autopsies.sort_by_key(|a| a.fault);
+    (total, autopsies)
 }
 
 #[cfg(test)]

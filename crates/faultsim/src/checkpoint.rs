@@ -15,7 +15,7 @@
 //!    compared against the trail at every checkpoint boundary. Equal
 //!    registers *and* equal touched memory prove the continuation is
 //!    deterministic and golden, so the replay stops early
-//!    ([`RunEnd::Reconverged`] ⇒ Masked) with the outcome the full run
+//!    (`RunEnd::Reconverged` ⇒ Masked) with the outcome the full run
 //!    would have produced.
 //!
 //! The memory comparison tracks a *divergence frontier*: the set of
@@ -49,6 +49,10 @@ pub struct ReplayStats {
     pub checkpoint_hit: bool,
     /// Whether the replay early-exited on reconvergence.
     pub early_exit: bool,
+    /// Dynamic index at which the replay stopped (halt, trap,
+    /// reconvergence or cap) — forensics measures propagation spans
+    /// against it.
+    pub end_dyn: u64,
 }
 
 /// How a driven replay ended.
@@ -122,6 +126,7 @@ pub(crate) fn drive<F: FuProvider, H: ExecHooks>(
         _ => plain_loop(m, cap, &mut pre_step),
     };
     stats.executed_insts += m.dyn_count() - start_dyn;
+    stats.end_dyn = m.dyn_count();
     if end == RunEnd::Reconverged {
         stats.early_exit = true;
         stats.skipped_insts += trail.expect("reconverged ⇒ trail").end_dyn() - m.dyn_count();

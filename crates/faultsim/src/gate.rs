@@ -118,6 +118,9 @@ pub struct ActivationSpan {
     pub first_dyn: u64,
     /// Dynamic index of the last activating pass.
     pub last_dyn: u64,
+    /// Issue cycle of the first activating pass — the fault's effective
+    /// injection cycle for forensics.
+    pub first_cycle: u64,
 }
 
 /// [`screen_faults`] variant reporting each fault's activation *span*
@@ -142,13 +145,17 @@ pub fn screen_fault_spans(
                 Some(s) => {
                     // FU ops are recorded at issue, so the stream is not
                     // strictly dyn-ordered; track min/max explicitly.
-                    s.first_dyn = s.first_dyn.min(op.dyn_idx);
+                    if op.dyn_idx < s.first_dyn {
+                        s.first_dyn = op.dyn_idx;
+                        s.first_cycle = op.cycle;
+                    }
                     s.last_dyn = s.last_dyn.max(op.dyn_idx);
                 }
                 slot => {
                     *slot = Some(ActivationSpan {
                         first_dyn: op.dyn_idx,
                         last_dyn: op.dyn_idx,
+                        first_cycle: op.cycle,
                     });
                 }
             }

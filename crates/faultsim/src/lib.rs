@@ -21,8 +21,13 @@
 //!   architectural snapshots plus a store-delta log lets every replay
 //!   seek to the fault's first corruption point and early-exit once the
 //!   faulty run provably reconverges with the golden one, with
-//!   bit-identical outcomes.
+//!   bit-identical outcomes;
+//! * opt-in **forensics** ([`autopsy`]): campaigns can additionally
+//!   record a per-fault [`FaultAutopsy`] — divergence site, masking
+//!   mechanism, propagation span, detection latency — aggregated into
+//!   per-structure bit-level [`StructureHeatmap`]s.
 
+pub mod autopsy;
 pub mod campaign;
 pub mod checkpoint;
 pub mod fault;
@@ -31,9 +36,10 @@ pub mod outcome;
 pub mod plan;
 pub mod replay;
 
+pub use autopsy::{heatmaps_of, DivergenceSite, FaultAutopsy, Mechanism, StructureHeatmap};
 pub use campaign::{
-    build_campaign_trail, graded_unit_of, measure_detection, measure_detection_with_golden,
-    measure_detection_with_trail, CampaignConfig, L1dProtection,
+    build_campaign_trail, graded_unit_of, measure_detection, measure_detection_forensic,
+    measure_detection_with_golden, measure_detection_with_trail, CampaignConfig, L1dProtection,
 };
 pub use checkpoint::ReplayStats;
 pub use fault::{

@@ -76,6 +76,16 @@ impl FaultOutcome {
     pub fn detected(self) -> bool {
         !matches!(self, FaultOutcome::Masked | FaultOutcome::Corrected)
     }
+
+    /// Lowercase journal label (`autopsy`/`heatmap` records).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Sdc => "sdc",
+            FaultOutcome::Crash => "crash",
+            FaultOutcome::Corrected => "corrected",
+        }
+    }
 }
 
 impl fmt::Display for FaultOutcome {
@@ -248,6 +258,45 @@ impl fmt::Display for CampaignResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replay_len_merge_is_associative_and_commutative() {
+        // Per-worker tallies merge in whatever order workers finish;
+        // the final distribution must not depend on it.
+        let tally = |lens: &[u64]| {
+            let mut h = ReplayLenHist::default();
+            for &l in lens {
+                h.observe(l);
+            }
+            h
+        };
+        let a = tally(&[0, 1, 7]);
+        let b = tally(&[8, 8, 1 << 40]);
+        let c = tally(&[u64::MAX, 3]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // c ⊕ b ⊕ a (commuted) and the flat tally agree too.
+        let mut commuted = c;
+        commuted.merge(&b);
+        commuted.merge(&a);
+        assert_eq!(commuted, left);
+        assert_eq!(tally(&[0, 1, 7, 8, 8, 1 << 40, u64::MAX, 3]), left);
+
+        // The identity element really is the identity.
+        let mut with_empty = left;
+        with_empty.merge(&ReplayLenHist::default());
+        assert_eq!(with_empty, left);
+    }
 
     #[test]
     fn detection_math() {

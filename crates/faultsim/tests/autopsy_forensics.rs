@@ -1,0 +1,126 @@
+//! Forensics invariants: autopsies are a pure observation layer.
+//!
+//! Turning [`CampaignConfig::forensics`] on must not change any campaign
+//! tally, the log must carry exactly one autopsy per injected fault in a
+//! thread-count-independent order, and the per-structure heatmaps must
+//! re-derive the aggregate outcome counts exactly.
+
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{
+    build_campaign_trail, heatmaps_of, measure_detection_forensic, CampaignConfig, CampaignResult,
+    FaultAutopsy, FaultOutcome, Mechanism,
+};
+use harpo_isa::program::Program;
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_uarch::OooCore;
+
+const STRUCTURES: [TargetStructure; 4] = [
+    TargetStructure::Irf,
+    TargetStructure::Xrf,
+    TargetStructure::L1d,
+    TargetStructure::IntAdder,
+];
+
+fn program() -> Program {
+    let c = GenConstraints {
+        n_insts: 300,
+        allow_sse: true,
+        store_bias: 0.3,
+        ..GenConstraints::default()
+    };
+    Generator::new(c).generate(0xF0E)
+}
+
+fn cfg(threads: usize, forensics: bool) -> CampaignConfig {
+    CampaignConfig {
+        n_faults: 96,
+        seed: 0xDEC0DE,
+        threads,
+        cap: 10_000_000,
+        forensics,
+        ..CampaignConfig::default()
+    }
+}
+
+fn run(
+    prog: &Program,
+    s: TargetStructure,
+    ccfg: &CampaignConfig,
+) -> (CampaignResult, Vec<FaultAutopsy>) {
+    let core = OooCore::default();
+    let sim = core.simulate(prog, ccfg.cap).expect("golden run");
+    let trail = build_campaign_trail(prog, ccfg);
+    let (res, log) = measure_detection_forensic(
+        prog,
+        s,
+        &core,
+        ccfg,
+        &sim.output.signature,
+        &sim.trace,
+        trail.as_ref(),
+    );
+    (res, log)
+}
+
+#[test]
+fn forensics_never_changes_the_tally() {
+    let p = program();
+    for s in STRUCTURES {
+        let (off, log_off) = run(&p, s, &cfg(2, false));
+        let (on, log_on) = run(&p, s, &cfg(2, true));
+        assert_eq!(off, on, "{s}: forensics changed the campaign result");
+        assert!(log_off.is_empty(), "{s}: forensics off must log nothing");
+        assert_eq!(log_on.len(), 96, "{s}: one autopsy per injected fault");
+    }
+}
+
+#[test]
+fn autopsy_log_is_thread_count_independent_modulo_worker() {
+    let p = program();
+    for s in STRUCTURES {
+        let (_, one) = run(&p, s, &cfg(1, true));
+        let (_, three) = run(&p, s, &cfg(3, true));
+        assert_eq!(one.len(), three.len());
+        for (a, b) in one.iter().zip(&three) {
+            let mut b = b.clone();
+            b.worker = a.worker; // the only field tied to the fan-out
+            assert_eq!(*a, b, "{s}: autopsy differs across thread counts");
+        }
+    }
+}
+
+#[test]
+fn autopsies_agree_with_the_tally_and_heatmaps() {
+    let p = program();
+    for s in STRUCTURES {
+        let ccfg = cfg(2, true);
+        let (res, log) = run(&p, s, &ccfg);
+        // Fault indices form exactly 0..n.
+        for (i, a) in log.iter().enumerate() {
+            assert_eq!(a.fault, i as u64);
+            assert_eq!(a.structure, s.label());
+            if a.outcome.detected() {
+                assert_eq!(a.detection_latency, a.propagation_insts);
+                assert!(matches!(a.mechanism, Mechanism::Signature | Mechanism::Trap));
+            } else {
+                assert_eq!(a.detection_latency, 0);
+            }
+        }
+        let count = |o: FaultOutcome| log.iter().filter(|a| a.outcome == o).count() as u64;
+        let maps = heatmaps_of(&log);
+        assert_eq!(maps.len(), 1, "{s}: one structure, one heatmap");
+        let m = &maps[0];
+        assert_eq!(m.structure, s.label());
+        assert_eq!(m.sdc.iter().sum::<u64>(), count(FaultOutcome::Sdc));
+        assert_eq!(m.crash.iter().sum::<u64>(), count(FaultOutcome::Crash));
+        assert_eq!(m.masked.iter().sum::<u64>(), count(FaultOutcome::Masked));
+        // And the heatmap re-derives the campaign's headline tallies.
+        let obs: u64 = (0..m.bits()).map(|b| m.observed(b)).sum();
+        let det: u64 = (0..m.bits()).map(|b| m.detected(b)).sum();
+        assert_eq!(obs, res.injected, "{s}");
+        assert_eq!(det, res.sdc + res.crash, "{s}");
+        assert_eq!(count(FaultOutcome::Sdc), res.sdc, "{s}");
+        assert_eq!(count(FaultOutcome::Masked), res.masked, "{s}");
+        assert_eq!(count(FaultOutcome::Corrected), res.corrected, "{s}");
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`Span`] — RAII **stage timers** that accumulate wall time into a
 //!   `Duration` and/or a histogram, replacing hand-rolled
 //!   `Instant::now()` bookkeeping.
+//! * [`TraceBuilder`] — a **Chrome/Perfetto `trace_event` exporter**:
+//!   stage spans, campaign timelines and per-fault replays rendered as
+//!   a trace file loadable in `ui.perfetto.dev` (see
+//!   [`trace_from_journal`]).
 //! * [`json`] — the hand-rolled JSON writer/parser backing all of the
 //!   above. No third-party dependencies anywhere in this crate, so it
 //!   builds offline and adds nothing to the workspace's dependency set.
@@ -35,12 +39,14 @@ pub mod metrics;
 pub mod record;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use json::Value;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricSnapshot, Metrics, HIST_BUCKETS};
 pub use record::{Record, SCHEMA_VERSION};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink, Telemetry};
 pub use span::Span;
+pub use trace::{trace_from_journal, TraceBuilder, TraceEvent};
 
 /// Resolves a requested worker-thread count: `0` means "all available
 /// cores". The single source of truth for every fan-out in the

@@ -381,6 +381,35 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_a_single_observation_is_that_value() {
+        let h = Histogram::new();
+        h.observe(1000);
+        let s = h.snapshot();
+        // Rank math degenerates to the one observation at every q; the
+        // bucket upper bound (1023) is clamped to the observed max.
+        for q in [0.001, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), 1000, "q={q}");
+        }
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.mean(), 1000.0);
+    }
+
+    #[test]
+    fn top_bucket_saturation_does_not_overflow() {
+        // Values with 64 significant bits land in the last bucket, whose
+        // nominal upper bound (2^64) doesn't fit a u64 — the percentile
+        // walk must saturate at u64::MAX, then clamp to the observed max.
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let h = Histogram::new();
+        h.observe(u64::MAX - 5);
+        h.observe(1 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 2);
+        assert_eq!(s.percentile(0.5), u64::MAX - 5);
+        assert_eq!(s.percentile(1.0), u64::MAX - 5);
+    }
+
+    #[test]
     fn merge_counts_is_equivalent_to_observing() {
         let direct = Histogram::new();
         let mut buckets = [0u64; HIST_BUCKETS];

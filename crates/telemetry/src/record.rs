@@ -10,7 +10,7 @@ use crate::json::{write_string, Value};
 /// a record kind changes meaning or drops a field — additive fields do
 /// not need a bump. The bump protocol is documented in DESIGN.md and
 /// docs/observability.md.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One journal event: a kind tag plus ordered key→value fields.
 ///
@@ -20,7 +20,7 @@ pub const SCHEMA_VERSION: u64 = 2;
 /// ```
 /// use harpo_telemetry::Record;
 /// let r = Record::new("iteration").field("iter", 3u64).field("best", 0.25);
-/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":2,"iter":3,"best":0.25}"#);
+/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":3,"iter":3,"best":0.25}"#);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {

@@ -214,6 +214,31 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        // An interrupted run drops the sink without ever calling
+        // `flush()`; the journal on disk must still hold every line
+        // emitted so far, each parseable.
+        let path = std::env::temp_dir().join(format!(
+            "harpo-telemetry-drop-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for i in 0..32u64 {
+                sink.emit(&Record::new("tick").field("i", i));
+            }
+            // No flush: Drop must do it.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 32);
+        for line in lines {
+            crate::json::parse(line).expect("line parses");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn emission_is_thread_safe() {
         let mem = Arc::new(MemorySink::new());
         let t = Telemetry::to(mem.clone());

@@ -1,0 +1,441 @@
+//! Chrome / Perfetto `trace_event` export.
+//!
+//! Renders journal activity as a trace file loadable in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`: the JSON
+//! object format `{"traceEvents":[...]}` with complete (`"ph":"X"`),
+//! instant (`"ph":"i"`) and metadata (`"ph":"M"`) events. Timestamps
+//! are kept internally in nanoseconds and emitted in microseconds (the
+//! format's unit) as exact `ns/1000` fractions, so building a trace is
+//! deterministic: no clocks are read here.
+//!
+//! Two layers:
+//!
+//! * [`TraceEvent`] / [`TraceBuilder`] — the generic writer, usable by
+//!   any producer that wants to lay events on `(pid, tid)` tracks.
+//! * [`trace_from_journal`] — the offline converter from parsed journal
+//!   records (`iteration`, `campaign`, `autopsy`) to a trace: refine
+//!   stage spans on one process track, campaign timelines and
+//!   individual fault replays (per-worker rows, virtual time in
+//!   dynamic instructions) on others.
+
+use crate::json::{write_string, Value};
+
+/// One `trace_event` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name, shown on the slice.
+    pub name: String,
+    /// Category tag (comma-separated list in the format; we use one).
+    pub cat: String,
+    /// Phase: `'X'` complete, `'i'` instant, `'M'` metadata.
+    pub ph: char,
+    /// Start timestamp in nanoseconds.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (complete events only).
+    pub dur_ns: u64,
+    /// Process track.
+    pub pid: u64,
+    /// Thread track within the process.
+    pub tid: u64,
+    /// Free-form `args` payload shown in the slice details pane.
+    pub args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// A complete (`"ph":"X"`) event spanning `[ts_ns, ts_ns+dur_ns)`.
+    pub fn complete(
+        pid: u64,
+        tid: u64,
+        cat: &str,
+        name: impl Into<String>,
+        ts_ns: u64,
+        dur_ns: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts_ns,
+            dur_ns,
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant (`"ph":"i"`) event at `ts_ns`.
+    pub fn instant(pid: u64, tid: u64, cat: &str, name: impl Into<String>, ts_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.to_string(),
+            ph: 'i',
+            ts_ns,
+            dur_ns: 0,
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends an `args` field (builder style).
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<Value>) -> TraceEvent {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        write_string(out, &self.name);
+        out.push_str(",\"cat\":");
+        write_string(out, &self.cat);
+        out.push_str(",\"ph\":\"");
+        out.push(self.ph);
+        out.push('"');
+        out.push_str(",\"ts\":");
+        write_us(out, self.ts_ns);
+        if self.ph == 'X' {
+            out.push_str(",\"dur\":");
+            write_us(out, self.dur_ns);
+        }
+        out.push_str(&format!(",\"pid\":{},\"tid\":{}", self.pid, self.tid));
+        if self.ph == 'i' {
+            // Instant scope: thread-local marker.
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !self.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                out.push_str(&v.to_json());
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+/// Writes nanoseconds as microseconds: integral when exact, else with
+/// the sub-microsecond remainder as a three-digit fraction.
+fn write_us(out: &mut String, ns: u64) {
+    let us = ns / 1000;
+    let rem = ns % 1000;
+    if rem == 0 {
+        out.push_str(&us.to_string());
+    } else {
+        out.push_str(&format!("{us}.{rem:03}"));
+    }
+}
+
+/// Accumulates [`TraceEvent`]s and serialises the trace file.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Names a process track (metadata event).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(TraceEvent {
+            name: "process_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts_ns: 0,
+            dur_ns: 0,
+            pid,
+            tid: 0,
+            args: vec![("name".to_string(), Value::from(name))],
+        });
+    }
+
+    /// Names a thread track (metadata event).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(TraceEvent {
+            name: "thread_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts_ns: 0,
+            dur_ns: 0,
+            pid,
+            tid,
+            args: vec![("name".to_string(), Value::from(name))],
+        });
+    }
+
+    /// Number of events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The accumulated events, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serialises the whole trace as the JSON object format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(&mut out);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        out
+    }
+}
+
+// Process tracks used by the journal converter.
+const PID_REFINE: u64 = 1;
+const PID_CAMPAIGN: u64 = 2;
+const PID_FAULTS: u64 = 3;
+
+/// Converts parsed journal records into a trace.
+///
+/// * `iteration` records become per-round stage spans (generation →
+///   mutation → compilation → evaluation) laid end-to-end in journal
+///   order on the "refine" process — real wall time.
+/// * `campaign` records become one slice each on the "campaigns"
+///   process, in *virtual time*: 1 replayed dynamic instruction = 1 ns.
+/// * `autopsy` records become per-fault replay slices on the "fault
+///   replays" process, one thread row per campaign worker, again in
+///   virtual dynamic-instruction time; faults with no propagation
+///   window render as instant markers.
+///
+/// Unknown record kinds are skipped, so any journal converts.
+pub fn trace_from_journal(records: &[Value]) -> TraceBuilder {
+    let mut t = TraceBuilder::new();
+    let u = |r: &Value, k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
+
+    let mut refine_clock = 0u64;
+    let mut saw_refine = false;
+    let mut campaign_clock = 0u64;
+    let mut campaigns = 0u64;
+    let mut fault_tids: Vec<u64> = Vec::new();
+
+    for r in records {
+        match r.get("kind").and_then(Value::as_str) {
+            Some("iteration") => {
+                saw_refine = true;
+                let round = u(r, "iter");
+                let start = refine_clock;
+                for stage in ["generation", "mutation", "compilation", "evaluation"] {
+                    let ns = u(r, &format!("{stage}_ns"));
+                    if ns == 0 {
+                        continue;
+                    }
+                    t.push(TraceEvent::complete(
+                        PID_REFINE,
+                        0,
+                        "stage",
+                        stage,
+                        refine_clock,
+                        ns,
+                    ));
+                    refine_clock += ns;
+                }
+                let total = refine_clock - start;
+                if total > 0 {
+                    let best = r.get("best").and_then(Value::as_f64).unwrap_or(0.0);
+                    t.push(
+                        TraceEvent::complete(
+                            PID_REFINE,
+                            1,
+                            "round",
+                            format!("round {round}"),
+                            start,
+                            total,
+                        )
+                        .arg("best", best),
+                    );
+                }
+            }
+            Some("campaign") => {
+                campaigns += 1;
+                let dur = u(r, "replay_insts").max(1);
+                let name = format!(
+                    "{} vs {}",
+                    r.get("structure").and_then(Value::as_str).unwrap_or("?"),
+                    r.get("program").and_then(Value::as_str).unwrap_or("?"),
+                );
+                t.push(
+                    TraceEvent::complete(PID_CAMPAIGN, 0, "campaign", name, campaign_clock, dur)
+                        .arg("faults", u(r, "faults"))
+                        .arg(
+                            "detection",
+                            r.get("detection").and_then(Value::as_f64).unwrap_or(0.0),
+                        )
+                        .arg("sdc", u(r, "sdc"))
+                        .arg("crash", u(r, "crash"))
+                        .arg("masked", u(r, "masked")),
+                );
+                campaign_clock += dur;
+            }
+            Some("autopsy") => {
+                let tid = u(r, "worker");
+                if !fault_tids.contains(&tid) {
+                    fault_tids.push(tid);
+                }
+                let outcome = r.get("outcome").and_then(Value::as_str).unwrap_or("?");
+                let mechanism = r.get("mechanism").and_then(Value::as_str).unwrap_or("?");
+                let name = format!(
+                    "{}#{} {}",
+                    r.get("structure").and_then(Value::as_str).unwrap_or("?"),
+                    u(r, "fault"),
+                    outcome,
+                );
+                // Virtual time: 1 dynamic instruction = 1 ns.
+                let ts = u(r, "injected_dyn");
+                let dur = u(r, "propagation_insts");
+                let e = if dur == 0 {
+                    TraceEvent::instant(PID_FAULTS, tid, "fault", name, ts)
+                } else {
+                    TraceEvent::complete(PID_FAULTS, tid, "fault", name, ts, dur)
+                };
+                t.push(
+                    e.arg("mechanism", mechanism)
+                        .arg("bit", u(r, "bit"))
+                        .arg("detection_latency", u(r, "detection_latency")),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    if saw_refine {
+        t.process_name(PID_REFINE, "harpo refine");
+        t.thread_name(PID_REFINE, 0, "stages");
+        t.thread_name(PID_REFINE, 1, "rounds");
+    }
+    if campaigns > 0 {
+        t.process_name(PID_CAMPAIGN, "campaigns (virtual time: 1 inst = 1ns)");
+        t.thread_name(PID_CAMPAIGN, 0, "campaigns");
+    }
+    if !fault_tids.is_empty() {
+        t.process_name(PID_FAULTS, "fault replays (virtual time: 1 inst = 1ns)");
+        fault_tids.sort_unstable();
+        for tid in fault_tids {
+            t.thread_name(PID_FAULTS, tid, &format!("worker {tid}"));
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    /// The exported file must be valid JSON with the Chrome
+    /// `trace_event` object-format shape: a `traceEvents` array whose
+    /// entries all carry `name`/`ph`/`ts`/`pid`/`tid`, with `dur` on
+    /// every complete event.
+    fn assert_trace_shape(json: &str) -> usize {
+        let v = parse(json).expect("trace is valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents array");
+        for e in events {
+            let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+            assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+            assert!(e.get("name").and_then(Value::as_str).is_some());
+            assert!(e.get("ts").and_then(Value::as_f64).is_some());
+            assert!(e.get("pid").and_then(Value::as_u64).is_some());
+            assert!(e.get("tid").and_then(Value::as_u64).is_some());
+            if ph == "X" {
+                assert!(e.get("dur").and_then(Value::as_f64).is_some(), "X needs dur");
+            }
+        }
+        events.len()
+    }
+
+    #[test]
+    fn builder_emits_valid_trace_event_json() {
+        let mut t = TraceBuilder::new();
+        t.process_name(7, "campaign \"quoted\"");
+        t.thread_name(7, 2, "worker 2");
+        t.push(
+            TraceEvent::complete(7, 2, "fault", "irf#3 sdc", 1500, 2750)
+                .arg("bit", 17u64)
+                .arg("mechanism", "signature"),
+        );
+        t.push(TraceEvent::instant(7, 2, "fault", "irf#4 masked", 9000));
+        let json = t.to_json();
+        assert_eq!(assert_trace_shape(&json), 4);
+        // Sub-microsecond timestamps render as exact fractions.
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":2.750"), "{json}");
+        // Instant events carry a scope, not a duration.
+        assert!(json.contains("\"s\":\"t\""), "{json}");
+    }
+
+    #[test]
+    fn exact_microseconds_render_integral() {
+        let mut t = TraceBuilder::new();
+        t.push(TraceEvent::complete(1, 0, "c", "n", 2_000, 5_000));
+        let json = t.to_json();
+        assert!(json.contains("\"ts\":2,"), "{json}");
+        assert!(json.contains("\"dur\":5,"), "{json}");
+    }
+
+    #[test]
+    fn journal_converter_builds_all_three_tracks() {
+        let lines = [
+            r#"{"kind":"iteration","v":3,"iter":0,"best":0.25,"generation_ns":4000,"mutation_ns":0,"compilation_ns":1000,"evaluation_ns":7000}"#,
+            r#"{"kind":"campaign","v":3,"program":"p0","structure":"irf","faults":64,"detection":0.5,"sdc":8,"crash":24,"masked":32,"replay_insts":4096}"#,
+            r#"{"kind":"autopsy","v":3,"fault":0,"worker":1,"structure":"irf","bit":17,"outcome":"sdc","mechanism":"signature","injected_dyn":100,"propagation_insts":40,"detection_latency":40}"#,
+            r#"{"kind":"autopsy","v":3,"fault":1,"worker":0,"structure":"irf","bit":3,"outcome":"masked","mechanism":"never-activated","injected_dyn":0,"propagation_insts":0,"detection_latency":0}"#,
+            r#"{"kind":"mystery","v":3}"#,
+        ];
+        let records: Vec<Value> = lines.iter().map(|l| parse(l).unwrap()).collect();
+        let t = trace_from_journal(&records);
+        let json = t.to_json();
+        assert_trace_shape(&json);
+        // Stage spans: generation + compilation + evaluation (mutation_ns=0
+        // skipped), plus the round slice.
+        let stages = t
+            .events()
+            .iter()
+            .filter(|e| e.cat == "stage")
+            .collect::<Vec<_>>();
+        assert_eq!(stages.len(), 3);
+        // Stages lay end-to-end.
+        assert_eq!(stages[0].ts_ns, 0);
+        assert_eq!(stages[1].ts_ns, 4000);
+        assert_eq!(stages[2].ts_ns, 5000);
+        assert!(t.events().iter().any(|e| e.cat == "campaign"));
+        // One complete replay slice + one instant (no propagation).
+        assert_eq!(t.events().iter().filter(|e| e.cat == "fault").count(), 2);
+        assert!(t.events().iter().any(|e| e.cat == "fault" && e.ph == 'i'));
+        // Both workers get named thread rows.
+        assert!(json.contains("worker 0") && json.contains("worker 1"), "{json}");
+    }
+
+    #[test]
+    fn empty_journal_converts_to_empty_trace() {
+        let t = trace_from_journal(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_json(), r#"{"traceEvents":[],"displayTimeUnit":"ns"}"#);
+    }
+}

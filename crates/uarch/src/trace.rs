@@ -263,4 +263,66 @@ impl ExecutionTrace {
     pub fn fu_op_count(&self, kind: FuKind) -> usize {
         self.fu_ops_of(kind).count()
     }
+
+    /// The earliest recorded cycle at which dynamic instruction
+    /// `dyn_idx` touched the datapath (an operand read or a graded-unit
+    /// pass), or `None` when the instruction left no timed event. This
+    /// is the forensic cycle stamp: it maps a corruption plan's dynamic
+    /// index back onto the golden run's timeline for autopsy records.
+    pub fn cycle_of_dyn(&self, dyn_idx: u64) -> Option<u64> {
+        let reads = self
+            .reads
+            .iter()
+            .filter(|r| r.dyn_idx == dyn_idx)
+            .map(|r| r.cycle);
+        let fu = self
+            .fu_ops
+            .iter()
+            .filter(|o| o.dyn_idx == dyn_idx)
+            .map(|o| o.cycle);
+        reads.chain(fu).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_of_dyn_takes_the_earliest_timed_event() {
+        let mut t = ExecutionTrace::default();
+        t.reads.push(RegRead {
+            dyn_idx: 4,
+            cycle: 19,
+            propagates: true,
+            obs: [u64::MAX, 0],
+        });
+        t.reads.push(RegRead {
+            dyn_idx: 4,
+            cycle: 17,
+            propagates: false,
+            obs: [u64::MAX, 0],
+        });
+        t.fu_ops.push(FuOp {
+            dyn_idx: 4,
+            cycle: 21,
+            kind: FuKind::IntAdd,
+            a: 1,
+            b: 2,
+            cin: false,
+        });
+        t.fu_ops.push(FuOp {
+            dyn_idx: 9,
+            cycle: 30,
+            kind: FuKind::IntAdd,
+            a: 3,
+            b: 4,
+            cin: false,
+        });
+        // Out-of-order issue: the cycle-wise first event wins, whether
+        // it is a read or a unit pass.
+        assert_eq!(t.cycle_of_dyn(4), Some(17));
+        assert_eq!(t.cycle_of_dyn(9), Some(30));
+        assert_eq!(t.cycle_of_dyn(5), None);
+    }
 }
