@@ -33,17 +33,26 @@
 //! recorder. Both sides of that ratio are paired interleaved minima
 //! (see [`paired_min_ns`]); CI's bench job gates the single-thread key
 //! at 5% so the default (forensics-off) path stays free.
+//!
+//! The schema-v4 live-telemetry monitor gets the same treatment: the
+//! bit-array suite is timed through the streaming entry point with a
+//! journal sink on a 10 ms cadence versus the default path
+//! (`campaign_streaming_t1_ns`, `campaign_streaming_off_speedup_t1`),
+//! and CI gates the on/off ratio at 2% so the streaming-off hot path
+//! stays allocation-free.
 
 use harpo_bench::{Cli, Harness};
 use harpo_coverage::TargetStructure;
 use harpo_faultsim::{
-    build_campaign_trail, measure_detection_with_trail, CampaignConfig, CampaignResult,
+    build_campaign_trail, measure_detection_streamed, measure_detection_with_trail, CampaignConfig,
+    CampaignResult, StreamSettings,
 };
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
 use harpo_museqgen::{GenConstraints, Generator};
-use harpo_telemetry::Value;
+use harpo_telemetry::{JsonlSink, Telemetry, Value};
 use harpo_uarch::{ExecutionTrace, OooCore};
+use std::sync::Arc;
 use std::time::Instant;
 
 const BIT_ARRAYS: [TargetStructure; 3] = [
@@ -83,6 +92,38 @@ fn run_campaigns(
                 &w.trace,
                 trail.as_ref(),
             ));
+        }
+    }
+    total
+}
+
+/// Like [`run_campaigns`], but through the live-telemetry entry point
+/// with the given journal sink — the streaming-on side of the gated
+/// streaming on/off ratio.
+fn run_campaigns_streamed(
+    workloads: &[Workload],
+    structures: &[TargetStructure],
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+    telemetry: &Telemetry,
+) -> CampaignResult {
+    let mut total = CampaignResult::default();
+    for w in workloads {
+        let trail = build_campaign_trail(&w.prog, ccfg);
+        for &structure in structures {
+            total.merge(
+                &measure_detection_streamed(
+                    &w.prog,
+                    structure,
+                    core,
+                    ccfg,
+                    &w.golden,
+                    &w.trace,
+                    trail.as_ref(),
+                    telemetry,
+                )
+                .0,
+            );
         }
     }
     total
@@ -253,6 +294,60 @@ fn main() {
                 results.push((format!("campaign_forensics_t{threads}_ns"), fo_ns.into()));
                 results.push((
                     format!("campaign_forensics_off_speedup_t{threads}"),
+                    off_speedup.into(),
+                ));
+            }
+            // Streaming cost on the reference suite, single-thread only
+            // (the scheduler-noise-free configuration): the same
+            // campaign through the live-telemetry entry point with a
+            // journal sink on a 10 ms cadence, versus the default
+            // (streaming-off) path. `on / off` staying near its
+            // baseline means the off hot path stayed allocation-free —
+            // it did not silently absorb monitor bookkeeping.
+            if suite == "bit_array" && threads == 1 {
+                let journal = std::env::temp_dir()
+                    .join(format!("harpo-bench-stream-{}.jsonl", std::process::id()));
+                let stream_ccfg = CampaignConfig {
+                    stream: StreamSettings {
+                        cadence_ms: 10,
+                        ..StreamSettings::default()
+                    },
+                    ..ccfg_of(threads, default_interval)
+                };
+                let (on_ns, off_ns, on_r, _) = paired_min_ns(
+                    9,
+                    || {
+                        let sink = JsonlSink::create(&journal).expect("stream journal");
+                        run_campaigns_streamed(
+                            &workloads,
+                            structures,
+                            &core,
+                            &stream_ccfg,
+                            &Telemetry::to(Arc::new(sink)),
+                        )
+                    },
+                    || {
+                        run_campaigns(
+                            &workloads,
+                            structures,
+                            &core,
+                            &ccfg_of(threads, default_interval),
+                        )
+                    },
+                );
+                std::fs::remove_file(&journal).ok();
+                assert_eq!(
+                    outcome_tallies(&ck_r),
+                    outcome_tallies(&on_r),
+                    "streaming changed campaign outcomes at {threads} threads"
+                );
+                let off_speedup = on_ns as f64 / off_ns.max(1) as f64;
+                println!(
+                    "streaming   {threads:>8} {on_ns:>15} {off_ns:>15} {off_speedup:>8.2}x (on/off)"
+                );
+                results.push((format!("campaign_streaming_t{threads}_ns"), on_ns.into()));
+                results.push((
+                    format!("campaign_streaming_off_speedup_t{threads}"),
                     off_speedup.into(),
                 ));
             }

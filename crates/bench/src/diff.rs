@@ -233,7 +233,10 @@ mod tests {
         assert!(lines[0].contains("(-50.0%"), "{lines:?}");
         assert!(lines[1].starts_with("simulate_into_speedup:"), "{lines:?}");
         assert!(lines[1].contains("(-50.0%"), "{lines:?}");
-        assert!(lines.iter().all(|l| l.contains("allowed -10%")), "{lines:?}");
+        assert!(
+            lines.iter().all(|l| l.contains("allowed -10%")),
+            "{lines:?}"
+        );
         // The healthy key is not listed.
         assert!(!lines.iter().any(|l| l.contains("_t1")), "{lines:?}");
 

@@ -3,7 +3,9 @@
 use crate::args::Args;
 use harpo_core::{presets, Evaluator, Harpocrates, Scale};
 use harpo_coverage::TargetStructure;
-use harpo_faultsim::{measure_detection_with_golden, CampaignConfig};
+use harpo_faultsim::{
+    build_campaign_trail, measure_detection_streamed, CampaignConfig, StreamSettings,
+};
 use harpo_isa::form::Catalog;
 use harpo_isa::program::Program;
 use harpo_isa::{from_container, to_container};
@@ -19,16 +21,17 @@ pub fn usage() {
 
 USAGE:
   harpo refine   --structure <s> [--scale reduced|paper] [--out test.hxpf] [--threads N]
-                 [--journal run.jsonl] [--quiet] [--verbose]
+                 [--journal run.jsonl] [--stream-every N] [--quiet] [--verbose]
   harpo generate --insts <n> [--seed <n>] [--out test.hxpf]
-  harpo grade    --structure <s> [--faults N] [--journal run.jsonl] [--quiet] [--verbose]
-                 <test.hxpf>
+  harpo grade    --structure <s> [--faults N] [--journal run.jsonl] [--stream-ms N]
+                 [--budget-ms N] [--quiet] [--verbose] <test.hxpf>
   harpo autopsy  --structure <s> [--faults N] [--seed N] [--journal run.jsonl]
                  [--heatmap heatmap.json] [--trace trace.json] [--quiet] [--verbose]
                  <test.hxpf>
   harpo simulate <test.hxpf>
   harpo disasm   [--limit N] <test.hxpf>
   harpo report   <run.jsonl | BENCH_*.json>... [--out REPORT.md] [--trace trace.json]
+  harpo watch    <run.jsonl> [--interval-ms 500] [--once] [--json]
   harpo info
 
 STRUCTURES: irf, l1d, int-adder, int-mul, fp-adder, fp-mul
@@ -45,6 +48,14 @@ OBSERVABILITY:
                     self-contained Markdown report, fully offline
   --trace <path>    export journal records as a Chrome/Perfetto
                     trace_event file (open in ui.perfetto.dev)
+  --stream-ms N     grade: emit live progress/heartbeat records to the
+                    journal every N ms (schema v4; 0 = off, the default)
+  --budget-ms N     grade: stop the campaign gracefully at a unit
+                    boundary after N ms, journalling a resumable cursor
+  --stream-every N  refine: journal progress/resource records every N
+                    rounds plus evaluator heartbeats (0 = off)
+  harpo watch       tail a live journal: progress bar, ETA, outcome
+                    counts, per-worker heartbeats, stall alerts
   --verbose         mirror journal records to stderr, human-readable
   --quiet           suppress progress output on stdout"
     );
@@ -101,7 +112,8 @@ pub fn refine(argv: &[String]) -> Result<(), String> {
         Evaluator::new(OooCore::default(), structure),
         loop_cfg,
     )
-    .with_telemetry(telemetry);
+    .with_telemetry(telemetry)
+    .with_streaming(args.num("stream-every", 0)?);
     let report = h.run();
     if !quiet {
         for s in &report.samples {
@@ -158,6 +170,11 @@ pub fn grade(argv: &[String]) -> Result<(), String> {
     let ccfg = CampaignConfig {
         n_faults: args.num("faults", 128)?,
         threads: args.num("threads", 0)?,
+        stream: StreamSettings {
+            cadence_ms: args.num("stream-ms", 0)?,
+            wall_budget_ms: args.num("budget-ms", 0)?,
+            ..StreamSettings::default()
+        },
         ..CampaignConfig::default()
     };
     let core = OooCore::default();
@@ -165,13 +182,16 @@ pub fn grade(argv: &[String]) -> Result<(), String> {
         .simulate(&prog, ccfg.cap)
         .map_err(|t| format!("golden run trapped: {t}"))?;
     let coverage = structure.coverage(&sim.trace, core.config());
-    let result = measure_detection_with_golden(
+    let trail = build_campaign_trail(&prog, &ccfg);
+    let (result, _) = measure_detection_streamed(
         &prog,
         structure,
         &core,
         &ccfg,
         &sim.output.signature,
         &sim.trace,
+        trail.as_ref(),
+        &telemetry,
     );
     telemetry.emit(|| {
         let metrics = Metrics::new();

@@ -9,3 +9,4 @@ pub mod args;
 pub mod autopsy;
 pub mod commands;
 pub mod report;
+pub mod watch;

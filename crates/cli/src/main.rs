@@ -10,6 +10,7 @@
 //! harpo simulate t.hxpf
 //! harpo disasm   t.hxpf [--limit 40]
 //! harpo report   run.jsonl [BENCH_pipeline.json ...] [--out REPORT.md] [--trace trace.json]
+//! harpo watch    run.jsonl [--interval-ms 500] [--once] [--json]
 //! harpo info
 //! ```
 
@@ -17,6 +18,7 @@ mod args;
 mod autopsy;
 mod commands;
 mod report;
+mod watch;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +35,7 @@ fn main() {
         "simulate" => commands::simulate(&argv),
         "disasm" => commands::disasm(&argv),
         "report" => report::report(&argv),
+        "watch" => watch::watch(&argv),
         "info" => commands::info(&argv),
         "help" | "--help" | "-h" => {
             commands::usage();

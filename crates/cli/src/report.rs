@@ -134,6 +134,10 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     let campaigns = of("campaign");
     let autopsies = of("autopsy");
     let heatmaps = of("heatmap");
+    let progress = of("progress");
+    let beats = of("heartbeat");
+    let stalls = of("stall");
+    let cursors = of("cursor");
 
     if let Some(s) = summaries.first() {
         render_summary(out, s);
@@ -154,11 +158,18 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     if !autopsies.is_empty() || !heatmaps.is_empty() {
         render_forensics(out, &autopsies, &heatmaps);
     }
+    if !progress.is_empty() || !beats.is_empty() || !stalls.is_empty() || !cursors.is_empty() {
+        render_liveness(out, &progress, &beats, &stalls, &cursors);
+    }
     if summaries.is_empty()
         && iterations.is_empty()
         && campaigns.is_empty()
         && autopsies.is_empty()
         && heatmaps.is_empty()
+        && progress.is_empty()
+        && beats.is_empty()
+        && stalls.is_empty()
+        && cursors.is_empty()
     {
         let _ = writeln!(
             out,
@@ -508,7 +519,9 @@ fn render_forensics(out: &mut String, autopsies: &[&Value], heatmaps: &[&Value])
             continue;
         }
         if !blind_header {
-            out.push_str("| structure | bit | faults (0 detected) | ACE bit-cycles |\n|---|---|---|---|\n");
+            out.push_str(
+                "| structure | bit | faults (0 detected) | ACE bit-cycles |\n|---|---|---|---|\n",
+            );
             blind_header = true;
         }
         for &(bit, faults) in blind.iter().take(MAX_BLIND_BITS) {
@@ -528,6 +541,116 @@ fn render_forensics(out: &mut String, autopsies: &[&Value], heatmaps: &[&Value])
         out.push('\n');
     } else if !heatmaps.is_empty() {
         out.push_str("No never-detected bits — every faulted bit was detected at least once.\n\n");
+    }
+}
+
+/// Run liveness: what the schema-v4 streaming records (`progress`,
+/// `heartbeat`, `stall`, `cursor`) say about how the run behaved while
+/// it was alive — time to first SDC, worker utilization, stalls the
+/// watchdog flagged, and the resume cursor if a wall-clock budget cut
+/// the run short.
+fn render_liveness(
+    out: &mut String,
+    progress: &[&Value],
+    beats: &[&Value],
+    stalls: &[&Value],
+    cursors: &[&Value],
+) {
+    out.push_str("### Run liveness\n\n");
+    if let Some(last) = progress.last() {
+        out.push_str("| quantity | value |\n|---|---|\n");
+        let _ = writeln!(
+            out,
+            "| units graded | {} / {} |",
+            u(last.get("done")),
+            u(last.get("total"))
+        );
+        if let Some(rate) = last.get("units_per_sec").and_then(Value::as_f64) {
+            let _ = writeln!(out, "| live throughput | {rate:.1} units/s |");
+        }
+        let _ = writeln!(
+            out,
+            "| streamed wall clock | {} |",
+            fmt_ns(u(last.get("elapsed_ns")))
+        );
+        let first_sdc = progress.iter().find(|p| u(p.get("sdc")) > 0);
+        match first_sdc {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    "| time to first SDC | {} (≤ {} units in) |",
+                    fmt_ns(u(p.get("elapsed_ns"))),
+                    u(p.get("done"))
+                );
+            }
+            None => {
+                let _ = writeln!(out, "| time to first SDC | never (no SDC observed) |");
+            }
+        }
+        let _ = writeln!(out, "| progress ticks | {} |", progress.len());
+        out.push('\n');
+    }
+
+    // Worker utilization from the latest heartbeat per (source, worker):
+    // how evenly the fault units spread across the pool.
+    let mut latest: std::collections::BTreeMap<(String, u64), u64> =
+        std::collections::BTreeMap::new();
+    for b in beats {
+        let key = (
+            b.get("source")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            u(b.get("worker")),
+        );
+        latest.insert(key, u(b.get("units")));
+    }
+    if !latest.is_empty() {
+        let total: u64 = latest.values().sum();
+        out.push_str("Worker utilization (from final heartbeats):\n\n");
+        out.push_str("| worker | units graded | share |\n|---|---|---|\n");
+        for ((source, worker), units) in &latest {
+            let share = if total == 0 {
+                0.0
+            } else {
+                *units as f64 / total as f64
+            };
+            let _ = writeln!(out, "| {source} w{worker} | {units} | {} |", fmt_pct(share));
+        }
+        out.push('\n');
+    }
+
+    if stalls.is_empty() {
+        out.push_str("No stalls observed.\n\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "**{} stall(s) flagged by the watchdog:**\n",
+            stalls.len()
+        );
+        for st in stalls {
+            let _ = writeln!(
+                out,
+                "- worker {} silent {} ms at fault {} ({} · `{}`)",
+                u(st.get("worker")),
+                u(st.get("silent_ms")),
+                u(st.get("fault")),
+                st.get("structure").and_then(Value::as_str).unwrap_or("?"),
+                st.get("program").and_then(Value::as_str).unwrap_or("?"),
+            );
+        }
+        out.push('\n');
+    }
+
+    for c in cursors {
+        let _ = writeln!(
+            out,
+            "Budget-stopped at {} / {} units — resumable cursor journalled \
+             (stride {}).\n",
+            u(c.get("completed")),
+            u(c.get("total")),
+            u(c.get("stride")),
+        );
     }
 }
 

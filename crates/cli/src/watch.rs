@@ -1,0 +1,418 @@
+//! `harpo watch` — live follower for an actively-written run journal.
+//!
+//! Tails a JSONL journal (schema v4) while a campaign or refinement run
+//! is writing it and renders a single-screen live view: phase, progress
+//! bar, ETA, per-outcome fault counts, per-worker heartbeats, stall
+//! alerts and the resume cursor. Std-only, like the rest of the CLI:
+//! the follower keeps one open file handle, reads whatever bytes have
+//! been appended since the last poll, and only ever consumes complete
+//! lines — a torn final line (the writer mid-`write`) simply waits in
+//! the buffer for the next poll.
+//!
+//! `--once` renders a single snapshot and exits (scriptable);
+//! `--json` emits the snapshot as one JSON object per poll instead of
+//! the ANSI screen, for piping into other tools.
+
+use crate::args::Args;
+use harpo_telemetry::json::{self, Value};
+use harpo_telemetry::SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Read as _;
+
+/// `harpo watch` entry point.
+pub fn watch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse_with_switches(argv, &["once", "json"])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("watch needs a <run.jsonl> argument")?;
+    let interval_ms: u64 = args.num("interval-ms", 500)?;
+    let once = args.has("once");
+    let json_mode = args.has("json");
+
+    let mut follower = Follower::new(path);
+    let mut state = WatchState::default();
+    loop {
+        for line in follower.poll() {
+            state.ingest(&line)?;
+        }
+        if json_mode {
+            println!("{}", state.to_json().to_json());
+        } else {
+            // Redraw in place on live polls; plain print for --once.
+            if !once {
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", state.render(path));
+        }
+        if once || state.finished {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// Incremental reader over a journal that another process is appending
+/// to. Tolerates the file not existing yet (the writer may not have
+/// created it), mid-record EOF and torn final lines: only complete
+/// (newline-terminated) lines are ever handed out, and partial bytes
+/// wait in the buffer for the writer's next flush.
+pub struct Follower {
+    path: String,
+    file: Option<File>,
+    tail: Vec<u8>,
+}
+
+impl Follower {
+    /// A follower positioned at the start of `path`.
+    pub fn new(path: &str) -> Follower {
+        Follower {
+            path: path.to_string(),
+            file: None,
+            tail: Vec::new(),
+        }
+    }
+
+    /// Reads everything appended since the last poll and returns the
+    /// complete lines. An absent or unreadable file yields nothing.
+    pub fn poll(&mut self) -> Vec<String> {
+        if self.file.is_none() {
+            self.file = File::open(&self.path).ok();
+        }
+        let Some(f) = self.file.as_mut() else {
+            return Vec::new();
+        };
+        // The handle keeps its offset between polls, so this reads only
+        // the newly appended bytes.
+        let mut chunk = Vec::new();
+        if f.read_to_end(&mut chunk).is_err() {
+            return Vec::new();
+        }
+        self.tail.extend_from_slice(&chunk);
+        let mut lines = Vec::new();
+        while let Some(nl) = self.tail.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.tail.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if !line.trim().is_empty() {
+                lines.push(line);
+            }
+        }
+        lines
+    }
+}
+
+/// The live view folded from the journal so far. Raw records are kept
+/// for the interesting kinds so the JSON snapshot is faithful to what
+/// the writer emitted.
+#[derive(Default)]
+pub struct WatchState {
+    /// Records ingested so far.
+    pub records: u64,
+    /// Complete-but-unparsable lines skipped (interior corruption).
+    pub skipped: u64,
+    /// Latest `progress` record.
+    pub progress: Option<Value>,
+    /// Latest `heartbeat` per (source, worker).
+    pub workers: BTreeMap<(String, u64), Value>,
+    /// Every `stall` record seen, in order.
+    pub stalls: Vec<Value>,
+    /// The resume `cursor`, if the run was budget-stopped.
+    pub cursor: Option<Value>,
+    /// Latest `iteration` record (refinement runs).
+    pub iteration: Option<Value>,
+    /// A terminal record (`summary` / `campaign`) has been seen.
+    pub finished: bool,
+}
+
+fn u(v: Option<&Value>) -> u64 {
+    v.and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn f(v: Option<&Value>) -> f64 {
+    v.and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn s<'a>(v: Option<&'a Value>, default: &'a str) -> &'a str {
+    v.and_then(Value::as_str).unwrap_or(default)
+}
+
+impl WatchState {
+    /// Folds one complete journal line into the view. An unparsable
+    /// line is counted and skipped (a crashed writer can leave interior
+    /// corruption); a record from a *newer* schema than this build
+    /// reads is a hard error, same contract as `harpo report`.
+    pub fn ingest(&mut self, line: &str) -> Result<(), String> {
+        let Ok(v) = json::parse(line) else {
+            self.skipped += 1;
+            return Ok(());
+        };
+        let ver = v.get("v").and_then(Value::as_u64).unwrap_or(1);
+        if ver > SCHEMA_VERSION {
+            return Err(format!(
+                "journal schema v{ver} is newer than this build reads (v{SCHEMA_VERSION}); \
+                 upgrade harpo to watch it"
+            ));
+        }
+        self.records += 1;
+        match v.get("kind").and_then(Value::as_str) {
+            Some("progress") => self.progress = Some(v),
+            Some("heartbeat") => {
+                let key = (s(v.get("source"), "?").to_string(), u(v.get("worker")));
+                self.workers.insert(key, v);
+            }
+            Some("stall") => self.stalls.push(v),
+            Some("cursor") => self.cursor = Some(v),
+            Some("iteration") => self.iteration = Some(v),
+            Some("summary") | Some("campaign") => self.finished = true,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The snapshot as one JSON object (the `--json` output).
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("records".into(), Value::U64(self.records)),
+            ("skipped".into(), Value::U64(self.skipped)),
+            ("finished".into(), Value::Bool(self.finished)),
+        ];
+        if let Some(p) = &self.progress {
+            fields.push(("progress".into(), p.clone()));
+            if let Some(eta) = p.get("eta_ns") {
+                fields.push(("eta_ns".into(), eta.clone()));
+            }
+            fields.push(("done".into(), Value::U64(u(p.get("done")))));
+            fields.push(("total".into(), Value::U64(u(p.get("total")))));
+        }
+        fields.push((
+            "workers".into(),
+            Value::Arr(self.workers.values().cloned().collect()),
+        ));
+        fields.push(("stalls".into(), Value::Arr(self.stalls.clone())));
+        if let Some(c) = &self.cursor {
+            fields.push(("cursor".into(), c.clone()));
+        }
+        if let Some(i) = &self.iteration {
+            fields.push(("iteration".into(), i.clone()));
+        }
+        Value::Obj(fields)
+    }
+
+    /// The single-screen human view.
+    pub fn render(&self, path: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "harpo watch — {path} ({} records{})",
+            self.records,
+            if self.skipped > 0 {
+                format!(", {} unreadable skipped", self.skipped)
+            } else {
+                String::new()
+            }
+        );
+        if let Some(p) = &self.progress {
+            let source = s(p.get("source"), "?");
+            let structure = s(p.get("structure"), "");
+            let program = s(p.get("program"), "");
+            let mut phase = format!("phase: {source}");
+            if !structure.is_empty() {
+                let _ = write!(phase, " · {structure}");
+            }
+            if !program.is_empty() {
+                let _ = write!(phase, " · `{program}`");
+            }
+            let _ = writeln!(out, "{phase}");
+            let done = u(p.get("done"));
+            let total = u(p.get("total"));
+            let _ = writeln!(out, "{}", bar(done, total));
+            let mut line = String::new();
+            if p.get("units_per_sec").is_some() {
+                let _ = write!(line, "rate {:.1}/s", f(p.get("units_per_sec")));
+            }
+            if let Some(eta) = p.get("eta_ns").and_then(Value::as_u64) {
+                let _ = write!(line, "  ETA {}", fmt_secs(eta));
+            }
+            if !line.is_empty() {
+                let _ = writeln!(out, "{line}");
+            }
+            if p.get("sdc").is_some() {
+                let _ = writeln!(
+                    out,
+                    "outcomes: sdc {} · crash {} · masked {} · corrected {}",
+                    u(p.get("sdc")),
+                    u(p.get("crash")),
+                    u(p.get("masked")),
+                    u(p.get("corrected")),
+                );
+            }
+        } else {
+            let _ = writeln!(out, "waiting for progress records...");
+        }
+        if let Some(i) = &self.iteration {
+            let _ = writeln!(
+                out,
+                "round {}: best {:.4} champion {:.4}",
+                u(i.get("iter")),
+                f(i.get("best")),
+                f(i.get("champion")),
+            );
+        }
+        if !self.workers.is_empty() {
+            let _ = writeln!(out, "workers:");
+            for ((source, w), b) in &self.workers {
+                let _ = writeln!(
+                    out,
+                    "  {source} w{w}  unit {:>6}  done {:>6}  rss {}",
+                    u(b.get("last_unit")),
+                    u(b.get("units")),
+                    fmt_bytes(u(b.get("rss_bytes"))),
+                );
+            }
+        }
+        for st in &self.stalls {
+            let _ = writeln!(
+                out,
+                "STALL: worker {} silent {} ms at fault {} ({} · `{}`)",
+                u(st.get("worker")),
+                u(st.get("silent_ms")),
+                u(st.get("fault")),
+                s(st.get("structure"), "?"),
+                s(st.get("program"), "?"),
+            );
+        }
+        if let Some(c) = &self.cursor {
+            let _ = writeln!(
+                out,
+                "cursor: budget-stopped at {}/{} — resumable",
+                u(c.get("completed")),
+                u(c.get("total")),
+            );
+        }
+        if self.finished {
+            let _ = writeln!(out, "run finished.");
+        }
+        out
+    }
+}
+
+/// A fixed-width progress bar: `[#####....]  12/96 (12.5%)`.
+fn bar(done: u64, total: u64) -> String {
+    const WIDTH: u64 = 24;
+    let filled = (done.min(total) * WIDTH).checked_div(total).unwrap_or(0);
+    let pct = if total == 0 {
+        0.0
+    } else {
+        done as f64 * 100.0 / total as f64
+    };
+    format!(
+        "[{}{}]  {done}/{total} ({pct:.1}%)",
+        "#".repeat(filled as usize),
+        ".".repeat((WIDTH - filled) as usize),
+    )
+}
+
+fn fmt_secs(ns: u64) -> String {
+    format!("{:.1}s", ns as f64 / 1e9)
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("harpo-watch-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn follower_holds_back_torn_lines_until_complete() {
+        let path = tmp("torn.jsonl");
+        let mut w = std::fs::File::create(&path).unwrap();
+        w.write_all(b"{\"kind\":\"progress\",\"v\":4,\"done\":1}\n{\"kind\":\"pro")
+            .unwrap();
+        w.flush().unwrap();
+
+        let mut fo = Follower::new(path.to_str().unwrap());
+        assert_eq!(fo.poll().len(), 1, "only the complete line");
+        assert_eq!(fo.poll().len(), 0, "torn tail not re-delivered");
+
+        // The writer finishes the record: the buffered half joins up.
+        w.write_all(b"gress\",\"v\":4,\"done\":2}\n").unwrap();
+        w.flush().unwrap();
+        let lines = fo.poll();
+        assert_eq!(lines.len(), 1);
+        let v = json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("done").and_then(Value::as_u64), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn follower_tolerates_a_missing_file_then_catches_up() {
+        let path = tmp("late.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut fo = Follower::new(path.to_str().unwrap());
+        assert!(fo.poll().is_empty(), "no file yet");
+        std::fs::write(&path, "{\"kind\":\"progress\",\"v\":4}\n").unwrap();
+        assert_eq!(fo.poll().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_folds_progress_beats_and_stalls() {
+        let mut st = WatchState::default();
+        st.ingest(r#"{"kind":"progress","v":4,"source":"campaign","structure":"IRF","program":"t0","done":3,"total":8,"sdc":1,"crash":0,"masked":2,"corrected":0,"eta_ns":5000000000,"units_per_sec":1.5}"#).unwrap();
+        st.ingest(r#"{"kind":"heartbeat","v":4,"source":"campaign","worker":0,"last_unit":2,"units":2,"rss_bytes":2097152}"#).unwrap();
+        st.ingest(r#"{"kind":"heartbeat","v":4,"source":"campaign","worker":1,"last_unit":3,"units":1,"rss_bytes":2097152}"#).unwrap();
+        st.ingest(r#"{"kind":"heartbeat","v":4,"source":"campaign","worker":1,"last_unit":5,"units":2,"rss_bytes":2097152}"#).unwrap();
+        st.ingest(r#"{"kind":"stall","v":4,"worker":1,"fault":5,"structure":"IRF","program":"t0","silent_ms":900}"#).unwrap();
+        st.ingest("complete garbage line").unwrap();
+
+        assert_eq!(st.records, 5);
+        assert_eq!(st.skipped, 1);
+        assert_eq!(st.workers.len(), 2, "latest beat per worker");
+        assert!(!st.finished);
+
+        let j = st.to_json();
+        assert_eq!(j.get("done").and_then(Value::as_u64), Some(3));
+        assert_eq!(j.get("total").and_then(Value::as_u64), Some(8));
+        assert_eq!(j.get("eta_ns").and_then(Value::as_u64), Some(5_000_000_000));
+        assert_eq!(j.get("workers").and_then(Value::as_arr).unwrap().len(), 2);
+        assert_eq!(j.get("stalls").and_then(Value::as_arr).unwrap().len(), 1);
+
+        let screen = st.render("run.jsonl");
+        assert!(screen.contains("3/8 (37.5%)"), "{screen}");
+        assert!(screen.contains("ETA 5.0s"), "{screen}");
+        assert!(screen.contains("STALL: worker 1 silent 900 ms at fault 5"));
+        assert!(screen.contains("campaign w1"));
+
+        st.ingest(r#"{"kind":"campaign","v":4,"detection":0.5}"#)
+            .unwrap();
+        assert!(st.finished);
+    }
+
+    #[test]
+    fn newer_schema_is_rejected() {
+        let mut st = WatchState::default();
+        let line = format!(r#"{{"kind":"progress","v":{}}}"#, SCHEMA_VERSION + 1);
+        let err = st.ingest(&line).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn bar_renders_bounds() {
+        assert_eq!(bar(0, 0), "[........................]  0/0 (0.0%)");
+        assert!(bar(96, 96).starts_with("[########################]"));
+        assert!(bar(48, 96).contains("48/96 (50.0%)"));
+    }
+}

@@ -78,7 +78,10 @@ fn autopsy_journal_renders_the_forensics_section() {
     let md = render(&[("autopsy.jsonl".to_string(), journal.clone())]).expect("journal renders");
     assert!(md.contains("### Fault-injection campaigns"), "{md}");
     assert!(md.contains("### Fault forensics"), "{md}");
-    assert!(md.contains("| masking mechanism | faults | share |"), "{md}");
+    assert!(
+        md.contains("| masking mechanism | faults | share |"),
+        "{md}"
+    );
 
     // Every heatmap record in the live stream round-trips through the
     // report's parser into an equal heatmap.
@@ -94,5 +97,8 @@ fn autopsy_journal_renders_the_forensics_section() {
         assert_eq!(map, again);
         assert_eq!(map.structure, TargetStructure::Irf.label());
     }
-    assert!(saw_heatmap, "campaign emitted no heatmap record:\n{journal}");
+    assert!(
+        saw_heatmap,
+        "campaign emitted no heatmap record:\n{journal}"
+    );
 }

@@ -44,6 +44,42 @@ fn golden_report_is_byte_identical() {
     );
 }
 
+/// The streaming (schema v4) liveness section pins the same way: a
+/// hand-written budget-stopped campaign journal with heartbeats, a
+/// stall and a resume cursor. Regenerate with:
+///
+/// ```text
+/// cargo run -p harpo-cli --bin harpo -- report tests/data/golden_stream.jsonl \
+///     --out tests/data/golden_stream_report.md
+/// ```
+#[test]
+fn golden_stream_report_is_byte_identical() {
+    let inputs = [(
+        "tests/data/golden_stream.jsonl".to_string(),
+        repo_file("tests/data/golden_stream.jsonl"),
+    )];
+    let rendered = render(&inputs).expect("golden stream journal renders");
+    let committed = repo_file("tests/data/golden_stream_report.md");
+    assert_eq!(
+        rendered, committed,
+        "liveness report drifted from tests/data/golden_stream_report.md — \
+         if the change is intentional, regenerate the golden file \
+         (see this test's docs)"
+    );
+    for needle in [
+        "### Run liveness",
+        "time to first SDC",
+        "Worker utilization",
+        "stall(s) flagged by the watchdog",
+        "resumable cursor",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "liveness lost {needle}:\n{rendered}"
+        );
+    }
+}
+
 #[test]
 fn golden_journal_has_the_flagship_sections() {
     let md = render(&[(

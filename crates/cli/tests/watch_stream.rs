@@ -1,0 +1,182 @@
+//! Reader-vs-writer contract for `harpo watch`.
+//!
+//! A live journal is written by another thread (or process) while the
+//! watcher reads it, so the follower must cope with every partial state
+//! an appending writer can leave behind: a torn final line, EOF in the
+//! middle of a record, and the file growing between polls. The second
+//! test drives the shipped binary end to end: `harpo watch --once
+//! --json` pointed at a journal a real streamed campaign is writing
+//! must report progress, an ETA and per-worker heartbeats.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use harpo_cli::watch::{Follower, WatchState};
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{
+    build_campaign_trail, measure_detection_streamed, CampaignConfig, StreamSettings,
+};
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_telemetry::json::{self, Value};
+use harpo_telemetry::{JsonlSink, Telemetry};
+use harpo_uarch::OooCore;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("harpo-watchstream-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn follower_keeps_up_with_a_writer_that_tears_every_line() {
+    const N: u64 = 200;
+    let path = tmp("torn.jsonl");
+    std::fs::remove_file(&path).ok();
+    let writer_path = path.clone();
+
+    // The writer splits every record at an awkward byte offset and
+    // flushes both halves separately, so the reader sees a mid-record
+    // EOF on essentially every poll.
+    let writer = std::thread::spawn(move || {
+        let mut f = std::fs::File::create(&writer_path).unwrap();
+        for i in 0..N {
+            let line = format!(
+                "{{\"kind\":\"progress\",\"v\":4,\"source\":\"campaign\",\"done\":{},\"total\":{N}}}\n",
+                i + 1
+            );
+            let split = (line.len() / 2).max(1);
+            f.write_all(&line.as_bytes()[..split]).unwrap();
+            f.flush().unwrap();
+            if i % 16 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            f.write_all(&line.as_bytes()[split..]).unwrap();
+            f.flush().unwrap();
+        }
+    });
+
+    let mut follower = Follower::new(path.to_str().unwrap());
+    let mut state = WatchState::default();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while state.records < N {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reader saw only {}/{N} records",
+            state.records
+        );
+        for line in follower.poll() {
+            state.ingest(&line).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    writer.join().unwrap();
+
+    // Every record arrived intact: torn halves were joined, never
+    // misparsed, and the latest snapshot is the writer's last word.
+    assert_eq!(state.records, N);
+    assert_eq!(state.skipped, 0, "a torn line was parsed as garbage");
+    let p = state.progress.as_ref().unwrap();
+    assert_eq!(p.get("done").and_then(Value::as_u64), Some(N));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn watch_once_json_reports_a_mid_run_campaign() {
+    let path = tmp("live.jsonl");
+    std::fs::remove_file(&path).ok();
+    let journal = path.to_str().unwrap().to_string();
+
+    // A real streamed campaign in the background: big enough that the
+    // wall-clock budget, not the fault list, ends it.
+    let sink_path = journal.clone();
+    let campaign = std::thread::spawn(move || {
+        let prog = Generator::new(GenConstraints {
+            n_insts: 300,
+            ..GenConstraints::default()
+        })
+        .generate(7);
+        let core = OooCore::default();
+        let ccfg = CampaignConfig {
+            n_faults: 500_000,
+            seed: 0xBEA7,
+            threads: 2,
+            cap: 10_000_000,
+            stream: StreamSettings {
+                cadence_ms: 2,
+                wall_budget_ms: 150,
+                ..StreamSettings::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let sim = core.simulate(&prog, ccfg.cap).expect("golden run");
+        let trail = build_campaign_trail(&prog, &ccfg);
+        let sink = JsonlSink::create(&sink_path).expect("create journal");
+        measure_detection_streamed(
+            &prog,
+            TargetStructure::Irf,
+            &core,
+            &ccfg,
+            &sim.output.signature,
+            &sim.trace,
+            trail.as_ref(),
+            &Telemetry::to(Arc::new(sink)),
+        )
+        .0
+    });
+
+    // Snapshot the journal with the shipped binary while (or just
+    // after) the campaign writes it. Streaming records are flushed as
+    // they are emitted, so a snapshot within a couple of cadences of
+    // the first tick sees live progress.
+    let harpo = env!("CARGO_BIN_EXE_harpo");
+    let mut snapshot = None;
+    for _ in 0..200 {
+        std::thread::sleep(Duration::from_millis(10));
+        let out = std::process::Command::new(harpo)
+            .args(["watch", &journal, "--once", "--json"])
+            .output()
+            .expect("run harpo watch");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).expect("utf8 json");
+        let v = json::parse(text.trim()).expect("watch --json emits one JSON object");
+        let workers = v
+            .get("workers")
+            .and_then(Value::as_arr)
+            .map_or(0, |a| a.len());
+        if v.get("done").is_some() && v.get("eta_ns").is_some() && workers == 2 {
+            snapshot = Some(v);
+            break;
+        }
+    }
+    let result = campaign.join().unwrap();
+    let v = snapshot.expect("watch --once --json never reported progress + ETA + 2 workers");
+
+    // The snapshot carries everything a dashboard needs.
+    assert!(v.get("done").and_then(Value::as_u64).unwrap() > 0);
+    assert_eq!(v.get("total").and_then(Value::as_u64), Some(500_000));
+    assert!(v.get("eta_ns").and_then(Value::as_u64).is_some());
+    for w in v.get("workers").and_then(Value::as_arr).unwrap() {
+        assert_eq!(w.get("kind").and_then(Value::as_str), Some("heartbeat"));
+        assert!(w.get("worker").and_then(Value::as_u64).unwrap() < 2);
+        assert!(w.get("rss_bytes").and_then(Value::as_u64).unwrap() > 0);
+    }
+
+    // The budget cut the campaign short, so a final snapshot also shows
+    // the resumable cursor the journal closed with.
+    assert!(result.injected < 500_000, "budget failed to stop the run");
+    let out = std::process::Command::new(harpo)
+        .args(["watch", &journal, "--once", "--json"])
+        .output()
+        .expect("run harpo watch");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let v = json::parse(text.trim()).unwrap();
+    let cursor = v.get("cursor").expect("cursor after a budget stop");
+    assert_eq!(
+        cursor.get("completed").and_then(Value::as_u64),
+        Some(result.injected)
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -24,7 +24,7 @@ use crate::evaluator::{Evaluator, RoundStats};
 use crate::memo::fingerprint;
 use harpo_isa::program::Program;
 use harpo_museqgen::{Generator, MutationOp, Mutator};
-use harpo_telemetry::{Counter, Metrics, Record, Span, Telemetry, Value};
+use harpo_telemetry::{rss_bytes, Counter, EwmaRate, Metrics, Record, Span, Telemetry, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
@@ -171,6 +171,7 @@ pub struct Harpocrates {
     telemetry: Telemetry,
     operators: Vec<MutationOp>,
     memo_enabled: bool,
+    stream_every: usize,
 }
 
 impl Harpocrates {
@@ -189,6 +190,7 @@ impl Harpocrates {
             telemetry: Telemetry::off(),
             operators: vec![MutationOp::ReplaceAll],
             memo_enabled: true,
+            stream_every: 0,
         }
     }
 
@@ -196,7 +198,33 @@ impl Harpocrates {
     /// round and a `summary` record at the end.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Harpocrates {
         self.telemetry = telemetry;
+        self.rewire_stream();
         self
+    }
+
+    /// Enables live streaming telemetry (schema v4): every `every`
+    /// rounds the loop journals a `progress` record (rounds done/total,
+    /// EWMA ETA) and a `resource` record (memo-cache hit-rate delta,
+    /// work-stealing delta, RSS), and the evaluator's workers emit
+    /// per-batch `heartbeat` records. `0` (the default) disables
+    /// streaming; the search trajectory is bit-identical either way.
+    /// Composes with [`Harpocrates::with_telemetry`] in either order.
+    pub fn with_streaming(mut self, every: usize) -> Harpocrates {
+        self.stream_every = every;
+        self.rewire_stream();
+        self
+    }
+
+    /// Points the evaluator's heartbeat stream at the journal when
+    /// streaming is on (and detaches it when off), so the builder calls
+    /// compose in any order.
+    fn rewire_stream(&mut self) {
+        let stream = if self.stream_every > 0 {
+            self.telemetry.clone()
+        } else {
+            Telemetry::off()
+        };
+        self.evaluator = self.evaluator.clone().with_stream(stream);
     }
 
     /// Replaces the mutation-operator set. Offspring slots cycle through
@@ -339,6 +367,19 @@ impl Harpocrates {
         let mut parent_scores: HashMap<u128, f64> = HashMap::new();
         let mut op_totals: BTreeMap<String, OpRound> = BTreeMap::new();
 
+        // Live streaming (schema v4): round-granularity `progress` and
+        // `resource` records every `stream_every` rounds. Counter
+        // handles are resolved once here; when streaming is off the
+        // loop below pays a single boolean test per round.
+        let streaming = self.stream_every > 0 && self.telemetry.enabled();
+        let steal_counter = metrics.counter("evaluator.steals");
+        let mut stream_rate = EwmaRate::default();
+        let mut last_done = 0u64;
+        let mut last_elapsed_ns = 0u64;
+        let mut last_hits = 0u64;
+        let mut last_misses = 0u64;
+        let mut last_steals = 0u64;
+
         for iter in 0..=self.cfg.iterations {
             // Step 1: evaluate the new offspring (through the memo when
             // enabled; the cached score of a repeat program is
@@ -426,6 +467,55 @@ impl Harpocrates {
                     .field("evaluation_ns", eval_spent.as_nanos() as u64)
             });
             pending_generation = Duration::ZERO;
+
+            if streaming && iter % self.stream_every == 0 {
+                let elapsed_ns = t_total.elapsed().as_nanos() as u64;
+                // Rounds, counting the bootstrap round 0: the natural
+                // unit of the refine loop's ETA.
+                let done = (iter + 1) as u64;
+                let total = (self.cfg.iterations + 1) as u64;
+                stream_rate.observe(done - last_done, elapsed_ns - last_elapsed_ns);
+                let champion = survivors[0].0;
+                let evaluated = timing.programs_evaluated;
+                self.telemetry.emit(|| {
+                    let mut r = Record::new("progress")
+                        .field("source", "refine")
+                        .field("done", done)
+                        .field("total", total)
+                        .field("champion", champion)
+                        .field("evaluated", evaluated)
+                        .field("elapsed_ns", elapsed_ns);
+                    if let Some(unit_ns) = stream_rate.unit_ns() {
+                        r = r.field("units_per_sec", 1e9 / unit_ns as f64);
+                    }
+                    if let Some(eta) = stream_rate.eta_ns(total - done) {
+                        r = r.field("eta_ns", eta);
+                    }
+                    r
+                });
+                let hits = cache_hits.get();
+                let misses = cache_misses.get();
+                let steals = steal_counter.get();
+                let (dh, dm, ds) = (hits - last_hits, misses - last_misses, steals - last_steals);
+                self.telemetry.emit(|| {
+                    let mut r = Record::new("resource")
+                        .field("source", "refine")
+                        .field("cache_hits_delta", dh)
+                        .field("cache_misses_delta", dm)
+                        .field("steals_delta", ds)
+                        .field("rss_bytes", rss_bytes())
+                        .field("elapsed_ns", elapsed_ns);
+                    if dh + dm > 0 {
+                        r = r.field("hit_rate", dh as f64 / (dh + dm) as f64);
+                    }
+                    r
+                });
+                last_done = done;
+                last_elapsed_ns = elapsed_ns;
+                last_hits = hits;
+                last_misses = misses;
+                last_steals = steals;
+            }
 
             // One `lineage` record per operator active this round, and
             // run-total accumulation for the final efficacy ranking.
@@ -779,6 +869,64 @@ mod tests {
             h.metrics().counter("evaluator.programs").get(),
             misses_after_first * 2
         );
+    }
+
+    #[test]
+    fn streaming_emits_progress_resource_and_heartbeats() {
+        use harpo_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new());
+        // Builder order must not matter: streaming before telemetry.
+        let r = tiny_harpocrates(TargetStructure::IntAdder, 4)
+            .with_streaming(2)
+            .with_telemetry(Telemetry::to(mem.clone()))
+            .run();
+
+        // Rounds 0, 2, 4 of 0..=4 each stream one progress + resource.
+        let progress = mem.records_of("progress");
+        assert_eq!(progress.len(), 3);
+        let last = progress.last().unwrap();
+        assert_eq!(last.get("source").unwrap().as_str(), Some("refine"));
+        assert_eq!(last.get("done").unwrap().as_u64(), Some(5));
+        assert_eq!(last.get("total").unwrap().as_u64(), Some(5));
+        assert!(last.get("units_per_sec").is_some());
+        assert_eq!(last.get("eta_ns").unwrap().as_u64(), Some(0));
+        assert!(last.get("champion").unwrap().as_f64().unwrap() > 0.0);
+
+        let resources = mem.records_of("resource");
+        assert_eq!(resources.len(), 3);
+        for res in &resources {
+            assert_eq!(res.get("source").unwrap().as_str(), Some("refine"));
+            assert!(res.get("rss_bytes").unwrap().as_u64().unwrap() > 0);
+            let hit_rate = res.get("hit_rate").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&hit_rate));
+        }
+        // 5 rounds × 2 worker threads, one heartbeat per worker batch.
+        let beats = mem.records_of("heartbeat");
+        assert!(!beats.is_empty());
+        for b in &beats {
+            assert_eq!(b.get("source").unwrap().as_str(), Some("evaluator"));
+            assert!(b.get("worker").unwrap().as_u64().unwrap() < 2);
+        }
+
+        // Streaming is observability only: the search is unchanged.
+        let plain = tiny_loop(TargetStructure::IntAdder, 4);
+        assert_eq!(plain.champion_coverage, r.champion_coverage);
+        assert_eq!(plain.champion.insts, r.champion.insts);
+    }
+
+    #[test]
+    fn streaming_off_emits_no_streaming_records() {
+        use harpo_telemetry::{is_streaming_kind, MemorySink};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new());
+        tiny_harpocrates(TargetStructure::IntAdder, 3)
+            .with_telemetry(Telemetry::to(mem.clone()))
+            .run();
+        assert!(!mem.records().is_empty());
+        assert!(mem.records().iter().all(|r| !is_streaming_kind(r.kind)));
     }
 
     #[test]

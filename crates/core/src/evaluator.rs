@@ -16,7 +16,9 @@ use harpo_coverage::TargetStructure;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
 use harpo_isa::trail::GoldenTrail;
-use harpo_telemetry::{effective_threads, Counter, Histogram, Metrics};
+use harpo_telemetry::{
+    effective_threads, rss_bytes, Counter, Histogram, Metrics, Record, Telemetry,
+};
 use harpo_uarch::{ExecutionTrace, OooCore, SimContext};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,6 +74,9 @@ pub struct Evaluator {
     /// Pool of warm simulation contexts, checked out per worker thread so
     /// consecutive rounds keep their allocations (clones share the pool).
     contexts: Arc<Mutex<Vec<SimContext>>>,
+    /// Live-telemetry journal for per-worker `heartbeat` records
+    /// (schema v4). Off by default; see [`Evaluator::with_stream`].
+    stream: Telemetry,
 }
 
 impl Evaluator {
@@ -95,7 +100,18 @@ impl Evaluator {
             uarch_stalls: metrics.counter("uarch.dispatch_stalls"),
             metrics,
             contexts: Arc::new(Mutex::new(Vec::new())),
+            stream: Telemetry::off(),
         }
+    }
+
+    /// Attaches a live-telemetry journal: each evaluation worker emits
+    /// one `heartbeat` record (worker index, programs graded, last
+    /// claimed index, RSS) at the end of every population batch. With
+    /// the default ([`Telemetry::off`]) the hot path emits nothing and
+    /// allocates nothing.
+    pub fn with_stream(mut self, stream: Telemetry) -> Evaluator {
+        self.stream = stream;
+        self
     }
 
     /// Rebinds the evaluator to a shared metrics registry.
@@ -243,16 +259,18 @@ impl Evaluator {
         std::thread::scope(|s| {
             let cursor = &cursor;
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|t| {
                     let this = &*self;
                     s.spawn(move || {
                         let mut ctx = this.checkout();
                         let mut local: Vec<(usize, f64)> = Vec::new();
+                        let mut last_claimed = 0usize;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= progs.len() {
                                 break;
                             }
+                            last_claimed = i;
                             local.push((i, this.score_with(progs[i], &mut ctx)));
                         }
                         this.checkin(ctx);
@@ -260,6 +278,14 @@ impl Evaluator {
                         if local.len() as u64 > fair_share {
                             this.steals.add(local.len() as u64 - fair_share);
                         }
+                        this.stream.emit(|| {
+                            Record::new("heartbeat")
+                                .field("source", "evaluator")
+                                .field("worker", t as u64)
+                                .field("units", local.len() as u64)
+                                .field("last_unit", last_claimed as u64)
+                                .field("rss_bytes", rss_bytes())
+                        });
                         local
                     })
                 })

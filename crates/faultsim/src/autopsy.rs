@@ -128,7 +128,7 @@ impl DivergenceSite {
     pub fn of_plan(plan: &CorruptionPlan) -> DivergenceSite {
         let mut best: Option<(u64, DivergenceSite)> = None;
         let mut consider = |dyn_idx: u64, site: DivergenceSite| {
-            if best.map_or(true, |(d, _)| dyn_idx < d) {
+            if best.is_none_or(|(d, _)| dyn_idx < d) {
                 best = Some((dyn_idx, site));
             }
         };
@@ -528,7 +528,10 @@ mod tests {
     #[test]
     fn site_picks_earliest_flip() {
         let plan = plan_with_reg_and_load();
-        assert_eq!(DivergenceSite::of_plan(&plan), DivergenceSite::Memory(0x1_0000));
+        assert_eq!(
+            DivergenceSite::of_plan(&plan),
+            DivergenceSite::Memory(0x1_0000)
+        );
         assert_eq!(DivergenceSite::of_plan(&plan).label(), "memory");
         assert_eq!(DivergenceSite::of_plan(&plan).detail(), "0x10000");
     }
@@ -542,7 +545,10 @@ mod tests {
         let site = DivergenceSite::of_plan(&plan);
         assert_eq!(site, DivergenceSite::EndRegister(Gpr::Rbx));
         assert_eq!(site.label(), "end-register");
-        assert_eq!(DivergenceSite::of_plan(&CorruptionPlan::default()), DivergenceSite::None);
+        assert_eq!(
+            DivergenceSite::of_plan(&CorruptionPlan::default()),
+            DivergenceSite::None
+        );
     }
 
     #[test]
@@ -599,7 +605,10 @@ mod tests {
         assert_eq!(r.get("bit").unwrap().as_u64(), Some(117));
         // The JSONL line parses back with the schema version stamped.
         let v = harpo_telemetry::json::parse(&r.to_json()).unwrap();
-        assert_eq!(v.get("v").unwrap().as_u64(), Some(harpo_telemetry::SCHEMA_VERSION));
+        assert_eq!(
+            v.get("v").unwrap().as_u64(),
+            Some(harpo_telemetry::SCHEMA_VERSION)
+        );
     }
 
     #[test]

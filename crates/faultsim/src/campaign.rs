@@ -15,12 +15,14 @@ use crate::gate::{
 use crate::outcome::{CampaignResult, FaultOutcome};
 use crate::plan::{plan_irf, plan_l1d, plan_xrf};
 use crate::replay::{replay_with_plan_bounded, ReplayCtx};
+use crate::stream::{CampaignStream, StreamSettings};
 use harpo_coverage::TargetStructure;
 use harpo_gates::{GateFault, GradedUnit, UnitEvaluators};
 use harpo_isa::exec::Trap;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
 use harpo_isa::trail::GoldenTrail;
+use harpo_telemetry::Telemetry;
 use harpo_uarch::{ExecutionTrace, OooCore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +66,13 @@ pub struct CampaignConfig {
     /// allocated), and outcomes are identical either way.
     #[serde(default)]
     pub forensics: bool,
+    /// Live streaming-telemetry knobs ([`StreamSettings`]): monitor
+    /// cadence, stall watchdog, wall-clock budget. Off by default
+    /// (`cadence_ms == 0`); when off — or when no telemetry sink is
+    /// attached — the grading hot path pays a single branch per fault
+    /// unit and allocates nothing.
+    #[serde(default)]
+    pub stream: StreamSettings,
 }
 
 /// Serde default so configs serialised before the checkpoint trail
@@ -82,6 +91,7 @@ impl Default for CampaignConfig {
             l1d_protection: L1dProtection::None,
             checkpoint_interval: default_checkpoint_interval(),
             forensics: false,
+            stream: StreamSettings::default(),
         }
     }
 }
@@ -203,8 +213,56 @@ pub fn measure_detection_forensic(
     trace: &ExecutionTrace,
     trail: Option<&GoldenTrail>,
 ) -> (CampaignResult, Vec<FaultAutopsy>) {
+    measure_detection_streamed(
+        prog,
+        structure,
+        core,
+        ccfg,
+        golden,
+        trace,
+        trail,
+        &Telemetry::off(),
+    )
+}
+
+/// Live-telemetry campaign context shared by every worker of one
+/// [`parallel_tally`]: where to journal, and which (structure, program)
+/// the streaming records should name.
+#[derive(Clone, Copy)]
+struct LiveCampaign<'a> {
+    telemetry: &'a Telemetry,
+    structure: &'static str,
+    program: &'a str,
+}
+
+/// [`measure_detection_forensic`] with live streaming telemetry: when
+/// [`CampaignConfig::stream`] asks for a cadence *and* `telemetry` has a
+/// sink, a monitor thread journals schema-v4 `progress` and per-worker
+/// `heartbeat` records while the campaign runs, the watchdog journals a
+/// `stall` naming the exact (structure, program, fault) unit of any
+/// worker silent for [`StreamSettings::stall_beats`] cadences, and the
+/// wall-clock budget (if set) stops workers at the next unit boundary
+/// with a resumable `cursor` record. With streaming off (either knob)
+/// the campaign is bit-identical to [`measure_detection_forensic`] and
+/// the hot path pays one branch per fault unit.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_detection_streamed(
+    prog: &Program,
+    structure: TargetStructure,
+    core: &OooCore,
+    ccfg: &CampaignConfig,
+    golden: &Signature,
+    trace: &ExecutionTrace,
+    trail: Option<&GoldenTrail>,
+    telemetry: &Telemetry,
+) -> (CampaignResult, Vec<FaultAutopsy>) {
     let cfg = core.config();
     let label = structure.label();
+    let live = LiveCampaign {
+        telemetry,
+        structure: label,
+        program: prog.name.as_str(),
+    };
     let cycles = trace.stats.cycles;
     // Watchdog budget: a corrupted loop bound can make the faulty run
     // diverge; anything beyond a few times the golden length is graded
@@ -215,13 +273,17 @@ pub fn measure_detection_forensic(
     match structure {
         TargetStructure::Irf => {
             let faults = sample_irf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
+            parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
                 let f = &faults[i];
                 let plan = plan_irf(trace, f);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                     if let Some(log) = log {
-                        log.push(FaultAutopsy::transient_fast_path(label, f.bit.into(), f.cycle));
+                        log.push(FaultAutopsy::transient_fast_path(
+                            label,
+                            f.bit.into(),
+                            f.cycle,
+                        ));
                     }
                 } else {
                     let (o, stats) =
@@ -242,13 +304,17 @@ pub fn measure_detection_forensic(
         }
         TargetStructure::Xrf => {
             let faults = sample_xrf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
+            parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
                 let f = &faults[i];
                 let plan = plan_xrf(trace, f);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                     if let Some(log) = log {
-                        log.push(FaultAutopsy::transient_fast_path(label, f.bit.into(), f.cycle));
+                        log.push(FaultAutopsy::transient_fast_path(
+                            label,
+                            f.bit.into(),
+                            f.cycle,
+                        ));
                     }
                 } else {
                     let (o, stats) =
@@ -269,13 +335,17 @@ pub fn measure_detection_forensic(
         }
         TargetStructure::L1d => {
             let faults = sample_l1d_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
+            parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
                 let f = &faults[i];
                 let plan = plan_l1d(trace, cfg, f);
                 if plan.is_empty() {
                     res.record(FaultOutcome::Masked, true);
                     if let Some(log) = log {
-                        log.push(FaultAutopsy::transient_fast_path(label, f.bit.into(), f.cycle));
+                        log.push(FaultAutopsy::transient_fast_path(
+                            label,
+                            f.bit.into(),
+                            f.cycle,
+                        ));
                     }
                 } else if ccfg.l1d_protection == L1dProtection::Secded {
                     // SECDED corrects the single flipped bit at the first
@@ -312,38 +382,40 @@ pub fn measure_detection_forensic(
             let (mut result, autopsies) = match trail {
                 Some(t) => {
                     let spans = screen_spans_all(trace, unit, &faults, ccfg);
-                    parallel_tally(ccfg, faults.len(), |i, res, ctx, log| match spans[i] {
-                        None => {
-                            res.record(FaultOutcome::Masked, true);
-                            if let Some(log) = log {
-                                log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
+                    parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+                        match spans[i] {
+                            None => {
+                                res.record(FaultOutcome::Masked, true);
+                                if let Some(log) = log {
+                                    log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
+                                }
                             }
-                        }
-                        Some(span) => {
-                            let (o, stats) = replay_gate_permanent_bounded(
-                                prog,
-                                faults[i],
-                                golden,
-                                replay_cap,
-                                Some((t, span)),
-                                ctx,
-                            );
-                            res.record_replay_stats(o, &stats);
-                            if let Some(log) = log {
-                                log.push(FaultAutopsy::gate(
-                                    label,
-                                    faults[i].gate,
-                                    Some((span.first_dyn, span.first_cycle)),
-                                    o,
-                                    &stats,
-                                ));
+                            Some(span) => {
+                                let (o, stats) = replay_gate_permanent_bounded(
+                                    prog,
+                                    faults[i],
+                                    golden,
+                                    replay_cap,
+                                    Some((t, span)),
+                                    ctx,
+                                );
+                                res.record_replay_stats(o, &stats);
+                                if let Some(log) = log {
+                                    log.push(FaultAutopsy::gate(
+                                        label,
+                                        faults[i].gate,
+                                        Some((span.first_dyn, span.first_cycle)),
+                                        o,
+                                        &stats,
+                                    ));
+                                }
                             }
                         }
                     })
                 }
                 None => {
                     let activated = screen_all(trace, unit, &faults, ccfg);
-                    parallel_tally(ccfg, faults.len(), |i, res, ctx, log| {
+                    parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
                         if !activated[i] {
                             res.record(FaultOutcome::Masked, true);
                             if let Some(log) = log {
@@ -355,7 +427,13 @@ pub fn measure_detection_forensic(
                             );
                             res.record_replay_stats(o, &stats);
                             if let Some(log) = log {
-                                log.push(FaultAutopsy::gate(label, faults[i].gate, None, o, &stats));
+                                log.push(FaultAutopsy::gate(
+                                    label,
+                                    faults[i].gate,
+                                    None,
+                                    o,
+                                    &stats,
+                                ));
                             }
                         }
                     })
@@ -435,17 +513,36 @@ fn screen_chunks<T: Copy + Default + Send>(
 /// are stamped with the fault index and worker id here, merged, and
 /// sorted by fault index so the log is a deterministic function of the
 /// campaign alone. With forensics off the log is `None` end to end.
+///
+/// With [`CampaignConfig::stream`] enabled (and a telemetry sink in
+/// `live`), a [`CampaignStream`] is shared with the workers — each
+/// stamps its atomic slot around every unit and checks the budget stop
+/// flag at unit boundaries — and a monitor thread journals the live
+/// records until the last worker finishes.
 fn parallel_tally(
     ccfg: &CampaignConfig,
+    live: LiveCampaign<'_>,
     n: usize,
     grade: impl Fn(usize, &mut CampaignResult, &mut ReplayCtx, Option<&mut Vec<FaultAutopsy>>) + Sync,
 ) -> (CampaignResult, Vec<FaultAutopsy>) {
     let threads = ccfg.effective_threads().min(n.max(1));
     let forensics = ccfg.forensics;
+    let stream = (ccfg.stream.enabled() && live.telemetry.enabled()).then(|| {
+        CampaignStream::new(
+            live.telemetry.clone(),
+            ccfg.stream,
+            live.structure,
+            live.program,
+            n,
+            threads,
+        )
+    });
+    let monitor = stream.as_ref().map(CampaignStream::monitor);
     let mut total = CampaignResult::default();
     let mut autopsies = Vec::new();
     std::thread::scope(|s| {
         let grade = &grade;
+        let stream = &stream;
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 s.spawn(move || {
@@ -454,6 +551,14 @@ fn parallel_tally(
                     let mut ctx = ReplayCtx::new();
                     let mut i = t;
                     while i < n {
+                        if let Some(stream) = stream {
+                            // Budget stops land on unit boundaries only,
+                            // so every lane's tally is a strided prefix.
+                            if stream.should_stop() {
+                                break;
+                            }
+                            stream.begin_unit(t, i);
+                        }
                         let before = log.as_ref().map_or(0, Vec::len);
                         grade(i, &mut local, &mut ctx, log.as_mut());
                         if let Some(log) = &mut log {
@@ -462,7 +567,13 @@ fn parallel_tally(
                                 a.worker = t as u64;
                             }
                         }
+                        if let Some(stream) = stream {
+                            stream.finish_unit(t, &local);
+                        }
                         i += threads;
+                    }
+                    if let Some(stream) = stream {
+                        stream.finish_worker(t, i, i >= n);
                     }
                     (local, log)
                 })
@@ -474,6 +585,9 @@ fn parallel_tally(
             autopsies.extend(log.into_iter().flatten());
         }
     });
+    if let Some(monitor) = monitor {
+        monitor.finish();
+    }
     autopsies.sort_by_key(|a| a.fault);
     (total, autopsies)
 }

@@ -22,6 +22,10 @@
 //!   seek to the fault's first corruption point and early-exit once the
 //!   faulty run provably reconverges with the golden one, with
 //!   bit-identical outcomes;
+//! * opt-in **live telemetry** ([`stream`]): a monitor thread journals
+//!   schema-v4 `progress`/`heartbeat` records on a cadence, a watchdog
+//!   flags stalled workers, and a wall-clock budget stops gracefully at
+//!   a unit boundary with a resumable `cursor`;
 //! * opt-in **forensics** ([`autopsy`]): campaigns can additionally
 //!   record a per-fault [`FaultAutopsy`] — divergence site, masking
 //!   mechanism, propagation span, detection latency — aggregated into
@@ -35,11 +39,13 @@ pub mod gate;
 pub mod outcome;
 pub mod plan;
 pub mod replay;
+pub mod stream;
 
 pub use autopsy::{heatmaps_of, DivergenceSite, FaultAutopsy, Mechanism, StructureHeatmap};
 pub use campaign::{
     build_campaign_trail, graded_unit_of, measure_detection, measure_detection_forensic,
-    measure_detection_with_golden, measure_detection_with_trail, CampaignConfig, L1dProtection,
+    measure_detection_streamed, measure_detection_with_golden, measure_detection_with_trail,
+    CampaignConfig, L1dProtection,
 };
 pub use checkpoint::ReplayStats;
 pub use fault::{
@@ -60,3 +66,4 @@ pub use replay::{
     replay_with_plan, replay_with_plan_bounded, replay_with_plan_counted,
     replay_with_plan_counted_ctx, PlanHooks, ReplayCtx,
 };
+pub use stream::{CampaignStream, StreamMonitor, StreamSettings};

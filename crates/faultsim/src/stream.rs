@@ -1,0 +1,542 @@
+//! Live campaign telemetry: streaming `progress`/`heartbeat` records,
+//! the stall watchdog, and the wall-clock budget with a resumable
+//! cursor (journal schema v4).
+//!
+//! A fault-injection campaign is the pipeline's dominant cost, and
+//! until now it was a black box between start and exit. This module
+//! makes a running campaign observable: workers stamp cheap atomic
+//! slots as they claim and finish fault units, and a monitor thread
+//! folds those slots into journal records on a configurable cadence —
+//! `progress` (done/total, per-outcome tallies, replay rate, EWMA ETA),
+//! one `heartbeat` per worker (last unit started, replay instructions
+//! since the previous beat, RSS), a `stall` when a worker goes silent
+//! for [`StreamSettings::stall_beats`] cadences, and a `cursor` when
+//! the wall-clock budget stops the campaign at a unit boundary.
+//!
+//! These records are deliberately the shard-health protocol for the
+//! ROADMAP's "Harpocrates-as-a-service": a campaign server watching a
+//! shard's journal needs exactly progress, liveness, stall and
+//! resume-cursor signals, nothing more.
+//!
+//! Everything here is off by default and allocation-free when off: with
+//! `cadence_ms == 0` (or no telemetry sink) no stream is constructed
+//! and the worker hot path pays a single `Option` branch per unit.
+
+use crate::outcome::CampaignResult;
+use harpo_telemetry::{rss_bytes, EwmaRate, Record, Telemetry, Value};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Streaming-telemetry knobs, carried by
+/// [`CampaignConfig`](crate::CampaignConfig). All off by default; serde
+/// defaults keep configs serialised before streaming existed valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSettings {
+    /// Monitor cadence in milliseconds between `progress`/`heartbeat`
+    /// emissions; `0` disables streaming entirely.
+    #[serde(default)]
+    pub cadence_ms: u64,
+    /// Cadences of worker silence before the watchdog journals a
+    /// `stall` record naming the (structure, program, fault) unit.
+    #[serde(default = "default_stall_beats")]
+    pub stall_beats: u64,
+    /// Wall-clock budget in milliseconds; `0` means unlimited. On
+    /// expiry workers stop at the next unit boundary and the monitor
+    /// journals a resumable `cursor` record.
+    #[serde(default)]
+    pub wall_budget_ms: u64,
+}
+
+fn default_stall_beats() -> u64 {
+    3
+}
+
+impl Default for StreamSettings {
+    fn default() -> Self {
+        StreamSettings {
+            cadence_ms: 0,
+            stall_beats: default_stall_beats(),
+            wall_budget_ms: 0,
+        }
+    }
+}
+
+impl StreamSettings {
+    /// Whether these settings ask for a live stream at all.
+    pub fn enabled(&self) -> bool {
+        self.cadence_ms > 0
+    }
+}
+
+/// One worker's liveness slot. Workers write with relaxed atomics (the
+/// monitor only needs eventually-consistent snapshots); nothing here
+/// allocates after construction.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    /// Milliseconds since stream epoch of the last `begin_unit`, +1 so
+    /// that 0 means "never started a unit".
+    touched_ms: AtomicU64,
+    /// Fault index of the last unit started.
+    last_unit: AtomicU64,
+    /// Units completed by this worker.
+    units: AtomicU64,
+    /// Next strided fault index this worker would grade (the resumable
+    /// cursor component).
+    next: AtomicU64,
+    /// The worker exhausted its strided range (watchdog must not flag
+    /// a finished worker as stalled).
+    finished: AtomicBool,
+    // Outcome tallies, mirrored from the worker's local CampaignResult
+    // after every unit.
+    sdc: AtomicU64,
+    crash: AtomicU64,
+    masked: AtomicU64,
+    corrected: AtomicU64,
+    replays: AtomicU64,
+    replay_insts: AtomicU64,
+    replay_insts_skipped: AtomicU64,
+}
+
+/// Shared live state of one streaming campaign: per-worker slots the
+/// graders stamp, and the stop flag the budget watchdog raises.
+///
+/// Constructed by the campaign driver when
+/// [`StreamSettings::cadence_ms`] is non-zero and a telemetry sink is
+/// attached; the companion [`StreamMonitor`] thread turns the slots
+/// into journal records. The type is public because integration tests
+/// (and, later, a campaign server's shard host) drive it directly.
+#[derive(Debug)]
+pub struct CampaignStream {
+    telemetry: Telemetry,
+    settings: StreamSettings,
+    structure: &'static str,
+    program: String,
+    total: u64,
+    epoch: Instant,
+    slots: Vec<WorkerSlot>,
+    stop: AtomicBool,
+}
+
+impl CampaignStream {
+    /// A stream over `total` fault units graded by `workers` strided
+    /// workers.
+    pub fn new(
+        telemetry: Telemetry,
+        settings: StreamSettings,
+        structure: &'static str,
+        program: &str,
+        total: usize,
+        workers: usize,
+    ) -> Arc<CampaignStream> {
+        Arc::new(CampaignStream {
+            telemetry,
+            settings,
+            structure,
+            program: program.to_string(),
+            total: total as u64,
+            epoch: Instant::now(),
+            slots: (0..workers.max(1)).map(|_| WorkerSlot::default()).collect(),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Milliseconds since the stream epoch.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Worker `worker` is starting fault unit `unit`. Two relaxed
+    /// stores; call before grading.
+    pub fn begin_unit(&self, worker: usize, unit: usize) {
+        let slot = &self.slots[worker];
+        slot.last_unit.store(unit as u64, Relaxed);
+        slot.touched_ms.store(self.now_ms() + 1, Relaxed);
+    }
+
+    /// Worker `worker` finished a unit; `local` is its running tally
+    /// (current values are mirrored, so this is idempotent and cheap).
+    pub fn finish_unit(&self, worker: usize, local: &CampaignResult) {
+        let slot = &self.slots[worker];
+        slot.units.store(local.injected, Relaxed);
+        slot.sdc.store(local.sdc, Relaxed);
+        slot.crash.store(local.crash, Relaxed);
+        slot.masked.store(local.masked, Relaxed);
+        slot.corrected.store(local.corrected, Relaxed);
+        slot.replays.store(local.replays, Relaxed);
+        slot.replay_insts.store(local.replay_insts, Relaxed);
+        slot.replay_insts_skipped
+            .store(local.replay_insts_skipped, Relaxed);
+    }
+
+    /// Worker `worker` is done (or budget-stopped): `next` is the first
+    /// strided index it did *not* grade, `exhausted` whether its range
+    /// ran out naturally.
+    pub fn finish_worker(&self, worker: usize, next: usize, exhausted: bool) {
+        let slot = &self.slots[worker];
+        slot.next.store(next as u64, Relaxed);
+        slot.finished.store(true, Relaxed);
+        let _ = exhausted;
+    }
+
+    /// Whether the wall-clock budget has expired; workers check at unit
+    /// boundaries and stop gracefully.
+    pub fn should_stop(&self) -> bool {
+        self.stop.load(Relaxed)
+    }
+
+    /// Spawns the monitor thread. Call [`StreamMonitor::finish`] after
+    /// the workers join: it triggers one final tick (so the journal
+    /// always ends with a closing `progress` record, and a `cursor`
+    /// when the budget stopped the campaign early) and joins the
+    /// thread.
+    pub fn monitor(self: &Arc<Self>) -> StreamMonitor {
+        let (tx, rx) = mpsc::channel::<()>();
+        let stream = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            let cadence = Duration::from_millis(stream.settings.cadence_ms.max(1));
+            let mut state = MonitorState::new(stream.slots.len());
+            loop {
+                // A send or a dropped sender both mean "campaign over":
+                // run the final tick and exit.
+                let finished = !matches!(rx.recv_timeout(cadence), Err(RecvTimeoutError::Timeout));
+                stream.tick(finished, &mut state);
+                if finished {
+                    break;
+                }
+            }
+        });
+        StreamMonitor { tx, handle }
+    }
+
+    /// One monitor tick: aggregate the slots, emit `progress` and
+    /// per-worker `heartbeat` records, run the stall watchdog and the
+    /// budget check. `finished` marks the closing tick.
+    fn tick(&self, finished: bool, state: &mut MonitorState) {
+        let elapsed_ns = self.epoch.elapsed().as_nanos() as u64;
+        let now_ms = elapsed_ns / 1_000_000;
+
+        let mut done = 0u64;
+        let mut sdc = 0u64;
+        let mut crash = 0u64;
+        let mut masked = 0u64;
+        let mut corrected = 0u64;
+        let mut replays = 0u64;
+        let mut replay_insts = 0u64;
+        let mut replay_insts_skipped = 0u64;
+        for slot in &self.slots {
+            done += slot.units.load(Relaxed);
+            sdc += slot.sdc.load(Relaxed);
+            crash += slot.crash.load(Relaxed);
+            masked += slot.masked.load(Relaxed);
+            corrected += slot.corrected.load(Relaxed);
+            replays += slot.replays.load(Relaxed);
+            replay_insts += slot.replay_insts.load(Relaxed);
+            replay_insts_skipped += slot.replay_insts_skipped.load(Relaxed);
+        }
+
+        state
+            .rate
+            .observe(done - state.last_done, elapsed_ns - state.last_tick_ns);
+        state.last_done = done;
+        state.last_tick_ns = elapsed_ns;
+        let remaining = self.total.saturating_sub(done);
+
+        self.telemetry.emit(|| {
+            let mut r = Record::new("progress")
+                .field("source", "campaign")
+                .field("structure", self.structure)
+                .field("program", self.program.as_str())
+                .field("done", done)
+                .field("total", self.total)
+                .field("sdc", sdc)
+                .field("crash", crash)
+                .field("masked", masked)
+                .field("corrected", corrected)
+                .field("replays", replays)
+                .field("replay_insts", replay_insts)
+                .field("replay_insts_skipped", replay_insts_skipped)
+                .field("elapsed_ns", elapsed_ns);
+            if let Some(unit_ns) = state.rate.unit_ns() {
+                r = r.field("units_per_sec", 1e9 / unit_ns as f64);
+            }
+            if let Some(eta_ns) = state.rate.eta_ns(remaining) {
+                r = r.field("eta_ns", eta_ns);
+            }
+            r
+        });
+
+        let rss = rss_bytes();
+        let stall_after_ms = self.settings.stall_beats.max(1) * self.settings.cadence_ms.max(1);
+        for (w, slot) in self.slots.iter().enumerate() {
+            let touched = slot.touched_ms.load(Relaxed);
+            if touched == 0 {
+                continue; // never started a unit; nothing to report yet
+            }
+            let age_ms = now_ms.saturating_sub(touched - 1);
+            let insts = slot.replay_insts.load(Relaxed);
+            let delta = insts - state.last_insts[w];
+            state.last_insts[w] = insts;
+            let last_unit = slot.last_unit.load(Relaxed);
+            let units = slot.units.load(Relaxed);
+            self.telemetry.emit(|| {
+                Record::new("heartbeat")
+                    .field("source", "campaign")
+                    .field("worker", w as u64)
+                    .field("last_unit", last_unit)
+                    .field("units", units)
+                    .field("replay_insts_delta", delta)
+                    .field("age_ms", age_ms)
+                    .field("rss_bytes", rss)
+            });
+
+            // Stall watchdog: a worker that started a unit, has not
+            // finished its range, and has been silent for N cadences.
+            // One record per stall episode; a resumed beat re-arms it.
+            let stalled = !finished && !slot.finished.load(Relaxed) && age_ms > stall_after_ms;
+            if stalled && !state.stalled[w] {
+                state.stalled[w] = true;
+                self.telemetry.emit(|| {
+                    Record::new("stall")
+                        .field("source", "campaign")
+                        .field("worker", w as u64)
+                        .field("structure", self.structure)
+                        .field("program", self.program.as_str())
+                        .field("fault", last_unit)
+                        .field("silent_ms", age_ms)
+                });
+            } else if !stalled {
+                state.stalled[w] = false;
+            }
+        }
+
+        if self.settings.wall_budget_ms > 0 && now_ms >= self.settings.wall_budget_ms {
+            self.stop.store(true, Relaxed);
+        }
+
+        if finished {
+            if self.stop.load(Relaxed) && done < self.total {
+                // Budget stop: journal the resumable cursor. `next`
+                // holds each worker's first ungraded strided index, so
+                // a resuming host with the same stride restarts exactly
+                // where this run stopped.
+                self.telemetry.emit(|| {
+                    Record::new("cursor")
+                        .field("source", "campaign")
+                        .field("structure", self.structure)
+                        .field("program", self.program.as_str())
+                        .field("total", self.total)
+                        .field("completed", done)
+                        .field("stride", self.slots.len() as u64)
+                        .field(
+                            "next",
+                            Value::Arr(
+                                self.slots
+                                    .iter()
+                                    .map(|s| Value::U64(s.next.load(Relaxed)))
+                                    .collect(),
+                            ),
+                        )
+                });
+            }
+            self.telemetry.flush();
+        }
+    }
+}
+
+/// Monitor-thread bookkeeping between ticks.
+struct MonitorState {
+    rate: EwmaRate,
+    last_done: u64,
+    last_tick_ns: u64,
+    last_insts: Vec<u64>,
+    stalled: Vec<bool>,
+}
+
+impl MonitorState {
+    fn new(workers: usize) -> MonitorState {
+        MonitorState {
+            rate: EwmaRate::default(),
+            last_done: 0,
+            last_tick_ns: 0,
+            last_insts: vec![0; workers],
+            stalled: vec![false; workers],
+        }
+    }
+}
+
+/// Handle to the running monitor thread; see [`CampaignStream::monitor`].
+#[derive(Debug)]
+pub struct StreamMonitor {
+    tx: Sender<()>,
+    handle: JoinHandle<()>,
+}
+
+impl StreamMonitor {
+    /// Signals the closing tick and joins the monitor.
+    pub fn finish(self) {
+        let _ = self.tx.send(());
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harpo_telemetry::MemorySink;
+
+    fn mem_stream(
+        settings: StreamSettings,
+        total: usize,
+        workers: usize,
+    ) -> (Arc<MemorySink>, Arc<CampaignStream>) {
+        let sink = Arc::new(MemorySink::new());
+        let stream = CampaignStream::new(
+            Telemetry::to(sink.clone()),
+            settings,
+            "irf",
+            "prog-under-test",
+            total,
+            workers,
+        );
+        (sink, stream)
+    }
+
+    fn tally_of(units: u64) -> CampaignResult {
+        let mut r = CampaignResult::default();
+        for _ in 0..units {
+            r.record(crate::FaultOutcome::Masked, true);
+        }
+        r
+    }
+
+    #[test]
+    fn progress_and_heartbeats_flow_on_cadence() {
+        let settings = StreamSettings {
+            cadence_ms: 5,
+            ..StreamSettings::default()
+        };
+        let (sink, stream) = mem_stream(settings, 8, 2);
+        let monitor = stream.monitor();
+        for unit in 0..4 {
+            stream.begin_unit(0, unit);
+            stream.finish_unit(0, &tally_of(unit as u64 + 1));
+            std::thread::sleep(Duration::from_millis(6));
+        }
+        stream.finish_worker(0, 8, true);
+        monitor.finish();
+
+        let progress = sink.records_of("progress");
+        assert!(progress.len() >= 2, "at least one cadence + closing tick");
+        let last = progress.last().unwrap();
+        assert_eq!(last.get("done").unwrap().as_u64(), Some(4));
+        assert_eq!(last.get("total").unwrap().as_u64(), Some(8));
+        assert_eq!(last.get("structure").unwrap().as_str(), Some("irf"));
+        assert_eq!(
+            last.get("program").unwrap().as_str(),
+            Some("prog-under-test")
+        );
+        assert!(last.get("masked").unwrap().as_u64().unwrap() == 4);
+        // After two observation windows the EWMA yields a rate and ETA.
+        assert!(last.get("units_per_sec").is_some());
+        assert!(last.get("eta_ns").is_some());
+
+        let beats = sink.records_of("heartbeat");
+        assert!(!beats.is_empty());
+        // Worker 1 never started a unit → no heartbeat rows for it.
+        assert!(beats
+            .iter()
+            .all(|b| b.get("worker").unwrap().as_u64() == Some(0)));
+        assert!(sink.records_of("stall").is_empty());
+    }
+
+    #[test]
+    fn watchdog_journals_the_stalled_unit() {
+        // Worker 1 beats once at fault 7 then goes silent; worker 0
+        // keeps beating. The watchdog must name worker 1's exact unit.
+        let settings = StreamSettings {
+            cadence_ms: 5,
+            stall_beats: 2,
+            ..StreamSettings::default()
+        };
+        let (sink, stream) = mem_stream(settings, 64, 2);
+        let monitor = stream.monitor();
+        stream.begin_unit(1, 7);
+        for i in 0..12 {
+            stream.begin_unit(0, i);
+            stream.finish_unit(0, &tally_of(i as u64 + 1));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        monitor.finish();
+
+        let stalls = sink.records_of("stall");
+        assert!(!stalls.is_empty(), "watchdog never fired");
+        let s = &stalls[0];
+        assert_eq!(s.get("worker").unwrap().as_u64(), Some(1));
+        assert_eq!(s.get("fault").unwrap().as_u64(), Some(7));
+        assert_eq!(s.get("structure").unwrap().as_str(), Some("irf"));
+        assert_eq!(s.get("program").unwrap().as_str(), Some("prog-under-test"));
+        assert!(s.get("silent_ms").unwrap().as_u64().unwrap() >= 10);
+        // One record per episode, not one per cadence.
+        assert_eq!(stalls.len(), 1, "stall must not re-fire every tick");
+        // Worker 0 was never flagged.
+        assert!(stalls
+            .iter()
+            .all(|r| r.get("worker").unwrap().as_u64() == Some(1)));
+    }
+
+    #[test]
+    fn budget_stops_and_journals_a_cursor() {
+        let settings = StreamSettings {
+            cadence_ms: 2,
+            wall_budget_ms: 8,
+            ..StreamSettings::default()
+        };
+        let (sink, stream) = mem_stream(settings, 100, 2);
+        let monitor = stream.monitor();
+        let mut graded = [0usize, 1];
+        let mut tallies = [CampaignResult::default(), CampaignResult::default()];
+        while !stream.should_stop() {
+            for w in 0..2 {
+                stream.begin_unit(w, graded[w]);
+                tallies[w].record(crate::FaultOutcome::Masked, true);
+                stream.finish_unit(w, &tallies[w]);
+                graded[w] += 2;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for (w, &next) in graded.iter().enumerate() {
+            stream.finish_worker(w, next, false);
+        }
+        monitor.finish();
+
+        let cursors = sink.records_of("cursor");
+        assert_eq!(cursors.len(), 1, "budget stop journals one cursor");
+        let c = &cursors[0];
+        assert_eq!(c.get("total").unwrap().as_u64(), Some(100));
+        assert_eq!(c.get("stride").unwrap().as_u64(), Some(2));
+        let completed = c.get("completed").unwrap().as_u64().unwrap();
+        assert!(completed > 0 && completed < 100, "stopped mid-campaign");
+        let next = c.get("next").unwrap().as_arr().unwrap();
+        assert_eq!(next.len(), 2);
+        // Worker w's cursor is its first ungraded strided index.
+        for (w, v) in next.iter().enumerate() {
+            let n = v.as_u64().unwrap() as usize;
+            assert_eq!(n % 2, w, "cursor preserves the stride lane");
+            assert_eq!(n, graded[w]);
+        }
+    }
+
+    #[test]
+    fn disabled_settings_stream_nothing() {
+        assert!(!StreamSettings::default().enabled());
+        assert!(StreamSettings {
+            cadence_ms: 10,
+            ..StreamSettings::default()
+        }
+        .enabled());
+    }
+}

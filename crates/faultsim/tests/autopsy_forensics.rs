@@ -101,7 +101,10 @@ fn autopsies_agree_with_the_tally_and_heatmaps() {
             assert_eq!(a.structure, s.label());
             if a.outcome.detected() {
                 assert_eq!(a.detection_latency, a.propagation_insts);
-                assert!(matches!(a.mechanism, Mechanism::Signature | Mechanism::Trap));
+                assert!(matches!(
+                    a.mechanism,
+                    Mechanism::Signature | Mechanism::Trap
+                ));
             } else {
                 assert_eq!(a.detection_latency, 0);
             }

@@ -49,7 +49,7 @@ fn cfg(interval: u64, threads: usize, l1d: L1dProtection) -> CampaignConfig {
         cap: 10_000_000,
         l1d_protection: l1d,
         checkpoint_interval: interval,
-        forensics: false,
+        ..CampaignConfig::default()
     }
 }
 

@@ -1,0 +1,167 @@
+//! Live-telemetry campaign integration.
+//!
+//! Streaming is observability, not behaviour: a campaign with the
+//! monitor attached must produce bit-identical outcome tallies, close
+//! its journal with a `progress` record covering every fault, and — when
+//! the wall-clock budget cuts it short — leave a resumable `cursor`
+//! naming each lane's next ungraded fault. The stall watchdog's exact
+//! (structure, program, fault) attribution is exercised against the
+//! public [`CampaignStream`] API in `stream.rs`'s own tests; here we
+//! drive the real campaign entry points end to end.
+//!
+//! [`CampaignStream`]: harpo_faultsim::CampaignStream
+
+use std::sync::Arc;
+
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{
+    build_campaign_trail, measure_detection_streamed, CampaignConfig, CampaignResult,
+    StreamSettings,
+};
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_telemetry::{MemorySink, Telemetry};
+use harpo_uarch::OooCore;
+
+/// Keeps the comparison on outcome tallies (same shape as
+/// `equivalence.rs`): perf counters are irrelevant to "streaming must
+/// not change outcomes".
+fn outcome_tallies(r: &CampaignResult) -> CampaignResult {
+    let mut t = *r;
+    t.replay_insts = 0;
+    t.replay_insts_skipped = 0;
+    t.checkpoint_hits = 0;
+    t.early_exits = 0;
+    t.replay_len = Default::default();
+    t
+}
+
+/// One IRF campaign over a fixed generated program, with the given
+/// streaming knobs and journal.
+fn run(n_faults: usize, stream: StreamSettings, telemetry: &Telemetry) -> CampaignResult {
+    let prog = Generator::new(GenConstraints {
+        n_insts: 300,
+        store_bias: 0.3,
+        ..GenConstraints::default()
+    })
+    .generate(41);
+    let core = OooCore::default();
+    let ccfg = CampaignConfig {
+        n_faults,
+        seed: 0x057A_EA11,
+        threads: 2,
+        cap: 10_000_000,
+        stream,
+        ..CampaignConfig::default()
+    };
+    let sim = core.simulate(&prog, ccfg.cap).expect("golden run");
+    let trail = build_campaign_trail(&prog, &ccfg);
+    measure_detection_streamed(
+        &prog,
+        TargetStructure::Irf,
+        &core,
+        &ccfg,
+        &sim.output.signature,
+        &sim.trace,
+        trail.as_ref(),
+        telemetry,
+    )
+    .0
+}
+
+#[test]
+fn streamed_campaign_is_tally_identical_and_closes_the_journal() {
+    let sink = Arc::new(MemorySink::new());
+    let settings = StreamSettings {
+        // Generous cadence: on a fast machine the campaign ends before
+        // the first periodic tick, and the closing tick must still
+        // journal the full picture.
+        cadence_ms: 25,
+        ..StreamSettings::default()
+    };
+    let streamed = run(128, settings, &Telemetry::to(sink.clone()));
+    let plain = run(128, StreamSettings::default(), &Telemetry::off());
+
+    // Observability must not change outcomes.
+    assert_eq!(outcome_tallies(&streamed), outcome_tallies(&plain));
+    assert_eq!(streamed.injected, 128);
+
+    // The journal always closes with a progress record covering every
+    // fault unit, even if no periodic tick ever fired.
+    let progress = sink.records_of("progress");
+    assert!(!progress.is_empty());
+    let last = progress.last().unwrap();
+    assert_eq!(last.get("done").unwrap().as_u64(), Some(128));
+    assert_eq!(last.get("total").unwrap().as_u64(), Some(128));
+    assert_eq!(last.get("source").unwrap().as_str(), Some("campaign"));
+    assert_eq!(last.get("structure").unwrap().as_str(), Some("IRF"));
+    assert_eq!(
+        last.get("program").unwrap().as_str(),
+        Some("museqgen-00000029")
+    );
+    let outcomes: u64 = ["sdc", "crash", "masked", "corrected"]
+        .iter()
+        .map(|k| last.get(k).unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(outcomes, 128, "per-outcome counts partition the units");
+
+    // Both workers graded units, so both leave heartbeats.
+    let beats = sink.records_of("heartbeat");
+    let mut workers: Vec<u64> = beats
+        .iter()
+        .map(|b| b.get("worker").unwrap().as_u64().unwrap())
+        .collect();
+    workers.sort_unstable();
+    workers.dedup();
+    assert_eq!(workers, vec![0, 1]);
+
+    // A healthy run journals neither stalls nor a cursor.
+    assert!(sink.records_of("stall").is_empty());
+    assert!(sink.records_of("cursor").is_empty());
+}
+
+#[test]
+fn cadence_zero_streams_nothing_even_with_a_sink() {
+    let sink = Arc::new(MemorySink::new());
+    let result = run(64, StreamSettings::default(), &Telemetry::to(sink.clone()));
+    assert_eq!(result.injected, 64);
+    assert!(sink.records().is_empty(), "cadence 0 must stream nothing");
+}
+
+#[test]
+fn wall_budget_stops_at_a_unit_boundary_with_a_cursor() {
+    let sink = Arc::new(MemorySink::new());
+    let settings = StreamSettings {
+        cadence_ms: 1,
+        wall_budget_ms: 5,
+        ..StreamSettings::default()
+    };
+    // Enough faults that 5 ms cannot grade them all; the budget must
+    // stop the campaign early at a unit boundary.
+    const N: u64 = 500_000;
+    let result = run(N as usize, settings, &Telemetry::to(sink.clone()));
+    assert!(result.injected < N, "budget failed to stop the campaign");
+    assert!(result.injected > 0, "stopped before any unit was graded");
+
+    let cursors = sink.records_of("cursor");
+    assert_eq!(cursors.len(), 1);
+    let c = &cursors[0];
+    assert_eq!(c.get("structure").unwrap().as_str(), Some("IRF"));
+    assert_eq!(
+        c.get("program").unwrap().as_str(),
+        Some("museqgen-00000029")
+    );
+    assert_eq!(c.get("total").unwrap().as_u64(), Some(N));
+    assert_eq!(c.get("completed").unwrap().as_u64(), Some(result.injected));
+    assert_eq!(c.get("stride").unwrap().as_u64(), Some(2));
+    let next = c.get("next").unwrap().as_arr().unwrap();
+    assert_eq!(next.len(), 2);
+    for (w, v) in next.iter().enumerate() {
+        let n = v.as_u64().unwrap();
+        assert_eq!(n % 2, w as u64, "cursor stays in its stride lane");
+        assert!(n < N + 2);
+    }
+    // Lane w graded exactly next[w] / stride units (its strided prefix),
+    // so the cursor alone reconstructs the merged tally.
+    let graded: u64 = next.iter().map(|v| v.as_u64().unwrap() / 2).sum();
+    assert_eq!(graded, result.injected);
+}

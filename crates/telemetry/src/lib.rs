@@ -26,6 +26,11 @@
 //!   stage spans, campaign timelines and per-fault replays rendered as
 //!   a trace file loadable in `ui.perfetto.dev` (see
 //!   [`trace_from_journal`]).
+//! * [`stream`] — **live-streaming support** for the schema-v4
+//!   `progress`/`heartbeat`/`resource` records: `/proc/self/statm` RSS
+//!   sampling and the [`EwmaRate`] ETA estimator. The streaming record
+//!   kinds themselves are listed in [`STREAMING_KINDS`] and excluded
+//!   from determinism comparisons by [`canonical_journal`].
 //! * [`json`] — the hand-rolled JSON writer/parser backing all of the
 //!   above. No third-party dependencies anywhere in this crate, so it
 //!   builds offline and adds nothing to the workspace's dependency set.
@@ -39,13 +44,15 @@ pub mod metrics;
 pub mod record;
 pub mod sink;
 pub mod span;
+pub mod stream;
 pub mod trace;
 
 pub use json::Value;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricSnapshot, Metrics, HIST_BUCKETS};
-pub use record::{Record, SCHEMA_VERSION};
+pub use record::{canonical_journal, is_streaming_kind, Record, SCHEMA_VERSION, STREAMING_KINDS};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink, Telemetry};
 pub use span::Span;
+pub use stream::{rss_bytes, EwmaRate};
 pub use trace::{trace_from_journal, TraceBuilder, TraceEvent};
 
 /// Resolves a requested worker-thread count: `0` means "all available

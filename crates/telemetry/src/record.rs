@@ -10,7 +10,76 @@ use crate::json::{write_string, Value};
 /// a record kind changes meaning or drops a field — additive fields do
 /// not need a bump. The bump protocol is documented in DESIGN.md and
 /// docs/observability.md.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// The live streaming record kinds introduced by schema v4.
+///
+/// These describe the *run* rather than the *result*: they carry
+/// wall-clock-derived values (rates, ETAs, RSS, liveness ages) and are
+/// therefore excluded from journal bit-identity comparisons — see
+/// [`canonical_journal`].
+pub const STREAMING_KINDS: [&str; 5] = ["progress", "heartbeat", "resource", "stall", "cursor"];
+
+/// Whether a record kind is one of the v4 live streaming kinds.
+pub fn is_streaming_kind(kind: &str) -> bool {
+    STREAMING_KINDS.contains(&kind)
+}
+
+/// Whether a field key carries a wall-clock-derived value that differs
+/// between two otherwise identical runs.
+fn is_wallclock_field(key: &str) -> bool {
+    key.ends_with("_ns")
+        || key.ends_with("_ms")
+        || key.ends_with("_per_sec")
+        || matches!(key, "counters" | "rss_bytes" | "hit_rate")
+}
+
+/// Canonicalises a journal for determinism comparison: drops the
+/// streaming-kind records (their very presence depends on timer ticks),
+/// strips wall-clock-bearing fields (`*_ns`, `*_ms`, `*_per_sec`,
+/// `counters`, `rss_bytes`, `hit_rate`) from the rest, and tolerates a
+/// torn final line (a live journal may end mid-record). The surviving
+/// records re-serialise in their original field order, so two runs that
+/// made the same decisions produce byte-identical canonical journals —
+/// streaming on or off.
+pub fn canonical_journal(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = match crate::json::parse(line) {
+            Ok(v) => v,
+            // A torn final line is expected on a live journal; an
+            // unparseable *interior* line is kept verbatim so that real
+            // corruption still shows up in the comparison.
+            Err(_) if i + 1 == lines.len() => break,
+            Err(_) => {
+                out.push_str(line);
+                out.push('\n');
+                continue;
+            }
+        };
+        if let Some(kind) = rec.get("kind").and_then(Value::as_str) {
+            if is_streaming_kind(kind) {
+                continue;
+            }
+        }
+        let filtered = match rec {
+            Value::Obj(fields) => Value::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| !is_wallclock_field(k))
+                    .collect(),
+            ),
+            other => other,
+        };
+        out.push_str(&filtered.to_json());
+        out.push('\n');
+    }
+    out
+}
 
 /// One journal event: a kind tag plus ordered key→value fields.
 ///
@@ -20,7 +89,7 @@ pub const SCHEMA_VERSION: u64 = 3;
 /// ```
 /// use harpo_telemetry::Record;
 /// let r = Record::new("iteration").field("iter", 3u64).field("best", 0.25);
-/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":3,"iter":3,"best":0.25}"#);
+/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":4,"iter":3,"best":0.25}"#);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -120,5 +189,46 @@ mod tests {
         let r = Record::new("k").field("a", 1u64);
         assert_eq!(r.get("a").unwrap().as_u64(), Some(1));
         assert!(r.get("b").is_none());
+    }
+
+    #[test]
+    fn streaming_kinds_are_recognised() {
+        for kind in STREAMING_KINDS {
+            assert!(is_streaming_kind(kind), "{kind}");
+        }
+        for kind in ["iteration", "summary", "campaign", "autopsy"] {
+            assert!(!is_streaming_kind(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn canonical_journal_drops_streaming_records_and_clock_fields() {
+        let a = "\
+{\"kind\":\"iteration\",\"v\":4,\"iter\":0,\"best\":0.5,\"evaluation_ns\":123}\n\
+{\"kind\":\"progress\",\"v\":4,\"done\":3,\"total\":9,\"eta_ns\":777}\n\
+{\"kind\":\"heartbeat\",\"v\":4,\"worker\":0,\"rss_bytes\":4096}\n\
+{\"kind\":\"summary\",\"v\":4,\"iterations\":1,\"total_ns\":99,\"counters\":{\"x\":1}}\n";
+        let b = "\
+{\"kind\":\"iteration\",\"v\":4,\"iter\":0,\"best\":0.5,\"evaluation_ns\":456}\n\
+{\"kind\":\"summary\",\"v\":4,\"iterations\":1,\"total_ns\":11,\"counters\":{\"x\":2}}\n";
+        assert_eq!(canonical_journal(a), canonical_journal(b));
+        let expected = concat!(
+            "{\"kind\":\"iteration\",\"v\":4,\"iter\":0,\"best\":0.5}\n",
+            "{\"kind\":\"summary\",\"v\":4,\"iterations\":1}\n",
+        );
+        assert_eq!(canonical_journal(a), expected);
+    }
+
+    #[test]
+    fn canonical_journal_tolerates_a_torn_final_line() {
+        let whole = "{\"kind\":\"summary\",\"v\":4,\"iterations\":2}\n";
+        let torn = format!("{whole}{{\"kind\":\"progress\",\"v\":4,\"do");
+        assert_eq!(canonical_journal(&torn), whole);
+    }
+
+    #[test]
+    fn canonical_journal_keeps_interior_corruption() {
+        let text = "not json at all\n{\"kind\":\"summary\",\"v\":4,\"iterations\":2}\n";
+        assert_eq!(canonical_journal(text), text);
     }
 }

@@ -1,10 +1,11 @@
 //! Journal sinks and the [`Telemetry`] emission handle.
 
-use crate::record::Record;
+use crate::record::{is_streaming_kind, Record};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A destination for journal records. Implementations must tolerate
 /// concurrent `emit` calls (the pipeline fans out across threads).
@@ -27,9 +28,18 @@ impl Sink for StderrSink {
 }
 
 /// Machine-readable journal: one JSON object per line (JSONL).
+///
+/// Freshness contract for live tailers (`harpo watch`): a streaming
+/// record (see [`crate::is_streaming_kind`]) is flushed to disk as part
+/// of its own `emit`, and any other record is flushed no later than one
+/// flush cadence after emission (when a cadence is configured via
+/// [`JsonlSink::with_flush_cadence`]). Everything else rides the
+/// `BufWriter` and is flushed on drop.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    flush_cadence: Option<Duration>,
+    last_flush: Mutex<Instant>,
 }
 
 impl JsonlSink {
@@ -41,7 +51,17 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
+            flush_cadence: None,
+            last_flush: Mutex::new(Instant::now()),
         })
+    }
+
+    /// Flushes at most this long after any record is emitted, so a live
+    /// tailer sees every record within one cadence even when the journal
+    /// carries only buffered (non-streaming) kinds.
+    pub fn with_flush_cadence(mut self, cadence: Duration) -> JsonlSink {
+        self.flush_cadence = Some(cadence);
+        self
     }
 }
 
@@ -50,6 +70,14 @@ impl Sink for JsonlSink {
         let mut w = self.writer.lock().expect("journal writer poisoned");
         // A journal write failure must never abort a run; drop the line.
         let _ = writeln!(w, "{}", record.to_json());
+        let cadence_due = self.flush_cadence.is_some_and(|cadence| {
+            let last = self.last_flush.lock().expect("flush clock poisoned");
+            last.elapsed() >= cadence
+        });
+        if cadence_due || is_streaming_kind(record.kind) {
+            let _ = w.flush();
+            *self.last_flush.lock().expect("flush clock poisoned") = Instant::now();
+        }
     }
 
     fn flush(&self) {
@@ -218,10 +246,8 @@ mod tests {
         // An interrupted run drops the sink without ever calling
         // `flush()`; the journal on disk must still hold every line
         // emitted so far, each parseable.
-        let path = std::env::temp_dir().join(format!(
-            "harpo-telemetry-drop-{}.jsonl",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("harpo-telemetry-drop-{}.jsonl", std::process::id()));
         {
             let sink = JsonlSink::create(&path).unwrap();
             for i in 0..32u64 {
@@ -235,6 +261,60 @@ mod tests {
         for line in lines {
             crate::json::parse(line).expect("line parses");
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_records_are_flushed_immediately() {
+        // A live tailer must see a streaming record without waiting for
+        // drop/flush — the sink stays alive (mid-run) while we read.
+        let path = std::env::temp_dir().join(format!(
+            "harpo-telemetry-stream-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Record::new("progress").field("done", 1u64));
+        sink.emit(&Record::new("heartbeat").field("worker", 0u64));
+        sink.emit(&Record::new("stall").field("worker", 0u64));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "streaming records not fresh");
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cadence_flush_makes_buffered_records_visible() {
+        // With a flush cadence configured, a reader observes a buffered
+        // (non-streaming) record within one cadence of emission: the
+        // first emit after the cadence elapses flushes everything before
+        // it too. A zero cadence means every emit flushes.
+        let path = std::env::temp_dir().join(format!(
+            "harpo-telemetry-cadence-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path)
+            .unwrap()
+            .with_flush_cadence(Duration::ZERO);
+        sink.emit(&Record::new("iteration").field("iter", 0u64));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "cadence flush did not happen");
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn without_cadence_plain_records_stay_buffered() {
+        // Guards the default: no cadence, no streaming kind → no flush
+        // per record (the hot path keeps its buffered writes).
+        let path = std::env::temp_dir().join(format!(
+            "harpo-telemetry-buffered-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Record::new("iteration").field("iter", 0u64));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.is_empty(), "plain record should still be buffered");
+        drop(sink);
         let _ = std::fs::remove_file(&path);
     }
 

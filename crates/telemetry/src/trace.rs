@@ -3,7 +3,8 @@
 //! Renders journal activity as a trace file loadable in
 //! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`: the JSON
 //! object format `{"traceEvents":[...]}` with complete (`"ph":"X"`),
-//! instant (`"ph":"i"`) and metadata (`"ph":"M"`) events. Timestamps
+//! instant (`"ph":"i"`), counter (`"ph":"C"`) and metadata (`"ph":"M"`)
+//! events. Timestamps
 //! are kept internally in nanoseconds and emitted in microseconds (the
 //! format's unit) as exact `ns/1000` fractions, so building a trace is
 //! deterministic: no clocks are read here.
@@ -27,7 +28,8 @@ pub struct TraceEvent {
     pub name: String,
     /// Category tag (comma-separated list in the format; we use one).
     pub cat: String,
-    /// Phase: `'X'` complete, `'i'` instant, `'M'` metadata.
+    /// Phase: `'X'` complete, `'i'` instant, `'C'` counter, `'M'`
+    /// metadata.
     pub ph: char,
     /// Start timestamp in nanoseconds.
     pub ts_ns: u64,
@@ -64,7 +66,13 @@ impl TraceEvent {
     }
 
     /// An instant (`"ph":"i"`) event at `ts_ns`.
-    pub fn instant(pid: u64, tid: u64, cat: &str, name: impl Into<String>, ts_ns: u64) -> TraceEvent {
+    pub fn instant(
+        pid: u64,
+        tid: u64,
+        cat: &str,
+        name: impl Into<String>,
+        ts_ns: u64,
+    ) -> TraceEvent {
         TraceEvent {
             name: name.into(),
             cat: cat.to_string(),
@@ -74,6 +82,28 @@ impl TraceEvent {
             pid,
             tid,
             args: Vec::new(),
+        }
+    }
+
+    /// A counter (`"ph":"C"`) sample: one point on the named counter
+    /// track, rendered by Perfetto as a step graph. The sample value
+    /// rides in `args` under `"value"`.
+    pub fn counter(
+        pid: u64,
+        cat: &str,
+        name: impl Into<String>,
+        ts_ns: u64,
+        value: f64,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.to_string(),
+            ph: 'C',
+            ts_ns,
+            dur_ns: 0,
+            pid,
+            tid: 0,
+            args: vec![("value".to_string(), Value::from(value))],
         }
     }
 
@@ -209,6 +239,7 @@ impl TraceBuilder {
 const PID_REFINE: u64 = 1;
 const PID_CAMPAIGN: u64 = 2;
 const PID_FAULTS: u64 = 3;
+const PID_COUNTERS: u64 = 4;
 
 /// Converts parsed journal records into a trace.
 ///
@@ -221,6 +252,11 @@ const PID_FAULTS: u64 = 3;
 ///   replays" process, one thread row per campaign worker, again in
 ///   virtual dynamic-instruction time; faults with no propagation
 ///   window render as instant markers.
+/// * streaming `progress` / `resource` records (schema v4) become
+///   counter tracks on a "live counters" process — faults done,
+///   faults/s, replay instructions skipped, memo-cache hit rate —
+///   timestamped with the record's own `elapsed_ns`, so the counters
+///   line up with real wall time.
 ///
 /// Unknown record kinds are skipped, so any journal converts.
 pub fn trace_from_journal(records: &[Value]) -> TraceBuilder {
@@ -231,6 +267,7 @@ pub fn trace_from_journal(records: &[Value]) -> TraceBuilder {
     let mut saw_refine = false;
     let mut campaign_clock = 0u64;
     let mut campaigns = 0u64;
+    let mut counters = 0u64;
     let mut fault_tids: Vec<u64> = Vec::new();
 
     for r in records {
@@ -318,6 +355,48 @@ pub fn trace_from_journal(records: &[Value]) -> TraceBuilder {
                         .arg("detection_latency", u(r, "detection_latency")),
                 );
             }
+            Some("progress") => {
+                let ts = u(r, "elapsed_ns");
+                counters += 1;
+                t.push(TraceEvent::counter(
+                    PID_COUNTERS,
+                    "live",
+                    "done",
+                    ts,
+                    u(r, "done") as f64,
+                ));
+                if let Some(rate) = r.get("units_per_sec").and_then(Value::as_f64) {
+                    t.push(TraceEvent::counter(
+                        PID_COUNTERS,
+                        "live",
+                        "faults/s",
+                        ts,
+                        rate,
+                    ));
+                }
+                if let Some(skipped) = r.get("replay_insts_skipped").and_then(Value::as_u64) {
+                    t.push(TraceEvent::counter(
+                        PID_COUNTERS,
+                        "live",
+                        "replay_insts_skipped",
+                        ts,
+                        skipped as f64,
+                    ));
+                }
+            }
+            Some("resource") => {
+                let ts = u(r, "elapsed_ns");
+                if let Some(rate) = r.get("hit_rate").and_then(Value::as_f64) {
+                    counters += 1;
+                    t.push(TraceEvent::counter(
+                        PID_COUNTERS,
+                        "live",
+                        "cache hit rate",
+                        ts,
+                        rate,
+                    ));
+                }
+            }
             _ => {}
         }
     }
@@ -338,6 +417,9 @@ pub fn trace_from_journal(records: &[Value]) -> TraceBuilder {
             t.thread_name(PID_FAULTS, tid, &format!("worker {tid}"));
         }
     }
+    if counters > 0 {
+        t.process_name(PID_COUNTERS, "live counters");
+    }
     t
 }
 
@@ -349,7 +431,8 @@ mod tests {
     /// The exported file must be valid JSON with the Chrome
     /// `trace_event` object-format shape: a `traceEvents` array whose
     /// entries all carry `name`/`ph`/`ts`/`pid`/`tid`, with `dur` on
-    /// every complete event.
+    /// every complete event and a numeric `args.value` on every counter
+    /// sample.
     fn assert_trace_shape(json: &str) -> usize {
         let v = parse(json).expect("trace is valid JSON");
         let events = v
@@ -358,13 +441,23 @@ mod tests {
             .expect("traceEvents array");
         for e in events {
             let ph = e.get("ph").and_then(Value::as_str).expect("ph");
-            assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+            assert!(matches!(ph, "X" | "i" | "C" | "M"), "unexpected phase {ph}");
             assert!(e.get("name").and_then(Value::as_str).is_some());
             assert!(e.get("ts").and_then(Value::as_f64).is_some());
             assert!(e.get("pid").and_then(Value::as_u64).is_some());
             assert!(e.get("tid").and_then(Value::as_u64).is_some());
             if ph == "X" {
-                assert!(e.get("dur").and_then(Value::as_f64).is_some(), "X needs dur");
+                assert!(
+                    e.get("dur").and_then(Value::as_f64).is_some(),
+                    "X needs dur"
+                );
+            }
+            if ph == "C" {
+                let value = e.get("args").and_then(|a| a.get("value"));
+                assert!(
+                    value.and_then(Value::as_f64).is_some(),
+                    "C needs args.value"
+                );
             }
         }
         events.len()
@@ -429,7 +522,36 @@ mod tests {
         assert_eq!(t.events().iter().filter(|e| e.cat == "fault").count(), 2);
         assert!(t.events().iter().any(|e| e.cat == "fault" && e.ph == 'i'));
         // Both workers get named thread rows.
-        assert!(json.contains("worker 0") && json.contains("worker 1"), "{json}");
+        assert!(
+            json.contains("worker 0") && json.contains("worker 1"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn streaming_records_become_counter_tracks() {
+        let lines = [
+            r#"{"kind":"progress","v":4,"source":"campaign","done":32,"total":96,"elapsed_ns":5000000,"units_per_sec":6400.0,"replay_insts_skipped":1200,"eta_ns":10000000}"#,
+            r#"{"kind":"progress","v":4,"source":"campaign","done":96,"total":96,"elapsed_ns":15000000,"units_per_sec":6100.0,"replay_insts_skipped":4800}"#,
+            r#"{"kind":"resource","v":4,"source":"refine","elapsed_ns":7000000,"cache_hits_delta":10,"cache_misses_delta":30,"hit_rate":0.25}"#,
+            r#"{"kind":"heartbeat","v":4,"worker":0,"last_unit":31}"#,
+        ];
+        let records: Vec<Value> = lines.iter().map(|l| parse(l).unwrap()).collect();
+        let t = trace_from_journal(&records);
+        let json = t.to_json();
+        assert_trace_shape(&json);
+        let samples: Vec<&TraceEvent> = t.events().iter().filter(|e| e.ph == 'C').collect();
+        // 2 progress records × (done + faults/s + skipped) + 1 hit rate.
+        assert_eq!(samples.len(), 7);
+        assert!(samples.iter().all(|e| e.pid == PID_COUNTERS));
+        for name in ["done", "faults/s", "replay_insts_skipped", "cache hit rate"] {
+            assert!(samples.iter().any(|e| e.name == name), "missing {name}");
+        }
+        // Counter samples sit at the record's own elapsed_ns wall time.
+        assert!(samples.iter().any(|e| e.ts_ns == 5_000_000));
+        assert!(samples.iter().any(|e| e.ts_ns == 7_000_000));
+        // The counter process track is named; heartbeats add nothing.
+        assert!(json.contains("live counters"), "{json}");
     }
 
     #[test]

@@ -111,6 +111,44 @@ fn jsonl_journal_round_trips_through_the_in_tree_parser() {
 }
 
 #[test]
+fn canonical_journal_is_byte_identical_with_streaming_on_or_off() {
+    use harpocrates::telemetry::canonical_journal;
+
+    let structure = TargetStructure::IntAdder;
+    let pid = std::process::id();
+    let run = |suffix: &str, streaming: bool| {
+        let path = std::env::temp_dir().join(format!("harpo-canon-{pid}-{suffix}.jsonl"));
+        let sink = JsonlSink::create(&path).expect("create journal");
+        let mut h = journal_loop(structure).with_telemetry(Telemetry::to(Arc::new(sink)));
+        if streaming {
+            h = h.with_streaming(1);
+        }
+        let report = h.run();
+        let text = std::fs::read_to_string(&path).expect("read journal back");
+        std::fs::remove_file(&path).ok();
+        (report, text)
+    };
+    let (on_report, on_text) = run("on", true);
+    let (off_report, off_text) = run("off", false);
+
+    // The raw streaming journal really streams: v4 progress records
+    // with wall-clock fields are interleaved with the iteration log.
+    assert!(on_text.contains("\"kind\":\"progress\""));
+    assert!(on_text.contains("\"kind\":\"heartbeat\""));
+    assert!(on_text.contains("\"kind\":\"resource\""));
+    assert!(!off_text.contains("\"kind\":\"progress\""));
+
+    // The determinism guard: streaming records and wall-clock-bearing
+    // fields are exactly the non-canonical part of the journal. After
+    // filtering, the two journals must agree byte for byte.
+    assert_eq!(canonical_journal(&on_text), canonical_journal(&off_text));
+
+    // And the search itself is untouched.
+    assert_eq!(on_report.champion_coverage, off_report.champion_coverage);
+    assert_eq!(on_report.champion.encode(), off_report.champion.encode());
+}
+
+#[test]
 fn journalling_is_invisible_to_the_search() {
     let structure = TargetStructure::IntMultiplier;
     let plain = journal_loop(structure).run();
