@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_l1d-333bfa85b96b04df.d: crates/bench/src/bin/ablation_l1d.rs
+
+/root/repo/target/debug/deps/ablation_l1d-333bfa85b96b04df: crates/bench/src/bin/ablation_l1d.rs
+
+crates/bench/src/bin/ablation_l1d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_l1d-3fa5237780c3538d.d: crates/bench/src/bin/ablation_l1d.rs
+
+/root/repo/target/debug/deps/ablation_l1d-3fa5237780c3538d: crates/bench/src/bin/ablation_l1d.rs
+
+crates/bench/src/bin/ablation_l1d.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_l1d-b2bfcd6d3601bdd5.d: crates/bench/src/bin/ablation_l1d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_l1d-b2bfcd6d3601bdd5.rmeta: crates/bench/src/bin/ablation_l1d.rs Cargo.toml
+
+crates/bench/src/bin/ablation_l1d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mutation-3fc158de14a2b5fc.d: crates/bench/src/bin/ablation_mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mutation-3fc158de14a2b5fc.rmeta: crates/bench/src/bin/ablation_mutation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

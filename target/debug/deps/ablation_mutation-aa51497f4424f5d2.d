@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mutation-aa51497f4424f5d2.d: crates/bench/src/bin/ablation_mutation.rs
+
+/root/repo/target/debug/deps/ablation_mutation-aa51497f4424f5d2: crates/bench/src/bin/ablation_mutation.rs
+
+crates/bench/src/bin/ablation_mutation.rs:

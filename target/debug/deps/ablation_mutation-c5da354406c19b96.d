@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mutation-c5da354406c19b96.d: crates/bench/src/bin/ablation_mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mutation-c5da354406c19b96.rmeta: crates/bench/src/bin/ablation_mutation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mutation-eaf5aa514bd3406e.d: crates/bench/src/bin/ablation_mutation.rs
+
+/root/repo/target/debug/deps/ablation_mutation-eaf5aa514bd3406e: crates/bench/src/bin/ablation_mutation.rs
+
+crates/bench/src/bin/ablation_mutation.rs:

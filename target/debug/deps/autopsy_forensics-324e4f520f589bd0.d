@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/autopsy_forensics-324e4f520f589bd0.d: crates/cli/tests/autopsy_forensics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautopsy_forensics-324e4f520f589bd0.rmeta: crates/cli/tests/autopsy_forensics.rs Cargo.toml
+
+crates/cli/tests/autopsy_forensics.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/autopsy_forensics-a0c9f4bee407e399.d: crates/cli/tests/autopsy_forensics.rs
+
+/root/repo/target/debug/deps/autopsy_forensics-a0c9f4bee407e399: crates/cli/tests/autopsy_forensics.rs
+
+crates/cli/tests/autopsy_forensics.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli

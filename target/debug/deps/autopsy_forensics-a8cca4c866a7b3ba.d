@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autopsy_forensics-a8cca4c866a7b3ba.d: crates/faultsim/tests/autopsy_forensics.rs
+
+/root/repo/target/debug/deps/autopsy_forensics-a8cca4c866a7b3ba: crates/faultsim/tests/autopsy_forensics.rs
+
+crates/faultsim/tests/autopsy_forensics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/autopsy_forensics-f9470937bf86339a.d: crates/faultsim/tests/autopsy_forensics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautopsy_forensics-f9470937bf86339a.rmeta: crates/faultsim/tests/autopsy_forensics.rs Cargo.toml
+
+crates/faultsim/tests/autopsy_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_grading-7f3c6b2e6b1b7dc3.d: tests/baseline_grading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_grading-7f3c6b2e6b1b7dc3.rmeta: tests/baseline_grading.rs Cargo.toml
+
+tests/baseline_grading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_grading-c9f86119a0b02c48.d: tests/baseline_grading.rs
+
+/root/repo/target/debug/deps/baseline_grading-c9f86119a0b02c48: tests/baseline_grading.rs
+
+tests/baseline_grading.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_diff-6b8ad1a1191682f8.d: crates/bench/src/bin/bench_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_diff-6b8ad1a1191682f8.rmeta: crates/bench/src/bin/bench_diff.rs Cargo.toml
+
+crates/bench/src/bin/bench_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

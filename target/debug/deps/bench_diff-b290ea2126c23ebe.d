@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_diff-b290ea2126c23ebe.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/debug/deps/bench_diff-b290ea2126c23ebe: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_diff-eda02dd8e3ea1c1c.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/debug/deps/bench_diff-eda02dd8e3ea1c1c: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_speed-19c811b3737dd95a.d: crates/bench/src/bin/campaign_speed.rs
+
+/root/repo/target/debug/deps/campaign_speed-19c811b3737dd95a: crates/bench/src/bin/campaign_speed.rs
+
+crates/bench/src/bin/campaign_speed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_speed-6b0956134adb648e.d: crates/bench/src/bin/campaign_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_speed-6b0956134adb648e.rmeta: crates/bench/src/bin/campaign_speed.rs Cargo.toml
+
+crates/bench/src/bin/campaign_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_speed-9044b3f7ad3a8342.d: crates/bench/src/bin/campaign_speed.rs
+
+/root/repo/target/debug/deps/campaign_speed-9044b3f7ad3a8342: crates/bench/src/bin/campaign_speed.rs
+
+crates/bench/src/bin/campaign_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection_speed-3d69b7a3f78f25bb.d: crates/bench/src/bin/detection_speed.rs
+
+/root/repo/target/debug/deps/detection_speed-3d69b7a3f78f25bb: crates/bench/src/bin/detection_speed.rs
+
+crates/bench/src/bin/detection_speed.rs:

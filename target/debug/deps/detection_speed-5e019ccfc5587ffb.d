@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection_speed-5e019ccfc5587ffb.d: crates/bench/src/bin/detection_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection_speed-5e019ccfc5587ffb.rmeta: crates/bench/src/bin/detection_speed.rs Cargo.toml
+
+crates/bench/src/bin/detection_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

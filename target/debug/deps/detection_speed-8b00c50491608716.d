@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection_speed-8b00c50491608716.d: crates/bench/src/bin/detection_speed.rs
+
+/root/repo/target/debug/deps/detection_speed-8b00c50491608716: crates/bench/src/bin/detection_speed.rs
+
+crates/bench/src/bin/detection_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-87dbc096f3560402.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-87dbc096f3560402: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

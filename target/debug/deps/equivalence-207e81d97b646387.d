@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-207e81d97b646387.d: crates/faultsim/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-207e81d97b646387.rmeta: crates/faultsim/tests/equivalence.rs Cargo.toml
+
+crates/faultsim/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-f8c598b5c7494dcc.d: crates/faultsim/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-f8c598b5c7494dcc: crates/faultsim/tests/equivalence.rs
+
+crates/faultsim/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_model_study-6202a5e3ffd3ff36.d: crates/bench/src/bin/fault_model_study.rs
+
+/root/repo/target/debug/deps/fault_model_study-6202a5e3ffd3ff36: crates/bench/src/bin/fault_model_study.rs
+
+crates/bench/src/bin/fault_model_study.rs:

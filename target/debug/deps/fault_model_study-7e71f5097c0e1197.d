@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_model_study-7e71f5097c0e1197.d: crates/bench/src/bin/fault_model_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_model_study-7e71f5097c0e1197.rmeta: crates/bench/src/bin/fault_model_study.rs Cargo.toml
+
+crates/bench/src/bin/fault_model_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_model_study-cd014125e620ed53.d: crates/bench/src/bin/fault_model_study.rs
+
+/root/repo/target/debug/deps/fault_model_study-cd014125e620ed53: crates/bench/src/bin/fault_model_study.rs
+
+crates/bench/src/bin/fault_model_study.rs:

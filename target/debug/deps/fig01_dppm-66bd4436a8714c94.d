@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_dppm-66bd4436a8714c94.d: crates/bench/src/bin/fig01_dppm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_dppm-66bd4436a8714c94.rmeta: crates/bench/src/bin/fig01_dppm.rs Cargo.toml
+
+crates/bench/src/bin/fig01_dppm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

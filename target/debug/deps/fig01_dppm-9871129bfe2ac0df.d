@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_dppm-9871129bfe2ac0df.d: crates/bench/src/bin/fig01_dppm.rs
+
+/root/repo/target/debug/deps/fig01_dppm-9871129bfe2ac0df: crates/bench/src/bin/fig01_dppm.rs
+
+crates/bench/src/bin/fig01_dppm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_dppm-ff5fe6d365b59a95.d: crates/bench/src/bin/fig01_dppm.rs
+
+/root/repo/target/debug/deps/fig01_dppm-ff5fe6d365b59a95: crates/bench/src/bin/fig01_dppm.rs
+
+crates/bench/src/bin/fig01_dppm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_arrays-2ddeed763db5c935.d: crates/bench/src/bin/fig04_arrays.rs
+
+/root/repo/target/debug/deps/fig04_arrays-2ddeed763db5c935: crates/bench/src/bin/fig04_arrays.rs
+
+crates/bench/src/bin/fig04_arrays.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_arrays-552093c3691d8cda.d: crates/bench/src/bin/fig04_arrays.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_arrays-552093c3691d8cda.rmeta: crates/bench/src/bin/fig04_arrays.rs Cargo.toml
+
+crates/bench/src/bin/fig04_arrays.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_arrays-f0c00e888ae15301.d: crates/bench/src/bin/fig04_arrays.rs
+
+/root/repo/target/debug/deps/fig04_arrays-f0c00e888ae15301: crates/bench/src/bin/fig04_arrays.rs
+
+crates/bench/src/bin/fig04_arrays.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_intfu-73b4d77d7c650f04.d: crates/bench/src/bin/fig05_intfu.rs
+
+/root/repo/target/debug/deps/fig05_intfu-73b4d77d7c650f04: crates/bench/src/bin/fig05_intfu.rs
+
+crates/bench/src/bin/fig05_intfu.rs:

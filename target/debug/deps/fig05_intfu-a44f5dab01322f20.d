@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_intfu-a44f5dab01322f20.d: crates/bench/src/bin/fig05_intfu.rs
+
+/root/repo/target/debug/deps/fig05_intfu-a44f5dab01322f20: crates/bench/src/bin/fig05_intfu.rs
+
+crates/bench/src/bin/fig05_intfu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_intfu-eb678721bceae58d.d: crates/bench/src/bin/fig05_intfu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_intfu-eb678721bceae58d.rmeta: crates/bench/src/bin/fig05_intfu.rs Cargo.toml
+
+crates/bench/src/bin/fig05_intfu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_fpfu-02259b5e06bb8e6a.d: crates/bench/src/bin/fig06_fpfu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_fpfu-02259b5e06bb8e6a.rmeta: crates/bench/src/bin/fig06_fpfu.rs Cargo.toml
+
+crates/bench/src/bin/fig06_fpfu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

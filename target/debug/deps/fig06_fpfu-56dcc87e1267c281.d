@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_fpfu-56dcc87e1267c281.d: crates/bench/src/bin/fig06_fpfu.rs
+
+/root/repo/target/debug/deps/fig06_fpfu-56dcc87e1267c281: crates/bench/src/bin/fig06_fpfu.rs
+
+crates/bench/src/bin/fig06_fpfu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_fpfu-75850b5bb45ca0ab.d: crates/bench/src/bin/fig06_fpfu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_fpfu-75850b5bb45ca0ab.rmeta: crates/bench/src/bin/fig06_fpfu.rs Cargo.toml
+
+crates/bench/src/bin/fig06_fpfu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_fpfu-9e5a391d7bd430fe.d: crates/bench/src/bin/fig06_fpfu.rs
+
+/root/repo/target/debug/deps/fig06_fpfu-9e5a391d7bd430fe: crates/bench/src/bin/fig06_fpfu.rs
+
+crates/bench/src/bin/fig06_fpfu.rs:

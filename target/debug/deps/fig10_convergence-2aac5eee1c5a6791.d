@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_convergence-2aac5eee1c5a6791.d: crates/bench/src/bin/fig10_convergence.rs
+
+/root/repo/target/debug/deps/fig10_convergence-2aac5eee1c5a6791: crates/bench/src/bin/fig10_convergence.rs
+
+crates/bench/src/bin/fig10_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_convergence-5f3cb947b467ace0.d: crates/bench/src/bin/fig10_convergence.rs
+
+/root/repo/target/debug/deps/fig10_convergence-5f3cb947b467ace0: crates/bench/src/bin/fig10_convergence.rs
+
+crates/bench/src/bin/fig10_convergence.rs:

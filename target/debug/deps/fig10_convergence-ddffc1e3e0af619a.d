@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_convergence-ddffc1e3e0af619a.d: crates/bench/src/bin/fig10_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_convergence-ddffc1e3e0af619a.rmeta: crates/bench/src/bin/fig10_convergence.rs Cargo.toml
+
+crates/bench/src/bin/fig10_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

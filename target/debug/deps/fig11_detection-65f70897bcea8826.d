@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_detection-65f70897bcea8826.d: crates/bench/src/bin/fig11_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_detection-65f70897bcea8826.rmeta: crates/bench/src/bin/fig11_detection.rs Cargo.toml
+
+crates/bench/src/bin/fig11_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

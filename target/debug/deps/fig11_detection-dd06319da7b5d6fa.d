@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_detection-dd06319da7b5d6fa.d: crates/bench/src/bin/fig11_detection.rs
+
+/root/repo/target/debug/deps/fig11_detection-dd06319da7b5d6fa: crates/bench/src/bin/fig11_detection.rs
+
+crates/bench/src/bin/fig11_detection.rs:

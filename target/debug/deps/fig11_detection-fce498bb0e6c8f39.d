@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_detection-fce498bb0e6c8f39.d: crates/bench/src/bin/fig11_detection.rs
+
+/root/repo/target/debug/deps/fig11_detection-fce498bb0e6c8f39: crates/bench/src/bin/fig11_detection.rs
+
+crates/bench/src/bin/fig11_detection.rs:

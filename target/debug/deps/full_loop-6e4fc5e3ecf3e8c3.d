@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_loop-6e4fc5e3ecf3e8c3.d: tests/full_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_loop-6e4fc5e3ecf3e8c3.rmeta: tests/full_loop.rs Cargo.toml
+
+tests/full_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

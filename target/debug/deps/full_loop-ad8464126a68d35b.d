@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_loop-ad8464126a68d35b.d: tests/full_loop.rs
+
+/root/repo/target/debug/deps/full_loop-ad8464126a68d35b: tests/full_loop.rs
+
+tests/full_loop.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harpo-2686aac005a834d6.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+/root/repo/target/debug/deps/harpo-2686aac005a834d6: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/autopsy.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/report.rs:
+crates/cli/src/watch.rs:

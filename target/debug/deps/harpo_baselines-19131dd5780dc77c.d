@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/harpo_baselines-19131dd5780dc77c.d: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharpo_baselines-19131dd5780dc77c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kern.rs:
+crates/baselines/src/mibench.rs:
+crates/baselines/src/opendcdiag.rs:
+crates/baselines/src/silifuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/harpo_baselines-95b687862ceb669d.d: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+/root/repo/target/debug/deps/libharpo_baselines-95b687862ceb669d.rlib: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+/root/repo/target/debug/deps/libharpo_baselines-95b687862ceb669d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kern.rs:
+crates/baselines/src/mibench.rs:
+crates/baselines/src/opendcdiag.rs:
+crates/baselines/src/silifuzz.rs:

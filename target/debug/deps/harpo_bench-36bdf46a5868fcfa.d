@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/harpo_bench-36bdf46a5868fcfa.d: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/debug/deps/libharpo_bench-36bdf46a5868fcfa.rlib: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/debug/deps/libharpo_bench-36bdf46a5868fcfa.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/harpo_bench-3846e509f27c23fb.d: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/debug/deps/harpo_bench-3846e509f27c23fb: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harpo_bench-5dd7630d35cfe0ea.d: crates/bench/src/lib.rs crates/bench/src/diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharpo_bench-5dd7630d35cfe0ea.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

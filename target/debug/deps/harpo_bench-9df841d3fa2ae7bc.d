@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/harpo_bench-9df841d3fa2ae7bc.d: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/debug/deps/libharpo_bench-9df841d3fa2ae7bc.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/harpo_bench-e7a241f28b514d58.d: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/debug/deps/libharpo_bench-e7a241f28b514d58.rlib: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/debug/deps/libharpo_bench-e7a241f28b514d58.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harpo_bench-f5d3d4de87c7569e.d: crates/bench/src/lib.rs crates/bench/src/diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharpo_bench-f5d3d4de87c7569e.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

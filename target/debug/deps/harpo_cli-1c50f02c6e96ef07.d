@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/harpo_cli-1c50f02c6e96ef07.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharpo_cli-1c50f02c6e96ef07.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/autopsy.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/report.rs:
+crates/cli/src/watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

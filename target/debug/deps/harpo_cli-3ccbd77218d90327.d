@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harpo_cli-3ccbd77218d90327.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+/root/repo/target/debug/deps/harpo_cli-3ccbd77218d90327: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/autopsy.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/report.rs:
+crates/cli/src/watch.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harpo_cli-d2e8fdca9899b017.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+/root/repo/target/debug/deps/libharpo_cli-d2e8fdca9899b017.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+/root/repo/target/debug/deps/libharpo_cli-d2e8fdca9899b017.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/autopsy.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/report.rs:
+crates/cli/src/watch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harpo_core-6cd90840ca9c0c1e.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/harpo_core-6cd90840ca9c0c1e: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/evaluator.rs:
+crates/core/src/memo.rs:
+crates/core/src/presets.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/harpo_core-8c216c0403797041.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/libharpo_core-8c216c0403797041.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/libharpo_core-8c216c0403797041.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/evaluator.rs:
+crates/core/src/memo.rs:
+crates/core/src/presets.rs:

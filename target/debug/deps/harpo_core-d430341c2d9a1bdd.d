@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/harpo_core-d430341c2d9a1bdd.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/libharpo_core-d430341c2d9a1bdd.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/debug/deps/libharpo_core-d430341c2d9a1bdd.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/evaluator.rs:
+crates/core/src/memo.rs:
+crates/core/src/presets.rs:

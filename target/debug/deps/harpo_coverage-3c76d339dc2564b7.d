@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harpo_coverage-3c76d339dc2564b7.d: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/debug/deps/libharpo_coverage-3c76d339dc2564b7.rmeta: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+crates/coverage/src/lib.rs:
+crates/coverage/src/ace.rs:
+crates/coverage/src/ibr.rs:
+crates/coverage/src/liveness.rs:
+crates/coverage/src/objective.rs:

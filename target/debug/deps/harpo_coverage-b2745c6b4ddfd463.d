@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harpo_coverage-b2745c6b4ddfd463.d: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/debug/deps/harpo_coverage-b2745c6b4ddfd463: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+crates/coverage/src/lib.rs:
+crates/coverage/src/ace.rs:
+crates/coverage/src/ibr.rs:
+crates/coverage/src/liveness.rs:
+crates/coverage/src/objective.rs:

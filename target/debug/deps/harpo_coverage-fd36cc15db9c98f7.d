@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/harpo_coverage-fd36cc15db9c98f7.d: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/debug/deps/libharpo_coverage-fd36cc15db9c98f7.rlib: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/debug/deps/libharpo_coverage-fd36cc15db9c98f7.rmeta: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+crates/coverage/src/lib.rs:
+crates/coverage/src/ace.rs:
+crates/coverage/src/ibr.rs:
+crates/coverage/src/liveness.rs:
+crates/coverage/src/objective.rs:

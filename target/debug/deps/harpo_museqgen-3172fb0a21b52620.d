@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harpo_museqgen-3172fb0a21b52620.d: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+/root/repo/target/debug/deps/libharpo_museqgen-3172fb0a21b52620.rlib: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+/root/repo/target/debug/deps/libharpo_museqgen-3172fb0a21b52620.rmeta: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+crates/museqgen/src/lib.rs:
+crates/museqgen/src/constraints.rs:
+crates/museqgen/src/generator.rs:
+crates/museqgen/src/mutate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/harpo_museqgen-646846b3efb90878.d: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+/root/repo/target/debug/deps/libharpo_museqgen-646846b3efb90878.rmeta: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+crates/museqgen/src/lib.rs:
+crates/museqgen/src/constraints.rs:
+crates/museqgen/src/generator.rs:
+crates/museqgen/src/mutate.rs:

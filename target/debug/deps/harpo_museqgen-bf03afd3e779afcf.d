@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/harpo_museqgen-bf03afd3e779afcf.d: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+/root/repo/target/debug/deps/libharpo_museqgen-bf03afd3e779afcf.rlib: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+/root/repo/target/debug/deps/libharpo_museqgen-bf03afd3e779afcf.rmeta: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+crates/museqgen/src/lib.rs:
+crates/museqgen/src/constraints.rs:
+crates/museqgen/src/generator.rs:
+crates/museqgen/src/mutate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/harpo_museqgen-c31ab0c4ada99bb4.d: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+/root/repo/target/debug/deps/harpo_museqgen-c31ab0c4ada99bb4: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+crates/museqgen/src/lib.rs:
+crates/museqgen/src/constraints.rs:
+crates/museqgen/src/generator.rs:
+crates/museqgen/src/mutate.rs:

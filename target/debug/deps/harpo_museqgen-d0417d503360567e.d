@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harpo_museqgen-d0417d503360567e.d: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharpo_museqgen-d0417d503360567e.rmeta: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs Cargo.toml
+
+crates/museqgen/src/lib.rs:
+crates/museqgen/src/constraints.rs:
+crates/museqgen/src/generator.rs:
+crates/museqgen/src/mutate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

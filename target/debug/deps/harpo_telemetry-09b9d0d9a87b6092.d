@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harpo_telemetry-09b9d0d9a87b6092.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_telemetry-09b9d0d9a87b6092.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/stream.rs:
+crates/telemetry/src/trace.rs:

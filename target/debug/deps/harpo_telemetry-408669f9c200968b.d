@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/harpo_telemetry-408669f9c200968b.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_telemetry-408669f9c200968b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_telemetry-408669f9c200968b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/stream.rs:
+crates/telemetry/src/trace.rs:

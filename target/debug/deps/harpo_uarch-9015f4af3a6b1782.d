@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/harpo_uarch-9015f4af3a6b1782.d: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_uarch-9015f4af3a6b1782.rlib: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_uarch-9015f4af3a6b1782.rmeta: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/config.rs:
+crates/uarch/src/core.rs:
+crates/uarch/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/harpo_uarch-be44bb9ff89c865e.d: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_uarch-be44bb9ff89c865e.rlib: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_uarch-be44bb9ff89c865e.rmeta: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/config.rs:
+crates/uarch/src/core.rs:
+crates/uarch/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harpo_uarch-f5f1252c17ee5b3d.d: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/debug/deps/libharpo_uarch-f5f1252c17ee5b3d.rmeta: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/config.rs:
+crates/uarch/src/core.rs:
+crates/uarch/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harpocrates-523c12923b23777b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharpocrates-523c12923b23777b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harpocrates-726b7be842c8bccd.d: src/lib.rs
+
+/root/repo/target/debug/deps/harpocrates-726b7be842c8bccd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/harpocrates-854403062e1f65c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libharpocrates-854403062e1f65c7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libharpocrates-854403062e1f65c7.rmeta: src/lib.rs
+
+src/lib.rs:

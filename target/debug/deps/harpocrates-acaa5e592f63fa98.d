@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/harpocrates-acaa5e592f63fa98.d: src/lib.rs
+
+/root/repo/target/debug/deps/libharpocrates-acaa5e592f63fa98.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libharpocrates-acaa5e592f63fa98.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lineage-523750e047e51ba4.d: crates/core/tests/lineage.rs
+
+/root/repo/target/debug/deps/lineage-523750e047e51ba4: crates/core/tests/lineage.rs
+
+crates/core/tests/lineage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lineage-a3fe215eed95db79.d: crates/core/tests/lineage.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblineage-a3fe215eed95db79.rmeta: crates/core/tests/lineage.rs Cargo.toml
+
+crates/core/tests/lineage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_speed-50382b9efcdc87a0.d: crates/bench/src/bin/pipeline_speed.rs
+
+/root/repo/target/debug/deps/pipeline_speed-50382b9efcdc87a0: crates/bench/src/bin/pipeline_speed.rs
+
+crates/bench/src/bin/pipeline_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_speed-9f4d4dd91873e38f.d: crates/bench/src/bin/pipeline_speed.rs
+
+/root/repo/target/debug/deps/pipeline_speed-9f4d4dd91873e38f: crates/bench/src/bin/pipeline_speed.rs
+
+crates/bench/src/bin/pipeline_speed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_speed-af72fd6dc99d527f.d: crates/bench/src/bin/pipeline_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_speed-af72fd6dc99d527f.rmeta: crates/bench/src/bin/pipeline_speed.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_speed-e3d66aa04f044c19.d: crates/bench/src/bin/pipeline_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_speed-e3d66aa04f044c19.rmeta: crates/bench/src/bin/pipeline_speed.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

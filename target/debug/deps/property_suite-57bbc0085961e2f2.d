@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_suite-57bbc0085961e2f2.d: tests/property_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_suite-57bbc0085961e2f2.rmeta: tests/property_suite.rs Cargo.toml
+
+tests/property_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_suite-8110e91c16371cb0.d: tests/property_suite.rs
+
+/root/repo/target/debug/deps/property_suite-8110e91c16371cb0: tests/property_suite.rs
+
+tests/property_suite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7a88e2acc4faf56b.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7a88e2acc4faf56b.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7a88e2acc4faf56b.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

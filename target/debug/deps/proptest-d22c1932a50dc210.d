@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d22c1932a50dc210.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d22c1932a50dc210.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-186110fd2d45fd9e.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-186110fd2d45fd9e.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-4489fe94c7c8493a.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4489fe94c7c8493a.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4489fe94c7c8493a.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

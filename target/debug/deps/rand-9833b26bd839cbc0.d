@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-9833b26bd839cbc0.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9833b26bd839cbc0.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9833b26bd839cbc0.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rate_comparison-1539af6386805e36.d: crates/bench/src/bin/rate_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/librate_comparison-1539af6386805e36.rmeta: crates/bench/src/bin/rate_comparison.rs Cargo.toml
+
+crates/bench/src/bin/rate_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

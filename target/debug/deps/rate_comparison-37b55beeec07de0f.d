@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rate_comparison-37b55beeec07de0f.d: crates/bench/src/bin/rate_comparison.rs
+
+/root/repo/target/debug/deps/rate_comparison-37b55beeec07de0f: crates/bench/src/bin/rate_comparison.rs
+
+crates/bench/src/bin/rate_comparison.rs:

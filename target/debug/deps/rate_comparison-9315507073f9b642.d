@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rate_comparison-9315507073f9b642.d: crates/bench/src/bin/rate_comparison.rs
+
+/root/repo/target/debug/deps/rate_comparison-9315507073f9b642: crates/bench/src/bin/rate_comparison.rs
+
+crates/bench/src/bin/rate_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rate_comparison-d009b7f30bd4ee98.d: crates/bench/src/bin/rate_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/librate_comparison-d009b7f30bd4ee98.rmeta: crates/bench/src/bin/rate_comparison.rs Cargo.toml
+
+crates/bench/src/bin/rate_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

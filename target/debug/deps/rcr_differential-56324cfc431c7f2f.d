@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcr_differential-56324cfc431c7f2f.d: tests/rcr_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcr_differential-56324cfc431c7f2f.rmeta: tests/rcr_differential.rs Cargo.toml
+
+tests/rcr_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

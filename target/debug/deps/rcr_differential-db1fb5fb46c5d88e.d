@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rcr_differential-db1fb5fb46c5d88e.d: tests/rcr_differential.rs
+
+/root/repo/target/debug/deps/rcr_differential-db1fb5fb46c5d88e: tests/rcr_differential.rs
+
+tests/rcr_differential.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/report_snapshot-4c588d60a79291de.d: crates/cli/tests/report_snapshot.rs
+
+/root/repo/target/debug/deps/report_snapshot-4c588d60a79291de: crates/cli/tests/report_snapshot.rs
+
+crates/cli/tests/report_snapshot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli

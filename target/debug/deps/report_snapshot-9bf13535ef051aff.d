@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/report_snapshot-9bf13535ef051aff.d: crates/cli/tests/report_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_snapshot-9bf13535ef051aff.rmeta: crates/cli/tests/report_snapshot.rs Cargo.toml
+
+crates/cli/tests/report_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

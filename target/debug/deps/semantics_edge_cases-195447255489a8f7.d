@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics_edge_cases-195447255489a8f7.d: tests/semantics_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics_edge_cases-195447255489a8f7.rmeta: tests/semantics_edge_cases.rs Cargo.toml
+
+tests/semantics_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics_edge_cases-96c5f305126a70f2.d: tests/semantics_edge_cases.rs
+
+/root/repo/target/debug/deps/semantics_edge_cases-96c5f305126a70f2: tests/semantics_edge_cases.rs
+
+tests/semantics_edge_cases.rs:

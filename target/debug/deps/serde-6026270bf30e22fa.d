@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6026270bf30e22fa.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6026270bf30e22fa.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6026270bf30e22fa.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

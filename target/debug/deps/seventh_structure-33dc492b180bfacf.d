@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seventh_structure-33dc492b180bfacf.d: crates/bench/src/bin/seventh_structure.rs
+
+/root/repo/target/debug/deps/seventh_structure-33dc492b180bfacf: crates/bench/src/bin/seventh_structure.rs
+
+crates/bench/src/bin/seventh_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seventh_structure-3b98fcc847e708e5.d: crates/bench/src/bin/seventh_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseventh_structure-3b98fcc847e708e5.rmeta: crates/bench/src/bin/seventh_structure.rs Cargo.toml
+
+crates/bench/src/bin/seventh_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seventh_structure-7903f042b30f2bee.d: crates/bench/src/bin/seventh_structure.rs
+
+/root/repo/target/debug/deps/seventh_structure-7903f042b30f2bee: crates/bench/src/bin/seventh_structure.rs
+
+crates/bench/src/bin/seventh_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming-022a853a89382470.d: crates/faultsim/tests/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming-022a853a89382470.rmeta: crates/faultsim/tests/streaming.rs Cargo.toml
+
+crates/faultsim/tests/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming-4810ab1991d7652c.d: crates/faultsim/tests/streaming.rs
+
+/root/repo/target/debug/deps/streaming-4810ab1991d7652c: crates/faultsim/tests/streaming.rs
+
+crates/faultsim/tests/streaming.rs:

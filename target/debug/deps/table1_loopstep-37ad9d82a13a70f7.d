@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_loopstep-37ad9d82a13a70f7.d: crates/bench/src/bin/table1_loopstep.rs
+
+/root/repo/target/debug/deps/table1_loopstep-37ad9d82a13a70f7: crates/bench/src/bin/table1_loopstep.rs
+
+crates/bench/src/bin/table1_loopstep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_loopstep-b0581351c2cdfed4.d: crates/bench/src/bin/table1_loopstep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_loopstep-b0581351c2cdfed4.rmeta: crates/bench/src/bin/table1_loopstep.rs Cargo.toml
+
+crates/bench/src/bin/table1_loopstep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_loopstep-c853b1fe81d0adcb.d: crates/bench/src/bin/table1_loopstep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_loopstep-c853b1fe81d0adcb.rmeta: crates/bench/src/bin/table1_loopstep.rs Cargo.toml
+
+crates/bench/src/bin/table1_loopstep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_loopstep-ff0c42630a2883c8.d: crates/bench/src/bin/table1_loopstep.rs
+
+/root/repo/target/debug/deps/table1_loopstep-ff0c42630a2883c8: crates/bench/src/bin/table1_loopstep.rs
+
+crates/bench/src/bin/table1_loopstep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_journal-16d0064e52ac258f.d: tests/telemetry_journal.rs
+
+/root/repo/target/debug/deps/telemetry_journal-16d0064e52ac258f: tests/telemetry_journal.rs
+
+tests/telemetry_journal.rs:

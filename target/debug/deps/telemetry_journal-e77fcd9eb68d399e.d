@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_journal-e77fcd9eb68d399e.d: tests/telemetry_journal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_journal-e77fcd9eb68d399e.rmeta: tests/telemetry_journal.rs Cargo.toml
+
+tests/telemetry_journal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uarch_sensitivity-0671fec1a837a23a.d: tests/uarch_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuarch_sensitivity-0671fec1a837a23a.rmeta: tests/uarch_sensitivity.rs Cargo.toml
+
+tests/uarch_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uarch_sensitivity-9157ca86e4ffd934.d: tests/uarch_sensitivity.rs
+
+/root/repo/target/debug/deps/uarch_sensitivity-9157ca86e4ffd934: tests/uarch_sensitivity.rs
+
+tests/uarch_sensitivity.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/watch_stream-2846498cbf2b19fb.d: crates/cli/tests/watch_stream.rs
+
+/root/repo/target/debug/deps/watch_stream-2846498cbf2b19fb: crates/cli/tests/watch_stream.rs
+
+crates/cli/tests/watch_stream.rs:
+
+# env-dep:CARGO_BIN_EXE_harpo=/root/repo/target/debug/harpo

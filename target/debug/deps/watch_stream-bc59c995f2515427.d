@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/watch_stream-bc59c995f2515427.d: crates/cli/tests/watch_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwatch_stream-bc59c995f2515427.rmeta: crates/cli/tests/watch_stream.rs Cargo.toml
+
+crates/cli/tests/watch_stream.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_harpo=placeholder:harpo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bug_hunt-8a45972cd0359bdb.d: examples/bug_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbug_hunt-8a45972cd0359bdb.rmeta: examples/bug_hunt.rs Cargo.toml
+
+examples/bug_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bug_hunt-d8da001c8e545ed8.d: examples/bug_hunt.rs
+
+/root/repo/target/debug/examples/bug_hunt-d8da001c8e545ed8: examples/bug_hunt.rs
+
+examples/bug_hunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleetscanner-1cf66a09dcfdd2fe.d: examples/fleetscanner.rs
+
+/root/repo/target/debug/examples/fleetscanner-1cf66a09dcfdd2fe: examples/fleetscanner.rs
+
+examples/fleetscanner.rs:

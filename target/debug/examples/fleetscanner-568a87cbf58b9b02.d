@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleetscanner-568a87cbf58b9b02.d: examples/fleetscanner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleetscanner-568a87cbf58b9b02.rmeta: examples/fleetscanner.rs Cargo.toml
+
+examples/fleetscanner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

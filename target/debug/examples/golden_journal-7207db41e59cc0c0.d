@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/golden_journal-7207db41e59cc0c0.d: examples/golden_journal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgolden_journal-7207db41e59cc0c0.rmeta: examples/golden_journal.rs Cargo.toml
+
+examples/golden_journal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

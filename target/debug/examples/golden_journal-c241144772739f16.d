@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/golden_journal-c241144772739f16.d: examples/golden_journal.rs
+
+/root/repo/target/debug/examples/golden_journal-c241144772739f16: examples/golden_journal.rs
+
+examples/golden_journal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0524aad82486a70a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0524aad82486a70a: examples/quickstart.rs
+
+examples/quickstart.rs:

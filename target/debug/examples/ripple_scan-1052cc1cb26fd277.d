@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ripple_scan-1052cc1cb26fd277.d: examples/ripple_scan.rs
+
+/root/repo/target/debug/examples/ripple_scan-1052cc1cb26fd277: examples/ripple_scan.rs
+
+examples/ripple_scan.rs:

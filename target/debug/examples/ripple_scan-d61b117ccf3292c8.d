@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ripple_scan-d61b117ccf3292c8.d: examples/ripple_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libripple_scan-d61b117ccf3292c8.rmeta: examples/ripple_scan.rs Cargo.toml
+
+examples/ripple_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/structure_explorer-c59521e487275505.d: examples/structure_explorer.rs
+
+/root/repo/target/debug/examples/structure_explorer-c59521e487275505: examples/structure_explorer.rs
+
+examples/structure_explorer.rs:

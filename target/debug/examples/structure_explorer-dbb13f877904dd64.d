@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/structure_explorer-dbb13f877904dd64.d: examples/structure_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstructure_explorer-dbb13f877904dd64.rmeta: examples/structure_explorer.rs Cargo.toml
+
+examples/structure_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

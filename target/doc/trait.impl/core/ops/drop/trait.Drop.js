@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["harpo_telemetry",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"harpo_telemetry/sink/struct.JsonlSink.html\" title=\"struct harpo_telemetry::sink::JsonlSink\">JsonlSink</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"harpo_telemetry/span/struct.Span.html\" title=\"struct harpo_telemetry::span::Span\">Span</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[594]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_l1d-7b34537c5430cd34.d: crates/bench/src/bin/ablation_l1d.rs
+
+/root/repo/target/release/deps/ablation_l1d-7b34537c5430cd34: crates/bench/src/bin/ablation_l1d.rs
+
+crates/bench/src/bin/ablation_l1d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_l1d-d66b532282e111c1.d: crates/bench/src/bin/ablation_l1d.rs
+
+/root/repo/target/release/deps/ablation_l1d-d66b532282e111c1: crates/bench/src/bin/ablation_l1d.rs
+
+crates/bench/src/bin/ablation_l1d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_l1d-da9c149bd90ce41a.d: crates/bench/src/bin/ablation_l1d.rs
+
+/root/repo/target/release/deps/ablation_l1d-da9c149bd90ce41a: crates/bench/src/bin/ablation_l1d.rs
+
+crates/bench/src/bin/ablation_l1d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_mutation-0efdd6ac448553e2.d: crates/bench/src/bin/ablation_mutation.rs
+
+/root/repo/target/release/deps/ablation_mutation-0efdd6ac448553e2: crates/bench/src/bin/ablation_mutation.rs
+
+crates/bench/src/bin/ablation_mutation.rs:

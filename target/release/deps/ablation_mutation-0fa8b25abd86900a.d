@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_mutation-0fa8b25abd86900a.d: crates/bench/src/bin/ablation_mutation.rs
+
+/root/repo/target/release/deps/ablation_mutation-0fa8b25abd86900a: crates/bench/src/bin/ablation_mutation.rs
+
+crates/bench/src/bin/ablation_mutation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_mutation-5351c69aebeff119.d: crates/bench/src/bin/ablation_mutation.rs
+
+/root/repo/target/release/deps/ablation_mutation-5351c69aebeff119: crates/bench/src/bin/ablation_mutation.rs
+
+crates/bench/src/bin/ablation_mutation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_diff-7dc70d1c0c0e2466.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/release/deps/bench_diff-7dc70d1c0c0e2466: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

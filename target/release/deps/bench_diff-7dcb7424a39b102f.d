@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_diff-7dcb7424a39b102f.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/release/deps/bench_diff-7dcb7424a39b102f: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

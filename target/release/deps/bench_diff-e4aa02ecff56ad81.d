@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_diff-e4aa02ecff56ad81.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/release/deps/bench_diff-e4aa02ecff56ad81: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

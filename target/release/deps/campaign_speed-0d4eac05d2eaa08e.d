@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_speed-0d4eac05d2eaa08e.d: crates/bench/src/bin/campaign_speed.rs
+
+/root/repo/target/release/deps/campaign_speed-0d4eac05d2eaa08e: crates/bench/src/bin/campaign_speed.rs
+
+crates/bench/src/bin/campaign_speed.rs:

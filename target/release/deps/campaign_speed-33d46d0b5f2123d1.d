@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_speed-33d46d0b5f2123d1.d: crates/bench/src/bin/campaign_speed.rs
+
+/root/repo/target/release/deps/campaign_speed-33d46d0b5f2123d1: crates/bench/src/bin/campaign_speed.rs
+
+crates/bench/src/bin/campaign_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_speed-95afa7ac9c968524.d: crates/bench/src/bin/campaign_speed.rs
+
+/root/repo/target/release/deps/campaign_speed-95afa7ac9c968524: crates/bench/src/bin/campaign_speed.rs
+
+crates/bench/src/bin/campaign_speed.rs:

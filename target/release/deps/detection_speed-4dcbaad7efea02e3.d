@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detection_speed-4dcbaad7efea02e3.d: crates/bench/src/bin/detection_speed.rs
+
+/root/repo/target/release/deps/detection_speed-4dcbaad7efea02e3: crates/bench/src/bin/detection_speed.rs
+
+crates/bench/src/bin/detection_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detection_speed-bf356668621b7ed1.d: crates/bench/src/bin/detection_speed.rs
+
+/root/repo/target/release/deps/detection_speed-bf356668621b7ed1: crates/bench/src/bin/detection_speed.rs
+
+crates/bench/src/bin/detection_speed.rs:

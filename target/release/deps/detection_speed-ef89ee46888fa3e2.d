@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detection_speed-ef89ee46888fa3e2.d: crates/bench/src/bin/detection_speed.rs
+
+/root/repo/target/release/deps/detection_speed-ef89ee46888fa3e2: crates/bench/src/bin/detection_speed.rs
+
+crates/bench/src/bin/detection_speed.rs:

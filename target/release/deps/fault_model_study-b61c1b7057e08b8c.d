@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_model_study-b61c1b7057e08b8c.d: crates/bench/src/bin/fault_model_study.rs
+
+/root/repo/target/release/deps/fault_model_study-b61c1b7057e08b8c: crates/bench/src/bin/fault_model_study.rs
+
+crates/bench/src/bin/fault_model_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_model_study-e9be4186b71dea72.d: crates/bench/src/bin/fault_model_study.rs
+
+/root/repo/target/release/deps/fault_model_study-e9be4186b71dea72: crates/bench/src/bin/fault_model_study.rs
+
+crates/bench/src/bin/fault_model_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_model_study-f8e58d6d41f93e40.d: crates/bench/src/bin/fault_model_study.rs
+
+/root/repo/target/release/deps/fault_model_study-f8e58d6d41f93e40: crates/bench/src/bin/fault_model_study.rs
+
+crates/bench/src/bin/fault_model_study.rs:

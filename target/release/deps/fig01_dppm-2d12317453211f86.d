@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_dppm-2d12317453211f86.d: crates/bench/src/bin/fig01_dppm.rs
+
+/root/repo/target/release/deps/fig01_dppm-2d12317453211f86: crates/bench/src/bin/fig01_dppm.rs
+
+crates/bench/src/bin/fig01_dppm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_dppm-baa230aa27fa5ceb.d: crates/bench/src/bin/fig01_dppm.rs
+
+/root/repo/target/release/deps/fig01_dppm-baa230aa27fa5ceb: crates/bench/src/bin/fig01_dppm.rs
+
+crates/bench/src/bin/fig01_dppm.rs:

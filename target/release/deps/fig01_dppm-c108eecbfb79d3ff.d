@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_dppm-c108eecbfb79d3ff.d: crates/bench/src/bin/fig01_dppm.rs
+
+/root/repo/target/release/deps/fig01_dppm-c108eecbfb79d3ff: crates/bench/src/bin/fig01_dppm.rs
+
+crates/bench/src/bin/fig01_dppm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_arrays-228e97ad75d77271.d: crates/bench/src/bin/fig04_arrays.rs
+
+/root/repo/target/release/deps/fig04_arrays-228e97ad75d77271: crates/bench/src/bin/fig04_arrays.rs
+
+crates/bench/src/bin/fig04_arrays.rs:

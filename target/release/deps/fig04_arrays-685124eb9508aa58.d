@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_arrays-685124eb9508aa58.d: crates/bench/src/bin/fig04_arrays.rs
+
+/root/repo/target/release/deps/fig04_arrays-685124eb9508aa58: crates/bench/src/bin/fig04_arrays.rs
+
+crates/bench/src/bin/fig04_arrays.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_arrays-93828b0a5b4ab74c.d: crates/bench/src/bin/fig04_arrays.rs
+
+/root/repo/target/release/deps/fig04_arrays-93828b0a5b4ab74c: crates/bench/src/bin/fig04_arrays.rs
+
+crates/bench/src/bin/fig04_arrays.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_intfu-c8cfbc4a6abd1f1a.d: crates/bench/src/bin/fig05_intfu.rs
+
+/root/repo/target/release/deps/fig05_intfu-c8cfbc4a6abd1f1a: crates/bench/src/bin/fig05_intfu.rs
+
+crates/bench/src/bin/fig05_intfu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_intfu-ee26696844c643fd.d: crates/bench/src/bin/fig05_intfu.rs
+
+/root/repo/target/release/deps/fig05_intfu-ee26696844c643fd: crates/bench/src/bin/fig05_intfu.rs
+
+crates/bench/src/bin/fig05_intfu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_intfu-fe1a69a324046f43.d: crates/bench/src/bin/fig05_intfu.rs
+
+/root/repo/target/release/deps/fig05_intfu-fe1a69a324046f43: crates/bench/src/bin/fig05_intfu.rs
+
+crates/bench/src/bin/fig05_intfu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_fpfu-07ac0c4fa22b3eb6.d: crates/bench/src/bin/fig06_fpfu.rs
+
+/root/repo/target/release/deps/fig06_fpfu-07ac0c4fa22b3eb6: crates/bench/src/bin/fig06_fpfu.rs
+
+crates/bench/src/bin/fig06_fpfu.rs:

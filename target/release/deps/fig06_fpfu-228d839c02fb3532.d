@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_fpfu-228d839c02fb3532.d: crates/bench/src/bin/fig06_fpfu.rs
+
+/root/repo/target/release/deps/fig06_fpfu-228d839c02fb3532: crates/bench/src/bin/fig06_fpfu.rs
+
+crates/bench/src/bin/fig06_fpfu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_fpfu-66166dad035c36f5.d: crates/bench/src/bin/fig06_fpfu.rs
+
+/root/repo/target/release/deps/fig06_fpfu-66166dad035c36f5: crates/bench/src/bin/fig06_fpfu.rs
+
+crates/bench/src/bin/fig06_fpfu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_convergence-1d5b9d2dd25c774b.d: crates/bench/src/bin/fig10_convergence.rs
+
+/root/repo/target/release/deps/fig10_convergence-1d5b9d2dd25c774b: crates/bench/src/bin/fig10_convergence.rs
+
+crates/bench/src/bin/fig10_convergence.rs:

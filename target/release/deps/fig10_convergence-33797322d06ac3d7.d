@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_convergence-33797322d06ac3d7.d: crates/bench/src/bin/fig10_convergence.rs
+
+/root/repo/target/release/deps/fig10_convergence-33797322d06ac3d7: crates/bench/src/bin/fig10_convergence.rs
+
+crates/bench/src/bin/fig10_convergence.rs:

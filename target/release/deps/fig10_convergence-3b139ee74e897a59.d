@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_convergence-3b139ee74e897a59.d: crates/bench/src/bin/fig10_convergence.rs
+
+/root/repo/target/release/deps/fig10_convergence-3b139ee74e897a59: crates/bench/src/bin/fig10_convergence.rs
+
+crates/bench/src/bin/fig10_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_detection-64a59e8497f08071.d: crates/bench/src/bin/fig11_detection.rs
+
+/root/repo/target/release/deps/fig11_detection-64a59e8497f08071: crates/bench/src/bin/fig11_detection.rs
+
+crates/bench/src/bin/fig11_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_detection-b02bfdcc991d9ed9.d: crates/bench/src/bin/fig11_detection.rs
+
+/root/repo/target/release/deps/fig11_detection-b02bfdcc991d9ed9: crates/bench/src/bin/fig11_detection.rs
+
+crates/bench/src/bin/fig11_detection.rs:

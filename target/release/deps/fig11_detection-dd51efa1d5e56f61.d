@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_detection-dd51efa1d5e56f61.d: crates/bench/src/bin/fig11_detection.rs
+
+/root/repo/target/release/deps/fig11_detection-dd51efa1d5e56f61: crates/bench/src/bin/fig11_detection.rs
+
+crates/bench/src/bin/fig11_detection.rs:

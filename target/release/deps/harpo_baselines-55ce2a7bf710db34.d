@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/harpo_baselines-55ce2a7bf710db34.d: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+/root/repo/target/release/deps/libharpo_baselines-55ce2a7bf710db34.rlib: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+/root/repo/target/release/deps/libharpo_baselines-55ce2a7bf710db34.rmeta: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kern.rs:
+crates/baselines/src/mibench.rs:
+crates/baselines/src/opendcdiag.rs:
+crates/baselines/src/silifuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/harpo_baselines-7bce552e3d9708c2.d: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+/root/repo/target/release/deps/harpo_baselines-7bce552e3d9708c2: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kern.rs:
+crates/baselines/src/mibench.rs:
+crates/baselines/src/opendcdiag.rs:
+crates/baselines/src/silifuzz.rs:

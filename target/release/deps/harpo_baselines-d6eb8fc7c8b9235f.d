@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/harpo_baselines-d6eb8fc7c8b9235f.d: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+/root/repo/target/release/deps/libharpo_baselines-d6eb8fc7c8b9235f.rlib: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+/root/repo/target/release/deps/libharpo_baselines-d6eb8fc7c8b9235f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/kern.rs crates/baselines/src/mibench.rs crates/baselines/src/opendcdiag.rs crates/baselines/src/silifuzz.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/kern.rs:
+crates/baselines/src/mibench.rs:
+crates/baselines/src/opendcdiag.rs:
+crates/baselines/src/silifuzz.rs:

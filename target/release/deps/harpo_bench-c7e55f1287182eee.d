@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/harpo_bench-c7e55f1287182eee.d: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/release/deps/harpo_bench-c7e55f1287182eee: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:

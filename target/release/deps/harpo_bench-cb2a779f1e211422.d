@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/harpo_bench-cb2a779f1e211422.d: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/release/deps/libharpo_bench-cb2a779f1e211422.rlib: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/release/deps/libharpo_bench-cb2a779f1e211422.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/harpo_bench-dc7987701276a770.d: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/release/deps/libharpo_bench-dc7987701276a770.rlib: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+/root/repo/target/release/deps/libharpo_bench-dc7987701276a770.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/harpo_cli-388b0feb21254def.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+/root/repo/target/release/deps/harpo_cli-388b0feb21254def: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/autopsy.rs crates/cli/src/commands.rs crates/cli/src/report.rs crates/cli/src/watch.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/autopsy.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/report.rs:
+crates/cli/src/watch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/harpo_core-663b1719408bf487.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/release/deps/harpo_core-663b1719408bf487: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/evaluator.rs:
+crates/core/src/memo.rs:
+crates/core/src/presets.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/harpo_core-913d41149587128e.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/release/deps/libharpo_core-913d41149587128e.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+/root/repo/target/release/deps/libharpo_core-913d41149587128e.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/evaluator.rs crates/core/src/memo.rs crates/core/src/presets.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/evaluator.rs:
+crates/core/src/memo.rs:
+crates/core/src/presets.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/harpo_coverage-9a6d85ffdc445a84.d: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/release/deps/libharpo_coverage-9a6d85ffdc445a84.rlib: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/release/deps/libharpo_coverage-9a6d85ffdc445a84.rmeta: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+crates/coverage/src/lib.rs:
+crates/coverage/src/ace.rs:
+crates/coverage/src/ibr.rs:
+crates/coverage/src/liveness.rs:
+crates/coverage/src/objective.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/harpo_coverage-a28ce14c7e77031d.d: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/release/deps/libharpo_coverage-a28ce14c7e77031d.rlib: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+/root/repo/target/release/deps/libharpo_coverage-a28ce14c7e77031d.rmeta: crates/coverage/src/lib.rs crates/coverage/src/ace.rs crates/coverage/src/ibr.rs crates/coverage/src/liveness.rs crates/coverage/src/objective.rs
+
+crates/coverage/src/lib.rs:
+crates/coverage/src/ace.rs:
+crates/coverage/src/ibr.rs:
+crates/coverage/src/liveness.rs:
+crates/coverage/src/objective.rs:

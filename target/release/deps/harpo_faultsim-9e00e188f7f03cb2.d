@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/harpo_faultsim-9e00e188f7f03cb2.d: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+
+/root/repo/target/release/deps/libharpo_faultsim-9e00e188f7f03cb2.rlib: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+
+/root/repo/target/release/deps/libharpo_faultsim-9e00e188f7f03cb2.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+
+crates/faultsim/src/lib.rs:
+crates/faultsim/src/autopsy.rs:
+crates/faultsim/src/campaign.rs:
+crates/faultsim/src/checkpoint.rs:
+crates/faultsim/src/fault.rs:
+crates/faultsim/src/gate.rs:
+crates/faultsim/src/outcome.rs:
+crates/faultsim/src/plan.rs:
+crates/faultsim/src/replay.rs:
+crates/faultsim/src/stream.rs:

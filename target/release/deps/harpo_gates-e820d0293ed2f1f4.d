@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/harpo_gates-e820d0293ed2f1f4.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+
+/root/repo/target/release/deps/libharpo_gates-e820d0293ed2f1f4.rlib: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+
+/root/repo/target/release/deps/libharpo_gates-e820d0293ed2f1f4.rmeta: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+
+crates/gates/src/lib.rs:
+crates/gates/src/adder.rs:
+crates/gates/src/components.rs:
+crates/gates/src/eval.rs:
+crates/gates/src/fp_common.rs:
+crates/gates/src/fpadd.rs:
+crates/gates/src/fpmul.rs:
+crates/gates/src/multiplier.rs:
+crates/gates/src/netlist.rs:
+crates/gates/src/provider.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/harpo_museqgen-ddf7bcd61f6aad7e.d: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+/root/repo/target/release/deps/harpo_museqgen-ddf7bcd61f6aad7e: crates/museqgen/src/lib.rs crates/museqgen/src/constraints.rs crates/museqgen/src/generator.rs crates/museqgen/src/mutate.rs
+
+crates/museqgen/src/lib.rs:
+crates/museqgen/src/constraints.rs:
+crates/museqgen/src/generator.rs:
+crates/museqgen/src/mutate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/harpo_telemetry-18ba5ac881f8132d.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/harpo_telemetry-18ba5ac881f8132d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/stream.rs:
+crates/telemetry/src/trace.rs:

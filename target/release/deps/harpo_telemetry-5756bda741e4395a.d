@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/harpo_telemetry-5756bda741e4395a.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libharpo_telemetry-5756bda741e4395a.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libharpo_telemetry-5756bda741e4395a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/record.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs crates/telemetry/src/stream.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:
+crates/telemetry/src/stream.rs:
+crates/telemetry/src/trace.rs:

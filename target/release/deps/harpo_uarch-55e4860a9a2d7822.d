@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/harpo_uarch-55e4860a9a2d7822.d: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/release/deps/libharpo_uarch-55e4860a9a2d7822.rlib: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/release/deps/libharpo_uarch-55e4860a9a2d7822.rmeta: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/config.rs:
+crates/uarch/src/core.rs:
+crates/uarch/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/harpo_uarch-5a57945ad375b399.d: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/release/deps/libharpo_uarch-5a57945ad375b399.rlib: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+/root/repo/target/release/deps/libharpo_uarch-5a57945ad375b399.rmeta: crates/uarch/src/lib.rs crates/uarch/src/cache.rs crates/uarch/src/config.rs crates/uarch/src/core.rs crates/uarch/src/trace.rs
+
+crates/uarch/src/lib.rs:
+crates/uarch/src/cache.rs:
+crates/uarch/src/config.rs:
+crates/uarch/src/core.rs:
+crates/uarch/src/trace.rs:

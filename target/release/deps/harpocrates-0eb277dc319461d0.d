@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harpocrates-0eb277dc319461d0.d: src/lib.rs
+
+/root/repo/target/release/deps/harpocrates-0eb277dc319461d0: src/lib.rs
+
+src/lib.rs:

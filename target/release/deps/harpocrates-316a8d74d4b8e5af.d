@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/harpocrates-316a8d74d4b8e5af.d: src/lib.rs
+
+/root/repo/target/release/deps/libharpocrates-316a8d74d4b8e5af.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libharpocrates-316a8d74d4b8e5af.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-a14c5276ed783297.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-a14c5276ed783297: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_speed-1957957bf0b37ba0.d: crates/bench/src/bin/pipeline_speed.rs
+
+/root/repo/target/release/deps/pipeline_speed-1957957bf0b37ba0: crates/bench/src/bin/pipeline_speed.rs
+
+crates/bench/src/bin/pipeline_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_speed-799e2f349cc50ee1.d: crates/bench/src/bin/pipeline_speed.rs
+
+/root/repo/target/release/deps/pipeline_speed-799e2f349cc50ee1: crates/bench/src/bin/pipeline_speed.rs
+
+crates/bench/src/bin/pipeline_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_speed-e09dcf67069fdbf6.d: crates/bench/src/bin/pipeline_speed.rs
+
+/root/repo/target/release/deps/pipeline_speed-e09dcf67069fdbf6: crates/bench/src/bin/pipeline_speed.rs
+
+crates/bench/src/bin/pipeline_speed.rs:

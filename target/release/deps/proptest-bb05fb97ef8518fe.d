@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-bb05fb97ef8518fe.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bb05fb97ef8518fe.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bb05fb97ef8518fe.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-29eed282e35161d1.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-29eed282e35161d1.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-29eed282e35161d1.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

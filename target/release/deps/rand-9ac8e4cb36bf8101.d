@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9ac8e4cb36bf8101.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9ac8e4cb36bf8101.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9ac8e4cb36bf8101.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

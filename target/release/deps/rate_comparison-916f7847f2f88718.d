@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rate_comparison-916f7847f2f88718.d: crates/bench/src/bin/rate_comparison.rs
+
+/root/repo/target/release/deps/rate_comparison-916f7847f2f88718: crates/bench/src/bin/rate_comparison.rs
+
+crates/bench/src/bin/rate_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rate_comparison-d97cccd5e5f08fdb.d: crates/bench/src/bin/rate_comparison.rs
+
+/root/repo/target/release/deps/rate_comparison-d97cccd5e5f08fdb: crates/bench/src/bin/rate_comparison.rs
+
+crates/bench/src/bin/rate_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rate_comparison-e53ec256fbf2a8bd.d: crates/bench/src/bin/rate_comparison.rs
+
+/root/repo/target/release/deps/rate_comparison-e53ec256fbf2a8bd: crates/bench/src/bin/rate_comparison.rs
+
+crates/bench/src/bin/rate_comparison.rs:

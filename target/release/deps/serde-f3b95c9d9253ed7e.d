@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-f3b95c9d9253ed7e.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f3b95c9d9253ed7e.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f3b95c9d9253ed7e.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seventh_structure-09da70d394495937.d: crates/bench/src/bin/seventh_structure.rs
+
+/root/repo/target/release/deps/seventh_structure-09da70d394495937: crates/bench/src/bin/seventh_structure.rs
+
+crates/bench/src/bin/seventh_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seventh_structure-344d829dbec8a03f.d: crates/bench/src/bin/seventh_structure.rs
+
+/root/repo/target/release/deps/seventh_structure-344d829dbec8a03f: crates/bench/src/bin/seventh_structure.rs
+
+crates/bench/src/bin/seventh_structure.rs:

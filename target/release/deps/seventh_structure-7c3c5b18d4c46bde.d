@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seventh_structure-7c3c5b18d4c46bde.d: crates/bench/src/bin/seventh_structure.rs
+
+/root/repo/target/release/deps/seventh_structure-7c3c5b18d4c46bde: crates/bench/src/bin/seventh_structure.rs
+
+crates/bench/src/bin/seventh_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_loopstep-2536a2753532dd00.d: crates/bench/src/bin/table1_loopstep.rs
+
+/root/repo/target/release/deps/table1_loopstep-2536a2753532dd00: crates/bench/src/bin/table1_loopstep.rs
+
+crates/bench/src/bin/table1_loopstep.rs:

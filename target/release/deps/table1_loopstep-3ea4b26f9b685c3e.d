@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_loopstep-3ea4b26f9b685c3e.d: crates/bench/src/bin/table1_loopstep.rs
+
+/root/repo/target/release/deps/table1_loopstep-3ea4b26f9b685c3e: crates/bench/src/bin/table1_loopstep.rs
+
+crates/bench/src/bin/table1_loopstep.rs:

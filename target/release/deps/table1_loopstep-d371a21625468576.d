@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_loopstep-d371a21625468576.d: crates/bench/src/bin/table1_loopstep.rs
+
+/root/repo/target/release/deps/table1_loopstep-d371a21625468576: crates/bench/src/bin/table1_loopstep.rs
+
+crates/bench/src/bin/table1_loopstep.rs:
