@@ -14,11 +14,14 @@
 //! those replays run at native functional speed, so their cost is
 //! dominated by golden-prefix re-execution — exactly what the trail
 //! removes. Gate-fault campaigns are timed and reported separately
-//! (`gate_campaign_*`): their replays are netlist-bound (~µs per
-//! faulted-unit op versus ~ns per ordinary instruction), a cost that is
-//! the same no matter where the replay starts, so checkpointing is
-//! expected to be roughly neutral there — see the cost model in
-//! DESIGN.md.
+//! (`gate_campaign_*`) against a deeper baseline: the full leg runs the
+//! pre-compilation pipeline (`gate_legacy`: interpreted per-gate netlist
+//! dispatch, no fault specialization, no output memo, no cohort
+//! demotion) with the trail off, while the checkpointed leg runs the
+//! default engine — compiled fault-specialized circuits, operand memos,
+//! cohort demotion and the trail together. `gate_campaign_speedup_t*`
+//! is therefore the end-to-end gate-suite win of the compiled
+//! evaluation stack; see the cost model in DESIGN.md.
 //!
 //! Writes `BENCH_campaign.json` with the wall-clock nanoseconds and
 //! speedup at 1/4/8 campaign threads plus the replay-instruction
@@ -129,19 +132,6 @@ fn run_campaigns_streamed(
     total
 }
 
-/// Median wall nanoseconds of `reps` runs of `f`.
-fn median_ns(reps: usize, mut f: impl FnMut() -> CampaignResult) -> (u64, CampaignResult) {
-    let mut samples: Vec<u64> = Vec::with_capacity(reps);
-    let mut last = CampaignResult::default();
-    for _ in 0..reps {
-        let t = Instant::now();
-        last = f();
-        samples.push(t.elapsed().as_nanos() as u64);
-    }
-    samples.sort_unstable();
-    (samples[samples.len() / 2], last)
-}
-
 /// Paired minimum wall nanoseconds of `reps` interleaved runs of `a`
 /// and `b` — the noise-robust estimator used for the gated forensics
 /// on/off ratio. Alternating the two configurations within one loop
@@ -227,21 +217,38 @@ fn main() {
     for threads in [1usize, 4, 8] {
         let mut suite_ns = Vec::new();
         for (suite, structures) in [("bit_array", &BIT_ARRAYS[..]), ("gate", &GATES[..])] {
-            let (full_ns, full_r) = median_ns(3, || {
-                run_campaigns(&workloads, structures, &core, &ccfg_of(threads, 0))
-            });
-            let (ck_ns, ck_r) = median_ns(3, || {
-                run_campaigns(
-                    &workloads,
-                    structures,
-                    &core,
-                    &ccfg_of(threads, default_interval),
-                )
-            });
+            // The gate suite's full leg is the pre-compilation engine:
+            // interpreted replays, no specialization, no cohorts. The
+            // cross-leg tally assertion below doubles as a live
+            // legacy-vs-compiled differential check.
+            let full_ccfg = if suite == "gate" {
+                CampaignConfig {
+                    gate_legacy: true,
+                    ..ccfg_of(threads, 0)
+                }
+            } else {
+                ccfg_of(threads, 0)
+            };
+            // Paired interleaved minima, like the forensics ratio
+            // below: the two legs differ 3-5x in wall time, so a load
+            // spike landing inside one median-of-3 block would swing
+            // the gated speedup by far more than CI's threshold.
+            let (full_ns, ck_ns, full_r, ck_r) = paired_min_ns(
+                3,
+                || run_campaigns(&workloads, structures, &core, &full_ccfg),
+                || {
+                    run_campaigns(
+                        &workloads,
+                        structures,
+                        &core,
+                        &ccfg_of(threads, default_interval),
+                    )
+                },
+            );
             assert_eq!(
                 outcome_tallies(&full_r),
                 outcome_tallies(&ck_r),
-                "checkpointing changed {suite} campaign outcomes at {threads} threads"
+                "the {suite} fast leg changed campaign outcomes at {threads} threads"
             );
             let speedup = full_ns as f64 / ck_ns.max(1) as f64;
             println!("{suite:<10} {threads:>8} {full_ns:>15} {ck_ns:>15} {speedup:>8.2}x");

@@ -262,6 +262,24 @@ impl FaultAutopsy {
         }
     }
 
+    /// An activated gate fault proven Masked by the bit-parallel outcome
+    /// cohort: the corrupted result never reaches live architectural
+    /// state, so the scalar replay is skipped. `activation` is the first
+    /// activating pass `(dyn, cycle)`.
+    pub fn gate_demoted(
+        structure: &'static str,
+        gate: u32,
+        activation: (u64, u64),
+    ) -> FaultAutopsy {
+        FaultAutopsy {
+            injected_dyn: activation.0,
+            injected_cycle: activation.1,
+            mechanism: Mechanism::Logical,
+            site: DivergenceSite::Fu,
+            ..FaultAutopsy::base(structure, gate)
+        }
+    }
+
     /// A replayed gate fault. `activation` is the first activating pass
     /// `(dyn, cycle)` when the span screen ran.
     pub fn gate(

@@ -8,6 +8,7 @@
 //! [`crate::gate`] before paying for a functional replay.
 
 use crate::autopsy::FaultAutopsy;
+use crate::cohort::{screen_fault_cohorts, DynFates, GateVerdict};
 use crate::fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults};
 use crate::gate::{
     replay_gate_permanent_bounded, screen_fault_spans, screen_faults, ActivationSpan,
@@ -73,12 +74,29 @@ pub struct CampaignConfig {
     /// unit and allocates nothing.
     #[serde(default)]
     pub stream: StreamSettings,
+    /// Run gate replays on the legacy interpreted netlist engine — no
+    /// fault specialization, no output memo, no cohort demotion. Off by
+    /// default; benchmarks flip it on for their baseline leg. Outcomes
+    /// are bit-identical either way (`tests/equivalence.rs`).
+    #[serde(default)]
+    pub gate_legacy: bool,
+    /// Demote activated gate faults whose corruption provably never
+    /// reaches live architectural state ([`crate::cohort`]) instead of
+    /// replaying them. On by default; ignored when `gate_legacy` is set.
+    #[serde(default = "default_true")]
+    pub cohort_demotion: bool,
 }
 
 /// Serde default so configs serialised before the checkpoint trail
 /// existed deserialise to the current default.
 fn default_checkpoint_interval() -> u64 {
     128
+}
+
+/// Serde default for knobs that ship enabled.
+#[allow(dead_code)] // referenced only from the serde(default) attribute
+fn default_true() -> bool {
+    true
 }
 
 impl Default for CampaignConfig {
@@ -92,6 +110,8 @@ impl Default for CampaignConfig {
             checkpoint_interval: default_checkpoint_interval(),
             forensics: false,
             stream: StreamSettings::default(),
+            gate_legacy: false,
+            cohort_demotion: true,
         }
     }
 }
@@ -374,69 +394,124 @@ pub fn measure_detection_streamed(
         fu => {
             let unit = graded_unit_of(fu);
             let faults = sample_gate_faults(&mut rng, unit, ccfg.n_faults);
+            let legacy = ccfg.gate_legacy;
             // Stage 1: activation screening in 64-fault packed batches.
-            // With a trail the screen also yields each fault's
-            // first/last activation span, which bounds the replay; a
+            // The default pipeline fuses the outcome-cohort liveness
+            // screen into the same pass, demoting activated faults whose
+            // corruption provably dies before architectural state. A
             // fault with no span is exactly a never-activated fault, so
-            // the fast-path tally is identical either way.
-            let (mut result, autopsies) = match trail {
-                Some(t) => {
-                    let spans = screen_spans_all(trace, unit, &faults, ccfg);
-                    parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
-                        match spans[i] {
-                            None => {
-                                res.record(FaultOutcome::Masked, true);
-                                if let Some(log) = log {
-                                    log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
-                                }
-                            }
-                            Some(span) => {
-                                let (o, stats) = replay_gate_permanent_bounded(
-                                    prog,
-                                    faults[i],
-                                    golden,
-                                    replay_cap,
-                                    Some((t, span)),
-                                    ctx,
-                                );
-                                res.record_replay_stats(o, &stats);
-                                if let Some(log) = log {
-                                    log.push(FaultAutopsy::gate(
-                                        label,
-                                        faults[i].gate,
-                                        Some((span.first_dyn, span.first_cycle)),
-                                        o,
-                                        &stats,
-                                    ));
-                                }
-                            }
-                        }
-                    })
-                }
-                None => {
-                    let activated = screen_all(trace, unit, &faults, ccfg);
-                    parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
-                        if !activated[i] {
+            // the fast-path tally is identical on every pipeline.
+            let (mut result, autopsies) = if !legacy && ccfg.cohort_demotion {
+                let verdicts = screen_cohorts_all(trace, unit, &faults, ccfg);
+                parallel_tally(
+                    ccfg,
+                    live,
+                    faults.len(),
+                    |i, res, ctx, log| match verdicts[i] {
+                        GateVerdict::Inactive => {
                             res.record(FaultOutcome::Masked, true);
                             if let Some(log) = log {
                                 log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
                             }
-                        } else {
+                        }
+                        GateVerdict::Demoted(span) => {
+                            res.record(FaultOutcome::Masked, false);
+                            res.cohort_demoted += 1;
+                            if let Some(log) = log {
+                                log.push(FaultAutopsy::gate_demoted(
+                                    label,
+                                    faults[i].gate,
+                                    (span.first_dyn, span.first_cycle),
+                                ));
+                            }
+                        }
+                        GateVerdict::Replay(span) => {
                             let (o, stats) = replay_gate_permanent_bounded(
-                                prog, faults[i], golden, replay_cap, None, ctx,
+                                prog,
+                                faults[i],
+                                golden,
+                                replay_cap,
+                                trail.map(|t| (t, span)),
+                                false,
+                                ctx,
                             );
                             res.record_replay_stats(o, &stats);
                             if let Some(log) = log {
                                 log.push(FaultAutopsy::gate(
                                     label,
                                     faults[i].gate,
-                                    None,
+                                    Some((span.first_dyn, span.first_cycle)),
                                     o,
                                     &stats,
                                 ));
                             }
                         }
-                    })
+                    },
+                )
+            } else {
+                match trail {
+                    Some(t) => {
+                        let spans = screen_spans_all(trace, unit, &faults, ccfg);
+                        parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+                            match spans[i] {
+                                None => {
+                                    res.record(FaultOutcome::Masked, true);
+                                    if let Some(log) = log {
+                                        log.push(FaultAutopsy::gate_screened(
+                                            label,
+                                            faults[i].gate,
+                                        ));
+                                    }
+                                }
+                                Some(span) => {
+                                    let (o, stats) = replay_gate_permanent_bounded(
+                                        prog,
+                                        faults[i],
+                                        golden,
+                                        replay_cap,
+                                        Some((t, span)),
+                                        legacy,
+                                        ctx,
+                                    );
+                                    res.record_replay_stats(o, &stats);
+                                    if let Some(log) = log {
+                                        log.push(FaultAutopsy::gate(
+                                            label,
+                                            faults[i].gate,
+                                            Some((span.first_dyn, span.first_cycle)),
+                                            o,
+                                            &stats,
+                                        ));
+                                    }
+                                }
+                            }
+                        })
+                    }
+                    None => {
+                        let activated = screen_all(trace, unit, &faults, ccfg);
+                        parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+                            if !activated[i] {
+                                res.record(FaultOutcome::Masked, true);
+                                if let Some(log) = log {
+                                    log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
+                                }
+                            } else {
+                                let (o, stats) = replay_gate_permanent_bounded(
+                                    prog, faults[i], golden, replay_cap, None, legacy, ctx,
+                                );
+                                res.record_replay_stats(o, &stats);
+                                if let Some(log) = log {
+                                    log.push(FaultAutopsy::gate(
+                                        label,
+                                        faults[i].gate,
+                                        None,
+                                        o,
+                                        &stats,
+                                    ));
+                                }
+                            }
+                        })
+                    }
                 }
             };
             result.screened = faults.len() as u64;
@@ -463,6 +538,19 @@ fn screen_spans_all(
     screen_chunks(faults, ccfg, |c, ev| screen_fault_spans(trace, unit, c, ev))
 }
 
+fn screen_cohorts_all(
+    trace: &ExecutionTrace,
+    unit: GradedUnit,
+    faults: &[GateFault],
+    ccfg: &CampaignConfig,
+) -> Vec<GateVerdict> {
+    // One liveness analysis per campaign, shared by every chunk.
+    let fates = DynFates::analyze(trace, unit);
+    screen_chunks(faults, ccfg, |c, ev| {
+        screen_fault_cohorts(trace, unit, c, ev, &fates)
+    })
+}
+
 /// Fans the packed 64-lane activation screen across threads; `screen`
 /// maps one ≤64-fault chunk to one result per fault.
 fn screen_chunks<T: Copy + Default + Send>(
@@ -473,6 +561,17 @@ fn screen_chunks<T: Copy + Default + Send>(
     let chunks: Vec<&[GateFault]> = faults.chunks(64).collect();
     let mut out = vec![T::default(); faults.len()];
     let threads = ccfg.effective_threads().min(chunks.len().max(1));
+    if threads == 1 {
+        // No scope/spawn round trip on the single-thread hot path: with
+        // the word-level screens a whole chunk costs less than a spawn.
+        let mut ev = UnitEvaluators::new();
+        for (chunk_idx, c) in chunks.iter().enumerate() {
+            let r = screen(c, &mut ev);
+            let base = chunk_idx * 64;
+            out[base..base + r.len()].copy_from_slice(&r);
+        }
+        return out;
+    }
     std::thread::scope(|s| {
         let screen = &screen;
         let mut handles = Vec::new();
@@ -540,6 +639,26 @@ fn parallel_tally(
     let monitor = stream.as_ref().map(CampaignStream::monitor);
     let mut total = CampaignResult::default();
     let mut autopsies = Vec::new();
+    if threads == 1 && stream.is_none() {
+        // Single worker, no live monitor: grade inline. Identical
+        // tallies and autopsy stamps to the one-worker scoped path,
+        // minus the spawn/join round trip.
+        let mut log = forensics.then(Vec::new);
+        let mut ctx = ReplayCtx::new();
+        for i in 0..n {
+            let before = log.as_ref().map_or(0, Vec::len);
+            grade(i, &mut total, &mut ctx, log.as_mut());
+            if let Some(log) = &mut log {
+                for a in &mut log[before..] {
+                    a.fault = i as u64;
+                    a.worker = 0;
+                }
+            }
+        }
+        autopsies.extend(log.into_iter().flatten());
+        autopsies.sort_by_key(|a| a.fault);
+        return (total, autopsies);
+    }
     std::thread::scope(|s| {
         let grade = &grade;
         let stream = &stream;

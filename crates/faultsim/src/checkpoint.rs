@@ -53,6 +53,19 @@ pub struct ReplayStats {
     /// reconvergence or cap) — forensics measures propagation spans
     /// against it.
     pub end_dyn: u64,
+    /// Faulted-unit evaluations answered by the [`harpo_gates::FaultyFu`]
+    /// operand-triple memo (gate replays only).
+    pub fu_memo_hits: u64,
+    /// Faulted-unit evaluations that consulted the memo (gate replays
+    /// only).
+    pub fu_memo_lookups: u64,
+    /// Ops in the fault-specialized compiled circuit (gate replays
+    /// only; 0 for the legacy interpreted engine).
+    pub specialized_ops: u64,
+    /// Wall-clock nanoseconds compiling the specialized circuit (gate
+    /// replays only). Excluded from result equality — see
+    /// [`crate::CampaignResult`].
+    pub compile_ns: u64,
 }
 
 /// How a driven replay ended.

@@ -1,0 +1,369 @@
+//! Bit-parallel outcome cohorts: demote activated gate faults whose
+//! corruption provably never reaches architectural state.
+//!
+//! The packed activation screen ([`crate::gate::screen_fault_spans`])
+//! proves *inactive* faults Masked without a replay, but every
+//! *activated* fault still pays a full scalar replay — even when the
+//! corrupted output lands in a dead register whose value the program
+//! never consumes. This module closes that gap with a purely static,
+//! fully conservative liveness analysis over the golden trace:
+//!
+//! * a dynamic instruction's **result is dead** when it writes no
+//!   memory, is no branch, writes no live flags, and every destination
+//!   register instance it produces is never read and not architecturally
+//!   live at program end (the output signature hashes live registers
+//!   *and* the packed flags, so both feed the analysis);
+//! * an adder pass's **carry-out is dead** unless the instruction
+//!   writes live flags, or the instruction issues multiple graded
+//!   passes (a later pass could chain the carry back into a live
+//!   result).
+//!
+//! A fault is **demoted** — graded Masked with no replay — only when
+//! *every* activating pass lands on a dyn whose affected outputs are
+//! all dead. Any live corruption, value or carry, sends the fault to
+//! the scalar replay unchanged. Demotion is therefore sound by
+//! construction: it only ever skips replays whose outcome is forced.
+//!
+//! Soundness relies on over-approximating liveness, never under: an
+//! unknown dyn (an FU op past the recorded dyn stream) is treated as
+//! fully live, flags are live at program end, and any memory access —
+//! load or store — marks the result live (a corrupted address corrupts
+//! the access even when the loaded value is dead).
+
+use crate::gate::{fu_kind_of, ActivationSpan};
+use harpo_gates::{screen_activation_masks, GateFault, GradedUnit, UnitEvaluators};
+use harpo_isa::hash::MixMap;
+use harpo_uarch::ExecutionTrace;
+
+/// Liveness of one graded-unit pass's outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fate {
+    /// The pass's result value can reach architectural state.
+    pub value_live: bool,
+    /// The pass's carry-out can reach architectural state (adder only;
+    /// always implied live for multi-pass instructions whose value is
+    /// live, because a later pass can chain the carry into the result).
+    pub cout_live: bool,
+}
+
+impl Fate {
+    /// The conservative default: everything reaches state.
+    const LIVE: Fate = Fate {
+        value_live: true,
+        cout_live: true,
+    };
+
+    /// Both outputs dead: corruption confined to this pass dies here.
+    pub fn dead(&self) -> bool {
+        !self.value_live && !self.cout_live
+    }
+}
+
+/// Per-dyn output liveness for the passes of one graded unit, derived
+/// once per (trace, unit) and shared across all fault cohorts. Stored
+/// dense (one slot per recorded dyn) — the analysis touches every dyn
+/// anyway, and campaigns query it on the screening hot path.
+pub struct DynFates {
+    fates: Vec<Fate>,
+}
+
+impl DynFates {
+    /// Analyzes the golden trace for the unit feeding `unit`'s passes.
+    pub fn analyze(trace: &ExecutionTrace, unit: GradedUnit) -> DynFates {
+        let n = trace.dyn_records.len();
+        // Reverse flags-liveness scan. Flags are live at program end
+        // (the output signature packs them), live before any reader,
+        // dead before a writer that nobody later reads.
+        let mut flags_live_after = vec![true; n];
+        let mut live = true;
+        for d in (0..n).rev() {
+            flags_live_after[d] = live;
+            let r = &trace.dyn_records[d];
+            if r.reads_flags {
+                live = true;
+            } else if r.writes_flags {
+                live = false;
+            }
+        }
+        // Dyns producing at least one consumed destination instance
+        // (read later, or architecturally live at end) — GPR or XMM.
+        let mut dest_live = vec![false; n];
+        for i in &trace.reg_instances {
+            if i.writer != u64::MAX && (i.reads_len > 0 || i.live_at_end) {
+                if let Some(slot) = dest_live.get_mut(i.writer as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        for i in &trace.xmm_instances {
+            if i.writer != u64::MAX && (i.reads_len > 0 || i.live_at_end) {
+                if let Some(slot) = dest_live.get_mut(i.writer as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        // Graded passes per dyn, across every unit: a multi-pass
+        // instruction can chain one pass's carry into another's result.
+        let mut passes = vec![0u32; n];
+        for op in &trace.fu_ops {
+            if let Some(slot) = passes.get_mut(op.dyn_idx as usize) {
+                *slot += 1;
+            }
+        }
+        // Non-pass dyns keep the conservative default; `fate` is only
+        // ever asked about the unit's own passes.
+        let mut fates = vec![Fate::LIVE; n];
+        for op in trace.fu_ops_of(fu_kind_of(unit)) {
+            let d = op.dyn_idx as usize;
+            if d >= n {
+                continue; // unknown dyn: assume live
+            }
+            let r = &trace.dyn_records[d];
+            let flags = r.writes_flags && flags_live_after[d];
+            let value_live = r.mem_size > 0 || r.branch != 0 || flags || dest_live[d];
+            let multipass = passes[d] > 1;
+            fates[d] = Fate {
+                value_live,
+                cout_live: flags || (multipass && value_live),
+            };
+        }
+        DynFates { fates }
+    }
+
+    /// The fate of the unit's pass at `dyn_idx`; conservative (fully
+    /// live) for dyns the analysis never saw.
+    pub fn fate(&self, dyn_idx: u64) -> Fate {
+        self.fates
+            .get(dyn_idx as usize)
+            .copied()
+            .unwrap_or(Fate::LIVE)
+    }
+}
+
+/// The cohort screen's verdict on one candidate fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GateVerdict {
+    /// Never activated: Masked by the plain activation screen.
+    #[default]
+    Inactive,
+    /// Activated, but every activating pass's affected outputs are
+    /// dead: Masked without a replay.
+    Demoted(ActivationSpan),
+    /// Activated with at least one live corruption: needs the scalar
+    /// propagation replay, bounded by the span.
+    Replay(ActivationSpan),
+}
+
+/// Screens a cohort of ≤ 64 candidate faults in one pass over the
+/// golden operand stream, grading each [`Inactive`](GateVerdict), or
+/// [`Demoted`](GateVerdict) / [`Replay`](GateVerdict) with its
+/// activation span. One netlist evaluation per unique operand triple;
+/// the per-triple `(activated, value)` mask pair is memoised. `fates`
+/// is the [`DynFates::analyze`] result for the same `(trace, unit)`,
+/// built once by the caller and shared across every 64-fault cohort.
+pub fn screen_fault_cohorts(
+    trace: &ExecutionTrace,
+    unit: GradedUnit,
+    faults: &[GateFault],
+    ev: &mut UnitEvaluators,
+    fates: &DynFates,
+) -> Vec<GateVerdict> {
+    assert!(faults.len() <= 64);
+    let n = faults.len();
+    let pairs: Vec<(u32, bool)> = faults.iter().map(|f| (f.gate, f.stuck_one)).collect();
+    let mut memo: MixMap<(u64, u64, bool), (u64, u64)> = MixMap::default();
+    // Flat min/max span tracking (`first_dyn == u64::MAX` ⇒ never
+    // activated): the update loop runs once per (op, activated fault),
+    // so it stays two compares with no enum discriminant.
+    let mut first_dyn = vec![u64::MAX; n];
+    let mut first_cycle = vec![0u64; n];
+    let mut last_dyn = vec![0u64; n];
+    let mut condemned = 0u64;
+    for op in trace.fu_ops_of(fu_kind_of(unit)) {
+        let &mut (act, value) = memo
+            .entry((op.a, op.b, op.cin))
+            .or_insert_with(|| screen_activation_masks(unit, ev, op.a, op.b, op.cin, &pairs));
+        if act == 0 {
+            continue;
+        }
+        let fate = fates.fate(op.dyn_idx);
+        if fate.value_live {
+            condemned |= value;
+        }
+        if fate.cout_live {
+            // Activated without a value change ⇒ carry-out-only
+            // corruption (possible only on the adder, whose screen
+            // separates the sum from the carry).
+            condemned |= act & !value;
+        }
+        let mut mask = act;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            // FU ops are recorded at issue, so the stream is not
+            // strictly dyn-ordered; track min/max.
+            if op.dyn_idx < first_dyn[i] {
+                first_dyn[i] = op.dyn_idx;
+                first_cycle[i] = op.cycle;
+            }
+            if op.dyn_idx > last_dyn[i] {
+                last_dyn[i] = op.dyn_idx;
+            }
+        }
+    }
+    (0..n)
+        .map(|i| {
+            if first_dyn[i] == u64::MAX {
+                return GateVerdict::Inactive;
+            }
+            let span = ActivationSpan {
+                first_dyn: first_dyn[i],
+                last_dyn: last_dyn[i],
+                first_cycle: first_cycle[i],
+            };
+            if condemned >> i & 1 != 0 {
+                GateVerdict::Replay(span)
+            } else {
+                GateVerdict::Demoted(span)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{replay_gate_permanent, screen_fault_spans};
+    use crate::outcome::FaultOutcome;
+    use harpo_isa::asm::Asm;
+    use harpo_isa::form::Mnemonic;
+    use harpo_isa::program::Program;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::B64;
+    use harpo_isa::state::Signature;
+    use harpo_uarch::OooCore;
+
+    fn golden_of(p: &Program) -> (Signature, ExecutionTrace) {
+        let r = OooCore::default().simulate(p, 1_000_000).unwrap();
+        (r.output.signature, r.trace)
+    }
+
+    fn adder_faults() -> Vec<GateFault> {
+        (0..64u32)
+            .map(|g| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: g * 7 % GradedUnit::IntAdder.gate_count() as u32,
+                stuck_one: g % 2 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn live_chain_never_demotes() {
+        // Every add feeds the next and the accumulators are in the
+        // output signature: all activated faults must replay.
+        let mut a = Asm::new("live");
+        a.mov_ri64(Rax, 0x0123_4567_89AB_CDEF);
+        for _ in 0..16 {
+            a.add_rr(B64, Rcx, Rax);
+            a.add_rr(B64, Rax, Rcx);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let (_, trace) = golden_of(&p);
+        let faults = adder_faults();
+        let mut ev = UnitEvaluators::new();
+        let fates = DynFates::analyze(&trace, GradedUnit::IntAdder);
+        let verdicts = screen_fault_cohorts(&trace, GradedUnit::IntAdder, &faults, &mut ev, &fates);
+        let spans = screen_fault_spans(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        let mut some_replay = false;
+        for (i, v) in verdicts.iter().enumerate() {
+            match (v, spans[i]) {
+                (GateVerdict::Inactive, s) => assert!(s.is_none(), "fault {i}"),
+                (GateVerdict::Replay(vs), Some(s)) => {
+                    assert_eq!(*vs, s, "fault {i}: span must match the span screen");
+                    some_replay = true;
+                }
+                (v, s) => panic!("fault {i}: {v:?} vs span {s:?}"),
+            }
+        }
+        assert!(some_replay, "wide operands activate some faults");
+    }
+
+    #[test]
+    fn dead_results_demote_and_are_sound() {
+        // Every add's destination is overwritten by a `mov` (which
+        // writes without reading), its flags die under the next flag
+        // writer, and the final flags come from an ungraded xor: no
+        // adder output reaches the signature, so every activated fault
+        // demotes — and the scalar replay agrees each one is Masked.
+        let mut a = Asm::new("dead");
+        a.mov_ri64(Rax, 0xFFFF_FFFF_0F0F_5A5A);
+        a.mov_ri64(Rbx, 0x0123_4567_89AB_CDEF);
+        for _ in 0..8 {
+            a.mov_ri64(Rcx, 0x00FF_00FF_00FF_00FF);
+            a.add_rr(B64, Rcx, Rax);
+            a.mov_ri64(Rcx, 0xAAAA_5555_AAAA_5555);
+            a.add_rr(B64, Rcx, Rbx);
+        }
+        a.mov_ri64(Rcx, 7); // kill the last add's value
+        a.op_rr(Mnemonic::Xor, B64, Rdx, Rax); // final flags, adder-free
+        a.halt();
+        let p = a.finish().unwrap();
+        let (golden, trace) = golden_of(&p);
+        let faults = adder_faults();
+        let mut ev = UnitEvaluators::new();
+        let fates = DynFates::analyze(&trace, GradedUnit::IntAdder);
+        let verdicts = screen_fault_cohorts(&trace, GradedUnit::IntAdder, &faults, &mut ev, &fates);
+        let mut some_demoted = false;
+        for (i, v) in verdicts.iter().enumerate() {
+            match v {
+                GateVerdict::Replay(_) => panic!("fault {i}: no adder output is live"),
+                GateVerdict::Demoted(_) => {
+                    some_demoted = true;
+                    let out = replay_gate_permanent(&p, faults[i], &golden, 1_000_000);
+                    assert_eq!(out, FaultOutcome::Masked, "fault {i}: demotion unsound");
+                }
+                GateVerdict::Inactive => {}
+            }
+        }
+        assert!(some_demoted, "wide operands activate some faults");
+    }
+
+    #[test]
+    fn live_flags_block_demotion() {
+        // Identical dead-value shape, but no trailing xor: the last
+        // add's flags survive to the signature. Every add passes the
+        // same operand triple, so any activated fault activates the
+        // final add too — live flag corruption forces a replay for all
+        // of them.
+        let mut a = Asm::new("flags");
+        a.mov_ri64(Rax, 0xFFFF_FFFF_0F0F_5A5A);
+        for _ in 0..8 {
+            a.mov_ri64(Rcx, 0x00FF_00FF_00FF_00FF);
+            a.add_rr(B64, Rcx, Rax);
+        }
+        a.mov_ri64(Rcx, 7);
+        a.halt();
+        let p = a.finish().unwrap();
+        let (_, trace) = golden_of(&p);
+        let faults = adder_faults();
+        let mut ev = UnitEvaluators::new();
+        let fates = DynFates::analyze(&trace, GradedUnit::IntAdder);
+        let verdicts = screen_fault_cohorts(&trace, GradedUnit::IntAdder, &faults, &mut ev, &fates);
+        let mut some_replay = false;
+        for (i, v) in verdicts.iter().enumerate() {
+            assert!(
+                !matches!(v, GateVerdict::Demoted(_)),
+                "fault {i} demoted despite live final flags"
+            );
+            some_replay |= matches!(v, GateVerdict::Replay(_));
+        }
+        assert!(some_replay, "wide operands activate some faults");
+    }
+
+    #[test]
+    fn verdict_default_is_inactive() {
+        assert_eq!(GateVerdict::default(), GateVerdict::Inactive);
+    }
+}

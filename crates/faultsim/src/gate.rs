@@ -19,14 +19,14 @@
 use crate::checkpoint::{drive, ReplayStats, RunEnd};
 use crate::outcome::FaultOutcome;
 use crate::replay::ReplayCtx;
-use harpo_gates::{screen_activation, FaultyFu, GateFault, GradedUnit, UnitEvaluators};
+use harpo_gates::{screen_activation_masks, FaultyFu, GateFault, GradedUnit, UnitEvaluators};
 use harpo_isa::exec::Machine;
 use harpo_isa::form::FuKind;
+use harpo_isa::hash::MixMap;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
 use harpo_isa::trail::GoldenTrail;
 use harpo_uarch::ExecutionTrace;
-use std::collections::HashMap;
 
 /// The `FuKind` whose passes feed a graded unit.
 pub fn fu_kind_of(unit: GradedUnit) -> FuKind {
@@ -45,8 +45,7 @@ pub fn fu_kind_of(unit: GradedUnit) -> FuKind {
 /// once per dynamic pass.
 struct TripleMemo {
     pairs: Vec<(u32, bool)>,
-    masks: HashMap<(u64, u64, bool), u64>,
-    scratch: Vec<bool>,
+    masks: MixMap<(u64, u64, bool), u64>,
 }
 
 impl TripleMemo {
@@ -54,8 +53,7 @@ impl TripleMemo {
         assert!(faults.len() <= 64);
         TripleMemo {
             pairs: faults.iter().map(|f| (f.gate, f.stuck_one)).collect(),
-            masks: HashMap::new(),
-            scratch: vec![false; faults.len()],
+            masks: MixMap::default(),
         }
     }
 
@@ -69,14 +67,11 @@ impl TripleMemo {
         b: u64,
         cin: bool,
     ) -> u64 {
-        let (pairs, scratch) = (&self.pairs, &mut self.scratch);
-        *self.masks.entry((a, b, cin)).or_insert_with(|| {
-            screen_activation(unit, ev, a, b, cin, pairs, scratch);
-            scratch
-                .iter()
-                .enumerate()
-                .fold(0u64, |m, (i, &hit)| m | ((hit as u64) << i))
-        })
+        let pairs = &self.pairs;
+        *self
+            .masks
+            .entry((a, b, cin))
+            .or_insert_with(|| screen_activation_masks(unit, ev, a, b, cin, pairs).0)
     }
 }
 
@@ -195,7 +190,8 @@ pub fn replay_gate_permanent_counted_ctx(
     cap: u64,
     ctx: &mut ReplayCtx,
 ) -> (FaultOutcome, u64) {
-    let (outcome, stats) = replay_gate_permanent_bounded(prog, fault, golden, cap, None, ctx);
+    let (outcome, stats) =
+        replay_gate_permanent_bounded(prog, fault, golden, cap, None, false, ctx);
     (outcome, stats.executed_insts)
 }
 
@@ -205,26 +201,36 @@ pub fn replay_gate_permanent_counted_ctx(
 /// operands that never activate the fault, so it is bit-identical to the
 /// golden run) and early-exits Masked on reconvergence past the last
 /// activation. With `trail == None` this is the full replay.
+///
+/// `legacy` selects the interpreted [`FaultyFu`] engine (no fault
+/// specialization, no output memo) — the pre-compilation baseline that
+/// benchmarks replay against; outcomes are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
 pub fn replay_gate_permanent_bounded(
     prog: &Program,
     fault: GateFault,
     golden: &Signature,
     cap: u64,
     trail: Option<(&GoldenTrail, ActivationSpan)>,
+    legacy: bool,
     ctx: &mut ReplayCtx,
 ) -> (FaultOutcome, ReplayStats) {
     let mut stats = ReplayStats::default();
-    let mut m = match ctx.take_mem() {
-        Some(mem) => Machine::new_in(prog, FaultyFu::new(fault), mem),
-        None => Machine::new(prog, FaultyFu::new(fault)),
+    let fu = if legacy {
+        FaultyFu::new_legacy(fault)
+    } else {
+        FaultyFu::new(fault)
     };
+    let mut m = Machine::new_premade(prog, fu, ctx.mem_for(&prog.mem));
     // A trail only pays its way when the seek can skip at least one
     // checkpoint interval of golden prefix, or the quiesce point leaves
     // a substantial tail for a reconvergence early-exit (a permanent
     // fault still activating near the end almost never reconverges, so
-    // a short tail does not buy back the divergence tracking).
-    // Otherwise the bounded loop is pure overhead on top of a replay
-    // that is netlist-bound anyway.
+    // a short tail does not buy back the divergence tracking). The
+    // specialized engine makes each faulty-unit pass cheaper, which
+    // *raises* the relative cost of divergence tracking — so the bar
+    // for taking the trail stays deliberately high: skip at least one
+    // full interval, or leave a four-interval tail for the early exit.
     let (trail, first, quiesce) = match trail {
         Some((t, span))
             if span.first_dyn >= t.interval()
@@ -246,8 +252,21 @@ pub fn replay_gate_permanent_bounded(
         |_| {},
     );
     let outcome = grade_run_end(&m, end, golden);
+    harvest_fu_stats(&mut m, &mut stats);
     ctx.park_mem(m.into_memory());
     (outcome, stats)
+}
+
+/// Folds the faulted unit's engine statistics into the replay's.
+fn harvest_fu_stats<H: harpo_isa::exec::ExecHooks>(
+    m: &mut Machine<'_, FaultyFu, H>,
+    stats: &mut ReplayStats,
+) {
+    let fs = m.fu_mut().stats();
+    stats.fu_memo_hits = fs.memo_hits;
+    stats.fu_memo_lookups = fs.memo_lookups;
+    stats.specialized_ops = fs.compiled_ops;
+    stats.compile_ns = fs.compile_ns;
 }
 
 /// Propagation replay of an intermittent gate fault asserted only for
@@ -291,10 +310,7 @@ pub fn replay_gate_intermittent_counted_ctx(
     ctx: &mut ReplayCtx,
 ) -> (FaultOutcome, ReplayStats) {
     let mut stats = ReplayStats::default();
-    let mut m = match ctx.take_mem() {
-        Some(mem) => Machine::new_in(prog, FaultyFu::new(fault), mem),
-        None => Machine::new(prog, FaultyFu::new(fault)),
-    };
+    let mut m = Machine::new_premade(prog, FaultyFu::new(fault), ctx.mem_for(&prog.mem));
     // Same profitability condition as the permanent path: the burst must
     // open at least one interval in, or close at least one interval
     // before the end, for the trail to beat a plain replay.
@@ -315,6 +331,7 @@ pub fn replay_gate_intermittent_counted_ctx(
         },
     );
     let outcome = grade_run_end(&m, end, golden);
+    harvest_fu_stats(&mut m, &mut stats);
     ctx.park_mem(m.into_memory());
     (outcome, stats)
 }
@@ -507,13 +524,14 @@ mod tests {
             let Some(span) = spans[i] else { continue };
             assert!(span.first_dyn <= span.last_dyn);
             let (full, _) =
-                replay_gate_permanent_bounded(&p, *f, &golden, 1_000_000, None, &mut ctx);
+                replay_gate_permanent_bounded(&p, *f, &golden, 1_000_000, None, false, &mut ctx);
             let (ck, stats) = replay_gate_permanent_bounded(
                 &p,
                 *f,
                 &golden,
                 1_000_000,
                 Some((&trail, span)),
+                false,
                 &mut ctx,
             );
             assert_eq!(ck, full, "fault {i}: checkpointed outcome differs");
@@ -521,6 +539,117 @@ mod tests {
                 assert!(stats.checkpoint_hit, "fault {i} should seek");
             }
         }
+    }
+
+    #[test]
+    fn legacy_engine_matches_compiled_engine() {
+        // The interpreted baseline and the fault-specialized compiled
+        // engine must grade every fault identically — the bench's full
+        // leg runs legacy, the checkpointed leg runs compiled, and the
+        // cross-leg tally assertion depends on this.
+        let p = adder_heavy();
+        let (golden, _) = golden_of(&p);
+        let mut ctx = ReplayCtx::new();
+        for g in (0..GradedUnit::IntAdder.gate_count() as u32).step_by(17) {
+            for stuck_one in [false, true] {
+                let f = GateFault {
+                    unit: GradedUnit::IntAdder,
+                    gate: g,
+                    stuck_one,
+                };
+                let (new, ns) =
+                    replay_gate_permanent_bounded(&p, f, &golden, 1_000_000, None, false, &mut ctx);
+                let (old, os) =
+                    replay_gate_permanent_bounded(&p, f, &golden, 1_000_000, None, true, &mut ctx);
+                assert_eq!(new, old, "gate {g} stuck_one={stuck_one}");
+                assert_eq!(ns.executed_insts, os.executed_insts);
+                assert!(ns.specialized_ops > 0, "compiled engine reports its ops");
+                assert_eq!(os.specialized_ops, 0, "legacy engine has no circuit");
+                assert_eq!(os.fu_memo_lookups, 0, "legacy engine skips the memo");
+            }
+        }
+    }
+
+    #[test]
+    fn trail_profitability_threshold_is_pinned() {
+        // The bounded replay takes the trail only when the seek skips a
+        // full checkpoint interval of golden prefix, or the quiesce
+        // point leaves at least four intervals of tail for the
+        // reconvergence early-exit. Pin both edges so the heuristic
+        // cannot drift silently: a span starting exactly at `interval`
+        // seeks, one instruction earlier (with no tail either) does not.
+        let p = adder_heavy();
+        let (golden, trace) = golden_of(&p);
+        let trail = GoldenTrail::record(&p, 1_000_000, 8).unwrap();
+        let end = trail.end_dyn();
+        let faults: Vec<GateFault> = (0..64u32)
+            .map(|g| GateFault {
+                unit: GradedUnit::IntAdder,
+                gate: g,
+                stuck_one: true,
+            })
+            .collect();
+        let mut ev = UnitEvaluators::new();
+        let spans = screen_fault_spans(&trace, GradedUnit::IntAdder, &faults, &mut ev);
+        let (i, span) = spans
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.map(|s| (i, s)))
+            .expect("some fault activates");
+        let mut ctx = ReplayCtx::new();
+        // Accepted: prefix ≥ one interval.
+        let early = ActivationSpan {
+            first_dyn: trail.interval(),
+            last_dyn: end,
+            ..span
+        };
+        let (_, s) = replay_gate_permanent_bounded(
+            &p,
+            faults[i],
+            &golden,
+            1_000_000,
+            Some((&trail, early)),
+            false,
+            &mut ctx,
+        );
+        assert!(s.checkpoint_hit, "interval-deep prefix must seek");
+        // Rejected: prefix one short of an interval and no four-interval
+        // tail — the trail is dropped entirely, so no seek happens.
+        let late = ActivationSpan {
+            first_dyn: trail.interval() - 1,
+            last_dyn: end,
+            ..span
+        };
+        let (_, s) = replay_gate_permanent_bounded(
+            &p,
+            faults[i],
+            &golden,
+            1_000_000,
+            Some((&trail, late)),
+            false,
+            &mut ctx,
+        );
+        assert!(!s.checkpoint_hit, "sub-interval prefix must not seek");
+        assert!(!s.early_exit);
+        // Accepted via the tail edge: zero prefix but the whole run
+        // minus four intervals as quiesce tail.
+        let tail = ActivationSpan {
+            first_dyn: 0,
+            last_dyn: end.saturating_sub(1 + 4 * trail.interval()),
+            ..span
+        };
+        let (out, _) = replay_gate_permanent_bounded(
+            &p,
+            faults[i],
+            &golden,
+            1_000_000,
+            Some((&trail, tail)),
+            false,
+            &mut ctx,
+        );
+        let (full, _) =
+            replay_gate_permanent_bounded(&p, faults[i], &golden, 1_000_000, None, false, &mut ctx);
+        assert_eq!(out, full, "tail-edge trail must stay outcome-identical");
     }
 
     #[test]

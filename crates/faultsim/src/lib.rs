@@ -34,6 +34,7 @@
 pub mod autopsy;
 pub mod campaign;
 pub mod checkpoint;
+pub mod cohort;
 pub mod fault;
 pub mod gate;
 pub mod outcome;
@@ -48,6 +49,7 @@ pub use campaign::{
     CampaignConfig, L1dProtection,
 };
 pub use checkpoint::ReplayStats;
+pub use cohort::{screen_fault_cohorts, DynFates, Fate, GateVerdict};
 pub use fault::{
     sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults, FaultSpec,
     IrfFault, L1dFault, XrfFault,

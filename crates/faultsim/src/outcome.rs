@@ -101,7 +101,11 @@ impl fmt::Display for FaultOutcome {
 }
 
 /// Aggregate result of a statistical fault-injection campaign.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality ignores [`CampaignResult::netlist_compile_ns`] — the one
+/// wall-clock field — so bit-identity assertions across thread counts
+/// and checkpoint settings stay meaningful.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Faults injected (N).
     pub injected: u64,
@@ -137,11 +141,58 @@ pub struct CampaignResult {
     /// golden trail.
     #[serde(default)]
     pub early_exits: u64,
+    /// Activated gate faults proven Masked by the bit-parallel outcome
+    /// cohort (the corrupted output never enters live architectural
+    /// state), skipping the functional replay entirely.
+    #[serde(default)]
+    pub cohort_demoted: u64,
+    /// Faulted-unit evaluations answered by the per-replay
+    /// operand-triple memo in [`harpo_gates::FaultyFu`].
+    #[serde(default)]
+    pub fu_memo_hits: u64,
+    /// Faulted-unit evaluations that consulted that memo.
+    #[serde(default)]
+    pub fu_memo_lookups: u64,
+    /// Total ops across the fault-specialized compiled circuits of all
+    /// replays (compare against `replays` × source gate count for the
+    /// specialization compression ratio).
+    #[serde(default)]
+    pub specialized_ops: u64,
+    /// Wall-clock nanoseconds spent compiling fault-specialized
+    /// circuits. Excluded from equality (the only non-deterministic
+    /// field).
+    #[serde(default)]
+    pub netlist_compile_ns: u64,
     /// Distribution of per-replay lengths (not serialized — the flight
     /// recorder carries it via the `faultsim.replay_len` histogram).
     #[serde(skip)]
     pub replay_len: ReplayLenHist,
 }
+
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except netlist_compile_ns, which is wall-clock.
+        self.injected == other.injected
+            && self.sdc == other.sdc
+            && self.crash == other.crash
+            && self.masked == other.masked
+            && self.corrected == other.corrected
+            && self.masked_fast_path == other.masked_fast_path
+            && self.screened == other.screened
+            && self.replays == other.replays
+            && self.replay_insts == other.replay_insts
+            && self.replay_insts_skipped == other.replay_insts_skipped
+            && self.checkpoint_hits == other.checkpoint_hits
+            && self.early_exits == other.early_exits
+            && self.cohort_demoted == other.cohort_demoted
+            && self.fu_memo_hits == other.fu_memo_hits
+            && self.fu_memo_lookups == other.fu_memo_lookups
+            && self.specialized_ops == other.specialized_ops
+            && self.replay_len == other.replay_len
+    }
+}
+
+impl Eq for CampaignResult {}
 
 impl CampaignResult {
     /// Records one outcome.
@@ -176,6 +227,10 @@ impl CampaignResult {
         self.replay_insts_skipped += stats.skipped_insts;
         self.checkpoint_hits += stats.checkpoint_hit as u64;
         self.early_exits += stats.early_exit as u64;
+        self.fu_memo_hits += stats.fu_memo_hits;
+        self.fu_memo_lookups += stats.fu_memo_lookups;
+        self.specialized_ops += stats.specialized_ops;
+        self.netlist_compile_ns += stats.compile_ns;
     }
 
     /// Merges another tally into this one.
@@ -192,6 +247,11 @@ impl CampaignResult {
         self.replay_insts_skipped += other.replay_insts_skipped;
         self.checkpoint_hits += other.checkpoint_hits;
         self.early_exits += other.early_exits;
+        self.cohort_demoted += other.cohort_demoted;
+        self.fu_memo_hits += other.fu_memo_hits;
+        self.fu_memo_lookups += other.fu_memo_lookups;
+        self.specialized_ops += other.specialized_ops;
+        self.netlist_compile_ns += other.netlist_compile_ns;
         self.replay_len.merge(&other.replay_len);
     }
 
@@ -221,6 +281,21 @@ impl CampaignResult {
         metrics
             .counter("faultsim.early_exits")
             .add(self.early_exits);
+        metrics
+            .counter("faultsim.cohort_demoted")
+            .add(self.cohort_demoted);
+        metrics
+            .counter("faultsim.fu_memo_hits")
+            .add(self.fu_memo_hits);
+        metrics
+            .counter("faultsim.fu_memo_lookups")
+            .add(self.fu_memo_lookups);
+        metrics
+            .counter("faultsim.specialized_ops")
+            .add(self.specialized_ops);
+        // netlist_compile_ns stays out of the journal: it is wall-clock,
+        // and journal counters are byte-deterministic by contract
+        // (enforced by the CLI forensics tests).
         if self.replay_len.count > 0 {
             metrics.histogram("faultsim.replay_len").merge_counts(
                 &self.replay_len.buckets,
@@ -376,6 +451,19 @@ mod tests {
         // Empty distribution: publish must not materialize the histogram
         // with a zero merge.
         assert_eq!(m.histogram("faultsim.replay_len").snapshot().count, 0);
+    }
+
+    #[test]
+    fn equality_ignores_compile_wall_clock() {
+        // Thread-invariance tests assert full result equality; the only
+        // wall-clock field must not break them.
+        let mut a = CampaignResult::default();
+        a.record_replayed(FaultOutcome::Sdc, 100);
+        let mut b = a;
+        b.netlist_compile_ns = 123_456;
+        assert_eq!(a, b);
+        b.fu_memo_hits = 1;
+        assert_ne!(a, b, "deterministic counters still compared");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::outcome::FaultOutcome;
 use crate::plan::CorruptionPlan;
 use harpo_isa::exec::{ExecHooks, Machine};
 use harpo_isa::fu::NativeFu;
-use harpo_isa::mem::Memory;
+use harpo_isa::mem::{MemImage, Memory};
 use harpo_isa::program::Program;
 use harpo_isa::reg::Gpr;
 use harpo_isa::state::Signature;
@@ -29,6 +29,11 @@ use harpo_isa::trail::GoldenTrail;
 #[derive(Debug, Default)]
 pub struct ReplayCtx {
     mem: Option<Memory>,
+    /// Initial-memory template keyed by the image that built it: the
+    /// first replay materialises the image once, and every later replay
+    /// of the same program memcpy-clones the template into the recycled
+    /// buffer instead of re-running the fill ([`Memory::copy_from`]).
+    template: Option<(MemImage, Memory)>,
     pub(crate) cursor: Option<Memory>,
     pub(crate) dirty: Vec<(u64, u8)>,
 }
@@ -39,9 +44,20 @@ impl ReplayCtx {
         ReplayCtx::default()
     }
 
-    /// Takes the parked memory buffer, if any.
-    pub(crate) fn take_mem(&mut self) -> Option<Memory> {
-        self.mem.take()
+    /// An initialized memory image for the next replay of a program
+    /// whose memory image is `img` — bit-identical to `img.build()`.
+    pub(crate) fn mem_for(&mut self, img: &MemImage) -> Memory {
+        if self.template.as_ref().is_none_or(|(i, _)| i != img) {
+            self.template = Some((img.clone(), img.build()));
+        }
+        let t = &self.template.as_ref().expect("template just built").1;
+        match self.mem.take() {
+            Some(mut m) => {
+                m.copy_from(t);
+                m
+            }
+            None => t.clone(),
+        }
     }
 
     /// Parks a spent machine's memory for the next replay.
@@ -169,10 +185,8 @@ pub fn replay_with_plan_bounded(
     ctx: &mut ReplayCtx,
 ) -> (FaultOutcome, ReplayStats) {
     let mut stats = ReplayStats::default();
-    let mut m = match ctx.take_mem() {
-        Some(mem) => Machine::with_hooks_in(prog, NativeFu, PlanHooks::new(plan), mem),
-        None => Machine::with_hooks(prog, NativeFu, PlanHooks::new(plan)),
-    };
+    let mut m =
+        Machine::with_hooks_premade(prog, NativeFu, PlanHooks::new(plan), ctx.mem_for(&prog.mem));
     let end = drive(
         &mut m,
         trail,

@@ -61,6 +61,11 @@ fn outcome_tallies(r: &CampaignResult) -> CampaignResult {
     t.replay_insts_skipped = 0;
     t.checkpoint_hits = 0;
     t.early_exits = 0;
+    // Memo traffic scales with replay length, which the checkpointed
+    // engine legitimately shortens; the specialized circuits themselves
+    // are per-fault and identical on both paths.
+    t.fu_memo_hits = 0;
+    t.fu_memo_lookups = 0;
     t.replay_len = Default::default();
     t
 }
@@ -93,6 +98,147 @@ fn checkpointed_campaigns_match_full_campaigns_bit_for_bit() {
         any_exit,
         "corpus never exercised a reconvergence early-exit"
     );
+}
+
+#[test]
+fn gate_pipelines_agree_on_outcomes() {
+    // Three gate pipelines grade every campaign identically: the legacy
+    // interpreted engine, the compiled engine with cohort demotion off,
+    // and the default compiled engine with cohort demotion on. The
+    // first two are bit-identical (same replays, same instruction
+    // counts — only the engine-internal counters differ); the third may
+    // trade replays for demotions but never changes an outcome.
+    let core = OooCore::default();
+    let mut any_demoted = false;
+    for (pi, p) in corpus().iter().enumerate() {
+        for structure in [TargetStructure::IntAdder, TargetStructure::IntMultiplier] {
+            let legacy = measure_detection(
+                p,
+                structure,
+                &core,
+                &CampaignConfig {
+                    gate_legacy: true,
+                    ..cfg(64, 2, L1dProtection::None)
+                },
+            )
+            .expect("golden run");
+            let compiled = measure_detection(
+                p,
+                structure,
+                &core,
+                &CampaignConfig {
+                    cohort_demotion: false,
+                    ..cfg(64, 2, L1dProtection::None)
+                },
+            )
+            .expect("golden run");
+            let cohort = measure_detection(p, structure, &core, &cfg(64, 2, L1dProtection::None))
+                .expect("golden run");
+            let engine_free = |r: &CampaignResult| {
+                let mut t = outcome_tallies(r);
+                t.specialized_ops = 0;
+                t
+            };
+            assert_eq!(
+                engine_free(&legacy),
+                engine_free(&compiled),
+                "program {pi} / {structure}: engine changed the tallies"
+            );
+            assert_eq!(legacy.replay_insts, compiled.replay_insts);
+            assert_eq!(legacy.specialized_ops, 0);
+            assert_eq!(legacy.fu_memo_lookups, 0);
+            // Cohort demotion: outcomes and the screened fast path are
+            // untouched; each demotion removes exactly one replay.
+            for (l, c) in [
+                (legacy.injected, cohort.injected),
+                (legacy.sdc, cohort.sdc),
+                (legacy.crash, cohort.crash),
+                (legacy.masked, cohort.masked),
+                (legacy.corrected, cohort.corrected),
+                (legacy.screened, cohort.screened),
+                (legacy.masked_fast_path, cohort.masked_fast_path),
+            ] {
+                assert_eq!(l, c, "program {pi} / {structure}: cohorts changed a tally");
+            }
+            assert_eq!(
+                cohort.replays + cohort.cohort_demoted,
+                legacy.replays,
+                "program {pi} / {structure}: demotions must map 1:1 onto skipped replays"
+            );
+            any_demoted |= cohort.cohort_demoted > 0;
+        }
+    }
+    // Generated corpus programs chain every result into the signature,
+    // so demotions are rare there; a program whose adds all land in
+    // overwritten registers exercises the demotion path end to end.
+    let dead = dead_adder_program();
+    let legacy = measure_detection(
+        &dead,
+        TargetStructure::IntAdder,
+        &core,
+        &CampaignConfig {
+            gate_legacy: true,
+            ..cfg(64, 2, L1dProtection::None)
+        },
+    )
+    .expect("golden run");
+    let cohort = measure_detection(
+        &dead,
+        TargetStructure::IntAdder,
+        &core,
+        &cfg(64, 2, L1dProtection::None),
+    )
+    .expect("golden run");
+    assert_eq!(legacy.sdc, cohort.sdc, "demotion changed an SDC tally");
+    assert_eq!(legacy.crash, cohort.crash);
+    assert_eq!(legacy.masked, cohort.masked);
+    assert_eq!(legacy.masked_fast_path, cohort.masked_fast_path);
+    assert_eq!(cohort.replays + cohort.cohort_demoted, legacy.replays);
+    any_demoted |= cohort.cohort_demoted > 0;
+    assert!(any_demoted, "nothing exercised a cohort demotion");
+}
+
+/// Adds whose results are overwritten unread and whose flags die under
+/// an ungraded xor: activated adder faults demote instead of replaying.
+fn dead_adder_program() -> Program {
+    use harpo_isa::asm::Asm;
+    use harpo_isa::form::Mnemonic;
+    use harpo_isa::reg::Gpr::*;
+    use harpo_isa::reg::Width::B64;
+    let mut a = Asm::new("deadadds");
+    a.mov_ri64(Rax, 0xFFFF_FFFF_0F0F_5A5A);
+    a.mov_ri64(Rbx, 0x0123_4567_89AB_CDEF);
+    for _ in 0..16 {
+        a.mov_ri64(Rcx, 0x00FF_00FF_00FF_00FF);
+        a.add_rr(B64, Rcx, Rax);
+        a.mov_ri64(Rcx, 0xAAAA_5555_AAAA_5555);
+        a.add_rr(B64, Rcx, Rbx);
+    }
+    a.mov_ri64(Rcx, 7);
+    a.op_rr(Mnemonic::Xor, B64, Rdx, Rax);
+    a.halt();
+    a.finish().unwrap()
+}
+
+#[test]
+fn forensics_do_not_change_tallies() {
+    let core = OooCore::default();
+    let p = &corpus()[0];
+    for structure in STRUCTURES {
+        let plain = measure_detection(p, structure, &core, &cfg(64, 2, L1dProtection::None))
+            .expect("golden run");
+        let with = measure_detection(
+            p,
+            structure,
+            &core,
+            &CampaignConfig {
+                forensics: true,
+                ..cfg(64, 2, L1dProtection::None)
+            },
+        )
+        .expect("golden run");
+        assert_eq!(plain, with, "{structure}: forensics changed the result");
+    }
 }
 
 #[test]

@@ -92,6 +92,125 @@ pub fn int_adder() -> &'static AdderCircuit {
     C.get_or_init(AdderCircuit::build)
 }
 
+/// Nominal operation count of the [`faulty_add_word`] kernel, reported
+/// as the specialized-op telemetry for word-specialized adder replays.
+pub const WORD_KERNEL_OPS: usize = 20;
+
+/// Word-level fault-specialized adder evaluation: the faulty `(sum,
+/// carry_out)` of the graded ripple-carry adder with a single stuck-at
+/// on `gate`, in ~[`WORD_KERNEL_OPS`] scalar operations instead of a
+/// netlist pass.
+///
+/// [`ripple_add`] emits exactly five gates per bit slice `k`, in order:
+/// `x = a_k ^ b_k`, `s_k = x ^ c_k`, `g = a_k & b_k`, `p = x & c_k`,
+/// `c_{k+1} = g | p` — so `gate / 5` names the slice and `gate % 5` the
+/// role. Every golden carry is free in word arithmetic (`s = a ^ b ^ c`
+/// per slice ⇒ `c = a ^ b ^ sum`), so the kernel forces the faulted
+/// gate's output, re-derives the slice's `s_k` and `c_{k+1}`, keeps the
+/// golden low bits and natively re-adds the upper field with the
+/// corrupted carry. Bit-identity with the interpreted netlist under
+/// every `(gate, polarity)` is pinned by `word_kernel_matches_netlist_
+/// for_every_gate`; the layout assumption fails loudly there if
+/// [`ripple_add`] ever changes its emission order.
+pub fn faulty_add_word(gate: u32, stuck_one: bool, a: u64, b: u64, cin: bool) -> (u64, bool) {
+    debug_assert!((gate as usize) < 5 * 64);
+    let k = (gate / 5) as u64;
+    let role = gate % 5;
+    let gs = a.wrapping_add(b).wrapping_add(cin as u64);
+    // Golden carry-in vector: s_i = a_i ^ b_i ^ c_i ⇒ c = a ^ b ^ s.
+    let carries = a ^ b ^ gs;
+    let ak = a >> k & 1;
+    let bk = b >> k & 1;
+    let ck = carries >> k & 1;
+    let v = stuck_one as u64;
+    let x = ak ^ bk;
+    let g = ak & bk;
+    // Faulty slice outputs after forcing the faulted gate. Deliberately
+    // branchless past the role dispatch (fixed per fault, so perfectly
+    // predicted in a replay): a "silent fault" early exit would be a
+    // 50/50 data-dependent branch whose mispredictions cost more than
+    // the slice rebuild it skips.
+    let (sk, ck1) = match role {
+        0 => (v ^ ck, g | (v & ck)), // x stuck
+        1 => (v, g | (x & ck)),      // s stuck
+        2 => (x ^ ck, v | (x & ck)), // g stuck
+        3 => (x ^ ck, g | v),        // p stuck
+        _ => (x ^ ck, v),            // carry stuck
+    };
+    if k == 63 {
+        return ((gs & !(1u64 << 63)) | (sk << 63), ck1 != 0);
+    }
+    // Upper field: native re-add of the remaining bits with the
+    // (possibly corrupted) carry into slice k + 1. The field is at most
+    // 63 bits wide, so the sum cannot wrap u64.
+    let w = 63 - k;
+    let us = (a >> (k + 1)) + (b >> (k + 1)) + ck1;
+    let sum = (gs & ((1u64 << k) - 1)) | (sk << k) | ((us & ((1u64 << w) - 1)) << (k + 1));
+    (sum, us >> w & 1 != 0)
+}
+
+/// Golden per-slice gate-output words of one adder operand triple — the
+/// word-parallel form of the activation screen. Because [`ripple_add`]'s
+/// five per-slice gates each have a closed word form (`x = a ^ b`,
+/// `s = a + b + cin`, `g = a & b`, `p = x & carries`, `c' = g | p`), a
+/// single stuck-at's effect on the architectural outputs reduces to a
+/// few bit tests against these words — no netlist pass and no per-fault
+/// kernel:
+///
+/// * forcing `x` or `s` to a value it does not hold flips sum bit `k`;
+/// * forcing `g` (resp. `p`) changes `c' = g | p` only when the other
+///   input is 0 and the forced value differs;
+/// * forcing `c'` corrupts iff the forced value differs from the golden
+///   carry — and a corrupted carry into slice `k + 1` always flips
+///   `s_{k+1}` (`s = x ^ c`), so any carry corruption below the top
+///   slice reaches the sum. At slice 63 the three carry-side roles
+///   corrupt only the carry-out.
+#[derive(Debug, Clone, Copy)]
+pub struct AdderScreenWords {
+    x: u64,
+    s: u64,
+    g: u64,
+    p: u64,
+    gp: u64,
+}
+
+impl AdderScreenWords {
+    /// Precomputes the golden gate-output words for one operand triple.
+    #[inline]
+    pub fn new(a: u64, b: u64, cin: bool) -> AdderScreenWords {
+        let s = a.wrapping_add(b).wrapping_add(cin as u64);
+        let x = a ^ b;
+        let g = a & b;
+        let p = x & (x ^ s); // x & carries
+        AdderScreenWords {
+            x,
+            s,
+            g,
+            p,
+            gp: g | p,
+        }
+    }
+
+    /// Whether the given stuck-at corrupts the pass: returns
+    /// `(activated, value)` — sum **or** carry-out differ from golden,
+    /// and sum alone differs — matching the interpreted screen
+    /// bit-for-bit (pinned by `screen_words_match_netlist_for_every_
+    /// gate`). Branchless: the role dispatch is an array index.
+    #[inline]
+    pub fn test(&self, gate: u32, stuck_one: bool) -> (bool, bool) {
+        let k = gate / 5;
+        let role = (gate % 5) as usize;
+        let w = [self.x, self.s, self.g, self.p, self.gp][role];
+        let blocked = [0, 0, self.p, self.g, 0][role];
+        let diff = ((w >> k) ^ stuck_one as u64) & !(blocked >> k) & 1;
+        // Sum-visible unless the fault only reaches the top carry-out:
+        // the `x`/`s` roles flip sum bit k directly, and any corrupted
+        // carry below slice 63 flips the next slice's sum bit.
+        let deep = (role < 2) as u64 | (k < 63) as u64;
+        (diff != 0, diff & deep != 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +258,100 @@ mod tests {
                 c.eval(&mut ev, a, b, cin, &FaultSet::none()),
                 native.int_add(a, b, cin)
             );
+        }
+    }
+
+    /// The word kernel's whole soundness case: for **every** gate of the
+    /// adder netlist, both stuck-at polarities, over corner and random
+    /// operand triples, [`faulty_add_word`] matches the interpreted
+    /// evaluator with the same fault forced. This is also the pin on the
+    /// `ripple_add` five-gates-per-slice emission order the kernel
+    /// decodes — reordering the builder fails here, not silently in a
+    /// campaign.
+    #[test]
+    fn word_kernel_matches_netlist_for_every_gate() {
+        let c = int_adder();
+        let mut ev = Evaluator::new(c.netlist());
+        let mut triples = vec![
+            (0u64, 0u64, false),
+            (0, 0, true),
+            (u64::MAX, u64::MAX, true),
+            (u64::MAX, 1, false),
+            (1, u64::MAX, false),
+            (0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555, true),
+            (1 << 63, 1 << 63, false),
+        ];
+        let mut s = 0xADD3_2BADu64;
+        for _ in 0..8 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let a = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let b = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            triples.push((a, b, s & 1 == 1));
+        }
+        for gate in 0..c.netlist().gate_count() as u32 {
+            for stuck_one in [false, true] {
+                let fs = FaultSet::single(gate, stuck_one);
+                for &(a, b, cin) in &triples {
+                    assert_eq!(
+                        faulty_add_word(gate, stuck_one, a, b, cin),
+                        c.eval(&mut ev, a, b, cin, &fs),
+                        "gate {gate} s@{} on {a:#x}+{b:#x}+{cin}",
+                        stuck_one as u8
+                    );
+                }
+            }
+        }
+    }
+
+    /// The word screen's whole soundness case: for every gate and both
+    /// polarities, over corner and random triples, [`AdderScreenWords`]
+    /// reports exactly whether the interpreted netlist's faulted
+    /// `(sum, cout)` / `sum` differ from golden.
+    #[test]
+    fn screen_words_match_netlist_for_every_gate() {
+        let c = int_adder();
+        let mut ev = Evaluator::new(c.netlist());
+        let mut native = NativeFu;
+        let mut triples = vec![
+            (0u64, 0u64, false),
+            (0, 0, true),
+            (u64::MAX, u64::MAX, true),
+            (u64::MAX, 1, false),
+            (0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555, true),
+            (1 << 63, 1 << 63, false),
+        ];
+        let mut s = 0x5C12_EE2Du64;
+        for _ in 0..8 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let a = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let b = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            triples.push((a, b, s & 1 == 1));
+        }
+        for &(a, b, cin) in &triples {
+            let words = AdderScreenWords::new(a, b, cin);
+            let (gs, gc) = native.int_add(a, b, cin);
+            for gate in 0..c.netlist().gate_count() as u32 {
+                for stuck_one in [false, true] {
+                    let (fs, fc) = c.eval(&mut ev, a, b, cin, &FaultSet::single(gate, stuck_one));
+                    let want = ((fs, fc) != (gs, gc), fs != gs);
+                    assert_eq!(
+                        words.test(gate, stuck_one),
+                        want,
+                        "gate {gate} s@{} on {a:#x}+{b:#x}+{cin}",
+                        stuck_one as u8
+                    );
+                }
+            }
         }
     }
 

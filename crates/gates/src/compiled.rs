@@ -1,0 +1,587 @@
+//! Compiled netlist evaluation: a levelized straight-line op arena.
+//!
+//! The interpreted [`crate::eval::Evaluator`] walks the gate list and
+//! dispatches a `match` per gate, because it must keep *every* gate
+//! alive as a fault-injection site. Fault-free evaluation — and
+//! evaluation under one **fixed** stuck-at fault — has no such
+//! obligation, so a [`CompiledNet`] compiles a [`Netlist`] once into a
+//! much smaller program:
+//!
+//! * **inversion absorption (NOT-fusion)** — every wire is represented
+//!   as a complemented edge (`slot`, `inverted`), AIG-style, so `Not` /
+//!   `Nand` / `Nor` / `Xnor` gates vanish into their consumers and the
+//!   opcode set shrinks to `{And, AndNot, Or, Xor, Mux, Not}` (a `Not`
+//!   op survives only where an inverted edge must materialize);
+//! * **constant folding** — stuck-at wires and the builder's structural
+//!   zeros (the multiplier pads its addend matrix with `WireId::ZERO`)
+//!   propagate through their fanout cones at compile time, which is
+//!   what makes *fault-specialized* circuits
+//!   ([`CompiledNet::compile_with_fault`]) collapse: forcing one gate
+//!   constant typically deletes a large cone;
+//! * **dead-gate elimination** — gates not reachable from the primary
+//!   outputs are dropped;
+//! * **levelized batch scheduling** — surviving ops are counting-sorted
+//!   by `(logic level, opcode)` and run as run-length batches: one
+//!   opcode dispatch per *batch* instead of per gate, over pre-resolved
+//!   input slots.
+//!
+//! Values stay 64-lane broadcast `u64`s (all lanes equal), so readback
+//! uses bit 0. The compiled program is bit-identical to the interpreted
+//! evaluator by construction, enforced by the differential corpus in
+//! `tests/compiled_equiv.rs`.
+
+use crate::netlist::{GateOp, Netlist};
+
+/// Opcode of one compiled op. Inversions live on edges at compile time
+/// and have been absorbed; `AndNot` computes `a & !b` so De Morgan
+/// rewrites need no materialized inverter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    And,
+    AndNot,
+    Or,
+    Xor,
+    Mux,
+    Not,
+}
+
+const OP_COUNT: usize = 6;
+
+#[inline]
+fn op_rank(op: Op) -> usize {
+    match op {
+        Op::And => 0,
+        Op::AndNot => 1,
+        Op::Or => 2,
+        Op::Xor => 3,
+        Op::Mux => 4,
+        Op::Not => 5,
+    }
+}
+
+/// A primary output of the compiled circuit: either a compile-time
+/// constant or a (possibly inverted) slot of the value arena.
+#[derive(Debug, Clone, Copy)]
+enum OutRef {
+    Const(bool),
+    Slot { slot: u32, invert: bool },
+}
+
+/// A compiled, optionally fault-specialized netlist (see module docs).
+#[derive(Debug, Clone)]
+pub struct CompiledNet {
+    n_inputs: usize,
+    n_slots: usize,
+    /// Run-length opcode batches over `args`, in execution order.
+    batches: Vec<(Op, u32)>,
+    /// Pre-resolved input slots per op: `[a, b, sel]` (unused trail
+    /// entries are 0). Op *k* writes slot `n_inputs + k`.
+    args: Vec<[u32; 3]>,
+    outputs: Vec<OutRef>,
+    source_gates: usize,
+}
+
+/// Reusable value arena for one [`CompiledNet`]. Keep one per thread:
+/// the buffer is sized once and reused, keeping evaluation
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct CompiledExec {
+    values: Vec<u64>,
+}
+
+/// Compile-time representation of a wire: a constant, or a complemented
+/// edge onto a value (primary input or emitted op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Repr {
+    Const(bool),
+    Node { id: u32, inv: bool },
+}
+
+impl Repr {
+    #[inline]
+    fn not(self) -> Repr {
+        match self {
+            Repr::Const(c) => Repr::Const(!c),
+            Repr::Node { id, inv } => Repr::Node { id, inv: !inv },
+        }
+    }
+}
+
+/// Emission state: values are numbered `0..n_inputs` for primary inputs
+/// and `n_inputs..` for provisional ops (topological by construction).
+struct Compiler {
+    n_inputs: usize,
+    ops: Vec<(Op, u32, u32, u32)>,
+}
+
+impl Compiler {
+    fn node(&mut self, op: Op, a: u32, b: u32, sel: u32) -> Repr {
+        let id = (self.n_inputs + self.ops.len()) as u32;
+        self.ops.push((op, a, b, sel));
+        Repr::Node { id, inv: false }
+    }
+
+    /// `x & y` with constant folding and inversion absorption.
+    fn and(&mut self, x: Repr, y: Repr) -> Repr {
+        match (x, y) {
+            (Repr::Const(false), _) | (_, Repr::Const(false)) => Repr::Const(false),
+            (Repr::Const(true), v) | (v, Repr::Const(true)) => v,
+            (Repr::Node { id: ia, inv: va }, Repr::Node { id: ib, inv: vb }) => {
+                if ia == ib {
+                    return if va == vb { x } else { Repr::Const(false) };
+                }
+                match (va, vb) {
+                    (false, false) => self.node(Op::And, ia, ib, 0),
+                    (false, true) => self.node(Op::AndNot, ia, ib, 0),
+                    (true, false) => self.node(Op::AndNot, ib, ia, 0),
+                    // !a & !b = !(a | b): push the inversion to the edge.
+                    (true, true) => self.node(Op::Or, ia, ib, 0).not(),
+                }
+            }
+        }
+    }
+
+    /// `x | y` via De Morgan on [`Compiler::and`].
+    fn or(&mut self, x: Repr, y: Repr) -> Repr {
+        self.and(x.not(), y.not()).not()
+    }
+
+    /// `x ^ y`; input inversions fold into the output edge.
+    fn xor(&mut self, x: Repr, y: Repr) -> Repr {
+        match (x, y) {
+            (Repr::Const(false), v) | (v, Repr::Const(false)) => v,
+            (Repr::Const(true), v) | (v, Repr::Const(true)) => v.not(),
+            (Repr::Node { id: ia, inv: va }, Repr::Node { id: ib, inv: vb }) => {
+                if ia == ib {
+                    return Repr::Const(va != vb);
+                }
+                let out = self.node(Op::Xor, ia, ib, 0);
+                if va != vb {
+                    out.not()
+                } else {
+                    out
+                }
+            }
+        }
+    }
+
+    /// `s ? x : y` with every degenerate form folded.
+    fn mux(&mut self, s: Repr, x: Repr, y: Repr) -> Repr {
+        let (s, x, y) = match s {
+            Repr::Const(true) => return x,
+            Repr::Const(false) => return y,
+            // An inverted select swaps the arms.
+            Repr::Node { id, inv: true } => (Repr::Node { id, inv: false }, y, x),
+            _ => (s, x, y),
+        };
+        match (x, y) {
+            // s?1:y = s|y   s?0:y = !s&y   s?x:1 = !s|x   s?x:0 = s&x
+            (Repr::Const(true), y) => self.or(s, y),
+            (Repr::Const(false), y) => {
+                let ns = s.not();
+                self.and(ns, y)
+            }
+            (x, Repr::Const(true)) => {
+                let ns = s.not();
+                self.or(ns, x)
+            }
+            (x, Repr::Const(false)) => self.and(s, x),
+            (Repr::Node { id: ia, inv: va }, Repr::Node { id: ib, inv: vb }) => {
+                if ia == ib {
+                    if va == vb {
+                        return x;
+                    }
+                    // s?x:!x = xnor(s, x).
+                    return self.xor(s, x).not();
+                }
+                if va == vb {
+                    let Repr::Node { id: is, .. } = s else {
+                        unreachable!("select constants folded above")
+                    };
+                    let m = self.node(Op::Mux, ia, ib, is);
+                    return if va { m.not() } else { m };
+                }
+                // Mixed arm inversions: s?x:y = y ^ (s & (x ^ y)).
+                let t = self.xor(x, y);
+                let u = self.and(s, t);
+                self.xor(y, u)
+            }
+        }
+    }
+}
+
+impl CompiledNet {
+    /// Compiles the fault-free circuit.
+    pub fn compile(net: &Netlist) -> CompiledNet {
+        CompiledNet::compile_inner(net, None)
+    }
+
+    /// Compiles a circuit specialized for one permanent stuck-at fault:
+    /// the faulted gate's output is the constant `stuck_one`, and the
+    /// constant propagates through its fanout cone at compile time.
+    ///
+    /// # Panics
+    /// Panics if `gate` is outside the netlist.
+    pub fn compile_with_fault(net: &Netlist, gate: u32, stuck_one: bool) -> CompiledNet {
+        assert!(
+            (gate as usize) < net.gate_count(),
+            "fault on nonexistent gate"
+        );
+        CompiledNet::compile_inner(net, Some((gate, stuck_one)))
+    }
+
+    fn compile_inner(net: &Netlist, fault: Option<(u32, bool)>) -> CompiledNet {
+        let n_in = net.input_count();
+        let mut c = Compiler {
+            n_inputs: n_in,
+            ops: Vec::with_capacity(net.gate_count()),
+        };
+        // Repr of every original wire, filled in topological order.
+        let mut reprs: Vec<Repr> = Vec::with_capacity(net.wire_count());
+        reprs.push(Repr::Const(false));
+        reprs.push(Repr::Const(true));
+        for i in 0..n_in {
+            reprs.push(Repr::Node {
+                id: i as u32,
+                inv: false,
+            });
+        }
+        for (g, gate) in net.gates().iter().enumerate() {
+            let r = if fault == Some((g as u32, true)) {
+                Repr::Const(true)
+            } else if fault == Some((g as u32, false)) {
+                Repr::Const(false)
+            } else {
+                let a = reprs[gate.a.index()];
+                let b = reprs[gate.b.index()];
+                match gate.op {
+                    GateOp::And => c.and(a, b),
+                    GateOp::Or => c.or(a, b),
+                    GateOp::Xor => c.xor(a, b),
+                    GateOp::Nand => c.and(a, b).not(),
+                    GateOp::Nor => c.or(a, b).not(),
+                    GateOp::Xnor => c.xor(a, b).not(),
+                    GateOp::Not => a.not(),
+                    GateOp::Mux => {
+                        let s = reprs[gate.sel.index()];
+                        c.mux(s, a, b)
+                    }
+                }
+            };
+            reprs.push(r);
+        }
+        let out_reprs: Vec<Repr> = net.outputs().iter().map(|o| reprs[o.index()]).collect();
+
+        // Dead-op elimination: mark live from the outputs, walking the
+        // provisional ops backwards (args always reference smaller ids).
+        let n_vals = n_in + c.ops.len();
+        let mut live = vec![false; n_vals];
+        for r in &out_reprs {
+            if let Repr::Node { id, .. } = r {
+                live[*id as usize] = true;
+            }
+        }
+        for k in (0..c.ops.len()).rev() {
+            if !live[n_in + k] {
+                continue;
+            }
+            let (op, a, b, sel) = c.ops[k];
+            live[a as usize] = true;
+            if op != Op::Not {
+                live[b as usize] = true;
+            }
+            if op == Op::Mux {
+                live[sel as usize] = true;
+            }
+        }
+
+        // Levelize the live ops (inputs are level 0) and counting-sort
+        // them by (level, opcode): one stable pass builds the
+        // straight-line schedule with maximal same-opcode runs per level.
+        let mut level = vec![0u32; n_vals];
+        let mut max_level = 0u32;
+        for (k, &(op, a, b, sel)) in c.ops.iter().enumerate() {
+            if !live[n_in + k] {
+                continue;
+            }
+            let mut l = level[a as usize];
+            if op != Op::Not {
+                l = l.max(level[b as usize]);
+            }
+            if op == Op::Mux {
+                l = l.max(level[sel as usize]);
+            }
+            level[n_in + k] = l + 1;
+            max_level = max_level.max(l + 1);
+        }
+        let key_of = |k: usize| {
+            let (op, ..) = c.ops[k];
+            level[n_in + k] as usize * OP_COUNT + op_rank(op)
+        };
+        let n_keys = (max_level as usize + 1) * OP_COUNT;
+        let mut counts = vec![0u32; n_keys + 1];
+        for k in 0..c.ops.len() {
+            if live[n_in + k] {
+                counts[key_of(k) + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let n_live = counts[n_keys] as usize;
+        let mut order = vec![0u32; n_live];
+        for k in 0..c.ops.len() {
+            if live[n_in + k] {
+                let slot = &mut counts[key_of(k)];
+                order[*slot as usize] = k as u32;
+                *slot += 1;
+            }
+        }
+
+        // Final slot assignment: inputs first, then scheduled ops. A
+        // producer always has a strictly smaller level than its
+        // consumers, so level-sorted assignment preserves topology.
+        let mut slot_of = vec![u32::MAX; n_vals];
+        for (i, s) in slot_of.iter_mut().enumerate().take(n_in) {
+            *s = i as u32;
+        }
+        let mut args = Vec::with_capacity(n_live);
+        let mut batches: Vec<(Op, u32)> = Vec::new();
+        for (pos, &k) in order.iter().enumerate() {
+            let (op, a, b, sel) = c.ops[k as usize];
+            slot_of[n_in + k as usize] = (n_in + pos) as u32;
+            args.push([
+                slot_of[a as usize],
+                if op == Op::Not {
+                    0
+                } else {
+                    slot_of[b as usize]
+                },
+                if op == Op::Mux {
+                    slot_of[sel as usize]
+                } else {
+                    0
+                },
+            ]);
+            match batches.last_mut() {
+                Some((last, len)) if *last == op => *len += 1,
+                _ => batches.push((op, 1)),
+            }
+        }
+        let outputs = out_reprs
+            .iter()
+            .map(|r| match *r {
+                Repr::Const(v) => OutRef::Const(v),
+                Repr::Node { id, inv } => OutRef::Slot {
+                    slot: slot_of[id as usize],
+                    invert: inv,
+                },
+            })
+            .collect();
+        CompiledNet {
+            n_inputs: n_in,
+            n_slots: n_in + n_live,
+            batches,
+            args,
+            outputs,
+            source_gates: net.gate_count(),
+        }
+    }
+
+    /// Allocates a value arena sized for this circuit.
+    pub fn exec(&self) -> CompiledExec {
+        CompiledExec {
+            values: vec![0; self.n_slots],
+        }
+    }
+
+    /// Evaluates the circuit; input `i` takes its broadcast value from
+    /// the closure.
+    ///
+    /// # Panics
+    /// Panics if `ex` was allocated for a different circuit.
+    pub fn run(&self, ex: &mut CompiledExec, input_bit: impl Fn(usize) -> bool) {
+        assert_eq!(ex.values.len(), self.n_slots, "exec/circuit mismatch");
+        let v = &mut ex.values;
+        for (i, slot) in v.iter_mut().enumerate().take(self.n_inputs) {
+            *slot = if input_bit(i) { u64::MAX } else { 0 };
+        }
+        let mut k = self.n_inputs;
+        let mut i = 0usize;
+        for &(op, len) in &self.batches {
+            let end = i + len as usize;
+            match op {
+                Op::And => {
+                    for &[a, b, _] in &self.args[i..end] {
+                        v[k] = v[a as usize] & v[b as usize];
+                        k += 1;
+                    }
+                }
+                Op::AndNot => {
+                    for &[a, b, _] in &self.args[i..end] {
+                        v[k] = v[a as usize] & !v[b as usize];
+                        k += 1;
+                    }
+                }
+                Op::Or => {
+                    for &[a, b, _] in &self.args[i..end] {
+                        v[k] = v[a as usize] | v[b as usize];
+                        k += 1;
+                    }
+                }
+                Op::Xor => {
+                    for &[a, b, _] in &self.args[i..end] {
+                        v[k] = v[a as usize] ^ v[b as usize];
+                        k += 1;
+                    }
+                }
+                Op::Mux => {
+                    for &[a, b, s] in &self.args[i..end] {
+                        let sv = v[s as usize];
+                        v[k] = (v[a as usize] & sv) | (v[b as usize] & !sv);
+                        k += 1;
+                    }
+                }
+                Op::Not => {
+                    for &[a, _, _] in &self.args[i..end] {
+                        v[k] = !v[a as usize];
+                        k += 1;
+                    }
+                }
+            }
+            i = end;
+        }
+    }
+
+    /// Number of primary outputs (matches the source netlist).
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Output `i` after [`CompiledNet::run`].
+    #[inline]
+    pub fn out_bit(&self, ex: &CompiledExec, i: usize) -> bool {
+        match self.outputs[i] {
+            OutRef::Const(v) => v,
+            OutRef::Slot { slot, invert } => (ex.values[slot as usize] & 1 == 1) != invert,
+        }
+    }
+
+    /// Collects outputs `[lo, lo + width)` (LSB first) into an integer.
+    pub fn out_word(&self, ex: &CompiledExec, lo: usize, width: usize) -> u64 {
+        debug_assert!(width <= 64);
+        let mut v = 0u64;
+        for i in 0..width {
+            v |= (self.out_bit(ex, lo + i) as u64) << i;
+        }
+        v
+    }
+
+    /// Ops surviving folding and dead-gate elimination — the compiled
+    /// circuit size that campaign telemetry reports per specialized
+    /// fault.
+    pub fn op_count(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Gates in the source netlist (for compression-ratio telemetry).
+    pub fn source_gate_count(&self) -> usize {
+        self.source_gates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{bit_of, Evaluator, FaultSet};
+    use crate::netlist::{NetlistBuilder, WireId};
+
+    /// All eight gate ops, with constants and shared fanout, so every
+    /// emission rule is exercised at least once.
+    fn mixed_net() -> Netlist {
+        let mut b = NetlistBuilder::new("mixed");
+        let i0 = b.input();
+        let i1 = b.input();
+        let i2 = b.input();
+        let n0 = b.not(i0);
+        let a0 = b.and(n0, i1);
+        let o0 = b.or(a0, WireId::ZERO);
+        let x0 = b.xor(o0, i2);
+        let nd = b.nand(x0, n0);
+        let nr = b.nor(nd, i1);
+        let xn = b.xnor(nr, a0);
+        let m0 = b.mux(nd, xn, nr);
+        let m1 = b.mux(i2, m0, WireId::ONE);
+        let dead = b.and(i0, i1); // never reaches an output
+        let _ = dead;
+        b.finish(vec![x0, nd, m0, m1, WireId::ONE, i0])
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_mixed_net() {
+        let net = mixed_net();
+        let compiled = CompiledNet::compile(&net);
+        let mut ev = Evaluator::new(&net);
+        let mut ex = compiled.exec();
+        for pat in 0u64..8 {
+            ev.run(&net, |i| bit_of(pat, i), &FaultSet::none());
+            compiled.run(&mut ex, |i| bit_of(pat, i));
+            for (o, &w) in net.outputs().iter().enumerate() {
+                assert_eq!(
+                    compiled.out_bit(&ex, o),
+                    ev.wire(w, 0),
+                    "pattern {pat:03b} output {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_specialization_matches_forced_interpreter() {
+        let net = mixed_net();
+        let mut ev = Evaluator::new(&net);
+        for g in 0..net.gate_count() as u32 {
+            for stuck_one in [false, true] {
+                let compiled = CompiledNet::compile_with_fault(&net, g, stuck_one);
+                let mut ex = compiled.exec();
+                for pat in 0u64..8 {
+                    ev.run(&net, |i| bit_of(pat, i), &FaultSet::single(g, stuck_one));
+                    compiled.run(&mut ex, |i| bit_of(pat, i));
+                    for (o, &w) in net.outputs().iter().enumerate() {
+                        assert_eq!(
+                            compiled.out_bit(&ex, o),
+                            ev.wire(w, 0),
+                            "gate {g} s@{} pattern {pat:03b} output {o}",
+                            stuck_one as u8
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folding_shrinks_the_multiplier() {
+        // The multiplier pads its addend matrix with structural zeros;
+        // folding plus NOT-fusion must shrink it substantially.
+        let net = crate::multiplier::int_multiplier().netlist();
+        let compiled = CompiledNet::compile(net);
+        assert!(
+            compiled.op_count() < net.gate_count(),
+            "compiled {} >= source {}",
+            compiled.op_count(),
+            net.gate_count()
+        );
+    }
+
+    #[test]
+    fn specialization_collapses_cones() {
+        // A stuck-at on a late carry gate makes everything feeding it
+        // dead; the specialized circuit must be smaller than the
+        // fault-free compile is relative to its own source.
+        let net = crate::adder::int_adder().netlist();
+        let free = CompiledNet::compile(net).op_count();
+        let specialized = CompiledNet::compile_with_fault(net, 5, true).op_count();
+        assert!(specialized <= free, "{specialized} > {free}");
+    }
+}

@@ -7,14 +7,21 @@
 //! This is the packed screening engine the fault injector uses to find
 //! which gate faults *activate* (produce an output differing from the
 //! fault-free lane) for a given operand pair.
+//!
+//! Unlike the fault-free [`crate::compiled::CompiledNet`], this
+//! evaluator must keep **every** gate alive — any gate may carry a fault
+//! in any lane — so it cannot fold or eliminate anything. It still
+//! avoids per-gate dispatch: [`Evaluator::new`] levelizes the netlist
+//! once into run-length `(level, opcode)` batches over pre-resolved
+//! input slots, so the hot loop dispatches once per batch.
 
 use crate::netlist::{GateOp, Netlist, WireId};
 
-/// A set of stuck-at faults, one per lane at most.
+/// A set of stuck-at faults, each applied to a mask of lanes.
 #[derive(Debug, Clone, Default)]
 pub struct FaultSet {
-    /// `(gate index, lane, stuck-at-one)` triples.
-    entries: Vec<(u32, u8, bool)>,
+    /// `(gate index, lane mask, stuck-at-one)` entries.
+    entries: Vec<(u32, u64, bool)>,
 }
 
 impl FaultSet {
@@ -24,19 +31,18 @@ impl FaultSet {
     }
 
     /// A single fault applied to **all** lanes (used for single-fault
-    /// replay, where only lane 0 is read back).
+    /// replay, where only lane 0 is read back): one masked entry, not
+    /// 64 per-lane entries.
     pub fn single(gate: u32, stuck_one: bool) -> FaultSet {
-        let mut s = FaultSet::default();
-        for lane in 0..64 {
-            s.entries.push((gate, lane, stuck_one));
+        FaultSet {
+            entries: vec![(gate, u64::MAX, stuck_one)],
         }
-        s
     }
 
     /// Adds a fault on one lane.
     pub fn add(&mut self, gate: u32, lane: u8, stuck_one: bool) {
         assert!(lane < 64, "lane out of range");
-        self.entries.push((gate, lane, stuck_one));
+        self.entries.push((gate, 1u64 << lane, stuck_one));
     }
 
     /// Builds a set grading up to 64 faults, fault `i` in lane `i`.
@@ -57,25 +63,101 @@ impl FaultSet {
 
 /// Reusable evaluation scratch state for one netlist.
 ///
-/// Keep one `Evaluator` per thread per circuit: the buffers are sized once
-/// and reused across calls, keeping the hot path allocation-free.
+/// Keep one `Evaluator` per thread per circuit: the schedule is built
+/// once in [`Evaluator::new`] and the buffers are reused across calls,
+/// keeping the hot path allocation-free.
 #[derive(Debug)]
 pub struct Evaluator {
+    /// Wire values, indexed by *slot* (schedule position), not wire id.
     values: Vec<u64>,
-    /// Per-gate force masks, rebuilt sparsely per call.
+    /// Per-gate force masks (original gate index), rebuilt sparsely.
     force0: Vec<u64>,
     force1: Vec<u64>,
     touched: Vec<u32>,
+    n_inputs: usize,
+    wire_count: usize,
+    /// Run-length `(opcode, count)` batches over the schedule.
+    batches: Vec<(GateOp, u32)>,
+    /// Pre-resolved input slots per scheduled gate: `[a, b, sel]`.
+    args: Vec<[u32; 3]>,
+    /// Original gate index per scheduled gate (for the force masks).
+    src_gate: Vec<u32>,
+    /// Original wire id → slot (for readback).
+    slot_of: Vec<u32>,
 }
 
 impl Evaluator {
-    /// Creates an evaluator sized for `net`.
+    /// Creates an evaluator for `net`, levelizing it into opcode
+    /// batches.
     pub fn new(net: &Netlist) -> Evaluator {
+        let n_in = net.input_count();
+        let n_gates = net.gate_count();
+        let wire_count = net.wire_count();
+        // Logic level per wire: constants and inputs are level 0, a gate
+        // is one past its deepest input. Gates at equal level are
+        // independent, so sorting by (level, opcode) keeps topological
+        // order while maximizing same-opcode runs.
+        let mut level = vec![0u32; wire_count];
+        let mut max_level = 0u32;
+        for (g, gate) in net.gates().iter().enumerate() {
+            let mut l = level[gate.a.index()].max(level[gate.b.index()]);
+            if gate.op == GateOp::Mux {
+                l = l.max(level[gate.sel.index()]);
+            }
+            level[2 + n_in + g] = l + 1;
+            max_level = max_level.max(l + 1);
+        }
+        const OPS: usize = 8;
+        let rank = |op: GateOp| op as usize;
+        let key_of = |g: usize| level[2 + n_in + g] as usize * OPS + rank(net.gates()[g].op);
+        let n_keys = (max_level as usize + 1) * OPS;
+        let mut counts = vec![0u32; n_keys + 1];
+        for g in 0..n_gates {
+            counts[key_of(g) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut order = vec![0u32; n_gates];
+        for g in 0..n_gates {
+            let slot = &mut counts[key_of(g)];
+            order[*slot as usize] = g as u32;
+            *slot += 1;
+        }
+        // Slot assignment: constants, inputs, then gates in schedule
+        // order (level-sorted, so producers precede consumers).
+        let mut slot_of = vec![u32::MAX; wire_count];
+        for (w, s) in slot_of.iter_mut().enumerate().take(2 + n_in) {
+            *s = w as u32;
+        }
+        for (pos, &g) in order.iter().enumerate() {
+            slot_of[2 + n_in + g as usize] = (2 + n_in + pos) as u32;
+        }
+        let mut args = Vec::with_capacity(n_gates);
+        let mut batches: Vec<(GateOp, u32)> = Vec::new();
+        for &g in &order {
+            let gate = &net.gates()[g as usize];
+            args.push([
+                slot_of[gate.a.index()],
+                slot_of[gate.b.index()],
+                slot_of[gate.sel.index()],
+            ]);
+            match batches.last_mut() {
+                Some((last, len)) if *last == gate.op => *len += 1,
+                _ => batches.push((gate.op, 1)),
+            }
+        }
         Evaluator {
-            values: vec![0; net.wire_count()],
-            force0: vec![0; net.gate_count()],
-            force1: vec![0; net.gate_count()],
+            values: vec![0; wire_count],
+            force0: vec![0; n_gates],
+            force1: vec![0; n_gates],
             touched: Vec::new(),
+            n_inputs: n_in,
+            wire_count,
+            batches,
+            args,
+            src_gate: order,
+            slot_of,
         }
     }
 
@@ -87,7 +169,7 @@ impl Evaluator {
     /// Panics if the evaluator was created for a different netlist shape.
     pub fn run(&mut self, net: &Netlist, input_bit: impl Fn(usize) -> bool, faults: &FaultSet) {
         assert_eq!(
-            self.values.len(),
+            self.wire_count,
             net.wire_count(),
             "evaluator/netlist mismatch"
         );
@@ -97,50 +179,63 @@ impl Evaluator {
             self.force1[g as usize] = 0;
         }
         self.touched.clear();
-        for &(g, lane, stuck_one) in &faults.entries {
+        for &(g, mask, stuck_one) in &faults.entries {
             let gi = g as usize;
-            assert!(gi < net.gate_count(), "fault on nonexistent gate");
+            assert!(gi < self.src_gate.len(), "fault on nonexistent gate");
             if self.force0[gi] == 0 && self.force1[gi] == 0 {
                 self.touched.push(g);
             }
             if stuck_one {
-                self.force1[gi] |= 1 << lane;
+                self.force1[gi] |= mask;
             } else {
-                self.force0[gi] |= 1 << lane;
+                self.force0[gi] |= mask;
             }
         }
 
         self.values[0] = 0;
         self.values[1] = u64::MAX;
-        let n_in = net.input_count();
+        let n_in = self.n_inputs;
         for i in 0..n_in {
             self.values[2 + i] = if input_bit(i) { u64::MAX } else { 0 };
         }
-        for (g, gate) in net.gates().iter().enumerate() {
-            let a = self.values[gate.a.index()];
-            let b = self.values[gate.b.index()];
-            let mut v = match gate.op {
-                GateOp::And => a & b,
-                GateOp::Or => a | b,
-                GateOp::Xor => a ^ b,
-                GateOp::Nand => !(a & b),
-                GateOp::Nor => !(a | b),
-                GateOp::Xnor => !(a ^ b),
-                GateOp::Not => !a,
-                GateOp::Mux => {
-                    let s = self.values[gate.sel.index()];
-                    (a & s) | (b & !s)
-                }
-            };
-            v = (v | self.force1[g]) & !self.force0[g];
-            self.values[2 + n_in + g] = v;
+        let v = &mut self.values;
+        let mut k = 2 + n_in;
+        let mut i = 0usize;
+        for &(op, len) in &self.batches {
+            let end = i + len as usize;
+            macro_rules! batch {
+                (|$a:ident, $b:ident, $s:ident| $body:expr) => {
+                    for j in i..end {
+                        let [$a, $b, $s] = self.args[j];
+                        let _ = ($b, $s);
+                        let g = self.src_gate[j] as usize;
+                        let val: u64 = $body;
+                        v[k] = (val | self.force1[g]) & !self.force0[g];
+                        k += 1;
+                    }
+                };
+            }
+            match op {
+                GateOp::And => batch!(|a, b, s| v[a as usize] & v[b as usize]),
+                GateOp::Or => batch!(|a, b, s| v[a as usize] | v[b as usize]),
+                GateOp::Xor => batch!(|a, b, s| v[a as usize] ^ v[b as usize]),
+                GateOp::Nand => batch!(|a, b, s| !(v[a as usize] & v[b as usize])),
+                GateOp::Nor => batch!(|a, b, s| !(v[a as usize] | v[b as usize])),
+                GateOp::Xnor => batch!(|a, b, s| !(v[a as usize] ^ v[b as usize])),
+                GateOp::Not => batch!(|a, b, s| !v[a as usize]),
+                GateOp::Mux => batch!(|a, b, s| {
+                    let sv = v[s as usize];
+                    (v[a as usize] & sv) | (v[b as usize] & !sv)
+                }),
+            }
+            i = end;
         }
     }
 
     /// Logic value of `wire` in `lane` after [`Evaluator::run`].
     #[inline]
     pub fn wire(&self, wire: WireId, lane: u8) -> bool {
-        self.values[wire.index()] >> lane & 1 == 1
+        self.values[self.slot_of[wire.index()] as usize] >> lane & 1 == 1
     }
 
     /// Collects a bus (LSB-first wire list) into an integer for `lane`.
@@ -148,7 +243,7 @@ impl Evaluator {
         assert!(wires.len() <= 64);
         let mut v = 0u64;
         for (i, w) in wires.iter().enumerate() {
-            v |= (self.values[w.index()] >> lane & 1) << i;
+            v |= (self.values[self.slot_of[w.index()] as usize] >> lane & 1) << i;
         }
         v
     }
@@ -158,7 +253,7 @@ impl Evaluator {
     pub fn bus_all_lanes(&self, wires: &[WireId], out: &mut [u64; 64]) {
         out.fill(0);
         for (i, w) in wires.iter().enumerate() {
-            let col = self.values[w.index()];
+            let col = self.values[self.slot_of[w.index()] as usize];
             // Scatter column bit l into out[l] bit i.
             let mut rest = col;
             while rest != 0 {
@@ -256,6 +351,26 @@ mod tests {
         assert_eq!(ev.bus(net.outputs(), 0), 1);
         ev.run(&net, |_| false, &FaultSet::none());
         assert_eq!(ev.bus(net.outputs(), 0), 0, "stale fault leaked");
+    }
+
+    #[test]
+    fn single_is_one_broadcast_entry() {
+        // The broadcast constructor must behave identically to a fault
+        // added on every lane, without building 64 entries.
+        let net = tiny_adder();
+        let mut ev = Evaluator::new(&net);
+        let single = FaultSet::single(0, true);
+        assert_eq!(single.entries.len(), 1);
+        ev.run(&net, |_| false, &single);
+        let broadcast: Vec<u64> = (0..64).map(|l| ev.bus(net.outputs(), l)).collect();
+        let mut per_lane = FaultSet::none();
+        for l in 0..64 {
+            per_lane.add(0, l, true);
+        }
+        ev.run(&net, |_| false, &per_lane);
+        for (l, &want) in broadcast.iter().enumerate() {
+            assert_eq!(ev.bus(net.outputs(), l as u8), want, "lane {l}");
+        }
     }
 
     #[test]

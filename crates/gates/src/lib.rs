@@ -31,6 +31,7 @@
 //! ```
 
 pub mod adder;
+pub mod compiled;
 pub mod components;
 pub mod eval;
 pub mod fp_common;
@@ -40,10 +41,14 @@ pub mod multiplier;
 pub mod netlist;
 pub mod provider;
 
-pub use adder::{int_adder, AdderCircuit};
+pub use adder::{faulty_add_word, int_adder, AdderCircuit, AdderScreenWords, WORD_KERNEL_OPS};
+pub use compiled::{CompiledExec, CompiledNet};
 pub use eval::{Evaluator, FaultSet};
 pub use fpadd::{fp_adder, FpAddCircuit};
 pub use fpmul::{fp_multiplier, FpMulCircuit};
 pub use multiplier::{int_multiplier, MulCircuit};
 pub use netlist::{Gate, GateOp, Netlist, NetlistBuilder, WireId};
-pub use provider::{screen_activation, FaultyFu, GateFault, GradedUnit, NetlistFu, UnitEvaluators};
+pub use provider::{
+    screen_activation, screen_activation_masks, FaultyFu, FuStats, GateFault, GradedUnit,
+    NetlistFu, UnitEvaluators,
+};

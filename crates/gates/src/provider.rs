@@ -1,19 +1,26 @@
 //! [`FuProvider`] implementations backed by the gate-level circuits.
 //!
-//! * [`NetlistFu`] routes **every** graded operation through the netlists
-//!   (used by equivalence tests and as the authoritative semantics);
-//! * [`FaultyFu`] computes natively except on the single faulted unit,
-//!   where the stuck-at netlist is evaluated — the fast path used by
-//!   fault-injection replay, since most dynamic instructions do not touch
-//!   the faulted structure.
+//! * [`NetlistFu`] routes **every** graded operation through the
+//!   interpreted netlists (used by equivalence tests and as the
+//!   authoritative semantics);
+//! * [`FaultyFu`] computes natively except on the single faulted unit.
+//!   By default the faulted unit runs a **fault-specialized compiled
+//!   circuit** ([`CompiledNet::compile_with_fault`]) with a per-replay
+//!   operand-triple memo in front of it; [`FaultyFu::new_legacy`] keeps
+//!   the pre-compilation interpreted path for differential testing and
+//!   benchmarking.
 
-use crate::adder::{int_adder, AdderCircuit};
-use crate::eval::{Evaluator, FaultSet};
-use crate::fpadd::{fp_adder, FpAddCircuit};
-use crate::fpmul::{fp_multiplier, FpMulCircuit};
-use crate::multiplier::{int_multiplier, MulCircuit};
+use crate::adder::{faulty_add_word, int_adder, AdderScreenWords, WORD_KERNEL_OPS};
+use crate::compiled::{CompiledExec, CompiledNet};
+use crate::eval::{bit_of, Evaluator, FaultSet};
+use crate::fpadd::fp_adder;
+use crate::fpmul::fp_multiplier;
+use crate::multiplier::int_multiplier;
+use crate::netlist::Netlist;
 use harpo_isa::fu::{FuProvider, NativeFu};
+use harpo_isa::hash::MixMap;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// The four graded functional units of the paper's evaluation (§III-B2,
 /// structures c–f; the bit-array structures a–b are handled by the array
@@ -41,11 +48,16 @@ impl GradedUnit {
 
     /// Number of gates in this unit's netlist (the fault population).
     pub fn gate_count(self) -> usize {
+        self.netlist().gate_count()
+    }
+
+    /// The unit's shared netlist.
+    pub fn netlist(self) -> &'static Netlist {
         match self {
-            GradedUnit::IntAdder => int_adder().netlist().gate_count(),
-            GradedUnit::IntMultiplier => int_multiplier().netlist().gate_count(),
-            GradedUnit::FpAdder => fp_adder().netlist().gate_count(),
-            GradedUnit::FpMultiplier => fp_multiplier().netlist().gate_count(),
+            GradedUnit::IntAdder => int_adder().netlist(),
+            GradedUnit::IntMultiplier => int_multiplier().netlist(),
+            GradedUnit::FpAdder => fp_adder().netlist(),
+            GradedUnit::FpMultiplier => fp_multiplier().netlist(),
         }
     }
 
@@ -131,30 +143,127 @@ impl FuProvider for NetlistFu {
     }
 }
 
+/// Replay-cost telemetry reported by [`FaultyFu::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuStats {
+    /// Wall-clock nanoseconds spent compiling the specialized circuit.
+    pub compile_ns: u64,
+    /// Ops in the specialized circuit after folding and dead-gate
+    /// elimination (0 for the legacy interpreted engine).
+    pub compiled_ops: u64,
+    /// Gates in the source netlist.
+    pub source_gates: u64,
+    /// Faulted-unit evaluations answered from the operand-triple memo.
+    pub memo_hits: u64,
+    /// Faulted-unit evaluations that consulted the memo.
+    pub memo_lookups: u64,
+}
+
+/// How the faulted unit is evaluated.
+#[derive(Debug)]
+enum Engine {
+    /// Word-level fault-specialized kernel — the adder's ripple
+    /// structure makes every internal carry free in word arithmetic
+    /// ([`faulty_add_word`]), so a faulted pass costs a handful of
+    /// scalar ops and needs no memo (a lookup would cost more than the
+    /// kernel).
+    Word,
+    /// Fault-specialized compiled circuit (the default for units
+    /// without a word-level kernel).
+    Compiled { net: CompiledNet, ex: CompiledExec },
+    /// Interpreted full-netlist evaluation with a runtime force mask —
+    /// the pre-compilation pipeline, kept for differential tests and
+    /// the benchmark baseline.
+    Legacy { faults: FaultSet, ev: Evaluator },
+}
+
 /// Native arithmetic everywhere except the single faulted unit, which is
-/// evaluated on its netlist with the stuck-at fault applied. `active`
-/// can be toggled to model intermittent faults (outside the burst the
-/// unit behaves fault-free).
+/// evaluated with the stuck-at fault applied. `active` can be toggled to
+/// model intermittent faults (outside the burst the unit behaves
+/// fault-free).
 #[derive(Debug)]
 pub struct FaultyFu {
     fault: GateFault,
-    faults: FaultSet,
     /// Whether the fault is currently asserted (intermittent bursts
     /// toggle this; permanent faults leave it `true`).
     pub active: bool,
     native: NativeFu,
-    ev: Evaluator,
+    engine: Engine,
+    /// Operand-triple → faulted-result memo. A replay revisits the same
+    /// operand pairs constantly (loop counters, repeated addresses), so
+    /// most faulted evaluations after the first few are table lookups.
+    /// Only the compiled engine consults it — the legacy engine models
+    /// the pre-compilation pipeline exactly.
+    memo: MixMap<(u64, u64, bool), (u64, bool)>,
+    stats: FuStats,
 }
 
 impl FaultyFu {
-    /// Creates a provider with the given permanent fault asserted.
+    /// Creates a provider with the given permanent fault asserted,
+    /// compiling a circuit specialized for that fault.
     pub fn new(fault: GateFault) -> FaultyFu {
-        let net = match fault.unit {
-            GradedUnit::IntAdder => int_adder().netlist(),
-            GradedUnit::IntMultiplier => int_multiplier().netlist(),
-            GradedUnit::FpAdder => fp_adder().netlist(),
-            GradedUnit::FpMultiplier => fp_multiplier().netlist(),
+        let net = fault.unit.netlist();
+        Self::check(fault, net);
+        // The adder's fault-specialized form is a closed-form word
+        // kernel: nothing to compile, and per-pass cost below a memo
+        // lookup's.
+        if fault.unit == GradedUnit::IntAdder {
+            return FaultyFu {
+                fault,
+                active: true,
+                native: NativeFu,
+                engine: Engine::Word,
+                memo: MixMap::default(),
+                stats: FuStats {
+                    compiled_ops: WORD_KERNEL_OPS as u64,
+                    source_gates: net.gate_count() as u64,
+                    ..FuStats::default()
+                },
+            };
+        }
+        let t0 = Instant::now();
+        let compiled = CompiledNet::compile_with_fault(net, fault.gate, fault.stuck_one);
+        let compile_ns = t0.elapsed().as_nanos() as u64;
+        let stats = FuStats {
+            compile_ns,
+            compiled_ops: compiled.op_count() as u64,
+            source_gates: compiled.source_gate_count() as u64,
+            memo_hits: 0,
+            memo_lookups: 0,
         };
+        let ex = compiled.exec();
+        FaultyFu {
+            fault,
+            active: true,
+            native: NativeFu,
+            engine: Engine::Compiled { net: compiled, ex },
+            memo: MixMap::default(),
+            stats,
+        }
+    }
+
+    /// Creates a provider using the interpreted engine (no
+    /// specialization, no memo) — the exact pre-compilation behaviour.
+    pub fn new_legacy(fault: GateFault) -> FaultyFu {
+        let net = fault.unit.netlist();
+        Self::check(fault, net);
+        FaultyFu {
+            fault,
+            active: true,
+            native: NativeFu,
+            engine: Engine::Legacy {
+                faults: FaultSet::single(fault.gate, fault.stuck_one),
+                ev: Evaluator::new(net),
+            },
+            memo: MixMap::default(),
+            stats: FuStats {
+                source_gates: net.gate_count() as u64,
+                ..FuStats::default()
+            },
+        }
+    }
+
+    fn check(fault: GateFault, net: &Netlist) {
         assert!(
             (fault.gate as usize) < net.gate_count(),
             "gate {} outside {} ({} gates)",
@@ -162,57 +271,207 @@ impl FaultyFu {
             net.name(),
             net.gate_count()
         );
-        FaultyFu {
-            fault,
-            faults: FaultSet::single(fault.gate, fault.stuck_one),
-            active: true,
-            native: NativeFu,
-            ev: Evaluator::new(net),
-        }
     }
 
     /// The injected fault.
     pub fn fault(&self) -> GateFault {
         self.fault
     }
+
+    /// Replay-cost telemetry accumulated so far.
+    pub fn stats(&self) -> FuStats {
+        self.stats
+    }
 }
 
 impl FuProvider for FaultyFu {
     fn int_add(&mut self, a: u64, b: u64, cin: bool) -> (u64, bool) {
-        if self.active && self.fault.unit == GradedUnit::IntAdder {
-            int_adder().eval(&mut self.ev, a, b, cin, &self.faults)
-        } else {
-            self.native.int_add(a, b, cin)
+        if !(self.active && self.fault.unit == GradedUnit::IntAdder) {
+            return self.native.int_add(a, b, cin);
+        }
+        match &mut self.engine {
+            Engine::Word => faulty_add_word(self.fault.gate, self.fault.stuck_one, a, b, cin),
+            Engine::Compiled { net, ex } => {
+                self.stats.memo_lookups += 1;
+                if let Some(&r) = self.memo.get(&(a, b, cin)) {
+                    self.stats.memo_hits += 1;
+                    return r;
+                }
+                net.run(ex, |i| match i {
+                    0..=63 => bit_of(a, i),
+                    64..=127 => bit_of(b, i - 64),
+                    _ => cin,
+                });
+                let r = (net.out_word(ex, 0, 64), net.out_bit(ex, 64));
+                self.memo.insert((a, b, cin), r);
+                r
+            }
+            Engine::Legacy { faults, ev } => int_adder().eval(ev, a, b, cin, faults),
         }
     }
 
     fn int_mul32(&mut self, a: u32, b: u32) -> u64 {
-        if self.active && self.fault.unit == GradedUnit::IntMultiplier {
-            int_multiplier().eval(&mut self.ev, a, b, &self.faults)
-        } else {
-            self.native.int_mul32(a, b)
+        if !(self.active && self.fault.unit == GradedUnit::IntMultiplier) {
+            return self.native.int_mul32(a, b);
+        }
+        match &mut self.engine {
+            Engine::Word => unreachable!("the word engine is adder-only"),
+            Engine::Compiled { net, ex } => {
+                self.stats.memo_lookups += 1;
+                if let Some(&(r, _)) = self.memo.get(&(a as u64, b as u64, false)) {
+                    self.stats.memo_hits += 1;
+                    return r;
+                }
+                net.run(ex, |i| {
+                    if i < 32 {
+                        bit_of(a as u64, i)
+                    } else {
+                        bit_of(b as u64, i - 32)
+                    }
+                });
+                let r = net.out_word(ex, 0, 64);
+                self.memo.insert((a as u64, b as u64, false), (r, false));
+                r
+            }
+            Engine::Legacy { faults, ev } => int_multiplier().eval(ev, a, b, faults),
         }
     }
 
     fn fp_add(&mut self, a: u32, b: u32) -> u32 {
-        if self.active && self.fault.unit == GradedUnit::FpAdder {
-            fp_adder().eval(&mut self.ev, a, b, &self.faults)
-        } else {
-            self.native.fp_add(a, b)
+        if !(self.active && self.fault.unit == GradedUnit::FpAdder) {
+            return self.native.fp_add(a, b);
+        }
+        match &mut self.engine {
+            Engine::Word => unreachable!("the word engine is adder-only"),
+            Engine::Compiled { net, ex } => {
+                self.stats.memo_lookups += 1;
+                if let Some(&(r, _)) = self.memo.get(&(a as u64, b as u64, false)) {
+                    self.stats.memo_hits += 1;
+                    return r as u32;
+                }
+                net.run(ex, |i| {
+                    if i < 32 {
+                        bit_of(a as u64, i)
+                    } else {
+                        bit_of(b as u64, i - 32)
+                    }
+                });
+                let r = net.out_word(ex, 0, 32) as u32;
+                self.memo
+                    .insert((a as u64, b as u64, false), (r as u64, false));
+                r
+            }
+            Engine::Legacy { faults, ev } => fp_adder().eval(ev, a, b, faults),
         }
     }
 
     fn fp_mul(&mut self, a: u32, b: u32) -> u32 {
-        if self.active && self.fault.unit == GradedUnit::FpMultiplier {
-            fp_multiplier().eval(&mut self.ev, a, b, &self.faults)
-        } else {
-            self.native.fp_mul(a, b)
+        if !(self.active && self.fault.unit == GradedUnit::FpMultiplier) {
+            return self.native.fp_mul(a, b);
+        }
+        match &mut self.engine {
+            Engine::Word => unreachable!("the word engine is adder-only"),
+            Engine::Compiled { net, ex } => {
+                self.stats.memo_lookups += 1;
+                if let Some(&(r, _)) = self.memo.get(&(a as u64, b as u64, false)) {
+                    self.stats.memo_hits += 1;
+                    return r as u32;
+                }
+                net.run(ex, |i| {
+                    if i < 32 {
+                        bit_of(a as u64, i)
+                    } else {
+                        bit_of(b as u64, i - 32)
+                    }
+                });
+                let r = net.out_word(ex, 0, 32) as u32;
+                self.memo
+                    .insert((a as u64, b as u64, false), (r as u64, false));
+                r
+            }
+            Engine::Legacy { faults, ev } => fp_multiplier().eval(ev, a, b, faults),
         }
     }
 }
 
+/// Packed activation screen returning lane **masks**: evaluates one
+/// operand pair against up to 64 candidate faults of `unit` in a single
+/// netlist pass. Bit *i* of the first mask is set when fault *i*'s
+/// output differs from the fault-free result at all; bit *i* of the
+/// second ("value") mask is set when the *architectural result value*
+/// differs. The two masks differ only for the adder, whose carry-out is
+/// a separate output: a carry-only activation raises the activation bit
+/// but not the value bit.
+///
+/// The fault-free side uses [`NativeFu`] — bit-identical to the
+/// netlists (test-enforced) and one netlist pass cheaper.
+pub fn screen_activation_masks(
+    unit: GradedUnit,
+    ev: &mut UnitEvaluators,
+    a: u64,
+    b: u64,
+    cin: bool,
+    faults: &[(u32, bool)],
+) -> (u64, u64) {
+    assert!(faults.len() <= 64);
+    let mut activated = 0u64;
+    let mut value = 0u64;
+    match unit {
+        GradedUnit::IntAdder => {
+            // Word-screen fast path: the golden gate-output words answer
+            // each candidate with a few branchless bit tests — beating
+            // both the 64-lane interpreted pass and a per-fault kernel
+            // evaluation. `screen_matches_packed_evaluator` pins it
+            // bit-identical to the packed evaluator.
+            let words = AdderScreenWords::new(a, b, cin);
+            for (i, &(gate, stuck_one)) in faults.iter().enumerate() {
+                let (act, val) = words.test(gate, stuck_one);
+                activated |= (act as u64) << i;
+                value |= (val as u64) << i;
+            }
+        }
+        GradedUnit::IntMultiplier => {
+            let golden = NativeFu.int_mul32(a as u32, b as u32);
+            let mut lanes = [0u64; 64];
+            let fs = FaultSet::lanes(faults);
+            int_multiplier().eval_lanes(&mut ev.mul, a as u32, b as u32, &fs, &mut lanes);
+            for (i, &l) in lanes.iter().take(faults.len()).enumerate() {
+                if l != golden {
+                    activated |= 1 << i;
+                }
+            }
+            value = activated;
+        }
+        GradedUnit::FpAdder => {
+            let golden = NativeFu.fp_add(a as u32, b as u32);
+            let mut lanes = [0u64; 64];
+            let fs = FaultSet::lanes(faults);
+            fp_adder().eval_lanes(&mut ev.fpadd, a as u32, b as u32, &fs, &mut lanes);
+            for (i, &l) in lanes.iter().take(faults.len()).enumerate() {
+                if l as u32 != golden {
+                    activated |= 1 << i;
+                }
+            }
+            value = activated;
+        }
+        GradedUnit::FpMultiplier => {
+            let golden = NativeFu.fp_mul(a as u32, b as u32);
+            let mut lanes = [0u64; 64];
+            let fs = FaultSet::lanes(faults);
+            fp_multiplier().eval_lanes(&mut ev.fpmul, a as u32, b as u32, &fs, &mut lanes);
+            for (i, &l) in lanes.iter().take(faults.len()).enumerate() {
+                if l as u32 != golden {
+                    activated |= 1 << i;
+                }
+            }
+            value = activated;
+        }
+    }
+    (activated, value)
+}
+
 /// Packed activation screen: evaluates one operand pair against up to 64
-/// candidate faults of `unit` in a single netlist pass, returning for each
+/// candidate faults of `unit` in a single netlist pass, writing for each
 /// fault whether its output differs from the fault-free result.
 ///
 /// This is the 64× speed-up that makes statistical gate-fault campaigns
@@ -226,49 +485,59 @@ pub fn screen_activation(
     faults: &[(u32, bool)],
     activated: &mut [bool],
 ) {
-    assert!(faults.len() <= 64 && activated.len() >= faults.len());
-    let fs = FaultSet::lanes(faults);
-    let mut lanes = [0u64; 64];
-    match unit {
-        GradedUnit::IntAdder => {
-            let c: &AdderCircuit = int_adder();
-            let golden = c.eval(&mut ev.adder, a, b, cin, &FaultSet::none());
-            let mut out = [(0u64, false); 64];
-            c.eval_lanes(&mut ev.adder, a, b, cin, &fs, &mut out);
-            for i in 0..faults.len() {
-                activated[i] = out[i] != golden;
-            }
-        }
-        GradedUnit::IntMultiplier => {
-            let c: &MulCircuit = int_multiplier();
-            let golden = c.eval(&mut ev.mul, a as u32, b as u32, &FaultSet::none());
-            c.eval_lanes(&mut ev.mul, a as u32, b as u32, &fs, &mut lanes);
-            for i in 0..faults.len() {
-                activated[i] = lanes[i] != golden;
-            }
-        }
-        GradedUnit::FpAdder => {
-            let c: &FpAddCircuit = fp_adder();
-            let golden = c.eval(&mut ev.fpadd, a as u32, b as u32, &FaultSet::none());
-            c.eval_lanes(&mut ev.fpadd, a as u32, b as u32, &fs, &mut lanes);
-            for i in 0..faults.len() {
-                activated[i] = lanes[i] as u32 != golden;
-            }
-        }
-        GradedUnit::FpMultiplier => {
-            let c: &FpMulCircuit = fp_multiplier();
-            let golden = c.eval(&mut ev.fpmul, a as u32, b as u32, &FaultSet::none());
-            c.eval_lanes(&mut ev.fpmul, a as u32, b as u32, &fs, &mut lanes);
-            for i in 0..faults.len() {
-                activated[i] = lanes[i] as u32 != golden;
-            }
-        }
+    assert!(activated.len() >= faults.len());
+    let (act, _) = screen_activation_masks(unit, ev, a, b, cin, faults);
+    for (i, slot) in activated.iter_mut().take(faults.len()).enumerate() {
+        *slot = act >> i & 1 == 1;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The adder arm of [`screen_activation_masks`] runs the word
+    /// kernel per fault instead of a packed netlist pass; this pins the
+    /// two bit-identical over random fault sets and operand triples.
+    #[test]
+    fn screen_matches_packed_evaluator() {
+        let net = int_adder().netlist();
+        let mut ev = UnitEvaluators::new();
+        let mut s = 0x5C2E_E41Du64;
+        let mut rand = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..16 {
+            let pairs: Vec<(u32, bool)> = (0..64)
+                .map(|_| {
+                    let r = rand();
+                    ((r % net.gate_count() as u64) as u32, r >> 32 & 1 == 1)
+                })
+                .collect();
+            let (a, b) = (rand(), rand());
+            let cin = rand() & 1 == 1;
+            let (act, value) =
+                screen_activation_masks(GradedUnit::IntAdder, &mut ev, a, b, cin, &pairs);
+            // Reference: the packed 64-lane interpreted evaluation.
+            let fs = FaultSet::lanes(&pairs);
+            let (gs, gc) = NativeFu.int_add(a, b, cin);
+            let mut out = [(0u64, false); 64];
+            int_adder().eval_lanes(&mut ev.adder, a, b, cin, &fs, &mut out);
+            let (mut ract, mut rvalue) = (0u64, 0u64);
+            for (i, &(lane_s, lane_c)) in out.iter().enumerate() {
+                if lane_s != gs {
+                    rvalue |= 1 << i;
+                }
+                if lane_s != gs || lane_c != gc {
+                    ract |= 1 << i;
+                }
+            }
+            assert_eq!((act, value), (ract, rvalue), "{a:#x}+{b:#x}+{cin}");
+        }
+    }
 
     #[test]
     fn netlist_fu_equals_native_fu() {
@@ -316,6 +585,89 @@ mod tests {
     }
 
     #[test]
+    fn compiled_engine_matches_legacy_engine() {
+        let mut s = 0x5EED_u64;
+        for unit in GradedUnit::ALL {
+            let n = unit.gate_count() as u32;
+            for f in 0..12u32 {
+                let fault = GateFault {
+                    unit,
+                    gate: f.wrapping_mul(2654435761) % n,
+                    stuck_one: f % 2 == 0,
+                };
+                let mut new = FaultyFu::new(fault);
+                let mut old = FaultyFu::new_legacy(fault);
+                for _ in 0..20 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = s;
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let b = s;
+                    match unit {
+                        GradedUnit::IntAdder => assert_eq!(
+                            new.int_add(a, b, s & 1 == 1),
+                            old.int_add(a, b, s & 1 == 1),
+                            "{fault:?}"
+                        ),
+                        GradedUnit::IntMultiplier => assert_eq!(
+                            new.int_mul32(a as u32, b as u32),
+                            old.int_mul32(a as u32, b as u32),
+                            "{fault:?}"
+                        ),
+                        GradedUnit::FpAdder => assert_eq!(
+                            new.fp_add(a as u32, b as u32),
+                            old.fp_add(a as u32, b as u32),
+                            "{fault:?}"
+                        ),
+                        GradedUnit::FpMultiplier => assert_eq!(
+                            new.fp_mul(a as u32, b as u32),
+                            old.fp_mul(a as u32, b as u32),
+                            "{fault:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_short_circuits_repeated_operands() {
+        let mut fu = FaultyFu::new(GateFault {
+            unit: GradedUnit::IntMultiplier,
+            gate: 7,
+            stuck_one: true,
+        });
+        let first = fu.int_mul32(40, 2);
+        let again = fu.int_mul32(40, 2);
+        assert_eq!(first, again);
+        let st = fu.stats();
+        assert_eq!(st.memo_lookups, 2);
+        assert_eq!(st.memo_hits, 1);
+        assert!(st.compiled_ops > 0 && st.compiled_ops <= st.source_gates);
+        // The legacy engine never memoizes.
+        let mut old = FaultyFu::new_legacy(fu.fault());
+        old.int_mul32(40, 2);
+        old.int_mul32(40, 2);
+        assert_eq!(old.stats().memo_lookups, 0);
+    }
+
+    /// The adder's word engine never consults the memo — the kernel is
+    /// cheaper than a lookup — but still reports its nominal op count.
+    #[test]
+    fn word_engine_skips_the_memo() {
+        let mut fu = FaultyFu::new(GateFault {
+            unit: GradedUnit::IntAdder,
+            gate: 7,
+            stuck_one: true,
+        });
+        fu.int_add(40, 2, false);
+        fu.int_add(40, 2, false);
+        let st = fu.stats();
+        assert_eq!(st.memo_lookups, 0);
+        assert_eq!(st.compile_ns, 0);
+        assert_eq!(st.compiled_ops, WORD_KERNEL_OPS as u64);
+    }
+
+    #[test]
     fn screen_matches_single_fault_eval() {
         let mut ev = UnitEvaluators::new();
         let n = int_adder().netlist().gate_count() as u32;
@@ -339,6 +691,27 @@ mod tests {
             let got = fu.int_add(0xFF00, 0x00FF, false);
             let golden = NativeFu.int_add(0xFF00, 0x00FF, false);
             assert_eq!(act[i], got != golden, "fault ({g},{s1})");
+        }
+    }
+
+    #[test]
+    fn value_mask_is_subset_of_activation_mask() {
+        let mut ev = UnitEvaluators::new();
+        for unit in GradedUnit::ALL {
+            let n = unit.gate_count() as u32;
+            let faults: Vec<(u32, bool)> = (0..64u32).map(|i| (i * 13 % n, i % 2 == 0)).collect();
+            let (act, val) = screen_activation_masks(
+                unit,
+                &mut ev,
+                0xDEAD_BEEF_1234_5678,
+                0x0F0F_F0F0_55AA_AA55,
+                true,
+                &faults,
+            );
+            assert_eq!(val & !act, 0, "{unit:?}: value bit without activation");
+            if unit != GradedUnit::IntAdder {
+                assert_eq!(val, act, "{unit:?}: no separate carry output");
+            }
         }
     }
 

@@ -1,0 +1,205 @@
+//! Differential corpus: the compiled netlist arena is bit-identical to
+//! the interpreted evaluator.
+//!
+//! [`CompiledNet`] folds constants, fuses inverters, drops dead gates
+//! and reschedules what is left — every one of those transforms must be
+//! invisible in the output bits, fault-free and under any single
+//! stuck-at. This suite pins that equivalence three ways:
+//!
+//! 1. over the four real graded-unit netlists with random operands;
+//! 2. for fault-specialized circuits against the interpreter with the
+//!    same stuck-at forced, over the same units;
+//! 3. over randomly generated netlists (structure, fanout, constants
+//!    and outputs all randomized), fault-free and fault-specialized —
+//!    the property-test leg that catches emission rules the real units
+//!    never exercise.
+
+use harpo_gates::eval::bit_of;
+use harpo_gates::{CompiledNet, Evaluator, FaultSet, GradedUnit, Netlist, NetlistBuilder, WireId};
+
+/// Deterministic xorshift64* — the corpus must not depend on an RNG
+/// crate's stream staying stable across versions.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const UNITS: [GradedUnit; 4] = [
+    GradedUnit::IntAdder,
+    GradedUnit::IntMultiplier,
+    GradedUnit::FpAdder,
+    GradedUnit::FpMultiplier,
+];
+
+/// Random input assignment for `net`, as one bool per primary input.
+fn random_inputs(rng: &mut Rng, net: &Netlist) -> Vec<bool> {
+    (0..net.input_count())
+        .map(|_| rng.next() & 1 != 0)
+        .collect()
+}
+
+fn assert_same_outputs(
+    net: &Netlist,
+    compiled: &CompiledNet,
+    ev: &mut Evaluator,
+    inputs: &[bool],
+    faults: &FaultSet,
+    what: &str,
+) {
+    let mut ex = compiled.exec();
+    ev.run(net, |i| inputs[i], faults);
+    compiled.run(&mut ex, |i| inputs[i]);
+    for (o, &w) in net.outputs().iter().enumerate() {
+        assert_eq!(
+            compiled.out_bit(&ex, o),
+            ev.wire(w, 0),
+            "{what}: output {o} of {}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn graded_units_compile_bit_identical() {
+    let mut rng = Rng(0xC0FFEE);
+    for unit in UNITS {
+        let net = unit.netlist();
+        let compiled = CompiledNet::compile(net);
+        let mut ev = Evaluator::new(net);
+        for round in 0..32 {
+            let inputs = random_inputs(&mut rng, net);
+            assert_same_outputs(
+                net,
+                &compiled,
+                &mut ev,
+                &inputs,
+                &FaultSet::none(),
+                &format!("{unit:?} fault-free round {round}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn graded_units_specialize_bit_identical() {
+    let mut rng = Rng(0xBADC0DE);
+    for unit in UNITS {
+        let net = unit.netlist();
+        let mut ev = Evaluator::new(net);
+        for round in 0..12 {
+            let gate = rng.below(net.gate_count()) as u32;
+            let stuck_one = rng.next() & 1 != 0;
+            let compiled = CompiledNet::compile_with_fault(net, gate, stuck_one);
+            for pat in 0..6 {
+                let inputs = random_inputs(&mut rng, net);
+                assert_same_outputs(
+                    net,
+                    &compiled,
+                    &mut ev,
+                    &inputs,
+                    &FaultSet::single(gate, stuck_one),
+                    &format!(
+                        "{unit:?} gate {gate} s@{} round {round}.{pat}",
+                        stuck_one as u8
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Builds a random netlist: random gate ops over random already-built
+/// wires (constants and inputs included, so constant-folding and
+/// passthrough-output paths get hit), with random outputs that may be
+/// raw inputs or constants.
+fn random_netlist(rng: &mut Rng, seed: u64) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("rand-{seed}"));
+    let n_inputs = 1 + rng.below(6);
+    let mut wires: Vec<WireId> = vec![WireId::ZERO, WireId::ONE];
+    for _ in 0..n_inputs {
+        wires.push(b.input());
+    }
+    let n_gates = 1 + rng.below(48);
+    for _ in 0..n_gates {
+        let a = wires[rng.below(wires.len())];
+        let c = wires[rng.below(wires.len())];
+        let w = match rng.below(8) {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nand(a, c),
+            4 => b.nor(a, c),
+            5 => b.xnor(a, c),
+            6 => b.not(a),
+            _ => {
+                let s = wires[rng.below(wires.len())];
+                b.mux(s, a, c)
+            }
+        };
+        wires.push(w);
+    }
+    let n_outputs = 1 + rng.below(6);
+    let outputs = (0..n_outputs)
+        .map(|_| wires[rng.below(wires.len())])
+        .collect();
+    b.finish(outputs)
+}
+
+#[test]
+fn random_netlists_compile_bit_identical() {
+    let mut rng = Rng(0x5EED);
+    for seed in 0..80 {
+        let net = random_netlist(&mut rng, seed);
+        let compiled = CompiledNet::compile(&net);
+        let mut ev = Evaluator::new(&net);
+        for pat in 0u64..16 {
+            let inputs: Vec<bool> = (0..net.input_count()).map(|i| bit_of(pat, i)).collect();
+            assert_same_outputs(
+                &net,
+                &compiled,
+                &mut ev,
+                &inputs,
+                &FaultSet::none(),
+                &format!("seed {seed} pattern {pat}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_netlists_specialize_bit_identical() {
+    let mut rng = Rng(0xFEED_FACE);
+    for seed in 0..40 {
+        let net = random_netlist(&mut rng, seed);
+        let mut ev = Evaluator::new(&net);
+        for _ in 0..6 {
+            let gate = rng.below(net.gate_count()) as u32;
+            let stuck_one = rng.next() & 1 != 0;
+            let compiled = CompiledNet::compile_with_fault(&net, gate, stuck_one);
+            for pat in 0u64..8 {
+                let inputs: Vec<bool> = (0..net.input_count()).map(|i| bit_of(pat, i)).collect();
+                assert_same_outputs(
+                    &net,
+                    &compiled,
+                    &mut ev,
+                    &inputs,
+                    &FaultSet::single(gate, stuck_one),
+                    &format!(
+                        "seed {seed} gate {gate} s@{} pattern {pat}",
+                        stuck_one as u8
+                    ),
+                );
+            }
+        }
+    }
+}

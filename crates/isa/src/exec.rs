@@ -314,6 +314,13 @@ impl<'p, F: FuProvider> Machine<'p, F, NoHooks> {
     pub fn new_in(prog: &'p Program, fu: F, recycle: Memory) -> Machine<'p, F, NoHooks> {
         Machine::with_hooks_in(prog, fu, NoHooks, recycle)
     }
+
+    /// [`Machine::new`] taking a memory image the caller has already
+    /// initialized to exactly `prog.mem.build()` (see
+    /// [`Machine::with_hooks_premade`]).
+    pub fn new_premade(prog: &'p Program, fu: F, mem: Memory) -> Machine<'p, F, NoHooks> {
+        Machine::with_hooks_premade(prog, fu, NoHooks, mem)
+    }
 }
 
 impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
@@ -344,6 +351,31 @@ impl<'p, F: FuProvider, H: ExecHooks> Machine<'p, F, H> {
             prog,
             state: prog.initial_state(),
             mem: recycle,
+            fu,
+            hooks,
+            dyn_count: 0,
+            info: StepInfo::new(0, 0, FormId(0)),
+        }
+    }
+
+    /// [`Machine::with_hooks`] taking a memory image the caller has
+    /// already initialized to exactly `prog.mem.build()` — the
+    /// template-clone fast path of replay contexts, which memcpy a
+    /// per-program template instead of re-running the image fill for
+    /// every fault. Passing anything else diverges from golden
+    /// semantics; campaigns source the image from
+    /// [`MemImage`](crate::mem::MemImage)-keyed templates only.
+    pub fn with_hooks_premade(
+        prog: &'p Program,
+        fu: F,
+        hooks: H,
+        mem: Memory,
+    ) -> Machine<'p, F, H> {
+        debug_assert_eq!(mem.len(), prog.mem.total_size() as usize);
+        Machine {
+            prog,
+            state: prog.initial_state(),
+            mem,
             fu,
             hooks,
             dyn_count: 0,

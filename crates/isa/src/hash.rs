@@ -1,0 +1,98 @@
+//! Shared multiply-mix hasher for hot-path point-query maps.
+//!
+//! Several inner loops key `HashMap`s by small integer tuples — the
+//! store-commit byte map in `harpo_uarch`, the operand-triple screening
+//! memo in `harpo_faultsim`, the per-replay output memo in
+//! `harpo_gates::FaultyFu`. None of these maps is exposed to untrusted
+//! keys and none ever observes iteration order, so SipHash buys nothing
+//! and costs an order of magnitude over a two-instruction multiply-mix.
+//! This module is the one shared definition of that hasher so every hot
+//! path uses the same, separately-tested mix.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-style multiplicative mixing constant (2⁶⁴/φ, forced odd).
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A multiply-mix [`Hasher`]: every written word is folded into the
+/// state with an XOR followed by a multiplication by `MIX`. The
+/// trailing multiply doubles as the finalizer — multiplying by an odd
+/// constant is a bijection on every low-bit window, so sequential keys
+/// spread across the table's low bits (see `sequential_keys_spread`).
+#[derive(Debug, Default)]
+pub struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(MIX);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(MIX);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// [`BuildHasherDefault`] alias for [`MixHasher`].
+pub type MixBuild = BuildHasherDefault<MixHasher>;
+
+/// A `HashMap` using the multiply-mix hasher.
+pub type MixMap<K, V> = HashMap<K, V, MixBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips_tuple_keys() {
+        let mut m: MixMap<(u64, u64, bool), u64> = MixMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i.wrapping_mul(MIX), i % 3 == 0), i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(MIX), i % 3 == 0)), Some(&i));
+        }
+        assert_eq!(m.get(&(1, 2, false)), None);
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // Point-query maps index by the hash's low bits; sequential keys
+        // must not collapse onto a handful of slots.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let mut h = MixHasher::default();
+            h.write_u64(i);
+            low_bits.insert(h.finish() & 63);
+        }
+        assert!(
+            low_bits.len() > 48,
+            "only {} distinct slots",
+            low_bits.len()
+        );
+    }
+}

@@ -66,6 +66,7 @@ pub mod fingerprint;
 pub mod flags;
 pub mod form;
 pub mod fu;
+pub mod hash;
 pub mod inst;
 pub mod mem;
 pub mod program;

@@ -138,6 +138,16 @@ impl Memory {
         self.bytes.len()
     }
 
+    /// Copies `other`'s contents into `self`, reusing the allocation —
+    /// one memcpy, against the fill-and-patch rebuild of
+    /// [`MemImage::build_into`]. Replay contexts clone a per-program
+    /// template this way instead of re-running the image fill for every
+    /// fault.
+    pub fn copy_from(&mut self, other: &Memory) {
+        self.base = other.base;
+        self.bytes.clone_from(&other.bytes);
+    }
+
     /// Whether the region is empty (degenerate images only).
     #[inline]
     pub fn is_empty(&self) -> bool {

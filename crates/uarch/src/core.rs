@@ -25,37 +25,13 @@ use harpo_isa::mem::Memory;
 use harpo_isa::program::Program;
 use harpo_isa::reg::{Gpr, Xmm};
 use std::collections::{HashMap, VecDeque};
-use std::hash::{BuildHasherDefault, Hasher};
 
-/// A multiply-mix hasher for the store-commit byte map. Keys are small
-/// byte addresses, the map is probed on every load byte and written on
-/// every store byte, and nothing ever iterates it — so a two-instruction
-/// deterministic mix beats SipHash by an order of magnitude without
-/// affecting results (lookups are point queries; iteration order is
-/// never observed).
-#[derive(Debug, Default)]
-struct AddrHasher(u64);
-
-impl Hasher for AddrHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0 ^ (self.0 >> 31)
-    }
-}
-
-type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
+// The store-commit byte map keys small byte addresses, is probed on
+// every load byte and written on every store byte, and nothing ever
+// iterates it — so the shared two-instruction multiply-mix hasher beats
+// SipHash by an order of magnitude without affecting results (lookups
+// are point queries; iteration order is never observed).
+type AddrMap<V> = HashMap<u64, V, harpo_isa::hash::MixBuild>;
 
 /// Result of a golden simulation: the architectural output plus the full
 /// microarchitectural trace.

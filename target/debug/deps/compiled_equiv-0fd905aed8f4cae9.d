@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiled_equiv-0fd905aed8f4cae9.d: crates/gates/tests/compiled_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiled_equiv-0fd905aed8f4cae9.rmeta: crates/gates/tests/compiled_equiv.rs Cargo.toml
+
+crates/gates/tests/compiled_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

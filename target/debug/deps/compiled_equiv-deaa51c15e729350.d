@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiled_equiv-deaa51c15e729350.d: crates/gates/tests/compiled_equiv.rs
+
+/root/repo/target/debug/deps/compiled_equiv-deaa51c15e729350: crates/gates/tests/compiled_equiv.rs
+
+crates/gates/tests/compiled_equiv.rs:

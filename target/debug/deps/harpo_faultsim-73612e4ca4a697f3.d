@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/harpo_faultsim-73612e4ca4a697f3.d: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs Cargo.toml
+/root/repo/target/debug/deps/harpo_faultsim-73612e4ca4a697f3.d: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs Cargo.toml
 
-/root/repo/target/debug/deps/libharpo_faultsim-73612e4ca4a697f3.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs Cargo.toml
+/root/repo/target/debug/deps/libharpo_faultsim-73612e4ca4a697f3.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs Cargo.toml
 
 crates/faultsim/src/lib.rs:
 crates/faultsim/src/autopsy.rs:
 crates/faultsim/src/campaign.rs:
 crates/faultsim/src/checkpoint.rs:
+crates/faultsim/src/cohort.rs:
 crates/faultsim/src/fault.rs:
 crates/faultsim/src/gate.rs:
 crates/faultsim/src/outcome.rs:

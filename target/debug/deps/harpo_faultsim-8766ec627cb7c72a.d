@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/harpo_faultsim-8766ec627cb7c72a.d: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+/root/repo/target/debug/deps/harpo_faultsim-8766ec627cb7c72a.d: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
 
-/root/repo/target/debug/deps/libharpo_faultsim-8766ec627cb7c72a.rlib: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+/root/repo/target/debug/deps/libharpo_faultsim-8766ec627cb7c72a.rlib: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
 
-/root/repo/target/debug/deps/libharpo_faultsim-8766ec627cb7c72a.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+/root/repo/target/debug/deps/libharpo_faultsim-8766ec627cb7c72a.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
 
 crates/faultsim/src/lib.rs:
 crates/faultsim/src/autopsy.rs:
 crates/faultsim/src/campaign.rs:
 crates/faultsim/src/checkpoint.rs:
+crates/faultsim/src/cohort.rs:
 crates/faultsim/src/fault.rs:
 crates/faultsim/src/gate.rs:
 crates/faultsim/src/outcome.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/harpo_gates-b1d9cfb2b830e730.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs Cargo.toml
+/root/repo/target/debug/deps/harpo_gates-b1d9cfb2b830e730.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs Cargo.toml
 
-/root/repo/target/debug/deps/libharpo_gates-b1d9cfb2b830e730.rmeta: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs Cargo.toml
+/root/repo/target/debug/deps/libharpo_gates-b1d9cfb2b830e730.rmeta: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs Cargo.toml
 
 crates/gates/src/lib.rs:
 crates/gates/src/adder.rs:
+crates/gates/src/compiled.rs:
 crates/gates/src/components.rs:
 crates/gates/src/eval.rs:
 crates/gates/src/fp_common.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/harpo_gates-bc7bb9e12f605ec6.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/debug/deps/harpo_gates-bc7bb9e12f605ec6.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
-/root/repo/target/debug/deps/harpo_gates-bc7bb9e12f605ec6: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/debug/deps/harpo_gates-bc7bb9e12f605ec6: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
 crates/gates/src/lib.rs:
 crates/gates/src/adder.rs:
+crates/gates/src/compiled.rs:
 crates/gates/src/components.rs:
 crates/gates/src/eval.rs:
 crates/gates/src/fp_common.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/harpo_gates-de4213bf47fb2536.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/debug/deps/harpo_gates-de4213bf47fb2536.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
-/root/repo/target/debug/deps/libharpo_gates-de4213bf47fb2536.rlib: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/debug/deps/libharpo_gates-de4213bf47fb2536.rlib: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
-/root/repo/target/debug/deps/libharpo_gates-de4213bf47fb2536.rmeta: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/debug/deps/libharpo_gates-de4213bf47fb2536.rmeta: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
 crates/gates/src/lib.rs:
 crates/gates/src/adder.rs:
+crates/gates/src/compiled.rs:
 crates/gates/src/components.rs:
 crates/gates/src/eval.rs:
 crates/gates/src/fp_common.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/harpo_isa-7f00b87d45baa82b.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs
+/root/repo/target/debug/deps/harpo_isa-7f00b87d45baa82b.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/hash.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs
 
-/root/repo/target/debug/deps/libharpo_isa-7f00b87d45baa82b.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs
+/root/repo/target/debug/deps/libharpo_isa-7f00b87d45baa82b.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/hash.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs
 
-/root/repo/target/debug/deps/libharpo_isa-7f00b87d45baa82b.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs
+/root/repo/target/debug/deps/libharpo_isa-7f00b87d45baa82b.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/hash.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs
 
 crates/isa/src/lib.rs:
 crates/isa/src/asm.rs:
@@ -13,6 +13,7 @@ crates/isa/src/fingerprint.rs:
 crates/isa/src/flags.rs:
 crates/isa/src/form.rs:
 crates/isa/src/fu.rs:
+crates/isa/src/hash.rs:
 crates/isa/src/inst.rs:
 crates/isa/src/mem.rs:
 crates/isa/src/program.rs:

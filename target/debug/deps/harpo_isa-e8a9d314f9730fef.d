@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/harpo_isa-e8a9d314f9730fef.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs Cargo.toml
+/root/repo/target/debug/deps/harpo_isa-e8a9d314f9730fef.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/hash.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs Cargo.toml
 
-/root/repo/target/debug/deps/libharpo_isa-e8a9d314f9730fef.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs Cargo.toml
+/root/repo/target/debug/deps/libharpo_isa-e8a9d314f9730fef.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/container.rs crates/isa/src/encode.rs crates/isa/src/exec.rs crates/isa/src/fingerprint.rs crates/isa/src/flags.rs crates/isa/src/form.rs crates/isa/src/fu.rs crates/isa/src/hash.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/program.rs crates/isa/src/reg.rs crates/isa/src/semantics.rs crates/isa/src/softfp.rs crates/isa/src/state.rs crates/isa/src/trail.rs Cargo.toml
 
 crates/isa/src/lib.rs:
 crates/isa/src/asm.rs:
@@ -11,6 +11,7 @@ crates/isa/src/fingerprint.rs:
 crates/isa/src/flags.rs:
 crates/isa/src/form.rs:
 crates/isa/src/fu.rs:
+crates/isa/src/hash.rs:
 crates/isa/src/inst.rs:
 crates/isa/src/mem.rs:
 crates/isa/src/program.rs:

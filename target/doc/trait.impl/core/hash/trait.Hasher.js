@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["harpo_isa",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hasher.html\" title=\"trait core::hash::Hasher\">Hasher</a> for <a class=\"struct\" href=\"harpo_isa/fingerprint/struct.Fnv128.html\" title=\"struct harpo_isa::fingerprint::Fnv128\">Fnv128</a>",0]]]]);
+    const implementors = Object.fromEntries([["harpo_isa",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hasher.html\" title=\"trait core::hash::Hasher\">Hasher</a> for <a class=\"struct\" href=\"harpo_isa/fingerprint/struct.Fnv128.html\" title=\"struct harpo_isa::fingerprint::Fnv128\">Fnv128</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hasher.html\" title=\"trait core::hash::Hasher\">Hasher</a> for <a class=\"struct\" href=\"harpo_isa/hash/struct.MixHasher.html\" title=\"struct harpo_isa::hash::MixHasher\">MixHasher</a>",0]]],["harpo_isa",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hasher.html\" title=\"trait core::hash::Hasher\">Hasher</a> for <a class=\"struct\" href=\"harpo_isa/fingerprint/struct.Fnv128.html\" title=\"struct harpo_isa::fingerprint::Fnv128\">Fnv128</a>",0]]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[294]}
+//{"start":59,"fragment_lengths":[568,295]}

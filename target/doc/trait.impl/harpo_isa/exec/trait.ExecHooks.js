@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["harpo_faultsim",[["impl ExecHooks for <a class=\"struct\" href=\"harpo_faultsim/replay/struct.PlanHooks.html\" title=\"struct harpo_faultsim::replay::PlanHooks\">PlanHooks</a>&lt;'_&gt;",0]]],["harpo_isa",[]]]);
+    const implementors = Object.fromEntries([["harpo_faultsim",[["impl <a class=\"trait\" href=\"harpo_isa/exec/trait.ExecHooks.html\" title=\"trait harpo_isa::exec::ExecHooks\">ExecHooks</a> for <a class=\"struct\" href=\"harpo_faultsim/replay/struct.PlanHooks.html\" title=\"struct harpo_faultsim::replay::PlanHooks\">PlanHooks</a>&lt;'_&gt;",0]]],["harpo_faultsim",[["impl ExecHooks for <a class=\"struct\" href=\"harpo_faultsim/replay/struct.PlanHooks.html\" title=\"struct harpo_faultsim::replay::PlanHooks\">PlanHooks</a>&lt;'_&gt;",0]]],["harpo_isa",[]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[193,17]}
+//{"start":59,"fragment_lengths":[304,194,17]}

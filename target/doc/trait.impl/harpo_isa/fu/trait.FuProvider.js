@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["harpo_gates",[["impl FuProvider for <a class=\"struct\" href=\"harpo_gates/provider/struct.FaultyFu.html\" title=\"struct harpo_gates::provider::FaultyFu\">FaultyFu</a>",0],["impl FuProvider for <a class=\"struct\" href=\"harpo_gates/provider/struct.NetlistFu.html\" title=\"struct harpo_gates::provider::NetlistFu\">NetlistFu</a>",0]]],["harpo_isa",[]]]);
+    const implementors = Object.fromEntries([["harpo_gates",[["impl <a class=\"trait\" href=\"harpo_isa/fu/trait.FuProvider.html\" title=\"trait harpo_isa::fu::FuProvider\">FuProvider</a> for <a class=\"struct\" href=\"harpo_gates/provider/struct.FaultyFu.html\" title=\"struct harpo_gates::provider::FaultyFu\">FaultyFu</a>",0],["impl <a class=\"trait\" href=\"harpo_isa/fu/trait.FuProvider.html\" title=\"trait harpo_isa::fu::FuProvider\">FuProvider</a> for <a class=\"struct\" href=\"harpo_gates/provider/struct.NetlistFu.html\" title=\"struct harpo_gates::provider::NetlistFu\">NetlistFu</a>",0]]],["harpo_gates",[["impl FuProvider for <a class=\"struct\" href=\"harpo_gates/provider/struct.FaultyFu.html\" title=\"struct harpo_gates::provider::FaultyFu\">FaultyFu</a>",0],["impl FuProvider for <a class=\"struct\" href=\"harpo_gates/provider/struct.NetlistFu.html\" title=\"struct harpo_gates::provider::NetlistFu\">NetlistFu</a>",0]]],["harpo_isa",[]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[338,17]}
+//{"start":59,"fragment_lengths":[556,339,17]}

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/harpo_faultsim-815d4e49be57ac85.d: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+/root/repo/target/release/deps/harpo_faultsim-815d4e49be57ac85.d: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
 
-/root/repo/target/release/deps/libharpo_faultsim-815d4e49be57ac85.rlib: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+/root/repo/target/release/deps/libharpo_faultsim-815d4e49be57ac85.rlib: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
 
-/root/repo/target/release/deps/libharpo_faultsim-815d4e49be57ac85.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
+/root/repo/target/release/deps/libharpo_faultsim-815d4e49be57ac85.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/autopsy.rs crates/faultsim/src/campaign.rs crates/faultsim/src/checkpoint.rs crates/faultsim/src/cohort.rs crates/faultsim/src/fault.rs crates/faultsim/src/gate.rs crates/faultsim/src/outcome.rs crates/faultsim/src/plan.rs crates/faultsim/src/replay.rs crates/faultsim/src/stream.rs
 
 crates/faultsim/src/lib.rs:
 crates/faultsim/src/autopsy.rs:
 crates/faultsim/src/campaign.rs:
 crates/faultsim/src/checkpoint.rs:
+crates/faultsim/src/cohort.rs:
 crates/faultsim/src/fault.rs:
 crates/faultsim/src/gate.rs:
 crates/faultsim/src/outcome.rs:

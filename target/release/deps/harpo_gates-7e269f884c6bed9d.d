@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/harpo_gates-7e269f884c6bed9d.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/release/deps/harpo_gates-7e269f884c6bed9d.d: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
-/root/repo/target/release/deps/libharpo_gates-7e269f884c6bed9d.rlib: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/release/deps/libharpo_gates-7e269f884c6bed9d.rlib: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
-/root/repo/target/release/deps/libharpo_gates-7e269f884c6bed9d.rmeta: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
+/root/repo/target/release/deps/libharpo_gates-7e269f884c6bed9d.rmeta: crates/gates/src/lib.rs crates/gates/src/adder.rs crates/gates/src/compiled.rs crates/gates/src/components.rs crates/gates/src/eval.rs crates/gates/src/fp_common.rs crates/gates/src/fpadd.rs crates/gates/src/fpmul.rs crates/gates/src/multiplier.rs crates/gates/src/netlist.rs crates/gates/src/provider.rs
 
 crates/gates/src/lib.rs:
 crates/gates/src/adder.rs:
+crates/gates/src/compiled.rs:
 crates/gates/src/components.rs:
 crates/gates/src/eval.rs:
 crates/gates/src/fp_common.rs:
