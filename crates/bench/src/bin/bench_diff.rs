@@ -2,19 +2,23 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <fresh.json> [--threshold 0.10] [--keys a,b,...]
+//!            [--md summary.md]
 //! ```
 //!
 //! Compares a fresh `BENCH_*.json` snapshot against the committed
 //! baseline on the gated keys (by default, every shared `*speedup*`
 //! key) and exits non-zero if any dropped by more than the threshold.
-//! CI runs this after the manual bench job so a change that quietly
-//! costs more than 10% of a headline speedup fails the build.
+//! Improvements beyond the threshold are listed too (informational —
+//! a cue to re-baseline), and `--md` writes the whole comparison as a
+//! Markdown summary for the CI artifact. CI runs this after the manual
+//! bench job so a change that quietly costs more than 10% of a
+//! headline speedup fails the build.
 
 use harpo_bench::diff::{diff, DEFAULT_THRESHOLD};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_diff <baseline.json> <fresh.json> [--threshold {DEFAULT_THRESHOLD}] [--keys a,b,...]"
+        "usage: bench_diff <baseline.json> <fresh.json> [--threshold {DEFAULT_THRESHOLD}] [--keys a,b,...] [--md summary.md]"
     );
     std::process::exit(2);
 }
@@ -24,6 +28,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
     let mut keys: Option<Vec<String>> = None;
+    let mut md_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +43,10 @@ fn main() {
                 i += 1;
                 let list = args.get(i).unwrap_or_else(|| usage());
                 keys = Some(list.split(',').map(str::to_string).collect());
+            }
+            "--md" => {
+                i += 1;
+                md_out = Some(args.get(i).unwrap_or_else(|| usage()).clone());
             }
             "--help" | "-h" => usage(),
             p => paths.push(p.to_string()),
@@ -84,6 +93,17 @@ fn main() {
             row.ratio * 100.0,
             if row.regressed { "REGRESSED" } else { "ok" }
         );
+    }
+    if let Some(path) = &md_out {
+        let md = report.to_markdown(baseline_path, fresh_path);
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("bench_diff: {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+    for line in report.improvement_lines() {
+        println!("bench_diff: improved: {line}");
     }
     if report.regressed() {
         let lines = report.regression_lines();

@@ -25,6 +25,11 @@ pub struct DiffRow {
     pub ratio: f64,
     /// Whether this key dropped below the threshold.
     pub regressed: bool,
+    /// Whether this key *rose* beyond the threshold — not a gate
+    /// failure, but worth surfacing: an unexplained speedup is either a
+    /// real win to lock in by re-baselining, or a sign the benchmark
+    /// stopped measuring what it used to.
+    pub improved: bool,
 }
 
 /// The comparison across all gated keys.
@@ -69,6 +74,69 @@ impl DiffReport {
                 )
             })
             .collect()
+    }
+
+    /// One line per improved key with its percentage delta, mirroring
+    /// [`regression_lines`](Self::regression_lines). Informational: an
+    /// improvement never fails the gate, but CI prints these so a real
+    /// win gets re-baselined instead of becoming invisible headroom
+    /// that masks the next regression.
+    pub fn improvement_lines(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .filter(|r| r.improved)
+            .map(|r| {
+                format!(
+                    "{}: {:.4} -> {:.4} ({:+.1}%)",
+                    r.key,
+                    r.baseline,
+                    r.fresh,
+                    r.delta_pct()
+                )
+            })
+            .collect()
+    }
+
+    /// The comparison as a self-contained Markdown summary — the CI
+    /// artifact rendering. One table row per gated key with its delta
+    /// and verdict, then the verdict line.
+    pub fn to_markdown(&self, baseline_path: &str, fresh_path: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Bench gate: `{fresh_path}` vs `{baseline_path}`\n\n"
+        ));
+        out.push_str(&format!(
+            "Threshold: ±{:.0}% on {} gated key(s).\n\n",
+            self.threshold * 100.0,
+            self.rows.len()
+        ));
+        out.push_str("| key | baseline | fresh | Δ | verdict |\n|---|---|---|---|---|\n");
+        for r in &self.rows {
+            let verdict = if r.regressed {
+                "**regressed**"
+            } else if r.improved {
+                "improved"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "| `{}` | {:.4} | {:.4} | {:+.1}% | {verdict} |\n",
+                r.key,
+                r.baseline,
+                r.fresh,
+                r.delta_pct()
+            ));
+        }
+        out.push('\n');
+        if self.regressed() {
+            out.push_str(&format!(
+                "Verdict: **regressed** — {} key(s) beyond the threshold.\n",
+                self.rows.iter().filter(|r| r.regressed).count()
+            ));
+        } else {
+            out.push_str("Verdict: **ok** — no gated key regressed.\n");
+        }
+        out
     }
 }
 
@@ -151,6 +219,7 @@ pub fn diff(
                 fresh: f,
                 ratio,
                 regressed: f < b * (1.0 - threshold),
+                improved: f > b * (1.0 + threshold),
             }
         })
         .collect();
@@ -243,6 +312,53 @@ mod tests {
         let row = &r.rows[0];
         assert!((row.delta_pct() - -50.0).abs() < 1e-9);
         assert!(run(BASE, 0.10, None).unwrap().regression_lines().is_empty());
+    }
+
+    #[test]
+    fn improved_keys_are_listed_with_their_delta_but_never_gate() {
+        let fresh = r#"{"population_speedup_t4":3.0,"population_speedup_t1":1.6,
+            "simulate_into_speedup":1.5}"#;
+        let r = run(fresh, 0.10, None).unwrap();
+        assert!(!r.regressed());
+        let lines = r.improvement_lines();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("population_speedup_t4:"), "{lines:?}");
+        assert!(lines[0].contains("(+50.0%)"), "{lines:?}");
+        // Within-threshold keys are neither improved nor regressed.
+        assert!(run(BASE, 0.10, None)
+            .unwrap()
+            .improvement_lines()
+            .is_empty());
+    }
+
+    #[test]
+    fn markdown_summary_carries_every_key_and_the_verdict() {
+        let fresh = r#"{"population_speedup_t4":3.0,"population_speedup_t1":1.0,
+            "simulate_into_speedup":1.5}"#;
+        let r = run(fresh, 0.10, None).unwrap();
+        let md = r.to_markdown("base.json", "fresh.json");
+        assert!(
+            md.contains("## Bench gate: `fresh.json` vs `base.json`"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| `population_speedup_t4` | 2.0000 | 3.0000 | +50.0% | improved |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| `population_speedup_t1` | 1.6000 | 1.0000 | -37.5% | **regressed** |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| `simulate_into_speedup` | 1.5000 | 1.5000 | +0.0% | ok |"),
+            "{md}"
+        );
+        assert!(md.contains("Verdict: **regressed** — 1 key(s)"), "{md}");
+
+        let clean = run(BASE, 0.10, None)
+            .unwrap()
+            .to_markdown("base.json", "fresh.json");
+        assert!(clean.contains("Verdict: **ok**"), "{clean}");
     }
 
     #[test]

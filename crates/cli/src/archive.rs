@@ -1,0 +1,422 @@
+//! `harpo archive` / `harpo history` — the append-only run index.
+//!
+//! `archive` ingests run journals and `BENCH_*.json` snapshots and
+//! appends one compact `run` record per input to a JSONL index
+//! (default `results/history.jsonl`): detection/coverage per campaign,
+//! refinement summary, masking-mechanism tallies, and the bench keys.
+//! `history` renders the index as Markdown trend tables (speedups,
+//! detection rates, mechanism shares across runs) — and `harpo report`
+//! embeds the same tables when a journal input carries `run` records.
+//!
+//! The index is plain schema-v5 journal lines, so everything that reads
+//! journals (report, watch, diff's schema guard) handles it unchanged.
+//! Rendering sorts runs by id, making the tables independent of ingest
+//! order — shards can append concurrently and the history still renders
+//! identically.
+
+use crate::args::Args;
+use crate::report::MECHANISM_LABELS;
+use harpo_telemetry::json::Value;
+use harpo_telemetry::{Journal, Record};
+use std::fmt::Write as _;
+
+/// Default index path, under the `results/` artifact directory.
+pub const DEFAULT_INDEX: &str = "results/history.jsonl";
+
+/// `harpo archive` entry point: append one `run` record per input.
+pub fn archive(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    if args.positional.is_empty() {
+        return Err(
+            "archive needs at least one journal (.jsonl) or bench (.json) file".to_string(),
+        );
+    }
+    let index = args.get("index").unwrap_or(DEFAULT_INDEX);
+    let mut lines = String::new();
+    for path in &args.positional {
+        let content = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let id = run_id(path, args.get("id"), args.positional.len());
+        let rec = run_record(path, &content, &id)?;
+        lines.push_str(&rec.to_json());
+        lines.push('\n');
+    }
+    if let Some(dir) = std::path::Path::new(index).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(index)
+        .map_err(|e| format!("{index}: {e}"))?;
+    f.write_all(lines.as_bytes())
+        .map_err(|e| format!("{index}: {e}"))?;
+    println!("archived {} run(s) into {index}", args.positional.len());
+    Ok(())
+}
+
+/// `harpo history` entry point: render the index as Markdown.
+pub fn history(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let index = args.get("index").unwrap_or(DEFAULT_INDEX);
+    let content = std::fs::read_to_string(index).map_err(|e| format!("{index}: {e}"))?;
+    let md = render_history_md(index, &content)?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &md).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(())
+}
+
+/// The run id stamped into the index: `--id` verbatim for a single
+/// input, `--id` plus the file stem when archiving several at once,
+/// the stem alone otherwise.
+fn run_id(path: &str, flag: Option<&str>, inputs: usize) -> String {
+    let stem = std::path::Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or(path)
+        .trim_end_matches(".jsonl")
+        .trim_end_matches(".json")
+        .to_string();
+    match flag {
+        Some(id) if inputs == 1 => id.to_string(),
+        Some(id) => format!("{id}-{stem}"),
+        None => stem,
+    }
+}
+
+/// Distills one input file into its `run` index record.
+///
+/// # Errors
+/// Unreadable journals (interior corruption, newer schema) and files
+/// that are neither a journal nor a flat bench snapshot.
+pub fn run_record(path: &str, content: &str, id: &str) -> Result<Record, String> {
+    let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(format!("{path}: empty file"));
+    }
+    let first = harpo_telemetry::json::parse(lines[0]).map_err(|e| format!("{path}:1: {e}"))?;
+    let mut rec = Record::new("run").field("id", id).field("source", path);
+    if first.get("kind").is_none() {
+        // Bench snapshot: keep the whole flat object.
+        if lines.len() > 1 {
+            return Err(format!("{path}: multi-line file without journal records"));
+        }
+        let Value::Obj(_) = first else {
+            return Err(format!("{path}: expected a JSON object"));
+        };
+        return Ok(rec.field("bench", first));
+    }
+    let journal = Journal::parse(path, content)?;
+    if let Some(s) = journal.of_kind("summary").first() {
+        if let Some(iters) = s.get("iterations").and_then(Value::as_u64) {
+            rec = rec.field("iterations", iters);
+        }
+        if let Some(cov) = s.get("champion_coverage").and_then(Value::as_f64) {
+            rec = rec.field("champion_coverage", cov);
+        }
+    }
+    let campaigns: Vec<Value> = journal
+        .of_kind("campaign")
+        .into_iter()
+        .map(|c| {
+            let copy = |key: &str| (key.to_string(), c.get(key).cloned().unwrap_or(Value::Null));
+            Value::Obj(vec![
+                copy("program"),
+                copy("structure"),
+                copy("coverage"),
+                copy("detection"),
+                copy("faults"),
+                copy("sdc"),
+                copy("crash"),
+                copy("masked"),
+            ])
+        })
+        .collect();
+    if !campaigns.is_empty() {
+        rec = rec.field("campaigns", campaigns);
+    }
+    let autopsies = journal.of_kind("autopsy");
+    if !autopsies.is_empty() {
+        let tally: Vec<(String, Value)> = MECHANISM_LABELS
+            .iter()
+            .filter_map(|&label| {
+                let n = autopsies
+                    .iter()
+                    .filter(|a| a.get("mechanism").and_then(Value::as_str) == Some(label))
+                    .count();
+                (n > 0).then(|| (label.to_string(), Value::from(n)))
+            })
+            .collect();
+        rec = rec.field("mechanisms", Value::Obj(tally));
+    }
+    Ok(rec)
+}
+
+/// Renders the full `harpo history` document from the index text.
+///
+/// # Errors
+/// Unreadable index lines or an index with no `run` records.
+pub fn render_history_md(path: &str, content: &str) -> Result<String, String> {
+    let journal = Journal::parse(path, content)?;
+    let runs = journal.of_kind("run");
+    if runs.is_empty() {
+        return Err(format!(
+            "{path}: no run records — `harpo archive` some first"
+        ));
+    }
+    let mut out = String::new();
+    out.push_str("# Harpocrates run history\n\n");
+    let _ = writeln!(out, "Index: `{path}` ({} runs).\n", runs.len());
+    render_history(&mut out, &runs);
+    Ok(out)
+}
+
+/// Renders the trend tables for a set of `run` records (shared between
+/// `harpo history` and the `harpo report` embedding). Runs render
+/// sorted by id (ties by full record), so the output is independent of
+/// the order they were archived in.
+pub fn render_history(out: &mut String, runs: &[&Value]) {
+    let mut sorted: Vec<&Value> = runs.to_vec();
+    sorted.sort_by_cached_key(|r| (id_of(r).to_string(), r.to_json()));
+
+    out.push_str("### Run history\n\n");
+    out.push_str("| run | source | iterations | champion coverage |\n|---|---|---|---|\n");
+    for r in &sorted {
+        let iters = r
+            .get("iterations")
+            .and_then(Value::as_u64)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "—".to_string());
+        let cov = r
+            .get("champion_coverage")
+            .and_then(Value::as_f64)
+            .map(|x| format!("{:.2}%", x * 100.0))
+            .unwrap_or_else(|| "—".to_string());
+        let _ = writeln!(
+            out,
+            "| {} | `{}` | {iters} | {cov} |",
+            id_of(r),
+            r.get("source").and_then(Value::as_str).unwrap_or("?"),
+        );
+    }
+    out.push('\n');
+
+    // Detection-rate trends: one row per archived campaign.
+    let campaign_rows: Vec<(&Value, &Value)> = sorted
+        .iter()
+        .flat_map(|r| {
+            r.get("campaigns")
+                .and_then(Value::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(move |c| (*r, c))
+        })
+        .collect();
+    if !campaign_rows.is_empty() {
+        out.push_str("#### Detection trends\n\n");
+        out.push_str(
+            "| run | program | structure | detection | coverage | faults |\n|---|---|---|---|---|---|\n",
+        );
+        for (r, c) in &campaign_rows {
+            let pct = |key: &str| {
+                c.get(key)
+                    .and_then(Value::as_f64)
+                    .map(|x| format!("{:.2}%", x * 100.0))
+                    .unwrap_or_else(|| "—".to_string())
+            };
+            let _ = writeln!(
+                out,
+                "| {} | `{}` | {} | {} | {} | {} |",
+                id_of(r),
+                c.get("program").and_then(Value::as_str).unwrap_or("?"),
+                c.get("structure").and_then(Value::as_str).unwrap_or("?"),
+                pct("detection"),
+                pct("coverage"),
+                c.get("faults").and_then(Value::as_u64).unwrap_or(0),
+            );
+        }
+        out.push('\n');
+    }
+
+    // Speedup trends: one column per run carrying bench keys.
+    let bench_runs: Vec<&Value> = sorted
+        .iter()
+        .copied()
+        .filter(|r| r.get("bench").is_some())
+        .collect();
+    let mut speedup_keys: Vec<&str> = bench_runs
+        .iter()
+        .filter_map(|r| r.get("bench"))
+        .flat_map(|b| match b {
+            Value::Obj(fields) => fields.as_slice(),
+            _ => &[],
+        })
+        .map(|(k, _)| k.as_str())
+        .filter(|k| k.contains("speedup"))
+        .collect();
+    speedup_keys.sort_unstable();
+    speedup_keys.dedup();
+    if !speedup_keys.is_empty() {
+        out.push_str("#### Speedup trends\n\n");
+        let _ = write!(out, "| key |");
+        for r in &bench_runs {
+            let _ = write!(out, " {} |", id_of(r));
+        }
+        let _ = write!(out, "\n|---|");
+        for _ in &bench_runs {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for key in &speedup_keys {
+            let _ = write!(out, "| `{key}` |");
+            for r in &bench_runs {
+                let cell = r
+                    .get("bench")
+                    .and_then(|b| b.get(key))
+                    .and_then(Value::as_f64)
+                    .map(|x| format!("{x:.3}×"))
+                    .unwrap_or_else(|| "—".to_string());
+                let _ = write!(out, " {cell} |");
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
+    // Mechanism shares: how each run's faults were masked or caught.
+    let mech_runs: Vec<&Value> = sorted
+        .iter()
+        .copied()
+        .filter(|r| r.get("mechanisms").is_some())
+        .collect();
+    if !mech_runs.is_empty() {
+        out.push_str("#### Mechanism shares\n\n");
+        let _ = write!(out, "| run |");
+        for label in MECHANISM_LABELS {
+            let _ = write!(out, " {label} |");
+        }
+        let _ = write!(out, "\n|---|");
+        for _ in MECHANISM_LABELS {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for r in &mech_runs {
+            let m = r.get("mechanisms");
+            let total: f64 = MECHANISM_LABELS
+                .iter()
+                .filter_map(|&l| m.and_then(|m| m.get(l)).and_then(Value::as_f64))
+                .sum();
+            let _ = write!(out, "| {} |", id_of(r));
+            for label in MECHANISM_LABELS {
+                let n = m
+                    .and_then(|m| m.get(label))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                let cell = if total == 0.0 {
+                    "—".to_string()
+                } else {
+                    format!("{:.1}%", n / total * 100.0)
+                };
+                let _ = write!(out, " {cell} |");
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+}
+
+fn id_of(r: &Value) -> &str {
+    r.get("id").and_then(Value::as_str).unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grade_journal() -> String {
+        [
+            r#"{"kind":"meta","v":5,"schema":5,"git_commit":"abc","threads":2,"config_hash":"f00d"}"#,
+            r#"{"kind":"campaign","v":5,"program":"t0","structure":"IRF","coverage":0.8,"detection":0.7,"faults":128,"sdc":60,"crash":30,"masked":38}"#,
+            r#"{"kind":"autopsy","v":5,"fault":0,"structure":"IRF","outcome":"sdc","mechanism":"signature","key":"IRF/00/p1.b2.c3/transient"}"#,
+            r#"{"kind":"autopsy","v":5,"fault":1,"structure":"IRF","outcome":"masked","mechanism":"overwrite","key":"IRF/00/p4.b5.c6/transient"}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn journal_distills_to_a_run_record() {
+        let rec = run_record("results/irf.jsonl", &grade_journal(), "run-a").unwrap();
+        let v = harpo_telemetry::json::parse(&rec.to_json()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("run"));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("run-a"));
+        let campaigns = v.get("campaigns").unwrap().as_arr().unwrap();
+        assert_eq!(campaigns.len(), 1);
+        assert_eq!(campaigns[0].get("detection").unwrap().as_f64(), Some(0.7));
+        let mech = v.get("mechanisms").unwrap();
+        assert_eq!(mech.get("signature").unwrap().as_u64(), Some(1));
+        assert_eq!(mech.get("overwrite").unwrap().as_u64(), Some(1));
+        assert!(mech.get("trap").is_none(), "zero tallies are omitted");
+    }
+
+    #[test]
+    fn bench_snapshot_distills_to_a_run_record() {
+        let rec = run_record(
+            "BENCH_pipeline.json",
+            r#"{"population_speedup_t4":2.3,"evaluate_ns":1000}"#,
+            "seed",
+        )
+        .unwrap();
+        let v = harpo_telemetry::json::parse(&rec.to_json()).unwrap();
+        assert_eq!(
+            v.get("bench")
+                .unwrap()
+                .get("population_speedup_t4")
+                .unwrap()
+                .as_f64(),
+            Some(2.3)
+        );
+    }
+
+    #[test]
+    fn history_renders_order_independently() {
+        let a = run_record("a.jsonl", &grade_journal(), "run-a")
+            .unwrap()
+            .to_json();
+        let b = run_record(
+            "BENCH_pipeline.json",
+            r#"{"population_speedup_t4":2.3}"#,
+            "seed-bench",
+        )
+        .unwrap()
+        .to_json();
+        let ab = render_history_md("h.jsonl", &format!("{a}\n{b}\n")).unwrap();
+        let ba = render_history_md("h.jsonl", &format!("{b}\n{a}\n")).unwrap();
+        assert_eq!(ab, ba, "archive ingest must be order-independent");
+        assert!(ab.contains("#### Detection trends"), "{ab}");
+        assert!(ab.contains("| `population_speedup_t4` | 2.300× |"), "{ab}");
+        assert!(ab.contains("#### Mechanism shares"), "{ab}");
+        assert!(ab.contains("| run-a |"), "{ab}");
+    }
+
+    #[test]
+    fn empty_index_errors() {
+        assert!(render_history_md("h.jsonl", "").is_err());
+        let no_runs = r#"{"kind":"summary","v":5,"iterations":1}"#;
+        assert!(render_history_md("h.jsonl", no_runs).is_err());
+    }
+
+    #[test]
+    fn run_ids_default_to_file_stems() {
+        assert_eq!(run_id("results/irf.jsonl", None, 1), "irf");
+        assert_eq!(run_id("BENCH_pipeline.json", None, 2), "BENCH_pipeline");
+        assert_eq!(run_id("a.jsonl", Some("nightly"), 1), "nightly");
+        assert_eq!(run_id("a.jsonl", Some("nightly"), 2), "nightly-a");
+    }
+}

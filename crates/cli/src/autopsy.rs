@@ -8,7 +8,7 @@
 //! `--trace` exports the campaign as a Chrome/Perfetto trace.
 
 use crate::args::Args;
-use crate::commands::{load, telemetry_of, SWITCHES};
+use crate::commands::{emit_meta, load, telemetry_of, SWITCHES};
 use harpo_coverage::{ace_overlay_of, TargetStructure};
 use harpo_faultsim::{
     build_campaign_trail, heatmaps_of, measure_detection_forensic, CampaignConfig, CampaignResult,
@@ -134,6 +134,11 @@ pub fn autopsy(argv: &[String]) -> Result<(), String> {
         threads: args.num("threads", 0)?,
         ..CampaignConfig::default()
     };
+    emit_meta(
+        &telemetry,
+        ccfg.threads,
+        &format!("autopsy {structure} {ccfg:?}"),
+    );
     let (result, autopsies, records) = forensic_records(&prog, structure, &ccfg)?;
     for r in &records {
         telemetry.emit(|| r.clone());

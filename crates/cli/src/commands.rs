@@ -10,7 +10,9 @@ use harpo_isa::form::Catalog;
 use harpo_isa::program::Program;
 use harpo_isa::{from_container, to_container};
 use harpo_museqgen::{GenConstraints, Generator};
-use harpo_telemetry::{JsonlSink, Metrics, Record, Sink, StderrSink, Telemetry};
+use harpo_telemetry::{
+    effective_threads, JsonlSink, Metrics, Record, Sink, StderrSink, Telemetry, SCHEMA_VERSION,
+};
 use harpo_uarch::OooCore;
 use std::sync::Arc;
 
@@ -31,6 +33,9 @@ USAGE:
   harpo simulate <test.hxpf>
   harpo disasm   [--limit N] <test.hxpf>
   harpo report   <run.jsonl | BENCH_*.json>... [--out REPORT.md] [--trace trace.json]
+  harpo diff     <a.jsonl> <b.jsonl> [--out DIFF.md]
+  harpo archive  <run.jsonl | BENCH_*.json>... [--index results/history.jsonl] [--id name]
+  harpo history  [--index results/history.jsonl] [--out HISTORY.md]
   harpo watch    <run.jsonl> [--interval-ms 500] [--once] [--json]
   harpo info
 
@@ -46,6 +51,12 @@ OBSERVABILITY:
                     the ACE-residency overlay
   harpo report      render journals and bench snapshots into a
                     self-contained Markdown report, fully offline
+  harpo diff        compare two run journals: outcome transition matrix
+                    keyed by stable fault identity, newly silent/detected
+                    faults, counter deltas, first divergent record
+                    (exit 1 on drift)
+  harpo archive     append runs to the JSONL run index under results/
+  harpo history     render the run index as Markdown trend tables
   --trace <path>    export journal records as a Chrome/Perfetto
                     trace_event file (open in ui.perfetto.dev)
   --stream-ms N     grade: emit live progress/heartbeat records to the
@@ -77,6 +88,44 @@ pub(crate) fn telemetry_of(args: &Args) -> Result<Telemetry, String> {
     Ok(Telemetry::fanout(sinks))
 }
 
+/// Emits the schema-v5 `meta` header record: schema version, git
+/// commit, resolved thread count, and a hash of the run configuration.
+/// Every journalling subcommand writes it first, so `harpo diff` can
+/// say *which build with which config* produced each side. The record
+/// names the run environment, not its results, and is excluded from
+/// canonical (bit-identity) comparisons.
+pub(crate) fn emit_meta(telemetry: &Telemetry, threads: usize, config: &str) {
+    telemetry.emit(|| {
+        Record::new("meta")
+            .field("schema", SCHEMA_VERSION)
+            .field("git_commit", git_commit())
+            .field("threads", effective_threads(threads))
+            .field("config_hash", config_hash(config))
+    });
+}
+
+/// The current git commit (short), or `unknown` outside a work tree.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// FNV-128 hash of the config's debug rendering — enough to tell two
+/// runs apart without journalling the whole config.
+fn config_hash(config: &str) -> String {
+    let mut h = harpo_isa::Fnv128::new();
+    use std::hash::Hasher as _;
+    h.write(config.as_bytes());
+    format!("{:016x}", h.finish())
+}
+
 pub(crate) fn load(path: &str) -> Result<Program, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     from_container(&bytes).map_err(|e| format!("{path}: {e}"))
@@ -101,6 +150,11 @@ pub fn refine(argv: &[String]) -> Result<(), String> {
     let telemetry = telemetry_of(&args)?;
     let (constraints, mut loop_cfg) = presets::preset(structure, scale);
     loop_cfg.threads = threads;
+    emit_meta(
+        &telemetry,
+        threads,
+        &format!("refine {structure} {scale:?} {constraints:?} {loop_cfg:?}"),
+    );
     if !quiet {
         println!(
             "refining for {structure}: population {}, top-{}, {} iterations, {}-instruction programs",
@@ -177,6 +231,11 @@ pub fn grade(argv: &[String]) -> Result<(), String> {
         },
         ..CampaignConfig::default()
     };
+    emit_meta(
+        &telemetry,
+        ccfg.threads,
+        &format!("grade {structure} {ccfg:?}"),
+    );
     let core = OooCore::default();
     let sim = core
         .simulate(&prog, ccfg.cap)

@@ -1,0 +1,493 @@
+//! `harpo diff` — cross-run drift analysis.
+//!
+//! Compares two run journals fault-for-fault through their stamped
+//! [`harpo_telemetry::FaultKey`]s and renders a Markdown drift report: an outcome
+//! **transition matrix** (SDC→Masked, Masked→Crash, …), the newly
+//! silent / newly detected fault lists with autopsy context, counter
+//! deltas, and — for determinism auditing — the *first divergent
+//! canonical record* (the [`canonical_journal`] filtering that the
+//! bit-identity tests use), so a failed byte-identity assert becomes an
+//! explainable report instead of a bare boolean. Two `BENCH_*.json`
+//! snapshots diff as a per-key %-delta table instead.
+//!
+//! Exit status is the drift verdict: 0 when the runs agree (no outcome
+//! transitions off the diagonal and identical canonical journals),
+//! 1 otherwise — CI diffs the fresh golden journal against the
+//! committed baseline on every push and uploads the report.
+//!
+//! Rendering is a pure function of the input bytes (no clocks, no
+//! environment), so the golden diff snapshot test pins it byte for
+//! byte.
+
+use crate::args::Args;
+use harpo_telemetry::json::{self, Value};
+use harpo_telemetry::{canonical_journal, Journal};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `harpo diff` entry point.
+pub fn diff_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let [a, b] = &args.positional[..] else {
+        return Err(
+            "diff needs exactly two files: harpo diff <a.jsonl> <b.jsonl> [--out DIFF.md]"
+                .to_string(),
+        );
+    };
+    let ca = std::fs::read_to_string(a).map_err(|e| format!("{a}: {e}"))?;
+    let cb = std::fs::read_to_string(b).map_err(|e| format!("{b}: {e}"))?;
+    let (md, drift) = render_diff((a, &ca), (b, &cb))?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &md).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+    if drift {
+        Err(format!(
+            "drift detected between `{a}` and `{b}` (see report)"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// One classified input side.
+enum Side {
+    /// A JSONL run journal.
+    Journal(Journal),
+    /// A flat `BENCH_*.json` snapshot: name → number.
+    Bench(Vec<(String, Value)>),
+}
+
+fn classify(path: &str, content: &str) -> Result<Side, String> {
+    let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(format!("{path}: empty file"));
+    }
+    let first = json::parse(lines[0]).map_err(|e| format!("{path}:1: {e}"))?;
+    if first.get("kind").is_none() {
+        if lines.len() > 1 {
+            return Err(format!("{path}: multi-line file without journal records"));
+        }
+        return match first {
+            Value::Obj(fields) => Ok(Side::Bench(fields)),
+            _ => Err(format!("{path}: expected a JSON object")),
+        };
+    }
+    Ok(Side::Journal(Journal::parse(path, content)?))
+}
+
+/// Renders the diff of two `(path, content)` inputs; returns the
+/// Markdown report and the drift verdict. Pure: same bytes in, same
+/// bytes (and verdict) out.
+pub fn render_diff(a: (&str, &str), b: (&str, &str)) -> Result<(String, bool), String> {
+    match (classify(a.0, a.1)?, classify(b.0, b.1)?) {
+        (Side::Journal(ja), Side::Journal(jb)) => Ok(diff_journals(a, b, &ja, &jb)),
+        (Side::Bench(fa), Side::Bench(fb)) => Ok((diff_benches(a.0, b.0, &fa, &fb), false)),
+        _ => Err(format!(
+            "cannot diff a journal against a bench snapshot (`{}` vs `{}`)",
+            a.0, b.0
+        )),
+    }
+}
+
+/// Outcome labels in fixed presentation order: undetected first.
+const OUTCOMES: [&str; 4] = ["masked", "corrected", "sdc", "crash"];
+
+fn outcome_index(label: &str) -> Option<usize> {
+    OUTCOMES.iter().position(|&o| o == label)
+}
+
+fn detected(label: &str) -> bool {
+    matches!(label, "sdc" | "crash")
+}
+
+/// Autopsy context for a fault list entry: mechanism and divergence
+/// site, e.g. `signature via register rax`.
+fn outcome_ctx(rec: &Value) -> String {
+    let mech = rec.get("mechanism").and_then(Value::as_str).unwrap_or("?");
+    let site = rec.get("site").and_then(Value::as_str).unwrap_or("?");
+    let detail = rec.get("site_detail").and_then(Value::as_str).unwrap_or("");
+    if detail.is_empty() {
+        format!("{mech} via {site}")
+    } else {
+        format!("{mech} via {site} {detail}")
+    }
+}
+
+/// How many faults to list per transition direction before eliding.
+const MAX_LISTED_FAULTS: usize = 12;
+
+fn diff_journals(a: (&str, &str), b: (&str, &str), ja: &Journal, jb: &Journal) -> (String, bool) {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Journal diff: `{}` vs `{}`\n", a.0, b.0);
+
+    // Run environment from the v5 meta headers, when present.
+    let (ma, mb) = (ja.meta(), jb.meta());
+    if ma.is_some() || mb.is_some() {
+        out.push_str("## Run environment\n\n");
+        out.push_str("| field | a | b |\n|---|---|---|\n");
+        for field in ["schema", "git_commit", "threads", "config_hash"] {
+            let cell = |m: Option<&Value>| -> String {
+                m.and_then(|m| m.get(field))
+                    .map(|v| match v {
+                        Value::Str(s) => s.clone(),
+                        other => other.to_json(),
+                    })
+                    .unwrap_or_else(|| "—".to_string())
+            };
+            let _ = writeln!(out, "| {field} | {} | {} |", cell(ma), cell(mb));
+        }
+        out.push('\n');
+    }
+
+    // Outcome transitions over the intersecting fault keys.
+    let oa: BTreeMap<String, &Value> = ja.outcomes().into_iter().collect();
+    let ob: BTreeMap<String, &Value> = jb.outcomes().into_iter().collect();
+    let mut matrix = [[0u64; OUTCOMES.len()]; OUTCOMES.len()];
+    let mut newly_silent: Vec<(&String, &Value, &Value)> = Vec::new();
+    let mut newly_detected: Vec<(&String, &Value, &Value)> = Vec::new();
+    let mut matched = 0u64;
+    let mut changed = 0u64;
+    for (key, ra) in &oa {
+        let Some(rb) = ob.get(key) else { continue };
+        let la = ra.get("outcome").and_then(Value::as_str).unwrap_or("?");
+        let lb = rb.get("outcome").and_then(Value::as_str).unwrap_or("?");
+        let (Some(i), Some(j)) = (outcome_index(la), outcome_index(lb)) else {
+            continue;
+        };
+        matched += 1;
+        matrix[i][j] += 1;
+        if i != j {
+            changed += 1;
+            if detected(la) && !detected(lb) {
+                newly_silent.push((key, ra, rb));
+            } else if !detected(la) && detected(lb) {
+                newly_detected.push((key, ra, rb));
+            }
+        }
+    }
+    let only_a = oa.keys().filter(|k| !ob.contains_key(*k)).count();
+    let only_b = ob.keys().filter(|k| !oa.contains_key(*k)).count();
+
+    out.push_str("## Outcome transitions\n\n");
+    if oa.is_empty() && ob.is_empty() {
+        out.push_str(
+            "_No per-fault outcome records in either journal — run the campaigns with \
+             forensics on (`harpo autopsy`) to diff outcomes fault-for-fault._\n\n",
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "Matched {matched} fault key(s); {only_a} only in a, {only_b} only in b.\n"
+        );
+        out.push_str("| a \\ b | masked | corrected | sdc | crash |\n|---|---|---|---|---|\n");
+        for (row_label, row) in OUTCOMES.iter().zip(&matrix) {
+            let _ = write!(out, "| **{row_label}** |");
+            for cell in row {
+                let _ = write!(out, " {cell} |");
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        if changed == 0 {
+            out.push_str("No outcome drift: every matched fault resolved identically.\n\n");
+        } else {
+            let _ = writeln!(out, "**{changed} matched fault(s) changed outcome.**\n");
+        }
+        render_fault_list(
+            &mut out,
+            "Newly silent (detected in a, undetected in b)",
+            &newly_silent,
+        );
+        render_fault_list(
+            &mut out,
+            "Newly detected (undetected in a, detected in b)",
+            &newly_detected,
+        );
+    }
+
+    // Counter deltas from the final snapshots.
+    if let (Some(ca), Some(cb)) = (ja.counters(), jb.counters()) {
+        render_counter_deltas(&mut out, ca, cb);
+    }
+
+    // Determinism audit: first divergent canonical record.
+    let canon_a: Vec<String> = canonical_journal(a.1).lines().map(String::from).collect();
+    let canon_b: Vec<String> = canonical_journal(b.1).lines().map(String::from).collect();
+    out.push_str("## Determinism audit\n\n");
+    let divergence = first_divergence(&canon_a, &canon_b);
+    match divergence {
+        None => {
+            let _ = writeln!(
+                out,
+                "Canonical journals are identical ({} records): the runs are bit-equivalent \
+                 after streaming/wall-clock filtering.\n",
+                canon_a.len()
+            );
+        }
+        Some(i) => {
+            let _ = writeln!(
+                out,
+                "Canonical journals diverge at record {} (a has {} records, b has {}):\n",
+                i + 1,
+                canon_a.len(),
+                canon_b.len()
+            );
+            let side = |lines: &[String], tag: &str| match lines.get(i) {
+                Some(l) => format!("- {tag}: `{l}`"),
+                None => format!("- {tag}: (end of journal)"),
+            };
+            let _ = writeln!(out, "{}", side(&canon_a, "a"));
+            let _ = writeln!(out, "{}\n", side(&canon_b, "b"));
+        }
+    }
+
+    let drift = changed > 0 || divergence.is_some();
+    let _ = writeln!(
+        out,
+        "Verdict: **{}**.",
+        if drift { "drift" } else { "no drift" }
+    );
+    (out, drift)
+}
+
+/// Index of the first position where the canonical record streams
+/// disagree (including one ending early), or `None` when identical.
+fn first_divergence(a: &[String], b: &[String]) -> Option<usize> {
+    (0..a.len().max(b.len())).find(|&i| a.get(i) != b.get(i))
+}
+
+fn render_fault_list(out: &mut String, title: &str, faults: &[(&String, &Value, &Value)]) {
+    if faults.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "### {title}\n");
+    for (key, ra, rb) in faults.iter().take(MAX_LISTED_FAULTS) {
+        let la = ra.get("outcome").and_then(Value::as_str).unwrap_or("?");
+        let lb = rb.get("outcome").and_then(Value::as_str).unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "- `{key}`: {la} → {lb} ({} → {})",
+            outcome_ctx(ra),
+            outcome_ctx(rb)
+        );
+    }
+    if faults.len() > MAX_LISTED_FAULTS {
+        let _ = writeln!(out, "- … and {} more", faults.len() - MAX_LISTED_FAULTS);
+    }
+    out.push('\n');
+}
+
+/// How many changed counters to list before eliding.
+const MAX_COUNTER_ROWS: usize = 24;
+
+fn render_counter_deltas(out: &mut String, ca: &Value, cb: &Value) {
+    // Scalar counters only: histogram snapshots (objects) change shape
+    // with timing and are not comparable scalars.
+    let scalars = |c: &Value| -> BTreeMap<String, f64> {
+        match c {
+            Value::Obj(fields) => fields
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                .collect(),
+            _ => BTreeMap::new(),
+        }
+    };
+    let sa = scalars(ca);
+    let sb = scalars(cb);
+    let shared: Vec<&String> = sa.keys().filter(|k| sb.contains_key(*k)).collect();
+    if shared.is_empty() {
+        return;
+    }
+    let changed: Vec<&&String> = shared.iter().filter(|k| sa[**k] != sb[**k]).collect();
+    out.push_str("## Counter deltas\n\n");
+    if changed.is_empty() {
+        let _ = writeln!(out, "All {} shared counters identical.\n", shared.len());
+        return;
+    }
+    out.push_str("| counter | a | b | Δ |\n|---|---|---|---|\n");
+    for key in changed.iter().take(MAX_COUNTER_ROWS) {
+        let (x, y) = (sa[**key], sb[**key]);
+        let _ = writeln!(out, "| `{key}` | {x} | {y} | {} |", fmt_delta(x, y));
+    }
+    if changed.len() > MAX_COUNTER_ROWS {
+        let _ = writeln!(
+            out,
+            "| … | | | {} more changed counter(s) |",
+            changed.len() - MAX_COUNTER_ROWS
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{} of {} shared counters changed.\n",
+        changed.len(),
+        shared.len()
+    );
+}
+
+/// Signed percent delta of `b` relative to `a`; `n/a` from zero.
+fn fmt_delta(a: f64, b: f64) -> String {
+    if a == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:+.1}%", (b - a) / a * 100.0)
+    }
+}
+
+fn diff_benches(
+    path_a: &str,
+    path_b: &str,
+    fa: &[(String, Value)],
+    fb: &[(String, Value)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Bench diff: `{path_a}` vs `{path_b}`\n");
+    let nums = |fields: &[(String, Value)]| -> BTreeMap<String, f64> {
+        fields
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+            .collect()
+    };
+    let na = nums(fa);
+    let nb = nums(fb);
+    out.push_str("| key | a | b | Δ |\n|---|---|---|---|\n");
+    for (key, &x) in &na {
+        let Some(&y) = nb.get(key) else { continue };
+        let _ = writeln!(out, "| `{key}` | {x} | {y} | {} |", fmt_delta(x, y));
+    }
+    out.push('\n');
+    let only_a: Vec<&String> = na.keys().filter(|k| !nb.contains_key(*k)).collect();
+    let only_b: Vec<&String> = nb.keys().filter(|k| !na.contains_key(*k)).collect();
+    for (tag, only) in [("a", only_a), ("b", only_b)] {
+        if !only.is_empty() {
+            let list: Vec<String> = only.iter().map(|k| format!("`{k}`")).collect();
+            let _ = writeln!(out, "Keys only in {tag}: {}.\n", list.join(", "));
+        }
+    }
+    out.push_str(
+        "Bench deltas are informational — the regression gate is `bench_diff` \
+         (see crates/bench).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn autopsy(key: &str, outcome: &str, mechanism: &str) -> String {
+        format!(
+            r#"{{"kind":"autopsy","v":5,"fault":0,"worker":0,"structure":"IRF","bit":3,"outcome":"{outcome}","mechanism":"{mechanism}","site":"register","site_detail":"rax","injected_cycle":9,"injected_dyn":4,"propagation_insts":11,"detection_latency":11,"key":"{key}"}}"#
+        )
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let text = format!(
+            "{}\n{}\n",
+            autopsy("IRF/00/p1.b3.c9/transient", "sdc", "signature"),
+            r#"{"kind":"campaign","v":5,"program":"t0","structure":"IRF","coverage":0.5,"counters":{"faultsim.injected":4}}"#
+        );
+        let (md, drift) = render_diff(("a.jsonl", &text), ("b.jsonl", &text)).unwrap();
+        assert!(!drift, "{md}");
+        assert!(md.contains("No outcome drift"), "{md}");
+        assert!(md.contains("Canonical journals are identical"), "{md}");
+        assert!(md.contains("Verdict: **no drift**"), "{md}");
+    }
+
+    #[test]
+    fn outcome_transition_is_drift_with_matrix_and_lists() {
+        let a = format!(
+            "{}\n{}\n",
+            autopsy("IRF/00/p1.b3.c9/transient", "sdc", "signature"),
+            autopsy("IRF/00/p2.b5.c11/transient", "masked", "overwrite"),
+        );
+        let b = format!(
+            "{}\n{}\n",
+            autopsy("IRF/00/p1.b3.c9/transient", "masked", "logical"),
+            autopsy("IRF/00/p2.b5.c11/transient", "crash", "trap"),
+        );
+        let (md, drift) = render_diff(("a.jsonl", &a), ("b.jsonl", &b)).unwrap();
+        assert!(drift);
+        assert!(md.contains("Matched 2 fault key(s)"), "{md}");
+        assert!(
+            md.contains("**2 matched fault(s) changed outcome.**"),
+            "{md}"
+        );
+        assert!(md.contains("Newly silent"), "{md}");
+        assert!(
+            md.contains("`IRF/00/p1.b3.c9/transient`: sdc → masked"),
+            "{md}"
+        );
+        assert!(md.contains("Newly detected"), "{md}");
+        assert!(
+            md.contains("Canonical journals diverge at record 1"),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn canonical_divergence_alone_is_drift() {
+        let a = r#"{"kind":"summary","v":5,"iterations":3}"#;
+        let b = r#"{"kind":"summary","v":5,"iterations":4}"#;
+        let (md, drift) = render_diff(("a.jsonl", a), ("b.jsonl", b)).unwrap();
+        assert!(drift);
+        assert!(md.contains("diverge at record 1"), "{md}");
+        assert!(
+            md.contains(r#"- a: `{"kind":"summary","v":5,"iterations":3}`"#),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn meta_and_wallclock_differences_are_not_drift() {
+        let a = concat!(
+            r#"{"kind":"meta","v":5,"schema":5,"git_commit":"aaa","threads":2,"config_hash":"f00d"}"#,
+            "\n",
+            r#"{"kind":"summary","v":5,"iterations":3,"total_ns":100}"#,
+            "\n",
+        );
+        let b = concat!(
+            r#"{"kind":"meta","v":5,"schema":5,"git_commit":"bbb","threads":8,"config_hash":"f00d"}"#,
+            "\n",
+            r#"{"kind":"summary","v":5,"iterations":3,"total_ns":999}"#,
+            "\n",
+        );
+        let (md, drift) = render_diff(("a.jsonl", a), ("b.jsonl", b)).unwrap();
+        assert!(!drift, "{md}");
+        assert!(md.contains("| git_commit | aaa | bbb |"), "{md}");
+    }
+
+    #[test]
+    fn bench_snapshots_diff_as_delta_table_and_never_drift() {
+        let a = r#"{"campaign_speedup_t1":2.0,"only_a":1.0}"#;
+        let b = r#"{"campaign_speedup_t1":2.5,"only_b":3.0}"#;
+        let (md, drift) = render_diff(("x.json", a), ("y.json", b)).unwrap();
+        assert!(!drift);
+        assert!(
+            md.contains("| `campaign_speedup_t1` | 2 | 2.5 | +25.0% |"),
+            "{md}"
+        );
+        assert!(md.contains("Keys only in a: `only_a`."), "{md}");
+        assert!(md.contains("Keys only in b: `only_b`."), "{md}");
+    }
+
+    #[test]
+    fn mixed_inputs_are_rejected() {
+        let j = r#"{"kind":"summary","v":5}"#;
+        let bench = r#"{"x":1.0}"#;
+        assert!(render_diff(("a.jsonl", j), ("b.json", bench)).is_err());
+    }
+
+    #[test]
+    fn pre_v5_journals_match_on_fallback_keys() {
+        let a = r#"{"kind":"autopsy","v":3,"fault":0,"structure":"irf","outcome":"sdc","mechanism":"signature","site":"register","site_detail":"rax"}"#;
+        let b = r#"{"kind":"autopsy","v":3,"fault":0,"structure":"irf","outcome":"sdc","mechanism":"signature","site":"register","site_detail":"rax"}"#;
+        let (md, drift) = render_diff(("a.jsonl", a), ("b.jsonl", b)).unwrap();
+        assert!(!drift, "{md}");
+        assert!(md.contains("Matched 1 fault key(s)"), "{md}");
+    }
+}

@@ -5,8 +5,10 @@
 //! The binary's argument parsing and subcommands are exposed as a
 //! library so they can be unit-tested.
 
+pub mod archive;
 pub mod args;
 pub mod autopsy;
 pub mod commands;
+pub mod diff;
 pub mod report;
 pub mod watch;

@@ -10,13 +10,18 @@
 //! harpo simulate t.hxpf
 //! harpo disasm   t.hxpf [--limit 40]
 //! harpo report   run.jsonl [BENCH_pipeline.json ...] [--out REPORT.md] [--trace trace.json]
+//! harpo diff     a.jsonl b.jsonl [--out DIFF.md]
+//! harpo archive  run.jsonl [BENCH_*.json ...] [--index results/history.jsonl] [--id name]
+//! harpo history  [--index results/history.jsonl] [--out HISTORY.md]
 //! harpo watch    run.jsonl [--interval-ms 500] [--once] [--json]
 //! harpo info
 //! ```
 
+mod archive;
 mod args;
 mod autopsy;
 mod commands;
+mod diff;
 mod report;
 mod watch;
 
@@ -35,6 +40,9 @@ fn main() {
         "simulate" => commands::simulate(&argv),
         "disasm" => commands::disasm(&argv),
         "report" => report::report(&argv),
+        "diff" => diff::diff_cmd(&argv),
+        "archive" => archive::archive(&argv),
+        "history" => archive::history(&argv),
         "watch" => watch::watch(&argv),
         "info" => commands::info(&argv),
         "help" | "--help" | "-h" => {

@@ -138,6 +138,7 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     let beats = of("heartbeat");
     let stalls = of("stall");
     let cursors = of("cursor");
+    let runs = of("run");
 
     if let Some(s) = summaries.first() {
         render_summary(out, s);
@@ -161,6 +162,10 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     if !progress.is_empty() || !beats.is_empty() || !stalls.is_empty() || !cursors.is_empty() {
         render_liveness(out, &progress, &beats, &stalls, &cursors);
     }
+    // A run-archive index (see `harpo archive`) embeds its trend tables.
+    if !runs.is_empty() {
+        crate::archive::render_history(out, &runs);
+    }
     if summaries.is_empty()
         && iterations.is_empty()
         && campaigns.is_empty()
@@ -170,6 +175,7 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
         && beats.is_empty()
         && stalls.is_empty()
         && cursors.is_empty()
+        && runs.is_empty()
     {
         let _ = writeln!(
             out,
@@ -453,7 +459,7 @@ fn render_campaigns(out: &mut String, campaigns: &[&Value]) {
 /// Masking-mechanism labels in the fixed presentation order (matches
 /// `harpo_cli::autopsy::MECHANISMS`); rendering works on parsed JSON, so
 /// the order is pinned here rather than derived from input order.
-const MECHANISM_LABELS: [&str; 6] = [
+pub(crate) const MECHANISM_LABELS: [&str; 6] = [
     "overwrite",
     "logical",
     "reconverged",

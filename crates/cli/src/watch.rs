@@ -58,11 +58,19 @@ pub fn watch(argv: &[String]) -> Result<(), String> {
 /// to. Tolerates the file not existing yet (the writer may not have
 /// created it), mid-record EOF and torn final lines: only complete
 /// (newline-terminated) lines are ever handed out, and partial bytes
-/// wait in the buffer for the writer's next flush.
+/// wait in the buffer for the writer's next flush. Truncation and
+/// rotation are detected by size: if the file shrinks below the bytes
+/// already consumed (a fresh run re-created the journal, or a rotator
+/// swapped it), the follower resets to offset zero and re-syncs from
+/// the new content instead of silently waiting at a stale offset.
 pub struct Follower {
     path: String,
     file: Option<File>,
     tail: Vec<u8>,
+    /// Bytes consumed from the current file, i.e. the open handle's
+    /// offset. Compared against the on-disk size each poll to detect
+    /// truncation.
+    consumed: u64,
 }
 
 impl Follower {
@@ -72,12 +80,25 @@ impl Follower {
             path: path.to_string(),
             file: None,
             tail: Vec::new(),
+            consumed: 0,
         }
     }
 
     /// Reads everything appended since the last poll and returns the
     /// complete lines. An absent or unreadable file yields nothing.
     pub fn poll(&mut self) -> Vec<String> {
+        if self.file.is_some() {
+            // Truncation / rotation check: the on-disk file shrinking
+            // below our offset (or vanishing) means the writer started
+            // over — drop the stale handle, half-line buffer and offset,
+            // and re-sync from the top of the new file.
+            let on_disk = std::fs::metadata(&self.path).map(|m| m.len());
+            if !matches!(on_disk, Ok(len) if len >= self.consumed) {
+                self.file = None;
+                self.tail.clear();
+                self.consumed = 0;
+            }
+        }
         if self.file.is_none() {
             self.file = File::open(&self.path).ok();
         }
@@ -90,6 +111,7 @@ impl Follower {
         if f.read_to_end(&mut chunk).is_err() {
             return Vec::new();
         }
+        self.consumed += chunk.len() as u64;
         self.tail.extend_from_slice(&chunk);
         let mut lines = Vec::new();
         while let Some(nl) = self.tail.iter().position(|&b| b == b'\n') {
@@ -365,6 +387,66 @@ mod tests {
         assert!(fo.poll().is_empty(), "no file yet");
         std::fs::write(&path, "{\"kind\":\"progress\",\"v\":4}\n").unwrap();
         assert_eq!(fo.poll().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn follower_resets_when_the_journal_is_truncated_or_rotated() {
+        let path = tmp("rotate.jsonl");
+        // A writer fills the journal; the follower drains it.
+        std::fs::write(
+            &path,
+            "{\"kind\":\"progress\",\"v\":4,\"done\":1}\n{\"kind\":\"progress\",\"v\":4,\"done\":2}\n",
+        )
+        .unwrap();
+        let mut fo = Follower::new(path.to_str().unwrap());
+        assert_eq!(fo.poll().len(), 2);
+
+        // A fresh run re-creates the journal *smaller* than the bytes
+        // already consumed. The follower must notice the shrink, reset
+        // to offset zero and deliver the new run's records — not sit
+        // forever waiting at the stale offset.
+        std::fs::write(&path, "{\"kind\":\"progress\",\"v\":4,\"done\":9}\n").unwrap();
+        let lines = fo.poll();
+        assert_eq!(lines.len(), 1, "re-synced after truncation");
+        let v = json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("done").and_then(Value::as_u64), Some(9));
+
+        // Deletion mid-watch behaves the same: reset, then catch the
+        // next incarnation of the file from its first byte.
+        std::fs::remove_file(&path).unwrap();
+        assert!(fo.poll().is_empty(), "gone file yields nothing");
+        std::fs::write(&path, "{\"kind\":\"progress\",\"v\":4,\"done\":10}\n").unwrap();
+        assert_eq!(fo.poll().len(), 1, "caught the recreated journal");
+
+        // A half-line buffered *before* the rotation must not be glued
+        // onto the new run's bytes: the reset clears the torn-tail
+        // buffer along with the offset.
+        let mut w = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        w.write_all(b"{\"kind\":\"progress\",\"v\":4,\"done\":10}\n{\"kind\":\"pro")
+            .unwrap();
+        drop(w);
+        assert_eq!(fo.poll().len(), 1, "torn tail held back, full line through");
+        std::fs::write(&path, "{\"kind\":\"pro").unwrap(); // shrunk: new run, also torn
+        assert!(fo.poll().is_empty(), "reset, new torn tail buffered");
+        let mut w = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        w.write_all(b"gress\",\"v\":4,\"done\":11}\n").unwrap();
+        drop(w);
+        let lines = fo.poll();
+        assert_eq!(lines.len(), 1);
+        let v = json::parse(&lines[0]).unwrap();
+        assert_eq!(
+            v.get("kind").and_then(Value::as_str),
+            Some("progress"),
+            "pre-rotation half-line did not contaminate the new run: {lines:?}"
+        );
+        assert_eq!(v.get("done").and_then(Value::as_u64), Some(11));
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,242 @@
+//! Cross-run diff identities and the golden drift snapshot.
+//!
+//! Three properties pin `harpo diff`'s verdict against the engine, and
+//! a golden snapshot pins its rendering byte for byte:
+//!
+//! 1. **Self-diff is empty**: diffing any run journal against itself
+//!    reports no drift and `diff_cmd` exits cleanly.
+//! 2. **Streaming is invisible**: a streaming-on and a streaming-off
+//!    run of the same seeded campaign diff clean — the v4 liveness
+//!    records and wall-clock fields are exactly the non-canonical part
+//!    of the journal.
+//! 3. **Archive ingest is order-independent**: `harpo history` renders
+//!    identical Markdown whatever order the runs were archived in.
+//!
+//! The golden snapshot (`tests/data/golden_diff_{a,b}.jsonl` →
+//! `golden_diff.md`) is a hand-written pair of schema-v5 journals whose
+//! faults drift in both directions. Regenerate after an intentional
+//! rendering change with:
+//!
+//! ```text
+//! cargo run -p harpo-cli --bin harpo -- diff tests/data/golden_diff_a.jsonl \
+//!     tests/data/golden_diff_b.jsonl --out tests/data/golden_diff.md
+//! ```
+
+use harpo_cli::archive::run_record;
+use harpo_cli::autopsy::forensic_records;
+use harpo_cli::diff::{diff_cmd, render_diff};
+use harpo_coverage::TargetStructure;
+use harpo_faultsim::{CampaignConfig, StreamSettings};
+use harpo_museqgen::{GenConstraints, Generator};
+use harpo_telemetry::{canonical_journal, JsonlSink, Record, Telemetry};
+use harpo_uarch::OooCore;
+use std::sync::Arc;
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("harpo-diffid-{}-{name}", std::process::id()))
+}
+
+/// A small deterministic forensic campaign journal, as text.
+fn campaign_journal(seed: u64, threads: usize) -> String {
+    let prog = Generator::new(GenConstraints {
+        n_insts: 200,
+        ..GenConstraints::default()
+    })
+    .generate(seed);
+    let ccfg = CampaignConfig {
+        n_faults: 24,
+        threads,
+        ..CampaignConfig::default()
+    };
+    let (_, _, records) =
+        forensic_records(&prog, TargetStructure::Irf, &ccfg).expect("campaign runs");
+    let mut text = String::new();
+    for r in &records {
+        text.push_str(&r.to_json());
+        text.push('\n');
+    }
+    text
+}
+
+#[test]
+fn self_diff_reports_no_drift_and_exits_cleanly() {
+    let text = campaign_journal(7, 2);
+    let (md, drift) = render_diff(("a.jsonl", &text), ("b.jsonl", &text)).unwrap();
+    assert!(!drift, "self-diff drifted:\n{md}");
+    assert!(md.contains("No outcome drift"), "{md}");
+    assert!(md.contains("Canonical journals are identical"), "{md}");
+
+    // The CLI entry point agrees: Ok(()) is exit 0.
+    let a = tmp("self.jsonl");
+    std::fs::write(&a, &text).unwrap();
+    let argv = vec![
+        a.to_str().unwrap().to_string(),
+        a.to_str().unwrap().to_string(),
+    ];
+    assert_eq!(diff_cmd(&argv), Ok(()));
+    std::fs::remove_file(&a).ok();
+}
+
+#[test]
+fn live_autopsy_records_carry_parseable_fault_keys() {
+    use harpo_telemetry::{FaultKey, Journal};
+    let text = campaign_journal(7, 2);
+    let journal = Journal::parse("a.jsonl", &text).unwrap();
+    let outcomes = journal.outcomes();
+    assert_eq!(outcomes.len(), 24, "one keyed outcome per injected fault");
+    for (key, _) in &outcomes {
+        let k = FaultKey::parse(key).unwrap_or_else(|| panic!("unparseable key `{key}`"));
+        assert_eq!(k.structure, "IRF");
+        assert_eq!(k.model, "transient");
+        assert_eq!(k.program.len(), 32, "128-bit fingerprint as hex");
+        assert!(k.site.starts_with('p'), "IRF site grammar: {}", k.site);
+    }
+    // The key is a pure function of (structure, program, site, model):
+    // an identical campaign stamps identical keys.
+    let again = campaign_journal(7, 2);
+    let j2 = Journal::parse("b.jsonl", &again).unwrap();
+    let keys = |j: &[(String, &harpo_telemetry::Value)]| -> Vec<String> {
+        j.iter().map(|(k, _)| k.clone()).collect()
+    };
+    assert_eq!(keys(&journal.outcomes()), keys(&j2.outcomes()));
+}
+
+#[test]
+fn streaming_on_vs_off_campaign_journals_diff_clean() {
+    // Same campaign, once with live streaming telemetry and once
+    // without. The raw journals differ (progress/heartbeat records,
+    // wall-clock fields); the diff must see through all of it.
+    let prog = Generator::new(GenConstraints {
+        n_insts: 200,
+        ..GenConstraints::default()
+    })
+    .generate(11);
+    let core = OooCore::default();
+    let structure = TargetStructure::Irf;
+    let run = |suffix: &str, cadence_ms: u64| {
+        let path = tmp(&format!("stream-{suffix}.jsonl"));
+        let sink = JsonlSink::create(&path).expect("create journal");
+        let telemetry = Telemetry::to(Arc::new(sink));
+        let ccfg = CampaignConfig {
+            n_faults: 24,
+            threads: 2,
+            forensics: true,
+            stream: StreamSettings {
+                cadence_ms,
+                ..StreamSettings::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let sim = core.simulate(&prog, ccfg.cap).expect("golden run");
+        let (result, autopsies) = harpo_faultsim::measure_detection_streamed(
+            &prog,
+            structure,
+            &core,
+            &ccfg,
+            &sim.output.signature,
+            &sim.trace,
+            None,
+            &telemetry,
+        );
+        for a in &autopsies {
+            telemetry.emit(|| a.to_record());
+        }
+        telemetry.emit(|| {
+            Record::new("campaign")
+                .field("structure", structure.label())
+                .field("faults", result.injected)
+                .field("detection", result.detection())
+        });
+        telemetry.flush();
+        let text = std::fs::read_to_string(&path).expect("read journal back");
+        std::fs::remove_file(&path).ok();
+        text
+    };
+    let on = run("on", 1);
+    let off = run("off", 0);
+
+    assert!(
+        on.contains("\"kind\":\"progress\""),
+        "streaming run streams"
+    );
+    assert!(!off.contains("\"kind\":\"progress\""));
+    assert_eq!(canonical_journal(&on), canonical_journal(&off));
+
+    let (md, drift) = render_diff(("on.jsonl", &on), ("off.jsonl", &off)).unwrap();
+    assert!(!drift, "streaming drifted the campaign:\n{md}");
+    assert!(md.contains("Verdict: **no drift**"), "{md}");
+}
+
+#[test]
+fn archive_history_is_ingest_order_independent() {
+    use harpo_cli::archive::render_history_md;
+    let j1 = campaign_journal(7, 2);
+    let r1 = run_record("irf-a.jsonl", &j1, "run-a").unwrap().to_json();
+    let r2 = run_record("BENCH_x.json", r#"{"campaign_speedup_t4":3.1}"#, "bench-x")
+        .unwrap()
+        .to_json();
+    let r3 = run_record("irf-b.jsonl", &campaign_journal(8, 2), "run-b")
+        .unwrap()
+        .to_json();
+    let orders = [
+        format!("{r1}\n{r2}\n{r3}\n"),
+        format!("{r3}\n{r1}\n{r2}\n"),
+        format!("{r2}\n{r3}\n{r1}\n"),
+    ];
+    let rendered: Vec<String> = orders
+        .iter()
+        .map(|text| render_history_md("history.jsonl", text).unwrap())
+        .collect();
+    assert_eq!(rendered[0], rendered[1]);
+    assert_eq!(rendered[0], rendered[2]);
+    assert!(
+        rendered[0].contains("#### Detection trends"),
+        "{}",
+        rendered[0]
+    );
+    assert!(
+        rendered[0].contains("`campaign_speedup_t4`"),
+        "{}",
+        rendered[0]
+    );
+}
+
+#[test]
+fn golden_diff_is_byte_identical() {
+    let a = repo_file("tests/data/golden_diff_a.jsonl");
+    let b = repo_file("tests/data/golden_diff_b.jsonl");
+    let (md, drift) = render_diff(
+        ("tests/data/golden_diff_a.jsonl", &a),
+        ("tests/data/golden_diff_b.jsonl", &b),
+    )
+    .unwrap();
+    assert!(drift, "the golden pair drifts by construction");
+
+    // The transition matrix is non-empty and the first divergent
+    // canonical record is named with its content.
+    assert!(
+        md.contains("**2 matched fault(s) changed outcome.**"),
+        "{md}"
+    );
+    assert!(md.contains("| **sdc** | 1 | 0 | 1 | 0 |"), "{md}");
+    assert!(
+        md.contains("Canonical journals diverge at record 2"),
+        "{md}"
+    );
+    assert!(
+        md.contains(r#"- a: `{"kind":"autopsy","v":5,"fault":0"#),
+        "{md}"
+    );
+
+    let committed = repo_file("tests/data/golden_diff.md");
+    assert_eq!(
+        md, committed,
+        "diff output drifted from tests/data/golden_diff.md — if the \
+         change is intentional, regenerate it (see this test's module docs)"
+    );
+}

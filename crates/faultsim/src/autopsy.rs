@@ -188,6 +188,10 @@ pub struct FaultAutopsy {
     /// Dynamic instructions from the first corruption to detection; 0
     /// for undetected faults.
     pub detection_latency: u64,
+    /// Stable cross-run identity (`structure/fingerprint/site/model`,
+    /// see `harpo_telemetry::FaultKey`), stamped by the campaign once
+    /// the sampled fault site is known; empty until then.
+    pub key: String,
 }
 
 impl FaultAutopsy {
@@ -204,6 +208,7 @@ impl FaultAutopsy {
             site: DivergenceSite::None,
             propagation_insts: 0,
             detection_latency: 0,
+            key: String::new(),
         }
     }
 
@@ -315,7 +320,8 @@ impl FaultAutopsy {
         }
     }
 
-    /// Renders as a schema-v3 `autopsy` journal record.
+    /// Renders as an `autopsy` journal record (introduced in schema
+    /// v3; the cross-run `key` field was added in v5).
     pub fn to_record(&self) -> Record {
         Record::new("autopsy")
             .field("fault", self.fault)
@@ -330,6 +336,7 @@ impl FaultAutopsy {
             .field("injected_dyn", self.injected_dyn)
             .field("propagation_insts", self.propagation_insts)
             .field("detection_latency", self.detection_latency)
+            .field("key", self.key.clone())
     }
 }
 

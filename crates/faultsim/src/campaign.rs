@@ -23,7 +23,7 @@ use harpo_isa::exec::Trap;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
 use harpo_isa::trail::GoldenTrail;
-use harpo_telemetry::Telemetry;
+use harpo_telemetry::{FaultKey, Telemetry};
 use harpo_uarch::{ExecutionTrace, OooCore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -289,107 +289,129 @@ pub fn measure_detection_streamed(
     // Crash (a hung CPU is a detected CPU), exactly as a fleet test
     // harness would time out. This also bounds replay cost.
     let replay_cap = ccfg.cap.min(trace.stats.insts * 4 + 10_000);
+    // The program half of every stamped FaultKey: the 128-bit program
+    // fingerprint (instructions + register init + memory image), so the
+    // same fault site in two different programs never aliases.
+    let fp_hex = format!("{:032x}", harpo_isa::fingerprint(prog));
     let mut rng = StdRng::seed_from_u64(ccfg.seed);
     match structure {
         TargetStructure::Irf => {
             let faults = sample_irf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+            let (result, mut autopsies) =
+                parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+                    let f = &faults[i];
+                    let plan = plan_irf(trace, f);
+                    if plan.is_empty() {
+                        res.record(FaultOutcome::Masked, true);
+                        if let Some(log) = log {
+                            log.push(FaultAutopsy::transient_fast_path(
+                                label,
+                                f.bit.into(),
+                                f.cycle,
+                            ));
+                        }
+                    } else {
+                        let (o, stats) =
+                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
+                        res.record_replay_stats(o, &stats);
+                        if let Some(log) = log {
+                            log.push(FaultAutopsy::transient(
+                                label,
+                                f.bit.into(),
+                                f.cycle,
+                                &plan,
+                                o,
+                                &stats,
+                            ));
+                        }
+                    }
+                });
+            stamp_fault_keys(&mut autopsies, label, &fp_hex, "transient", |i| {
                 let f = &faults[i];
-                let plan = plan_irf(trace, f);
-                if plan.is_empty() {
-                    res.record(FaultOutcome::Masked, true);
-                    if let Some(log) = log {
-                        log.push(FaultAutopsy::transient_fast_path(
-                            label,
-                            f.bit.into(),
-                            f.cycle,
-                        ));
-                    }
-                } else {
-                    let (o, stats) =
-                        replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
-                    res.record_replay_stats(o, &stats);
-                    if let Some(log) = log {
-                        log.push(FaultAutopsy::transient(
-                            label,
-                            f.bit.into(),
-                            f.cycle,
-                            &plan,
-                            o,
-                            &stats,
-                        ));
-                    }
-                }
-            })
+                format!("p{}.b{}.c{}", f.preg, f.bit, f.cycle)
+            });
+            (result, autopsies)
         }
         TargetStructure::Xrf => {
             let faults = sample_xrf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+            let (result, mut autopsies) =
+                parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+                    let f = &faults[i];
+                    let plan = plan_xrf(trace, f);
+                    if plan.is_empty() {
+                        res.record(FaultOutcome::Masked, true);
+                        if let Some(log) = log {
+                            log.push(FaultAutopsy::transient_fast_path(
+                                label,
+                                f.bit.into(),
+                                f.cycle,
+                            ));
+                        }
+                    } else {
+                        let (o, stats) =
+                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
+                        res.record_replay_stats(o, &stats);
+                        if let Some(log) = log {
+                            log.push(FaultAutopsy::transient(
+                                label,
+                                f.bit.into(),
+                                f.cycle,
+                                &plan,
+                                o,
+                                &stats,
+                            ));
+                        }
+                    }
+                });
+            stamp_fault_keys(&mut autopsies, label, &fp_hex, "transient", |i| {
                 let f = &faults[i];
-                let plan = plan_xrf(trace, f);
-                if plan.is_empty() {
-                    res.record(FaultOutcome::Masked, true);
-                    if let Some(log) = log {
-                        log.push(FaultAutopsy::transient_fast_path(
-                            label,
-                            f.bit.into(),
-                            f.cycle,
-                        ));
-                    }
-                } else {
-                    let (o, stats) =
-                        replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
-                    res.record_replay_stats(o, &stats);
-                    if let Some(log) = log {
-                        log.push(FaultAutopsy::transient(
-                            label,
-                            f.bit.into(),
-                            f.cycle,
-                            &plan,
-                            o,
-                            &stats,
-                        ));
-                    }
-                }
-            })
+                format!("p{}.b{}.c{}", f.preg, f.bit, f.cycle)
+            });
+            (result, autopsies)
         }
         TargetStructure::L1d => {
             let faults = sample_l1d_faults(&mut rng, cfg, cycles, ccfg.n_faults);
-            parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+            let (result, mut autopsies) =
+                parallel_tally(ccfg, live, faults.len(), |i, res, ctx, log| {
+                    let f = &faults[i];
+                    let plan = plan_l1d(trace, cfg, f);
+                    if plan.is_empty() {
+                        res.record(FaultOutcome::Masked, true);
+                        if let Some(log) = log {
+                            log.push(FaultAutopsy::transient_fast_path(
+                                label,
+                                f.bit.into(),
+                                f.cycle,
+                            ));
+                        }
+                    } else if ccfg.l1d_protection == L1dProtection::Secded {
+                        // SECDED corrects the single flipped bit at the first
+                        // access — the consumer never sees corrupted data.
+                        res.record(FaultOutcome::Corrected, true);
+                        if let Some(log) = log {
+                            log.push(FaultAutopsy::corrected(label, f.bit.into(), f.cycle, &plan));
+                        }
+                    } else {
+                        let (o, stats) =
+                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
+                        res.record_replay_stats(o, &stats);
+                        if let Some(log) = log {
+                            log.push(FaultAutopsy::transient(
+                                label,
+                                f.bit.into(),
+                                f.cycle,
+                                &plan,
+                                o,
+                                &stats,
+                            ));
+                        }
+                    }
+                });
+            stamp_fault_keys(&mut autopsies, label, &fp_hex, "transient", |i| {
                 let f = &faults[i];
-                let plan = plan_l1d(trace, cfg, f);
-                if plan.is_empty() {
-                    res.record(FaultOutcome::Masked, true);
-                    if let Some(log) = log {
-                        log.push(FaultAutopsy::transient_fast_path(
-                            label,
-                            f.bit.into(),
-                            f.cycle,
-                        ));
-                    }
-                } else if ccfg.l1d_protection == L1dProtection::Secded {
-                    // SECDED corrects the single flipped bit at the first
-                    // access — the consumer never sees corrupted data.
-                    res.record(FaultOutcome::Corrected, true);
-                    if let Some(log) = log {
-                        log.push(FaultAutopsy::corrected(label, f.bit.into(), f.cycle, &plan));
-                    }
-                } else {
-                    let (o, stats) =
-                        replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
-                    res.record_replay_stats(o, &stats);
-                    if let Some(log) = log {
-                        log.push(FaultAutopsy::transient(
-                            label,
-                            f.bit.into(),
-                            f.cycle,
-                            &plan,
-                            o,
-                            &stats,
-                        ));
-                    }
-                }
-            })
+                format!("s{}.w{}.b{}.c{}", f.set, f.way, f.bit, f.cycle)
+            });
+            (result, autopsies)
         }
         fu => {
             let unit = graded_unit_of(fu);
@@ -401,7 +423,7 @@ pub fn measure_detection_streamed(
             // corruption provably dies before architectural state. A
             // fault with no span is exactly a never-activated fault, so
             // the fast-path tally is identical on every pipeline.
-            let (mut result, autopsies) = if !legacy && ccfg.cohort_demotion {
+            let (mut result, mut autopsies) = if !legacy && ccfg.cohort_demotion {
                 let verdicts = screen_cohorts_all(trace, unit, &faults, ccfg);
                 parallel_tally(
                     ccfg,
@@ -515,8 +537,28 @@ pub fn measure_detection_streamed(
                 }
             };
             result.screened = faults.len() as u64;
+            stamp_fault_keys(&mut autopsies, label, &fp_hex, "stuck-at", |i| {
+                let f = &faults[i];
+                format!("g{}.sa{}", f.gate, u8::from(f.stuck_one))
+            });
             (result, autopsies)
         }
+    }
+}
+
+/// Stamps the stable cross-run [`FaultKey`] into each autopsy once the
+/// sampled fault site is known. `site` maps a fault index (stable for a
+/// fixed config — the sampler is seeded) to its structure-local
+/// coordinate. A no-op with forensics off: the autopsy log is empty.
+fn stamp_fault_keys(
+    autopsies: &mut [FaultAutopsy],
+    structure: &str,
+    fp_hex: &str,
+    model: &str,
+    site: impl Fn(usize) -> String,
+) {
+    for a in autopsies.iter_mut() {
+        a.key = FaultKey::new(structure, fp_hex, &site(a.fault as usize), model).render();
     }
 }
 

@@ -31,6 +31,10 @@
 //!   sampling and the [`EwmaRate`] ETA estimator. The streaming record
 //!   kinds themselves are listed in [`STREAMING_KINDS`] and excluded
 //!   from determinism comparisons by [`canonical_journal`].
+//! * [`Journal`] / [`FaultKey`] — the **read side**: an offline
+//!   parse/index of a finished journal plus the stable cross-run fault
+//!   identity stamped into schema-v5 `autopsy` records, the substrate
+//!   for `harpo diff`, `harpo archive` and shard-journal merging.
 //! * [`json`] — the hand-rolled JSON writer/parser backing all of the
 //!   above. No third-party dependencies anywhere in this crate, so it
 //!   builds offline and adds nothing to the workspace's dependency set.
@@ -41,6 +45,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod reader;
 pub mod record;
 pub mod sink;
 pub mod span;
@@ -49,6 +54,7 @@ pub mod trace;
 
 pub use json::Value;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricSnapshot, Metrics, HIST_BUCKETS};
+pub use reader::{FaultKey, Journal};
 pub use record::{canonical_journal, is_streaming_kind, Record, SCHEMA_VERSION, STREAMING_KINDS};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink, Telemetry};
 pub use span::Span;

@@ -1,0 +1,238 @@
+//! Cross-run journal reading: an offline parse/index of one journal
+//! plus the stable per-fault identity ([`FaultKey`]) that lets two
+//! runs' outcome records be matched fault-for-fault.
+//!
+//! The live side of telemetry (sinks, streaming) is write-only; this
+//! module is the read side that `harpo diff`, `harpo archive` and any
+//! future shard-journal merger build on. Parsing follows the same
+//! contract as `harpo report`: empty lines are skipped, a torn final
+//! line is tolerated (a live journal may end mid-record), interior
+//! corruption is an error, and journals written by a *newer* schema are
+//! refused instead of mis-parsed.
+
+use crate::json::{self, Value};
+use crate::record::SCHEMA_VERSION;
+
+/// The stable identity of one injected fault, usable across runs,
+/// machines and shards.
+///
+/// Four coordinates pin a fault down completely:
+///
+/// * `structure` — the fault target ("IRF", "XRF", "L1D", or a
+///   functional-unit name for gate faults);
+/// * `program` — the 128-bit program fingerprint (32 hex digits),
+///   covering instructions, register init and memory image but not the
+///   program's name or provenance;
+/// * `site` — the structure-local site/time coordinate, e.g.
+///   `p12.b7.c3041` (physical register 12, bit 7, cycle 3041) or
+///   `g211.sa1` (gate 211 stuck-at-1);
+/// * `model` — the fault model ("transient" or "stuck-at").
+///
+/// Two campaigns with the same config sample the same faults (sampling
+/// is seeded), so equal keys mean *the same physical experiment* — the
+/// precondition for outcome-transition analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultKey {
+    /// Fault target structure.
+    pub structure: String,
+    /// Program fingerprint, 32 lowercase hex digits.
+    pub program: String,
+    /// Structure-local site/time coordinate.
+    pub site: String,
+    /// Fault model.
+    pub model: String,
+}
+
+impl FaultKey {
+    /// Builds a key from its four coordinates.
+    pub fn new(structure: &str, program: &str, site: &str, model: &str) -> FaultKey {
+        FaultKey {
+            structure: structure.to_string(),
+            program: program.to_string(),
+            site: site.to_string(),
+            model: model.to_string(),
+        }
+    }
+
+    /// Renders the canonical `structure/program/site/model` form that
+    /// is stamped into `autopsy` records.
+    pub fn render(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.structure, self.program, self.site, self.model
+        )
+    }
+
+    /// Parses the canonical rendered form; `None` unless the string has
+    /// exactly four non-empty `/`-separated components.
+    pub fn parse(s: &str) -> Option<FaultKey> {
+        let parts: Vec<&str> = s.split('/').collect();
+        match parts[..] {
+            [structure, program, site, model]
+                if !structure.is_empty()
+                    && !program.is_empty()
+                    && !site.is_empty()
+                    && !model.is_empty() =>
+            {
+                Some(FaultKey::new(structure, program, site, model))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.structure, self.program, self.site, self.model
+        )
+    }
+}
+
+/// A parsed journal: every record as a [`Value`], in file order, with
+/// kind-based indexing helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// The path the journal was read from (used in error context only).
+    pub path: String,
+    /// Every parsed record, in file order.
+    pub records: Vec<Value>,
+}
+
+impl Journal {
+    /// Parses a journal's text.
+    ///
+    /// # Errors
+    /// Interior corruption (an unparseable non-final line) and journals
+    /// written by a schema newer than this build reads. The message
+    /// carries `path:line` context.
+    pub fn parse(path: &str, text: &str) -> Result<Journal, String> {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut records = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            let rec = match json::parse(line) {
+                Ok(v) => v,
+                // Torn final line: a live writer may be mid-record.
+                Err(_) if i + 1 == lines.len() => break,
+                Err(e) => return Err(format!("{path}:{}: bad journal line: {e}", i + 1)),
+            };
+            let v = rec.get("v").and_then(Value::as_u64).unwrap_or(1);
+            if v > SCHEMA_VERSION {
+                return Err(format!(
+                    "{path}:{}: journal schema v{v} is newer than this build reads (v{SCHEMA_VERSION})",
+                    i + 1
+                ));
+            }
+            records.push(rec);
+        }
+        Ok(Journal {
+            path: path.to_string(),
+            records,
+        })
+    }
+
+    /// All records of one kind, in file order.
+    pub fn of_kind(&self, kind: &str) -> Vec<&Value> {
+        self.records
+            .iter()
+            .filter(|r| r.get("kind").and_then(Value::as_str) == Some(kind))
+            .collect()
+    }
+
+    /// The `meta` header record, if the journal carries one (first
+    /// wins; a journal restarted in place may append several).
+    pub fn meta(&self) -> Option<&Value> {
+        self.of_kind("meta").into_iter().next()
+    }
+
+    /// Per-fault outcome index: one `(key, autopsy record)` pair per
+    /// `autopsy` record, in file order.
+    ///
+    /// v5 journals carry the stamped [`FaultKey`] in the record's
+    /// `key` field; for older journals the fallback identity
+    /// `structure#fault_index` is synthesised so pre-v5 runs remain
+    /// diffable against each other (fault sampling is seeded, so the
+    /// index is stable for a fixed config).
+    pub fn outcomes(&self) -> Vec<(String, &Value)> {
+        self.of_kind("autopsy")
+            .into_iter()
+            .map(|rec| {
+                let key = match rec.get("key").and_then(Value::as_str) {
+                    Some(k) if !k.is_empty() => k.to_string(),
+                    _ => {
+                        let structure = rec.get("structure").and_then(Value::as_str).unwrap_or("?");
+                        let fault = rec.get("fault").and_then(Value::as_u64).unwrap_or(0);
+                        format!("{structure}#{fault}")
+                    }
+                };
+                (key, rec)
+            })
+            .collect()
+    }
+
+    /// The last `counters` snapshot in the journal (summary and
+    /// campaign records both carry one), if any.
+    pub fn counters(&self) -> Option<&Value> {
+        self.records.iter().rev().find_map(|r| r.get("counters"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_key_round_trips() {
+        let k = FaultKey::new("IRF", "00ab", "p3.b7.c41", "transient");
+        assert_eq!(k.render(), "IRF/00ab/p3.b7.c41/transient");
+        assert_eq!(FaultKey::parse(&k.render()), Some(k.clone()));
+        assert_eq!(format!("{k}"), k.render());
+    }
+
+    #[test]
+    fn fault_key_rejects_malformed() {
+        for bad in ["", "a/b/c", "a/b/c/d/e", "a//c/d", "IRF/x/y/"] {
+            assert!(FaultKey::parse(bad).is_none(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn journal_parses_and_indexes() {
+        let text = "\
+{\"kind\":\"meta\",\"v\":5,\"schema\":5,\"git_commit\":\"abc\",\"threads\":2,\"config_hash\":\"f00d\"}\n\
+\n\
+{\"kind\":\"autopsy\",\"v\":5,\"fault\":0,\"structure\":\"IRF\",\"outcome\":\"sdc\",\"key\":\"IRF/00/p1.b2.c3/transient\"}\n\
+{\"kind\":\"autopsy\",\"v\":5,\"fault\":1,\"structure\":\"IRF\",\"outcome\":\"masked\"}\n\
+{\"kind\":\"summary\",\"v\":5,\"iterations\":3,\"counters\":{\"x\":1}}\n";
+        let j = Journal::parse("t.jsonl", text).unwrap();
+        assert_eq!(j.records.len(), 4);
+        assert_eq!(j.of_kind("autopsy").len(), 2);
+        assert_eq!(
+            j.meta().unwrap().get("git_commit").unwrap().as_str(),
+            Some("abc")
+        );
+        let outcomes = j.outcomes();
+        assert_eq!(outcomes[0].0, "IRF/00/p1.b2.c3/transient");
+        // Pre-v5 records (no key) fall back to structure#index.
+        assert_eq!(outcomes[1].0, "IRF#1");
+        assert_eq!(j.counters().unwrap().get("x").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn journal_tolerates_torn_final_line_only() {
+        let torn = "{\"kind\":\"summary\",\"v\":5}\n{\"kind\":\"prog";
+        assert_eq!(Journal::parse("t", torn).unwrap().records.len(), 1);
+        let interior = "{\"kind\":\"prog\n{\"kind\":\"summary\",\"v\":5}\n";
+        let err = Journal::parse("t.jsonl", interior).unwrap_err();
+        assert!(err.contains("t.jsonl:1"), "{err}");
+    }
+
+    #[test]
+    fn journal_rejects_newer_schema() {
+        let future = format!("{{\"kind\":\"summary\",\"v\":{}}}\n", SCHEMA_VERSION + 1);
+        let err = Journal::parse("f.jsonl", &future).unwrap_err();
+        assert!(err.contains("newer than this build reads"), "{err}");
+    }
+}

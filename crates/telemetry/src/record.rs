@@ -10,7 +10,7 @@ use crate::json::{write_string, Value};
 /// a record kind changes meaning or drops a field — additive fields do
 /// not need a bump. The bump protocol is documented in DESIGN.md and
 /// docs/observability.md.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The live streaming record kinds introduced by schema v4.
 ///
@@ -35,8 +35,10 @@ fn is_wallclock_field(key: &str) -> bool {
 }
 
 /// Canonicalises a journal for determinism comparison: drops the
-/// streaming-kind records (their very presence depends on timer ticks),
-/// strips wall-clock-bearing fields (`*_ns`, `*_ms`, `*_per_sec`,
+/// streaming-kind records (their very presence depends on timer ticks)
+/// and the `meta` header (it names the run *environment* — git commit,
+/// thread count — which two comparable runs may legitimately disagree
+/// on), strips wall-clock-bearing fields (`*_ns`, `*_ms`, `*_per_sec`,
 /// `counters`, `rss_bytes`, `hit_rate`) from the rest, and tolerates a
 /// torn final line (a live journal may end mid-record). The surviving
 /// records re-serialise in their original field order, so two runs that
@@ -62,7 +64,7 @@ pub fn canonical_journal(text: &str) -> String {
             }
         };
         if let Some(kind) = rec.get("kind").and_then(Value::as_str) {
-            if is_streaming_kind(kind) {
+            if is_streaming_kind(kind) || kind == "meta" {
                 continue;
             }
         }
@@ -89,7 +91,7 @@ pub fn canonical_journal(text: &str) -> String {
 /// ```
 /// use harpo_telemetry::Record;
 /// let r = Record::new("iteration").field("iter", 3u64).field("best", 0.25);
-/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":4,"iter":3,"best":0.25}"#);
+/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":5,"iter":3,"best":0.25}"#);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -217,6 +219,16 @@ mod tests {
             "{\"kind\":\"summary\",\"v\":4,\"iterations\":1}\n",
         );
         assert_eq!(canonical_journal(a), expected);
+    }
+
+    #[test]
+    fn canonical_journal_drops_the_meta_header() {
+        let with_meta = "\
+{\"kind\":\"meta\",\"v\":5,\"schema\":5,\"git_commit\":\"abc123\",\"threads\":8,\"config_hash\":\"f00d\"}\n\
+{\"kind\":\"summary\",\"v\":5,\"iterations\":1}\n";
+        let without = "{\"kind\":\"summary\",\"v\":5,\"iterations\":1}\n";
+        assert_eq!(canonical_journal(with_meta), canonical_journal(without));
+        assert_eq!(canonical_journal(with_meta), without);
     }
 
     #[test]

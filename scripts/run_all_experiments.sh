@@ -65,5 +65,13 @@ if ((${#report_inputs[@]})); then
   }
   ./target/release/harpo report "${report_inputs[@]}" --out results/REPORT.md \
     || { echo "ERROR: harpo report failed" >&2; exit 1; }
+  # Append this run's journals and snapshots to the cross-run archive
+  # and re-render the trend tables, so detection rates and speedups are
+  # comparable across invocations of this script.
+  ./target/release/harpo archive "${report_inputs[@]}" \
+    --id "run-$(date +%Y%m%d-%H%M%S)" --index results/history.jsonl \
+    || { echo "ERROR: harpo archive failed" >&2; exit 1; }
+  ./target/release/harpo history --index results/history.jsonl --out results/HISTORY.md \
+    || { echo "ERROR: harpo history failed" >&2; exit 1; }
 fi
-echo "All ${#BINS[@]} experiments complete; CSVs + manifests in results/, logs in results/logs/, report at results/REPORT.md."
+echo "All ${#BINS[@]} experiments complete; CSVs + manifests in results/, logs in results/logs/, report at results/REPORT.md, run archive at results/history.jsonl."
