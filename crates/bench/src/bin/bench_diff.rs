@@ -7,9 +7,11 @@
 //!
 //! Compares a fresh `BENCH_*.json` snapshot against the committed
 //! baseline on the gated keys (by default, every shared `*speedup*`
-//! key) and exits non-zero if any dropped by more than the threshold.
-//! Improvements beyond the threshold are listed too (informational —
-//! a cue to re-baseline), and `--md` writes the whole comparison as a
+//! key, skipping `*_cov` noise companions) and exits non-zero if any
+//! dropped by more than the threshold. Improvements beyond the
+//! threshold are listed too (informational — a cue to re-baseline),
+//! keys whose `<key>_cov` companion shows unstable timings (CoV > 10%)
+//! are flagged as noisy, and `--md` writes the whole comparison as a
 //! Markdown summary for the CI artifact. CI runs this after the manual
 //! bench job so a change that quietly costs more than 10% of a
 //! headline speedup fails the build.
@@ -104,6 +106,9 @@ fn main() {
     }
     for line in report.improvement_lines() {
         println!("bench_diff: improved: {line}");
+    }
+    for line in report.noisy_lines() {
+        println!("bench_diff: noisy: {line}");
     }
     if report.regressed() {
         let lines = report.regression_lines();

@@ -43,6 +43,18 @@
 //! (`campaign_streaming_t1_ns`, `campaign_streaming_off_speedup_t1`),
 //! and CI gates the on/off ratio at 2% so the streaming-off hot path
 //! stays allocation-free.
+//!
+//! The schema-v6 profiling layer too: `CampaignConfig::profile` turns
+//! on per-replay wall-clock attribution and `cost` record emission, and
+//! `campaign_profile_off_speedup_t1` (also gated at 2% in CI) keeps
+//! that cost out of the default path — with the side assertion that the
+//! cost matrix accounts every replayed instruction.
+//!
+//! Every timed key additionally carries a `<key>_cov` companion: the
+//! coefficient of variation (stddev / mean) of that side's
+//! per-iteration wall times, with speedup keys taking the worse of
+//! their two sides. `bench_diff` reads these to flag a gated ratio
+//! whose underlying timings were too noisy (CoV > 10%) to trust.
 
 use harpo_bench::{Cli, Harness};
 use harpo_coverage::TargetStructure;
@@ -132,29 +144,72 @@ fn run_campaigns_streamed(
     total
 }
 
+/// One timed side of a [`paired_min_ns`] comparison: the minimum wall
+/// time, the last run's tallies, and the coefficient of variation of
+/// the per-iteration samples. The CoV rides into `BENCH_*.json` as a
+/// `<key>_cov` companion so `bench_diff` can flag a gated ratio whose
+/// underlying timings were too noisy to trust.
+struct TimedSide {
+    ns: u64,
+    result: CampaignResult,
+    cov: f64,
+}
+
+/// Coefficient of variation (population stddev / mean) of wall-time
+/// samples; 0.0 when there are fewer than two samples.
+fn cov(samples: &[u64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = samples
+        .iter()
+        .map(|&s| (s as f64 - mean).powi(2))
+        .sum::<f64>()
+        / samples.len() as f64;
+    var.sqrt() / mean
+}
+
 /// Paired minimum wall nanoseconds of `reps` interleaved runs of `a`
 /// and `b` — the noise-robust estimator used for the gated forensics
 /// on/off ratio. Alternating the two configurations within one loop
 /// samples both under the same load epoch, and taking each side's
 /// minimum discards interference outliers; timing the sides in separate
 /// blocks would let a load spike during one block swamp a 5% threshold.
+/// Each side also keeps its per-iteration samples to report a
+/// coefficient of variation alongside the minimum.
 fn paired_min_ns(
     reps: usize,
     mut a: impl FnMut() -> CampaignResult,
     mut b: impl FnMut() -> CampaignResult,
-) -> (u64, u64, CampaignResult, CampaignResult) {
-    let (mut best_a, mut best_b) = (u64::MAX, u64::MAX);
+) -> (TimedSide, TimedSide) {
+    let mut samples_a = Vec::with_capacity(reps);
+    let mut samples_b = Vec::with_capacity(reps);
     let mut last_a = CampaignResult::default();
     let mut last_b = CampaignResult::default();
     for _ in 0..reps {
         let t = Instant::now();
         last_a = a();
-        best_a = best_a.min(t.elapsed().as_nanos() as u64);
+        samples_a.push(t.elapsed().as_nanos() as u64);
         let t = Instant::now();
         last_b = b();
-        best_b = best_b.min(t.elapsed().as_nanos() as u64);
+        samples_b.push(t.elapsed().as_nanos() as u64);
     }
-    (best_a, best_b, last_a, last_b)
+    (
+        TimedSide {
+            ns: samples_a.iter().copied().min().unwrap_or(u64::MAX),
+            result: last_a,
+            cov: cov(&samples_a),
+        },
+        TimedSide {
+            ns: samples_b.iter().copied().min().unwrap_or(u64::MAX),
+            result: last_b,
+            cov: cov(&samples_b),
+        },
+    )
 }
 
 /// Strips perf counters so tallies can be compared across
@@ -233,7 +288,7 @@ fn main() {
             // below: the two legs differ 3-5x in wall time, so a load
             // spike landing inside one median-of-3 block would swing
             // the gated speedup by far more than CI's threshold.
-            let (full_ns, ck_ns, full_r, ck_r) = paired_min_ns(
+            let (full, ck) = paired_min_ns(
                 3,
                 || run_campaigns(&workloads, structures, &core, &full_ccfg),
                 || {
@@ -245,8 +300,10 @@ fn main() {
                     )
                 },
             );
+            let (full_ns, ck_ns) = (full.ns, ck.ns);
+            let ck_r = ck.result;
             assert_eq!(
-                outcome_tallies(&full_r),
+                outcome_tallies(&full.result),
                 outcome_tallies(&ck_r),
                 "the {suite} fast leg changed campaign outcomes at {threads} threads"
             );
@@ -258,8 +315,17 @@ fn main() {
                 "campaign"
             };
             results.push((format!("{key}_full_t{threads}_ns"), full_ns.into()));
+            results.push((format!("{key}_full_t{threads}_ns_cov"), full.cov.into()));
             results.push((format!("{key}_checkpointed_t{threads}_ns"), ck_ns.into()));
+            results.push((
+                format!("{key}_checkpointed_t{threads}_ns_cov"),
+                ck.cov.into(),
+            ));
             results.push((format!("{key}_speedup_t{threads}"), speedup.into()));
+            results.push((
+                format!("{key}_speedup_t{threads}_cov"),
+                full.cov.max(ck.cov).into(),
+            ));
             suite_ns.push((full_ns, ck_ns));
             if threads == 8 {
                 ck_tally.merge(&ck_r);
@@ -270,7 +336,7 @@ fn main() {
             // bookkeeping, so `on / off` staying near its baseline means
             // the off path did not silently absorb the recorder's cost.
             if suite == "bit_array" {
-                let (fo_ns, off_ns, fo_r, _) = paired_min_ns(
+                let (fo, off) = paired_min_ns(
                     9,
                     || {
                         run_campaigns(
@@ -289,9 +355,10 @@ fn main() {
                         )
                     },
                 );
+                let (fo_ns, off_ns) = (fo.ns, off.ns);
                 assert_eq!(
                     outcome_tallies(&ck_r),
-                    outcome_tallies(&fo_r),
+                    outcome_tallies(&fo.result),
                     "forensics changed campaign outcomes at {threads} threads"
                 );
                 let off_speedup = fo_ns as f64 / off_ns.max(1) as f64;
@@ -300,8 +367,16 @@ fn main() {
                 );
                 results.push((format!("campaign_forensics_t{threads}_ns"), fo_ns.into()));
                 results.push((
+                    format!("campaign_forensics_t{threads}_ns_cov"),
+                    fo.cov.into(),
+                ));
+                results.push((
                     format!("campaign_forensics_off_speedup_t{threads}"),
                     off_speedup.into(),
+                ));
+                results.push((
+                    format!("campaign_forensics_off_speedup_t{threads}_cov"),
+                    fo.cov.max(off.cov).into(),
                 ));
             }
             // Streaming cost on the reference suite, single-thread only
@@ -321,7 +396,7 @@ fn main() {
                     },
                     ..ccfg_of(threads, default_interval)
                 };
-                let (on_ns, off_ns, on_r, _) = paired_min_ns(
+                let (on, off) = paired_min_ns(
                     9,
                     || {
                         let sink = JsonlSink::create(&journal).expect("stream journal");
@@ -343,9 +418,10 @@ fn main() {
                     },
                 );
                 std::fs::remove_file(&journal).ok();
+                let (on_ns, off_ns) = (on.ns, off.ns);
                 assert_eq!(
                     outcome_tallies(&ck_r),
-                    outcome_tallies(&on_r),
+                    outcome_tallies(&on.result),
                     "streaming changed campaign outcomes at {threads} threads"
                 );
                 let off_speedup = on_ns as f64 / off_ns.max(1) as f64;
@@ -354,8 +430,80 @@ fn main() {
                 );
                 results.push((format!("campaign_streaming_t{threads}_ns"), on_ns.into()));
                 results.push((
+                    format!("campaign_streaming_t{threads}_ns_cov"),
+                    on.cov.into(),
+                ));
+                results.push((
                     format!("campaign_streaming_off_speedup_t{threads}"),
                     off_speedup.into(),
+                ));
+                results.push((
+                    format!("campaign_streaming_off_speedup_t{threads}_cov"),
+                    on.cov.max(off.cov).into(),
+                ));
+            }
+            // Profiling cost on the reference suite, single-thread only:
+            // the same campaign with `CampaignConfig::profile` on —
+            // per-replay wall-clock attribution plus `cost` record
+            // emission through a journal sink — versus the default
+            // (profiling-off) path. The fault and replay-instruction
+            // halves of the cost matrix are free integer adds and stay
+            // on unconditionally; the clock reads and record rendering
+            // must only be paid when asked for, so CI gates `on / off`
+            // at 2% to keep the off hot path allocation-free.
+            if suite == "bit_array" && threads == 1 {
+                let journal = std::env::temp_dir()
+                    .join(format!("harpo-bench-profile-{}.jsonl", std::process::id()));
+                let profile_ccfg = CampaignConfig {
+                    profile: true,
+                    ..ccfg_of(threads, default_interval)
+                };
+                let (on, off) = paired_min_ns(
+                    9,
+                    || {
+                        let sink = JsonlSink::create(&journal).expect("profile journal");
+                        run_campaigns_streamed(
+                            &workloads,
+                            structures,
+                            &core,
+                            &profile_ccfg,
+                            &Telemetry::to(Arc::new(sink)),
+                        )
+                    },
+                    || {
+                        run_campaigns(
+                            &workloads,
+                            structures,
+                            &core,
+                            &ccfg_of(threads, default_interval),
+                        )
+                    },
+                );
+                std::fs::remove_file(&journal).ok();
+                let (on_ns, off_ns) = (on.ns, off.ns);
+                assert_eq!(
+                    outcome_tallies(&ck_r),
+                    outcome_tallies(&on.result),
+                    "profiling changed campaign outcomes at {threads} threads"
+                );
+                assert_eq!(
+                    on.result.cost.total_replay_insts(),
+                    on.result.replay_insts,
+                    "the cost matrix lost replay instructions at {threads} threads"
+                );
+                let off_speedup = on_ns as f64 / off_ns.max(1) as f64;
+                println!(
+                    "profile     {threads:>8} {on_ns:>15} {off_ns:>15} {off_speedup:>8.2}x (on/off)"
+                );
+                results.push((format!("campaign_profile_t{threads}_ns"), on_ns.into()));
+                results.push((format!("campaign_profile_t{threads}_ns_cov"), on.cov.into()));
+                results.push((
+                    format!("campaign_profile_off_speedup_t{threads}"),
+                    off_speedup.into(),
+                ));
+                results.push((
+                    format!("campaign_profile_off_speedup_t{threads}_cov"),
+                    on.cov.max(off.cov).into(),
                 ));
             }
         }

@@ -12,6 +12,14 @@ use harpo_telemetry::json::{self, Value};
 /// Default allowed relative drop before a key counts as regressed.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
+/// Coefficient-of-variation ceiling above which a gated key's timings
+/// count as noisy. The harness writes a `<key>_cov` companion next to
+/// each timed key (stddev / mean of the per-iteration wall times); when
+/// either side's companion exceeds this, the verdict for that key rests
+/// on measurements that wobbled by more than the gate threshold itself,
+/// so the diff flags it rather than let a quiet rerun "fix" a gate.
+pub const NOISY_COV: f64 = 0.10;
+
 /// One gated benchmark key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRow {
@@ -30,6 +38,12 @@ pub struct DiffRow {
     /// real win to lock in by re-baselining, or a sign the benchmark
     /// stopped measuring what it used to.
     pub improved: bool,
+    /// The worse of the two sides' `<key>_cov` companions, when either
+    /// file carries one (0.0 otherwise).
+    pub cov: f64,
+    /// Whether [`cov`](Self::cov) exceeds [`NOISY_COV`] — the verdict
+    /// stands, but the measurement behind it was unstable.
+    pub noisy: bool,
 }
 
 /// The comparison across all gated keys.
@@ -71,6 +85,25 @@ impl DiffReport {
                     r.fresh,
                     r.delta_pct(),
                     self.threshold * 100.0
+                )
+            })
+            .collect()
+    }
+
+    /// One line per noisy key with its worst coefficient of variation.
+    /// Informational like improvements: a noisy key still gates on its
+    /// values, but CI prints these so an unstable measurement gets a
+    /// quieter runner or more reps instead of silently flaky gates.
+    pub fn noisy_lines(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .filter(|r| r.noisy)
+            .map(|r| {
+                format!(
+                    "{}: CoV {:.1}% exceeds {:.0}% — per-iteration timings were unstable",
+                    r.key,
+                    r.cov * 100.0,
+                    NOISY_COV * 100.0
                 )
             })
             .collect()
@@ -119,8 +152,13 @@ impl DiffReport {
             } else {
                 "ok"
             };
+            let noise = if r.noisy {
+                format!(" (noisy: CoV {:.1}%)", r.cov * 100.0)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "| `{}` | {:.4} | {:.4} | {:+.1}% | {verdict} |\n",
+                "| `{}` | {:.4} | {:.4} | {:+.1}% | {verdict}{noise} |\n",
                 r.key,
                 r.baseline,
                 r.fresh,
@@ -160,8 +198,11 @@ fn flat_numbers(path: &str, content: &str) -> Result<Vec<(String, f64)>, String>
 ///
 /// With `keys: None`, gates every key containing `speedup` that is
 /// present in both files (and errors if there are none — a silent empty
-/// gate would pass vacuously). With an explicit key list, every named
-/// key must exist in both files.
+/// gate would pass vacuously). `<key>_cov` noise companions are never
+/// auto-gated — they describe the stability of a measurement, not its
+/// value — but when present they mark the gated key as noisy above
+/// [`NOISY_COV`]. With an explicit key list, every named key must exist
+/// in both files.
 pub fn diff(
     baseline_path: &str,
     baseline: &str,
@@ -194,7 +235,9 @@ pub fn diff(
         None => {
             let auto: Vec<String> = base
                 .iter()
-                .filter(|(k, _)| k.contains("speedup") && lookup(&new, k).is_some())
+                .filter(|(k, _)| {
+                    k.contains("speedup") && !k.ends_with("_cov") && lookup(&new, k).is_some()
+                })
                 .map(|(k, _)| k.clone())
                 .collect();
             if auto.is_empty() {
@@ -213,6 +256,10 @@ pub fn diff(
             let b = lookup(&base, key).expect("validated above");
             let f = lookup(&new, key).expect("validated above");
             let ratio = if b == 0.0 { 1.0 } else { f / b };
+            let companion = format!("{key}_cov");
+            let cov = lookup(&base, &companion)
+                .unwrap_or(0.0)
+                .max(lookup(&new, &companion).unwrap_or(0.0));
             DiffRow {
                 key: key.clone(),
                 baseline: b,
@@ -220,6 +267,8 @@ pub fn diff(
                 ratio,
                 regressed: f < b * (1.0 - threshold),
                 improved: f > b * (1.0 + threshold),
+                cov,
+                noisy: cov > NOISY_COV,
             }
         })
         .collect();
@@ -359,6 +408,46 @@ mod tests {
             .unwrap()
             .to_markdown("base.json", "fresh.json");
         assert!(clean.contains("Verdict: **ok**"), "{clean}");
+    }
+
+    #[test]
+    fn cov_companions_are_not_gated_but_mark_their_key_noisy() {
+        let base = r#"{"x_speedup":2.0,"x_speedup_cov":0.02,"y_speedup":1.5}"#;
+        let fresh = r#"{"x_speedup":2.0,"x_speedup_cov":0.14,"y_speedup":1.5}"#;
+        let r = diff("b.json", base, "f.json", fresh, 0.10, None).unwrap();
+        // The companion never appears as its own gated row...
+        assert_eq!(r.rows.len(), 2, "{:?}", r.rows);
+        assert!(r.rows.iter().all(|row| !row.key.ends_with("_cov")));
+        // ...but the worse side's CoV marks the gated key noisy.
+        let x = r.rows.iter().find(|row| row.key == "x_speedup").unwrap();
+        assert!(x.noisy);
+        assert!((x.cov - 0.14).abs() < 1e-12);
+        assert!(!x.regressed, "noise alone never fails the gate");
+        // A key without a companion is quiet by definition.
+        let y = r.rows.iter().find(|row| row.key == "y_speedup").unwrap();
+        assert!(!y.noisy);
+        assert_eq!(y.cov, 0.0);
+
+        let lines = r.noisy_lines();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("x_speedup: CoV 14.0%"), "{lines:?}");
+
+        let md = r.to_markdown("b.json", "f.json");
+        assert!(md.contains("| ok (noisy: CoV 14.0%) |"), "{md}");
+        assert!(md.contains("| `y_speedup` | 1.5000 | 1.5000 | +0.0% | ok |"));
+    }
+
+    #[test]
+    fn a_quiet_cov_stays_unflagged() {
+        let base = r#"{"x_speedup":2.0,"x_speedup_cov":0.02}"#;
+        let r = diff("b.json", base, "f.json", base, 0.10, None).unwrap();
+        assert!(!r.rows[0].noisy);
+        assert!(r.noisy_lines().is_empty());
+        // Explicitly naming a _cov key still gates it — the exclusion
+        // only shapes the default key set.
+        let keys = vec!["x_speedup_cov".to_string()];
+        let r = diff("b.json", base, "f.json", base, 0.10, Some(&keys)).unwrap();
+        assert_eq!(r.rows[0].key, "x_speedup_cov");
     }
 
     #[test]

@@ -11,7 +11,8 @@ use harpo_isa::program::Program;
 use harpo_isa::{from_container, to_container};
 use harpo_museqgen::{GenConstraints, Generator};
 use harpo_telemetry::{
-    effective_threads, JsonlSink, Metrics, Record, Sink, StderrSink, Telemetry, SCHEMA_VERSION,
+    effective_threads, JsonlSink, Metrics, Profiler, Record, Sink, StderrSink, Telemetry,
+    SCHEMA_VERSION,
 };
 use harpo_uarch::OooCore;
 use std::sync::Arc;
@@ -23,16 +24,19 @@ pub fn usage() {
 
 USAGE:
   harpo refine   --structure <s> [--scale reduced|paper] [--out test.hxpf] [--threads N]
-                 [--journal run.jsonl] [--stream-every N] [--quiet] [--verbose]
+                 [--journal run.jsonl] [--stream-every N] [--profile] [--sample-ms N]
+                 [--quiet] [--verbose]
   harpo generate --insts <n> [--seed <n>] [--out test.hxpf]
   harpo grade    --structure <s> [--faults N] [--journal run.jsonl] [--stream-ms N]
-                 [--budget-ms N] [--quiet] [--verbose] <test.hxpf>
+                 [--budget-ms N] [--profile] [--quiet] [--verbose] <test.hxpf>
   harpo autopsy  --structure <s> [--faults N] [--seed N] [--journal run.jsonl]
                  [--heatmap heatmap.json] [--trace trace.json] [--quiet] [--verbose]
                  <test.hxpf>
   harpo simulate <test.hxpf>
   harpo disasm   [--limit N] <test.hxpf>
   harpo report   <run.jsonl | BENCH_*.json>... [--out REPORT.md] [--trace trace.json]
+  harpo profile  <run.jsonl> [--top N] [--out PROFILE.md] [--folded f.folded]
+                 [--speedscope s.json]
   harpo diff     <a.jsonl> <b.jsonl> [--out DIFF.md]
   harpo archive  <run.jsonl | BENCH_*.json>... [--index results/history.jsonl] [--id name]
   harpo history  [--index results/history.jsonl] [--out HISTORY.md]
@@ -65,6 +69,15 @@ OBSERVABILITY:
                     boundary after N ms, journalling a resumable cursor
   --stream-every N  refine: journal progress/resource records every N
                     rounds plus evaluator heartbeats (0 = off)
+  --profile         refine/grade: journal schema-v6 `profile` records
+                    (per-thread span self-times) and `cost` records
+                    (per-fault-class replay cost); off by default and
+                    free when off, search/outcomes bit-identical
+  --sample-ms N     refine: with --profile, also run the sampling
+                    ticker at N ms cadence (0 = off, the default)
+  harpo profile     render a profiled journal: top-N hotspot table,
+                    sampling tallies, per-fault cost matrix; --folded /
+                    --speedscope export flamegraph + speedscope files
   harpo watch       tail a live journal: progress bar, ETA, outcome
                     counts, per-worker heartbeats, stall alerts
   --verbose         mirror journal records to stderr, human-readable
@@ -73,7 +86,7 @@ OBSERVABILITY:
 }
 
 /// Switch names shared by the journalling subcommands.
-pub(crate) const SWITCHES: &[&str] = &["quiet", "verbose"];
+pub(crate) const SWITCHES: &[&str] = &["quiet", "verbose", "profile"];
 
 /// Builds the telemetry handle from `--journal` / `--verbose`.
 pub(crate) fn telemetry_of(args: &Args) -> Result<Telemetry, String> {
@@ -161,13 +174,21 @@ pub fn refine(argv: &[String]) -> Result<(), String> {
             loop_cfg.population, loop_cfg.top_k, loop_cfg.iterations, constraints.n_insts
         );
     }
-    let h = Harpocrates::new(
+    let mut h = Harpocrates::new(
         Generator::new(constraints),
         Evaluator::new(OooCore::default(), structure),
         loop_cfg,
     )
     .with_telemetry(telemetry)
     .with_streaming(args.num("stream-every", 0)?);
+    if args.has("profile") {
+        let profiler = Profiler::new();
+        let sample_ms: u64 = args.num("sample-ms", 0)?;
+        if sample_ms > 0 {
+            profiler.start_sampler(std::time::Duration::from_millis(sample_ms));
+        }
+        h = h.with_profiler(profiler);
+    }
     let report = h.run();
     if !quiet {
         for s in &report.samples {
@@ -224,6 +245,7 @@ pub fn grade(argv: &[String]) -> Result<(), String> {
     let ccfg = CampaignConfig {
         n_faults: args.num("faults", 128)?,
         threads: args.num("threads", 0)?,
+        profile: args.has("profile"),
         stream: StreamSettings {
             cadence_ms: args.num("stream-ms", 0)?,
             wall_budget_ms: args.num("budget-ms", 0)?,

@@ -10,5 +10,6 @@ pub mod args;
 pub mod autopsy;
 pub mod commands;
 pub mod diff;
+pub mod profile;
 pub mod report;
 pub mod watch;

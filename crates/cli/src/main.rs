@@ -10,6 +10,8 @@
 //! harpo simulate t.hxpf
 //! harpo disasm   t.hxpf [--limit 40]
 //! harpo report   run.jsonl [BENCH_pipeline.json ...] [--out REPORT.md] [--trace trace.json]
+//! harpo profile  run.jsonl [--top N] [--out PROFILE.md] [--folded f.folded]
+//!                [--speedscope s.json]
 //! harpo diff     a.jsonl b.jsonl [--out DIFF.md]
 //! harpo archive  run.jsonl [BENCH_*.json ...] [--index results/history.jsonl] [--id name]
 //! harpo history  [--index results/history.jsonl] [--out HISTORY.md]
@@ -22,6 +24,7 @@ mod args;
 mod autopsy;
 mod commands;
 mod diff;
+mod profile;
 mod report;
 mod watch;
 
@@ -40,6 +43,7 @@ fn main() {
         "simulate" => commands::simulate(&argv),
         "disasm" => commands::disasm(&argv),
         "report" => report::report(&argv),
+        "profile" => profile::profile(&argv),
         "diff" => diff::diff_cmd(&argv),
         "archive" => archive::archive(&argv),
         "history" => archive::history(&argv),

@@ -1,0 +1,411 @@
+//! `harpo profile` — where the cycles go.
+//!
+//! Consumes a JSONL run journal carrying schema-v6 `profile` and `cost`
+//! records (written by `harpo refine --profile` / `harpo grade
+//! --profile`) and renders the cost-attribution view: a top-N hotspot
+//! table with self/total time per span stack, the per-thread self-time
+//! coverage check, the sampling-ticker tallies, and the per-fault-class
+//! replay cost matrix from the SFI campaign. `--folded` and
+//! `--speedscope` additionally export the profile as collapsed-stack
+//! lines (flamegraph.pl / inferno) and a speedscope JSON document.
+//!
+//! Rendering is a pure function of the input bytes, like `harpo
+//! report`: no clocks, no environment, so a committed journal renders
+//! byte-identically forever (the golden snapshot test relies on this).
+
+use crate::args::Args;
+use harpo_telemetry::json::{self, Value};
+use harpo_telemetry::{folded_lines, latest_profiles, speedscope_json, SCHEMA_VERSION};
+use std::fmt::Write as _;
+
+/// `harpo profile` entry point.
+pub fn profile(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("profile needs a <run.jsonl> argument")?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let records = parse_journal(path, &content)?;
+    let top: usize = args.num("top", 20)?;
+    let md = render(&records, top);
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &md).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        None => print!("{md}"),
+    }
+    let profiles = records_of(&records, "profile");
+    if let Some(fp) = args.get("folded") {
+        std::fs::write(fp, folded_lines(&profiles)).map_err(|e| format!("{fp}: {e}"))?;
+        println!("wrote {fp}");
+    }
+    if let Some(sp) = args.get("speedscope") {
+        std::fs::write(sp, speedscope_json(&profiles, path)).map_err(|e| format!("{sp}: {e}"))?;
+        println!("wrote {sp}");
+    }
+    Ok(())
+}
+
+/// Parses a JSONL journal, tolerating a torn final line and refusing
+/// newer schema versions — same contract as `harpo report`.
+fn parse_journal(path: &str, content: &str) -> Result<Vec<Value>, String> {
+    let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut records = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(_) if i + 1 == lines.len() => break,
+            Err(e) => return Err(format!("{path}:{}: {e}", i + 1)),
+        };
+        let ver = v.get("v").and_then(Value::as_u64).unwrap_or(1);
+        if ver > SCHEMA_VERSION {
+            return Err(format!(
+                "{path}:{}: journal schema v{ver} is newer than this build reads \
+                 (v{SCHEMA_VERSION}); upgrade harpo to analyze it",
+                i + 1
+            ));
+        }
+        records.push(v);
+    }
+    Ok(records)
+}
+
+/// The records of one kind, in file order.
+fn records_of<'a>(records: &'a [Value], kind: &str) -> Vec<&'a Value> {
+    records
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some(kind))
+        .collect()
+}
+
+fn u(v: Option<&Value>) -> u64 {
+    v.and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn s<'a>(v: Option<&'a Value>, default: &'a str) -> &'a str {
+    v.and_then(Value::as_str).unwrap_or(default)
+}
+
+/// Renders the profile view for a parsed journal. Pure: same records
+/// in, same bytes out.
+pub fn render(records: &[Value], top: usize) -> String {
+    let mut out = String::new();
+    out.push_str("# Where the cycles go\n\n");
+    let profiles = latest_profiles(&records_of(records, "profile"));
+    let costs = records_of(records, "cost");
+    let campaigns = records_of(records, "campaign");
+    if profiles.is_empty() && costs.is_empty() {
+        out.push_str(
+            "_No `profile` or `cost` records — run with `--profile` \
+             to collect them._\n",
+        );
+        return out;
+    }
+    if !profiles.is_empty() {
+        render_hotspots(&mut out, &profiles, top);
+        render_samples(&mut out, &profiles);
+    }
+    render_cost(
+        &mut out,
+        "## Per-fault cost attribution",
+        &costs,
+        &campaigns,
+    );
+    out
+}
+
+/// One hotspot row: a frame from one thread's latest profile record.
+struct Hotspot<'a> {
+    source: &'a str,
+    thread: u64,
+    stack: &'a str,
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    p99_ns: u64,
+}
+
+fn frames_of<'a>(profiles: &[&'a Value]) -> Vec<Hotspot<'a>> {
+    let mut rows = Vec::new();
+    for rec in profiles {
+        let source = s(rec.get("source"), "?");
+        let thread = u(rec.get("thread"));
+        let Some(Value::Arr(frames)) = rec.get("frames") else {
+            continue;
+        };
+        for f in frames {
+            rows.push(Hotspot {
+                source,
+                thread,
+                stack: s(f.get("stack"), "?"),
+                count: u(f.get("count")),
+                total_ns: u(f.get("total_ns")),
+                self_ns: u(f.get("self_ns")),
+                p99_ns: u(f.get("p99_ns")),
+            });
+        }
+    }
+    rows
+}
+
+fn render_hotspots(out: &mut String, profiles: &[&Value], top: usize) {
+    let mut rows = frames_of(profiles);
+    // Self-time coverage: per thread, the frame self-times are an exact
+    // decomposition of the root spans' totals, so the sums must agree
+    // (within the integer truncation of each span's nanosecond clock).
+    let self_total: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let root_total: u64 = rows
+        .iter()
+        .filter(|r| !r.stack.contains(';'))
+        .map(|r| r.total_ns)
+        .sum();
+    let coverage = if root_total == 0 {
+        0.0
+    } else {
+        self_total as f64 / root_total as f64
+    };
+    rows.sort_by(|a, b| {
+        b.self_ns
+            .cmp(&a.self_ns)
+            .then_with(|| a.stack.cmp(b.stack))
+            .then_with(|| (a.source, a.thread).cmp(&(b.source, b.thread)))
+    });
+    let shown = rows.len().min(top);
+    let _ = writeln!(
+        out,
+        "## Hotspots (top {shown} of {} by self time)\n",
+        rows.len()
+    );
+    out.push_str(
+        "| rank | thread | stack | self | total | count | p99 |\n|---|---|---|---|---|---|---|\n",
+    );
+    for (i, r) in rows.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            "| {} | {}/t{} | `{}` | {} | {} | {} | {} |",
+            i + 1,
+            r.source,
+            r.thread,
+            r.stack,
+            fmt_ns(r.self_ns),
+            fmt_ns(r.total_ns),
+            r.count,
+            fmt_ns(r.p99_ns),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nSelf-time accounting covers {} of the profiled root span time \
+         ({} self across {} frame(s) vs {} root total on {} thread(s)).\n",
+        fmt_pct(coverage),
+        fmt_ns(self_total),
+        rows.len(),
+        fmt_ns(root_total),
+        profiles.len(),
+    );
+}
+
+fn render_samples(out: &mut String, profiles: &[&Value]) {
+    let mut rows: Vec<(String, u64)> = Vec::new();
+    for rec in profiles {
+        let source = s(rec.get("source"), "?");
+        let thread = u(rec.get("thread"));
+        let Some(Value::Arr(samples)) = rec.get("samples") else {
+            continue;
+        };
+        for sm in samples {
+            rows.push((
+                format!("{source}/t{thread};{}", s(sm.get("stack"), "?")),
+                u(sm.get("count")),
+            ));
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out.push_str("## Sampling ticker\n\n");
+    out.push_str("| stack | samples |\n|---|---|\n");
+    for (stack, count) in &rows {
+        let _ = writeln!(out, "| `{stack}` | {count} |");
+    }
+    out.push('\n');
+}
+
+/// Renders the per-fault cost attribution section from `cost` records:
+/// the replay cost matrix by (structure × program × fault model ×
+/// outcome class), the replay-instruction attribution check against the
+/// `campaign` records, and the journalled netlist compile times. Shared
+/// with `harpo report`'s Cost section.
+pub(crate) fn render_cost(out: &mut String, heading: &str, costs: &[&Value], campaigns: &[&Value]) {
+    let replay: Vec<&&Value> = costs
+        .iter()
+        .filter(|c| c.get("scope").and_then(Value::as_str) == Some("replay"))
+        .collect();
+    let compile: Vec<&&Value> = costs
+        .iter()
+        .filter(|c| c.get("scope").and_then(Value::as_str) == Some("compile"))
+        .collect();
+    if replay.is_empty() && compile.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "{heading}\n");
+    if !replay.is_empty() {
+        out.push_str(
+            "| structure | program | model | outcome | faults | replay insts | replay wall |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        let mut attributed = 0u64;
+        for c in &replay {
+            attributed += u(c.get("replay_insts"));
+            let _ = writeln!(
+                out,
+                "| {} | `{}` | {} | {} | {} | {} | {} |",
+                s(c.get("structure"), "?"),
+                s(c.get("program"), "?"),
+                s(c.get("model"), "?"),
+                s(c.get("outcome"), "?"),
+                u(c.get("faults")),
+                u(c.get("replay_insts")),
+                fmt_ns(u(c.get("replay_ns"))),
+            );
+        }
+        out.push('\n');
+        let campaign_insts: u64 = campaigns.iter().map(|c| u(c.get("replay_insts"))).sum();
+        if campaign_insts > 0 {
+            let _ = writeln!(
+                out,
+                "Attributed {} of {} campaign replay instructions ({}).\n",
+                attributed,
+                campaign_insts,
+                fmt_pct(attributed as f64 / campaign_insts as f64),
+            );
+        }
+    }
+    for c in &compile {
+        let _ = writeln!(
+            out,
+            "Netlist compile ({} / `{}`, {}): {}.",
+            s(c.get("structure"), "?"),
+            s(c.get("program"), "?"),
+            s(c.get("model"), "?"),
+            fmt_ns(u(c.get("netlist_compile_ns"))),
+        );
+    }
+    if !compile.is_empty() {
+        out.push('\n');
+    }
+}
+
+/// Formats nanoseconds with a readable unit (same fixed-precision
+/// scheme as `harpo report`, so the two renderings agree).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal() -> Vec<Value> {
+        [
+            // An interim snapshot that the final one supersedes.
+            r#"{"kind":"profile","v":6,"source":"refine","thread":0,"frames":[{"stack":"refine","count":1,"total_ns":100,"self_ns":100,"max_ns":100,"p99_ns":100}]}"#,
+            r#"{"kind":"profile","v":6,"source":"refine","thread":0,"frames":[{"stack":"refine","count":1,"total_ns":1000,"self_ns":100,"max_ns":1000,"p99_ns":1000},{"stack":"refine;evaluation","count":4,"total_ns":700,"self_ns":700,"max_ns":300,"p99_ns":300},{"stack":"refine;mutation","count":4,"total_ns":200,"self_ns":200,"max_ns":80,"p99_ns":80}],"samples":[{"stack":"refine;evaluation","count":6}]}"#,
+            r#"{"kind":"cost","v":6,"scope":"replay","structure":"IRF","program":"t0","model":"transient","outcome":"masked","faults":61,"replay_insts":363,"replay_ns":2000000}"#,
+            r#"{"kind":"cost","v":6,"scope":"replay","structure":"IRF","program":"t0","model":"transient","outcome":"sdc","faults":1,"replay_insts":121,"replay_ns":500000}"#,
+            r#"{"kind":"cost","v":6,"scope":"compile","structure":"IRF","program":"t0","model":"transient","netlist_compile_ns":1500000}"#,
+            r#"{"kind":"campaign","v":6,"program":"t0","structure":"IRF","faults":64,"replays":6,"replay_insts":484}"#,
+        ]
+        .iter()
+        .map(|l| json::parse(l).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn hotspot_table_ranks_by_self_time_and_checks_coverage() {
+        let md = render(&journal(), 20);
+        assert!(md.contains("## Hotspots (top 3 of 3 by self time)"), "{md}");
+        // evaluation (700) > mutation (200) > root self (100).
+        assert!(
+            md.contains("| 1 | refine/t0 | `refine;evaluation` | 700 ns | 700 ns | 4 | 300 ns |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| 2 | refine/t0 | `refine;mutation` | 200 ns |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| 3 | refine/t0 | `refine` | 100 ns | 1.00 us |"),
+            "{md}"
+        );
+        // 100 + 700 + 200 == 1000: exact decomposition of the root.
+        assert!(
+            md.contains("covers 100.00% of the profiled root span time"),
+            "{md}"
+        );
+        // The superseded interim snapshot contributed nothing.
+        assert!(!md.contains("| 100 ns | 100 ns |"), "{md}");
+    }
+
+    #[test]
+    fn sampler_tallies_render() {
+        let md = render(&journal(), 20);
+        assert!(md.contains("## Sampling ticker"), "{md}");
+        assert!(md.contains("| `refine/t0;refine;evaluation` | 6 |"), "{md}");
+    }
+
+    #[test]
+    fn cost_matrix_attributes_campaign_replays() {
+        let md = render(&journal(), 20);
+        assert!(md.contains("## Per-fault cost attribution"), "{md}");
+        assert!(
+            md.contains("| IRF | `t0` | transient | masked | 61 | 363 | 2.00 ms |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| IRF | `t0` | transient | sdc | 1 | 121 | 500.00 us |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("Attributed 484 of 484 campaign replay instructions (100.00%)."),
+            "{md}"
+        );
+        assert!(
+            md.contains("Netlist compile (IRF / `t0`, transient): 1.50 ms."),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn top_limits_the_table() {
+        let md = render(&journal(), 1);
+        assert!(md.contains("## Hotspots (top 1 of 3 by self time)"), "{md}");
+        assert!(!md.contains("`refine;mutation`"), "{md}");
+    }
+
+    #[test]
+    fn empty_journal_says_so() {
+        let md = render(&[], 20);
+        assert!(md.contains("No `profile` or `cost` records"), "{md}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(render(&journal(), 20), render(&journal(), 20));
+    }
+}

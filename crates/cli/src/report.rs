@@ -139,6 +139,8 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     let stalls = of("stall");
     let cursors = of("cursor");
     let runs = of("run");
+    let profiles = of("profile");
+    let costs = of("cost");
 
     if let Some(s) = summaries.first() {
         render_summary(out, s);
@@ -155,6 +157,11 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
     }
     if !campaigns.is_empty() {
         render_campaigns(out, &campaigns);
+    }
+    // Cost attribution (schema v6): `cost` records plus the hottest
+    // span from the latest `profile` record per thread.
+    if !costs.is_empty() || !profiles.is_empty() {
+        render_cost_section(out, &profiles, &costs, &campaigns);
     }
     if !autopsies.is_empty() || !heatmaps.is_empty() {
         render_forensics(out, &autopsies, &heatmaps);
@@ -176,6 +183,8 @@ fn render_journal(out: &mut String, path: &str, records: &[Value]) {
         && stalls.is_empty()
         && cursors.is_empty()
         && runs.is_empty()
+        && profiles.is_empty()
+        && costs.is_empty()
     {
         let _ = writeln!(
             out,
@@ -454,6 +463,45 @@ fn render_campaigns(out: &mut String, campaigns: &[&Value]) {
         );
     }
     out.push('\n');
+}
+
+/// Cost attribution (schema v6): where the campaign's cycles went.
+/// The per-fault-class replay cost matrix and journalled netlist
+/// compile times come from `cost` records (rendered by the shared
+/// `harpo profile` helper); the hotspot summary keeps one line per
+/// thread — the full table is `harpo profile`'s job.
+fn render_cost_section(
+    out: &mut String,
+    profiles: &[&Value],
+    costs: &[&Value],
+    campaigns: &[&Value],
+) {
+    crate::profile::render_cost(out, "### Cost attribution", costs, campaigns);
+    let latest = harpo_telemetry::latest_profiles(profiles);
+    let mut lines = Vec::new();
+    for rec in latest {
+        if let Some((stack, self_ns)) = harpo_telemetry::hottest_frame(rec) {
+            lines.push(format!(
+                "- {}/t{}: hottest span `{stack}` ({} self time)",
+                rec.get("source").and_then(Value::as_str).unwrap_or("?"),
+                u(rec.get("thread")),
+                fmt_ns(self_ns),
+            ));
+        }
+    }
+    if !lines.is_empty() {
+        if costs.is_empty() {
+            // `render_cost` had nothing to head the section with.
+            out.push_str("### Cost attribution\n\n");
+        }
+        out.push_str(
+            "Hottest span per profiled thread (see `harpo profile` for the full table):\n\n",
+        );
+        for line in &lines {
+            let _ = writeln!(out, "{line}");
+        }
+        out.push('\n');
+    }
 }
 
 /// Masking-mechanism labels in the fixed presentation order (matches

@@ -144,6 +144,9 @@ pub struct WatchState {
     pub cursor: Option<Value>,
     /// Latest `iteration` record (refinement runs).
     pub iteration: Option<Value>,
+    /// Latest `profile` record per (source, thread) — cumulative
+    /// snapshots, so the last one supersedes the rest (schema v6).
+    pub profiles: BTreeMap<(String, u64), Value>,
     /// A terminal record (`summary` / `campaign`) has been seen.
     pub finished: bool,
 }
@@ -187,6 +190,10 @@ impl WatchState {
             Some("stall") => self.stalls.push(v),
             Some("cursor") => self.cursor = Some(v),
             Some("iteration") => self.iteration = Some(v),
+            Some("profile") => {
+                let key = (s(v.get("source"), "?").to_string(), u(v.get("thread")));
+                self.profiles.insert(key, v);
+            }
             Some("summary") | Some("campaign") => self.finished = true,
             _ => {}
         }
@@ -218,6 +225,22 @@ impl WatchState {
         }
         if let Some(i) = &self.iteration {
             fields.push(("iteration".into(), i.clone()));
+        }
+        if !self.profiles.is_empty() {
+            let hottest: Vec<Value> = self
+                .profiles
+                .iter()
+                .filter_map(|((source, thread), p)| {
+                    let (stack, self_ns) = harpo_telemetry::hottest_frame(p)?;
+                    Some(Value::Obj(vec![
+                        ("source".into(), Value::Str(source.clone())),
+                        ("thread".into(), Value::U64(*thread)),
+                        ("stack".into(), Value::Str(stack)),
+                        ("self_ns".into(), Value::U64(self_ns)),
+                    ]))
+                })
+                .collect();
+            fields.push(("hottest".into(), Value::Arr(hottest)));
         }
         Value::Obj(fields)
     }
@@ -281,6 +304,15 @@ impl WatchState {
                 f(i.get("best")),
                 f(i.get("champion")),
             );
+        }
+        for ((source, thread), p) in &self.profiles {
+            if let Some((stack, self_ns)) = harpo_telemetry::hottest_frame(p) {
+                let _ = writeln!(
+                    out,
+                    "hottest: {source}/t{thread} `{stack}` ({:.1} ms self)",
+                    self_ns as f64 / 1e6,
+                );
+            }
         }
         if !self.workers.is_empty() {
             let _ = writeln!(out, "workers:");
@@ -481,6 +513,31 @@ mod tests {
         st.ingest(r#"{"kind":"campaign","v":4,"detection":0.5}"#)
             .unwrap();
         assert!(st.finished);
+    }
+
+    #[test]
+    fn hottest_span_shows_when_profiling_is_on() {
+        let mut st = WatchState::default();
+        // An interim snapshot, then the cumulative one that supersedes it.
+        st.ingest(r#"{"kind":"profile","v":6,"source":"refine","thread":0,"frames":[{"stack":"refine;mutation","count":1,"total_ns":5000000,"self_ns":5000000,"max_ns":5000000,"p99_ns":5000000}]}"#).unwrap();
+        st.ingest(r#"{"kind":"profile","v":6,"source":"refine","thread":0,"frames":[{"stack":"refine;mutation","count":2,"total_ns":9000000,"self_ns":9000000,"max_ns":5000000,"p99_ns":5000000},{"stack":"refine;evaluation","count":2,"total_ns":80000000,"self_ns":80000000,"max_ns":41000000,"p99_ns":41000000}]}"#).unwrap();
+        assert_eq!(st.profiles.len(), 1, "latest per (source, thread)");
+        let screen = st.render("run.jsonl");
+        assert!(
+            screen.contains("hottest: refine/t0 `refine;evaluation` (80.0 ms self)"),
+            "{screen}"
+        );
+        let j = st.to_json();
+        let hottest = j.get("hottest").and_then(Value::as_arr).unwrap();
+        assert_eq!(hottest.len(), 1);
+        assert_eq!(
+            hottest[0].get("stack").and_then(Value::as_str),
+            Some("refine;evaluation")
+        );
+        assert_eq!(
+            hottest[0].get("self_ns").and_then(Value::as_u64),
+            Some(80_000_000)
+        );
     }
 
     #[test]

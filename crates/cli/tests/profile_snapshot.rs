@@ -1,0 +1,95 @@
+//! Golden snapshot of `harpo profile`: rendering the committed journal
+//! must reproduce the committed profile byte-for-byte.
+//!
+//! Like the report snapshot, rendering is a pure function of the
+//! journal bytes, so this pins the whole profile pipeline — hotspot
+//! ranking, self/total accounting, cost attribution, number formatting.
+//! Regenerate together with the journal:
+//!
+//! ```text
+//! cargo run --example golden_journal
+//! cargo run -p harpo-cli --bin harpo -- profile tests/data/golden_run.jsonl \
+//!     --out tests/data/golden_profile.md
+//! ```
+
+use harpo_cli::profile::render;
+use harpo_telemetry::json::{self, Value};
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn parse_journal(content: &str) -> Vec<Value> {
+    content
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| json::parse(l).expect("golden journal line parses"))
+        .collect()
+}
+
+#[test]
+fn golden_profile_is_byte_identical() {
+    let records = parse_journal(&repo_file("tests/data/golden_run.jsonl"));
+    let rendered = render(&records, 20);
+    let committed = repo_file("tests/data/golden_profile.md");
+    assert_eq!(
+        rendered, committed,
+        "profile output drifted from tests/data/golden_profile.md — \
+         if the change is intentional, regenerate the golden files \
+         (see this test's module docs)"
+    );
+}
+
+/// The structural invariants the ISSUE acceptance rests on, asserted
+/// directly on the committed journal rather than on rendered text: the
+/// hotspot self times must sum to the root span's total within 1%, and
+/// the cost matrix must attribute at least 99% of the campaign's
+/// replayed instructions.
+#[test]
+fn golden_profile_accounting_is_tight() {
+    let records = parse_journal(&repo_file("tests/data/golden_run.jsonl"));
+    let refs: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some("profile"))
+        .collect();
+    let profiles = harpo_telemetry::latest_profiles(&refs);
+    assert!(!profiles.is_empty(), "golden journal carries no profile");
+
+    let mut self_sum = 0u64;
+    let mut root_total = 0u64;
+    for p in &profiles {
+        for f in p.get("frames").and_then(Value::as_arr).unwrap() {
+            let self_ns = f.get("self_ns").and_then(Value::as_u64).unwrap();
+            self_sum += self_ns;
+            if f.get("stack").and_then(Value::as_str) == Some("refine") {
+                root_total += f.get("total_ns").and_then(Value::as_u64).unwrap();
+            }
+        }
+    }
+    assert!(root_total > 0, "no root span in golden profile");
+    let coverage = self_sum as f64 / root_total as f64;
+    assert!(
+        (coverage - 1.0).abs() < 0.01,
+        "self times cover {coverage:.4} of the root total, want within 1%"
+    );
+
+    let mut attributed = 0u64;
+    for r in &records {
+        if r.get("kind").and_then(Value::as_str) == Some("cost")
+            && r.get("scope").and_then(Value::as_str) == Some("replay")
+        {
+            attributed += r.get("replay_insts").and_then(Value::as_u64).unwrap();
+        }
+    }
+    let campaign_insts: u64 = records
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some("campaign"))
+        .map(|r| r.get("replay_insts").and_then(Value::as_u64).unwrap())
+        .sum();
+    assert!(campaign_insts > 0, "no campaign in golden journal");
+    assert!(
+        attributed as f64 >= campaign_insts as f64 * 0.99,
+        "cost records attribute {attributed} of {campaign_insts} replay insts, want >= 99%"
+    );
+}

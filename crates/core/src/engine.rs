@@ -24,7 +24,9 @@ use crate::evaluator::{Evaluator, RoundStats};
 use crate::memo::fingerprint;
 use harpo_isa::program::Program;
 use harpo_museqgen::{Generator, MutationOp, Mutator};
-use harpo_telemetry::{rss_bytes, Counter, EwmaRate, Metrics, Record, Span, Telemetry, Value};
+use harpo_telemetry::{
+    rss_bytes, Counter, EwmaRate, Metrics, Profiler, Record, Span, Telemetry, Value,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
@@ -172,6 +174,7 @@ pub struct Harpocrates {
     operators: Vec<MutationOp>,
     memo_enabled: bool,
     stream_every: usize,
+    profiler: Option<Profiler>,
 }
 
 impl Harpocrates {
@@ -191,6 +194,7 @@ impl Harpocrates {
             operators: vec![MutationOp::ReplaceAll],
             memo_enabled: true,
             stream_every: 0,
+            profiler: None,
         }
     }
 
@@ -245,6 +249,19 @@ impl Harpocrates {
     /// regression tests assert.
     pub fn with_memo(mut self, enabled: bool) -> Harpocrates {
         self.memo_enabled = enabled;
+        self
+    }
+
+    /// Attaches a [`Profiler`] (schema v6): the loop wraps each stage in
+    /// a profiler span under a `refine` root, so the journal gains
+    /// per-thread `profile` records with self-time accounting — one
+    /// interim record per streaming tick (when streaming is on, so
+    /// `harpo watch` can show the hottest span live) and a final record
+    /// before the summary. Profiling is strictly observational: the
+    /// search trajectory and canonical journal are bit-identical with it
+    /// on or off, and with no profiler attached the loop pays nothing.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Harpocrates {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -326,8 +343,15 @@ impl Harpocrates {
         let mut timing = LoopTiming::default();
         let n_insts = self.generator.constraints().n_insts as u64;
 
+        // Self-time profiling (schema v6): stage spans nest under one
+        // `refine` root so each stage's self-time is its wall time and
+        // the root's self-time is the loop's own bookkeeping overhead.
+        let prof = self.profiler.as_ref();
+        let root_span = prof.map(|p| p.span("refine"));
+
         // Step 0: initial population.
         let mut population: Vec<Program> = {
+            let _p = prof.map(|p| p.span("generation"));
             let _s = Span::enter(&mut timing.generation).with_histogram(h_generation);
             (0..self.cfg.population)
                 .map(|i| {
@@ -340,6 +364,7 @@ impl Harpocrates {
         // "Compilation": lower to machine code (the artefact a real
         // deployment would ship; the simulator consumes the IR directly).
         {
+            let _p = prof.map(|p| p.span("compilation"));
             let _s = Span::enter(&mut timing.compilation).with_histogram(h_compilation.clone());
             let mut code_bytes = 0u64;
             for p in &population {
@@ -386,6 +411,7 @@ impl Harpocrates {
             // bit-identical to a fresh one either way).
             let eval_before = timing.evaluation;
             let scores = {
+                let _p = prof.map(|p| p.span("evaluation"));
                 let _s = Span::enter(&mut timing.evaluation).with_histogram(h_evaluation.clone());
                 if self.memo_enabled {
                     self.score_population(&population, &mut memo, &cache_hits, &cache_misses)
@@ -515,6 +541,12 @@ impl Harpocrates {
                 last_hits = hits;
                 last_misses = misses;
                 last_steals = steals;
+                // Interim profile snapshot so `harpo watch` can show the
+                // hottest span mid-run. Profile records are cumulative;
+                // consumers keep the last one per thread.
+                if let Some(p) = prof {
+                    p.publish("refine", &self.telemetry);
+                }
             }
 
             // One `lineage` record per operator active this round, and
@@ -559,6 +591,7 @@ impl Harpocrates {
             // operator set.
             let mut_before = timing.mutation;
             {
+                let _p = prof.map(|p| p.span("mutation"));
                 let _s = Span::enter(&mut timing.mutation).with_histogram(h_mutation.clone());
                 let m = self.cfg.offspring_per_parent();
                 population = Vec::with_capacity(self.cfg.population);
@@ -589,6 +622,7 @@ impl Harpocrates {
             // the offspring artefacts.
             let comp_before = timing.compilation;
             {
+                let _p = prof.map(|p| p.span("compilation"));
                 let _s = Span::enter(&mut timing.compilation).with_histogram(h_compilation.clone());
                 for p in &population {
                     std::hint::black_box(p.encode());
@@ -599,6 +633,13 @@ impl Harpocrates {
 
         timing.total = t_total.elapsed();
         timing.iterations = self.cfg.iterations;
+        // Close the root span before the final snapshot so its
+        // self-time (loop bookkeeping outside the four stages) is
+        // committed, then journal the definitive profile record.
+        drop(root_span);
+        if let Some(p) = prof {
+            p.publish("refine", &self.telemetry);
+        }
         let (champion_coverage, champion) = survivors.swap_remove(0);
 
         // Rank operators by realized gain (ties broken by label so the
@@ -946,6 +987,98 @@ mod tests {
         assert_eq!(
             plain.samples.last().unwrap().top_coverages,
             journalled.samples.last().unwrap().top_coverages
+        );
+    }
+
+    #[test]
+    fn profiler_journals_stage_self_times() {
+        use harpo_telemetry::{latest_profiles, MemorySink, Profiler};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemorySink::new());
+        let profiler = Profiler::new();
+        tiny_harpocrates(TargetStructure::IntAdder, 4)
+            .with_profiler(profiler.clone())
+            .with_streaming(2)
+            .with_telemetry(Telemetry::to(mem.clone()))
+            .run();
+
+        // Streaming ticks publish interim snapshots plus the final one;
+        // consumers keep only the last (cumulative) record per thread.
+        let profiles = mem.records_of("profile");
+        assert!(profiles.len() >= 2, "interim + final snapshots");
+        let values: Vec<harpo_telemetry::Value> = profiles
+            .iter()
+            .map(|r| harpo_telemetry::json::parse(&r.to_json()).unwrap())
+            .collect();
+        let refs: Vec<&harpo_telemetry::Value> = values.iter().collect();
+        let latest = latest_profiles(&refs);
+        assert_eq!(latest.len(), 1, "the loop profiles one thread");
+        let frames = match latest[0].get("frames") {
+            Some(harpo_telemetry::Value::Arr(fs)) => fs,
+            other => panic!("frames missing: {other:?}"),
+        };
+        let stack =
+            |f: &harpo_telemetry::Value| f.get("stack").unwrap().as_str().unwrap().to_string();
+        let stacks: Vec<String> = frames.iter().map(stack).collect();
+        for expect in [
+            "refine",
+            "refine;generation",
+            "refine;compilation",
+            "refine;evaluation",
+            "refine;mutation",
+        ] {
+            assert!(stacks.iter().any(|s| s == expect), "missing {expect}");
+        }
+        // Self-time decomposition: the root's total equals its self time
+        // plus every direct child's total, exactly.
+        let field = |f: &harpo_telemetry::Value, k: &str| f.get(k).unwrap().as_u64().unwrap();
+        let root = frames.iter().find(|f| stack(f) == "refine").unwrap();
+        let child_total: u64 = frames
+            .iter()
+            .filter(|f| stack(f) != "refine")
+            .map(|f| field(f, "total_ns"))
+            .sum();
+        assert_eq!(
+            field(root, "self_ns") + child_total,
+            field(root, "total_ns")
+        );
+        // The snapshot API agrees with the journalled record.
+        let snap = profiler.snapshot();
+        assert_eq!(snap.threads.len(), 1);
+        assert_eq!(snap.threads[0].frames.len(), frames.len());
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_search_or_canonical_journal() {
+        use harpo_telemetry::{canonical_journal, MemorySink, Profiler};
+        use std::sync::Arc;
+
+        let journal_of = |profiled: bool| {
+            let mem = Arc::new(MemorySink::new());
+            let mut h = tiny_harpocrates(TargetStructure::IntMultiplier, 4)
+                .with_telemetry(Telemetry::to(mem.clone()));
+            if profiled {
+                h = h.with_profiler(Profiler::new());
+            }
+            let r = h.run();
+            let text: String = mem
+                .records()
+                .iter()
+                .map(|rec| format!("{}\n", rec.to_json()))
+                .collect();
+            (r, text)
+        };
+        let (plain, plain_text) = journal_of(false);
+        let (profiled, profiled_text) = journal_of(true);
+        assert_eq!(plain.champion_coverage, profiled.champion_coverage);
+        assert_eq!(plain.champion.insts, profiled.champion.insts);
+        // Byte-identity: profiling adds only `profile` records, which
+        // canonicalisation strips along with wall-clock fields.
+        assert_ne!(plain_text, profiled_text, "profiled run journals more");
+        assert_eq!(
+            canonical_journal(&plain_text),
+            canonical_journal(&profiled_text)
         );
     }
 }

@@ -8,12 +8,13 @@
 //! [`crate::gate`] before paying for a functional replay.
 
 use crate::autopsy::FaultAutopsy;
+use crate::checkpoint::ReplayStats;
 use crate::cohort::{screen_fault_cohorts, DynFates, GateVerdict};
 use crate::fault::{sample_gate_faults, sample_irf_faults, sample_l1d_faults, sample_xrf_faults};
 use crate::gate::{
     replay_gate_permanent_bounded, screen_fault_spans, screen_faults, ActivationSpan,
 };
-use crate::outcome::{CampaignResult, FaultOutcome};
+use crate::outcome::{CampaignResult, CostMatrix, FaultOutcome};
 use crate::plan::{plan_irf, plan_l1d, plan_xrf};
 use crate::replay::{replay_with_plan_bounded, ReplayCtx};
 use crate::stream::{CampaignStream, StreamSettings};
@@ -23,11 +24,12 @@ use harpo_isa::exec::Trap;
 use harpo_isa::program::Program;
 use harpo_isa::state::Signature;
 use harpo_isa::trail::GoldenTrail;
-use harpo_telemetry::{FaultKey, Telemetry};
+use harpo_telemetry::{FaultKey, Record, Telemetry};
 use harpo_uarch::{ExecutionTrace, OooCore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Protection scheme modelled on the L1D data array (paper §II-E: "CPU
 /// protection schemes like parity and ECC are considered in fault
@@ -85,6 +87,15 @@ pub struct CampaignConfig {
     /// replaying them. On by default; ignored when `gate_legacy` is set.
     #[serde(default = "default_true")]
     pub cohort_demotion: bool,
+    /// Attribute replay wall time to each fault class and journal the
+    /// per-outcome cost matrix as schema-v6 `cost` records (plus the
+    /// `netlist_compile_ns` compile-scope record). Off by default: the
+    /// default grading path never reads the clock per fault, and the
+    /// `campaign_profile_off_speedup_t1` bench key gates that it stays
+    /// that way. Outcomes are bit-identical either way — cost records
+    /// are observability, never behaviour.
+    #[serde(default)]
+    pub profile: bool,
 }
 
 /// Serde default so configs serialised before the checkpoint trail
@@ -112,6 +123,7 @@ impl Default for CampaignConfig {
             stream: StreamSettings::default(),
             gate_legacy: false,
             cohort_demotion: true,
+            profile: false,
         }
     }
 }
@@ -294,7 +306,12 @@ pub fn measure_detection_streamed(
     // same fault site in two different programs never aliases.
     let fp_hex = format!("{:032x}", harpo_isa::fingerprint(prog));
     let mut rng = StdRng::seed_from_u64(ccfg.seed);
-    match structure {
+    let profile = ccfg.profile;
+    let model = match structure {
+        TargetStructure::Irf | TargetStructure::Xrf | TargetStructure::L1d => "transient",
+        _ => "stuck-at",
+    };
+    let (result, autopsies) = match structure {
         TargetStructure::Irf => {
             let faults = sample_irf_faults(&mut rng, cfg, cycles, ccfg.n_faults);
             let (result, mut autopsies) =
@@ -311,9 +328,9 @@ pub fn measure_detection_streamed(
                             ));
                         }
                     } else {
-                        let (o, stats) =
-                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
-                        res.record_replay_stats(o, &stats);
+                        let (o, stats) = timed_replay(profile, res, || {
+                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx)
+                        });
                         if let Some(log) = log {
                             log.push(FaultAutopsy::transient(
                                 label,
@@ -348,9 +365,9 @@ pub fn measure_detection_streamed(
                             ));
                         }
                     } else {
-                        let (o, stats) =
-                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
-                        res.record_replay_stats(o, &stats);
+                        let (o, stats) = timed_replay(profile, res, || {
+                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx)
+                        });
                         if let Some(log) = log {
                             log.push(FaultAutopsy::transient(
                                 label,
@@ -392,9 +409,9 @@ pub fn measure_detection_streamed(
                             log.push(FaultAutopsy::corrected(label, f.bit.into(), f.cycle, &plan));
                         }
                     } else {
-                        let (o, stats) =
-                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx);
-                        res.record_replay_stats(o, &stats);
+                        let (o, stats) = timed_replay(profile, res, || {
+                            replay_with_plan_bounded(prog, &plan, golden, replay_cap, trail, ctx)
+                        });
                         if let Some(log) = log {
                             log.push(FaultAutopsy::transient(
                                 label,
@@ -448,16 +465,17 @@ pub fn measure_detection_streamed(
                             }
                         }
                         GateVerdict::Replay(span) => {
-                            let (o, stats) = replay_gate_permanent_bounded(
-                                prog,
-                                faults[i],
-                                golden,
-                                replay_cap,
-                                trail.map(|t| (t, span)),
-                                false,
-                                ctx,
-                            );
-                            res.record_replay_stats(o, &stats);
+                            let (o, stats) = timed_replay(profile, res, || {
+                                replay_gate_permanent_bounded(
+                                    prog,
+                                    faults[i],
+                                    golden,
+                                    replay_cap,
+                                    trail.map(|t| (t, span)),
+                                    false,
+                                    ctx,
+                                )
+                            });
                             if let Some(log) = log {
                                 log.push(FaultAutopsy::gate(
                                     label,
@@ -486,16 +504,17 @@ pub fn measure_detection_streamed(
                                     }
                                 }
                                 Some(span) => {
-                                    let (o, stats) = replay_gate_permanent_bounded(
-                                        prog,
-                                        faults[i],
-                                        golden,
-                                        replay_cap,
-                                        Some((t, span)),
-                                        legacy,
-                                        ctx,
-                                    );
-                                    res.record_replay_stats(o, &stats);
+                                    let (o, stats) = timed_replay(profile, res, || {
+                                        replay_gate_permanent_bounded(
+                                            prog,
+                                            faults[i],
+                                            golden,
+                                            replay_cap,
+                                            Some((t, span)),
+                                            legacy,
+                                            ctx,
+                                        )
+                                    });
                                     if let Some(log) = log {
                                         log.push(FaultAutopsy::gate(
                                             label,
@@ -518,10 +537,11 @@ pub fn measure_detection_streamed(
                                     log.push(FaultAutopsy::gate_screened(label, faults[i].gate));
                                 }
                             } else {
-                                let (o, stats) = replay_gate_permanent_bounded(
-                                    prog, faults[i], golden, replay_cap, None, legacy, ctx,
-                                );
-                                res.record_replay_stats(o, &stats);
+                                let (o, stats) = timed_replay(profile, res, || {
+                                    replay_gate_permanent_bounded(
+                                        prog, faults[i], golden, replay_cap, None, legacy, ctx,
+                                    )
+                                });
                                 if let Some(log) = log {
                                     log.push(FaultAutopsy::gate(
                                         label,
@@ -543,7 +563,74 @@ pub fn measure_detection_streamed(
             });
             (result, autopsies)
         }
+    };
+    if profile {
+        emit_cost_records(telemetry, label, prog.name.as_str(), model, &result);
     }
+    (result, autopsies)
+}
+
+/// Journals one campaign's per-outcome cost matrix as schema-v6 `cost`
+/// records: one `scope:"replay"` record per non-empty outcome class
+/// (faults graded, replayed instructions, replay wall time), plus one
+/// `scope:"compile"` record carrying the netlist-compile wall time when
+/// the campaign compiled fault-specialized circuits. Only called with
+/// [`CampaignConfig::profile`] on; a run without a sink emits nothing.
+fn emit_cost_records(
+    telemetry: &Telemetry,
+    structure: &'static str,
+    program: &str,
+    model: &'static str,
+    result: &CampaignResult,
+) {
+    if !telemetry.enabled() {
+        return;
+    }
+    for (o, cell) in CostMatrix::OUTCOMES.iter().zip(&result.cost.cells) {
+        if cell.faults == 0 {
+            continue;
+        }
+        telemetry.emit(|| {
+            Record::new("cost")
+                .field("scope", "replay")
+                .field("structure", structure)
+                .field("program", program.to_string())
+                .field("model", model)
+                .field("outcome", o.label())
+                .field("faults", cell.faults)
+                .field("replay_insts", cell.replay_insts)
+                .field("replay_ns", cell.replay_ns)
+        });
+    }
+    if result.netlist_compile_ns > 0 {
+        telemetry.emit(|| {
+            Record::new("cost")
+                .field("scope", "compile")
+                .field("structure", structure)
+                .field("program", program.to_string())
+                .field("model", model)
+                .field("netlist_compile_ns", result.netlist_compile_ns)
+        });
+    }
+}
+
+/// Runs one functional replay, attributing its wall time to the
+/// outcome's cost cell when profiling is on and recording the replay
+/// statistics either way. The default path reads no clock: `profile`
+/// costs a single branch per replay.
+#[inline]
+fn timed_replay(
+    profile: bool,
+    res: &mut CampaignResult,
+    replay: impl FnOnce() -> (FaultOutcome, ReplayStats),
+) -> (FaultOutcome, ReplayStats) {
+    let t0 = profile.then(Instant::now);
+    let (o, stats) = replay();
+    if let Some(t0) = t0 {
+        res.record_replay_ns(o, t0.elapsed().as_nanos() as u64);
+    }
+    res.record_replay_stats(o, &stats);
+    (o, stats)
 }
 
 /// Stamps the stable cross-run [`FaultKey`] into each autopsy once the
@@ -852,6 +939,96 @@ mod tests {
         let r1 = measure_detection(&p, TargetStructure::Irf, &core, &small_cfg(64)).unwrap();
         let r2 = measure_detection(&p, TargetStructure::Irf, &core, &small_cfg(64)).unwrap();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn profiling_is_outcome_neutral_and_accounts_every_replay_inst() {
+        use harpo_telemetry::{MemorySink, Value};
+        use std::sync::Arc;
+
+        let mut a = Asm::new("cost");
+        a.mov_ri(B64, Rax, 3);
+        for _ in 0..30 {
+            a.add_rr(B64, Rbx, Rax);
+            a.add_rr(B64, Rcx, Rbx);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let off = measure_detection(&p, TargetStructure::Irf, &core, &small_cfg(64)).unwrap();
+        let pcfg = CampaignConfig {
+            profile: true,
+            ..small_cfg(64)
+        };
+        let sim = core.simulate(&p, pcfg.cap).unwrap();
+        let mem = Arc::new(MemorySink::new());
+        let trail = build_campaign_trail(&p, &pcfg);
+        let (on, _) = measure_detection_streamed(
+            &p,
+            TargetStructure::Irf,
+            &core,
+            &pcfg,
+            &sim.output.signature,
+            &sim.trace,
+            trail.as_ref(),
+            &Telemetry::to(mem.clone()),
+        );
+        // Profiling never changes outcomes (equality already ignores
+        // the wall-clock cells).
+        assert_eq!(on, off);
+        // Every replayed instruction lands in exactly one cost cell.
+        assert!(on.replay_insts > 0);
+        assert_eq!(on.cost.total_replay_insts(), on.replay_insts);
+        // Replays took nonzero wall time, attributed per class.
+        let timed_ns: u64 = on.cost.cells.iter().map(|c| c.replay_ns).sum();
+        assert!(timed_ns > 0, "profiling on must time replays");
+        // The journal carries one replay-scope cost record per
+        // non-empty outcome class, restating the matrix.
+        let costs = mem.records_of("cost");
+        assert!(!costs.is_empty());
+        let mut journalled_insts = 0;
+        for rec in &costs {
+            assert_eq!(rec.get("structure").unwrap().as_str(), Some("IRF"));
+            assert_eq!(rec.get("model").unwrap().as_str(), Some("transient"));
+            if rec.get("scope").unwrap().as_str() == Some("replay") {
+                journalled_insts += rec.get("replay_insts").and_then(Value::as_u64).unwrap_or(0);
+            }
+        }
+        assert_eq!(journalled_insts, on.replay_insts);
+    }
+
+    #[test]
+    fn profile_off_emits_no_cost_records() {
+        use harpo_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let mut a = Asm::new("nocost");
+        a.mov_ri(B64, Rax, 3);
+        for _ in 0..20 {
+            a.add_rr(B64, Rbx, Rax);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let core = OooCore::default();
+        let ccfg = small_cfg(32);
+        let sim = core.simulate(&p, ccfg.cap).unwrap();
+        let mem = Arc::new(MemorySink::new());
+        let trail = build_campaign_trail(&p, &ccfg);
+        let (r, _) = measure_detection_streamed(
+            &p,
+            TargetStructure::Irf,
+            &core,
+            &ccfg,
+            &sim.output.signature,
+            &sim.trace,
+            trail.as_ref(),
+            &Telemetry::to(mem.clone()),
+        );
+        assert!(mem.records_of("cost").is_empty());
+        // The deterministic halves of the matrix still accumulate (they
+        // restate the tallies), but no clock was read.
+        assert_eq!(r.cost.total_replay_insts(), r.replay_insts);
+        assert_eq!(r.cost.cells.iter().map(|c| c.replay_ns).sum::<u64>(), 0);
     }
 
     #[test]

@@ -52,6 +52,103 @@ impl ReplayLenHist {
     }
 }
 
+/// One cell of the per-fault-class cost matrix: how many faults of one
+/// outcome class a campaign graded, and what they cost.
+///
+/// `faults` and `replay_insts` are deterministic (they restate the
+/// outcome tallies and replay accounting per class); `replay_ns` is
+/// wall clock, accumulated only when [`crate::CampaignConfig::profile`]
+/// is on, and excluded from [`CostMatrix`] equality like
+/// [`CampaignResult::netlist_compile_ns`].
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CostCell {
+    /// Faults of this outcome class.
+    pub faults: u64,
+    /// Dynamic instructions replayed for this class.
+    pub replay_insts: u64,
+    /// Wall-clock nanoseconds spent replaying this class (0 unless the
+    /// campaign ran with profiling on).
+    pub replay_ns: u64,
+}
+
+/// Per-outcome replay-cost attribution for one campaign: every injected
+/// fault lands in exactly one [`CostCell`], so the cells' `faults` sum
+/// to `injected` and their `replay_insts` sum to `replay_insts` — the
+/// decomposition the schema-v6 `cost` records journal.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CostMatrix {
+    /// One cell per outcome, indexed in [`CostMatrix::OUTCOMES`] order.
+    pub cells: [CostCell; 4],
+}
+
+impl CostMatrix {
+    /// Cell order: every outcome appears exactly once.
+    pub const OUTCOMES: [FaultOutcome; 4] = [
+        FaultOutcome::Masked,
+        FaultOutcome::Sdc,
+        FaultOutcome::Crash,
+        FaultOutcome::Corrected,
+    ];
+
+    fn idx(o: FaultOutcome) -> usize {
+        match o {
+            FaultOutcome::Masked => 0,
+            FaultOutcome::Sdc => 1,
+            FaultOutcome::Crash => 2,
+            FaultOutcome::Corrected => 3,
+        }
+    }
+
+    /// The cell of one outcome class.
+    pub fn cell(&self, o: FaultOutcome) -> &CostCell {
+        &self.cells[Self::idx(o)]
+    }
+
+    /// Counts one fault of class `o`.
+    pub fn account_fault(&mut self, o: FaultOutcome) {
+        self.cells[Self::idx(o)].faults += 1;
+    }
+
+    /// Attributes `insts` replayed instructions to class `o`.
+    pub fn account_insts(&mut self, o: FaultOutcome, insts: u64) {
+        self.cells[Self::idx(o)].replay_insts += insts;
+    }
+
+    /// Attributes `ns` of replay wall time to class `o` (profiling on
+    /// only — wall clock must never leak into default-path tallies).
+    pub fn account_ns(&mut self, o: FaultOutcome, ns: u64) {
+        self.cells[Self::idx(o)].replay_ns += ns;
+    }
+
+    /// Folds another matrix into this one.
+    pub fn merge(&mut self, other: &CostMatrix) {
+        for (cell, o) in self.cells.iter_mut().zip(&other.cells) {
+            cell.faults += o.faults;
+            cell.replay_insts += o.replay_insts;
+            cell.replay_ns += o.replay_ns;
+        }
+    }
+
+    /// Replayed instructions summed across all classes — must equal the
+    /// campaign's `replay_insts` (the ≥99%-attribution invariant is in
+    /// fact exact).
+    pub fn total_replay_insts(&self) -> u64 {
+        self.cells.iter().map(|c| c.replay_insts).sum()
+    }
+}
+
+impl PartialEq for CostMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except replay_ns, which is wall-clock.
+        self.cells
+            .iter()
+            .zip(&other.cells)
+            .all(|(a, b)| a.faults == b.faults && a.replay_insts == b.replay_insts)
+    }
+}
+
+impl Eq for CostMatrix {}
+
 /// The observable outcome of one injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FaultOutcome {
@@ -167,6 +264,10 @@ pub struct CampaignResult {
     /// recorder carries it via the `faultsim.replay_len` histogram).
     #[serde(skip)]
     pub replay_len: ReplayLenHist,
+    /// Per-outcome cost attribution (not serialized — the journal
+    /// carries it via schema-v6 `cost` records when profiling is on).
+    #[serde(skip)]
+    pub cost: CostMatrix,
 }
 
 impl PartialEq for CampaignResult {
@@ -189,6 +290,7 @@ impl PartialEq for CampaignResult {
             && self.fu_memo_lookups == other.fu_memo_lookups
             && self.specialized_ops == other.specialized_ops
             && self.replay_len == other.replay_len
+            && self.cost == other.cost
     }
 }
 
@@ -198,6 +300,7 @@ impl CampaignResult {
     /// Records one outcome.
     pub fn record(&mut self, o: FaultOutcome, fast_path: bool) {
         self.injected += 1;
+        self.cost.account_fault(o);
         match o {
             FaultOutcome::Sdc => self.sdc += 1,
             FaultOutcome::Crash => self.crash += 1,
@@ -218,6 +321,14 @@ impl CampaignResult {
         self.replays += 1;
         self.replay_insts += insts;
         self.replay_len.observe(insts);
+        self.cost.account_insts(o, insts);
+    }
+
+    /// Attributes `ns` of replay wall time to outcome class `o`. Call
+    /// sites must gate this on [`crate::CampaignConfig::profile`]: the
+    /// default path never reads the clock per fault.
+    pub fn record_replay_ns(&mut self, o: FaultOutcome, ns: u64) {
+        self.cost.account_ns(o, ns);
     }
 
     /// Records one replayed outcome with the checkpointed engine's
@@ -253,6 +364,7 @@ impl CampaignResult {
         self.specialized_ops += other.specialized_ops;
         self.netlist_compile_ns += other.netlist_compile_ns;
         self.replay_len.merge(&other.replay_len);
+        self.cost.merge(&other.cost);
     }
 
     /// Adds this tally to the `faultsim.*` counters of a metrics
@@ -464,6 +576,42 @@ mod tests {
         assert_eq!(a, b);
         b.fu_memo_hits = 1;
         assert_ne!(a, b, "deterministic counters still compared");
+    }
+
+    #[test]
+    fn cost_matrix_decomposes_the_tally_exactly() {
+        let mut r = CampaignResult::default();
+        r.record(FaultOutcome::Masked, true);
+        r.record_replayed(FaultOutcome::Sdc, 100);
+        r.record_replayed(FaultOutcome::Masked, 40);
+        r.record_replayed(FaultOutcome::Crash, 7);
+        let mut other = CampaignResult::default();
+        other.record_replayed(FaultOutcome::Sdc, 1000);
+        other.record(FaultOutcome::Corrected, true);
+        r.merge(&other);
+        // Cells' fault counts restate the outcome tallies …
+        assert_eq!(r.cost.cell(FaultOutcome::Masked).faults, r.masked);
+        assert_eq!(r.cost.cell(FaultOutcome::Sdc).faults, r.sdc);
+        assert_eq!(r.cost.cell(FaultOutcome::Crash).faults, r.crash);
+        assert_eq!(r.cost.cell(FaultOutcome::Corrected).faults, r.corrected);
+        let fault_sum: u64 = r.cost.cells.iter().map(|c| c.faults).sum();
+        assert_eq!(fault_sum, r.injected);
+        // … and the replayed instructions decompose exactly (100% of
+        // the campaign's replay cost is attributed to some class).
+        assert_eq!(r.cost.total_replay_insts(), r.replay_insts);
+        assert_eq!(r.cost.cell(FaultOutcome::Sdc).replay_insts, 1100);
+        assert_eq!(r.cost.cell(FaultOutcome::Masked).replay_insts, 40);
+    }
+
+    #[test]
+    fn cost_equality_ignores_replay_wall_clock() {
+        let mut a = CampaignResult::default();
+        a.record_replayed(FaultOutcome::Sdc, 100);
+        let mut b = a;
+        b.record_replay_ns(FaultOutcome::Sdc, 999_999);
+        assert_eq!(a, b, "replay_ns is wall-clock, not science");
+        b.cost.account_insts(FaultOutcome::Sdc, 1);
+        assert_ne!(a, b, "deterministic cost cells still compared");
     }
 
     #[test]

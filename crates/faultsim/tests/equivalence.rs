@@ -67,6 +67,12 @@ fn outcome_tallies(r: &CampaignResult) -> CampaignResult {
     t.fu_memo_hits = 0;
     t.fu_memo_lookups = 0;
     t.replay_len = Default::default();
+    // The cost matrix's per-class fault counts must match, but its
+    // per-class replay instruction counts are the same perf counter as
+    // `replay_insts` above, split by outcome.
+    for cell in t.cost.cells.iter_mut() {
+        cell.replay_insts = 0;
+    }
     t
 }
 

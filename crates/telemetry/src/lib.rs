@@ -22,6 +22,12 @@
 //! * [`Span`] — RAII **stage timers** that accumulate wall time into a
 //!   `Duration` and/or a histogram, replacing hand-rolled
 //!   `Instant::now()` bookkeeping.
+//! * [`Profiler`] — opt-in **self-time profiling**: per-thread span
+//!   stacks (so every scope knows self vs. child time), a std-only
+//!   sampling ticker for long branch-free kernels, and the schema-v6
+//!   `profile` record with flamegraph-folded ([`folded_lines`]) and
+//!   speedscope ([`speedscope_json`]) exporters. Off by default and
+//!   free when off, like streaming.
 //! * [`TraceBuilder`] — a **Chrome/Perfetto `trace_event` exporter**:
 //!   stage spans, campaign timelines and per-fault replays rendered as
 //!   a trace file loadable in `ui.perfetto.dev` (see
@@ -45,6 +51,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod reader;
 pub mod record;
 pub mod sink;
@@ -54,8 +61,15 @@ pub mod trace;
 
 pub use json::Value;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricSnapshot, Metrics, HIST_BUCKETS};
+pub use profile::{
+    folded_lines, hottest_frame, latest_profiles, speedscope_json, FrameStat, ProfGuard,
+    ProfileSnapshot, Profiler, ThreadProfile,
+};
 pub use reader::{FaultKey, Journal};
-pub use record::{canonical_journal, is_streaming_kind, Record, SCHEMA_VERSION, STREAMING_KINDS};
+pub use record::{
+    canonical_journal, is_profile_kind, is_streaming_kind, Record, PROFILE_KINDS, SCHEMA_VERSION,
+    STREAMING_KINDS,
+};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink, Telemetry};
 pub use span::Span;
 pub use stream::{rss_bytes, EwmaRate};

@@ -1,0 +1,808 @@
+//! Self-time profiling: per-thread span stacks, an opt-in sampling
+//! ticker, and the schema-v6 `profile` record with flamegraph-folded
+//! and speedscope exporters.
+//!
+//! The stage [`Span`](crate::Span) answers "how long did this stage
+//! take in total"; it cannot answer "where inside the pipeline does the
+//! wall time actually land" because it has no notion of nesting. The
+//! [`Profiler`] adds exactly that: every profiled scope is pushed onto
+//! its thread's span stack, so on exit the scope knows its *total* time
+//! and its *self* time (total minus the time spent in enclosed profiled
+//! scopes). Aggregated per `(thread, stack path)`, that is the hotspot
+//! table `harpo profile` renders and the substrate both exporters
+//! consume.
+//!
+//! Three design rules, mirroring the streaming and forensics layers:
+//!
+//! * **Off by default, free when off.** Nothing in this module runs
+//!   unless a [`Profiler`] is constructed and threaded in; call sites
+//!   hold an `Option<Profiler>` and pay one branch when it is `None`.
+//!   The `campaign_profile_off_speedup_t1` bench key gates that this
+//!   stays true.
+//! * **Coarse scopes only.** A profiled scope takes a mutex on entry
+//!   and exit, so it belongs around *stages* (generation, evaluation, a
+//!   campaign replay batch), never around per-instruction work. Long
+//!   branch-free kernels attribute via the sampling ticker instead.
+//! * **Observational.** `profile` records carry wall-clock readings, so
+//!   [`canonical_journal`](crate::canonical_journal) drops them (like
+//!   the streaming kinds): profiling on or off, two runs that made the
+//!   same decisions still compare bit-identical.
+//!
+//! The `profile` record is a *cumulative snapshot* per `(source,
+//! thread)`: a run may publish interim snapshots (so `harpo watch` can
+//! show the current hottest span) and one final snapshot; consumers
+//! keep the **last** record per `(source, thread)` — see
+//! [`latest_profiles`].
+
+use crate::json::Value;
+use crate::metrics::Histogram;
+use crate::record::Record;
+use crate::sink::Telemetry;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::{self, JoinHandle, ThreadId};
+use std::time::{Duration, Instant};
+
+/// One frame of a thread's live span stack.
+#[derive(Debug)]
+struct LiveFrame {
+    name: &'static str,
+    /// Nanoseconds already attributed to enclosed (child) scopes.
+    child_ns: u64,
+}
+
+/// Aggregated statistics for one `(thread, stack path)` cell.
+#[derive(Debug)]
+struct FrameAgg {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    max_ns: u64,
+    /// Per-entry total-time distribution (for p99).
+    hist: Histogram,
+}
+
+impl FrameAgg {
+    fn new() -> FrameAgg {
+        FrameAgg {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            max_ns: 0,
+            hist: Histogram::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// Thread → dense ordinal, in first-span order.
+    ordinals: HashMap<ThreadId, u64>,
+    next_ordinal: u64,
+    /// Live span stack per thread ordinal (what the sampler snapshots).
+    stacks: BTreeMap<u64, Vec<LiveFrame>>,
+    /// Finished-scope aggregation per `(thread ordinal, "a;b;c" path)`.
+    frames: BTreeMap<(u64, String), FrameAgg>,
+    /// Sampling-ticker tallies per `(thread ordinal, "a;b;c" path)`.
+    samples: BTreeMap<(u64, String), u64>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Sampler stop flag + wakeup, shared with the ticker thread.
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    sampler: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        *self.stop.0.lock().expect("sampler stop flag poisoned") = true;
+        self.stop.1.notify_all();
+        if let Some(h) = self
+            .sampler
+            .get_mut()
+            .expect("sampler slot poisoned")
+            .take()
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The profiling handle: clone it freely (it is an `Arc` inside) and
+/// hand one to each pipeline layer that should attribute its wall time.
+///
+/// ```
+/// use harpo_telemetry::Profiler;
+/// let p = Profiler::new();
+/// {
+///     let _outer = p.span("refine");
+///     let _inner = p.span("evaluation");
+///     // ... the stage ...
+/// }
+/// let snap = p.snapshot();
+/// assert_eq!(snap.threads.len(), 1);
+/// let stacks: Vec<&str> = snap.threads[0]
+///     .frames
+///     .iter()
+///     .map(|f| f.stack.as_str())
+///     .collect();
+/// assert_eq!(stacks, ["refine", "refine;evaluation"]);
+/// ```
+#[derive(Clone)]
+pub struct Profiler {
+    inner: Arc<Inner>,
+}
+
+impl Default for Profiler {
+    fn default() -> Profiler {
+        Profiler::new()
+    }
+}
+
+impl Profiler {
+    /// A fresh profiler with no recorded scopes and no sampler running.
+    pub fn new() -> Profiler {
+        Profiler {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State::default()),
+                stop: Arc::new((Mutex::new(false), Condvar::new())),
+                sampler: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Enters a profiled scope on the current thread. The returned
+    /// guard pops the scope on drop; scopes must nest (RAII enforces
+    /// this within one thread).
+    pub fn span(&self, name: &'static str) -> ProfGuard {
+        let ordinal = {
+            let mut st = self.inner.state.lock().expect("profiler state poisoned");
+            let id = thread::current().id();
+            let ordinal = match st.ordinals.get(&id) {
+                Some(&o) => o,
+                None => {
+                    let o = st.next_ordinal;
+                    st.next_ordinal += 1;
+                    st.ordinals.insert(id, o);
+                    o
+                }
+            };
+            st.stacks
+                .entry(ordinal)
+                .or_default()
+                .push(LiveFrame { name, child_ns: 0 });
+            ordinal
+        };
+        ProfGuard {
+            profiler: self.clone(),
+            ordinal,
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts the sampling ticker: a std-only thread that snapshots
+    /// every live span stack each `cadence` and tallies the observed
+    /// paths. This is how long branch-free kernels (which cannot afford
+    /// per-op instrumentation) still attribute: the stack they run
+    /// under is observed in proportion to the time it is live. A no-op
+    /// if a sampler is already running.
+    pub fn start_sampler(&self, cadence: Duration) {
+        let mut slot = self.inner.sampler.lock().expect("sampler slot poisoned");
+        if slot.is_some() {
+            return;
+        }
+        *self
+            .inner
+            .stop
+            .0
+            .lock()
+            .expect("sampler stop flag poisoned") = false;
+        let stop = Arc::clone(&self.inner.stop);
+        // The ticker holds only a weak handle on the state so a dropped
+        // profiler is never kept alive by its own sampler.
+        let state: Weak<Inner> = Arc::downgrade(&self.inner);
+        *slot = Some(thread::spawn(move || loop {
+            let guard = stop.0.lock().expect("sampler stop flag poisoned");
+            let (guard, _) = stop
+                .1
+                .wait_timeout(guard, cadence)
+                .expect("sampler stop flag poisoned");
+            if *guard {
+                return;
+            }
+            drop(guard);
+            let Some(inner) = state.upgrade() else { return };
+            let mut st = inner.state.lock().expect("profiler state poisoned");
+            let live: Vec<(u64, String)> = st
+                .stacks
+                .iter()
+                .filter(|(_, stack)| !stack.is_empty())
+                .map(|(&o, stack)| (o, join_stack(stack.iter().map(|f| f.name))))
+                .collect();
+            for key in live {
+                *st.samples.entry(key).or_insert(0) += 1;
+            }
+        }));
+    }
+
+    /// Stops the sampling ticker and waits for it to exit. A no-op if
+    /// no sampler is running.
+    pub fn stop_sampler(&self) {
+        let handle = self
+            .inner
+            .sampler
+            .lock()
+            .expect("sampler slot poisoned")
+            .take();
+        if let Some(h) = handle {
+            *self
+                .inner
+                .stop
+                .0
+                .lock()
+                .expect("sampler stop flag poisoned") = true;
+            self.inner.stop.1.notify_all();
+            let _ = h.join();
+        }
+    }
+
+    /// A point-in-time copy of everything recorded so far, per thread.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let st = self.inner.state.lock().expect("profiler state poisoned");
+        let mut threads: BTreeMap<u64, ThreadProfile> = BTreeMap::new();
+        for (&(ordinal, ref path), agg) in &st.frames {
+            let t = threads.entry(ordinal).or_insert_with(|| ThreadProfile {
+                thread: ordinal,
+                frames: Vec::new(),
+                samples: Vec::new(),
+            });
+            t.frames.push(FrameStat {
+                stack: path.clone(),
+                count: agg.count,
+                total_ns: agg.total_ns,
+                self_ns: agg.self_ns,
+                max_ns: agg.max_ns,
+                p99_ns: agg.hist.snapshot().percentile(0.99),
+            });
+        }
+        for (&(ordinal, ref path), &n) in &st.samples {
+            threads
+                .entry(ordinal)
+                .or_insert_with(|| ThreadProfile {
+                    thread: ordinal,
+                    frames: Vec::new(),
+                    samples: Vec::new(),
+                })
+                .samples
+                .push((path.clone(), n));
+        }
+        ProfileSnapshot {
+            threads: threads.into_values().collect(),
+        }
+    }
+
+    /// Emits the current snapshot as one `profile` record per thread.
+    /// Records are cumulative: consumers keep the last record per
+    /// `(source, thread)` (see [`latest_profiles`]), so publishing
+    /// interim snapshots mid-run is safe.
+    pub fn publish(&self, source: &str, telemetry: &Telemetry) {
+        if !telemetry.enabled() {
+            return;
+        }
+        let snap = self.snapshot();
+        for t in &snap.threads {
+            telemetry.emit(|| {
+                let frames: Vec<Value> = t
+                    .frames
+                    .iter()
+                    .map(|f| {
+                        Value::Obj(vec![
+                            ("stack".to_string(), Value::from(f.stack.as_str())),
+                            ("count".to_string(), Value::U64(f.count)),
+                            ("total_ns".to_string(), Value::U64(f.total_ns)),
+                            ("self_ns".to_string(), Value::U64(f.self_ns)),
+                            ("max_ns".to_string(), Value::U64(f.max_ns)),
+                            ("p99_ns".to_string(), Value::U64(f.p99_ns)),
+                        ])
+                    })
+                    .collect();
+                let mut rec = Record::new("profile")
+                    .field("source", source.to_string())
+                    .field("thread", t.thread)
+                    .field("frames", Value::Arr(frames));
+                if !t.samples.is_empty() {
+                    let samples: Vec<Value> = t
+                        .samples
+                        .iter()
+                        .map(|(stack, n)| {
+                            Value::Obj(vec![
+                                ("stack".to_string(), Value::from(stack.as_str())),
+                                ("count".to_string(), Value::U64(*n)),
+                            ])
+                        })
+                        .collect();
+                    rec = rec.field("samples", Value::Arr(samples));
+                }
+                rec
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock().expect("profiler state poisoned");
+        f.debug_struct("Profiler")
+            .field("threads", &st.next_ordinal)
+            .field("frames", &st.frames.len())
+            .finish()
+    }
+}
+
+/// RAII guard for one profiled scope: created by [`Profiler::span`],
+/// attributes the scope's time on drop.
+#[derive(Debug)]
+pub struct ProfGuard {
+    profiler: Profiler,
+    ordinal: u64,
+    start: Instant,
+}
+
+impl Drop for ProfGuard {
+    fn drop(&mut self) {
+        let total = self.start.elapsed().as_nanos() as u64;
+        let mut st = self
+            .profiler
+            .inner
+            .state
+            .lock()
+            .expect("profiler state poisoned");
+        let stack = st
+            .stacks
+            .get_mut(&self.ordinal)
+            .expect("profiled thread has no stack");
+        let frame = stack.pop().expect("profiler span stack underflow");
+        let path = join_stack(stack.iter().map(|f| f.name).chain([frame.name]));
+        // Self time is what was not already attributed to enclosed
+        // scopes; the whole scope then counts as child time upstream.
+        let self_ns = total.saturating_sub(frame.child_ns);
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns += total;
+        }
+        let agg = st
+            .frames
+            .entry((self.ordinal, path))
+            .or_insert_with(FrameAgg::new);
+        agg.count += 1;
+        agg.total_ns += total;
+        agg.self_ns += self_ns;
+        agg.max_ns = agg.max_ns.max(total);
+        agg.hist.observe(total);
+    }
+}
+
+fn join_stack<'a>(names: impl Iterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    for name in names {
+        if !out.is_empty() {
+            out.push(';');
+        }
+        out.push_str(name);
+    }
+    out
+}
+
+/// Aggregated statistics for one stack path on one thread, as rendered
+/// into `profile` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameStat {
+    /// The `;`-joined span stack (`"refine;evaluation"`).
+    pub stack: String,
+    /// Times the scope was entered.
+    pub count: u64,
+    /// Total wall time inside the scope, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus time attributed to enclosed scopes, nanoseconds.
+    pub self_ns: u64,
+    /// Longest single entry, nanoseconds.
+    pub max_ns: u64,
+    /// p99 of per-entry total time, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// One thread's profile: finished-scope aggregates plus sampler
+/// tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadProfile {
+    /// Dense thread ordinal, in first-span order.
+    pub thread: u64,
+    /// One entry per distinct stack path, sorted by path.
+    pub frames: Vec<FrameStat>,
+    /// Sampling-ticker tallies: `(stack path, samples observed)`.
+    pub samples: Vec<(String, u64)>,
+}
+
+/// A point-in-time copy of a [`Profiler`]'s aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Per-thread profiles, sorted by thread ordinal.
+    pub threads: Vec<ThreadProfile>,
+}
+
+/// Filters parsed `profile` records down to the **last** record per
+/// `(source, thread)`, preserving that last record's file order.
+/// Profile records are cumulative snapshots, so the last one per
+/// identity supersedes every earlier one.
+pub fn latest_profiles<'a>(records: &[&'a Value]) -> Vec<&'a Value> {
+    let mut last: BTreeMap<(String, u64), (usize, &Value)> = BTreeMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        let source = rec
+            .get("source")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let thread = rec.get("thread").and_then(Value::as_u64).unwrap_or(0);
+        last.insert((source, thread), (i, rec));
+    }
+    let mut out: Vec<(usize, &Value)> = last.into_values().collect();
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, rec)| rec).collect()
+}
+
+/// The hottest frame of one parsed `profile` record: the stack path
+/// with the largest self time, with that self time in nanoseconds.
+pub fn hottest_frame(record: &Value) -> Option<(String, u64)> {
+    let frames = match record.get("frames") {
+        Some(Value::Arr(frames)) => frames,
+        _ => return None,
+    };
+    frames
+        .iter()
+        .filter_map(|f| {
+            let stack = f.get("stack").and_then(Value::as_str)?;
+            let self_ns = f.get("self_ns").and_then(Value::as_u64)?;
+            Some((stack.to_string(), self_ns))
+        })
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+}
+
+/// Renders parsed `profile` records as collapsed-stack lines compatible
+/// with `flamegraph.pl` / inferno: one `root;child;leaf weight` line
+/// per frame, weighted by **self** time so the line weights sum to the
+/// profiled wall time. Each thread's stacks are rooted under a
+/// `source/t<thread>` frame so per-thread attribution survives the
+/// collapse. Only the last record per `(source, thread)` contributes
+/// (see [`latest_profiles`]).
+pub fn folded_lines(records: &[&Value]) -> String {
+    let mut out = String::new();
+    for rec in latest_profiles(records) {
+        let source = rec.get("source").and_then(Value::as_str).unwrap_or("?");
+        let thread = rec.get("thread").and_then(Value::as_u64).unwrap_or(0);
+        let frames = match rec.get("frames") {
+            Some(Value::Arr(frames)) => frames,
+            _ => continue,
+        };
+        for f in frames {
+            let (Some(stack), Some(self_ns)) = (
+                f.get("stack").and_then(Value::as_str),
+                f.get("self_ns").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            if self_ns == 0 {
+                continue;
+            }
+            out.push_str(&format!("{source}/t{thread};{stack} {self_ns}\n"));
+        }
+    }
+    out
+}
+
+/// Renders parsed `profile` records as a speedscope JSON document
+/// (<https://www.speedscope.app>, "sampled" profile type, nanosecond
+/// unit): one profile per `(source, thread)`, one sample per stack path
+/// weighted by its self time. Only the last record per `(source,
+/// thread)` contributes (see [`latest_profiles`]).
+pub fn speedscope_json(records: &[&Value], name: &str) -> String {
+    let mut frame_names: Vec<String> = Vec::new();
+    let mut frame_index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut profiles: Vec<Value> = Vec::new();
+    for rec in latest_profiles(records) {
+        let source = rec.get("source").and_then(Value::as_str).unwrap_or("?");
+        let thread = rec.get("thread").and_then(Value::as_u64).unwrap_or(0);
+        let frames = match rec.get("frames") {
+            Some(Value::Arr(frames)) => frames,
+            _ => continue,
+        };
+        let mut samples: Vec<Value> = Vec::new();
+        let mut weights: Vec<Value> = Vec::new();
+        let mut end: u64 = 0;
+        for f in frames {
+            let (Some(stack), Some(self_ns)) = (
+                f.get("stack").and_then(Value::as_str),
+                f.get("self_ns").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            if self_ns == 0 {
+                continue;
+            }
+            let indices: Vec<Value> = stack
+                .split(';')
+                .map(|part| {
+                    let idx = *frame_index.entry(part.to_string()).or_insert_with(|| {
+                        frame_names.push(part.to_string());
+                        frame_names.len() - 1
+                    });
+                    Value::U64(idx as u64)
+                })
+                .collect();
+            samples.push(Value::Arr(indices));
+            weights.push(Value::U64(self_ns));
+            end += self_ns;
+        }
+        profiles.push(Value::Obj(vec![
+            ("type".to_string(), Value::from("sampled")),
+            (
+                "name".to_string(),
+                Value::from(format!("{source}/t{thread}")),
+            ),
+            ("unit".to_string(), Value::from("nanoseconds")),
+            ("startValue".to_string(), Value::U64(0)),
+            ("endValue".to_string(), Value::U64(end)),
+            ("samples".to_string(), Value::Arr(samples)),
+            ("weights".to_string(), Value::Arr(weights)),
+        ]));
+    }
+    let frames: Vec<Value> = frame_names
+        .into_iter()
+        .map(|n| Value::Obj(vec![("name".to_string(), Value::Str(n))]))
+        .collect();
+    let mut doc = vec![
+        (
+            "$schema".to_string(),
+            Value::from("https://www.speedscope.app/file-format-schema.json"),
+        ),
+        ("name".to_string(), Value::from(name)),
+        ("exporter".to_string(), Value::from("harpo-telemetry")),
+        (
+            "shared".to_string(),
+            Value::Obj(vec![("frames".to_string(), Value::Arr(frames))]),
+        ),
+    ];
+    if !profiles.is_empty() {
+        doc.push(("activeProfileIndex".to_string(), Value::U64(0)));
+    }
+    doc.push(("profiles".to_string(), Value::Arr(profiles)));
+    Value::Obj(doc).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn self_time_never_exceeds_total_and_children_fit_the_parent() {
+        let p = Profiler::new();
+        {
+            let _root = p.span("root");
+            for _ in 0..3 {
+                let _child = p.span("child");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap.threads.len(), 1);
+        let frames = &snap.threads[0].frames;
+        let root = frames.iter().find(|f| f.stack == "root").unwrap();
+        let child = frames.iter().find(|f| f.stack == "root;child").unwrap();
+        assert_eq!(root.count, 1);
+        assert_eq!(child.count, 3);
+        for f in frames {
+            assert!(f.self_ns <= f.total_ns, "{}: self > total", f.stack);
+            assert!(f.max_ns <= f.total_ns, "{}: max > total", f.stack);
+            assert!(f.p99_ns > 0, "{}: empty p99", f.stack);
+        }
+        // Children's total fits inside the parent, and the parent's
+        // self + children's total reconstructs the parent's total.
+        assert!(child.total_ns <= root.total_ns);
+        assert_eq!(root.self_ns + child.total_ns, root.total_ns);
+    }
+
+    #[test]
+    fn per_thread_self_times_sum_to_the_root_total() {
+        let p = Profiler::new();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let p = p.clone();
+                s.spawn(move || {
+                    let _root = p.span("worker");
+                    {
+                        let _a = p.span("a");
+                        let _b = p.span("b");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                });
+            }
+        });
+        let snap = p.snapshot();
+        assert_eq!(snap.threads.len(), 2);
+        for t in &snap.threads {
+            let root_total: u64 = t
+                .frames
+                .iter()
+                .filter(|f| !f.stack.contains(';'))
+                .map(|f| f.total_ns)
+                .sum();
+            let self_sum: u64 = t.frames.iter().map(|f| f.self_ns).sum();
+            // Self times are an exact decomposition of the root total:
+            // every nanosecond inside the root span is self time of
+            // exactly one stack path.
+            assert_eq!(self_sum, root_total, "thread {}", t.thread);
+        }
+    }
+
+    #[test]
+    fn sampler_observes_a_live_stack_and_stops_cleanly() {
+        let p = Profiler::new();
+        p.start_sampler(Duration::from_millis(1));
+        {
+            let _root = p.span("kernel");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        p.stop_sampler();
+        let snap = p.snapshot();
+        let samples = &snap.threads[0].samples;
+        let kernel = samples.iter().find(|(stack, _)| stack == "kernel");
+        assert!(kernel.is_some(), "sampler never saw the live stack");
+        assert!(kernel.unwrap().1 >= 1);
+        // Stopping twice is a no-op.
+        p.stop_sampler();
+    }
+
+    #[test]
+    fn publish_emits_one_record_per_thread() {
+        let p = Profiler::new();
+        {
+            let _s = p.span("stage");
+        }
+        let mem = Arc::new(MemorySink::new());
+        let t = Telemetry::to(mem.clone());
+        p.publish("refine", &t);
+        let recs = mem.records_of("profile");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get("source").unwrap().as_str(), Some("refine"));
+        assert_eq!(recs[0].get("thread").unwrap().as_u64(), Some(0));
+        let frames = match recs[0].get("frames").unwrap() {
+            Value::Arr(frames) => frames,
+            other => panic!("frames not an array: {other:?}"),
+        };
+        assert_eq!(frames[0].get("stack").unwrap().as_str(), Some("stage"));
+        assert_eq!(frames[0].get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn publish_without_sinks_is_free() {
+        let p = Profiler::new();
+        {
+            let _s = p.span("stage");
+        }
+        p.publish("refine", &Telemetry::off());
+    }
+
+    fn profile_value(source: &str, thread: u64, frames: &[(&str, u64)]) -> Value {
+        Value::Obj(vec![
+            ("kind".to_string(), Value::from("profile")),
+            ("source".to_string(), Value::from(source)),
+            ("thread".to_string(), Value::U64(thread)),
+            (
+                "frames".to_string(),
+                Value::Arr(
+                    frames
+                        .iter()
+                        .map(|&(stack, self_ns)| {
+                            Value::Obj(vec![
+                                ("stack".to_string(), Value::from(stack)),
+                                ("count".to_string(), Value::U64(1)),
+                                ("total_ns".to_string(), Value::U64(self_ns * 2)),
+                                ("self_ns".to_string(), Value::U64(self_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn latest_profile_per_identity_wins() {
+        let early = profile_value("refine", 0, &[("a", 1)]);
+        let late = profile_value("refine", 0, &[("a", 9)]);
+        let other = profile_value("refine", 1, &[("b", 5)]);
+        let records = [&early, &other, &late];
+        let latest = latest_profiles(&records);
+        assert_eq!(latest.len(), 2);
+        assert!(std::ptr::eq(latest[0], &other));
+        assert!(std::ptr::eq(latest[1], &late));
+    }
+
+    #[test]
+    fn hottest_frame_is_max_self_time() {
+        let rec = profile_value("refine", 0, &[("root", 10), ("root;hot", 90)]);
+        assert_eq!(hottest_frame(&rec), Some(("root;hot".to_string(), 90)));
+        let empty = profile_value("refine", 0, &[]);
+        assert_eq!(hottest_frame(&empty), None);
+    }
+
+    #[test]
+    fn folded_lines_weight_by_self_time_and_root_per_thread() {
+        let t0 = profile_value("refine", 0, &[("root", 10), ("root;hot", 90), ("idle", 0)]);
+        let t1 = profile_value("refine", 1, &[("worker", 40)]);
+        let records = [&t0, &t1];
+        let folded = folded_lines(&records);
+        assert_eq!(
+            folded,
+            "refine/t0;root 10\nrefine/t0;root;hot 90\nrefine/t1;worker 40\n"
+        );
+    }
+
+    #[test]
+    fn speedscope_json_is_valid_and_indexes_frames() {
+        let t0 = profile_value("refine", 0, &[("root", 10), ("root;hot", 90)]);
+        let records = [&t0];
+        let doc = crate::json::parse(&speedscope_json(&records, "golden")).unwrap();
+        assert_eq!(
+            doc.get("$schema").unwrap().as_str(),
+            Some("https://www.speedscope.app/file-format-schema.json")
+        );
+        let frames = match doc.get("shared").unwrap().get("frames").unwrap() {
+            Value::Arr(frames) => frames,
+            other => panic!("frames not an array: {other:?}"),
+        };
+        let names: Vec<&str> = frames
+            .iter()
+            .map(|f| f.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["root", "hot"]);
+        let profiles = match doc.get("profiles").unwrap() {
+            Value::Arr(profiles) => profiles,
+            other => panic!("profiles not an array: {other:?}"),
+        };
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.get("type").unwrap().as_str(), Some("sampled"));
+        assert_eq!(p.get("unit").unwrap().as_str(), Some("nanoseconds"));
+        assert_eq!(p.get("endValue").unwrap().as_u64(), Some(100));
+        let samples = match p.get("samples").unwrap() {
+            Value::Arr(samples) => samples,
+            other => panic!("samples not an array: {other:?}"),
+        };
+        let weights = match p.get("weights").unwrap() {
+            Value::Arr(weights) => weights,
+            other => panic!("weights not an array: {other:?}"),
+        };
+        assert_eq!(samples.len(), weights.len());
+        // "root;hot" resolves to frame indices [0, 1].
+        assert_eq!(samples[1], Value::Arr(vec![Value::U64(0), Value::U64(1)]));
+        assert_eq!(weights[1], Value::U64(90));
+    }
+
+    #[test]
+    fn speedscope_of_no_profiles_omits_active_index() {
+        let doc = crate::json::parse(&speedscope_json(&[], "empty")).unwrap();
+        assert!(doc.get("activeProfileIndex").is_none());
+        assert_eq!(doc.get("profiles"), Some(&Value::Arr(Vec::new())));
+    }
+
+    #[test]
+    fn dropped_profiler_reaps_its_sampler() {
+        let p = Profiler::new();
+        p.start_sampler(Duration::from_millis(1));
+        // Dropping the last handle must signal and join the ticker
+        // rather than leaking the thread.
+        drop(p);
+    }
+}

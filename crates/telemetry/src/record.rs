@@ -10,7 +10,7 @@ use crate::json::{write_string, Value};
 /// a record kind changes meaning or drops a field — additive fields do
 /// not need a bump. The bump protocol is documented in DESIGN.md and
 /// docs/observability.md.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The live streaming record kinds introduced by schema v4.
 ///
@@ -25,6 +25,20 @@ pub fn is_streaming_kind(kind: &str) -> bool {
     STREAMING_KINDS.contains(&kind)
 }
 
+/// The cost-attribution record kinds introduced by schema v6:
+/// `profile` (per-thread span hotspots from the [`crate::Profiler`])
+/// and `cost` (per-fault-class replay cost from the SFI campaign).
+///
+/// Like the streaming kinds they describe *where the wall time went*,
+/// not what the run decided, so they are excluded from journal
+/// bit-identity comparisons — see [`canonical_journal`].
+pub const PROFILE_KINDS: [&str; 2] = ["profile", "cost"];
+
+/// Whether a record kind is one of the v6 cost-attribution kinds.
+pub fn is_profile_kind(kind: &str) -> bool {
+    PROFILE_KINDS.contains(&kind)
+}
+
 /// Whether a field key carries a wall-clock-derived value that differs
 /// between two otherwise identical runs.
 fn is_wallclock_field(key: &str) -> bool {
@@ -35,15 +49,18 @@ fn is_wallclock_field(key: &str) -> bool {
 }
 
 /// Canonicalises a journal for determinism comparison: drops the
-/// streaming-kind records (their very presence depends on timer ticks)
-/// and the `meta` header (it names the run *environment* — git commit,
-/// thread count — which two comparable runs may legitimately disagree
-/// on), strips wall-clock-bearing fields (`*_ns`, `*_ms`, `*_per_sec`,
-/// `counters`, `rss_bytes`, `hit_rate`) from the rest, and tolerates a
-/// torn final line (a live journal may end mid-record). The surviving
-/// records re-serialise in their original field order, so two runs that
-/// made the same decisions produce byte-identical canonical journals —
-/// streaming on or off.
+/// streaming-kind records (their very presence depends on timer ticks),
+/// the v6 cost-attribution kinds (`profile` / `cost` records exist only
+/// when profiling is enabled and carry nothing but wall-clock
+/// attribution) and the `meta` header (it names the run *environment* —
+/// git commit, thread count — which two comparable runs may
+/// legitimately disagree on), strips wall-clock-bearing fields
+/// (`*_ns`, `*_ms`, `*_per_sec`, `counters`, `rss_bytes`, `hit_rate`)
+/// from the rest, and tolerates a torn final line (a live journal may
+/// end mid-record). The surviving records re-serialise in their
+/// original field order, so two runs that made the same decisions
+/// produce byte-identical canonical journals — streaming and profiling
+/// on or off.
 pub fn canonical_journal(text: &str) -> String {
     let lines: Vec<&str> = text.lines().collect();
     let mut out = String::with_capacity(text.len());
@@ -64,7 +81,7 @@ pub fn canonical_journal(text: &str) -> String {
             }
         };
         if let Some(kind) = rec.get("kind").and_then(Value::as_str) {
-            if is_streaming_kind(kind) || kind == "meta" {
+            if is_streaming_kind(kind) || is_profile_kind(kind) || kind == "meta" {
                 continue;
             }
         }
@@ -91,7 +108,7 @@ pub fn canonical_journal(text: &str) -> String {
 /// ```
 /// use harpo_telemetry::Record;
 /// let r = Record::new("iteration").field("iter", 3u64).field("best", 0.25);
-/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":5,"iter":3,"best":0.25}"#);
+/// assert_eq!(r.to_json(), r#"{"kind":"iteration","v":6,"iter":3,"best":0.25}"#);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -229,6 +246,27 @@ mod tests {
         let without = "{\"kind\":\"summary\",\"v\":5,\"iterations\":1}\n";
         assert_eq!(canonical_journal(with_meta), canonical_journal(without));
         assert_eq!(canonical_journal(with_meta), without);
+    }
+
+    #[test]
+    fn canonical_journal_drops_profile_and_cost_records() {
+        let with_profiling = "\
+{\"kind\":\"iteration\",\"v\":6,\"iter\":0,\"best\":0.5}\n\
+{\"kind\":\"profile\",\"v\":6,\"source\":\"refine\",\"thread\":0,\"frames\":[]}\n\
+{\"kind\":\"cost\",\"v\":6,\"scope\":\"replay\",\"outcome\":\"sdc\",\"faults\":3}\n\
+{\"kind\":\"summary\",\"v\":6,\"iterations\":1}\n";
+        let without = "\
+{\"kind\":\"iteration\",\"v\":6,\"iter\":0,\"best\":0.5}\n\
+{\"kind\":\"summary\",\"v\":6,\"iterations\":1}\n";
+        assert_eq!(
+            canonical_journal(with_profiling),
+            canonical_journal(without)
+        );
+        assert_eq!(canonical_journal(with_profiling), without);
+        for kind in PROFILE_KINDS {
+            assert!(is_profile_kind(kind), "{kind}");
+        }
+        assert!(!is_profile_kind("iteration"));
     }
 
     #[test]

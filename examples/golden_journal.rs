@@ -15,9 +15,9 @@
 
 use harpocrates::core::{Evaluator, Harpocrates, LoopConfig};
 use harpocrates::coverage::TargetStructure;
-use harpocrates::faultsim::{measure_detection_with_golden, CampaignConfig};
+use harpocrates::faultsim::{build_campaign_trail, measure_detection_streamed, CampaignConfig};
 use harpocrates::museqgen::{GenConstraints, Generator, MutationOp};
-use harpocrates::telemetry::{JsonlSink, Metrics, Record, Telemetry};
+use harpocrates::telemetry::{JsonlSink, Metrics, Profiler, Record, Telemetry};
 use harpocrates::uarch::OooCore;
 use std::sync::Arc;
 
@@ -45,26 +45,33 @@ fn main() {
     )
     .with_operators(MutationOp::ALL.to_vec())
     .with_telemetry(telemetry.clone())
+    .with_profiler(Profiler::new())
     .run();
 
     // One SFI campaign on the champion, journalled the same way
-    // `harpo grade` does it.
+    // `harpo grade --profile` does it: the profile flag adds schema-v6
+    // `cost` records (per-outcome replay attribution plus netlist
+    // compile time) next to the summary record.
     let prog = report.champion;
     let ccfg = CampaignConfig {
         n_faults: 64,
         threads: 2,
+        profile: true,
         ..CampaignConfig::default()
     };
     let core = OooCore::default();
     let sim = core.simulate(&prog, ccfg.cap).expect("golden run");
     let coverage = structure.coverage(&sim.trace, core.config());
-    let result = measure_detection_with_golden(
+    let trail = build_campaign_trail(&prog, &ccfg);
+    let (result, _) = measure_detection_streamed(
         &prog,
         structure,
         &core,
         &ccfg,
         &sim.output.signature,
         &sim.trace,
+        trail.as_ref(),
+        &telemetry,
     );
     telemetry.emit(|| {
         let metrics = Metrics::new();
